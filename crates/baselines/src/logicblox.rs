@@ -1,0 +1,72 @@
+//! The LogicBlox-style baseline: worst-case optimal joins without
+//! EmptyHeaded's optimizations.
+//!
+//! Substitution fidelity (DESIGN.md): the paper characterises LogicBlox as
+//! the first commercial engine with a worst-case optimal join, but
+//! "LogicBlox does not come with fully optimized query plans or indexes"
+//! (§I) and attributes EmptyHeaded's advantage over it to the set layouts
+//! (§IV-B) and the §III plan optimizations. This analogue therefore
+//! delegates to the same `emptyheaded` executor with every optimization
+//! disabled and the decomposition forced to a single node (the shape a
+//! generic-join-only engine executes): sorted uint arrays only, attribute
+//! order by query appearance, no selection pushdown, no pipelining.
+
+use eh_query::ConjunctiveQuery;
+use eh_rdf::TripleStore;
+use eh_trie::TupleBuffer;
+
+use crate::traits::QueryEngine;
+use emptyheaded::{Engine, PlannerConfig};
+
+/// Unoptimized worst-case optimal engine (see module docs).
+pub struct LogicBloxStyle<'s> {
+    engine: Engine<'s>,
+}
+
+impl<'s> LogicBloxStyle<'s> {
+    /// An engine over `store`.
+    pub fn new(store: &'s TripleStore) -> LogicBloxStyle<'s> {
+        LogicBloxStyle { engine: Engine::with_config(store, PlannerConfig::logicblox_style()) }
+    }
+
+    /// The wrapped worst-case optimal engine (for plan inspection).
+    pub fn inner(&self) -> &Engine<'s> {
+        &self.engine
+    }
+}
+
+impl QueryEngine for LogicBloxStyle<'_> {
+    fn name(&self) -> &'static str {
+        "LogicBlox-style"
+    }
+
+    fn execute(&self, q: &ConjunctiveQuery) -> TupleBuffer {
+        self.engine.run(q).expect("valid workload query").tuples().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_query::QueryBuilder;
+    use eh_rdf::{Term, Triple};
+
+    #[test]
+    fn single_node_unoptimized_plan() {
+        let store = TripleStore::from_triples(vec![Triple::new(
+            Term::iri("a"),
+            Term::iri("p"),
+            Term::iri("b"),
+        )]);
+        let p = store.resolve_iri("p").unwrap();
+        let lb = LogicBloxStyle::new(&store);
+        let mut qb = QueryBuilder::new();
+        let (x, y) = (qb.var("x"), qb.var("y"));
+        qb.atom("p", p, x, y);
+        let q = qb.select(vec![x, y]).build().unwrap();
+        let plan = lb.inner().plan(&q).unwrap();
+        assert_eq!(plan.ghd.num_nodes(), 1);
+        assert!(!plan.pipelined);
+        assert_eq!(lb.execute(&q).len(), 1);
+    }
+}

@@ -1,0 +1,359 @@
+//! Shared machinery for pairwise (binary-join) engines: binding tables,
+//! hash joins, distinct projection, and the greedy index-nested-loop
+//! driver used by the specialised-RDF-engine analogues.
+
+use std::collections::HashMap;
+
+use eh_query::{ConjunctiveQuery, Var};
+use eh_trie::TupleBuffer;
+
+/// An intermediate result: rows over a set of bound variables.
+#[derive(Debug, Clone)]
+pub(crate) struct Bindings {
+    pub vars: Vec<Var>,
+    pub rows: TupleBuffer,
+}
+
+impl Bindings {
+    /// The unit result: no variables, one empty row (join identity).
+    /// Arity-0 buffers cannot hold rows, so by convention empty `vars`
+    /// means "exactly one row".
+    #[cfg(test)]
+    pub fn unit() -> Bindings {
+        Bindings { vars: Vec::new(), rows: TupleBuffer::new(0) }
+    }
+
+    pub fn is_unit(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        if self.is_unit() {
+            1
+        } else {
+            self.rows.len()
+        }
+    }
+
+    pub fn col(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|&w| w == v)
+    }
+}
+
+/// Hash join two binding tables on their shared variables (cross product
+/// when none are shared). Intermediates are fully materialised — the
+/// pairwise cost the paper contrasts with worst-case optimal joins.
+pub(crate) fn hash_join(a: &Bindings, b: &Bindings) -> Bindings {
+    if a.is_unit() {
+        return b.clone();
+    }
+    if b.is_unit() {
+        return a.clone();
+    }
+    let shared: Vec<Var> = a.vars.iter().copied().filter(|v| b.vars.contains(v)).collect();
+    let a_key: Vec<usize> = shared.iter().map(|&v| a.col(v).unwrap()).collect();
+    let b_key: Vec<usize> = shared.iter().map(|&v| b.col(v).unwrap()).collect();
+    let b_extra: Vec<usize> = (0..b.vars.len()).filter(|i| !b_key.contains(i)).collect();
+
+    let out_vars: Vec<Var> = a
+        .vars
+        .iter()
+        .copied()
+        .chain(b_extra.iter().map(|&i| b.vars[i]))
+        .collect();
+    let mut out = TupleBuffer::new(out_vars.len());
+
+    // Build on the smaller side... but output column layout is fixed as
+    // (a, b_extra); building on b keeps the probe loop over a.
+    let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for (i, row) in b.rows.rows().enumerate() {
+        let key: Vec<u32> = b_key.iter().map(|&k| row[k]).collect();
+        table.entry(key).or_default().push(i);
+    }
+    let mut row_buf = vec![0u32; out_vars.len()];
+    for arow in a.rows.rows() {
+        let key: Vec<u32> = a_key.iter().map(|&k| arow[k]).collect();
+        if let Some(matches) = table.get(&key) {
+            for &bi in matches {
+                let brow = b.rows.row(bi);
+                row_buf[..arow.len()].copy_from_slice(arow);
+                for (j, &col) in b_extra.iter().enumerate() {
+                    row_buf[arow.len() + j] = brow[col];
+                }
+                out.push(&row_buf);
+            }
+        }
+    }
+    Bindings { vars: out_vars, rows: out }
+}
+
+/// Project to the query's SELECT order and deduplicate.
+pub(crate) fn distinct_project(b: &Bindings, projection: &[Var]) -> TupleBuffer {
+    let cols: Vec<usize> = projection
+        .iter()
+        .map(|&v| b.col(v).expect("projection variable must be bound"))
+        .collect();
+    let mut out = b.rows.permute(&cols);
+    out.sort_dedup();
+    out
+}
+
+/// The index-nested-loop access paths a specialised-RDF-engine analogue
+/// must provide; [`greedy_inl_execute`] drives them with
+/// selectivity-ordered pairwise joins.
+pub(crate) trait InlBackend {
+    /// Exact matching-triple count for a pattern with optionally bound
+    /// subject/object (the engines' aggregate/clustered indexes make this
+    /// a range count).
+    fn pattern_count(&self, atom: &eh_query::Atom, s: Option<u32>, o: Option<u32>) -> usize;
+
+    /// Enumerate objects for a bound subject.
+    fn for_each_object(&self, atom: &eh_query::Atom, s: u32, f: &mut dyn FnMut(u32));
+
+    /// Enumerate subjects for a bound object.
+    fn for_each_subject(&self, atom: &eh_query::Atom, o: u32, f: &mut dyn FnMut(u32));
+
+    /// Exact-pair membership.
+    fn contains_pair(&self, atom: &eh_query::Atom, s: u32, o: u32) -> bool;
+
+    /// Full pattern scan with optional constants (used for the first
+    /// pattern and for cross products).
+    fn scan_pairs(&self, atom: &eh_query::Atom, s: Option<u32>, o: Option<u32>) -> Vec<(u32, u32)>;
+
+    /// Engine-specific pruning hook (TripleBit's semi-join candidate
+    /// sets): return false to drop a candidate binding of `var`.
+    fn candidate_ok(&self, _q: &ConjunctiveQuery, _var: Var, _value: u32) -> bool {
+        true
+    }
+
+    /// Average objects per subject (aggregate-index estimate; used by the
+    /// greedy ordering when a pattern's subject is bound by the current
+    /// intermediate rather than by a constant).
+    fn avg_fanout_subject(&self, atom: &eh_query::Atom) -> usize {
+        self.pattern_count(atom, None, None).max(1)
+    }
+
+    /// Average subjects per object.
+    fn avg_fanout_object(&self, atom: &eh_query::Atom) -> usize {
+        self.pattern_count(atom, None, None).max(1)
+    }
+}
+
+/// Selection constant of an atom position, if any (`Some(None)` denotes a
+/// constant missing from the dictionary — the result is empty).
+fn sel_of(q: &ConjunctiveQuery, v: Var) -> Option<Option<u32>> {
+    q.selection(v)
+}
+
+/// Greedy selectivity-ordered pairwise execution with index-nested-loop
+/// extension — the common skeleton of the RDF-3X and TripleBit analogues.
+pub(crate) fn greedy_inl_execute<B: InlBackend>(backend: &B, q: &ConjunctiveQuery) -> TupleBuffer {
+    let empty = || TupleBuffer::new(q.projection().len());
+    if q.has_missing_constant() {
+        return empty();
+    }
+
+    // Estimated cardinality of a pattern given current selections only.
+    let est = |atom: &eh_query::Atom| {
+        let s = sel_of(q, atom.vars[0]).map(|c| c.unwrap());
+        let o = sel_of(q, atom.vars[1]).map(|c| c.unwrap());
+        backend.pattern_count(atom, s, o)
+    };
+
+    let mut remaining: Vec<usize> = (0..q.atoms().len()).collect();
+    // Fully-constant patterns are existence checks.
+    remaining.retain(|&i| {
+        let a = &q.atoms()[i];
+        let s = sel_of(q, a.vars[0]);
+        let o = sel_of(q, a.vars[1]);
+        !(s.is_some() && o.is_some())
+    });
+    for a in q.atoms() {
+        let (s, o) = (sel_of(q, a.vars[0]), sel_of(q, a.vars[1]));
+        if let (Some(Some(s)), Some(Some(o))) = (s, o) {
+            if !backend.contains_pair(a, s, o) {
+                return empty();
+            }
+        }
+    }
+    if remaining.is_empty() {
+        // All atoms constant and satisfied; projection must be empty too
+        // (validated upstream), nothing to produce.
+        return empty();
+    }
+
+    // Start with the most selective pattern.
+    remaining.sort_by_key(|&i| est(&q.atoms()[i]));
+    let first = remaining.remove(0);
+    let mut cur = scan_to_bindings(backend, q, first);
+
+    while !remaining.is_empty() {
+        // Next: the cheapest pattern sharing a bound variable, else the
+        // cheapest overall (cross product). Cost of a shared pattern uses
+        // the aggregate-index fanout estimate (selectivity estimation à
+        // la RDF-3X / TripleBit): constants give exact range counts,
+        // bound variables an average-fanout guess.
+        let shares = |i: usize| {
+            q.atoms()[i].vars.iter().any(|&v| !q.is_selected(v) && cur.col(v).is_some())
+        };
+        let cost = |i: usize| {
+            let a = &q.atoms()[i];
+            let s_bound = !q.is_selected(a.vars[0]) && cur.col(a.vars[0]).is_some();
+            let o_bound = !q.is_selected(a.vars[1]) && cur.col(a.vars[1]).is_some();
+            match (s_bound, o_bound) {
+                (true, true) => 1, // pure filter
+                (true, false) => backend.avg_fanout_subject(a),
+                (false, true) => backend.avg_fanout_object(a),
+                (false, false) => est(a),
+            }
+        };
+        let pick = remaining
+            .iter()
+            .copied()
+            .filter(|&i| shares(i))
+            .min_by_key(|&i| cost(i))
+            .or_else(|| remaining.iter().copied().min_by_key(|&i| est(&q.atoms()[i])))
+            .unwrap();
+        remaining.retain(|&i| i != pick);
+        cur = if shares(pick) {
+            extend_inl(backend, q, &cur, pick)
+        } else {
+            hash_join(&cur, &scan_to_bindings(backend, q, pick))
+        };
+        if cur.rows.is_empty() && !cur.is_unit() {
+            return empty();
+        }
+    }
+    distinct_project(&cur, q.projection())
+}
+
+/// Scan one pattern into a binding table over its unselected variables.
+fn scan_to_bindings<B: InlBackend>(backend: &B, q: &ConjunctiveQuery, i: usize) -> Bindings {
+    let a = &q.atoms()[i];
+    let s_sel = sel_of(q, a.vars[0]).map(|c| c.unwrap());
+    let o_sel = sel_of(q, a.vars[1]).map(|c| c.unwrap());
+    let pairs = backend.scan_pairs(a, s_sel, o_sel);
+    let mut vars = Vec::new();
+    if s_sel.is_none() {
+        vars.push(a.vars[0]);
+    }
+    if o_sel.is_none() {
+        vars.push(a.vars[1]);
+    }
+    let mut rows = TupleBuffer::new(vars.len());
+    for (s, o) in pairs {
+        if !backend.candidate_ok(q, a.vars[0], s) || !backend.candidate_ok(q, a.vars[1], o) {
+            continue;
+        }
+        match (s_sel.is_none(), o_sel.is_none()) {
+            (true, true) => rows.push(&[s, o]),
+            (true, false) => rows.push(&[s]),
+            (false, true) => rows.push(&[o]),
+            (false, false) => unreachable!("fully-constant atoms handled upstream"),
+        }
+    }
+    Bindings { vars, rows }
+}
+
+/// Extend the current bindings with one pattern via index nested loops.
+fn extend_inl<B: InlBackend>(
+    backend: &B,
+    q: &ConjunctiveQuery,
+    cur: &Bindings,
+    i: usize,
+) -> Bindings {
+    let a = &q.atoms()[i];
+    let s_sel = sel_of(q, a.vars[0]).map(|c| c.unwrap());
+    let o_sel = sel_of(q, a.vars[1]).map(|c| c.unwrap());
+    let s_col = if s_sel.is_none() { cur.col(a.vars[0]) } else { None };
+    let o_col = if o_sel.is_none() { cur.col(a.vars[1]) } else { None };
+    let s_free = s_sel.is_none() && s_col.is_none();
+    let o_free = o_sel.is_none() && o_col.is_none();
+
+    let mut vars = cur.vars.clone();
+    if s_free {
+        vars.push(a.vars[0]);
+    }
+    if o_free {
+        vars.push(a.vars[1]);
+    }
+    let mut rows = TupleBuffer::new(vars.len());
+    let mut row_buf = vec![0u32; vars.len()];
+    for row in cur.rows.rows() {
+        row_buf[..row.len()].copy_from_slice(row);
+        let s_val = s_sel.or(s_col.map(|c| row[c]));
+        let o_val = o_sel.or(o_col.map(|c| row[c]));
+        match (s_val, o_val) {
+            (Some(s), Some(o)) => {
+                if backend.contains_pair(a, s, o) {
+                    rows.push(&row_buf[..row.len()]);
+                }
+            }
+            (Some(s), None) => backend.for_each_object(a, s, &mut |o| {
+                if backend.candidate_ok(q, a.vars[1], o) {
+                    row_buf[row.len()] = o;
+                    rows.push(&row_buf);
+                }
+            }),
+            (None, Some(o)) => backend.for_each_subject(a, o, &mut |s| {
+                if backend.candidate_ok(q, a.vars[0], s) {
+                    row_buf[row.len()] = s;
+                    rows.push(&row_buf);
+                }
+            }),
+            (None, None) => unreachable!("extend_inl requires a shared variable"),
+        }
+    }
+    Bindings { vars, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bindings(vars: Vec<Var>, rows: &[&[u32]]) -> Bindings {
+        let mut t = TupleBuffer::new(vars.len());
+        for r in rows {
+            t.push(r);
+        }
+        Bindings { vars, rows: t }
+    }
+
+    #[test]
+    fn hash_join_on_shared_var() {
+        let a = bindings(vec![0, 1], &[&[1, 10], &[2, 20]]);
+        let b = bindings(vec![1, 2], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let j = hash_join(&a, &b);
+        assert_eq!(j.vars, vec![0, 1, 2]);
+        let rows: Vec<&[u32]> = j.rows.rows().collect();
+        assert_eq!(rows, vec![&[1, 10, 100][..], &[1, 10, 101][..]]);
+    }
+
+    #[test]
+    fn hash_join_cross_product_when_disjoint() {
+        let a = bindings(vec![0], &[&[1], &[2]]);
+        let b = bindings(vec![1], &[&[7]]);
+        let j = hash_join(&a, &b);
+        assert_eq!(j.rows.len(), 2);
+    }
+
+    #[test]
+    fn unit_is_identity() {
+        let a = bindings(vec![0], &[&[5]]);
+        let j = hash_join(&Bindings::unit(), &a);
+        assert_eq!(j.rows.len(), 1);
+        assert!(Bindings::unit().is_unit());
+        assert_eq!(Bindings::unit().len(), 1);
+    }
+
+    #[test]
+    fn distinct_project_dedups_and_reorders() {
+        let b = bindings(vec![0, 1], &[&[1, 10], &[2, 10], &[1, 10]]);
+        let out = distinct_project(&b, &[1]);
+        assert_eq!(out.len(), 1);
+        let out2 = distinct_project(&b, &[1, 0]);
+        assert_eq!(out2.len(), 2);
+        assert_eq!(out2.row(0), &[10, 1]);
+    }
+}

@@ -1,0 +1,15 @@
+//! The engine interface shared by every baseline.
+
+use eh_query::ConjunctiveQuery;
+use eh_trie::TupleBuffer;
+
+/// A query engine producing distinct rows over the query's projection, in
+/// `SELECT` column order — the common currency the benchmark harness uses
+/// to check that all engines agree before timing them.
+pub trait QueryEngine {
+    /// Engine name as reported in harness output.
+    fn name(&self) -> &'static str;
+
+    /// Execute a conjunctive query, returning distinct projected rows.
+    fn execute(&self, q: &ConjunctiveQuery) -> TupleBuffer;
+}

@@ -1,0 +1,68 @@
+//! Criterion version of the Table I ablation: LUBM queries 1, 2, 4, 7,
+//! 8, 14 under each cumulative optimization configuration (+Layout,
+//! +Attribute, +GHD, +Pipelining), plus per-flag toggles for the design
+//! choices DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eh_lubm::queries::lubm_query;
+use eh_lubm::{generate_store, GeneratorConfig};
+use emptyheaded::{Engine, OptFlags};
+
+const QUERIES: [u32; 6] = [1, 2, 4, 7, 8, 14];
+const LABELS: [&str; 5] = ["base", "+layout", "+attribute", "+ghd", "+pipelining"];
+
+fn bench_cumulative(c: &mut Criterion) {
+    let store = generate_store(&GeneratorConfig::scale(1));
+    let mut g = c.benchmark_group("table1_cumulative");
+    g.sample_size(15);
+    for qn in QUERIES {
+        let q = lubm_query(qn, &store).expect("workload query");
+        for (k, label) in LABELS.iter().enumerate() {
+            let engine = Engine::new(&store, OptFlags::cumulative(k));
+            let plan = engine.plan(&q).expect("plannable");
+            engine.warm(&q).expect("warm");
+            g.bench_with_input(BenchmarkId::new(*label, qn), &qn, |b, _| {
+                b.iter(|| black_box(engine.run_plan(&q, &plan).cardinality()))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_single_flag(c: &mut Criterion) {
+    // Isolate each optimization against the all-on configuration (leave-
+    // one-out), the dual view of the paper's cumulative columns.
+    let store = generate_store(&GeneratorConfig::scale(1));
+    let mut g = c.benchmark_group("table1_leave_one_out");
+    g.sample_size(15);
+    let variants: [(&str, OptFlags); 5] = [
+        ("all", OptFlags::all()),
+        ("no_layout", OptFlags { layouts: false, ..OptFlags::all() }),
+        ("no_attribute", OptFlags { attr_reorder: false, ..OptFlags::all() }),
+        ("no_ghd", OptFlags { ghd_pushdown: false, ..OptFlags::all() }),
+        ("no_pipelining", OptFlags { pipelining: false, ..OptFlags::all() }),
+    ];
+    for qn in [4u32, 8, 14] {
+        let q = lubm_query(qn, &store).expect("workload query");
+        for (label, flags) in variants {
+            let engine = Engine::new(&store, flags);
+            let plan = engine.plan(&q).expect("plannable");
+            engine.warm(&q).expect("warm");
+            g.bench_with_input(BenchmarkId::new(label, qn), &qn, |b, _| {
+                b.iter(|| black_box(engine.run_plan(&q, &plan).cardinality()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(12);
+    targets = bench_cumulative, bench_single_flag);
+criterion_main!(benches);

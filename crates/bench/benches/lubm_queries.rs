@@ -1,0 +1,48 @@
+//! Criterion version of the Table II comparison: every LUBM workload
+//! query on every engine, at LUBM(1). The `table2` binary produces the
+//! paper-formatted table at larger scales; this bench gives
+//! statistically robust per-query numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eh_baselines::{LogicBloxStyle, MonetDbStyle, QueryEngine, Rdf3xStyle, TripleBitStyle};
+use eh_lubm::queries::{lubm_query, QUERY_NUMBERS};
+use eh_lubm::{generate_store, GeneratorConfig};
+use emptyheaded::{Engine, OptFlags};
+
+fn bench_lubm(c: &mut Criterion) {
+    let store = generate_store(&GeneratorConfig::scale(1));
+    let eh = Engine::new(&store, OptFlags::all());
+    let triplebit = TripleBitStyle::new(&store);
+    let rdf3x = Rdf3xStyle::new(&store);
+    let monetdb = MonetDbStyle::new(&store);
+    let logicblox = LogicBloxStyle::new(&store);
+
+    let mut g = c.benchmark_group("lubm");
+    g.sample_size(15);
+    for qn in QUERY_NUMBERS {
+        let q = lubm_query(qn, &store).expect("workload query");
+        let plan = eh.plan(&q).expect("plannable");
+        eh.warm(&q).expect("warm");
+        g.bench_with_input(BenchmarkId::new("emptyheaded", qn), &qn, |b, _| {
+            b.iter(|| black_box(eh.run_plan(&q, &plan).cardinality()))
+        });
+        let engines: [&dyn QueryEngine; 4] = [&triplebit, &rdf3x, &monetdb, &logicblox];
+        for engine in engines {
+            g.bench_with_input(BenchmarkId::new(engine.name(), qn), &qn, |b, _| {
+                b.iter(|| black_box(engine.execute(&q).len()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(12);
+    targets = bench_lubm);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Microbenchmarks for the set-layout kernels (paper §II-A2 / §III-A):
+//! intersection across layout pairs and densities, membership probes, and
+//! a density-threshold ablation around the paper's 1/256 heuristic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eh_setops::{Layout, Set};
+
+/// Deterministic pseudo-random sorted set of `n` values with the given
+/// stride range (larger stride = sparser set).
+fn synth_set(n: usize, max_stride: u32, seed: u64) -> Vec<u32> {
+    let mut state = seed | 1;
+    let mut v = 0u32;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        v = v.wrapping_add(1 + ((state >> 33) as u32 % max_stride));
+        out.push(v);
+    }
+    out
+}
+
+fn bench_intersections(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intersect");
+    for (label, stride) in [("dense", 2u32), ("sparse", 512u32)] {
+        let a_vals = synth_set(10_000, stride, 7);
+        let b_vals = synth_set(10_000, stride, 13);
+        for (la, lb) in [
+            (Layout::UintArray, Layout::UintArray),
+            (Layout::Bitset, Layout::Bitset),
+            (Layout::UintArray, Layout::Bitset),
+        ] {
+            let a = Set::from_sorted_with(&a_vals, la);
+            let b = Set::from_sorted_with(&b_vals, lb);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{la}x{lb}"), label),
+                &(&a, &b),
+                |bench, (a, b)| bench.iter(|| black_box(a.intersect_count(b))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_skewed_gallop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skewed");
+    let large = synth_set(1_000_000, 4, 3);
+    let small = synth_set(100, 40_000, 11);
+    let lu = Set::from_sorted_with(&large, Layout::UintArray);
+    let su = Set::from_sorted_with(&small, Layout::UintArray);
+    g.bench_function("gallop_100_in_1M", |b| b.iter(|| black_box(su.intersect_count(&lu))));
+    let lb = Set::from_sorted_with(&large, Layout::Bitset);
+    g.bench_function("probe_100_in_1M_bitset", |b| b.iter(|| black_box(su.intersect_count(&lb))));
+    g.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    // The §III-A selection probe: O(1) bitset vs O(log n) binary search.
+    let vals = synth_set(100_000, 3, 5);
+    let probes = synth_set(1_000, 300, 17);
+    let mut g = c.benchmark_group("contains");
+    for layout in [Layout::UintArray, Layout::Bitset] {
+        let s = Set::from_sorted_with(&vals, layout);
+        g.bench_function(format!("{layout}"), |b| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for &p in &probes {
+                    hits += u32::from(s.contains(p));
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_density_threshold(c: &mut Criterion) {
+    // Ablation: intersection cost as density crosses the paper's 1/256
+    // bitset threshold.
+    let mut g = c.benchmark_group("density_threshold");
+    for stride in [16u32, 64, 256, 1024] {
+        let a_vals = synth_set(20_000, stride, 7);
+        let b_vals = synth_set(20_000, stride, 13);
+        let auto_a = Set::from_sorted(&a_vals);
+        let auto_b = Set::from_sorted(&b_vals);
+        let uint_a = Set::from_sorted_with(&a_vals, Layout::UintArray);
+        let uint_b = Set::from_sorted_with(&b_vals, Layout::UintArray);
+        g.bench_with_input(BenchmarkId::new("auto", stride), &stride, |bench, _| {
+            bench.iter(|| black_box(auto_a.intersect_count(&auto_b)))
+        });
+        g.bench_with_input(BenchmarkId::new("uint_only", stride), &stride, |bench, _| {
+            bench.iter(|| black_box(uint_a.intersect_count(&uint_b)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(12);
+    targets =
+    bench_intersections,
+    bench_skewed_gallop,
+    bench_membership,
+    bench_density_threshold
+);
+criterion_main!(benches);

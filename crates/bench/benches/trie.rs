@@ -1,0 +1,60 @@
+//! Microbenchmarks for trie construction and probing (paper §II-A):
+//! build cost per layout policy and order, and the §III-A covering-index
+//! probe pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use eh_lubm::{generate_store, pred_iri, GeneratorConfig, Predicate};
+use eh_trie::{LayoutPolicy, Trie, TupleBuffer};
+
+fn bench_trie_build(c: &mut Criterion) {
+    let store = generate_store(&GeneratorConfig::scale(1));
+    let takes = store.table_by_name(&pred_iri(Predicate::TakesCourse)).expect("table");
+    let mut g = c.benchmark_group("trie_build");
+    g.sample_size(20);
+    for (label, policy) in [("auto", LayoutPolicy::Auto), ("uint_only", LayoutPolicy::UintOnly)] {
+        g.bench_with_input(BenchmarkId::new("takesCourse_so", label), &policy, |b, &policy| {
+            b.iter(|| {
+                let t = Trie::from_sorted(TupleBuffer::from_pairs(takes.so_pairs()), policy);
+                black_box(t.num_tuples())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("takesCourse_os", label), &policy, |b, &policy| {
+            b.iter(|| {
+                let t = Trie::from_sorted(TupleBuffer::from_pairs(takes.os_pairs()), policy);
+                black_box(t.num_tuples())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trie_probe(c: &mut Criterion) {
+    let store = generate_store(&GeneratorConfig::scale(1));
+    let takes = store.table_by_name(&pred_iri(Predicate::TakesCourse)).expect("table");
+    let subjects: Vec<u32> = takes.so_pairs().iter().map(|&(s, _)| s).step_by(37).collect();
+    let mut g = c.benchmark_group("trie_probe");
+    for (label, policy) in [("auto", LayoutPolicy::Auto), ("uint_only", LayoutPolicy::UintOnly)] {
+        let trie = Trie::from_sorted(TupleBuffer::from_pairs(takes.so_pairs()), policy);
+        g.bench_function(format!("contains_prefix/{label}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &s in &subjects {
+                    hits += usize::from(trie.contains_prefix(&[s]));
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(12);
+    targets = bench_trie_build, bench_trie_probe);
+criterion_main!(benches);

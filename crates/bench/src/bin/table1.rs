@@ -1,0 +1,84 @@
+//! Regenerates **Table I** of Aberger et al. (ICDE 2016): the relative
+//! speedup of each classic optimization on LUBM queries 1, 2, 4, 7, 8, 14.
+//!
+//! The paper accumulates optimizations left to right — `+Layout` compares
+//! mixed set layouts against uint-arrays-only, `+Attribute` adds
+//! within-node selection reordering, `+GHD` adds across-node selection
+//! pushdown, `+Pipelining` adds root streaming — each cell reporting the
+//! speedup over the previous column's configuration. "-" marks
+//! optimizations that leave the physical plan unchanged (the paper: "the
+//! optimization has no effect on the given query").
+//!
+//! ```text
+//! cargo run --release -p eh-bench --bin table1 -- --universities 10
+//! ```
+
+use eh_bench::{measure, HarnessArgs, TablePrinter};
+use eh_lubm::queries::lubm_query;
+use eh_lubm::{generate_store, GeneratorConfig};
+use emptyheaded::{Engine, OptFlags};
+
+/// The queries Table I reports.
+const QUERIES: [u32; 6] = [1, 2, 4, 7, 8, 14];
+const STEPS: [&str; 4] = ["+Layout", "+Attribute", "+GHD", "+Pipelining"];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let cfg = GeneratorConfig::scale(args.universities).with_seed(args.seed);
+    eprintln!("generating LUBM({}) ...", args.universities);
+    let store = generate_store(&cfg);
+    let stats = store.stats();
+    println!(
+        "Table I reproduction — LUBM({}) = {} triples, {} runs averaged (best/worst dropped)",
+        args.universities, stats.triples, args.runs
+    );
+
+    let mut table = TablePrinter::new(&["Query", "+Layout", "+Attribute", "+GHD", "+Pipelining"]);
+    for qn in QUERIES {
+        let q = lubm_query(qn, &store).expect("workload query");
+        // Time each cumulative configuration; planning (query compilation)
+        // is excluded per the paper's methodology.
+        let mut times = Vec::new();
+        let mut cards = Vec::new();
+        let mut plans = Vec::new();
+        for k in 0..=4 {
+            let engine = Engine::new(&store, OptFlags::cumulative(k));
+            let plan = engine.plan(&q).expect("plannable");
+            engine.warm(&q).expect("warm");
+            let mut card = 0;
+            let t = measure(args.runs, || {
+                card = engine.run_plan(&q, &plan).cardinality();
+            });
+            times.push(t);
+            cards.push(card);
+            plans.push(plan);
+        }
+        assert!(
+            cards.windows(2).all(|w| w[0] == w[1]),
+            "Q{qn}: configurations disagree: {cards:?}"
+        );
+        let mut cells = vec![format!("Q{qn}")];
+        for k in 0..4 {
+            // "-" when the optimization did not change the physical plan.
+            let unchanged = plans[k].global_order == plans[k + 1].global_order
+                && plans[k].ghd == plans[k + 1].ghd
+                && plans[k].pipelined == plans[k + 1].pipelined
+                && STEPS[k] != "+Layout"; // layouts change data, not the plan
+            if unchanged {
+                cells.push("-".to_string());
+            } else {
+                let f = times[k].as_secs_f64() / times[k + 1].as_secs_f64();
+                cells.push(format!("{f:.2}x"));
+            }
+        }
+        table.row(&cells);
+        eprintln!(
+            "Q{qn}: {} tuples; none={}ms all={}ms",
+            cards[0],
+            times[0].as_secs_f64() * 1e3,
+            times[4].as_secs_f64() * 1e3
+        );
+    }
+    println!("{}", table.render());
+    println!("(cell k = runtime of configuration k-1 divided by configuration k; cumulative left to right)");
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Table II** of Aberger et al. (ICDE 2016): runtime of the
+//! best-performing engine (milliseconds) and the relative runtime of each
+//! engine on the 12-query LUBM workload.
+//!
+//! Engines: EmptyHeaded (this repo's WCOJ engine, all optimizations), and
+//! the four simulated comparators of `eh-baselines` (TripleBit-, RDF-3X-,
+//! MonetDB-, LogicBlox-style). Before timing, the harness verifies all
+//! five produce identical result sets.
+//!
+//! ```text
+//! cargo run --release -p eh-bench --bin table2 -- --universities 10
+//! ```
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use eh_baselines::{LogicBloxStyle, MonetDbStyle, QueryEngine, Rdf3xStyle, TripleBitStyle};
+use eh_bench::{fmt_ms, fmt_rel, measure, HarnessArgs, TablePrinter};
+use eh_lubm::queries::{lubm_query, QUERY_NUMBERS};
+use eh_lubm::{generate_store, GeneratorConfig};
+use emptyheaded::{Engine, OptFlags};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let cfg = GeneratorConfig::scale(args.universities).with_seed(args.seed);
+    eprintln!("generating LUBM({}) ...", args.universities);
+    let store = generate_store(&cfg);
+    let stats = store.stats();
+    println!(
+        "Table II reproduction — LUBM({}) = {} triples, {} runs averaged (best/worst dropped)",
+        args.universities, stats.triples, args.runs
+    );
+
+    eprintln!("building engines (load time, excluded from query timing) ...");
+    let eh = Engine::new(&store, OptFlags::all());
+    let triplebit = TripleBitStyle::new(&store);
+    let rdf3x = Rdf3xStyle::new(&store);
+    let monetdb = MonetDbStyle::new(&store);
+    let logicblox = LogicBloxStyle::new(&store);
+
+    let mut table =
+        TablePrinter::new(&["Query", "Best(ms)", "EH", "TripleBit", "RDF-3X", "MonetDB", "LogicBlox"]);
+    for qn in QUERY_NUMBERS {
+        let q = lubm_query(qn, &store).expect("workload query");
+
+        // Correctness gate: every engine must agree before we time it.
+        let plan = eh.plan(&q).expect("plannable");
+        eh.warm(&q).expect("warm");
+        let reference: BTreeSet<Vec<u32>> =
+            eh.run_plan(&q, &plan).iter().map(|r| r.to_vec()).collect();
+        let card = reference.len();
+        let baselines: [&dyn QueryEngine; 4] = [&triplebit, &rdf3x, &monetdb, &logicblox];
+        for engine in baselines {
+            let got: BTreeSet<Vec<u32>> = engine.execute(&q).rows().map(|r| r.to_vec()).collect();
+            assert_eq!(got, reference, "Q{qn}: {} disagrees with EmptyHeaded", engine.name());
+        }
+
+        // Timing. Planning (compilation) is excluded for the WCOJ engines
+        // per the paper; the pairwise engines plan greedily inline.
+        let t_eh = measure(args.runs, || {
+            let _ = eh.run_plan(&q, &plan);
+        });
+        let time_of = |engine: &dyn QueryEngine| {
+            measure(args.runs, || {
+                let _ = engine.execute(&q);
+            })
+        };
+        let t_tb = time_of(&triplebit);
+        let t_3x = time_of(&rdf3x);
+        let t_mdb = time_of(&monetdb);
+        let t_lb = time_of(&logicblox);
+
+        let best: Duration = [t_eh, t_tb, t_3x, t_mdb, t_lb].into_iter().min().unwrap();
+        table.row(&[
+            format!("Q{qn}"),
+            fmt_ms(best),
+            fmt_rel(t_eh, best),
+            fmt_rel(t_tb, best),
+            fmt_rel(t_3x, best),
+            fmt_rel(t_mdb, best),
+            fmt_rel(t_lb, best),
+        ]);
+        eprintln!("Q{qn}: {card} tuples verified across all engines");
+    }
+    println!("{}", table.render());
+    println!("(1.00x marks the best engine per query; runtime in ms for the best engine)");
+}

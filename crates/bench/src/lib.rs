@@ -1,0 +1,182 @@
+//! # eh-bench
+//!
+//! The benchmark harness that regenerates every table and figure of
+//! Aberger et al. (ICDE 2016):
+//!
+//! | Artefact | Binary | What it reproduces |
+//! |---|---|---|
+//! | Table I | `table1` | relative speedup of +Layout / +Attribute / +GHD / +Pipelining on LUBM queries 1, 2, 4, 7, 8, 14 |
+//! | Table II | `table2` | runtimes of EmptyHeaded vs the four simulated engines on the 12-query LUBM workload |
+//! | Figure 1 | `figure1` | vertically partitioned relation → dictionary encoding → trie |
+//! | Figure 2 | `figure2` | the GHD chosen for LUBM query 2 (fhw 3/2) |
+//! | Figure 3 | `figure3` | the across-node GHD transformation of LUBM query 4 |
+//!
+//! Criterion micro/ablation benches live under `benches/`.
+//!
+//! Timing follows the paper's methodology (§IV-A4): each query runs seven
+//! times, the best and worst runs are discarded, and the remaining five
+//! are averaged. Query compilation (planning) is excluded for the
+//! worst-case optimal engines, as the paper excludes EmptyHeaded's
+//! compilation time.
+
+use std::time::{Duration, Instant};
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// LUBM scale (number of universities).
+    pub universities: u32,
+    /// Total timed runs per measurement (best and worst are dropped).
+    pub runs: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { universities: 5, runs: 7, seed: 42 }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse `--universities N`, `--runs K`, `--seed S` from argv;
+    /// unknown arguments abort with a usage message.
+    pub fn from_env() -> HarnessArgs {
+        let mut args = HarnessArgs::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let value = |i: usize| {
+                argv.get(i + 1)
+                    .unwrap_or_else(|| panic!("missing value after {}", argv[i]))
+                    .parse::<u64>()
+                    .unwrap_or_else(|e| panic!("bad value after {}: {e}", argv[i]))
+            };
+            match argv[i].as_str() {
+                "--universities" | "-u" => {
+                    args.universities = value(i) as u32;
+                    i += 2;
+                }
+                "--runs" | "-r" => {
+                    args.runs = value(i) as usize;
+                    i += 2;
+                }
+                "--seed" | "-s" => {
+                    args.seed = value(i);
+                    i += 2;
+                }
+                other => {
+                    eprintln!("unknown argument {other}; expected --universities N, --runs K, --seed S");
+                    std::process::exit(2);
+                }
+            }
+        }
+        assert!(args.runs >= 3, "need at least 3 runs to drop best and worst");
+        args
+    }
+}
+
+/// Paper §IV-A4 timing: run `f` `runs` times, drop the best and worst
+/// wall-clock times, and average the rest.
+pub fn measure(runs: usize, mut f: impl FnMut()) -> Duration {
+    assert!(runs >= 3);
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    let kept = &times[1..times.len() - 1];
+    kept.iter().sum::<Duration>() / kept.len() as u32
+}
+
+/// Milliseconds with three decimals, for table cells.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// A relative-runtime cell: `1.00x` marks the best engine.
+pub fn fmt_rel(d: Duration, best: Duration) -> String {
+    format!("{:.2}x", d.as_secs_f64() / best.as_secs_f64())
+}
+
+/// Fixed-width table printer for harness output.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// Start a table with a header row.
+    pub fn new(header: &[&str]) -> TablePrinter {
+        let mut t = TablePrinter { widths: header.iter().map(|h| h.len()).collect(), rows: vec![] };
+        t.row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        t
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.widths.len(), "row arity mismatch");
+        for (w, c) in self.widths.iter_mut().zip(cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with two-space column gaps; header separated by dashes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&self.widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(line.join("  ").trim_end());
+            out.push('\n');
+            if i == 0 {
+                let total: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_drops_extremes() {
+        let mut calls = 0;
+        let d = measure(5, || calls += 1);
+        assert_eq!(calls, 5);
+        assert!(d.as_nanos() < 10_000_000);
+    }
+
+    #[test]
+    fn table_printer_aligns() {
+        let mut t = TablePrinter::new(&["Query", "Best"]);
+        t.row(&["Q1".to_string(), "4.00".to_string()]);
+        let s = t.render();
+        assert!(s.contains("Query  Best"), "{s}");
+        assert!(s.contains("Q1     4.00"), "{s}");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.500");
+        assert_eq!(fmt_rel(Duration::from_millis(3), Duration::from_millis(2)), "1.50x");
+    }
+
+    #[test]
+    fn default_args() {
+        let a = HarnessArgs::default();
+        assert_eq!(a.universities, 5);
+        assert_eq!(a.runs, 7);
+    }
+}

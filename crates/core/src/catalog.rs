@@ -1,0 +1,142 @@
+//! The trie catalog: loads vertically partitioned predicate tables as
+//! tries in the orders the plan needs, with caching.
+//!
+//! A trie over one attribute order is "analogous to a single index in a
+//! standard database" (paper §III-A); the catalog is therefore the
+//! engine's index manager. Binary RDF atoms need at most two orders per
+//! predicate — subject-major (`[s, o]`) and object-major (`[o, s]`) — and
+//! both sort orders are already materialised in the store's
+//! [`PairTable`](eh_rdf::PairTable)s, so trie construction skips sorting.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use eh_query::Atom;
+use eh_rdf::TripleStore;
+use eh_trie::{LayoutPolicy, Trie, TupleBuffer};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TrieKey {
+    pred: u32,
+    subject_first: bool,
+    auto_layout: bool,
+}
+
+/// Trie provider over a [`TripleStore`].
+pub struct Catalog<'s> {
+    store: &'s TripleStore,
+    cache: RefCell<HashMap<TrieKey, Rc<Trie>>>,
+    empty: Rc<Trie>,
+}
+
+impl<'s> Catalog<'s> {
+    /// A catalog over `store`.
+    pub fn new(store: &'s TripleStore) -> Catalog<'s> {
+        Catalog {
+            store,
+            cache: RefCell::new(HashMap::new()),
+            empty: Rc::new(Trie::build(TupleBuffer::new(2), LayoutPolicy::Auto)),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &'s TripleStore {
+        self.store
+    }
+
+    /// The trie for `atom`'s predicate table in the given column order.
+    /// Predicates absent from the store resolve to a shared empty trie.
+    pub fn trie(&self, atom: &Atom, subject_first: bool, auto_layout: bool) -> Rc<Trie> {
+        let Some(table) = self.store.table_by_name(&atom.relation) else {
+            return Rc::clone(&self.empty);
+        };
+        let key = TrieKey { pred: table.pred(), subject_first, auto_layout };
+        if let Some(t) = self.cache.borrow().get(&key) {
+            return Rc::clone(t);
+        }
+        let pairs = if subject_first { table.so_pairs() } else { table.os_pairs() };
+        let policy = if auto_layout { LayoutPolicy::Auto } else { LayoutPolicy::UintOnly };
+        let trie = Rc::new(Trie::from_sorted(TupleBuffer::from_pairs(pairs), policy));
+        self.cache.borrow_mut().insert(key, Rc::clone(&trie));
+        trie
+    }
+
+    /// Cardinality of an atom's predicate table (0 when absent).
+    pub fn cardinality(&self, atom: &Atom) -> usize {
+        self.store.table_by_name(&atom.relation).map_or(0, |t| t.len())
+    }
+
+    /// Number of distinct tries currently cached (diagnostics).
+    pub fn cached_tries(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_query::QueryBuilder;
+    use eh_rdf::{Term, Triple};
+
+    fn store() -> TripleStore {
+        TripleStore::from_triples(vec![
+            Triple::new(Term::iri("s1"), Term::iri("p"), Term::iri("o1")),
+            Triple::new(Term::iri("s1"), Term::iri("p"), Term::iri("o2")),
+            Triple::new(Term::iri("s2"), Term::iri("p"), Term::iri("o1")),
+        ])
+    }
+
+    fn atom_for(store: &TripleStore, rel: &str) -> Atom {
+        let mut qb = QueryBuilder::new();
+        let (x, y) = (qb.var("x"), qb.var("y"));
+        let pred = store.resolve_iri(rel).unwrap_or(u32::MAX);
+        qb.atom(rel, pred, x, y);
+        qb.select(vec![x]).build().unwrap().atoms()[0].clone()
+    }
+
+    #[test]
+    fn loads_both_orders() {
+        let s = store();
+        let c = Catalog::new(&s);
+        let a = atom_for(&s, "p");
+        let so = c.trie(&a, true, true);
+        let os = c.trie(&a, false, true);
+        assert_eq!(so.num_tuples(), 3);
+        assert_eq!(os.num_tuples(), 3);
+        // Subject-major roots on subjects (2 of them), object-major on
+        // objects (2 of them).
+        assert_eq!(so.root_set().len(), 2);
+        assert_eq!(os.root_set().len(), 2);
+    }
+
+    #[test]
+    fn cache_hits() {
+        let s = store();
+        let c = Catalog::new(&s);
+        let a = atom_for(&s, "p");
+        let t1 = c.trie(&a, true, true);
+        let t2 = c.trie(&a, true, true);
+        assert!(Rc::ptr_eq(&t1, &t2));
+        assert_eq!(c.cached_tries(), 1);
+        let _ = c.trie(&a, false, true);
+        let _ = c.trie(&a, true, false);
+        assert_eq!(c.cached_tries(), 3);
+    }
+
+    #[test]
+    fn missing_predicate_is_empty() {
+        let s = store();
+        let c = Catalog::new(&s);
+        let a = atom_for(&s, "absent");
+        assert!(c.trie(&a, true, true).is_empty());
+        assert_eq!(c.cardinality(&a), 0);
+    }
+
+    #[test]
+    fn cardinality() {
+        let s = store();
+        let c = Catalog::new(&s);
+        assert_eq!(c.cardinality(&atom_for(&s, "p")), 3);
+    }
+}

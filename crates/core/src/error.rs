@@ -1,0 +1,53 @@
+//! Engine errors.
+
+use std::fmt;
+
+use eh_query::{QueryError, SparqlError};
+
+/// Errors from planning or running a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The SPARQL text failed to parse.
+    Sparql(SparqlError),
+    /// The query IR failed validation.
+    Query(QueryError),
+    /// The query projects no variables (boolean queries are unsupported).
+    EmptyProjection,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sparql(e) => write!(f, "{e}"),
+            EngineError::Query(e) => write!(f, "{e}"),
+            EngineError::EmptyProjection => write!(f, "query projects no variables"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SparqlError> for EngineError {
+    fn from(e: SparqlError) -> Self {
+        EngineError::Sparql(e)
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forwards() {
+        let e = EngineError::EmptyProjection;
+        assert!(e.to_string().contains("projects no variables"));
+        let s: EngineError = SparqlError::VariablePredicate.into();
+        assert!(s.to_string().contains("unsupported"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Plan execution: the generic worst-case optimal join (paper Algorithm
+//! 1) and the two-pass GHD driver (§II-C).
+
+mod generic;
+mod run;
+
+pub(crate) use run::execute_plan;

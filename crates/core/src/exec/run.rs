@@ -1,0 +1,410 @@
+//! The two-pass GHD driver (paper §II-C): bottom-up Generic-Join per node
+//! with children's intermediates joining as extra relations, then a final
+//! materialisation pass — streamed from the root when the plan is
+//! pipelined (§III-C), otherwise a join over the per-node results
+//! (Yannakakis-style message passing).
+
+use std::rc::Rc;
+
+use eh_query::{ConjunctiveQuery, Var};
+use eh_trie::{LayoutPolicy, Trie, TupleBuffer};
+
+use crate::catalog::Catalog;
+use crate::exec::generic::{run_join, JoinSpec, PreparedRel};
+use crate::plan::Plan;
+use crate::result::QueryResult;
+
+/// A materialised per-node result.
+struct NodeResult {
+    /// Output variables in processing order (columns of `tuples`).
+    attrs: Vec<Var>,
+    tuples: TupleBuffer,
+    /// For zero-attribute nodes: whether the node join was non-empty.
+    satisfiable: bool,
+}
+
+impl NodeResult {
+    fn is_empty_relation(&self) -> bool {
+        if self.attrs.is_empty() {
+            !self.satisfiable
+        } else {
+            self.tuples.is_empty()
+        }
+    }
+}
+
+fn layout_policy(auto: bool) -> LayoutPolicy {
+    if auto {
+        LayoutPolicy::Auto
+    } else {
+        LayoutPolicy::UintOnly
+    }
+}
+
+/// Execute `plan` for `q`, materialising the projection.
+pub(crate) fn execute_plan(
+    catalog: &Catalog<'_>,
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    auto_layout: bool,
+) -> QueryResult {
+    let columns: Vec<String> = q.projection().iter().map(|&v| q.var_name(v).to_string()).collect();
+    if q.has_missing_constant() {
+        return QueryResult::empty(columns);
+    }
+
+    // Single-node plans emit straight into the final buffer: there are no
+    // intermediates to materialise.
+    if plan.ghd.num_nodes() == 1 {
+        let spec = node_spec(catalog, q, plan, plan.ghd.root, Vec::new(), auto_layout);
+        let node = &plan.nodes[plan.ghd.root];
+        let proj_positions: Vec<usize> = q
+            .projection()
+            .iter()
+            .map(|v| node.vars.iter().position(|w| w == v).expect("projection var in single node"))
+            .collect();
+        let out = collect_rows(&spec, &proj_positions);
+        return QueryResult::new(columns, out);
+    }
+
+    // Bottom-up pass over non-root nodes (post-order ends at the root).
+    let mut results: Vec<Option<NodeResult>> = (0..plan.ghd.num_nodes()).map(|_| None).collect();
+    for t in plan.ghd.post_order() {
+        if t == plan.ghd.root {
+            break;
+        }
+        match run_node(catalog, q, plan, t, &results, auto_layout) {
+            Some(r) => results[t] = Some(r),
+            None => return QueryResult::empty(columns),
+        }
+    }
+
+    if plan.pipelined {
+        // §III-C: stream the root join directly into the final result.
+        let out = run_pipelined(catalog, q, plan, &results, auto_layout);
+        return QueryResult::new(columns, out);
+    }
+
+    // Materialise the root like any other node, then join all node
+    // results (the top-down message-passing pass).
+    match run_node(catalog, q, plan, plan.ghd.root, &results, auto_layout) {
+        Some(r) => results[plan.ghd.root] = Some(r),
+        None => return QueryResult::empty(columns),
+    }
+    QueryResult::new(columns, final_join(q, plan, &results, auto_layout))
+}
+
+/// Run one node's generic join, materialising its output columns.
+/// Returns `None` when the node (or one of its children) is empty, which
+/// empties the whole query.
+fn run_node(
+    catalog: &Catalog<'_>,
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    t: usize,
+    results: &[Option<NodeResult>],
+    auto_layout: bool,
+) -> Option<NodeResult> {
+    let children = children_rels(plan, t, results, auto_layout)?;
+    let spec = node_spec(catalog, q, plan, t, children, auto_layout);
+    let node = &plan.nodes[t];
+    let out_positions: Vec<usize> =
+        node.output.iter().map(|v| node.vars.iter().position(|w| w == v).unwrap()).collect();
+    let mut tuples = TupleBuffer::new(node.output.len());
+    let mut row = vec![0u32; node.output.len()];
+    let mut satisfiable = false;
+    run_join(&spec, &mut |binding| {
+        satisfiable = true;
+        if !row.is_empty() {
+            for (j, &p) in out_positions.iter().enumerate() {
+                row[j] = binding[p];
+            }
+            tuples.push(&row);
+        }
+    });
+    let result = NodeResult { attrs: node.output.clone(), tuples, satisfiable };
+    if result.is_empty_relation() {
+        None
+    } else {
+        Some(result)
+    }
+}
+
+/// Build the JoinSpec for a node: its λ atoms plus prepared child
+/// intermediates.
+fn node_spec(
+    catalog: &Catalog<'_>,
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    t: usize,
+    mut extra: Vec<PreparedRel>,
+    auto_layout: bool,
+) -> JoinSpec {
+    let node = &plan.nodes[t];
+    let depth_of = |v: Var| node.vars.iter().position(|&w| w == v).unwrap();
+    let mut rels: Vec<PreparedRel> = node
+        .atoms
+        .iter()
+        .map(|ap| {
+            let trie = catalog.trie(&q.atoms()[ap.atom_index], ap.subject_first, auto_layout);
+            PreparedRel { trie, depths: ap.attrs.iter().map(|&v| depth_of(v)).collect() }
+        })
+        .collect();
+    rels.append(&mut extra);
+    let sel: Vec<Option<u32>> = node
+        .vars
+        .iter()
+        .map(|&v| q.selection(v).map(|c| c.expect("missing constants short-circuit earlier")))
+        .collect();
+    let emit_depth = node.output.iter().map(|v| depth_of(*v) + 1).max().unwrap_or(0);
+    JoinSpec { num_vars: node.vars.len(), sel, emit_depth, rels }
+}
+
+/// Prepared relations for a node's child intermediates: each child result
+/// projected onto the variables shared with this node. Returns `None`
+/// when a child result is empty (the whole query is then empty).
+fn children_rels(
+    plan: &Plan,
+    t: usize,
+    results: &[Option<NodeResult>],
+    auto_layout: bool,
+) -> Option<Vec<PreparedRel>> {
+    let node = &plan.nodes[t];
+    let depth_of = |v: Var| node.vars.iter().position(|&w| w == v).unwrap();
+    let mut rels = Vec::new();
+    for &c in &plan.ghd.children[t] {
+        let child = results[c].as_ref().expect("post-order visits children first");
+        if child.is_empty_relation() {
+            return None;
+        }
+        let shared = &plan.nodes[c].shared_with_parent;
+        if shared.is_empty() {
+            continue; // cross product: no constraint to contribute
+        }
+        let depths: Vec<usize> = shared.iter().map(|&v| depth_of(v)).collect();
+        // If the shared variables are a prefix of the child's output
+        // order, the full child trie participates with truncated depths
+        // (its suffix levels are simply never descended); otherwise
+        // materialise the projection.
+        let is_prefix = child.attrs.starts_with(shared);
+        let tuples =
+            if is_prefix {
+                child.tuples.clone()
+            } else {
+                let cols: Vec<usize> = shared
+                    .iter()
+                    .map(|v| child.attrs.iter().position(|w| w == v).unwrap())
+                    .collect();
+                child.tuples.permute(&cols)
+            };
+        let trie = Rc::new(Trie::build(tuples, layout_policy(auto_layout)));
+        rels.push(PreparedRel { trie, depths });
+    }
+    Some(rels)
+}
+
+/// Run a join and collect `binding[positions]` rows, deduplicated.
+fn collect_rows(spec: &JoinSpec, positions: &[usize]) -> TupleBuffer {
+    debug_assert!(positions.iter().all(|&p| p < spec.emit_depth.max(1)));
+    let mut out = TupleBuffer::new(positions.len());
+    let mut row = vec![0u32; positions.len()];
+    run_join(spec, &mut |binding| {
+        for (j, &p) in positions.iter().enumerate() {
+            row[j] = binding[p];
+        }
+        out.push(&row);
+    });
+    out.sort_dedup();
+    out
+}
+
+/// Final pass: generic join over all node-result tries, projecting to
+/// SELECT order.
+fn final_join(
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    results: &[Option<NodeResult>],
+    auto_layout: bool,
+) -> TupleBuffer {
+    let live: Vec<&NodeResult> = results.iter().flatten().filter(|r| !r.attrs.is_empty()).collect();
+    // Join variables: union of live attrs in global order.
+    let mut join_vars: Vec<Var> = live.iter().flat_map(|r| r.attrs.iter().copied()).collect();
+    join_vars.sort_by_key(|&v| plan.position[v]);
+    join_vars.dedup();
+    let rels: Vec<PreparedRel> = live
+        .iter()
+        .map(|r| {
+            let trie = Rc::new(Trie::build(r.tuples.clone(), layout_policy(auto_layout)));
+            let depths =
+                r.attrs.iter().map(|v| join_vars.iter().position(|w| w == v).unwrap()).collect();
+            PreparedRel { trie, depths }
+        })
+        .collect();
+    let proj_positions: Vec<usize> = q
+        .projection()
+        .iter()
+        .map(|v| {
+            join_vars.iter().position(|w| w == v).expect("projection vars live in node outputs")
+        })
+        .collect();
+    let emit_depth = proj_positions.iter().map(|&p| p + 1).max().unwrap_or(0);
+    let spec =
+        JoinSpec { num_vars: join_vars.len(), sel: vec![None; join_vars.len()], emit_depth, rels };
+    collect_rows(&spec, &proj_positions)
+}
+
+/// One node's contribution to the pipelined emission: its result trie,
+/// where to read its shared-prefix values in the assembled row, and where
+/// its private columns land.
+struct NodeExt {
+    trie: Rc<Trie>,
+    /// Positions in the *assembled* output row supplying the shared
+    /// prefix values (bound by the root or an earlier extension).
+    shared_positions: Vec<usize>,
+    /// Column offset in the assembled row where private values start.
+    base: usize,
+}
+
+/// Pipelined path (§III-C, applied transitively down the tree): run the
+/// root join and, per root binding, extend with every descendant node's
+/// private columns by direct trie lookup. The planner guaranteed each
+/// node's shared-with-parent variables are a prefix of its output order,
+/// and BFS order guarantees shared values are assembled before use.
+fn run_pipelined(
+    catalog: &Catalog<'_>,
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    results: &[Option<NodeResult>],
+    auto_layout: bool,
+) -> TupleBuffer {
+    let root = plan.ghd.root;
+    let node = &plan.nodes[root];
+    let depth_of = |v: Var| node.vars.iter().position(|&w| w == v).unwrap();
+
+    // Root-join intermediates: the root's children participate on their
+    // shared prefix (full child trie, truncated depths).
+    let mut child_tries: Vec<Option<Rc<Trie>>> = (0..plan.ghd.num_nodes()).map(|_| None).collect();
+    let mut intermediates: Vec<PreparedRel> = Vec::new();
+    for &c in &plan.ghd.children[root] {
+        let child = results[c].as_ref().expect("children ran before the root");
+        if child.attrs.is_empty() {
+            continue; // satisfied boolean node: no constraint, no columns
+        }
+        let shared = &plan.nodes[c].shared_with_parent;
+        debug_assert!(child.attrs.starts_with(shared), "planner checked the prefix");
+        let trie = Rc::new(Trie::build(child.tuples.clone(), layout_policy(auto_layout)));
+        child_tries[c] = Some(Rc::clone(&trie));
+        if !shared.is_empty() {
+            intermediates.push(PreparedRel {
+                trie,
+                depths: shared.iter().map(|&v| depth_of(v)).collect(),
+            });
+        }
+    }
+
+    // Extension schedule: BFS over non-root nodes with private columns.
+    let mut emit_attrs: Vec<Var> = node.output.clone();
+    let mut exts: Vec<NodeExt> = Vec::new();
+    for t in plan.ghd.bfs_order() {
+        if t == root {
+            continue;
+        }
+        let child = results[t].as_ref().expect("bottom-up pass ran every node");
+        let shared = &plan.nodes[t].shared_with_parent;
+        if child.attrs.len() == shared.len() {
+            continue; // pure semijoin, already applied bottom-up
+        }
+        // Shared values come from columns already in emit_attrs (the
+        // parent's output was appended before BFS reaches this node).
+        let shared_positions: Vec<usize> = shared
+            .iter()
+            .map(|v| emit_attrs.iter().position(|w| w == v).expect("BFS binds parents first"))
+            .collect();
+        let base = emit_attrs.len();
+        emit_attrs.extend_from_slice(&child.attrs[shared.len()..]);
+        let trie = match child_tries[t].take() {
+            Some(t) => t,
+            None => Rc::new(Trie::build(child.tuples.clone(), layout_policy(auto_layout))),
+        };
+        exts.push(NodeExt { trie, shared_positions, base });
+    }
+
+    let spec = node_spec(catalog, q, plan, root, intermediates, auto_layout);
+    let root_out_positions: Vec<usize> = node.output.iter().map(|&v| depth_of(v)).collect();
+    let proj_positions: Vec<usize> = q
+        .projection()
+        .iter()
+        .map(|v| {
+            emit_attrs.iter().position(|w| w == v).expect("projection covered by node outputs")
+        })
+        .collect();
+
+    let mut out = TupleBuffer::new(proj_positions.len());
+    let mut assembled = vec![0u32; emit_attrs.len()];
+    let mut row = vec![0u32; proj_positions.len()];
+    run_join(&spec, &mut |binding| {
+        for (j, &p) in root_out_positions.iter().enumerate() {
+            assembled[j] = binding[p];
+        }
+        extend_nodes(&exts, 0, &mut assembled, &mut |assembled| {
+            for (j, &p) in proj_positions.iter().enumerate() {
+                row[j] = assembled[p];
+            }
+            out.push(&row);
+        });
+    });
+    out.sort_dedup();
+    out
+}
+
+/// Depth-first cross product over the extensions' private columns:
+/// extension `i` looks up its shared prefix from the assembled row, then
+/// enumerates its remaining trie levels into `assembled[base..]`.
+fn extend_nodes(
+    exts: &[NodeExt],
+    i: usize,
+    assembled: &mut Vec<u32>,
+    emit: &mut dyn FnMut(&mut Vec<u32>),
+) {
+    if i == exts.len() {
+        emit(assembled);
+        return;
+    }
+    let ext = &exts[i];
+    let trie = &ext.trie;
+    let mut block = 0usize;
+    for (lvl, &pos) in ext.shared_positions.iter().enumerate() {
+        match trie.child(lvl, block, assembled[pos]) {
+            Some(b) => block = b,
+            // Bottom-up semijoins guarantee the prefix exists for bindings
+            // that reach here; stay defensive anyway.
+            None => return,
+        }
+    }
+    walk_private(exts, i, trie, ext.shared_positions.len(), block, 0, assembled, emit);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_private(
+    exts: &[NodeExt],
+    i: usize,
+    trie: &Trie,
+    level: usize,
+    block: usize,
+    offset: usize,
+    assembled: &mut Vec<u32>,
+    emit: &mut dyn FnMut(&mut Vec<u32>),
+) {
+    let leaf = level + 1 == trie.arity();
+    let set = trie.set(level, block);
+    let base = exts[i].base;
+    for v in set.iter() {
+        assembled[base + offset] = v;
+        if leaf {
+            extend_nodes(exts, i + 1, assembled, emit);
+        } else {
+            let child = trie.child(level, block, v).expect("iterated value present");
+            walk_private(exts, i, trie, level + 1, child, offset + 1, assembled, emit);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Optimization toggles (the knobs behind the paper's Table I ablation).
+
+/// Independent switches for the three classic optimizations of §III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OptFlags {
+    /// §III-A: mixed set layouts (bitset + uint array). Off = uint arrays
+    /// everywhere (the "+Layout" ablation baseline).
+    pub layouts: bool,
+    /// §III-B1: reorder attributes *within* GHD nodes so selections come
+    /// first ("+Attribute").
+    pub attr_reorder: bool,
+    /// §III-B2: selection-aware GHD choice pushing selections down
+    /// *across* nodes ("+GHD").
+    pub ghd_pushdown: bool,
+    /// §III-C: pipeline the root node into the final result
+    /// ("+Pipelining").
+    pub pipelining: bool,
+}
+
+impl OptFlags {
+    /// Every optimization on (the configuration the paper's Table II
+    /// EmptyHeaded column uses).
+    pub fn all() -> OptFlags {
+        OptFlags { layouts: true, attr_reorder: true, ghd_pushdown: true, pipelining: true }
+    }
+
+    /// Every optimization off (the unoptimized worst-case optimal
+    /// baseline).
+    pub fn none() -> OptFlags {
+        OptFlags { layouts: false, attr_reorder: false, ghd_pushdown: false, pipelining: false }
+    }
+
+    /// The paper's Table I accumulates optimizations left to right:
+    /// `+Layout`, `+Attribute`, `+GHD`, `+Pipelining`. `cumulative(k)`
+    /// returns the configuration with the first `k` optimizations enabled
+    /// (`k = 0` is [`OptFlags::none`], `k = 4` is [`OptFlags::all`]).
+    pub fn cumulative(k: usize) -> OptFlags {
+        OptFlags {
+            layouts: k >= 1,
+            attr_reorder: k >= 2,
+            ghd_pushdown: k >= 3,
+            pipelining: k >= 4,
+        }
+    }
+}
+
+impl Default for OptFlags {
+    fn default() -> Self {
+        OptFlags::all()
+    }
+}
+
+/// Full planner configuration: optimization flags plus the plan-shape
+/// overrides used by the LogicBlox-style baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PlannerConfig {
+    /// The optimization toggles.
+    pub flags: OptFlags,
+    /// Skip GHD decomposition and run the generic worst-case optimal join
+    /// over the whole query in one node — how an engine without GHD plans
+    /// (LogicBlox's original design, per the paper's characterisation)
+    /// executes.
+    pub force_single_node: bool,
+    /// Selection-blind join ordering: order join variables by distinct
+    /// counts (a competent join optimizer) but leave equality selections
+    /// to be *checked last* rather than probed first. This models why
+    /// LogicBlox matches EmptyHeaded on cyclic joins yet loses two orders
+    /// of magnitude on selective patterns (paper §I, §IV-B).
+    pub selection_blind_order: bool,
+}
+
+impl PlannerConfig {
+    /// Standard EmptyHeaded configuration with the given flags.
+    pub fn with_flags(flags: OptFlags) -> PlannerConfig {
+        PlannerConfig { flags, force_single_node: false, selection_blind_order: false }
+    }
+
+    /// The LogicBlox-style configuration: single-node plan, uint-only
+    /// layouts, selection-blind (but join-aware) attribute order.
+    pub fn logicblox_style() -> PlannerConfig {
+        PlannerConfig {
+            flags: OptFlags::none(),
+            force_single_node: true,
+            selection_blind_order: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_matches_table_one_order() {
+        assert_eq!(OptFlags::cumulative(0), OptFlags::none());
+        assert_eq!(OptFlags::cumulative(4), OptFlags::all());
+        let one = OptFlags::cumulative(1);
+        assert!(one.layouts && !one.attr_reorder);
+        let three = OptFlags::cumulative(3);
+        assert!(three.ghd_pushdown && !three.pipelining);
+    }
+
+    #[test]
+    fn logicblox_profile() {
+        let c = PlannerConfig::logicblox_style();
+        assert!(c.force_single_node);
+        assert_eq!(c.flags, OptFlags::none());
+    }
+}

@@ -1,0 +1,98 @@
+//! Physical query plans: a GHD, a global attribute order, per-node
+//! execution schedules, and the pipelining decision.
+
+use eh_ghd::Ghd;
+use eh_lp::Rational;
+use eh_query::{ConjunctiveQuery, Var};
+
+/// How one atom participates in a node's generic join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomPlan {
+    /// Index into the query's atom list.
+    pub atom_index: usize,
+    /// Trie column order: `true` = `[subject, object]`, `false` =
+    /// `[object, subject]` (chosen so trie levels agree with the global
+    /// attribute order).
+    pub subject_first: bool,
+    /// Variables per trie level (length 2 for RDF atoms).
+    pub attrs: Vec<Var>,
+}
+
+/// Execution schedule for one GHD node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePlan {
+    /// Bag variables in processing order (global order restricted to the
+    /// bag).
+    pub vars: Vec<Var>,
+    /// Output variables (unselected bag vars needed by the projection or
+    /// by adjacent nodes), in processing order.
+    pub output: Vec<Var>,
+    /// Variables shared with the parent node, in processing order.
+    pub shared_with_parent: Vec<Var>,
+    /// Atom schedules for λ(t).
+    pub atoms: Vec<AtomPlan>,
+}
+
+/// A complete physical plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The chosen decomposition.
+    pub ghd: Ghd,
+    /// The global attribute order (paper §II-C): all query variables,
+    /// selections first when `attr_reorder` is on.
+    pub global_order: Vec<Var>,
+    /// Inverse of `global_order`: variable → rank.
+    pub position: Vec<usize>,
+    /// Per-GHD-node schedules (indexed like `ghd` nodes).
+    pub nodes: Vec<NodePlan>,
+    /// Whether the root streams into the final result (§III-C).
+    pub pipelined: bool,
+    /// The plan's fractional hypertree width (reporting only).
+    pub width: Rational,
+}
+
+impl Plan {
+    /// Human-readable rendering (used by the Figure 2/3 harness binaries
+    /// and for debugging).
+    pub fn render(&self, q: &ConjunctiveQuery) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "plan for: {q}");
+        let order: Vec<&str> = self.global_order.iter().map(|&v| q.var_name(v)).collect();
+        let _ = writeln!(out, "global attribute order: [{}]", order.join(", "));
+        let _ = writeln!(out, "fhw: {}   pipelined: {}", self.width, self.pipelined);
+        let _ = write!(
+            out,
+            "{}",
+            self.ghd.render(
+                &|v| q.var_name(v).to_string(),
+                &|e| {
+                    let a = &q.atoms()[e];
+                    let short = a.relation.rsplit(['/', '#']).next().unwrap_or(&a.relation);
+                    format!("{short}({}, {})", q.var_name(a.vars[0]), q.var_name(a.vars[1]))
+                },
+            )
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::flags::{OptFlags, PlannerConfig};
+    use crate::planner::build_plan;
+    use eh_query::QueryBuilder;
+
+    #[test]
+    fn render_mentions_order_and_tree() {
+        let mut qb = QueryBuilder::new();
+        let (x, y, z) = (qb.var("x"), qb.var("y"), qb.var("z"));
+        qb.atom("R", 0, x, y).atom("S", 1, y, z);
+        let q = qb.select(vec![x, z]).build().unwrap();
+        let plan = build_plan(&q, PlannerConfig::with_flags(OptFlags::all()));
+        let text = plan.render(&q);
+        assert!(text.contains("global attribute order"), "{text}");
+        assert!(text.contains("fhw: 1"), "{text}");
+        assert!(text.contains("R(x, y)"), "{text}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Materialised query results.
+
+use eh_rdf::{Term, TripleStore};
+use eh_trie::TupleBuffer;
+
+/// A materialised, deduplicated query result: one row per distinct binding
+/// of the `SELECT` variables, columns in `SELECT` order.
+///
+/// Rows hold dictionary-encoded ids; [`QueryResult::decode_row`] maps them
+/// back to terms. (The paper's timing methodology also excludes id→string
+/// output conversion, §IV-A4.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    columns: Vec<String>,
+    tuples: TupleBuffer,
+}
+
+impl QueryResult {
+    pub(crate) fn new(columns: Vec<String>, tuples: TupleBuffer) -> QueryResult {
+        debug_assert_eq!(columns.len(), tuples.arity());
+        QueryResult { columns, tuples }
+    }
+
+    /// An empty result with the given column names.
+    pub(crate) fn empty(columns: Vec<String>) -> QueryResult {
+        let arity = columns.len();
+        QueryResult { columns, tuples: TupleBuffer::new(arity) }
+    }
+
+    /// Column (variable) names in `SELECT` order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of distinct result rows.
+    pub fn cardinality(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The raw dictionary-encoded rows.
+    pub fn tuples(&self) -> &TupleBuffer {
+        &self.tuples
+    }
+
+    /// Iterate raw rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.tuples.rows()
+    }
+
+    /// Decode row `i` to terms using the store's dictionary.
+    pub fn decode_row<'s>(&self, store: &'s TripleStore, i: usize) -> Vec<&'s Term> {
+        self.tuples.row(i).iter().map(|&id| store.dict().decode(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_rdf::Triple;
+
+    #[test]
+    fn accessors() {
+        let mut t = TupleBuffer::new(2);
+        t.push(&[0, 1]);
+        let r = QueryResult::new(vec!["X".into(), "Y".into()], t);
+        assert_eq!(r.cardinality(), 1);
+        assert_eq!(r.columns(), &["X".to_string(), "Y".to_string()]);
+        assert!(!r.is_empty());
+        assert_eq!(r.iter().next().unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let store = TripleStore::from_triples(vec![Triple::new(
+            Term::iri("s"),
+            Term::iri("p"),
+            Term::iri("o"),
+        )]);
+        let sid = store.resolve_iri("s").unwrap();
+        let mut t = TupleBuffer::new(1);
+        t.push(&[sid]);
+        let r = QueryResult::new(vec!["X".into()], t);
+        assert_eq!(r.decode_row(&store, 0), vec![&Term::iri("s")]);
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = QueryResult::empty(vec!["X".into()]);
+        assert!(r.is_empty());
+        assert_eq!(r.cardinality(), 0);
+    }
+}

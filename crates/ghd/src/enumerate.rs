@@ -1,0 +1,211 @@
+//! Exhaustive GHD enumeration for workload-sized queries.
+//!
+//! The paper: "EmptyHeaded chooses the GHD with the lowest fhw and
+//! smallest height by enumerating all possible GHDs" (§II-C). We
+//! enumerate decompositions where every atom is assigned to exactly one
+//! node (set partitions of the hyperedges), combined with every tree over
+//! the groups (via Prüfer sequences) and every root, keeping those that
+//! satisfy the running-intersection property. Queries here have ≤ 6 atoms
+//! (LUBM query 2), so the search space is small; a hard cap keeps misuse
+//! loud.
+
+use eh_query::Hypergraph;
+
+use crate::ghd::Ghd;
+
+/// Maximum number of hyperedges the exhaustive search accepts.
+pub const MAX_EDGES: usize = 8;
+
+/// Enumerate all valid rooted GHDs of `h` built from edge partitions.
+///
+/// # Panics
+/// Panics when `h` has more than [`MAX_EDGES`] edges or no edges at all.
+pub fn enumerate_ghds(h: &Hypergraph) -> Vec<Ghd> {
+    let m = h.edges.len();
+    assert!(m > 0, "cannot decompose a query with no atoms");
+    assert!(m <= MAX_EDGES, "GHD enumeration capped at {MAX_EDGES} atoms, got {m}");
+    let mut out = Vec::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    partition_rec(h, 0, m, &mut groups, &mut out);
+    out
+}
+
+fn partition_rec(
+    h: &Hypergraph,
+    next_edge: usize,
+    m: usize,
+    groups: &mut Vec<Vec<usize>>,
+    out: &mut Vec<Ghd>,
+) {
+    if next_edge == m {
+        emit_trees(h, groups, out);
+        return;
+    }
+    // Put the edge in each existing group...
+    for i in 0..groups.len() {
+        groups[i].push(next_edge);
+        partition_rec(h, next_edge + 1, m, groups, out);
+        groups[i].pop();
+    }
+    // ... or in a fresh group.
+    groups.push(vec![next_edge]);
+    partition_rec(h, next_edge + 1, m, groups, out);
+    groups.pop();
+}
+
+fn emit_trees(h: &Hypergraph, groups: &[Vec<usize>], out: &mut Vec<Ghd>) {
+    let k = groups.len();
+    if k == 1 {
+        out.push(Ghd::from_partition(h, groups, &[], 0));
+        return;
+    }
+    // All labelled trees over k nodes via Prüfer sequences (k^(k-2)).
+    let seq_len = k - 2;
+    let mut seq = vec![0usize; seq_len];
+    loop {
+        let edges = prufer_decode(&seq, k);
+        for root in 0..k {
+            let g = Ghd::from_partition(h, groups, &edges, root);
+            if g.validate(h) {
+                out.push(g);
+            }
+        }
+        // Next sequence in base k.
+        let mut i = 0;
+        loop {
+            if i == seq_len {
+                return;
+            }
+            seq[i] += 1;
+            if seq[i] < k {
+                break;
+            }
+            seq[i] = 0;
+            i += 1;
+        }
+        if seq_len == 0 {
+            return; // k == 2: single tree already emitted
+        }
+    }
+}
+
+/// Decode a Prüfer sequence over `k` labels into the tree's edge list.
+fn prufer_decode(seq: &[usize], k: usize) -> Vec<(usize, usize)> {
+    debug_assert_eq!(seq.len() + 2, k);
+    let mut degree = vec![1usize; k];
+    for &s in seq {
+        degree[s] += 1;
+    }
+    let mut edges = Vec::with_capacity(k - 1);
+    for &s in seq {
+        let leaf = (0..k).find(|&i| degree[i] == 1).expect("a leaf always exists");
+        edges.push((leaf, s));
+        degree[leaf] -= 1;
+        degree[s] -= 1;
+    }
+    let rest: Vec<usize> = (0..k).filter(|&i| degree[i] == 1).collect();
+    debug_assert_eq!(rest.len(), 2);
+    edges.push((rest[0], rest[1]));
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn prufer_counts_trees() {
+        // Cayley's formula: 4 nodes -> 16 labelled trees.
+        let mut trees = BTreeSet::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                let mut e = prufer_decode(&[a, b], 4);
+                for edge in &mut e {
+                    *edge = (edge.0.min(edge.1), edge.0.max(edge.1));
+                }
+                e.sort_unstable();
+                trees.insert(e);
+            }
+        }
+        assert_eq!(trees.len(), 16);
+    }
+
+    #[test]
+    fn prufer_small_cases() {
+        assert_eq!(prufer_decode(&[], 2), vec![(0, 1)]);
+        let e = prufer_decode(&[1], 3); // star centered at 1
+        assert!(e.contains(&(0, 1)));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn single_edge_query_has_one_ghd() {
+        let h = Hypergraph::new(2, vec![vec![0, 1]]);
+        let all = enumerate_ghds(&h);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].num_nodes(), 1);
+    }
+
+    #[test]
+    fn path_query_ghds() {
+        // R(0,1), S(1,2): single node, or two nodes in either rooting.
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let all = enumerate_ghds(&h);
+        // 1 single-node + 2 rootings of the two-node tree.
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|g| g.validate(&h)));
+    }
+
+    #[test]
+    fn disconnected_vertices_still_enumerate() {
+        // Cross product R(0,1) x S(2,3).
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![2, 3]]);
+        let all = enumerate_ghds(&h);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn invalid_running_intersection_filtered() {
+        // Triangle split into three nodes as a path: the rooting where the
+        // two end bags share vertex 0 but the middle doesn't is invalid and
+        // must not be emitted.
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]]);
+        let all = enumerate_ghds(&h);
+        assert!(all.iter().all(|g| g.validate(&h)));
+        // The single-node GHD is present.
+        assert!(all.iter().any(|g| g.num_nodes() == 1));
+        // No 3-node path has a valid layout for the triangle except ones
+        // where adjacency shares vertices; validate() filtered the rest.
+        for g in &all {
+            for t in 0..g.num_nodes() {
+                if let Some(p) = g.parent[t] {
+                    // Adjacent nodes in any valid triangle GHD share >= 1 var.
+                    assert!(
+                        g.bags[t].iter().any(|v| g.bags[p].contains(v)),
+                        "parent and child bags disjoint in a connected query"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lubm_q2_size_is_tractable() {
+        // 6 atoms: x-y, x-z, z-y triangle plus three selection edges.
+        let h = Hypergraph::new(
+            6,
+            vec![vec![0, 1], vec![0, 2], vec![2, 1], vec![0, 3], vec![1, 4], vec![2, 5]],
+        );
+        let all = enumerate_ghds(&h);
+        assert!(!all.is_empty());
+        assert!(all.iter().all(|g| g.validate(&h)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn too_many_edges_panics() {
+        let h = Hypergraph::new(10, (0..9).map(|i| vec![i, i + 1]).collect());
+        enumerate_ghds(&h);
+    }
+}

@@ -1,0 +1,284 @@
+//! The GHD data structure (paper Definition 1).
+
+use eh_query::Hypergraph;
+
+/// A rooted generalized hypertree decomposition `D = (T, χ, λ)`.
+///
+/// Nodes are indices `0..num_nodes()`. `bags[t]` is `χ(t)` (sorted vertex
+/// set) and `lambdas[t]` is `λ(t)` (hyperedge indices). The enumeration in
+/// this crate constructs bags as exactly the union of their λ-edges'
+/// vertices, which satisfies properties 3–4 of Definition 1 by
+/// construction; [`Ghd::validate`] re-checks everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ghd {
+    /// `χ(t)`: sorted variable set per node.
+    pub bags: Vec<Vec<usize>>,
+    /// `λ(t)`: hyperedge (atom) indices per node.
+    pub lambdas: Vec<Vec<usize>>,
+    /// Parent index per node (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Children indices per node.
+    pub children: Vec<Vec<usize>>,
+    /// Root node index.
+    pub root: usize,
+}
+
+impl Ghd {
+    /// Build a rooted GHD from a partition of hyperedges into groups and
+    /// an undirected tree over the groups.
+    pub fn from_partition(
+        h: &Hypergraph,
+        groups: &[Vec<usize>],
+        tree_edges: &[(usize, usize)],
+        root: usize,
+    ) -> Ghd {
+        let k = groups.len();
+        let bags: Vec<Vec<usize>> = groups
+            .iter()
+            .map(|g| {
+                let mut bag: Vec<usize> = g.iter().flat_map(|&e| h.edges[e].iter().copied()).collect();
+                bag.sort_unstable();
+                bag.dedup();
+                bag
+            })
+            .collect();
+        // Orient the tree away from the root.
+        let mut adj = vec![Vec::new(); k];
+        for &(a, b) in tree_edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut parent = vec![None; k];
+        let mut children = vec![Vec::new(); k];
+        let mut stack = vec![root];
+        let mut seen = vec![false; k];
+        seen[root] = true;
+        while let Some(n) = stack.pop() {
+            for &m in &adj[n] {
+                if !seen[m] {
+                    seen[m] = true;
+                    parent[m] = Some(n);
+                    children[n].push(m);
+                    stack.push(m);
+                }
+            }
+        }
+        debug_assert!(seen.iter().all(|&s| s), "tree edges must connect all groups");
+        Ghd { bags, lambdas: groups.to_vec(), parent, children, root }
+    }
+
+    /// The trivial single-node GHD covering the whole query (the shape a
+    /// plain worst-case-optimal engine without GHD plans executes — our
+    /// LogicBlox-style baseline).
+    pub fn single_node(h: &Hypergraph) -> Ghd {
+        let groups = vec![(0..h.edges.len()).collect::<Vec<_>>()];
+        Ghd::from_partition(h, &groups, &[], 0)
+    }
+
+    /// Number of decomposition nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, mut t: usize) -> usize {
+        let mut d = 0;
+        while let Some(p) = self.parent[t] {
+            d += 1;
+            t = p;
+        }
+        d
+    }
+
+    /// Height of the tree (max node depth).
+    pub fn height(&self) -> usize {
+        (0..self.num_nodes()).map(|t| self.depth(t)).max().unwrap_or(0)
+    }
+
+    /// Nodes in breadth-first order from the root (the traversal that
+    /// defines the paper's global attribute order, §II-C).
+    pub fn bfs_order(&self) -> Vec<usize> {
+        let mut order = vec![self.root];
+        let mut i = 0;
+        while i < order.len() {
+            order.extend(self.children[order[i]].iter().copied());
+            i += 1;
+        }
+        order
+    }
+
+    /// Nodes in post-order (children before parents — the bottom-up
+    /// execution order).
+    pub fn post_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.num_nodes());
+        fn rec(g: &Ghd, t: usize, out: &mut Vec<usize>) {
+            for &c in &g.children[t] {
+                rec(g, c, out);
+            }
+            out.push(t);
+        }
+        rec(self, self.root, &mut order);
+        order
+    }
+
+    /// Shared variables between a node and its parent (empty for the root).
+    pub fn shared_with_parent(&self, t: usize) -> Vec<usize> {
+        match self.parent[t] {
+            None => Vec::new(),
+            Some(p) => self.bags[t].iter().copied().filter(|v| self.bags[p].contains(v)).collect(),
+        }
+    }
+
+    /// Check Definition 1 against the hypergraph: every edge covered by
+    /// some bag, the running-intersection property, and `χ(t) ⊆ ∪λ(t)`.
+    pub fn validate(&self, h: &Hypergraph) -> bool {
+        // Property 1: each hyperedge inside some bag.
+        for e in &h.edges {
+            if !self.bags.iter().any(|bag| e.iter().all(|v| bag.contains(v))) {
+                return false;
+            }
+        }
+        // Properties 3/4: bags covered by their own λ edges.
+        for (bag, lambda) in self.bags.iter().zip(&self.lambdas) {
+            for v in bag {
+                if !lambda.iter().any(|&e| h.edges[e].contains(v)) {
+                    return false;
+                }
+            }
+        }
+        // Property 2: for each vertex, the nodes containing it form a
+        // connected subtree.
+        for v in 0..h.num_vertices {
+            let holders: Vec<usize> =
+                (0..self.num_nodes()).filter(|&t| self.bags[t].contains(&v)).collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // BFS within holders over tree adjacency.
+            let mut seen = vec![false; self.num_nodes()];
+            let mut stack = vec![holders[0]];
+            seen[holders[0]] = true;
+            while let Some(t) = stack.pop() {
+                let mut neighbours = self.children[t].clone();
+                if let Some(p) = self.parent[t] {
+                    neighbours.push(p);
+                }
+                for n in neighbours {
+                    if !seen[n] && self.bags[n].contains(&v) {
+                        seen[n] = true;
+                        stack.push(n);
+                    }
+                }
+            }
+            if holders.iter().any(|&t| !seen[t]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Render as an ASCII tree using `var_name` and `atom_name` callbacks
+    /// (used by the Figure 2 / Figure 3 harness binaries).
+    pub fn render(
+        &self,
+        var_name: &dyn Fn(usize) -> String,
+        atom_name: &dyn Fn(usize) -> String,
+    ) -> String {
+        let mut out = String::new();
+        self.render_node(self.root, 0, var_name, atom_name, &mut out);
+        out
+    }
+
+    fn render_node(
+        &self,
+        t: usize,
+        indent: usize,
+        var_name: &dyn Fn(usize) -> String,
+        atom_name: &dyn Fn(usize) -> String,
+        out: &mut String,
+    ) {
+        use std::fmt::Write;
+        let vars: Vec<String> = self.bags[t].iter().map(|&v| var_name(v)).collect();
+        let atoms: Vec<String> = self.lambdas[t].iter().map(|&e| atom_name(e)).collect();
+        let _ = writeln!(
+            out,
+            "{}[{}]  λ = {{{}}}",
+            "  ".repeat(indent),
+            vars.join(" "),
+            atoms.join(", ")
+        );
+        for &c in &self.children[t] {
+            self.render_node(c, indent + 1, var_name, atom_name, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Hypergraph {
+        Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]])
+    }
+
+    #[test]
+    fn single_node_shape() {
+        let h = triangle();
+        let g = Ghd::single_node(&h);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.bags[0], vec![0, 1, 2]);
+        assert_eq!(g.height(), 0);
+        assert!(g.validate(&h));
+    }
+
+    #[test]
+    fn from_partition_orients_tree() {
+        // Path query R(0,1), S(1,2) as two nodes.
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let g = Ghd::from_partition(&h, &[vec![0], vec![1]], &[(0, 1)], 1);
+        assert_eq!(g.root, 1);
+        assert_eq!(g.parent[0], Some(1));
+        assert_eq!(g.children[1], vec![0]);
+        assert_eq!(g.depth(0), 1);
+        assert_eq!(g.height(), 1);
+        assert_eq!(g.shared_with_parent(0), vec![1]);
+        assert!(g.validate(&h));
+    }
+
+    #[test]
+    fn orders() {
+        // Chain of three nodes.
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let g = Ghd::from_partition(&h, &[vec![0], vec![1], vec![2]], &[(0, 1), (1, 2)], 0);
+        assert_eq!(g.bfs_order(), vec![0, 1, 2]);
+        assert_eq!(g.post_order(), vec![2, 1, 0]);
+        assert!(g.validate(&h));
+    }
+
+    #[test]
+    fn validate_rejects_broken_running_intersection() {
+        // Vertex 0 in both leaf bags but not in the middle node.
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        // Chain: {0,1} - {1,2} - {0,2}: vertex 0 appears at both ends only.
+        let g = Ghd::from_partition(&h, &[vec![0], vec![1], vec![2]], &[(0, 1), (1, 2)], 0);
+        assert!(!g.validate(&h));
+    }
+
+    #[test]
+    fn validate_rejects_uncovered_edge() {
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let mut g = Ghd::single_node(&h);
+        g.bags[0] = vec![0, 1]; // drop vertex 2: edge 1 no longer covered
+        g.lambdas[0] = vec![0];
+        assert!(!g.validate(&h));
+    }
+
+    #[test]
+    fn render_produces_tree_text() {
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let g = Ghd::from_partition(&h, &[vec![0], vec![1]], &[(0, 1)], 0);
+        let text = g.render(&|v| format!("v{v}"), &|e| format!("R{e}"));
+        assert!(text.contains("[v0 v1]"), "{text}");
+        assert!(text.contains("  [v1 v2]"), "{text}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # eh-ghd
+//!
+//! Generalized hypertree decompositions (GHDs) — the query-plan
+//! representation of EmptyHeaded (Aberger et al., ICDE 2016, §II-C) — and
+//! the paper's plan-choice policies:
+//!
+//! * exhaustive GHD enumeration for the workload's query sizes (the paper:
+//!   "EmptyHeaded chooses the GHD with the lowest fhw and smallest height
+//!   by enumerating all possible GHDs");
+//! * fractional hypertree width via the exact LP solver in `eh-lp` (the
+//!   LUBM query 2 GHD of Figure 2 has fhw 3/2);
+//! * the three *selection-aware* steps of §III-B2 that push selections
+//!   down across GHD nodes (Figure 3), scored by *selection depth*;
+//! * the pipelineability predicate of Definition 2 (§III-C).
+//!
+//! ```
+//! use eh_ghd::{choose_ghd, ChooseMode};
+//! use eh_query::Hypergraph;
+//!
+//! // Triangle query: the best GHD is a single node of width 3/2.
+//! let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]]);
+//! let ghd = choose_ghd(&h, &[false; 3], ChooseMode::Plain);
+//! assert_eq!(ghd.num_nodes(), 1);
+//! assert_eq!(eh_ghd::ghd_width(&ghd, &h), eh_lp::Rational::new(3, 2));
+//! ```
+
+mod choose;
+mod enumerate;
+mod ghd;
+mod pipeline;
+mod width;
+
+pub use choose::{choose_ghd, selection_depth, ChooseMode};
+pub use enumerate::{enumerate_ghds, MAX_EDGES};
+pub use ghd::Ghd;
+pub use pipeline::pipelineable;
+pub use width::{ghd_width, ghd_width_unselected, node_width, WidthCache};

@@ -1,0 +1,54 @@
+//! Pipelineability (paper Definition 2, §III-C): two GHD nodes can stream
+//! into each other when their shared attributes form a prefix of both trie
+//! orders.
+
+/// True when `shared` (the set `χ(t0) ∩ χ(t1)`) is a prefix of both
+/// attribute orders, compared as sets (Definition 2).
+///
+/// ```
+/// use eh_ghd::pipelineable;
+/// // Q8 shape: root [x, y], child [x, z] sharing {x}.
+/// assert!(pipelineable(&[0], &[0, 1], &[0, 2]));
+/// // Shared var not leading in one order: not pipelineable.
+/// assert!(!pipelineable(&[0], &[1, 0], &[0, 2]));
+/// ```
+pub fn pipelineable(shared: &[usize], order_a: &[usize], order_b: &[usize]) -> bool {
+    let k = shared.len();
+    if k > order_a.len() || k > order_b.len() {
+        return false;
+    }
+    let is_prefix = |order: &[usize]| {
+        let mut prefix: Vec<usize> = order[..k].to_vec();
+        prefix.sort_unstable();
+        let mut s: Vec<usize> = shared.to_vec();
+        s.sort_unstable();
+        prefix == s
+    };
+    is_prefix(order_a) && is_prefix(order_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_shared_is_trivially_pipelineable() {
+        assert!(pipelineable(&[], &[0, 1], &[2, 3]));
+    }
+
+    #[test]
+    fn full_prefix_any_internal_order() {
+        // Shared {0,1} as a prefix in different permutations still counts.
+        assert!(pipelineable(&[0, 1], &[1, 0, 2], &[0, 1, 3]));
+    }
+
+    #[test]
+    fn shared_larger_than_order_fails() {
+        assert!(!pipelineable(&[0, 1], &[0], &[0, 1]));
+    }
+
+    #[test]
+    fn interleaved_shared_fails() {
+        assert!(!pipelineable(&[0, 2], &[0, 1, 2], &[0, 2, 3]));
+    }
+}

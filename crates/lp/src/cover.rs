@@ -1,0 +1,191 @@
+//! Fractional edge covers and the AGM output-size bound (paper §II-B).
+//!
+//! For a query hypergraph `H = (V, E)` with relation sizes `|R_e|`, the
+//! AGM bound says the output size is at most `Π_e |R_e|^{x_e}` for any
+//! fractional edge cover `x` (each vertex covered with total weight ≥ 1).
+//! The tightest bound minimizes `Σ_e x_e · log₂ |R_e|`; with unit weights
+//! the optimum is the fractional edge-cover number — the "width" the paper
+//! assigns to GHD nodes (e.g. 1.5 for the LUBM query 2 triangle).
+
+use crate::rational::Rational;
+use crate::simplex::{solve, LinearProgram, LpOutcome};
+
+/// Exact fractional edge-cover number with unit weights.
+///
+/// `edges[e]` lists the vertex indices (`0..num_vertices`) covered by
+/// hyperedge `e`. Returns the per-edge weights `x_e` and the optimum
+/// `Σ x_e`, or `None` when some vertex appears in no edge (the program is
+/// then infeasible — such a query is malformed).
+pub fn fractional_edge_cover_exact(
+    num_vertices: usize,
+    edges: &[Vec<usize>],
+) -> Option<(Vec<Rational>, Rational)> {
+    let weights = vec![Rational::ONE; edges.len()];
+    solve_cover(num_vertices, edges, &weights)
+}
+
+/// Weighted fractional edge cover over exact rationals.
+///
+/// Used with `w_e = 1`; for cardinality-aware bounds prefer [`agm_bound`],
+/// which works in `log₂` space over `f64`.
+pub fn solve_cover(
+    num_vertices: usize,
+    edges: &[Vec<usize>],
+    weights: &[Rational],
+) -> Option<(Vec<Rational>, Rational)> {
+    assert_eq!(edges.len(), weights.len());
+    let constraints = (0..num_vertices)
+        .map(|v| {
+            let row = edges
+                .iter()
+                .map(|e| if e.contains(&v) { Rational::ONE } else { Rational::ZERO })
+                .collect::<Vec<_>>();
+            (row, Rational::ONE)
+        })
+        .collect();
+    let lp = LinearProgram { objective: weights.to_vec(), constraints };
+    match solve(&lp) {
+        LpOutcome::Optimal { x, value } => Some((x, value)),
+        _ => None,
+    }
+}
+
+/// Weighted fractional edge cover over `f64`.
+///
+/// Returns `(x, optimum)` minimizing `Σ_e weights[e] · x_e`.
+pub fn fractional_edge_cover(
+    num_vertices: usize,
+    edges: &[Vec<usize>],
+    weights: &[f64],
+) -> Option<(Vec<f64>, f64)> {
+    assert_eq!(edges.len(), weights.len());
+    let constraints = (0..num_vertices)
+        .map(|v| {
+            let row = edges
+                .iter()
+                .map(|e| if e.contains(&v) { 1.0 } else { 0.0 })
+                .collect::<Vec<_>>();
+            (row, 1.0)
+        })
+        .collect();
+    let lp = LinearProgram { objective: weights.to_vec(), constraints };
+    match solve(&lp) {
+        LpOutcome::Optimal { x, value } => Some((x, value)),
+        _ => None,
+    }
+}
+
+/// The AGM output-size bound `Π_e |R_e|^{x_e}` for the tightest fractional
+/// edge cover, computed in `log₂` space.
+///
+/// `sizes[e]` is the cardinality of the relation on hyperedge `e`; empty
+/// relations are treated as size 1 so the bound degrades gracefully to
+/// "at most one (empty) output".
+pub fn agm_bound(num_vertices: usize, edges: &[Vec<usize>], sizes: &[u64]) -> Option<f64> {
+    assert_eq!(edges.len(), sizes.len());
+    let weights: Vec<f64> = sizes.iter().map(|&s| (s.max(1) as f64).log2()).collect();
+    let (_, log_bound) = fractional_edge_cover(num_vertices, edges, &weights)?;
+    Some(log_bound.exp2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn single_edge() {
+        let (x, v) = fractional_edge_cover_exact(2, &[vec![0, 1]]).unwrap();
+        assert_eq!(v, Rational::ONE);
+        assert_eq!(x, vec![Rational::ONE]);
+    }
+
+    #[test]
+    fn triangle_is_three_halves() {
+        let edges = vec![vec![0, 1], vec![1, 2], vec![2, 0]];
+        let (x, v) = fractional_edge_cover_exact(3, &edges).unwrap();
+        assert_eq!(v, r(3, 2));
+        assert_eq!(x, vec![r(1, 2), r(1, 2), r(1, 2)]);
+    }
+
+    #[test]
+    fn path_of_two_edges() {
+        // R(x,y), S(y,z): x forces R, z forces S → cover number 2.
+        let edges = vec![vec![0, 1], vec![1, 2]];
+        let (_, v) = fractional_edge_cover_exact(3, &edges).unwrap();
+        assert_eq!(v, Rational::from_int(2));
+    }
+
+    #[test]
+    fn four_cycle_is_two() {
+        let edges = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]];
+        let (_, v) = fractional_edge_cover_exact(4, &edges).unwrap();
+        assert_eq!(v, Rational::from_int(2));
+    }
+
+    #[test]
+    fn five_cycle_is_five_halves() {
+        let edges = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]];
+        let (_, v) = fractional_edge_cover_exact(5, &edges).unwrap();
+        assert_eq!(v, r(5, 2));
+    }
+
+    #[test]
+    fn star_needs_every_leaf_edge() {
+        // S1(x,a), S2(x,b), S3(x,c): leaves force all three edges.
+        let edges = vec![vec![0, 1], vec![0, 2], vec![0, 3]];
+        let (x, v) = fractional_edge_cover_exact(4, &edges).unwrap();
+        assert_eq!(v, Rational::from_int(3));
+        assert_eq!(x, vec![Rational::ONE; 3]);
+    }
+
+    #[test]
+    fn covering_hyperedge_costs_one() {
+        // One big edge covering everything plus small edges: optimum 1.
+        let edges = vec![vec![0, 1, 2], vec![0, 1], vec![2]];
+        let (_, v) = fractional_edge_cover_exact(3, &edges).unwrap();
+        assert_eq!(v, Rational::ONE);
+    }
+
+    #[test]
+    fn isolated_vertex_is_infeasible() {
+        assert!(fractional_edge_cover_exact(2, &[vec![0]]).is_none());
+    }
+
+    #[test]
+    fn weighted_cover_prefers_cheap_edges() {
+        // Two parallel edges over {0,1}; weight 10 vs 1 → pick the cheap one.
+        let edges = vec![vec![0, 1], vec![0, 1]];
+        let w = vec![Rational::from_int(10), Rational::ONE];
+        let (x, v) = solve_cover(2, &edges, &w).unwrap();
+        assert_eq!(v, Rational::ONE);
+        assert_eq!(x, vec![Rational::ZERO, Rational::ONE]);
+    }
+
+    #[test]
+    fn agm_bound_triangle() {
+        // Triangle with all |R| = N: bound is N^{3/2}.
+        let edges = vec![vec![0, 1], vec![1, 2], vec![2, 0]];
+        let n = 10_000u64;
+        let bound = agm_bound(3, &edges, &[n, n, n]).unwrap();
+        assert!((bound - (n as f64).powf(1.5)).abs() / bound < 1e-9);
+    }
+
+    #[test]
+    fn agm_bound_join_of_two() {
+        // R(x,y) ⋈ S(y,z): bound |R|·|S|.
+        let edges = vec![vec![0, 1], vec![1, 2]];
+        let bound = agm_bound(3, &edges, &[100, 50]).unwrap();
+        assert!((bound - 5000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn agm_bound_empty_relation() {
+        let edges = vec![vec![0, 1]];
+        let bound = agm_bound(2, &edges, &[0]).unwrap();
+        assert!((bound - 1.0).abs() < 1e-9);
+    }
+}

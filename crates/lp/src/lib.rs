@@ -1,0 +1,47 @@
+//! # eh-lp
+//!
+//! A small linear-programming substrate for the AGM bound (Atserias–Grohe–
+//! Marx) and fractional hypertree width computations in Aberger et al.
+//! (ICDE 2016), §II-B and §II-C.
+//!
+//! The paper's planner needs, per candidate GHD node, the optimum of the
+//! *fractional edge cover* program
+//!
+//! ```text
+//!   minimize   Σ_e  w_e · x_e
+//!   subject to Σ_{e ∋ v} x_e ≥ 1   for every vertex v
+//!              x_e ≥ 0
+//! ```
+//!
+//! with `w_e = 1` (the fractional edge-cover *number*, e.g. `3/2` for the
+//! triangle — the width the paper quotes for LUBM query 2) or
+//! `w_e = log₂ |R_e|` (the cardinality-aware AGM exponent used when pushing
+//! selections across GHD nodes, §III-B2 step 1).
+//!
+//! The solver is a dense two-phase primal simplex with Bland's rule,
+//! generic over a [`Scalar`] so the same code runs exactly over
+//! [`Rational`] (unit weights; used in tests and width computations) and
+//! approximately over `f64` (log-size weights).
+//!
+//! ```
+//! use eh_lp::{fractional_edge_cover_exact, Rational};
+//!
+//! // Triangle query R(x,y) ⋈ S(y,z) ⋈ T(z,x): fhw = 3/2.
+//! let edges = vec![vec![0, 1], vec![1, 2], vec![2, 0]];
+//! let (x, value) = fractional_edge_cover_exact(3, &edges).unwrap();
+//! assert_eq!(value, Rational::new(3, 2));
+//! assert!(x.iter().all(|xi| *xi == Rational::new(1, 2)));
+//! ```
+
+mod cover;
+mod rational;
+mod scalar;
+mod simplex;
+
+pub use cover::{agm_bound, fractional_edge_cover, fractional_edge_cover_exact};
+pub use rational::Rational;
+pub use scalar::Scalar;
+pub use simplex::{solve, LinearProgram, LpOutcome};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,116 @@
+//! Property tests for the LP solver.
+//!
+//! Oracle: for *graphs* (all hyperedges binary), the fractional edge-cover
+//! LP always has a half-integral optimum (König-type theorem), so a brute
+//! force over `x_e ∈ {0, ½, 1}` is exact and independent of the simplex
+//! implementation.
+
+use proptest::prelude::*;
+
+use crate::rational::Rational;
+use crate::{fractional_edge_cover, fractional_edge_cover_exact};
+
+/// Random connected-ish graph edge lists over `n` vertices where every
+/// vertex is covered (so the LP is feasible).
+fn covered_graph() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
+    (2usize..6)
+        .prop_flat_map(|n| {
+            let extra = proptest::collection::vec((0..n, 0..n), 0..6);
+            (Just(n), extra)
+        })
+        .prop_map(|(n, extra)| {
+            // Spanning path guarantees coverage of every vertex.
+            let mut edges: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
+            for (a, b) in extra {
+                if a != b {
+                    edges.push(vec![a, b]);
+                }
+            }
+            (n, edges)
+        })
+}
+
+fn brute_force_half_integral(n: usize, edges: &[Vec<usize>]) -> Rational {
+    let m = edges.len();
+    let choices = [Rational::ZERO, Rational::new(1, 2), Rational::ONE];
+    let mut best: Option<Rational> = None;
+    let mut assignment = vec![0usize; m];
+    loop {
+        // Check feasibility of the current assignment.
+        let feasible = (0..n).all(|v| {
+            let mut total = Rational::ZERO;
+            for (e, edge) in edges.iter().enumerate() {
+                if edge.contains(&v) {
+                    total = total + choices[assignment[e]];
+                }
+            }
+            total >= Rational::ONE
+        });
+        if feasible {
+            let mut cost = Rational::ZERO;
+            for &a in &assignment {
+                cost = cost + choices[a];
+            }
+            best = Some(match best {
+                None => cost,
+                Some(b) if cost < b => cost,
+                Some(b) => b,
+            });
+        }
+        // Next assignment in base 3.
+        let mut i = 0;
+        loop {
+            if i == m {
+                return best.expect("spanning path keeps the program feasible");
+            }
+            assignment[i] += 1;
+            if assignment[i] < 3 {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simplex_matches_half_integral_brute_force((n, edges) in covered_graph()) {
+        prop_assume!(edges.len() <= 8); // keep the 3^m oracle cheap
+        let (_, lp_value) = fractional_edge_cover_exact(n, &edges).unwrap();
+        let brute = brute_force_half_integral(n, &edges);
+        prop_assert_eq!(lp_value, brute);
+    }
+
+    #[test]
+    fn solution_is_feasible((n, edges) in covered_graph()) {
+        let (x, value) = fractional_edge_cover_exact(n, &edges).unwrap();
+        // Every vertex covered with weight >= 1.
+        for v in 0..n {
+            let mut total = Rational::ZERO;
+            for (e, edge) in edges.iter().enumerate() {
+                if edge.contains(&v) {
+                    total = total + x[e];
+                }
+            }
+            prop_assert!(total >= Rational::ONE);
+        }
+        // Objective equals the sum of weights, all non-negative.
+        let mut sum = Rational::ZERO;
+        for xe in &x {
+            prop_assert!(*xe >= Rational::ZERO);
+            sum = sum + *xe;
+        }
+        prop_assert_eq!(sum, value);
+    }
+
+    #[test]
+    fn f64_solver_agrees_with_exact((n, edges) in covered_graph()) {
+        let (_, exact) = fractional_edge_cover_exact(n, &edges).unwrap();
+        let w = vec![1.0; edges.len()];
+        let (_, approx) = fractional_edge_cover(n, &edges, &w).unwrap();
+        prop_assert!((approx - exact.to_f64()).abs() < 1e-6);
+    }
+}

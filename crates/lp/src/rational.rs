@@ -1,0 +1,210 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The LPs solved here are tiny (LUBM queries have at most six hyperedges),
+//! so a dense simplex over normalized `i128` fractions is both exact and
+//! fast. Overflow is a programming error for these problem sizes and
+//! panics via checked arithmetic.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A normalized rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics when `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den);
+        let sign = if den < 0 { -1 } else { 1 };
+        if g == 0 {
+            return Rational::ZERO;
+        }
+        Rational { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// Construct from an integer.
+    pub fn from_int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Convert to `f64` (used only for reporting).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// True when exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics when `self` is zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, o: Rational) -> Rational {
+        Rational::new(
+            self.num.checked_mul(o.den).and_then(|a| a.checked_add(o.num.checked_mul(self.den).unwrap())).unwrap(),
+            self.den.checked_mul(o.den).unwrap(),
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, o: Rational) -> Rational {
+        self + (-o)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, o: Rational) -> Rational {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num, o.den).max(1);
+        let g2 = gcd(o.num, self.den).max(1);
+        Rational::new(
+            (self.num / g1).checked_mul(o.num / g2).unwrap(),
+            (self.den / g2).checked_mul(o.den / g1).unwrap(),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a * (1/b) by definition
+    fn div(self, o: Rational) -> Rational {
+        self * o.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, o: &Rational) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, o: &Rational) -> Ordering {
+        // den > 0 on both sides, so cross-multiplication preserves order.
+        (self.num.checked_mul(o.den).unwrap()).cmp(&o.num.checked_mul(self.den).unwrap())
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let half = Rational::new(1, 2);
+        let third = Rational::new(1, 3);
+        assert_eq!(half + third, Rational::new(5, 6));
+        assert_eq!(half - third, Rational::new(1, 6));
+        assert_eq!(half * third, Rational::new(1, 6));
+        assert_eq!(half / third, Rational::new(3, 2));
+        assert_eq!(-half, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 7) == Rational::ONE);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rational::from_int(4).to_string(), "4");
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(Rational::new(2, 3).recip(), Rational::new(3, 2));
+        assert_eq!(Rational::new(-2, 3).recip(), Rational::new(-3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn to_f64() {
+        assert!((Rational::new(3, 2).to_f64() - 1.5).abs() < 1e-12);
+    }
+}

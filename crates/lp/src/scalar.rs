@@ -1,0 +1,122 @@
+//! Numeric abstraction letting the simplex solver run exactly over
+//! [`Rational`] or approximately over `f64`.
+
+use crate::rational::Rational;
+
+/// The field operations the simplex tableau needs.
+///
+/// `is_zero`/sign predicates carry the tolerance policy: exact for
+/// rationals, epsilon-based for floats, so the same pivoting code is
+/// correct for both.
+pub trait Scalar: Clone + PartialOrd + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// `self + o`.
+    fn add(&self, o: &Self) -> Self;
+    /// `self - o`.
+    fn sub(&self, o: &Self) -> Self;
+    /// `self * o`.
+    fn mul(&self, o: &Self) -> Self;
+    /// `self / o`.
+    fn div(&self, o: &Self) -> Self;
+    /// `-self`.
+    fn neg(&self) -> Self;
+    /// True when zero (within tolerance for floats).
+    fn is_zero(&self) -> bool;
+    /// True when strictly positive (beyond tolerance for floats).
+    fn is_positive(&self) -> bool {
+        !self.is_zero() && *self > Self::zero()
+    }
+    /// True when strictly negative (beyond tolerance for floats).
+    fn is_negative(&self) -> bool {
+        !self.is_zero() && *self < Self::zero()
+    }
+}
+
+impl Scalar for Rational {
+    fn zero() -> Self {
+        Rational::ZERO
+    }
+    fn one() -> Self {
+        Rational::ONE
+    }
+    fn add(&self, o: &Self) -> Self {
+        *self + *o
+    }
+    fn sub(&self, o: &Self) -> Self {
+        *self - *o
+    }
+    fn mul(&self, o: &Self) -> Self {
+        *self * *o
+    }
+    fn div(&self, o: &Self) -> Self {
+        *self / *o
+    }
+    fn neg(&self) -> Self {
+        -*self
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+}
+
+/// Comparison tolerance for the floating-point instantiation.
+const F64_EPS: f64 = 1e-9;
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(&self, o: &Self) -> Self {
+        self + o
+    }
+    fn sub(&self, o: &Self) -> Self {
+        self - o
+    }
+    fn mul(&self, o: &Self) -> Self {
+        self * o
+    }
+    fn div(&self, o: &Self) -> Self {
+        self / o
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        self.abs() < F64_EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_scalar_predicates() {
+        assert!(Scalar::is_zero(&Rational::ZERO));
+        assert!(Rational::new(1, 4).is_positive());
+        assert!(Rational::new(-1, 4).is_negative());
+    }
+
+    #[test]
+    fn f64_tolerance() {
+        assert!(Scalar::is_zero(&1e-12));
+        assert!(1e-3.is_positive());
+        assert!((-1e-3).is_negative());
+        assert!(!1e-12.is_positive());
+    }
+
+    #[test]
+    fn field_ops_agree() {
+        let a = Rational::new(3, 4);
+        let b = Rational::new(1, 2);
+        assert_eq!(Scalar::add(&a, &b), Rational::new(5, 4));
+        assert_eq!(Scalar::div(&a, &b), Rational::new(3, 2));
+        assert_eq!(Scalar::neg(&a), Rational::new(-3, 4));
+    }
+}

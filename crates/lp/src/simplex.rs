@@ -1,0 +1,361 @@
+//! Dense two-phase primal simplex with Bland's anti-cycling rule.
+//!
+//! Problems are stated in the covering form the AGM bound needs:
+//! `minimize c·x subject to A x ≥ b, x ≥ 0`. Each constraint gets a
+//! surplus variable; feasibility is established in phase 1 with artificial
+//! variables. The tableau is dense — the planner's programs have at most a
+//! handful of rows and columns.
+
+use crate::scalar::Scalar;
+
+/// A linear program `minimize objective · x  s.t.  rows · x ≥ rhs, x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct LinearProgram<S> {
+    /// Cost vector (length = number of variables).
+    pub objective: Vec<S>,
+    /// Constraints as `(coefficients, rhs)` meaning `coeffs · x ≥ rhs`.
+    pub constraints: Vec<(Vec<S>, S)>,
+}
+
+/// Result of [`solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome<S> {
+    /// An optimal basic solution.
+    Optimal {
+        /// Primal solution vector.
+        x: Vec<S>,
+        /// Objective value at `x`.
+        value: S,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+struct Tableau<S> {
+    rows: Vec<Vec<S>>, // m rows, each of width total_cols (no rhs)
+    rhs: Vec<S>,
+    basis: Vec<usize>,
+    n_vars: usize, // original variables
+}
+
+impl<S: Scalar> Tableau<S> {
+    fn pivot(&mut self, cost: &mut [S], cost_rhs: &mut S, pr: usize, pc: usize) {
+        // Normalize the pivot row.
+        let p = self.rows[pr][pc].clone();
+        debug_assert!(!p.is_zero());
+        for v in self.rows[pr].iter_mut() {
+            *v = v.div(&p);
+        }
+        self.rhs[pr] = self.rhs[pr].div(&p);
+        // Eliminate the pivot column from every other row.
+        for r in 0..self.rows.len() {
+            if r == pr {
+                continue;
+            }
+            let f = self.rows[r][pc].clone();
+            if f.is_zero() {
+                continue;
+            }
+            for c in 0..self.rows[r].len() {
+                let delta = f.mul(&self.rows[pr][c]);
+                self.rows[r][c] = self.rows[r][c].sub(&delta);
+            }
+            self.rhs[r] = self.rhs[r].sub(&f.mul(&self.rhs[pr]));
+        }
+        // And from the cost row.
+        let f = cost[pc].clone();
+        if !f.is_zero() {
+            for (cv, pv) in cost.iter_mut().zip(self.rows[pr].iter()) {
+                *cv = cv.sub(&f.mul(pv));
+            }
+            *cost_rhs = cost_rhs.sub(&f.mul(&self.rhs[pr]));
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Run Bland-rule pivoting until optimality over the allowed column
+    /// range `0..max_col`. Returns `false` when unbounded.
+    fn optimize(&mut self, cost: &mut [S], cost_rhs: &mut S, max_col: usize) -> bool {
+        loop {
+            // Entering column: smallest index with negative reduced cost.
+            let Some(pc) = (0..max_col).find(|&c| cost[c].is_negative()) else {
+                return true; // optimal
+            };
+            // Leaving row: minimum ratio rhs/row[pc] over positive entries,
+            // ties broken by smallest basis index (Bland).
+            let mut best: Option<(usize, S)> = None;
+            for r in 0..self.rows.len() {
+                if !self.rows[r][pc].is_positive() {
+                    continue;
+                }
+                let ratio = self.rhs[r].div(&self.rows[r][pc]);
+                let better = match &best {
+                    None => true,
+                    Some((br, bratio)) => {
+                        ratio < *bratio
+                            || (!ratio.sub(bratio).is_negative()
+                                && !ratio.sub(bratio).is_positive()
+                                && self.basis[r] < self.basis[*br])
+                    }
+                };
+                if better {
+                    best = Some((r, ratio));
+                }
+            }
+            match best {
+                None => return false, // unbounded in this column
+                Some((pr, _)) => self.pivot(cost, cost_rhs, pr, pc),
+            }
+        }
+    }
+}
+
+/// Solve a covering-form linear program. See [`LinearProgram`].
+pub fn solve<S: Scalar>(lp: &LinearProgram<S>) -> LpOutcome<S> {
+    let n = lp.objective.len();
+    let m = lp.constraints.len();
+    if m == 0 {
+        // x = 0 is optimal for non-negative costs; negative costs are
+        // unbounded (x can grow without constraint).
+        if lp.objective.iter().any(|c| c.is_negative()) {
+            return LpOutcome::Unbounded;
+        }
+        return LpOutcome::Optimal { x: vec![S::zero(); n], value: S::zero() };
+    }
+    let n_structural = n + m; // original + surplus
+    let total = n_structural + m; // + artificial
+    let mut t = Tableau {
+        rows: Vec::with_capacity(m),
+        rhs: Vec::with_capacity(m),
+        basis: (0..m).map(|i| n_structural + i).collect(),
+        n_vars: n,
+    };
+    for (i, (coeffs, rhs)) in lp.constraints.iter().enumerate() {
+        assert_eq!(coeffs.len(), n, "constraint arity mismatch");
+        let mut row = vec![S::zero(); total];
+        let negate = rhs.is_negative();
+        for (j, a) in coeffs.iter().enumerate() {
+            row[j] = if negate { a.neg() } else { a.clone() };
+        }
+        // Surplus: coeffs · x - s = rhs  (sign flips with the row).
+        row[n + i] = if negate { S::one() } else { S::one().neg() };
+        row[n_structural + i] = S::one();
+        t.rows.push(row);
+        t.rhs.push(if negate { rhs.neg() } else { rhs.clone() });
+    }
+
+    // Phase 1: minimize the sum of artificials. Reduced costs start as
+    // c1 - 1ᵀA (artificial basis has unit cost).
+    let mut cost1 = vec![S::zero(); total];
+    for c in cost1[n_structural..].iter_mut() {
+        *c = S::one();
+    }
+    let mut cost1_rhs = S::zero();
+    for r in 0..m {
+        for (cv, rv) in cost1.iter_mut().zip(t.rows[r].iter()) {
+            *cv = cv.sub(rv);
+        }
+        cost1_rhs = cost1_rhs.sub(&t.rhs[r]);
+    }
+    if !t.optimize(&mut cost1, &mut cost1_rhs, total) {
+        // Phase 1 is bounded below by 0; unbounded cannot happen.
+        unreachable!("phase-1 simplex reported unbounded");
+    }
+    // Feasible iff the phase-1 optimum is zero (value = -cost1_rhs).
+    if cost1_rhs.neg().is_positive() {
+        return LpOutcome::Infeasible;
+    }
+
+    // Drive artificial variables out of the basis; drop redundant rows.
+    let mut r = 0;
+    let mut dummy_cost = vec![S::zero(); total];
+    let mut dummy_rhs = S::zero();
+    while r < t.rows.len() {
+        if t.basis[r] >= n_structural {
+            if let Some(pc) = (0..n_structural).find(|&c| !t.rows[r][c].is_zero()) {
+                t.pivot(&mut dummy_cost, &mut dummy_rhs, r, pc);
+                r += 1;
+            } else {
+                // Entire structural part is zero: redundant constraint.
+                t.rows.remove(r);
+                t.rhs.remove(r);
+                t.basis.remove(r);
+            }
+        } else {
+            r += 1;
+        }
+    }
+
+    // Phase 2: original objective, artificial columns excluded.
+    let mut cost2 = vec![S::zero(); total];
+    cost2[..n].clone_from_slice(&lp.objective);
+    let mut cost2_rhs = S::zero();
+    for r in 0..t.rows.len() {
+        let b = t.basis[r];
+        let cb = cost2[b].clone();
+        if cb.is_zero() {
+            continue;
+        }
+        for (cv, rv) in cost2.iter_mut().zip(t.rows[r].iter()) {
+            *cv = cv.sub(&cb.mul(rv));
+        }
+        cost2_rhs = cost2_rhs.sub(&cb.mul(&t.rhs[r]));
+    }
+    if !t.optimize(&mut cost2, &mut cost2_rhs, n_structural) {
+        return LpOutcome::Unbounded;
+    }
+
+    let mut x = vec![S::zero(); t.n_vars];
+    for (r, &b) in t.basis.iter().enumerate() {
+        if b < t.n_vars {
+            x[b] = t.rhs[r].clone();
+        }
+    }
+    LpOutcome::Optimal { x, value: cost2_rhs.neg() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::Rational;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn ri(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn trivial_no_constraints() {
+        let lp = LinearProgram { objective: vec![ri(1), ri(2)], constraints: vec![] };
+        assert_eq!(solve(&lp), LpOutcome::Optimal { x: vec![ri(0), ri(0)], value: ri(0) });
+    }
+
+    #[test]
+    fn unbounded_without_constraints() {
+        let lp = LinearProgram { objective: vec![ri(-1)], constraints: vec![] };
+        assert_eq!(solve(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn single_variable_cover() {
+        // min x st x >= 3
+        let lp = LinearProgram { objective: vec![ri(1)], constraints: vec![(vec![ri(1)], ri(3))] };
+        assert_eq!(solve(&lp), LpOutcome::Optimal { x: vec![ri(3)], value: ri(3) });
+    }
+
+    #[test]
+    fn two_variable_cover() {
+        // min x + y  st  x + y >= 1, x >= 1/2 — optimum 1.
+        let lp = LinearProgram {
+            objective: vec![ri(1), ri(1)],
+            constraints: vec![(vec![ri(1), ri(1)], ri(1)), (vec![ri(1), ri(0)], r(1, 2))],
+        };
+        match solve(&lp) {
+            LpOutcome::Optimal { value, x } => {
+                assert_eq!(value, ri(1));
+                assert!(x[0] >= r(1, 2));
+            }
+            o => panic!("unexpected outcome {o:?}"),
+        }
+    }
+
+    #[test]
+    fn triangle_cover_is_three_halves() {
+        // Vertex constraints of the triangle hypergraph.
+        let lp = LinearProgram {
+            objective: vec![ri(1), ri(1), ri(1)],
+            constraints: vec![
+                (vec![ri(1), ri(0), ri(1)], ri(1)), // x covered by R, T
+                (vec![ri(1), ri(1), ri(0)], ri(1)), // y covered by R, S
+                (vec![ri(0), ri(1), ri(1)], ri(1)), // z covered by S, T
+            ],
+        };
+        match solve(&lp) {
+            LpOutcome::Optimal { value, x } => {
+                assert_eq!(value, r(3, 2));
+                assert_eq!(x, vec![r(1, 2), r(1, 2), r(1, 2)]);
+            }
+            o => panic!("unexpected outcome {o:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 2 and -x >= -1 (i.e. x <= 1): empty.
+        let lp = LinearProgram {
+            objective: vec![ri(1)],
+            constraints: vec![(vec![ri(1)], ri(2)), (vec![ri(-1)], ri(-1))],
+        };
+        assert_eq!(solve(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // -x >= -5 (x <= 5), min -x ... bounded: optimum -5 at x=5.
+        let lp = LinearProgram {
+            objective: vec![ri(-1)],
+            constraints: vec![(vec![ri(-1)], ri(-5))],
+        };
+        assert_eq!(solve(&lp), LpOutcome::Optimal { x: vec![ri(5)], value: ri(-5) });
+    }
+
+    #[test]
+    fn unbounded_with_constraints() {
+        // min -x st x >= 1: unbounded below.
+        let lp = LinearProgram { objective: vec![ri(-1)], constraints: vec![(vec![ri(1)], ri(1))] };
+        assert_eq!(solve(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn redundant_constraints_are_dropped() {
+        // Same constraint twice plus its double: min x st x >= 1 (x3).
+        let lp = LinearProgram {
+            objective: vec![ri(1)],
+            constraints: vec![
+                (vec![ri(1)], ri(1)),
+                (vec![ri(1)], ri(1)),
+                (vec![ri(2)], ri(2)),
+            ],
+        };
+        assert_eq!(solve(&lp), LpOutcome::Optimal { x: vec![ri(1)], value: ri(1) });
+    }
+
+    #[test]
+    fn f64_instantiation_matches_rational() {
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0, 1.0],
+            constraints: vec![
+                (vec![1.0, 0.0, 1.0], 1.0),
+                (vec![1.0, 1.0, 0.0], 1.0),
+                (vec![0.0, 1.0, 1.0], 1.0),
+            ],
+        };
+        match solve(&lp) {
+            LpOutcome::Optimal { value, .. } => assert!((value - 1.5).abs() < 1e-9),
+            o => panic!("unexpected outcome {o:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_program_terminates() {
+        // Multiple ties in the ratio test exercise Bland's rule.
+        let lp = LinearProgram {
+            objective: vec![ri(1), ri(1)],
+            constraints: vec![
+                (vec![ri(1), ri(1)], ri(1)),
+                (vec![ri(1), ri(1)], ri(1)),
+                (vec![ri(2), ri(2)], ri(2)),
+                (vec![ri(1), ri(0)], ri(0)),
+            ],
+        };
+        match solve(&lp) {
+            LpOutcome::Optimal { value, .. } => assert_eq!(value, ri(1)),
+            o => panic!("unexpected outcome {o:?}"),
+        }
+    }
+}

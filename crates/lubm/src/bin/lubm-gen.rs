@@ -1,0 +1,74 @@
+//! `lubm-gen` — write a LUBM dataset as an N-Triples file, mirroring the
+//! original UBA generator's command-line role.
+//!
+//! ```text
+//! cargo run --release -p eh-lubm --bin lubm-gen -- --universities 2 --out lubm2.nt
+//! cargo run --release -p eh-lubm --bin lubm-gen -- --universities 1 --stats-only
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use eh_lubm::{generate_with, GeneratorConfig};
+
+fn main() {
+    let mut universities = 1u32;
+    let mut seed = 42u64;
+    let mut out: Option<String> = None;
+    let mut stats_only = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--universities" | "-u" => {
+                universities = argv[i + 1].parse().expect("--universities takes a number");
+                i += 2;
+            }
+            "--seed" | "-s" => {
+                seed = argv[i + 1].parse().expect("--seed takes a number");
+                i += 2;
+            }
+            "--out" | "-o" => {
+                out = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--stats-only" => {
+                stats_only = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: lubm-gen [--universities N] [--seed S] [--out FILE | --stats-only]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = GeneratorConfig::scale(universities).with_seed(seed);
+    let counts = if stats_only {
+        generate_with(&cfg, &mut |_| {})
+    } else {
+        let path = out.unwrap_or_else(|| format!("lubm{universities}.nt"));
+        let file = File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        let mut w = BufWriter::new(file);
+        let counts = generate_with(&cfg, &mut |t| {
+            writeln!(w, "{t}").expect("write triple");
+        });
+        w.flush().expect("flush output");
+        eprintln!("wrote {path}");
+        counts
+    };
+
+    eprintln!(
+        "LUBM({universities}) seed {seed}: {} triples, {} departments, {} faculty, \
+         {} undergraduates, {} graduate students, {} courses, {} publications",
+        counts.triples,
+        counts.departments,
+        counts.faculty,
+        counts.undergrad_students,
+        counts.grad_students,
+        counts.courses + counts.graduate_courses,
+        counts.publications,
+    );
+}

@@ -1,0 +1,136 @@
+//! Generator configuration: the published UBA profile, scale-parametrised.
+
+/// Inclusive integer range used for all profile parameters.
+pub type Range = (u32, u32);
+
+/// Configuration of the LUBM generator.
+///
+/// Defaults reproduce the published UBA 1.7 profile (Guo et al. 2005).
+/// `universities` is the scale knob: the paper's dataset (133M triples) is
+/// roughly LUBM(1000); LUBM(1) is ~100k triples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Number of universities (the LUBM scale factor).
+    pub universities: u32,
+    /// RNG seed; the same seed and profile generate identical datasets.
+    pub seed: u64,
+    /// Departments per university (UBA: 15–25).
+    pub depts_per_univ: Range,
+    /// Full professors per department (UBA: 7–10).
+    pub full_profs: Range,
+    /// Associate professors per department (UBA: 10–14).
+    pub assoc_profs: Range,
+    /// Assistant professors per department (UBA: 8–11).
+    pub asst_profs: Range,
+    /// Lecturers per department (UBA: 5–7).
+    pub lecturers: Range,
+    /// Undergraduate students per faculty member (UBA: 8–14).
+    pub undergrad_ratio: Range,
+    /// Graduate students per faculty member (UBA: 3–4).
+    pub grad_ratio: Range,
+    /// Undergraduate courses taught per faculty member (UBA: 1–2).
+    pub courses_per_faculty: Range,
+    /// Graduate courses taught per faculty member (UBA: 1–2).
+    pub gcourses_per_faculty: Range,
+    /// Courses taken per undergraduate (UBA: 2–4).
+    pub undergrad_courses_taken: Range,
+    /// Graduate courses taken per graduate student (UBA: 1–3).
+    pub grad_courses_taken: Range,
+    /// Research groups per department (UBA: 10–20).
+    pub research_groups: Range,
+    /// Publications per full professor (UBA: 15–20).
+    pub pubs_full: Range,
+    /// Publications per associate professor (UBA: 10–18).
+    pub pubs_assoc: Range,
+    /// Publications per assistant professor (UBA: 5–10).
+    pub pubs_asst: Range,
+    /// Publications per lecturer (UBA: 0–5).
+    pub pubs_lect: Range,
+    /// Publications per graduate student, co-authored with the advisor
+    /// (UBA: 0–5).
+    pub pubs_grad: Range,
+    /// One in `undergrad_advisor_fraction` undergraduates has an advisor
+    /// (UBA: 1 in 5).
+    pub undergrad_advisor_fraction: u32,
+}
+
+impl GeneratorConfig {
+    /// The published UBA profile at scale `universities`, seed 42.
+    pub fn scale(universities: u32) -> GeneratorConfig {
+        GeneratorConfig {
+            universities,
+            seed: 42,
+            depts_per_univ: (15, 25),
+            full_profs: (7, 10),
+            assoc_profs: (10, 14),
+            asst_profs: (8, 11),
+            lecturers: (5, 7),
+            undergrad_ratio: (8, 14),
+            grad_ratio: (3, 4),
+            courses_per_faculty: (1, 2),
+            gcourses_per_faculty: (1, 2),
+            undergrad_courses_taken: (2, 4),
+            grad_courses_taken: (1, 3),
+            research_groups: (10, 20),
+            pubs_full: (15, 20),
+            pubs_assoc: (10, 18),
+            pubs_asst: (5, 10),
+            pubs_lect: (0, 5),
+            pubs_grad: (0, 5),
+            undergrad_advisor_fraction: 5,
+        }
+    }
+
+    /// A shrunken profile for fast unit tests: same shape (all entity
+    /// kinds present, same ratios of ratios) but 3–4 departments and
+    /// smaller fan-outs.
+    pub fn tiny(universities: u32) -> GeneratorConfig {
+        GeneratorConfig {
+            depts_per_univ: (3, 4),
+            full_profs: (2, 3),
+            assoc_profs: (3, 4),
+            asst_profs: (2, 3),
+            lecturers: (1, 2),
+            undergrad_ratio: (4, 6),
+            grad_ratio: (2, 3),
+            research_groups: (2, 4),
+            pubs_full: (3, 5),
+            pubs_assoc: (2, 4),
+            pubs_asst: (1, 3),
+            pubs_lect: (0, 2),
+            pubs_grad: (0, 2),
+            ..GeneratorConfig::scale(universities)
+        }
+    }
+
+    /// Override the seed, keeping the profile.
+    pub fn with_seed(mut self, seed: u64) -> GeneratorConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for GeneratorConfig {
+    /// LUBM(1) with the published profile.
+    fn default() -> Self {
+        GeneratorConfig::scale(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_scale_one() {
+        assert_eq!(GeneratorConfig::default(), GeneratorConfig::scale(1));
+    }
+
+    #[test]
+    fn tiny_keeps_scale_and_seed_handling() {
+        let c = GeneratorConfig::tiny(3).with_seed(7);
+        assert_eq!(c.universities, 3);
+        assert_eq!(c.seed, 7);
+        assert!(c.depts_per_univ.1 < GeneratorConfig::scale(3).depts_per_univ.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! IRI constants of the univ-bench ontology subset the paper's queries
+//! touch.
+
+/// The univ-bench ontology namespace used by LUBM and the paper's queries.
+pub const UB: &str = "http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#";
+
+/// `rdf:type`.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Classes instantiated by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// `ub:University`
+    University,
+    /// `ub:Department`
+    Department,
+    /// `ub:FullProfessor`
+    FullProfessor,
+    /// `ub:AssociateProfessor`
+    AssociateProfessor,
+    /// `ub:AssistantProfessor`
+    AssistantProfessor,
+    /// `ub:Lecturer`
+    Lecturer,
+    /// `ub:UndergraduateStudent`
+    UndergraduateStudent,
+    /// `ub:GraduateStudent`
+    GraduateStudent,
+    /// `ub:Course`
+    Course,
+    /// `ub:GraduateCourse`
+    GraduateCourse,
+    /// `ub:Publication`
+    Publication,
+    /// `ub:ResearchGroup`
+    ResearchGroup,
+}
+
+impl Class {
+    /// The class's local name (`FullProfessor`, ...).
+    pub fn local_name(self) -> &'static str {
+        match self {
+            Class::University => "University",
+            Class::Department => "Department",
+            Class::FullProfessor => "FullProfessor",
+            Class::AssociateProfessor => "AssociateProfessor",
+            Class::AssistantProfessor => "AssistantProfessor",
+            Class::Lecturer => "Lecturer",
+            Class::UndergraduateStudent => "UndergraduateStudent",
+            Class::GraduateStudent => "GraduateStudent",
+            Class::Course => "Course",
+            Class::GraduateCourse => "GraduateCourse",
+            Class::Publication => "Publication",
+            Class::ResearchGroup => "ResearchGroup",
+        }
+    }
+}
+
+/// Predicates emitted by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `ub:worksFor` (faculty → department)
+    WorksFor,
+    /// `ub:memberOf` (student → department)
+    MemberOf,
+    /// `ub:subOrganizationOf` (department → university, group → department)
+    SubOrganizationOf,
+    /// `ub:undergraduateDegreeFrom`
+    UndergraduateDegreeFrom,
+    /// `ub:mastersDegreeFrom`
+    MastersDegreeFrom,
+    /// `ub:doctoralDegreeFrom`
+    DoctoralDegreeFrom,
+    /// `ub:teacherOf` (faculty → course)
+    TeacherOf,
+    /// `ub:takesCourse` (student → course)
+    TakesCourse,
+    /// `ub:advisor` (student → professor)
+    Advisor,
+    /// `ub:publicationAuthor` (publication → person)
+    PublicationAuthor,
+    /// `ub:headOf` (full professor → department)
+    HeadOf,
+    /// `ub:name`
+    Name,
+    /// `ub:emailAddress`
+    EmailAddress,
+    /// `ub:telephone`
+    Telephone,
+}
+
+impl Predicate {
+    /// The predicate's local name (`worksFor`, ...).
+    pub fn local_name(self) -> &'static str {
+        match self {
+            Predicate::WorksFor => "worksFor",
+            Predicate::MemberOf => "memberOf",
+            Predicate::SubOrganizationOf => "subOrganizationOf",
+            Predicate::UndergraduateDegreeFrom => "undergraduateDegreeFrom",
+            Predicate::MastersDegreeFrom => "mastersDegreeFrom",
+            Predicate::DoctoralDegreeFrom => "doctoralDegreeFrom",
+            Predicate::TeacherOf => "teacherOf",
+            Predicate::TakesCourse => "takesCourse",
+            Predicate::Advisor => "advisor",
+            Predicate::PublicationAuthor => "publicationAuthor",
+            Predicate::HeadOf => "headOf",
+            Predicate::Name => "name",
+            Predicate::EmailAddress => "emailAddress",
+            Predicate::Telephone => "telephone",
+        }
+    }
+}
+
+/// Full IRI of a class.
+pub fn class_iri(c: Class) -> String {
+    format!("{UB}{}", c.local_name())
+}
+
+/// Full IRI of a predicate.
+pub fn pred_iri(p: Predicate) -> String {
+    format!("{UB}{}", p.local_name())
+}
+
+/// Full IRI of `rdf:type`.
+pub fn rdf_type() -> String {
+    RDF_TYPE.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iris_match_lubm_namespace() {
+        assert_eq!(
+            class_iri(Class::GraduateStudent),
+            "http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#GraduateStudent"
+        );
+        assert_eq!(
+            pred_iri(Predicate::SubOrganizationOf),
+            "http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#subOrganizationOf"
+        );
+        assert!(rdf_type().contains("22-rdf-syntax-ns#type"));
+    }
+}

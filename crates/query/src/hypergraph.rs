@@ -1,0 +1,209 @@
+//! Query hypergraphs (paper §II-B): one vertex per variable, one
+//! hyperedge per atom.
+
+use crate::ir::ConjunctiveQuery;
+
+/// The hypergraph `H = (V, E)` of a conjunctive query. Vertex `v` is query
+/// variable `v`; edge `e` lists the variables of atom `e` (so edges here
+/// are always binary — RDF atoms — but GHD code treats them generally).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    /// Number of vertices (query variables, including selection vars).
+    pub num_vertices: usize,
+    /// Edge list: `edges[e]` = sorted variable set of atom `e`.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// Build the hypergraph of a query.
+    pub fn from_query(q: &ConjunctiveQuery) -> Hypergraph {
+        let edges = q
+            .atoms()
+            .iter()
+            .map(|a| {
+                let mut e = vec![a.vars[0], a.vars[1]];
+                e.sort_unstable();
+                e
+            })
+            .collect();
+        Hypergraph { num_vertices: q.num_vars(), edges }
+    }
+
+    /// Build from raw edges (used by tests and GHD search).
+    pub fn new(num_vertices: usize, mut edges: Vec<Vec<usize>>) -> Hypergraph {
+        for e in &mut edges {
+            e.sort_unstable();
+            e.dedup();
+        }
+        Hypergraph { num_vertices, edges }
+    }
+
+    /// Edges incident to vertex `v`.
+    pub fn edges_with(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges.iter().enumerate().filter(move |(_, e)| e.contains(&v)).map(|(i, _)| i)
+    }
+
+    /// Connected components over the *vertices that appear in edges*,
+    /// where two vertices connect when they share an edge. Isolated
+    /// vertices (no incident edge) are excluded.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut comp = vec![usize::MAX; self.num_vertices];
+        let mut n_comp = 0;
+        loop {
+            // Find an unvisited vertex that appears in some edge.
+            let start = (0..self.num_vertices)
+                .find(|&v| comp[v] == usize::MAX && self.edges.iter().any(|e| e.contains(&v)));
+            let Some(start) = start else { break };
+            let mut stack = vec![start];
+            comp[start] = n_comp;
+            while let Some(v) = stack.pop() {
+                for e in &self.edges {
+                    if e.contains(&v) {
+                        for &u in e {
+                            if comp[u] == usize::MAX {
+                                comp[u] = n_comp;
+                                stack.push(u);
+                            }
+                        }
+                    }
+                }
+            }
+            n_comp += 1;
+        }
+        let mut out = vec![Vec::new(); n_comp];
+        for (v, &c) in comp.iter().enumerate() {
+            if c != usize::MAX {
+                out[c].push(v);
+            }
+        }
+        out
+    }
+
+    /// True when every vertex that appears in an edge is reachable from
+    /// every other (i.e. one connected component).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// True when the query is cyclic in the alpha-acyclicity sense —
+    /// computed via GYO reduction (repeatedly remove ear edges and
+    /// isolated vertices). Cyclic queries are where worst-case optimal
+    /// joins beat any pairwise plan (paper §I).
+    pub fn is_cyclic(&self) -> bool {
+        let mut edges: Vec<Vec<usize>> = self.edges.clone();
+        edges.retain(|e| !e.is_empty());
+        loop {
+            let mut changed = false;
+            // Remove vertices that occur in exactly one edge.
+            let mut occurrence = vec![0usize; self.num_vertices];
+            for e in &edges {
+                for &v in e {
+                    occurrence[v] += 1;
+                }
+            }
+            for e in &mut edges {
+                let before = e.len();
+                e.retain(|&v| occurrence[v] > 1);
+                changed |= e.len() != before;
+            }
+            // Remove edges contained in another edge.
+            let snapshot = edges.clone();
+            let before = edges.len();
+            edges = snapshot
+                .iter()
+                .enumerate()
+                .filter(|(i, e)| {
+                    !snapshot.iter().enumerate().any(|(j, f)| {
+                        j != *i
+                            && e.iter().all(|v| f.contains(v))
+                            && (f.len() > e.len() || j < *i)
+                    })
+                })
+                .map(|(_, e)| e.clone())
+                .collect();
+            changed |= edges.len() != before;
+            edges.retain(|e| !e.is_empty());
+            if edges.is_empty() {
+                return false; // fully reduced: acyclic
+            }
+            if !changed {
+                return true; // stuck with non-empty edges: cyclic
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::QueryBuilder;
+
+    fn triangle_graph() -> Hypergraph {
+        Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]])
+    }
+
+    #[test]
+    fn from_query_builds_sorted_edges() {
+        let mut qb = QueryBuilder::new();
+        let (x, y) = (qb.var("x"), qb.var("y"));
+        qb.atom("R", 0, y, x); // reversed positions
+        let q = qb.select(vec![x]).build().unwrap();
+        let h = Hypergraph::from_query(&q);
+        assert_eq!(h.edges, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn edges_with_vertex() {
+        let h = triangle_graph();
+        assert_eq!(h.edges_with(1).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn triangle_is_cyclic_and_connected() {
+        let h = triangle_graph();
+        assert!(h.is_cyclic());
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn path_is_acyclic() {
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        assert!(!h.is_cyclic());
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![0, 2], vec![0, 3]]);
+        assert!(!h.is_cyclic());
+    }
+
+    #[test]
+    fn four_cycle_is_cyclic() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]]);
+        assert!(h.is_cyclic());
+    }
+
+    #[test]
+    fn covered_cycle_is_acyclic() {
+        // A triangle plus a hyperedge covering all three vertices is
+        // alpha-acyclic (the big edge absorbs the cycle).
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![2, 0], vec![0, 1, 2]]);
+        assert!(!h.is_cyclic());
+    }
+
+    #[test]
+    fn components_split_disconnected_queries() {
+        let h = Hypergraph::new(5, vec![vec![0, 1], vec![3, 4]]);
+        let comps = h.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert!(!h.is_connected());
+    }
+
+    #[test]
+    fn duplicate_edges_are_acyclic() {
+        let h = Hypergraph::new(2, vec![vec![0, 1], vec![0, 1]]);
+        assert!(!h.is_cyclic());
+    }
+}

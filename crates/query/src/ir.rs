@@ -1,0 +1,347 @@
+//! Conjunctive queries over binary (vertically partitioned) RDF relations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A query variable, interned as a dense index; resolve names with
+/// [`ConjunctiveQuery::var_name`].
+pub type Var = usize;
+
+/// One binary atom `relation(vars[0], vars[1])` over a predicate table.
+///
+/// `vars[0]` is the subject position and `vars[1]` the object position of
+/// the underlying triple pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Predicate IRI (the vertically partitioned table name).
+    pub relation: String,
+    /// Dictionary key of the predicate in the store this query targets.
+    pub pred: u32,
+    /// Subject and object variables.
+    pub vars: [Var; 2],
+}
+
+/// Errors raised by [`QueryBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An atom used the same variable in both positions (unsupported).
+    RepeatedVarInAtom(String),
+    /// The projection references a variable not bound by any atom.
+    UnboundProjection(String),
+    /// The projection references a selection variable (a constant).
+    ProjectedSelection(String),
+    /// The query has no atoms.
+    Empty,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::RepeatedVarInAtom(r) => {
+                write!(f, "atom over '{r}' repeats a variable; self-join positions are unsupported")
+            }
+            QueryError::UnboundProjection(v) => write!(f, "projected variable '{v}' is not bound by any atom"),
+            QueryError::ProjectedSelection(v) => {
+                write!(f, "projected variable '{v}' carries an equality selection (project constants instead)")
+            }
+            QueryError::Empty => write!(f, "query has no atoms"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A conjunctive query: a set of binary atoms, per-variable equality
+/// selections, and an output projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    var_names: Vec<String>,
+    /// `selections[v]`: `None` = no selection; `Some(Some(id))` = equality
+    /// with dictionary key `id`; `Some(None)` = equality with a constant
+    /// that does not exist in the dictionary (the query result is empty,
+    /// but planners still see the selection's shape).
+    selections: Vec<Option<Option<u32>>>,
+    atoms: Vec<Atom>,
+    projection: Vec<Var>,
+}
+
+impl ConjunctiveQuery {
+    /// Number of variables (including hidden selection variables).
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Name of a variable (hidden selection variables are named `_sN`).
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v]
+    }
+
+    /// Resolve a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<Var> {
+        self.var_names.iter().position(|n| n == name)
+    }
+
+    /// The query atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Output variables in `SELECT` order.
+    pub fn projection(&self) -> &[Var] {
+        &self.projection
+    }
+
+    /// The equality selection on `v`, if any. `Some(None)` means the
+    /// selection constant is absent from the dictionary (empty result).
+    pub fn selection(&self, v: Var) -> Option<Option<u32>> {
+        self.selections[v]
+    }
+
+    /// True when `v` carries an equality selection.
+    pub fn is_selected(&self, v: Var) -> bool {
+        self.selections[v].is_some()
+    }
+
+    /// Variables with selections, in variable order.
+    pub fn selected_vars(&self) -> Vec<Var> {
+        (0..self.num_vars()).filter(|&v| self.is_selected(v)).collect()
+    }
+
+    /// True when some selection constant is missing from the dictionary,
+    /// which forces an empty result regardless of plan.
+    pub fn has_missing_constant(&self) -> bool {
+        self.selections.iter().any(|s| matches!(s, Some(None)))
+    }
+
+    /// Variables in the order of first appearance across atoms — the
+    /// "naive" global attribute order used when the +Attribute
+    /// optimization is disabled (Table I ablation).
+    pub fn appearance_order(&self) -> Vec<Var> {
+        let mut seen = vec![false; self.num_vars()];
+        let mut order = Vec::with_capacity(self.num_vars());
+        for a in &self.atoms {
+            for &v in &a.vars {
+                if !seen[v] {
+                    seen[v] = true;
+                    order.push(v);
+                }
+            }
+        }
+        order
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, &v) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.var_names[v])?;
+        }
+        write!(f, " WHERE ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⋈ ")?;
+            }
+            let short = a.relation.rsplit(['/', '#']).next().unwrap_or(&a.relation);
+            write!(f, "{short}({}, {})", self.var_names[a.vars[0]], self.var_names[a.vars[1]])?;
+        }
+        for (v, sel) in self.selections.iter().enumerate() {
+            if let Some(c) = sel {
+                match c {
+                    Some(id) => write!(f, ", {}=#{id}", self.var_names[v])?,
+                    None => write!(f, ", {}=<missing>", self.var_names[v])?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`ConjunctiveQuery`].
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    var_names: Vec<String>,
+    by_name: HashMap<String, Var>,
+    selections: Vec<Option<Option<u32>>>,
+    atoms: Vec<Atom>,
+    projection: Vec<Var>,
+}
+
+impl QueryBuilder {
+    /// A fresh builder.
+    pub fn new() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// Intern a named variable (idempotent per name).
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = self.var_names.len();
+        self.var_names.push(name.to_string());
+        self.by_name.insert(name.to_string(), v);
+        self.selections.push(None);
+        v
+    }
+
+    /// Create a fresh hidden variable carrying an equality selection.
+    /// `constant` is the dictionary key of the selection value, or `None`
+    /// when the value is not in the dictionary (forcing an empty result).
+    pub fn selection_var(&mut self, constant: Option<u32>) -> Var {
+        let v = self.var_names.len();
+        self.var_names.push(format!("_s{v}"));
+        self.selections.push(Some(constant));
+        v
+    }
+
+    /// Add an atom `relation(s, o)` where `pred` is the predicate's
+    /// dictionary key.
+    pub fn atom(&mut self, relation: &str, pred: u32, s: Var, o: Var) -> &mut Self {
+        self.atoms.push(Atom { relation: relation.to_string(), pred, vars: [s, o] });
+        self
+    }
+
+    /// Set the output projection.
+    pub fn select(&mut self, vars: Vec<Var>) -> &mut Self {
+        self.projection = vars;
+        self
+    }
+
+    /// Finalize, validating the query.
+    pub fn build(&mut self) -> Result<ConjunctiveQuery, QueryError> {
+        if self.atoms.is_empty() {
+            return Err(QueryError::Empty);
+        }
+        for a in &self.atoms {
+            if a.vars[0] == a.vars[1] {
+                return Err(QueryError::RepeatedVarInAtom(a.relation.clone()));
+            }
+        }
+        let mut bound = vec![false; self.var_names.len()];
+        for a in &self.atoms {
+            for &v in &a.vars {
+                bound[v] = true;
+            }
+        }
+        for &v in &self.projection {
+            if !bound[v] {
+                return Err(QueryError::UnboundProjection(self.var_names[v].clone()));
+            }
+            if self.selections[v].is_some() {
+                return Err(QueryError::ProjectedSelection(self.var_names[v].clone()));
+            }
+        }
+        Ok(ConjunctiveQuery {
+            var_names: self.var_names.clone(),
+            selections: self.selections.clone(),
+            atoms: self.atoms.clone(),
+            projection: self.projection.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> ConjunctiveQuery {
+        let mut qb = QueryBuilder::new();
+        let (x, y, z) = (qb.var("x"), qb.var("y"), qb.var("z"));
+        qb.atom("R", 0, x, y).atom("S", 1, y, z).atom("T", 2, z, x);
+        qb.select(vec![x, y, z]).build().unwrap()
+    }
+
+    #[test]
+    fn builder_interns_vars() {
+        let mut qb = QueryBuilder::new();
+        assert_eq!(qb.var("x"), qb.var("x"));
+        assert_ne!(qb.var("x"), qb.var("y"));
+    }
+
+    #[test]
+    fn triangle_shape() {
+        let q = triangle();
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.atoms().len(), 3);
+        assert_eq!(q.projection(), &[0, 1, 2]);
+        assert!(q.selected_vars().is_empty());
+    }
+
+    #[test]
+    fn selection_vars_are_hidden_and_selected() {
+        let mut qb = QueryBuilder::new();
+        let x = qb.var("x");
+        let a = qb.selection_var(Some(42));
+        qb.atom("type", 9, x, a).select(vec![x]);
+        let q = qb.build().unwrap();
+        assert!(q.is_selected(a));
+        assert_eq!(q.selection(a), Some(Some(42)));
+        assert!(!q.is_selected(x));
+        assert_eq!(q.selected_vars(), vec![a]);
+        assert!(q.var_name(a).starts_with("_s"));
+        assert!(!q.has_missing_constant());
+    }
+
+    #[test]
+    fn missing_constant_flagged() {
+        let mut qb = QueryBuilder::new();
+        let x = qb.var("x");
+        let a = qb.selection_var(None);
+        qb.atom("type", 9, x, a).select(vec![x]);
+        let q = qb.build().unwrap();
+        assert!(q.has_missing_constant());
+    }
+
+    #[test]
+    fn appearance_order_follows_atoms() {
+        let mut qb = QueryBuilder::new();
+        let (z, x, y) = (qb.var("z"), qb.var("x"), qb.var("y"));
+        qb.atom("R", 0, x, y).atom("S", 1, y, z);
+        let q = qb.select(vec![x]).build().unwrap();
+        assert_eq!(q.appearance_order(), vec![x, y, z]);
+    }
+
+    #[test]
+    fn rejects_empty_query() {
+        assert_eq!(QueryBuilder::new().build().unwrap_err(), QueryError::Empty);
+    }
+
+    #[test]
+    fn rejects_repeated_var_in_atom() {
+        let mut qb = QueryBuilder::new();
+        let x = qb.var("x");
+        qb.atom("loop", 0, x, x);
+        assert!(matches!(qb.build().unwrap_err(), QueryError::RepeatedVarInAtom(_)));
+    }
+
+    #[test]
+    fn rejects_projected_selection() {
+        let mut qb = QueryBuilder::new();
+        let x = qb.var("x");
+        let a = qb.selection_var(Some(1));
+        qb.atom("R", 0, x, a).select(vec![a]);
+        assert!(matches!(qb.build().unwrap_err(), QueryError::ProjectedSelection(_)));
+    }
+
+    #[test]
+    fn rejects_unbound_projection() {
+        let mut qb = QueryBuilder::new();
+        let x = qb.var("x");
+        let y = qb.var("y");
+        let z = qb.var("dangling");
+        qb.atom("R", 0, x, y).select(vec![z]);
+        assert!(matches!(qb.build().unwrap_err(), QueryError::UnboundProjection(_)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = triangle();
+        let s = q.to_string();
+        assert!(s.contains("SELECT x, y, z"), "{s}");
+        assert!(s.contains("R(x, y)"), "{s}");
+    }
+}

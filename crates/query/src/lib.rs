@@ -1,0 +1,37 @@
+//! # eh-query
+//!
+//! The conjunctive-query intermediate representation shared by every
+//! engine in this reproduction of Aberger et al. (ICDE 2016), together
+//! with the query hypergraph (§II-B) and a SPARQL-subset frontend for the
+//! LUBM workload (paper Appendix B).
+//!
+//! ## Representation
+//!
+//! RDF triple patterns become binary atoms over *variables only*: a
+//! constant in a pattern (e.g. the object of `?X rdf:type
+//! ub:GraduateStudent`) is replaced by a fresh hidden variable carrying an
+//! equality *selection*. This mirrors the paper's modelling — LUBM query
+//! 14 is `R(a, x)` with the selection `a = 'University'` (Example 1), and
+//! the query 2 attribute order `[a, b, c, x, y, z]` names the three hidden
+//! selection attributes `a, b, c`.
+//!
+//! ```
+//! use eh_query::QueryBuilder;
+//!
+//! // R(x, a) with a = constant 7, projecting x  (LUBM query 14 shape).
+//! let mut qb = QueryBuilder::new();
+//! let x = qb.var("x");
+//! let a = qb.selection_var(Some(7));
+//! qb.atom("rdf:type", 0, x, a);
+//! let q = qb.select(vec![x]).build().unwrap();
+//! assert_eq!(q.num_vars(), 2);
+//! assert_eq!(q.selection(a), Some(Some(7)));
+//! ```
+
+mod hypergraph;
+mod ir;
+mod sparql;
+
+pub use hypergraph::Hypergraph;
+pub use ir::{Atom, ConjunctiveQuery, QueryBuilder, QueryError, Var};
+pub use sparql::{parse_sparql, SparqlError, MISSING_PRED};

@@ -1,0 +1,405 @@
+//! A SPARQL-subset frontend covering the paper's LUBM workload (Appendix
+//! B): `PREFIX` declarations, `SELECT` with an explicit variable list, and
+//! a `WHERE` block of `.`-separated triple patterns over IRIs, prefixed
+//! names, literals, and `?variables`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use eh_rdf::{Term, TripleStore};
+
+use crate::ir::{ConjunctiveQuery, QueryBuilder, QueryError};
+
+/// Sentinel predicate key for patterns whose predicate IRI is not present
+/// in the target store (the query then has an empty result, but the plan
+/// shape is still meaningful).
+pub const MISSING_PRED: u32 = u32::MAX;
+
+/// Errors from [`parse_sparql`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Lexical or grammatical error with a human-readable description.
+    Syntax(String),
+    /// A prefixed name used an undeclared prefix.
+    UnknownPrefix(String),
+    /// Triple patterns with variable predicates are unsupported.
+    VariablePredicate,
+    /// The assembled query failed IR validation.
+    Query(QueryError),
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Syntax(m) => write!(f, "SPARQL syntax error: {m}"),
+            SparqlError::UnknownPrefix(p) => write!(f, "unknown prefix '{p}:'"),
+            SparqlError::VariablePredicate => write!(f, "variable predicates are unsupported"),
+            SparqlError::Query(e) => write!(f, "invalid query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+fn syn(m: impl Into<String>) -> SparqlError {
+    SparqlError::Syntax(m.into())
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Keyword(String), // PREFIX / SELECT / WHERE (uppercased)
+    Var(String),
+    Iri(String),
+    Prefixed(String, String),
+    Literal(String),
+    PrefixDecl(String), // "name:" inside a PREFIX declaration
+    LBrace,
+    RBrace,
+    Dot,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for (_, c) in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                chars.next();
+                out.push(Token::LBrace);
+            }
+            '}' => {
+                chars.next();
+                out.push(Token::RBrace);
+            }
+            '.' => {
+                chars.next();
+                out.push(Token::Dot);
+            }
+            '?' | '$' => {
+                chars.next();
+                let name = take_while(&mut chars, |c| c.is_alphanumeric() || c == '_');
+                if name.is_empty() {
+                    return Err(syn(format!("bare '?' at byte {i}")));
+                }
+                out.push(Token::Var(name));
+            }
+            '<' => {
+                chars.next();
+                let iri = take_while(&mut chars, |c| c != '>');
+                if chars.next().map(|(_, c)| c) != Some('>') {
+                    return Err(syn("unterminated IRI"));
+                }
+                out.push(Token::Iri(iri));
+            }
+            '"' => {
+                chars.next();
+                let lit = take_while(&mut chars, |c| c != '"');
+                if chars.next().map(|(_, c)| c) != Some('"') {
+                    return Err(syn("unterminated literal"));
+                }
+                out.push(Token::Literal(lit));
+            }
+            _ => {
+                let word = take_while(&mut chars, |c| {
+                    c.is_alphanumeric() || c == '_' || c == ':' || c == '-' || c == '~'
+                });
+                if word.is_empty() {
+                    return Err(syn(format!("unexpected character {c:?} at byte {i}")));
+                }
+                let upper = word.to_ascii_uppercase();
+                if upper == "PREFIX" || upper == "SELECT" || upper == "WHERE" {
+                    out.push(Token::Keyword(upper));
+                } else if let Some(colon) = word.find(':') {
+                    let (pfx, local) = word.split_at(colon);
+                    let local = &local[1..];
+                    if local.is_empty() {
+                        out.push(Token::PrefixDecl(pfx.to_string()));
+                    } else {
+                        out.push(Token::Prefixed(pfx.to_string(), local.to_string()));
+                    }
+                } else {
+                    return Err(syn(format!("unexpected word {word:?}")));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn take_while(
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    pred: impl Fn(char) -> bool,
+) -> String {
+    let mut s = String::new();
+    while let Some(&(_, c)) = chars.peek() {
+        if pred(c) {
+            s.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PatTerm {
+    Var(String),
+    Const(Term),
+}
+
+/// Parse a SPARQL query against `store`, dictionary-resolving every
+/// constant (constants absent from the store yield selections that match
+/// nothing, not errors — mirroring SPARQL's empty-answer semantics).
+///
+/// ```
+/// use eh_rdf::{Term, Triple, TripleStore};
+/// use eh_query::parse_sparql;
+///
+/// let store = TripleStore::from_triples(vec![Triple::new(
+///     Term::iri("http://e/s"),
+///     Term::iri("http://e/p"),
+///     Term::iri("http://e/o"),
+/// )]);
+/// let q = parse_sparql(
+///     "PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:p e:o . }",
+///     &store,
+/// ).unwrap();
+/// assert_eq!(q.projection().len(), 1);
+/// assert_eq!(q.atoms().len(), 1);
+/// ```
+pub fn parse_sparql(input: &str, store: &TripleStore) -> Result<ConjunctiveQuery, SparqlError> {
+    let tokens = tokenize(input)?;
+    let mut pos = 0usize;
+    let mut prefixes: HashMap<String, String> = HashMap::new();
+
+    // PREFIX declarations.
+    while matches!(tokens.get(pos), Some(Token::Keyword(k)) if k == "PREFIX") {
+        pos += 1;
+        let name = match tokens.get(pos) {
+            Some(Token::PrefixDecl(p)) => p.clone(),
+            // A declaration like `rdf:` tokenizes as PrefixDecl, but a
+            // prefix whose tail is non-empty cannot appear here.
+            other => return Err(syn(format!("expected prefix name, found {other:?}"))),
+        };
+        pos += 1;
+        let iri = match tokens.get(pos) {
+            Some(Token::Iri(i)) => i.clone(),
+            other => return Err(syn(format!("expected IRI after PREFIX, found {other:?}"))),
+        };
+        pos += 1;
+        prefixes.insert(name, iri);
+    }
+
+    // SELECT clause.
+    match tokens.get(pos) {
+        Some(Token::Keyword(k)) if k == "SELECT" => pos += 1,
+        other => return Err(syn(format!("expected SELECT, found {other:?}"))),
+    }
+    let mut select_vars = Vec::new();
+    while let Some(Token::Var(v)) = tokens.get(pos) {
+        select_vars.push(v.clone());
+        pos += 1;
+    }
+    if select_vars.is_empty() {
+        return Err(syn("SELECT needs at least one variable"));
+    }
+
+    // WHERE { patterns }.
+    if matches!(tokens.get(pos), Some(Token::Keyword(k)) if k == "WHERE") {
+        pos += 1;
+    }
+    match tokens.get(pos) {
+        Some(Token::LBrace) => pos += 1,
+        other => return Err(syn(format!("expected '{{', found {other:?}"))),
+    }
+
+    let resolve = |t: &Token| -> Result<PatTerm, SparqlError> {
+        match t {
+            Token::Var(v) => Ok(PatTerm::Var(v.clone())),
+            Token::Iri(i) => Ok(PatTerm::Const(Term::iri(i.clone()))),
+            Token::Literal(l) => Ok(PatTerm::Const(Term::literal(l.clone()))),
+            Token::Prefixed(p, local) => {
+                let base = prefixes.get(p).ok_or_else(|| SparqlError::UnknownPrefix(p.clone()))?;
+                Ok(PatTerm::Const(Term::iri(format!("{base}{local}"))))
+            }
+            other => Err(syn(format!("expected a term, found {other:?}"))),
+        }
+    };
+
+    let mut patterns: Vec<[PatTerm; 3]> = Vec::new();
+    loop {
+        match tokens.get(pos) {
+            Some(Token::RBrace) => {
+                pos += 1;
+                break;
+            }
+            None => return Err(syn("unterminated WHERE block")),
+            _ => {}
+        }
+        let s = resolve(tokens.get(pos).ok_or_else(|| syn("missing subject"))?)?;
+        let p = resolve(tokens.get(pos + 1).ok_or_else(|| syn("missing predicate"))?)?;
+        let o = resolve(tokens.get(pos + 2).ok_or_else(|| syn("missing object"))?)?;
+        pos += 3;
+        patterns.push([s, p, o]);
+        // Optional dot between / after patterns.
+        if matches!(tokens.get(pos), Some(Token::Dot)) {
+            pos += 1;
+        }
+    }
+    if pos != tokens.len() {
+        return Err(syn(format!("trailing tokens after '}}': {:?}", &tokens[pos..])));
+    }
+
+    // Assemble the IR.
+    let mut qb = QueryBuilder::new();
+    for [s, p, o] in &patterns {
+        let (pred_iri, pred_id) = match p {
+            PatTerm::Var(_) => return Err(SparqlError::VariablePredicate),
+            PatTerm::Const(Term::Iri(iri)) => {
+                (iri.clone(), store.resolve_iri(iri).unwrap_or(MISSING_PRED))
+            }
+            PatTerm::Const(Term::Literal(_)) => {
+                return Err(syn("literal in predicate position"));
+            }
+        };
+        let sv = match s {
+            PatTerm::Var(v) => qb.var(v),
+            PatTerm::Const(t) => qb.selection_var(store.dict().lookup(t)),
+        };
+        let ov = match o {
+            PatTerm::Var(v) => qb.var(v),
+            PatTerm::Const(t) => qb.selection_var(store.dict().lookup(t)),
+        };
+        qb.atom(&pred_iri, pred_id, sv, ov);
+    }
+    let proj: Vec<_> = {
+        let mut proj = Vec::with_capacity(select_vars.len());
+        for v in &select_vars {
+            proj.push(qb.var(v));
+        }
+        proj
+    };
+    qb.select(proj).build().map_err(SparqlError::Query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_rdf::Triple;
+
+    fn store() -> TripleStore {
+        TripleStore::from_triples(vec![
+            Triple::new(Term::iri("http://e/s1"), Term::iri("http://e/p"), Term::iri("http://e/o1")),
+            Triple::new(Term::iri("http://e/s1"), Term::iri("http://e/q"), Term::literal("lit")),
+        ])
+    }
+
+    #[test]
+    fn basic_query() {
+        let q = parse_sparql("SELECT ?x WHERE { ?x <http://e/p> ?y . }", &store()).unwrap();
+        assert_eq!(q.atoms().len(), 1);
+        assert_eq!(q.atoms()[0].relation, "http://e/p");
+        assert_ne!(q.atoms()[0].pred, MISSING_PRED);
+        assert_eq!(q.projection().len(), 1);
+    }
+
+    #[test]
+    fn prefixes_expand() {
+        let q = parse_sparql(
+            "PREFIX e: <http://e/>\nSELECT ?x WHERE { ?x e:p e:o1 }",
+            &store(),
+        )
+        .unwrap();
+        assert_eq!(q.atoms()[0].relation, "http://e/p");
+        // e:o1 resolved to an existing dictionary key.
+        let sel = q.selected_vars();
+        assert_eq!(sel.len(), 1);
+        assert!(matches!(q.selection(sel[0]), Some(Some(_))));
+    }
+
+    #[test]
+    fn unknown_constant_becomes_missing_selection() {
+        let q = parse_sparql("SELECT ?x WHERE { ?x <http://e/p> <http://e/absent> }", &store()).unwrap();
+        assert!(q.has_missing_constant());
+    }
+
+    #[test]
+    fn unknown_predicate_gets_sentinel() {
+        let q = parse_sparql("SELECT ?x WHERE { ?x <http://e/nosuch> ?y }", &store()).unwrap();
+        assert_eq!(q.atoms()[0].pred, MISSING_PRED);
+    }
+
+    #[test]
+    fn literal_objects() {
+        let q = parse_sparql("SELECT ?x WHERE { ?x <http://e/q> \"lit\" }", &store()).unwrap();
+        assert!(!q.has_missing_constant());
+    }
+
+    #[test]
+    fn shared_variables_join() {
+        let q = parse_sparql(
+            "SELECT ?x ?z WHERE { ?x <http://e/p> ?y . ?y <http://e/q> ?z . }",
+            &store(),
+        )
+        .unwrap();
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.atoms()[0].vars[1], q.atoms()[1].vars[0]);
+    }
+
+    #[test]
+    fn errors() {
+        let s = store();
+        assert!(matches!(
+            parse_sparql("SELECT ?x WHERE { ?x ?p ?y }", &s),
+            Err(SparqlError::VariablePredicate)
+        ));
+        assert!(matches!(
+            parse_sparql("SELECT ?x WHERE { ?x u:p ?y }", &s),
+            Err(SparqlError::UnknownPrefix(_))
+        ));
+        assert!(matches!(parse_sparql("SELECT WHERE { }", &s), Err(SparqlError::Syntax(_))));
+        assert!(matches!(parse_sparql("SELECT ?x WHERE { ?x <http://e/p> ?y", &s), Err(SparqlError::Syntax(_))));
+        // Projection of an unbound variable is caught by IR validation.
+        assert!(matches!(
+            parse_sparql("SELECT ?zz WHERE { ?x <http://e/p> ?y }", &s),
+            Err(SparqlError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_dollar_vars() {
+        let q = parse_sparql(
+            "# leading comment\nSELECT $x WHERE { $x <http://e/p> ?y . # trailing\n }",
+            &store(),
+        )
+        .unwrap();
+        assert_eq!(q.projection().len(), 1);
+    }
+
+    #[test]
+    fn paper_query_shape() {
+        // The paper's query 14 verbatim (modulo whitespace).
+        let text = r#"
+            PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+            PREFIX ub: <http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#>
+            SELECT ?X
+            WHERE { ?X rdf:type ub:UndergraduateStudent }
+        "#;
+        let q = parse_sparql(text, &store()).unwrap();
+        assert_eq!(q.atoms().len(), 1);
+        assert_eq!(q.atoms()[0].relation, "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+        assert_eq!(q.selected_vars().len(), 1);
+    }
+}

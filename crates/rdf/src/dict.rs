@@ -1,0 +1,124 @@
+//! Dictionary encoding of RDF terms to dense 32-bit keys (paper §II-A1).
+
+use std::collections::HashMap;
+
+use crate::term::Term;
+
+/// A bidirectional mapping between [`Term`]s and dense `u32` keys.
+///
+/// Keys are assigned in first-encounter order, which makes encoding
+/// deterministic for a fixed insertion order — the LUBM generator relies on
+/// this for reproducible tests. The paper's engines (RDF-3X, TripleBit,
+/// EmptyHeaded) all dictionary-encode before building indexes; so do we.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    map: HashMap<Term, u32>,
+    terms: Vec<Term>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Encode `term`, assigning the next key on first encounter.
+    ///
+    /// # Panics
+    /// Panics if more than `u32::MAX` distinct terms are inserted.
+    pub fn encode(&mut self, term: &Term) -> u32 {
+        if let Some(&id) = self.map.get(term) {
+            return id;
+        }
+        let id = u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms");
+        self.map.insert(term.clone(), id);
+        self.terms.push(term.clone());
+        id
+    }
+
+    /// Key for `term` if it has been seen before.
+    pub fn lookup(&self, term: &Term) -> Option<u32> {
+        self.map.get(term).copied()
+    }
+
+    /// Convenience lookup of an IRI by string.
+    pub fn lookup_iri(&self, iri: &str) -> Option<u32> {
+        self.lookup(&Term::Iri(iri.to_string()))
+    }
+
+    /// Decode a key back to its term.
+    ///
+    /// # Panics
+    /// Panics on a key that was never assigned.
+    pub fn decode(&self, id: u32) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// Decode a key if it is valid.
+    pub fn try_decode(&self, id: u32) -> Option<&Term> {
+        self.terms.get(id as usize)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate `(key, term)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Term)> {
+        self.terms.iter().enumerate().map(|(i, t)| (i as u32, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode(&Term::iri("a"));
+        let b = d.encode(&Term::iri("b"));
+        assert_eq!(d.encode(&Term::iri("a")), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn keys_are_dense_and_ordered_by_first_encounter() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode(&Term::iri("x")), 0);
+        assert_eq!(d.encode(&Term::literal("x")), 1); // distinct from the IRI
+        assert_eq!(d.encode(&Term::iri("y")), 2);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let id = d.encode(&Term::literal("GraduateStudent"));
+        assert_eq!(d.decode(id), &Term::literal("GraduateStudent"));
+        assert_eq!(d.try_decode(id + 1), None);
+    }
+
+    #[test]
+    fn lookup_without_insert() {
+        let mut d = Dictionary::new();
+        d.encode(&Term::iri("present"));
+        assert_eq!(d.lookup_iri("present"), Some(0));
+        assert_eq!(d.lookup_iri("absent"), None);
+    }
+
+    #[test]
+    fn iter_in_key_order() {
+        let mut d = Dictionary::new();
+        d.encode(&Term::iri("a"));
+        d.encode(&Term::iri("b"));
+        let pairs: Vec<_> = d.iter().map(|(k, t)| (k, t.as_str().to_string())).collect();
+        assert_eq!(pairs, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # eh-rdf
+//!
+//! The RDF substrate for the WCOJ engine reproduction of Aberger et al.
+//! (ICDE 2016): terms and triples, dictionary encoding to 32-bit ids
+//! (§II-A1), an N-Triples subset reader/writer, and the vertically
+//! partitioned storage model the paper uses for all relational engines
+//! (§IV-A2: "grouping the triples by their predicate name, with all triples
+//! sharing the same predicate name being stored under a table denoted by
+//! the predicate name", after Abadi et al.).
+//!
+//! ```
+//! use eh_rdf::{Term, Triple, TripleStore};
+//!
+//! let store = TripleStore::from_triples(vec![Triple::new(
+//!     Term::iri("http://www.Department0.University0.edu"),
+//!     Term::iri("http://ub/subOrganizationOf"),
+//!     Term::iri("http://www.University0.edu"),
+//! )]);
+//! let table = store.table_by_name("http://ub/subOrganizationOf").unwrap();
+//! assert_eq!(table.len(), 1);
+//! ```
+
+mod dict;
+mod ntriples;
+mod store;
+mod term;
+mod triple;
+mod vp;
+
+pub use dict::Dictionary;
+pub use ntriples::{parse_ntriples, write_ntriples, NtError};
+pub use store::{StoreStats, TripleStore};
+pub use term::Term;
+pub use triple::{EncodedTriple, Triple};
+pub use vp::PairTable;

@@ -1,0 +1,200 @@
+//! A reader and writer for the N-Triples subset LUBM needs: IRIs and plain
+//! literals, one triple per line, `#` comments.
+
+use std::fmt;
+
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// Parse error for the N-Triples subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for NtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N-Triples parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NtError {}
+
+fn err(line: usize, message: impl Into<String>) -> NtError {
+    NtError { line, message: message.into() }
+}
+
+/// Parse a document; returns all triples or the first error.
+///
+/// ```
+/// use eh_rdf::parse_ntriples;
+/// let doc = "# comment\n<s> <p> \"a literal\" .\n<s> <p> <o> .\n";
+/// let triples = parse_ntriples(doc).unwrap();
+/// assert_eq!(triples.len(), 2);
+/// ```
+pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, NtError> {
+    let mut out = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut p = Parser { line, pos: 0, lineno };
+        let s = p.term()?;
+        p.ws()?;
+        let pred = p.term()?;
+        p.ws()?;
+        let o = p.term()?;
+        p.end()?;
+        if !s.is_iri() {
+            return Err(err(lineno, "subject must be an IRI"));
+        }
+        if !pred.is_iri() {
+            return Err(err(lineno, "predicate must be an IRI"));
+        }
+        out.push(Triple::new(s, pred, o));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    line: &'a str,
+    pos: usize,
+    lineno: usize,
+}
+
+impl Parser<'_> {
+    fn rest(&self) -> &str {
+        &self.line[self.pos..]
+    }
+
+    fn ws(&mut self) -> Result<(), NtError> {
+        let before = self.pos;
+        while self.rest().starts_with([' ', '\t']) {
+            self.pos += 1;
+        }
+        if self.pos == before {
+            return Err(err(self.lineno, "expected whitespace between terms"));
+        }
+        Ok(())
+    }
+
+    fn term(&mut self) -> Result<Term, NtError> {
+        match self.rest().chars().next() {
+            Some('<') => {
+                let close = self.rest()[1..]
+                    .find('>')
+                    .ok_or_else(|| err(self.lineno, "unterminated IRI"))?;
+                let iri = self.rest()[1..1 + close].to_string();
+                self.pos += close + 2;
+                Ok(Term::Iri(iri))
+            }
+            Some('"') => {
+                let mut value = String::new();
+                let mut chars = self.rest()[1..].char_indices();
+                loop {
+                    match chars.next() {
+                        None => return Err(err(self.lineno, "unterminated literal")),
+                        Some((i, '"')) => {
+                            self.pos += 1 + i + 1;
+                            return Ok(Term::literal(value));
+                        }
+                        Some((_, '\\')) => match chars.next() {
+                            Some((_, '"')) => value.push('"'),
+                            Some((_, '\\')) => value.push('\\'),
+                            Some((_, 'n')) => value.push('\n'),
+                            Some((_, 'r')) => value.push('\r'),
+                            Some((_, 't')) => value.push('\t'),
+                            other => {
+                                return Err(err(
+                                    self.lineno,
+                                    format!("invalid escape sequence: \\{:?}", other.map(|(_, c)| c)),
+                                ))
+                            }
+                        },
+                        Some((_, c)) => value.push(c),
+                    }
+                }
+            }
+            other => Err(err(self.lineno, format!("expected '<' or '\"', found {other:?}"))),
+        }
+    }
+
+    fn end(&mut self) -> Result<(), NtError> {
+        let rest = self.rest().trim_start();
+        if rest == "." {
+            Ok(())
+        } else {
+            Err(err(self.lineno, format!("expected terminating '.', found {rest:?}")))
+        }
+    }
+}
+
+/// Serialize triples in N-Triples syntax (one per line, `.`-terminated).
+pub fn write_ntriples<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for t in triples {
+        writeln!(out, "{t}").expect("string write cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let t = parse_ntriples("<a> <b> <c> .").unwrap();
+        assert_eq!(t, vec![Triple::new(Term::iri("a"), Term::iri("b"), Term::iri("c"))]);
+    }
+
+    #[test]
+    fn parse_literal_object_with_escapes() {
+        let t = parse_ntriples(r#"<a> <b> "x\"y\\z\n" ."#).unwrap();
+        assert_eq!(t[0].o, Term::literal("x\"y\\z\n"));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let doc = "\n# a comment\n\n<a> <b> <c> .\n";
+        assert_eq!(parse_ntriples(doc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = "<s> <p> <o> .\n<s> <p> \"lit with spaces\" .\n";
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(write_ntriples(&triples), doc);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let e = parse_ntriples("<a> <b> <c> .\n<broken").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unterminated IRI"), "{e}");
+    }
+
+    #[test]
+    fn rejects_literal_subject() {
+        let e = parse_ntriples("\"s\" <p> <o> .").unwrap_err();
+        assert!(e.message.contains("subject"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        let e = parse_ntriples("<a> <b> <c>").unwrap_err();
+        assert!(e.message.contains("terminating"), "{e}");
+    }
+
+    #[test]
+    fn rejects_garbage_term() {
+        let e = parse_ntriples("<a> <b> bare .").unwrap_err();
+        assert!(e.message.contains("expected '<' or '\"'"), "{e}");
+    }
+}

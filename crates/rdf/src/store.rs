@@ -1,0 +1,243 @@
+//! The in-memory triple store: dictionary + vertically partitioned tables.
+
+use std::collections::HashMap;
+
+use crate::dict::Dictionary;
+use crate::term::Term;
+use crate::triple::{EncodedTriple, Triple};
+use crate::vp::PairTable;
+
+/// An in-memory RDF store in the paper's storage model: every term is
+/// dictionary-encoded to a `u32` and triples are vertically partitioned
+/// into one [`PairTable`] per predicate (§II-A1, §IV-A2).
+///
+/// Loading is two-phase: [`insert`](TripleStore::insert) buffers raw pairs,
+/// and [`commit`](TripleStore::commit) (or the bulk
+/// [`from_triples`](TripleStore::from_triples)) sorts and deduplicates the
+/// tables. Read accessors panic on an uncommitted store to make misuse
+/// loud rather than subtly stale.
+#[derive(Debug, Default)]
+pub struct TripleStore {
+    dict: Dictionary,
+    tables: Vec<PairTable>,
+    by_pred: HashMap<u32, usize>,
+    pending: HashMap<u32, Vec<(u32, u32)>>,
+    pending_names: Vec<(u32, String)>,
+    n_pending: usize,
+}
+
+/// Summary statistics for a committed store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct triples across all predicates.
+    pub triples: usize,
+    /// Number of predicates (= vertically partitioned tables).
+    pub predicates: usize,
+    /// Distinct dictionary-encoded terms.
+    pub terms: usize,
+}
+
+impl TripleStore {
+    /// An empty store.
+    pub fn new() -> TripleStore {
+        TripleStore::default()
+    }
+
+    /// Bulk-build a committed store.
+    pub fn from_triples(triples: impl IntoIterator<Item = Triple>) -> TripleStore {
+        let mut store = TripleStore::new();
+        for t in triples {
+            store.insert(t);
+        }
+        store.commit();
+        store
+    }
+
+    /// Buffer one triple (call [`commit`](TripleStore::commit) before reading).
+    pub fn insert(&mut self, t: Triple) {
+        let s = self.dict.encode(&t.s);
+        let p = self.dict.encode(&t.p);
+        let o = self.dict.encode(&t.o);
+        self.insert_encoded_raw(t.p.as_str(), s, p, o);
+    }
+
+    fn insert_encoded_raw(&mut self, pred_name: &str, s: u32, p: u32, o: u32) {
+        if !self.by_pred.contains_key(&p) && !self.pending.contains_key(&p) {
+            // Remember the predicate name for table construction at commit.
+            self.pending_names.push((p, pred_name.to_string()));
+        }
+        self.pending.entry(p).or_default().push((s, o));
+        self.n_pending += 1;
+    }
+
+    /// Sort, deduplicate, and merge all buffered pairs into the tables.
+    pub fn commit(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let names: HashMap<u32, String> = self.pending_names.drain(..).collect();
+        let pending = std::mem::take(&mut self.pending);
+        self.n_pending = 0;
+        for (p, mut pairs) in pending {
+            match self.by_pred.get(&p) {
+                Some(&idx) => {
+                    // Merge with the existing table: rebuild from the union.
+                    let old = &self.tables[idx];
+                    pairs.extend_from_slice(old.so_pairs());
+                    let name = old.name().to_string();
+                    self.tables[idx] = PairTable::build(name, p, pairs);
+                }
+                None => {
+                    let name = names
+                        .get(&p)
+                        .cloned()
+                        .unwrap_or_else(|| self.dict.decode(p).as_str().to_string());
+                    let idx = self.tables.len();
+                    self.tables.push(PairTable::build(name, p, pairs));
+                    self.by_pred.insert(p, idx);
+                }
+            }
+        }
+    }
+
+    fn assert_committed(&self) {
+        assert!(
+            self.pending.is_empty(),
+            "TripleStore read before commit(): {} pending pairs",
+            self.n_pending
+        );
+    }
+
+    /// The term dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Encode a term, assigning a fresh key if unseen. Exposed for query
+    /// frontends that need ids for constants before running.
+    pub fn encode_term(&mut self, t: &Term) -> u32 {
+        self.dict.encode(t)
+    }
+
+    /// Dictionary key of an IRI, if present.
+    pub fn resolve_iri(&self, iri: &str) -> Option<u32> {
+        self.dict.lookup_iri(iri)
+    }
+
+    /// Table for a predicate key.
+    pub fn table(&self, pred: u32) -> Option<&PairTable> {
+        self.assert_committed();
+        self.by_pred.get(&pred).map(|&i| &self.tables[i])
+    }
+
+    /// Table for a predicate IRI.
+    pub fn table_by_name(&self, iri: &str) -> Option<&PairTable> {
+        self.resolve_iri(iri).and_then(|p| self.table(p))
+    }
+
+    /// All predicate tables.
+    pub fn tables(&self) -> &[PairTable] {
+        self.assert_committed();
+        &self.tables
+    }
+
+    /// Total distinct triples.
+    pub fn num_triples(&self) -> usize {
+        self.assert_committed();
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Iterate every triple in encoded form (predicate-major order).
+    pub fn encoded_triples(&self) -> impl Iterator<Item = EncodedTriple> + '_ {
+        self.assert_committed();
+        self.tables.iter().flat_map(|t| {
+            let p = t.pred();
+            t.so_pairs().iter().map(move |&(s, o)| EncodedTriple { s, p, o })
+        })
+    }
+
+    /// Decode an encoded triple back to terms.
+    pub fn decode_triple(&self, t: EncodedTriple) -> Triple {
+        Triple::new(self.dict.decode(t.s).clone(), self.dict.decode(t.p).clone(), self.dict.decode(t.o).clone())
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats { triples: self.num_triples(), predicates: self.tables.len(), terms: self.dict.len() }
+    }
+}
+
+impl TripleStore {
+    #[doc(hidden)]
+    pub fn __invariant_check(&self) -> bool {
+        self.tables.len() == self.by_pred.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn bulk_build_and_stats() {
+        let store = TripleStore::from_triples(vec![
+            t("s1", "p1", "o1"),
+            t("s1", "p1", "o1"), // duplicate collapses
+            t("s2", "p1", "o1"),
+            t("s1", "p2", "o2"),
+        ]);
+        let stats = store.stats();
+        assert_eq!(stats.triples, 3);
+        assert_eq!(stats.predicates, 2);
+        assert_eq!(store.table_by_name("p1").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn incremental_commit_merges() {
+        let mut store = TripleStore::new();
+        store.insert(t("a", "p", "b"));
+        store.commit();
+        assert_eq!(store.num_triples(), 1);
+        store.insert(t("c", "p", "d"));
+        store.insert(t("a", "p", "b")); // dup with committed data
+        store.commit();
+        assert_eq!(store.num_triples(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before commit")]
+    fn reading_uncommitted_panics() {
+        let mut store = TripleStore::new();
+        store.insert(t("a", "p", "b"));
+        let _ = store.num_triples();
+    }
+
+    #[test]
+    fn encoded_roundtrip() {
+        let store = TripleStore::from_triples(vec![t("s", "p", "o")]);
+        let enc: Vec<_> = store.encoded_triples().collect();
+        assert_eq!(enc.len(), 1);
+        assert_eq!(store.decode_triple(enc[0]), t("s", "p", "o"));
+    }
+
+    #[test]
+    fn resolve_and_table_lookup() {
+        let store = TripleStore::from_triples(vec![t("s", "p", "o")]);
+        let pid = store.resolve_iri("p").unwrap();
+        assert_eq!(store.table(pid).unwrap().name(), "p");
+        assert!(store.resolve_iri("absent").is_none());
+        assert!(store.table(9999).is_none());
+    }
+
+    #[test]
+    fn commit_on_empty_is_noop() {
+        let mut store = TripleStore::new();
+        store.commit();
+        assert_eq!(store.num_triples(), 0);
+        assert!(store.__invariant_check());
+    }
+}

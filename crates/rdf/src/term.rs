@@ -1,0 +1,92 @@
+//! RDF terms.
+
+use std::fmt;
+
+/// An RDF term: an IRI or a plain literal.
+///
+/// LUBM and the paper's workload need nothing richer (no typed literals,
+/// language tags, or blank nodes), so the model stays deliberately small.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI reference, stored without the surrounding angle brackets.
+    Iri(String),
+    /// A plain literal, stored without the surrounding quotes.
+    Literal(String),
+}
+
+impl Term {
+    /// Construct an IRI term.
+    pub fn iri(s: impl Into<String>) -> Term {
+        Term::Iri(s.into())
+    }
+
+    /// Construct a plain-literal term.
+    pub fn literal(s: impl Into<String>) -> Term {
+        Term::Literal(s.into())
+    }
+
+    /// The raw text of the term (IRI or literal body).
+    pub fn as_str(&self) -> &str {
+        match self {
+            Term::Iri(s) | Term::Literal(s) => s,
+        }
+    }
+
+    /// True for [`Term::Iri`].
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+}
+
+impl fmt::Display for Term {
+    /// N-Triples surface syntax: `<iri>` or `"literal"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Literal(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\r' => write!(f, "\\r")?,
+                        '\t' => write!(f, "\\t")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_iri() {
+        assert_eq!(Term::iri("http://x/y").to_string(), "<http://x/y>");
+    }
+
+    #[test]
+    fn display_literal_escapes() {
+        let t = Term::literal("a\"b\\c\nd");
+        assert_eq!(t.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Term::iri("x").is_iri());
+        assert!(!Term::literal("x").is_iri());
+        assert_eq!(Term::literal("hello").as_str(), "hello");
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        // Iri sorts before Literal (enum order) — relied on nowhere, but
+        // documented by this test so a change is deliberate.
+        assert!(Term::iri("z") < Term::literal("a"));
+    }
+}

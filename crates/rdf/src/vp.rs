@@ -1,0 +1,155 @@
+//! Vertically partitioned predicate tables (paper §IV-A2, after Abadi et
+//! al.): one two-column `(subject, object)` table per predicate.
+
+/// A dictionary-encoded two-column table holding every `(subject, object)`
+/// pair of one predicate.
+///
+/// Both sort orders are materialised at [`build`](PairTable::build) time:
+/// `so` (subject-major) and `os` (object-major). The WCOJ engine builds
+/// tries from either order; the pairwise baselines use them directly as
+/// clustered indexes (TripleBit's two-order design).
+#[derive(Debug, Clone)]
+pub struct PairTable {
+    name: String,
+    pred: u32,
+    so: Vec<(u32, u32)>,
+    os: Vec<(u32, u32)>,
+    distinct_subjects: usize,
+    distinct_objects: usize,
+}
+
+impl PairTable {
+    /// Build from raw pairs: sorts and deduplicates (RDF set semantics).
+    pub fn build(name: String, pred: u32, mut pairs: Vec<(u32, u32)>) -> PairTable {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let so = pairs;
+        let mut os: Vec<(u32, u32)> = so.iter().map(|&(s, o)| (o, s)).collect();
+        os.sort_unstable();
+        let distinct_subjects = count_distinct_firsts(&so);
+        let distinct_objects = count_distinct_firsts(&os);
+        PairTable { name, pred, so, os, distinct_subjects, distinct_objects }
+    }
+
+    /// Predicate IRI text.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dictionary key of the predicate.
+    pub fn pred(&self) -> u32 {
+        self.pred
+    }
+
+    /// Number of distinct `(subject, object)` pairs.
+    pub fn len(&self) -> usize {
+        self.so.len()
+    }
+
+    /// True when the table holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.so.is_empty()
+    }
+
+    /// Pairs sorted subject-major: `(s, o)`.
+    pub fn so_pairs(&self) -> &[(u32, u32)] {
+        &self.so
+    }
+
+    /// Pairs sorted object-major: `(o, s)`.
+    pub fn os_pairs(&self) -> &[(u32, u32)] {
+        &self.os
+    }
+
+    /// Number of distinct subjects.
+    pub fn distinct_subjects(&self) -> usize {
+        self.distinct_subjects
+    }
+
+    /// Number of distinct objects.
+    pub fn distinct_objects(&self) -> usize {
+        self.distinct_objects
+    }
+
+    /// All `(s, o)` pairs for one subject, via binary search on the
+    /// subject-major order.
+    pub fn pairs_for_subject(&self, s: u32) -> &[(u32, u32)] {
+        range_for(&self.so, s)
+    }
+
+    /// All `(o, s)` pairs for one object, via binary search on the
+    /// object-major order.
+    pub fn pairs_for_object(&self, o: u32) -> &[(u32, u32)] {
+        range_for(&self.os, o)
+    }
+
+    /// True when the exact pair is present.
+    pub fn contains(&self, s: u32, o: u32) -> bool {
+        self.so.binary_search(&(s, o)).is_ok()
+    }
+}
+
+fn count_distinct_firsts(sorted: &[(u32, u32)]) -> usize {
+    let mut n = 0;
+    let mut last = None;
+    for &(a, _) in sorted {
+        if last != Some(a) {
+            n += 1;
+            last = Some(a);
+        }
+    }
+    n
+}
+
+fn range_for(sorted: &[(u32, u32)], key: u32) -> &[(u32, u32)] {
+    let lo = sorted.partition_point(|&(a, _)| a < key);
+    let hi = sorted.partition_point(|&(a, _)| a <= key);
+    &sorted[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PairTable {
+        PairTable::build("p".into(), 7, vec![(2, 1), (1, 5), (1, 3), (2, 1), (3, 5)])
+    }
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let t = table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.so_pairs(), &[(1, 3), (1, 5), (2, 1), (3, 5)]);
+        assert_eq!(t.os_pairs(), &[(1, 2), (3, 1), (5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let t = table();
+        assert_eq!(t.distinct_subjects(), 3);
+        assert_eq!(t.distinct_objects(), 3);
+    }
+
+    #[test]
+    fn subject_and_object_ranges() {
+        let t = table();
+        assert_eq!(t.pairs_for_subject(1), &[(1, 3), (1, 5)]);
+        assert_eq!(t.pairs_for_subject(9), &[] as &[(u32, u32)]);
+        assert_eq!(t.pairs_for_object(5), &[(5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn contains() {
+        let t = table();
+        assert!(t.contains(2, 1));
+        assert!(!t.contains(1, 1));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = PairTable::build("e".into(), 0, vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.distinct_subjects(), 0);
+        assert_eq!(t.pairs_for_subject(0), &[] as &[(u32, u32)]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Word-aligned bitset layout (paper §II-A2).
+
+/// A set of `u32` values stored as an uncompressed bitset.
+///
+/// The bitset covers the word-aligned range `[64*base_word, 64*(base_word +
+/// words.len()))`; values below or above that range are simply absent. This
+/// offset representation keeps dense clusters far from zero compact, which
+/// matters for dictionary-encoded RDF data where each predicate's ids are
+/// clustered.
+///
+/// Membership is `O(1)` — the constant-time equality-selection probe the
+/// paper's +Layout optimization relies on (§III-A).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    base_word: usize,
+    words: Box<[u64]>,
+    /// Rank directory: `ranks[i]` = number of set bits in `words[..i]`.
+    /// Makes [`BitSet::rank`] O(1) — tries call rank per descend, so a
+    /// scan here would make trie iteration quadratic.
+    ranks: Box<[u32]>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Build from a sorted, duplicate-free slice.
+    pub fn from_sorted(values: &[u32]) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "input must be strictly increasing");
+        if values.is_empty() {
+            return BitSet::default();
+        }
+        let base_word = (values[0] / 64) as usize;
+        let last_word = (values[values.len() - 1] / 64) as usize;
+        let mut words = vec![0u64; last_word - base_word + 1];
+        for &v in values {
+            let w = (v / 64) as usize - base_word;
+            words[w] |= 1u64 << (v % 64);
+        }
+        Self::from_words(base_word, words, values.len())
+    }
+
+    fn from_words(base_word: usize, words: Vec<u64>, len: usize) -> Self {
+        let mut ranks = Vec::with_capacity(words.len());
+        let mut acc = 0u32;
+        for w in &words {
+            ranks.push(acc);
+            acc += w.count_ones();
+        }
+        debug_assert_eq!(acc as usize, len);
+        BitSet {
+            base_word,
+            words: words.into_boxed_slice(),
+            ranks: ranks.into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Rank of `v`: its index in sorted order, if present. O(1) via the
+    /// rank directory.
+    pub fn rank(&self, v: u32) -> Option<usize> {
+        let w = (v / 64) as usize;
+        if w < self.base_word || w - self.base_word >= self.words.len() {
+            return None;
+        }
+        let word = w - self.base_word;
+        let bit = 1u64 << (v % 64);
+        if self.words[word] & bit == 0 {
+            return None;
+        }
+        let below = (self.words[word] & (bit - 1)).count_ones();
+        Some(self.ranks[word] as usize + below as usize)
+    }
+
+    /// Number of elements (cached popcount).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Constant-time membership probe.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        let w = (v / 64) as usize;
+        if w < self.base_word || w - self.base_word >= self.words.len() {
+            return false;
+        }
+        self.words[w - self.base_word] & (1u64 << (v % 64)) != 0
+    }
+
+    /// First word index covered by this bitset.
+    #[inline]
+    pub(crate) fn base_word(&self) -> usize {
+        self.base_word
+    }
+
+    /// Backing words.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Smallest element.
+    pub fn min(&self) -> Option<u32> {
+        self.words.iter().enumerate().find(|(_, w)| **w != 0).map(|(i, w)| {
+            ((self.base_word + i) as u32) * 64 + w.trailing_zeros()
+        })
+    }
+
+    /// Largest element.
+    pub fn max(&self) -> Option<u32> {
+        self.words.iter().enumerate().rev().find(|(_, w)| **w != 0).map(|(i, w)| {
+            ((self.base_word + i) as u32) * 64 + 63 - w.leading_zeros()
+        })
+    }
+
+    /// Iterate elements in increasing order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter { words: &self.words, base_word: self.base_word, word_idx: 0, current: self.words.first().copied().unwrap_or(0), remaining: self.len }
+    }
+
+    /// Memory footprint of the payload in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Word-wise AND intersection with another bitset, producing a new
+    /// bitset over the overlapping word range.
+    pub fn intersect_bitset(&self, other: &BitSet) -> BitSet {
+        let lo = self.base_word.max(other.base_word);
+        let hi = (self.base_word + self.words.len()).min(other.base_word + other.words.len());
+        if lo >= hi {
+            return BitSet::default();
+        }
+        let mut words = vec![0u64; hi - lo];
+        let mut len = 0usize;
+        for (i, w) in words.iter_mut().enumerate() {
+            let a = self.words[lo + i - self.base_word];
+            let b = other.words[lo + i - other.base_word];
+            *w = a & b;
+            len += w.count_ones() as usize;
+        }
+        // Trim zero words at both ends so `base_word`/extent stay tight.
+        let first = words.iter().position(|w| *w != 0);
+        match first {
+            None => BitSet::default(),
+            Some(f) => {
+                let l = words.iter().rposition(|w| *w != 0).unwrap();
+                Self::from_words(lo + f, words[f..=l].to_vec(), len)
+            }
+        }
+    }
+
+    /// Count of the word-wise AND without materialising the result.
+    pub fn intersect_bitset_count(&self, other: &BitSet) -> usize {
+        let lo = self.base_word.max(other.base_word);
+        let hi = (self.base_word + self.words.len()).min(other.base_word + other.words.len());
+        if lo >= hi {
+            return 0;
+        }
+        (lo..hi)
+            .map(|w| (self.words[w - self.base_word] & other.words[w - other.base_word]).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    base_word: usize,
+    word_idx: usize,
+    current: u64,
+    remaining: usize,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1; // clear lowest set bit
+        self.remaining -= 1;
+        Some(((self.base_word + self.word_idx) as u32) * 64 + bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for BitIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let vals = [0u32, 1, 63, 64, 65, 1000];
+        let b = BitSet::from_sorted(&vals);
+        assert_eq!(b.len(), vals.len());
+        assert_eq!(b.iter().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn contains_in_and_out_of_range() {
+        let b = BitSet::from_sorted(&[128, 130, 200]);
+        assert!(b.contains(130));
+        assert!(!b.contains(129));
+        assert!(!b.contains(0)); // below base word
+        assert!(!b.contains(100_000)); // above extent
+    }
+
+    #[test]
+    fn offset_base_is_compact() {
+        let b = BitSet::from_sorted(&[6400, 6401]);
+        assert_eq!(b.base_word(), 100);
+        assert_eq!(b.words().len(), 1);
+    }
+
+    #[test]
+    fn min_max() {
+        let b = BitSet::from_sorted(&[65, 128, 129, 513]);
+        assert_eq!(b.min(), Some(65));
+        assert_eq!(b.max(), Some(513));
+        assert_eq!(BitSet::default().min(), None);
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = BitSet::from_sorted(&[1, 2, 3, 64, 65]);
+        let b = BitSet::from_sorted(&[2, 64, 66, 700]);
+        let c = a.intersect_bitset(&b);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![2, 64]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(a.intersect_bitset_count(&b), 2);
+    }
+
+    #[test]
+    fn intersect_disjoint_ranges() {
+        let a = BitSet::from_sorted(&[1, 2]);
+        let b = BitSet::from_sorted(&[1000, 2000]);
+        assert!(a.intersect_bitset(&b).is_empty());
+        assert_eq!(a.intersect_bitset_count(&b), 0);
+    }
+
+    #[test]
+    fn intersect_trims_result_extent() {
+        let a = BitSet::from_sorted(&[0, 640]);
+        let b = BitSet::from_sorted(&[640, 1000]);
+        let c = a.intersect_bitset(&b);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![640]);
+        assert_eq!(c.base_word(), 10);
+        assert_eq!(c.words().len(), 1);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = BitSet::from_sorted(&[]);
+        assert!(b.is_empty());
+        assert_eq!(b.iter().count(), 0);
+        assert!(!b.contains(0));
+    }
+
+    #[test]
+    fn iter_size_hint_is_exact() {
+        let b = BitSet::from_sorted(&[3, 9, 300]);
+        let it = b.iter();
+        assert_eq!(it.size_hint(), (3, Some(3)));
+        assert_eq!(it.len(), 3);
+    }
+}

@@ -1,0 +1,220 @@
+//! Layout-aware set intersection kernels.
+//!
+//! Generic-Join (paper Algorithm 1) spends nearly all of its time in
+//! multiway set intersections, so each layout pair gets a dedicated kernel:
+//!
+//! * uint ∩ uint — linear merge, switching to galloping when cardinalities
+//!   are skewed;
+//! * bitset ∩ bitset — word-wise `AND` over the overlapping extent (the
+//!   SIMD-friendly path the paper credits for its cyclic-query edge over
+//!   LogicBlox, §IV-B);
+//! * uint ∩ bitset — probe the bitset for every array element.
+
+use crate::bitset::BitSet;
+use crate::set::Set;
+use crate::uint::{intersect_uint, UintSet};
+
+/// Intersect two sets. The result layout follows the natural layout of the
+/// kernel (uint for array-driven kernels, bitset for word-AND) and is *not*
+/// re-optimized here; callers that keep results long-term can call
+/// [`Set::optimize`].
+pub fn intersect(a: &Set, b: &Set) -> Set {
+    match (a, b) {
+        (Set::Uint(x), Set::Uint(y)) => {
+            let mut out = Vec::with_capacity(x.len().min(y.len()));
+            intersect_uint(x.as_slice(), y.as_slice(), &mut out);
+            Set::Uint(UintSet::from_sorted_vec(out))
+        }
+        (Set::Bits(x), Set::Bits(y)) => Set::Bits(x.intersect_bitset(y)),
+        (Set::Uint(x), Set::Bits(y)) => Set::Uint(probe_uint_bits(x, y)),
+        (Set::Bits(x), Set::Uint(y)) => Set::Uint(probe_uint_bits(y, x)),
+    }
+}
+
+fn probe_uint_bits(u: &UintSet, b: &BitSet) -> UintSet {
+    let mut out = Vec::with_capacity(u.len().min(b.len()));
+    for v in u.iter() {
+        if b.contains(v) {
+            out.push(v);
+        }
+    }
+    UintSet::from_sorted_vec(out)
+}
+
+/// Cardinality of `a ∩ b` without materialisation. Used for aggregate
+/// (COUNT) queries and for ordering multiway intersections.
+pub fn intersect_count(a: &Set, b: &Set) -> usize {
+    match (a, b) {
+        (Set::Uint(x), Set::Uint(y)) => {
+            // Count via merge without allocating.
+            let (xs, ys) = (x.as_slice(), y.as_slice());
+            let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+            while i < xs.len() && j < ys.len() {
+                match xs[i].cmp(&ys[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        n += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            n
+        }
+        (Set::Bits(x), Set::Bits(y)) => x.intersect_bitset_count(y),
+        (Set::Uint(x), Set::Bits(y)) | (Set::Bits(y), Set::Uint(x)) => {
+            x.iter().filter(|&v| y.contains(v)).count()
+        }
+    }
+}
+
+/// True when `a ∩ b` is non-empty, with early exit.
+pub fn intersects(a: &Set, b: &Set) -> bool {
+    match (a, b) {
+        (Set::Uint(x), Set::Uint(y)) => {
+            let (xs, ys) = (x.as_slice(), y.as_slice());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < xs.len() && j < ys.len() {
+                match xs[i].cmp(&ys[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => return true,
+                }
+            }
+            false
+        }
+        (Set::Bits(x), Set::Bits(y)) => {
+            let lo = x.base_word().max(y.base_word());
+            let hi = (x.base_word() + x.words().len()).min(y.base_word() + y.words().len());
+            (lo..hi).any(|w| x.words()[w - x.base_word()] & y.words()[w - y.base_word()] != 0)
+        }
+        (Set::Uint(x), Set::Bits(y)) | (Set::Bits(y), Set::Uint(x)) => {
+            x.iter().any(|v| y.contains(v))
+        }
+    }
+}
+
+/// Multiway intersection: folds pairwise, smallest sets first so the
+/// running result shrinks as fast as possible.
+///
+/// Returns the full universe-equivalent only when `sets` is empty — callers
+/// in Generic-Join always pass at least one set, so we return `None` for an
+/// empty input to force the caller to decide.
+pub fn intersect_all(sets: &[&Set]) -> Option<Set> {
+    match sets.len() {
+        0 => None,
+        1 => Some(sets[0].clone()),
+        _ => {
+            let mut order: Vec<&Set> = sets.to_vec();
+            order.sort_by_key(|s| s.len());
+            let mut acc = order[0].intersect(order[1]);
+            for s in &order[2..] {
+                if acc.is_empty() {
+                    break;
+                }
+                acc = acc.intersect(s);
+            }
+            Some(acc)
+        }
+    }
+}
+
+/// Cardinality of a multiway intersection (materialises all but the final
+/// pair, so it is cheap only for small arities — which is what Generic-Join
+/// produces).
+pub fn intersect_count_all(sets: &[&Set]) -> usize {
+    match sets.len() {
+        0 => 0,
+        1 => sets[0].len(),
+        2 => intersect_count(sets[0], sets[1]),
+        _ => {
+            let mut order: Vec<&Set> = sets.to_vec();
+            order.sort_by_key(|s| s.len());
+            let mut acc = order[0].intersect(order[1]);
+            for s in &order[2..order.len() - 1] {
+                if acc.is_empty() {
+                    return 0;
+                }
+                acc = acc.intersect(s);
+            }
+            intersect_count(&acc, order[order.len() - 1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Layout;
+
+    fn all_layout_pairs(a: &[u32], b: &[u32]) -> Vec<(Set, Set)> {
+        let layouts = [Layout::UintArray, Layout::Bitset];
+        let mut out = vec![];
+        for la in layouts {
+            for lb in layouts {
+                out.push((Set::from_sorted_with(a, la), Set::from_sorted_with(b, lb)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn intersect_agrees_across_layout_pairs() {
+        let a = [1u32, 2, 64, 65, 500];
+        let b = [2u32, 65, 400, 500];
+        for (x, y) in all_layout_pairs(&a, &b) {
+            assert_eq!(x.intersect(&y).to_vec(), vec![2, 65, 500], "{:?} x {:?}", x.layout(), y.layout());
+            assert_eq!(intersect_count(&x, &y), 3);
+            assert!(intersects(&x, &y));
+        }
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let a = [1u32, 3, 5];
+        let b = [2u32, 4, 6];
+        for (x, y) in all_layout_pairs(&a, &b) {
+            assert!(x.intersect(&y).is_empty());
+            assert_eq!(intersect_count(&x, &y), 0);
+            assert!(!intersects(&x, &y));
+        }
+    }
+
+    #[test]
+    fn intersect_with_empty() {
+        let a = Set::from_sorted(&[1, 2, 3]);
+        let e = Set::default();
+        assert!(a.intersect(&e).is_empty());
+        assert!(e.intersect(&a).is_empty());
+        assert!(!intersects(&a, &e));
+    }
+
+    #[test]
+    fn multiway_fold() {
+        let a = Set::from_sorted(&[1, 2, 3, 4, 5]);
+        let b = Set::from_sorted(&[2, 3, 4]);
+        let c = Set::from_sorted(&[3, 4, 9]);
+        let r = intersect_all(&[&a, &b, &c]).unwrap();
+        assert_eq!(r.to_vec(), vec![3, 4]);
+        assert_eq!(intersect_count_all(&[&a, &b, &c]), 2);
+    }
+
+    #[test]
+    fn multiway_single_and_empty_input() {
+        let a = Set::from_sorted(&[7, 8]);
+        assert_eq!(intersect_all(&[&a]).unwrap().to_vec(), vec![7, 8]);
+        assert!(intersect_all(&[]).is_none());
+        assert_eq!(intersect_count_all(&[]), 0);
+        assert_eq!(intersect_count_all(&[&a]), 2);
+    }
+
+    #[test]
+    fn multiway_short_circuits_on_empty() {
+        let a = Set::from_sorted(&[1]);
+        let b = Set::from_sorted(&[2]);
+        let c = Set::from_sorted(&(0..10_000).collect::<Vec<_>>());
+        assert!(intersect_all(&[&c, &a, &b]).unwrap().is_empty());
+        assert_eq!(intersect_count_all(&[&c, &a, &b]), 0);
+    }
+}

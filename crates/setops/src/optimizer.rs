@@ -1,0 +1,91 @@
+//! The automatic set-layout optimizer (paper §II-A2).
+//!
+//! EmptyHeaded "chooses the layout for each set in isolation based on its
+//! cardinality and range. The optimizer chooses the bitset layout when more
+//! than one out of every 256 values appears in the set. It otherwise
+//! defaults to the unsigned integer array layout."
+
+/// Density denominator from the paper (footnote 1: "the size of an AVX
+/// register"). A set over range `r` with cardinality `c` becomes a bitset
+/// when `c * DENSITY_THRESHOLD >= r`.
+pub const DENSITY_THRESHOLD: u64 = 256;
+
+/// The physical layout of a [`crate::Set`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Sorted array of unique 32-bit unsigned integers.
+    UintArray,
+    /// Word-aligned uncompressed bitset over the value range.
+    Bitset,
+}
+
+impl std::fmt::Display for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Layout::UintArray => write!(f, "uint"),
+            Layout::Bitset => write!(f, "bitset"),
+        }
+    }
+}
+
+/// Pick the layout for a set with `cardinality` elements spanning the
+/// inclusive value range `[min, max]`.
+///
+/// Empty and singleton sets stay as uint arrays (a bitset buys nothing).
+///
+/// ```
+/// use eh_setops::{choose_layout, Layout};
+/// // 256 values over a range of 256: maximally dense -> bitset.
+/// assert_eq!(choose_layout(256, 0, 255), Layout::Bitset);
+/// // 2 values spanning a huge range -> uint array.
+/// assert_eq!(choose_layout(2, 0, 1_000_000), Layout::UintArray);
+/// ```
+pub fn choose_layout(cardinality: usize, min: u32, max: u32) -> Layout {
+    if cardinality <= 1 {
+        return Layout::UintArray;
+    }
+    debug_assert!(min <= max);
+    let range = u64::from(max - min) + 1;
+    if (cardinality as u64).saturating_mul(DENSITY_THRESHOLD) >= range {
+        Layout::Bitset
+    } else {
+        Layout::UintArray
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_are_uint() {
+        assert_eq!(choose_layout(0, 0, 0), Layout::UintArray);
+        assert_eq!(choose_layout(1, 42, 42), Layout::UintArray);
+    }
+
+    #[test]
+    fn fully_dense_is_bitset() {
+        assert_eq!(choose_layout(100, 0, 99), Layout::Bitset);
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        // Exactly 1 in 256 appears: bitset (the paper says "more than one
+        // out of every 256", we take >= as the inclusive boundary).
+        assert_eq!(choose_layout(4, 0, 1023), Layout::Bitset);
+        // Just below the density cut-off: uint array.
+        assert_eq!(choose_layout(4, 0, 1024), Layout::UintArray);
+    }
+
+    #[test]
+    fn offset_range_counts_from_min() {
+        // Dense cluster far from zero must still become a bitset: the
+        // range is measured from the set minimum, not from zero.
+        assert_eq!(choose_layout(128, 1_000_000, 1_000_127), Layout::Bitset);
+    }
+
+    #[test]
+    fn huge_range_no_overflow() {
+        assert_eq!(choose_layout(usize::MAX, 0, u32::MAX), Layout::Bitset);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests: every layout combination must agree with a
+//! `BTreeSet` oracle on membership, iteration order, rank, and all
+//! intersection kernels.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use crate::{difference, intersect_all, intersect_count_all, union, Layout, Set};
+
+fn sorted_unique(vals: &[u32]) -> Vec<u32> {
+    let s: BTreeSet<u32> = vals.iter().copied().collect();
+    s.into_iter().collect()
+}
+
+/// Strategy producing moderately clustered value sets so both layouts get
+/// exercised (purely random u32s would almost never pick the bitset).
+fn value_set() -> impl Strategy<Value = Vec<u32>> {
+    (0u32..50_000, proptest::collection::vec(0u32..2_000, 0..300))
+        .prop_map(|(base, offsets)| sorted_unique(&offsets.iter().map(|o| base + o).collect::<Vec<_>>()))
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_matches_oracle(vals in value_set()) {
+        for layout in [Layout::UintArray, Layout::Bitset] {
+            let s = Set::from_sorted_with(&vals, layout);
+            prop_assert_eq!(s.len(), vals.len());
+            prop_assert_eq!(s.to_vec(), vals.clone());
+            prop_assert_eq!(s.min(), vals.first().copied());
+            prop_assert_eq!(s.max(), vals.last().copied());
+        }
+    }
+
+    #[test]
+    fn membership_matches_oracle(vals in value_set(), probes in proptest::collection::vec(0u32..60_000, 0..50)) {
+        let oracle: BTreeSet<u32> = vals.iter().copied().collect();
+        for layout in [Layout::UintArray, Layout::Bitset] {
+            let s = Set::from_sorted_with(&vals, layout);
+            for &p in &probes {
+                prop_assert_eq!(s.contains(p), oracle.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_is_sorted_position(vals in value_set()) {
+        for layout in [Layout::UintArray, Layout::Bitset] {
+            let s = Set::from_sorted_with(&vals, layout);
+            for (i, &v) in vals.iter().enumerate() {
+                prop_assert_eq!(s.rank(v), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_matches_oracle(a in value_set(), b in value_set()) {
+        let oa: BTreeSet<u32> = a.iter().copied().collect();
+        let ob: BTreeSet<u32> = b.iter().copied().collect();
+        let expect: Vec<u32> = oa.intersection(&ob).copied().collect();
+        for la in [Layout::UintArray, Layout::Bitset] {
+            for lb in [Layout::UintArray, Layout::Bitset] {
+                let x = Set::from_sorted_with(&a, la);
+                let y = Set::from_sorted_with(&b, lb);
+                prop_assert_eq!(x.intersect(&y).to_vec(), expect.clone());
+                prop_assert_eq!(x.intersect_count(&y), expect.len());
+                prop_assert_eq!(x.intersects(&y), !expect.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_is_commutative(a in value_set(), b in value_set()) {
+        let x = Set::from_sorted(&a);
+        let y = Set::from_sorted(&b);
+        prop_assert_eq!(x.intersect(&y).to_vec(), y.intersect(&x).to_vec());
+    }
+
+    #[test]
+    fn multiway_matches_fold(a in value_set(), b in value_set(), c in value_set()) {
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        let sc: BTreeSet<u32> = c.iter().copied().collect();
+        let expect: Vec<u32> = sa.iter().filter(|v| sb.contains(v) && sc.contains(v)).copied().collect();
+        let (x, y, z) = (Set::from_sorted(&a), Set::from_sorted(&b), Set::from_sorted(&c));
+        prop_assert_eq!(intersect_all(&[&x, &y, &z]).unwrap().to_vec(), expect.clone());
+        prop_assert_eq!(intersect_count_all(&[&x, &y, &z]), expect.len());
+    }
+
+    #[test]
+    fn skewed_intersection_takes_gallop_path(
+        large_vals in proptest::collection::vec(0u32..5_000, 200..800),
+        picks in proptest::collection::vec((0usize..10_000, any::<bool>()), 0..8),
+    ) {
+        // Force the galloping kernel: |small| * 32 < |large|, with small
+        // drawn half from large's own elements (hits) and half offset by
+        // one (mostly misses) so probe-boundary matches are exercised.
+        let large = sorted_unique(&large_vals);
+        prop_assume!(large.len() >= 200);
+        let small_raw: Vec<u32> = picks
+            .iter()
+            .map(|&(i, hit)| {
+                let v = large[i % large.len()];
+                if hit { v } else { v.saturating_add(1) }
+            })
+            .collect();
+        let small = sorted_unique(&small_raw);
+        let oa: BTreeSet<u32> = small.iter().copied().collect();
+        let ob: BTreeSet<u32> = large.iter().copied().collect();
+        let expect: Vec<u32> = oa.intersection(&ob).copied().collect();
+        let x = Set::from_sorted_with(&small, Layout::UintArray);
+        let y = Set::from_sorted_with(&large, Layout::UintArray);
+        prop_assert_eq!(x.intersect(&y).to_vec(), expect.clone());
+        prop_assert_eq!(y.intersect(&x).to_vec(), expect);
+    }
+
+    #[test]
+    fn union_and_difference_match_oracle(a in value_set(), b in value_set()) {
+        let oa: BTreeSet<u32> = a.iter().copied().collect();
+        let ob: BTreeSet<u32> = b.iter().copied().collect();
+        let expect_union: Vec<u32> = oa.union(&ob).copied().collect();
+        let expect_diff: Vec<u32> = oa.difference(&ob).copied().collect();
+        for la in [Layout::UintArray, Layout::Bitset] {
+            for lb in [Layout::UintArray, Layout::Bitset] {
+                let x = Set::from_sorted_with(&a, la);
+                let y = Set::from_sorted_with(&b, lb);
+                prop_assert_eq!(union(&x, &y).to_vec(), expect_union.clone());
+                prop_assert_eq!(difference(&x, &y).to_vec(), expect_diff.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn demorgan_identity(a in value_set(), b in value_set()) {
+        // |a| = |a ∩ b| + |a \ b|.
+        let x = Set::from_sorted(&a);
+        let y = Set::from_sorted(&b);
+        prop_assert_eq!(x.len(), x.intersect_count(&y) + difference(&x, &y).len());
+    }
+
+    #[test]
+    fn optimize_preserves_contents(vals in value_set()) {
+        for layout in [Layout::UintArray, Layout::Bitset] {
+            let s = Set::from_sorted_with(&vals, layout);
+            prop_assert_eq!(s.optimize().to_vec(), vals.clone());
+        }
+    }
+}

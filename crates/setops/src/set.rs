@@ -1,0 +1,270 @@
+//! The layout-polymorphic [`Set`] type used by trie levels.
+
+use crate::bitset::{BitIter, BitSet};
+use crate::optimizer::{choose_layout, Layout};
+use crate::uint::UintSet;
+
+/// A set of dictionary-encoded `u32` values in one of EmptyHeaded's two
+/// physical layouts (paper §II-A2).
+///
+/// Constructors pick the layout with the [`choose_layout`] optimizer unless
+/// a layout is forced (the Table I "+Layout" ablation forces
+/// [`Layout::UintArray`] everywhere to measure the mixed-layout speedup).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Set {
+    /// Sorted unique `u32` array.
+    Uint(UintSet),
+    /// Offset word-aligned bitset.
+    Bits(BitSet),
+}
+
+impl Default for Set {
+    fn default() -> Self {
+        Set::Uint(UintSet::default())
+    }
+}
+
+impl Set {
+    /// Build from a sorted duplicate-free slice, letting the optimizer pick
+    /// the layout from cardinality and range.
+    pub fn from_sorted(values: &[u32]) -> Self {
+        if values.is_empty() {
+            return Set::default();
+        }
+        let layout = choose_layout(values.len(), values[0], values[values.len() - 1]);
+        Set::from_sorted_with(values, layout)
+    }
+
+    /// Build from a sorted duplicate-free slice in a forced layout.
+    pub fn from_sorted_with(values: &[u32], layout: Layout) -> Self {
+        match layout {
+            Layout::UintArray => Set::Uint(UintSet::from_sorted(values)),
+            Layout::Bitset => Set::Bits(BitSet::from_sorted(values)),
+        }
+    }
+
+    /// Build from an arbitrary slice (sorts + dedups), auto layout.
+    pub fn from_unsorted(values: &[u32]) -> Self {
+        let mut v = values.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        Set::from_sorted(&v)
+    }
+
+    /// The physical layout of this set.
+    pub fn layout(&self) -> Layout {
+        match self {
+            Set::Uint(_) => Layout::UintArray,
+            Set::Bits(_) => Layout::Bitset,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Set::Uint(s) => s.len(),
+            Set::Bits(s) => s.len(),
+        }
+    }
+
+    /// True when the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership probe: `O(1)` for bitsets, `O(log n)` for uint arrays —
+    /// the asymmetry behind the paper's §III-A index-layout optimization.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        match self {
+            Set::Uint(s) => s.contains(v),
+            Set::Bits(s) => s.contains(v),
+        }
+    }
+
+    /// Smallest element.
+    pub fn min(&self) -> Option<u32> {
+        match self {
+            Set::Uint(s) => s.min(),
+            Set::Bits(s) => s.min(),
+        }
+    }
+
+    /// Largest element.
+    pub fn max(&self) -> Option<u32> {
+        match self {
+            Set::Uint(s) => s.max(),
+            Set::Bits(s) => s.max(),
+        }
+    }
+
+    /// Iterate elements in increasing order regardless of layout.
+    pub fn iter(&self) -> SetIter<'_> {
+        match self {
+            Set::Uint(s) => SetIter::Uint(s.as_slice().iter()),
+            Set::Bits(s) => SetIter::Bits(s.iter()),
+        }
+    }
+
+    /// Rank (index in sorted order) of `v`, if present.
+    ///
+    /// Used by tries to map an element to its child block. `O(log n)` for
+    /// uint arrays, `O(1)` for bitsets (rank directory).
+    pub fn rank(&self, v: u32) -> Option<usize> {
+        match self {
+            Set::Uint(s) => s.rank(v),
+            Set::Bits(s) => s.rank(v),
+        }
+    }
+
+    /// Copy out the elements as a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Payload bytes (for layout ablation reporting).
+    pub fn bytes(&self) -> usize {
+        match self {
+            Set::Uint(s) => s.bytes(),
+            Set::Bits(s) => s.bytes(),
+        }
+    }
+
+    /// Intersect two sets, dispatching on the layout pair
+    /// (uint∩uint = merge/gallop, bitset∩bitset = word AND,
+    /// mixed = probe the bitset for each array element).
+    pub fn intersect(&self, other: &Set) -> Set {
+        crate::intersect::intersect(self, other)
+    }
+
+    /// Cardinality of the intersection without materialising it.
+    pub fn intersect_count(&self, other: &Set) -> usize {
+        crate::intersect::intersect_count(self, other)
+    }
+
+    /// True when the intersection is non-empty (early-exit probe used for
+    /// the existence-check/semijoin fast path in Generic-Join).
+    pub fn intersects(&self, other: &Set) -> bool {
+        crate::intersect::intersects(self, other)
+    }
+
+    /// Re-apply the layout optimizer to this set (e.g. after an
+    /// intersection materialised in a layout the optimizer would not pick).
+    pub fn optimize(self) -> Set {
+        let (len, min, max) = match self.len() {
+            0 => return Set::default(),
+            l => (l, self.min().unwrap(), self.max().unwrap()),
+        };
+        let target = choose_layout(len, min, max);
+        if target == self.layout() {
+            return self;
+        }
+        let v = self.to_vec();
+        Set::from_sorted_with(&v, target)
+    }
+}
+
+/// Layout-polymorphic iterator over a [`Set`].
+pub enum SetIter<'a> {
+    /// Iterating a sorted uint array.
+    Uint(std::slice::Iter<'a, u32>),
+    /// Iterating a bitset.
+    Bits(BitIter<'a>),
+}
+
+impl Iterator for SetIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            SetIter::Uint(it) => it.next().copied(),
+            SetIter::Bits(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            SetIter::Uint(it) => it.size_hint(),
+            SetIter::Bits(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for SetIter<'_> {}
+
+impl FromIterator<u32> for Set {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let v: Vec<u32> = iter.into_iter().collect();
+        Set::from_unsorted(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_layout_selection() {
+        let dense: Vec<u32> = (100..400).collect();
+        assert_eq!(Set::from_sorted(&dense).layout(), Layout::Bitset);
+        let sparse = [1u32, 100_000, 4_000_000];
+        assert_eq!(Set::from_sorted(&sparse).layout(), Layout::UintArray);
+    }
+
+    #[test]
+    fn forced_layout() {
+        let dense: Vec<u32> = (0..1000).collect();
+        let s = Set::from_sorted_with(&dense, Layout::UintArray);
+        assert_eq!(s.layout(), Layout::UintArray);
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn rank_agrees_across_layouts() {
+        let vals = [3u32, 64, 65, 127, 128, 300];
+        let u = Set::from_sorted_with(&vals, Layout::UintArray);
+        let b = Set::from_sorted_with(&vals, Layout::Bitset);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(u.rank(v), Some(i));
+            assert_eq!(b.rank(v), Some(i), "bitset rank of {v}");
+        }
+        assert_eq!(b.rank(4), None);
+        assert_eq!(u.rank(4), None);
+    }
+
+    #[test]
+    fn iter_across_layouts() {
+        let vals = [0u32, 5, 64, 200];
+        for layout in [Layout::UintArray, Layout::Bitset] {
+            let s = Set::from_sorted_with(&vals, layout);
+            assert_eq!(s.to_vec(), vals);
+        }
+    }
+
+    #[test]
+    fn optimize_converts_layout() {
+        let dense: Vec<u32> = (0..512).collect();
+        let forced = Set::from_sorted_with(&dense, Layout::UintArray);
+        let opt = forced.optimize();
+        assert_eq!(opt.layout(), Layout::Bitset);
+        assert_eq!(opt.to_vec(), dense);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: Set = vec![9u32, 1, 9, 5].into_iter().collect();
+        assert_eq!(s.to_vec(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = Set::default();
+        assert!(e.is_empty());
+        assert_eq!(e.layout(), Layout::UintArray);
+        assert_eq!(e.iter().count(), 0);
+        assert_eq!(e.clone().optimize(), e);
+    }
+}

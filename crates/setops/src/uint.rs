@@ -1,0 +1,245 @@
+//! Sorted unsigned-integer-array set layout (paper §II-A2).
+
+/// A set of `u32` values stored as a sorted array of unique elements.
+///
+/// This is EmptyHeaded's default layout: compact for sparse sets, with
+/// `O(log n)` membership via binary search and merge/galloping
+/// intersection.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UintSet {
+    values: Box<[u32]>,
+}
+
+impl UintSet {
+    /// Build from a slice that is already sorted and duplicate-free.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the input is not strictly increasing.
+    pub fn from_sorted(values: &[u32]) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "input must be strictly increasing");
+        UintSet { values: values.into() }
+    }
+
+    /// Build from an arbitrary slice: sorts and deduplicates.
+    pub fn from_unsorted(values: &[u32]) -> Self {
+        let mut v = values.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        UintSet { values: v.into_boxed_slice() }
+    }
+
+    /// Take ownership of a vector known to be sorted and unique.
+    pub fn from_sorted_vec(values: Vec<u32>) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "input must be strictly increasing");
+        UintSet { values: values.into_boxed_slice() }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Membership test by binary search: `O(log n)`. This is the cost the
+    /// paper contrasts with the bitset's `O(1)` probe in §III-A.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.values.binary_search(&v).is_ok()
+    }
+
+    /// Rank of `v` in the set (its index), if present.
+    #[inline]
+    pub fn rank(&self, v: u32) -> Option<usize> {
+        self.values.binary_search(&v).ok()
+    }
+
+    /// Smallest element.
+    #[inline]
+    pub fn min(&self) -> Option<u32> {
+        self.values.first().copied()
+    }
+
+    /// Largest element.
+    #[inline]
+    pub fn max(&self) -> Option<u32> {
+        self.values.last().copied()
+    }
+
+    /// The sorted elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Iterate elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// Memory footprint of the payload in bytes (used by layout ablations).
+    pub fn bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Merge-based intersection of two sorted slices, appending to `out`.
+pub(crate) fn intersect_merge(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Galloping (exponential-search) intersection for skewed cardinalities:
+/// for each element of the smaller slice, gallop through the larger one.
+/// `O(|small| * log |large|)` — asymptotically better than merging when
+/// `|small| << |large|`.
+pub(crate) fn intersect_gallop(small: &[u32], large: &[u32], out: &mut Vec<u32>) {
+    let mut lo = 0usize;
+    for &v in small {
+        if lo >= large.len() {
+            break;
+        }
+        // Exponential probe: find a window [prev, hi) with
+        // large[prev - 1] < v and (hi == len or large[hi] >= v).
+        let mut step = 1usize;
+        let mut prev = lo;
+        let mut probe = lo;
+        while probe < large.len() && large[probe] < v {
+            prev = probe + 1;
+            probe += step;
+            step <<= 1;
+        }
+        let hi = probe.min(large.len());
+        // First index in [prev, hi) not below v; large[hi] >= v when in
+        // range, so this is the global partition point for v.
+        let idx = prev + large[prev..hi].partition_point(|&x| x < v);
+        if idx < large.len() && large[idx] == v {
+            out.push(v);
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+    }
+}
+
+/// Ratio at which the galloping strategy replaces the linear merge.
+const GALLOP_RATIO: usize = 32;
+
+/// Layout-internal intersection of two sorted slices with automatic
+/// merge/gallop strategy selection.
+pub(crate) fn intersect_uint(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len().saturating_mul(GALLOP_RATIO) < large.len() {
+        intersect_gallop(small, large, out);
+    } else {
+        intersect_merge(a, b, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_dedups() {
+        let s = UintSet::from_unsorted(&[5, 1, 5, 3, 1]);
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_and_rank() {
+        let s = UintSet::from_sorted(&[2, 4, 8]);
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        assert_eq!(s.rank(8), Some(2));
+        assert_eq!(s.rank(3), None);
+    }
+
+    #[test]
+    fn min_max_empty() {
+        let e = UintSet::default();
+        assert!(e.is_empty());
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+        let s = UintSet::from_sorted(&[7, 9]);
+        assert_eq!((s.min(), s.max()), (Some(7), Some(9)));
+    }
+
+    #[test]
+    fn merge_intersection_basic() {
+        let mut out = vec![];
+        intersect_merge(&[1, 2, 3, 7], &[2, 3, 4, 7, 9], &mut out);
+        assert_eq!(out, vec![2, 3, 7]);
+    }
+
+    #[test]
+    fn gallop_matches_merge() {
+        let small: Vec<u32> = vec![10, 500, 900, 901, 100_000];
+        let large: Vec<u32> = (0..1000).map(|x| x * 3).collect();
+        let (mut a, mut b) = (vec![], vec![]);
+        intersect_merge(&small, &large, &mut a);
+        intersect_gallop(&small, &large, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gallop_match_at_probe_boundary() {
+        // Regression: the exponential probe stops at the first index with
+        // large[hi] >= v; when large[hi] == v the match must still be
+        // found (a previous version excluded index hi from the search
+        // window and silently dropped such matches).
+        let mut out = vec![];
+        intersect_gallop(&[0], &[0, 1, 2], &mut out);
+        assert_eq!(out, vec![0]);
+        out.clear();
+        // v lands exactly on the probe positions 1, 3, 7, ...
+        let large: Vec<u32> = (0..100).collect();
+        intersect_gallop(&[1, 3, 7, 15, 31, 63], &large, &mut out);
+        assert_eq!(out, vec![1, 3, 7, 15, 31, 63]);
+        out.clear();
+        // Dense equal slices through the gallop path directly.
+        intersect_gallop(&large, &large, &mut out);
+        assert_eq!(out, large);
+    }
+
+    #[test]
+    fn gallop_handles_leading_and_trailing_misses() {
+        let mut out = vec![];
+        intersect_gallop(&[0, 99], &[1, 2, 3], &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        intersect_gallop(&[3], &[1, 2, 3], &mut out);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn intersect_uint_dispatches_both_paths() {
+        // Skewed: takes the gallop path.
+        let small = vec![4, 64, 640];
+        let large: Vec<u32> = (0..10_000).collect();
+        let mut out = vec![];
+        intersect_uint(&small, &large, &mut out);
+        assert_eq!(out, vec![4, 64, 640]);
+        // Balanced: merge path.
+        let mut out2 = vec![];
+        intersect_uint(&[1, 2, 3], &[2, 3, 4], &mut out2);
+        assert_eq!(out2, vec![2, 3]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Set union and difference. The join core only needs intersections, but
+//! a set library without the rest of the algebra is a trap for downstream
+//! users (SPARQL `UNION` / `MINUS` land exactly here).
+
+use crate::bitset::BitSet;
+use crate::set::Set;
+use crate::uint::UintSet;
+
+/// Union of two sets. The result re-runs the layout optimizer, since a
+/// union can push a sparse pair over the bitset density threshold.
+pub fn union(a: &Set, b: &Set) -> Set {
+    match (a, b) {
+        (Set::Bits(x), Set::Bits(y)) => Set::Bits(union_bitset(x, y)).optimize(),
+        _ => {
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            let (mut ia, mut ib) = (a.iter(), b.iter());
+            let (mut va, mut vb) = (ia.next(), ib.next());
+            loop {
+                match (va, vb) {
+                    (Some(x), Some(y)) => match x.cmp(&y) {
+                        std::cmp::Ordering::Less => {
+                            out.push(x);
+                            va = ia.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push(y);
+                            vb = ib.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            out.push(x);
+                            va = ia.next();
+                            vb = ib.next();
+                        }
+                    },
+                    (Some(x), None) => {
+                        out.push(x);
+                        out.extend(ia.by_ref());
+                        break;
+                    }
+                    (None, Some(y)) => {
+                        out.push(y);
+                        out.extend(ib.by_ref());
+                        break;
+                    }
+                    (None, None) => break,
+                }
+            }
+            Set::from_sorted(&out)
+        }
+    }
+}
+
+fn union_bitset(a: &BitSet, b: &BitSet) -> BitSet {
+    if a.is_empty() {
+        return b.clone();
+    }
+    if b.is_empty() {
+        return a.clone();
+    }
+    // Merge over the combined extent via the element iterators; word-wise
+    // OR would need extent alignment and this path is not hot.
+    let mut vals: Vec<u32> = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.iter(), b.iter());
+    let (mut va, mut vb) = (ia.next(), ib.next());
+    loop {
+        match (va, vb) {
+            (Some(x), Some(y)) => match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    vals.push(x);
+                    va = ia.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    vals.push(y);
+                    vb = ib.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    vals.push(x);
+                    va = ia.next();
+                    vb = ib.next();
+                }
+            },
+            (Some(x), None) => {
+                vals.push(x);
+                vals.extend(ia.by_ref());
+                break;
+            }
+            (None, Some(y)) => {
+                vals.push(y);
+                vals.extend(ib.by_ref());
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    BitSet::from_sorted(&vals)
+}
+
+/// Difference `a \ b`: elements of `a` not in `b`. The result keeps the
+/// uint layout (differences shrink sets, so density rarely pays) and is
+/// re-optimized by the caller if needed.
+pub fn difference(a: &Set, b: &Set) -> Set {
+    let mut out = Vec::with_capacity(a.len());
+    for v in a.iter() {
+        if !b.contains(v) {
+            out.push(v);
+        }
+    }
+    Set::Uint(UintSet::from_sorted_vec(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Layout;
+
+    fn layouts(vals: &[u32]) -> [Set; 2] {
+        [
+            Set::from_sorted_with(vals, Layout::UintArray),
+            Set::from_sorted_with(vals, Layout::Bitset),
+        ]
+    }
+
+    #[test]
+    fn union_across_layouts() {
+        for a in layouts(&[1, 3, 64]) {
+            for b in layouts(&[2, 3, 128]) {
+                assert_eq!(union(&a, &b).to_vec(), vec![1, 2, 3, 64, 128]);
+            }
+        }
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let a = Set::from_sorted(&[5, 9]);
+        let e = Set::default();
+        assert_eq!(union(&a, &e).to_vec(), vec![5, 9]);
+        assert_eq!(union(&e, &a).to_vec(), vec![5, 9]);
+        assert!(union(&e, &e).is_empty());
+    }
+
+    #[test]
+    fn union_densifies_layout() {
+        let a: Vec<u32> = (0..256).step_by(2).collect();
+        let b: Vec<u32> = (0..256).skip(1).step_by(2).collect();
+        let u = union(&Set::from_sorted(&a), &Set::from_sorted(&b));
+        assert_eq!(u.len(), 256);
+        assert_eq!(u.layout(), Layout::Bitset);
+    }
+
+    #[test]
+    fn difference_across_layouts() {
+        for a in layouts(&[1, 2, 3, 64]) {
+            for b in layouts(&[2, 64, 100]) {
+                assert_eq!(difference(&a, &b).to_vec(), vec![1, 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn difference_identities() {
+        let a = Set::from_sorted(&[1, 2, 3]);
+        assert_eq!(difference(&a, &Set::default()).to_vec(), vec![1, 2, 3]);
+        assert!(difference(&a, &a).is_empty());
+    }
+}

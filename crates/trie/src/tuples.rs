@@ -1,0 +1,172 @@
+//! A flat, row-major tuple buffer — the materialised-relation currency
+//! shared by trie construction, intermediate results, and the baseline
+//! engines.
+
+/// A multiset of fixed-arity `u32` tuples stored contiguously.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TupleBuffer {
+    arity: usize,
+    data: Vec<u32>,
+}
+
+impl TupleBuffer {
+    /// An empty buffer of the given arity (arity 0 is allowed and holds
+    /// only the empty tuple count).
+    pub fn new(arity: usize) -> TupleBuffer {
+        TupleBuffer { arity, data: Vec::new() }
+    }
+
+    /// An empty buffer with row capacity preallocated.
+    pub fn with_capacity(arity: usize, rows: usize) -> TupleBuffer {
+        TupleBuffer { arity, data: Vec::with_capacity(arity * rows) }
+    }
+
+    /// Build from binary pairs (the vertically partitioned table shape).
+    pub fn from_pairs(pairs: &[(u32, u32)]) -> TupleBuffer {
+        let mut data = Vec::with_capacity(pairs.len() * 2);
+        for &(a, b) in pairs {
+            data.push(a);
+            data.push(b);
+        }
+        TupleBuffer { arity: 2, data }
+    }
+
+    /// Tuple width.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.arity).unwrap_or(0)
+    }
+
+    /// True when no rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics when `row.len() != arity`.
+    pub fn push(&mut self, row: &[u32]) {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> {
+        self.data.chunks_exact(self.arity.max(1))
+    }
+
+    /// Sort rows lexicographically and remove duplicates (set semantics).
+    pub fn sort_dedup(&mut self) {
+        if self.arity == 0 || self.is_empty() {
+            return;
+        }
+        let arity = self.arity;
+        let n = self.len();
+        let mut index: Vec<usize> = (0..n).collect();
+        index.sort_unstable_by(|&a, &b| self.row(a).cmp(self.row(b)));
+        index.dedup_by(|&mut a, &mut b| self.row(a) == self.row(b));
+        let mut data = Vec::with_capacity(index.len() * arity);
+        for i in index {
+            data.extend_from_slice(self.row(i));
+        }
+        self.data = data;
+    }
+
+    /// True when rows are sorted lexicographically without duplicates.
+    pub fn is_sorted_unique(&self) -> bool {
+        if self.arity == 0 {
+            return true;
+        }
+        (1..self.len()).all(|i| self.row(i - 1) < self.row(i))
+    }
+
+    /// A new buffer with columns permuted: output column `j` is input
+    /// column `perm[j]`. `perm` may also drop or duplicate columns.
+    pub fn permute(&self, perm: &[usize]) -> TupleBuffer {
+        let mut out = TupleBuffer::with_capacity(perm.len(), self.len());
+        let mut row_buf = vec![0u32; perm.len()];
+        for row in self.rows() {
+            for (j, &src) in perm.iter().enumerate() {
+                row_buf[j] = row[src];
+            }
+            out.push(&row_buf);
+        }
+        out
+    }
+
+    /// Raw flat data (row-major).
+    pub fn as_flat(&self) -> &[u32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_row_access() {
+        let mut t = TupleBuffer::new(3);
+        t.push(&[1, 2, 3]);
+        t.push(&[4, 5, 6]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(1), &[4, 5, 6]);
+        assert_eq!(t.rows().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        TupleBuffer::new(2).push(&[1]);
+    }
+
+    #[test]
+    fn sort_dedup() {
+        let mut t = TupleBuffer::new(2);
+        for row in [[3, 1], [1, 2], [3, 1], [1, 1]] {
+            t.push(&row);
+        }
+        t.sort_dedup();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.row(0), &[1, 1]);
+        assert_eq!(t.row(1), &[1, 2]);
+        assert_eq!(t.row(2), &[3, 1]);
+        assert!(t.is_sorted_unique());
+    }
+
+    #[test]
+    fn from_pairs() {
+        let t = TupleBuffer::from_pairs(&[(1, 2), (3, 4)]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.row(1), &[3, 4]);
+    }
+
+    #[test]
+    fn permute_reorders_and_projects() {
+        let mut t = TupleBuffer::new(3);
+        t.push(&[1, 2, 3]);
+        let swapped = t.permute(&[2, 0]);
+        assert_eq!(swapped.arity(), 2);
+        assert_eq!(swapped.row(0), &[3, 1]);
+    }
+
+    #[test]
+    fn empty_and_zero_arity() {
+        let t = TupleBuffer::new(0);
+        assert_eq!(t.len(), 0);
+        assert!(t.is_sorted_unique());
+        let e = TupleBuffer::new(2);
+        assert!(e.is_empty());
+        assert!(e.is_sorted_unique());
+    }
+}

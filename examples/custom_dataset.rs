@@ -1,0 +1,61 @@
+//! Using the engine on your own RDF data: parse N-Triples text, load a
+//! store, and query it — no LUBM involved.
+//!
+//! ```text
+//! cargo run --release --example custom_dataset
+//! ```
+
+use wcoj_rdf::emptyheaded::{Engine, OptFlags};
+use wcoj_rdf::rdf::{parse_ntriples, TripleStore};
+
+const DATA: &str = r#"
+# A small social/knowledge graph in N-Triples.
+<http://ex/alice>  <http://ex/knows>    <http://ex/bob> .
+<http://ex/alice>  <http://ex/knows>    <http://ex/carol> .
+<http://ex/bob>    <http://ex/knows>    <http://ex/carol> .
+<http://ex/carol>  <http://ex/knows>    <http://ex/dave> .
+<http://ex/alice>  <http://ex/worksAt>  <http://ex/acme> .
+<http://ex/bob>    <http://ex/worksAt>  <http://ex/acme> .
+<http://ex/carol>  <http://ex/worksAt>  <http://ex/globex> .
+<http://ex/alice>  <http://ex/name>     "Alice" .
+<http://ex/bob>    <http://ex/name>     "Bob" .
+<http://ex/carol>  <http://ex/name>     "Carol" .
+"#;
+
+fn main() {
+    let triples = parse_ntriples(DATA).expect("well-formed N-Triples");
+    let store = TripleStore::from_triples(triples);
+    println!("loaded {} triples", store.num_triples());
+
+    let engine = Engine::new(&store, OptFlags::all());
+
+    // Colleagues that know each other (a join with a cycle through
+    // `knows` and `worksAt`).
+    let result = engine
+        .run_sparql(
+            "PREFIX ex: <http://ex/>
+             SELECT ?a ?b ?company WHERE {
+                 ?a ex:knows ?b .
+                 ?a ex:worksAt ?company .
+                 ?b ex:worksAt ?company .
+             }",
+        )
+        .expect("valid query");
+    println!("colleagues that know each other:");
+    for i in 0..result.cardinality() {
+        let row = result.decode_row(&store, i);
+        println!("  {} knows {} (both at {})", row[0].as_str(), row[1].as_str(), row[2].as_str());
+    }
+
+    // Names of everyone Alice knows.
+    let result = engine
+        .run_sparql(
+            "PREFIX ex: <http://ex/>
+             SELECT ?name WHERE { ex:alice ex:knows ?p . ?p ex:name ?name }",
+        )
+        .expect("valid query");
+    let names: Vec<String> = (0..result.cardinality())
+        .map(|i| result.decode_row(&store, i)[0].as_str().to_string())
+        .collect();
+    println!("Alice knows: {}", names.join(", "));
+}

@@ -1,0 +1,61 @@
+//! A miniature Table II: run the full LUBM workload on all five engines
+//! at a configurable scale and print per-query times and cardinalities.
+//! (The full harness with the paper's 7-run timing methodology lives in
+//! `cargo run -p eh-bench --bin table2`.)
+//!
+//! ```text
+//! cargo run --release --example lubm_benchmark
+//! ```
+
+use std::time::Instant;
+
+use wcoj_rdf::baselines::{LogicBloxStyle, MonetDbStyle, QueryEngine, Rdf3xStyle, TripleBitStyle};
+use wcoj_rdf::emptyheaded::{Engine, OptFlags};
+use wcoj_rdf::lubm::queries::{lubm_query, CYCLIC_QUERIES, QUERY_NUMBERS};
+use wcoj_rdf::lubm::{generate_store, GeneratorConfig};
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2u32);
+    let store = generate_store(&GeneratorConfig::scale(scale));
+    println!("LUBM({scale}): {} triples\n", store.num_triples());
+
+    let eh = Engine::new(&store, OptFlags::all());
+    let triplebit = TripleBitStyle::new(&store);
+    let rdf3x = Rdf3xStyle::new(&store);
+    let monetdb = MonetDbStyle::new(&store);
+    let logicblox = LogicBloxStyle::new(&store);
+
+    println!(
+        "{:<5} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}  shape",
+        "query", "tuples", "EH", "TripleBit", "RDF-3X", "MonetDB", "LogicBlox"
+    );
+    for qn in QUERY_NUMBERS {
+        let q = lubm_query(qn, &store).expect("workload query");
+        let plan = eh.plan(&q).expect("plannable");
+        eh.warm(&q).expect("warm");
+
+        let t0 = Instant::now();
+        let r = eh.run_plan(&q, &plan);
+        let t_eh = t0.elapsed();
+
+        let mut times = Vec::new();
+        let engines: [&dyn QueryEngine; 4] = [&triplebit, &rdf3x, &monetdb, &logicblox];
+        for e in engines {
+            let t0 = Instant::now();
+            let out = e.execute(&q);
+            times.push(t0.elapsed());
+            assert_eq!(out.len(), r.cardinality(), "Q{qn}: {} disagrees", e.name());
+        }
+
+        let shape = if CYCLIC_QUERIES.contains(&qn) { "cyclic" } else { "acyclic" };
+        println!(
+            "Q{qn:<4} {:>8} {:>9.2?} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}  {shape}",
+            r.cardinality(),
+            t_eh,
+            times[0],
+            times[1],
+            times[2],
+            times[3],
+        );
+    }
+}

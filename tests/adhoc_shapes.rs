@@ -1,0 +1,118 @@
+//! Cross-engine agreement on query shapes beyond the LUBM workload:
+//! longer chains, wide stars, and a four-cycle (fhw 2 — wider than
+//! anything in LUBM), over a seeded random graph.
+
+use std::collections::BTreeSet;
+
+use wcoj_rdf::baselines::{
+    LogicBloxStyle, MonetDbStyle, QueryEngine, Rdf3xStyle, TripleBitStyle,
+};
+use wcoj_rdf::emptyheaded::{Engine, OptFlags};
+use wcoj_rdf::query::{ConjunctiveQuery, Hypergraph, QueryBuilder};
+use wcoj_rdf::rdf::{Term, Triple, TripleStore};
+
+fn graph_store() -> TripleStore {
+    // Deterministic multigraph over 40 nodes with two predicates.
+    let mut triples = Vec::new();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move |m: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % m) as u32
+    };
+    for _ in 0..400 {
+        let p = if next(2) == 0 { "edge" } else { "link" };
+        triples.push(Triple::new(
+            Term::iri(format!("n{}", next(40))),
+            Term::iri(p),
+            Term::iri(format!("n{}", next(40))),
+        ));
+    }
+    TripleStore::from_triples(triples)
+}
+
+fn check(store: &TripleStore, q: &ConjunctiveQuery, label: &str) -> usize {
+    let eh = Engine::new(store, OptFlags::all());
+    let reference: BTreeSet<Vec<u32>> =
+        eh.run(q).unwrap().iter().map(|r| r.to_vec()).collect();
+    let engines: Vec<Box<dyn QueryEngine + '_>> = vec![
+        Box::new(MonetDbStyle::new(store)),
+        Box::new(Rdf3xStyle::new(store)),
+        Box::new(TripleBitStyle::new(store)),
+        Box::new(LogicBloxStyle::new(store)),
+    ];
+    for e in &engines {
+        let got: BTreeSet<Vec<u32>> = e.execute(q).rows().map(|r| r.to_vec()).collect();
+        assert_eq!(got, reference, "{label}: {} disagrees", e.name());
+    }
+    // And the unoptimized worst-case optimal engine.
+    let none = Engine::new(store, OptFlags::none());
+    let got: BTreeSet<Vec<u32>> = none.run(q).unwrap().iter().map(|r| r.to_vec()).collect();
+    assert_eq!(got, reference, "{label}: OptFlags::none disagrees");
+    reference.len()
+}
+
+#[test]
+fn four_hop_chain() {
+    let store = graph_store();
+    let p = store.resolve_iri("edge").unwrap();
+    let mut qb = QueryBuilder::new();
+    let vars: Vec<_> = (0..5).map(|i| qb.var(&format!("v{i}"))).collect();
+    for w in vars.windows(2) {
+        qb.atom("edge", p, w[0], w[1]);
+    }
+    let q = qb.select(vec![vars[0], vars[4]]).build().unwrap();
+    let n = check(&store, &q, "four-hop chain");
+    assert!(n > 0, "chains should match in a dense-ish graph");
+}
+
+#[test]
+fn wide_star_with_two_predicates() {
+    let store = graph_store();
+    let e = store.resolve_iri("edge").unwrap();
+    let l = store.resolve_iri("link").unwrap();
+    let mut qb = QueryBuilder::new();
+    let hub = qb.var("hub");
+    let leaves: Vec<_> = (0..4).map(|i| qb.var(&format!("l{i}"))).collect();
+    qb.atom("edge", e, hub, leaves[0])
+        .atom("edge", e, hub, leaves[1])
+        .atom("link", l, hub, leaves[2])
+        .atom("link", l, leaves[3], hub);
+    let q = qb.select(vec![hub]).build().unwrap();
+    check(&store, &q, "wide star");
+}
+
+#[test]
+fn four_cycle_is_wider_than_lubm() {
+    let store = graph_store();
+    let p = store.resolve_iri("edge").unwrap();
+    let mut qb = QueryBuilder::new();
+    let v: Vec<_> = (0..4).map(|i| qb.var(&format!("v{i}"))).collect();
+    qb.atom("edge", p, v[0], v[1])
+        .atom("edge", p, v[1], v[2])
+        .atom("edge", p, v[2], v[3])
+        .atom("edge", p, v[3], v[0]);
+    let q = qb.select(v.clone()).build().unwrap();
+    let h = Hypergraph::from_query(&q);
+    assert!(h.is_cyclic());
+    let engine = Engine::new(&store, OptFlags::all());
+    let plan = engine.plan(&q).unwrap();
+    // fhw of the 4-cycle is 2 (two opposite edges cover it).
+    assert_eq!(plan.width, wcoj_rdf::lp::Rational::from_int(2));
+    check(&store, &q, "four-cycle");
+}
+
+#[test]
+fn mixed_cycle_with_selection() {
+    let store = graph_store();
+    let e = store.resolve_iri("edge").unwrap();
+    let anchor = store.resolve_iri("n1");
+    let mut qb = QueryBuilder::new();
+    let (x, y, z) = (qb.var("x"), qb.var("y"), qb.var("z"));
+    let a = qb.selection_var(anchor);
+    qb.atom("edge", e, x, y)
+        .atom("edge", e, y, z)
+        .atom("edge", e, x, z)
+        .atom("edge", e, x, a); // triangle anchored at a constant neighbour
+    let q = qb.select(vec![x, y, z]).build().unwrap();
+    check(&store, &q, "anchored triangle");
+}

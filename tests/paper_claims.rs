@@ -1,0 +1,102 @@
+//! Assertions for the paper's qualitative claims (§IV-B), with generous
+//! margins so they hold under CI noise:
+//!
+//! 1. On the cyclic queries (2 and 9) the worst-case optimal engines beat
+//!    the pairwise MonetDB-style engine.
+//! 2. The three classic optimizations give large speedups on the
+//!    selective queries Table I highlights.
+//! 3. The optimizations never change results, only runtimes.
+
+use std::time::{Duration, Instant};
+
+use wcoj_rdf::baselines::{MonetDbStyle, QueryEngine};
+use wcoj_rdf::emptyheaded::{Engine, OptFlags};
+use wcoj_rdf::lubm::queries::lubm_query;
+use wcoj_rdf::lubm::{generate_store, GeneratorConfig};
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = f();
+            t0.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn wcoj_beats_pairwise_on_cyclic_queries() {
+    let store = generate_store(&GeneratorConfig::scale(2));
+    let eh = Engine::new(&store, OptFlags::all());
+    let monet = MonetDbStyle::new(&store);
+    for qn in [2u32, 9] {
+        let q = lubm_query(qn, &store).unwrap();
+        let plan = eh.plan(&q).unwrap();
+        eh.warm(&q).unwrap();
+        let t_eh = best_of(3, || eh.run_plan(&q, &plan));
+        let t_monet = best_of(3, || monet.execute(&q));
+        // The paper reports 8.8x (Q2) and 24x (Q9); require a loose 2x.
+        assert!(
+            t_monet > t_eh * 2,
+            "Q{qn}: pairwise ({t_monet:?}) should trail WCOJ ({t_eh:?}) by >2x"
+        );
+    }
+}
+
+#[test]
+fn optimizations_speed_up_selective_queries() {
+    let store = generate_store(&GeneratorConfig::scale(2));
+    // Table I's headline rows: queries 1 and 14 gain >100x / >200x from
+    // +Attribute at paper scale; require a loose 5x for all opts combined.
+    for qn in [1u32, 14] {
+        let q = lubm_query(qn, &store).unwrap();
+        let all = Engine::new(&store, OptFlags::all());
+        let none = Engine::new(&store, OptFlags::none());
+        let plan_all = all.plan(&q).unwrap();
+        let plan_none = none.plan(&q).unwrap();
+        all.warm(&q).unwrap();
+        none.warm(&q).unwrap();
+        let t_all = best_of(3, || all.run_plan(&q, &plan_all));
+        let t_none = best_of(3, || none.run_plan(&q, &plan_none));
+        assert!(
+            t_none > t_all * 5,
+            "Q{qn}: optimizations should speed up by >5x ({t_none:?} vs {t_all:?})"
+        );
+    }
+}
+
+#[test]
+fn optimizations_never_change_results() {
+    let store = generate_store(&GeneratorConfig::tiny(2));
+    for qn in [1u32, 2, 4, 7, 8, 14] {
+        let q = lubm_query(qn, &store).unwrap();
+        let reference = Engine::new(&store, OptFlags::all()).run(&q).unwrap();
+        for k in 0..=4 {
+            let r = Engine::new(&store, OptFlags::cumulative(k)).run(&q).unwrap();
+            assert_eq!(
+                r.tuples(),
+                reference.tuples(),
+                "Q{qn}: cumulative({k}) changed the result set"
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_widths_match_the_paper() {
+    // fhw 3/2 for the two triangle queries (the paper quotes 1.5 for
+    // query 2's GHD), 1 for every acyclic query.
+    let store = generate_store(&GeneratorConfig::tiny(1));
+    let engine = Engine::new(&store, OptFlags::all());
+    for qn in wcoj_rdf::lubm::queries::QUERY_NUMBERS {
+        let q = lubm_query(qn, &store).unwrap();
+        let plan = engine.plan(&q).unwrap();
+        let expected = if wcoj_rdf::lubm::queries::CYCLIC_QUERIES.contains(&qn) {
+            wcoj_rdf::lp::Rational::new(3, 2)
+        } else {
+            wcoj_rdf::lp::Rational::ONE
+        };
+        assert_eq!(plan.width, expected, "query {qn} width");
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration tests for the SPARQL frontend and planner invariants on
+//! the paper's workload.
+
+use wcoj_rdf::emptyheaded::{Engine, OptFlags, PlannerConfig};
+use wcoj_rdf::lubm::queries::{lubm_query, lubm_sparql, QUERY_NUMBERS};
+use wcoj_rdf::lubm::{generate_store, GeneratorConfig};
+use wcoj_rdf::query::{parse_sparql, Hypergraph};
+use wcoj_rdf::rdf::{parse_ntriples, write_ntriples, TripleStore};
+
+#[test]
+fn workload_sparql_text_round_trips_through_the_parser() {
+    let store = generate_store(&GeneratorConfig::tiny(1));
+    for n in QUERY_NUMBERS {
+        let text = lubm_sparql(n).unwrap();
+        let q = parse_sparql(&text, &store).unwrap_or_else(|e| panic!("query {n}: {e}"));
+        assert!(!q.atoms().is_empty());
+        assert!(!q.projection().is_empty());
+        // Every atom's predicate is one fixed IRI (no variable predicates
+        // in the workload).
+        for a in q.atoms() {
+            assert!(a.relation.starts_with("http://"), "query {n}: {}", a.relation);
+        }
+    }
+}
+
+#[test]
+fn paper_example_1_attribute_orders() {
+    // §III-B1 Example 1: query 14 uses order [a, x] with the
+    // optimization and [x, a] without.
+    let store = generate_store(&GeneratorConfig::tiny(1));
+    let q = lubm_query(14, &store).unwrap();
+    let with = Engine::new(&store, OptFlags::all()).plan(&q).unwrap();
+    let without = Engine::new(&store, OptFlags::none()).plan(&q).unwrap();
+    let x = q.var_by_name("X").unwrap();
+    let a = q.selected_vars()[0];
+    assert_eq!(with.global_order, vec![a, x], "selection attribute first");
+    assert_eq!(without.global_order, vec![x, a], "naive appearance order");
+    // Correspondingly the trie is loaded object-major vs subject-major.
+    assert!(!with.nodes[0].atoms[0].subject_first);
+    assert!(without.nodes[0].atoms[0].subject_first);
+}
+
+#[test]
+fn paper_q2_selections_precede_join_attributes() {
+    // §III-B1: the query 2 order is [a, b, c | x, y, z] — all three
+    // selection attributes before the join attributes.
+    let store = generate_store(&GeneratorConfig::tiny(1));
+    let q = lubm_query(2, &store).unwrap();
+    let plan = Engine::new(&store, OptFlags::all()).plan(&q).unwrap();
+    let n_sel = q.selected_vars().len();
+    assert_eq!(n_sel, 3);
+    let (front, back) = plan.global_order.split_at(n_sel);
+    assert!(front.iter().all(|&v| q.is_selected(v)), "selections first: {:?}", plan.global_order);
+    assert!(back.iter().all(|&v| !q.is_selected(v)));
+}
+
+#[test]
+fn cyclic_queries_keep_their_triangle_in_one_bag() {
+    let store = generate_store(&GeneratorConfig::tiny(1));
+    for qn in [2u32, 9] {
+        let q = lubm_query(qn, &store).unwrap();
+        let plan = Engine::new(&store, OptFlags::all()).plan(&q).unwrap();
+        let h = Hypergraph::from_query(&q);
+        // Some bag contains all three triangle variables (the unselected,
+        // projected ones).
+        let tri: Vec<usize> = (0..q.num_vars()).filter(|&v| !q.is_selected(v)).collect();
+        assert_eq!(tri.len(), 3, "query {qn}");
+        assert!(
+            plan.ghd.bags.iter().any(|bag| tri.iter().all(|v| bag.contains(v))),
+            "query {qn}: triangle split across bags: {:?}",
+            plan.ghd.bags
+        );
+        assert!(h.is_cyclic());
+    }
+}
+
+#[test]
+fn logicblox_config_is_single_node() {
+    let store = generate_store(&GeneratorConfig::tiny(1));
+    let engine = Engine::with_config(&store, PlannerConfig::logicblox_style());
+    for n in QUERY_NUMBERS {
+        let q = lubm_query(n, &store).unwrap();
+        let plan = engine.plan(&q).unwrap();
+        assert_eq!(plan.ghd.num_nodes(), 1, "query {n}");
+        assert!(!plan.pipelined);
+        // Selections trail the join variables in the selection-blind order.
+        let first_sel = plan.global_order.iter().position(|&v| q.is_selected(v));
+        let last_join = plan.global_order.iter().rposition(|&v| !q.is_selected(v));
+        if let (Some(fs), Some(lj)) = (first_sel, last_join) {
+            assert!(fs > lj, "query {n}: selections must trail: {:?}", plan.global_order);
+        }
+    }
+}
+
+#[test]
+fn ntriples_roundtrip_through_store_and_query() {
+    let doc = "<http://e/s1> <http://e/p> <http://e/o1> .\n\
+               <http://e/s2> <http://e/p> <http://e/o1> .\n\
+               <http://e/s1> <http://e/q> \"v\" .\n";
+    let triples = parse_ntriples(doc).unwrap();
+    let rendered = write_ntriples(&triples);
+    assert_eq!(parse_ntriples(&rendered).unwrap(), triples);
+    let store = TripleStore::from_triples(triples);
+    let engine = Engine::new(&store, OptFlags::all());
+    let r = engine
+        .run_sparql("SELECT ?x WHERE { ?x <http://e/p> <http://e/o1> . ?x <http://e/q> \"v\" }")
+        .unwrap();
+    assert_eq!(r.cardinality(), 1);
+    assert_eq!(r.decode_row(&store, 0)[0].as_str(), "http://e/s1");
+}
+
+#[test]
+fn engine_results_are_deterministic() {
+    let store = generate_store(&GeneratorConfig::tiny(2));
+    let engine = Engine::new(&store, OptFlags::all());
+    for n in QUERY_NUMBERS {
+        let q = lubm_query(n, &store).unwrap();
+        let a = engine.run(&q).unwrap();
+        let b = engine.run(&q).unwrap();
+        assert_eq!(a.tuples(), b.tuples(), "query {n}");
+    }
+}
