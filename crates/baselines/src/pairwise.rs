@@ -56,12 +56,8 @@ pub(crate) fn hash_join(a: &Bindings, b: &Bindings) -> Bindings {
     let b_key: Vec<usize> = shared.iter().map(|&v| b.col(v).unwrap()).collect();
     let b_extra: Vec<usize> = (0..b.vars.len()).filter(|i| !b_key.contains(i)).collect();
 
-    let out_vars: Vec<Var> = a
-        .vars
-        .iter()
-        .copied()
-        .chain(b_extra.iter().map(|&i| b.vars[i]))
-        .collect();
+    let out_vars: Vec<Var> =
+        a.vars.iter().copied().chain(b_extra.iter().map(|&i| b.vars[i])).collect();
     let mut out = TupleBuffer::new(out_vars.len());
 
     // Build on the smaller side... but output column layout is fixed as
@@ -90,10 +86,8 @@ pub(crate) fn hash_join(a: &Bindings, b: &Bindings) -> Bindings {
 
 /// Project to the query's SELECT order and deduplicate.
 pub(crate) fn distinct_project(b: &Bindings, projection: &[Var]) -> TupleBuffer {
-    let cols: Vec<usize> = projection
-        .iter()
-        .map(|&v| b.col(v).expect("projection variable must be bound"))
-        .collect();
+    let cols: Vec<usize> =
+        projection.iter().map(|&v| b.col(v).expect("projection variable must be bound")).collect();
     let mut out = b.rows.permute(&cols);
     out.sort_dedup();
     out
@@ -194,9 +188,8 @@ pub(crate) fn greedy_inl_execute<B: InlBackend>(backend: &B, q: &ConjunctiveQuer
         // the aggregate-index fanout estimate (selectivity estimation à
         // la RDF-3X / TripleBit): constants give exact range counts,
         // bound variables an average-fanout guess.
-        let shares = |i: usize| {
-            q.atoms()[i].vars.iter().any(|&v| !q.is_selected(v) && cur.col(v).is_some())
-        };
+        let shares =
+            |i: usize| q.atoms()[i].vars.iter().any(|&v| !q.is_selected(v) && cur.col(v).is_some());
         let cost = |i: usize| {
             let a = &q.atoms()[i];
             let s_bound = !q.is_selected(a.vars[0]) && cur.col(a.vars[0]).is_some();

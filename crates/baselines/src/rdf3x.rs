@@ -251,10 +251,7 @@ mod tests {
         let q = qb.select(vec![x, z]).build().unwrap();
         let out = e.execute(&q);
         assert_eq!(out.len(), 1);
-        assert_eq!(
-            out.row(0),
-            &[s.resolve_iri("a").unwrap(), s.resolve_iri("d").unwrap()]
-        );
+        assert_eq!(out.row(0), &[s.resolve_iri("a").unwrap(), s.resolve_iri("d").unwrap()]);
     }
 
     #[test]

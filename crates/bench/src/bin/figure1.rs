@@ -13,11 +13,14 @@ fn main() {
         ("University0", "Department1"),
         ("University1", "Department1"),
     ];
-    let store = TripleStore::from_triples(rows.iter().map(|&(s, o)| {
-        Triple::new(Term::iri(s), Term::iri("suborganizationOf"), Term::iri(o))
-    }));
+    let store =
+        TripleStore::from_triples(rows.iter().map(|&(s, o)| {
+            Triple::new(Term::iri(s), Term::iri("suborganizationOf"), Term::iri(o))
+        }));
 
-    println!("Figure 1 reproduction: vertically partitioned relation -> dictionary encoding -> trie\n");
+    println!(
+        "Figure 1 reproduction: vertically partitioned relation -> dictionary encoding -> trie\n"
+    );
     println!("Predicate relation (suborganizationOf):");
     println!("  subject      object");
     for (s, o) in rows {

@@ -25,10 +25,7 @@ fn main() {
     let plan_without = without.plan(&q).expect("plannable");
     println!("=== left of Figure 3: GHD without across-node pushdown ===");
     println!("{}", plan_without.render(&q));
-    println!(
-        "selection depth: {}\n",
-        selection_depth(&plan_without.ghd, &h, &selected)
-    );
+    println!("selection depth: {}\n", selection_depth(&plan_without.ghd, &h, &selected));
 
     let with = Engine::new(&store, OptFlags::all());
     let plan_with = with.plan(&q).expect("plannable");

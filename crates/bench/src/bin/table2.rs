@@ -38,8 +38,15 @@ fn main() {
     let monetdb = MonetDbStyle::new(&store);
     let logicblox = LogicBloxStyle::new(&store);
 
-    let mut table =
-        TablePrinter::new(&["Query", "Best(ms)", "EH", "TripleBit", "RDF-3X", "MonetDB", "LogicBlox"]);
+    let mut table = TablePrinter::new(&[
+        "Query",
+        "Best(ms)",
+        "EH",
+        "TripleBit",
+        "RDF-3X",
+        "MonetDB",
+        "LogicBlox",
+    ]);
     for qn in QUERY_NUMBERS {
         let q = lubm_query(qn, &store).expect("workload query");
 

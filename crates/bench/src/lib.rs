@@ -66,7 +66,9 @@ impl HarnessArgs {
                     i += 2;
                 }
                 other => {
-                    eprintln!("unknown argument {other}; expected --universities N, --runs K, --seed S");
+                    eprintln!(
+                        "unknown argument {other}; expected --universities N, --runs K, --seed S"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -129,11 +131,8 @@ impl TablePrinter {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (i, row) in self.rows.iter().enumerate() {
-            let line: Vec<String> = row
-                .iter()
-                .zip(&self.widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect();
+            let line: Vec<String> =
+                row.iter().zip(&self.widths).map(|(c, w)| format!("{c:<w$}")).collect();
             out.push_str(line.join("  ").trim_end());
             out.push('\n');
             if i == 0 {

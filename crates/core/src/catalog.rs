@@ -7,10 +7,17 @@
 //! predicate — subject-major (`[s, o]`) and object-major (`[o, s]`) — and
 //! both sort orders are already materialised in the store's
 //! [`PairTable`](eh_rdf::PairTable)s, so trie construction skips sorting.
+//!
+//! The cache is shared-state concurrent: tries live behind `Arc` and the
+//! map behind an `RwLock`, so the parallel runtime can both *read* tries
+//! from many worker threads during join execution and *build* distinct
+//! tries concurrently during [`Engine::warm`](crate::Engine::warm) — all
+//! through `&self`. Construction happens outside the lock; when two
+//! workers race to build the same trie, the first insert wins and both
+//! end up sharing one copy.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 use eh_query::Atom;
 use eh_rdf::TripleStore;
@@ -26,8 +33,8 @@ struct TrieKey {
 /// Trie provider over a [`TripleStore`].
 pub struct Catalog<'s> {
     store: &'s TripleStore,
-    cache: RefCell<HashMap<TrieKey, Rc<Trie>>>,
-    empty: Rc<Trie>,
+    cache: RwLock<HashMap<TrieKey, Arc<Trie>>>,
+    empty: Arc<Trie>,
 }
 
 impl<'s> Catalog<'s> {
@@ -35,8 +42,8 @@ impl<'s> Catalog<'s> {
     pub fn new(store: &'s TripleStore) -> Catalog<'s> {
         Catalog {
             store,
-            cache: RefCell::new(HashMap::new()),
-            empty: Rc::new(Trie::build(TupleBuffer::new(2), LayoutPolicy::Auto)),
+            cache: RwLock::new(HashMap::new()),
+            empty: Arc::new(Trie::build(TupleBuffer::new(2), LayoutPolicy::Auto)),
         }
     }
 
@@ -47,19 +54,21 @@ impl<'s> Catalog<'s> {
 
     /// The trie for `atom`'s predicate table in the given column order.
     /// Predicates absent from the store resolve to a shared empty trie.
-    pub fn trie(&self, atom: &Atom, subject_first: bool, auto_layout: bool) -> Rc<Trie> {
+    pub fn trie(&self, atom: &Atom, subject_first: bool, auto_layout: bool) -> Arc<Trie> {
         let Some(table) = self.store.table_by_name(&atom.relation) else {
-            return Rc::clone(&self.empty);
+            return Arc::clone(&self.empty);
         };
         let key = TrieKey { pred: table.pred(), subject_first, auto_layout };
-        if let Some(t) = self.cache.borrow().get(&key) {
-            return Rc::clone(t);
+        if let Some(t) = self.cache.read().expect("catalog lock poisoned").get(&key) {
+            return Arc::clone(t);
         }
+        // Build outside the lock so concurrent warm-up builds distinct
+        // tries in parallel instead of serialising on the map.
         let pairs = if subject_first { table.so_pairs() } else { table.os_pairs() };
         let policy = if auto_layout { LayoutPolicy::Auto } else { LayoutPolicy::UintOnly };
-        let trie = Rc::new(Trie::from_sorted(TupleBuffer::from_pairs(pairs), policy));
-        self.cache.borrow_mut().insert(key, Rc::clone(&trie));
-        trie
+        let trie = Arc::new(Trie::from_sorted(TupleBuffer::from_pairs(pairs), policy));
+        let mut cache = self.cache.write().expect("catalog lock poisoned");
+        Arc::clone(cache.entry(key).or_insert(trie))
     }
 
     /// Cardinality of an atom's predicate table (0 when absent).
@@ -69,7 +78,7 @@ impl<'s> Catalog<'s> {
 
     /// Number of distinct tries currently cached (diagnostics).
     pub fn cached_tries(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.read().expect("catalog lock poisoned").len()
     }
 }
 
@@ -117,7 +126,7 @@ mod tests {
         let a = atom_for(&s, "p");
         let t1 = c.trie(&a, true, true);
         let t2 = c.trie(&a, true, true);
-        assert!(Rc::ptr_eq(&t1, &t2));
+        assert!(Arc::ptr_eq(&t1, &t2));
         assert_eq!(c.cached_tries(), 1);
         let _ = c.trie(&a, false, true);
         let _ = c.trie(&a, true, false);
@@ -138,5 +147,19 @@ mod tests {
         let s = store();
         let c = Catalog::new(&s);
         assert_eq!(c.cardinality(&atom_for(&s, "p")), 3);
+    }
+
+    #[test]
+    fn concurrent_access_shares_one_trie_per_key() {
+        // The warm-path contract: many workers requesting overlapping
+        // keys through &self agree on a single cached Arc per key.
+        let s = store();
+        let c = Catalog::new(&s);
+        let a = atom_for(&s, "p");
+        let tries = eh_par::run_tasks(4, 16, |i| c.trie(&a, i % 2 == 0, true));
+        assert_eq!(c.cached_tries(), 2);
+        for (i, t) in tries.iter().enumerate() {
+            assert!(Arc::ptr_eq(t, &tries[i % 2]));
+        }
     }
 }

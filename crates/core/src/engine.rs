@@ -59,9 +59,11 @@ impl<'s> Engine<'s> {
         Ok(self.run_plan(q, &plan))
     }
 
-    /// Execute a previously built plan.
+    /// Execute a previously built plan (on the configured runtime:
+    /// sequential by default, morsel-parallel when
+    /// [`PlannerConfig::with_threads`] asked for workers).
     pub fn run_plan(&self, q: &ConjunctiveQuery, plan: &Plan) -> QueryResult {
-        execute_plan(&self.catalog, q, plan, self.config.flags.layouts)
+        execute_plan(&self.catalog, q, plan, self.config.flags.layouts, self.config.runtime)
     }
 
     /// Parse a SPARQL query against this engine's store and run it.
@@ -71,18 +73,30 @@ impl<'s> Engine<'s> {
     }
 
     /// Pre-build the tries a query needs, so a subsequent timed
-    /// [`Engine::run`] measures join execution, not index construction.
+    /// [`Engine::run`] measures join execution, not index construction —
+    /// the paper's timing methodology (§IV-A4) excludes index build time.
+    ///
+    /// Distinct tries build **concurrently** on the configured runtime's
+    /// workers (EmptyHeaded's trie construction is parallel too): the
+    /// catalog is shared under `&self`, its lock taken only to publish
+    /// each finished trie.
     pub fn warm(&self, q: &ConjunctiveQuery) -> Result<(), EngineError> {
         let plan = self.plan(q)?;
-        for node in &plan.nodes {
-            for ap in &node.atoms {
-                let _ = self.catalog.trie(
-                    &q.atoms()[ap.atom_index],
-                    ap.subject_first,
-                    self.config.flags.layouts,
-                );
-            }
-        }
+        // One build job per distinct (predicate, column order); duplicate
+        // atoms over the same table would otherwise race to build the
+        // same trie redundantly.
+        let mut jobs: Vec<(u32, bool, usize)> = plan
+            .nodes
+            .iter()
+            .flat_map(|node| node.atoms.iter())
+            .map(|ap| (q.atoms()[ap.atom_index].pred, ap.subject_first, ap.atom_index))
+            .collect();
+        jobs.sort_unstable();
+        jobs.dedup_by_key(|&mut (pred, subject_first, _)| (pred, subject_first));
+        eh_par::run_tasks(self.config.runtime.num_threads, jobs.len(), |i| {
+            let (_, subject_first, atom_index) = jobs[i];
+            self.catalog.trie(&q.atoms()[atom_index], subject_first, self.config.flags.layouts);
+        });
         Ok(())
     }
 
@@ -124,22 +138,12 @@ mod tests {
     use eh_rdf::{Term, Triple};
 
     fn edge(s: u32, o: u32) -> Triple {
-        Triple::new(
-            Term::iri(format!("n{s}")),
-            Term::iri("edge"),
-            Term::iri(format!("n{o}")),
-        )
+        Triple::new(Term::iri(format!("n{s}")), Term::iri("edge"), Term::iri(format!("n{o}")))
     }
 
     /// A small graph with two triangles: (0,1,2) and (1,2,3).
     fn triangle_store() -> TripleStore {
-        TripleStore::from_triples(vec![
-            edge(0, 1),
-            edge(1, 2),
-            edge(0, 2),
-            edge(1, 3),
-            edge(2, 3),
-        ])
+        TripleStore::from_triples(vec![edge(0, 1), edge(1, 2), edge(0, 2), edge(1, 3), edge(2, 3)])
     }
 
     fn triangle_query(store: &TripleStore) -> ConjunctiveQuery {
@@ -171,11 +175,8 @@ mod tests {
         let q = triangle_query(&store);
         let engine = Engine::new(&store, OptFlags::all());
         let r = engine.run(&q).unwrap();
-        let decoded: Vec<String> = r
-            .decode_row(&store, 0)
-            .into_iter()
-            .map(|t| t.as_str().to_string())
-            .collect();
+        let decoded: Vec<String> =
+            r.decode_row(&store, 0).into_iter().map(|t| t.as_str().to_string()).collect();
         assert_eq!(decoded, vec!["n0", "n1", "n2"]);
     }
 
@@ -183,9 +184,7 @@ mod tests {
     fn sparql_end_to_end() {
         let store = triangle_store();
         let engine = Engine::new(&store, OptFlags::all());
-        let r = engine
-            .run_sparql("SELECT ?x ?y WHERE { ?x <edge> ?y . ?y <edge> ?x }")
-            .unwrap();
+        let r = engine.run_sparql("SELECT ?x ?y WHERE { ?x <edge> ?y . ?y <edge> ?x }").unwrap();
         // No 2-cycles in the triangle store.
         assert_eq!(r.cardinality(), 0);
         let r2 = engine.run_sparql("SELECT ?x WHERE { ?x <edge> <n3> }").unwrap();
@@ -225,12 +224,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_execution_is_bit_identical() {
+        let store = triangle_store();
+        let q = triangle_query(&store);
+        let reference = Engine::new(&store, OptFlags::all()).run(&q).unwrap();
+        for threads in [2, 4] {
+            for flags in [OptFlags::all(), OptFlags::none()] {
+                let config = PlannerConfig::with_flags(flags)
+                    .with_runtime(eh_par::RuntimeConfig::with_threads(threads).with_morsel_size(1));
+                let engine = Engine::with_config(&store, config);
+                engine.warm(&q).unwrap();
+                let r = engine.run(&q).unwrap();
+                assert_eq!(r, reference, "threads {threads}, flags {flags:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_warm_builds_each_trie_once() {
+        let store = triangle_store();
+        let q = triangle_query(&store);
+        let engine =
+            Engine::with_config(&store, PlannerConfig::with_flags(OptFlags::all()).with_threads(4));
+        engine.warm(&q).unwrap();
+        // Three self-join atoms over one predicate share at most two trie
+        // orders; the jobs were deduplicated before fan-out.
+        assert!(engine.catalog.cached_tries() <= 2);
+        assert_eq!(engine.run(&q).unwrap().cardinality(), 2);
+    }
+
+    #[test]
     fn explain_lists_access_paths() {
         let store = triangle_store();
         let engine = Engine::new(&store, OptFlags::all());
-        let text = engine
-            .explain_sparql("SELECT ?x ?y WHERE { ?x <edge> ?y . ?y <edge> <n3> }")
-            .unwrap();
+        let text =
+            engine.explain_sparql("SELECT ?x ?y WHERE { ?x <edge> ?y . ?y <edge> <n3> }").unwrap();
         assert!(text.contains("global attribute order"), "{text}");
         assert!(text.contains("atom access paths"), "{text}");
         assert!(text.contains("edge: trie"), "{text}");

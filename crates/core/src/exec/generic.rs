@@ -14,9 +14,15 @@
 //!   to an existence probe, emitting each distinct output prefix once.
 //! * Emission passes the bound prefix to a callback so callers decide
 //!   whether to materialise, count, or stream (pipelining).
+//!
+//! [`run_join_parallel`] adds the multicore path: the first *unselected*
+//! attribute's candidate set is partitioned into morsels, every remaining
+//! level runs per-morsel on worker threads, and per-morsel sinks merge in
+//! morsel order — so parallel output is bit-identical to [`run_join`].
 
-use std::rc::Rc;
+use std::sync::Arc;
 
+use eh_par::RuntimeConfig;
 use eh_setops::{intersect_all, Set};
 use eh_trie::Trie;
 
@@ -25,8 +31,8 @@ use eh_trie::Trie;
 /// trie's levels — the unbound suffix is semantically projected away
 /// (valid because trie levels are ordered by the global attribute order).
 pub(crate) struct PreparedRel {
-    /// The trie (shared with the catalog cache).
-    pub trie: Rc<Trie>,
+    /// The trie (shared with the catalog cache and across workers).
+    pub trie: Arc<Trie>,
     /// `depths[level]` = join depth at which this trie level binds;
     /// strictly increasing.
     pub depths: Vec<usize>,
@@ -45,10 +51,20 @@ pub(crate) struct JoinSpec {
     pub rels: Vec<PreparedRel>,
 }
 
+#[derive(Clone)]
 struct State {
     /// `blocks[rel][level]` = current trie block per relation level.
     blocks: Vec<Vec<usize>>,
     binding: Vec<u32>,
+}
+
+impl State {
+    fn fresh(spec: &JoinSpec) -> State {
+        State {
+            blocks: spec.rels.iter().map(|r| vec![0usize; r.trie.arity()]).collect(),
+            binding: vec![0u32; spec.num_vars],
+        }
+    }
 }
 
 /// Participants per depth: `(relation index, trie level)`.
@@ -72,11 +88,83 @@ pub(crate) fn run_join(spec: &JoinSpec, emit: &mut dyn FnMut(&[u32])) {
     // Every unselected depth must be covered by at least one relation,
     // else the iteration domain would be unbounded.
     debug_assert!((0..spec.num_vars).all(|d| spec.sel[d].is_some() || !parts[d].is_empty()));
-    let mut st = State {
-        blocks: spec.rels.iter().map(|r| vec![0usize; r.trie.arity()]).collect(),
-        binding: vec![0u32; spec.num_vars],
-    };
+    let mut st = State::fresh(spec);
     search(spec, &parts, &mut st, 0, emit);
+}
+
+/// Run the join across `rt.num_threads` workers, collecting emissions
+/// into per-morsel sinks created by `init` and returning them **in morsel
+/// order**, so concatenating the sinks reproduces [`run_join`]'s emission
+/// sequence exactly.
+///
+/// Parallelism partitions the first unselected attribute (the outermost
+/// iterated trie level — where EmptyHeaded parallelizes): the selected
+/// prefix is probed once, the candidate set at the split depth is
+/// materialised, and each morsel of candidates runs the remaining levels
+/// on a cloned cursor state. Falls back to a single inline sink when the
+/// configuration is serial or the join has no iterated attribute before
+/// its emit depth.
+pub(crate) fn run_join_parallel<T, I, E>(
+    spec: &JoinSpec,
+    rt: RuntimeConfig,
+    init: I,
+    emit: E,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    E: Fn(&mut T, &[u32]) + Sync,
+{
+    let split = (0..spec.num_vars).find(|&d| spec.sel[d].is_none());
+    let splittable = split.is_some_and(|s| s < spec.emit_depth);
+    if !rt.is_parallel() || !splittable {
+        let mut sink = init();
+        run_join(spec, &mut |binding| emit(&mut sink, binding));
+        return vec![sink];
+    }
+    let split = split.expect("checked by splittable");
+    let parts = participants(spec);
+    debug_assert!((0..spec.num_vars).all(|d| spec.sel[d].is_some() || !parts[d].is_empty()));
+
+    // Probe the selected prefix once; a failed probe empties the join
+    // (zero sinks merge to an empty, unsatisfiable result).
+    let mut st = State::fresh(spec);
+    for (d, here) in parts.iter().enumerate().take(split) {
+        let c = spec.sel[d].expect("depths before the split carry selections");
+        if !probe_selected(spec, &mut st, here, d, c) {
+            return Vec::new();
+        }
+    }
+
+    // Candidate values of the split attribute, in iteration order —
+    // materialising exactly the domain `step` would iterate lazily (its
+    // single-participant fast path iterates the set directly; per-value
+    // descent happens per morsel below).
+    let here = &parts[split];
+    let candidates: Vec<u32> = if here.len() == 1 {
+        let (r, lvl) = here[0];
+        spec.rels[r].trie.set(lvl, st.blocks[r][lvl]).to_vec()
+    } else {
+        intersect_participants(spec, &st, here).to_vec()
+    };
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    let base = st;
+    eh_par::run_morsels(&rt, candidates.len(), |_, range| {
+        let mut sink = init();
+        let mut st = base.clone();
+        {
+            let mut f = |binding: &[u32]| emit(&mut sink, binding);
+            for &v in &candidates[range] {
+                descend(spec, &mut st, here, v);
+                st.binding[split] = v;
+                search(spec, &parts, &mut st, split + 1, &mut f);
+            }
+        }
+        sink
+    })
 }
 
 fn search(
@@ -122,23 +210,16 @@ fn step(
     let here = &parts[depth];
     match spec.sel[depth] {
         Some(c) => {
-            // Selection: probe every participant, then descend.
-            for &(r, lvl) in here {
-                let rel = &spec.rels[r];
-                if !rel.trie.set(lvl, st.blocks[r][lvl]).contains(c) {
-                    return;
-                }
+            if probe_selected(spec, st, here, depth, c) {
+                then(spec, st);
             }
-            descend(spec, st, here, c);
-            st.binding[depth] = c;
-            then(spec, st);
         }
         None => {
             debug_assert!(!here.is_empty(), "unselected attribute with no participants");
             if here.len() == 1 {
                 // Fast path: iterate the single participant's set directly.
                 let (r, lvl) = here[0];
-                let trie = Rc::clone(&spec.rels[r].trie);
+                let trie = Arc::clone(&spec.rels[r].trie);
                 let block = st.blocks[r][lvl];
                 for v in trie.set(lvl, block).iter() {
                     if lvl + 1 < trie.arity() {
@@ -151,11 +232,7 @@ fn step(
                     }
                 }
             } else {
-                let sets: Vec<&Set> = here
-                    .iter()
-                    .map(|&(r, lvl)| spec.rels[r].trie.set(lvl, st.blocks[r][lvl]))
-                    .collect();
-                let isect = intersect_all(&sets).expect("at least one participant");
+                let isect = intersect_participants(spec, st, here);
                 for v in isect.iter() {
                     descend(spec, st, here, v);
                     st.binding[depth] = v;
@@ -166,6 +243,38 @@ fn step(
             }
         }
     }
+}
+
+/// Probe selection value `c` against every participant at `depth`; on
+/// success descend all cursors and bind it. Shared by the sequential
+/// [`step`] and the parallel prefix probe so the two cannot drift — the
+/// bit-identical guarantee of [`run_join_parallel`] depends on both
+/// paths applying exactly this rule.
+fn probe_selected(
+    spec: &JoinSpec,
+    st: &mut State,
+    here: &[(usize, usize)],
+    depth: usize,
+    c: u32,
+) -> bool {
+    for &(r, lvl) in here {
+        if !spec.rels[r].trie.set(lvl, st.blocks[r][lvl]).contains(c) {
+            return false;
+        }
+    }
+    descend(spec, st, here, c);
+    st.binding[depth] = c;
+    true
+}
+
+/// Multiway intersection of every participant's current set — the
+/// iteration domain of an unselected attribute with two or more
+/// participants, shared by [`step`] and the parallel candidate
+/// materialisation.
+fn intersect_participants(spec: &JoinSpec, st: &State, here: &[(usize, usize)]) -> Set {
+    let sets: Vec<&Set> =
+        here.iter().map(|&(r, lvl)| spec.rels[r].trie.set(lvl, st.blocks[r][lvl])).collect();
+    intersect_all(&sets).expect("at least one participant")
 }
 
 /// Move every participant's cursor to the child block of `v` (which is
@@ -186,13 +295,23 @@ mod tests {
     use super::*;
     use eh_trie::{LayoutPolicy, TupleBuffer};
 
-    fn trie_of(pairs: &[(u32, u32)]) -> Rc<Trie> {
-        Rc::new(Trie::build(TupleBuffer::from_pairs(pairs), LayoutPolicy::Auto))
+    fn trie_of(pairs: &[(u32, u32)]) -> Arc<Trie> {
+        Arc::new(Trie::build(TupleBuffer::from_pairs(pairs), LayoutPolicy::Auto))
     }
 
     fn collect(spec: &JoinSpec) -> Vec<Vec<u32>> {
         let mut out = Vec::new();
         run_join(spec, &mut |b| out.push(b.to_vec()));
+        // Every join in this module must also be parallel-safe: the
+        // morsel-merged emission sequence is bit-identical to sequential.
+        for threads in [2, 4] {
+            let rt = RuntimeConfig::with_threads(threads).with_morsel_size(1);
+            let sinks = run_join_parallel(spec, rt, Vec::new, |sink: &mut Vec<Vec<u32>>, b| {
+                sink.push(b.to_vec())
+            });
+            let merged: Vec<Vec<u32>> = sinks.into_iter().flatten().collect();
+            assert_eq!(merged, out, "parallel run diverged at {threads} threads");
+        }
         out
     }
 
@@ -264,7 +383,7 @@ mod tests {
         let mut f = TupleBuffer::new(1);
         f.push(&[2]);
         f.push(&[3]);
-        let f = Rc::new(Trie::build(f, LayoutPolicy::Auto));
+        let f = Arc::new(Trie::build(f, LayoutPolicy::Auto));
         let spec = JoinSpec {
             num_vars: 2,
             sel: vec![None, None],
@@ -292,7 +411,7 @@ mod tests {
 
     #[test]
     fn empty_relation_yields_nothing() {
-        let e = Rc::new(Trie::build(TupleBuffer::new(2), LayoutPolicy::Auto));
+        let e = Arc::new(Trie::build(TupleBuffer::new(2), LayoutPolicy::Auto));
         let r = trie_of(&[(1, 2)]);
         let spec = JoinSpec {
             num_vars: 2,

@@ -3,14 +3,22 @@
 //! materialisation pass — streamed from the root when the plan is
 //! pipelined (§III-C), otherwise a join over the per-node results
 //! (Yannakakis-style message passing).
+//!
+//! Every join in the driver runs through
+//! [`run_join_parallel`](crate::exec::generic::run_join_parallel): with a
+//! parallel [`RuntimeConfig`] the outermost iterated attribute is
+//! morsel-partitioned across worker threads and per-morsel buffers are
+//! concatenated in morsel order, so results are bit-identical to the
+//! sequential path.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
+use eh_par::RuntimeConfig;
 use eh_query::{ConjunctiveQuery, Var};
 use eh_trie::{LayoutPolicy, Trie, TupleBuffer};
 
 use crate::catalog::Catalog;
-use crate::exec::generic::{run_join, JoinSpec, PreparedRel};
+use crate::exec::generic::{run_join_parallel, JoinSpec, PreparedRel};
 use crate::plan::Plan;
 use crate::result::QueryResult;
 
@@ -47,6 +55,7 @@ pub(crate) fn execute_plan(
     q: &ConjunctiveQuery,
     plan: &Plan,
     auto_layout: bool,
+    rt: RuntimeConfig,
 ) -> QueryResult {
     let columns: Vec<String> = q.projection().iter().map(|&v| q.var_name(v).to_string()).collect();
     if q.has_missing_constant() {
@@ -63,7 +72,7 @@ pub(crate) fn execute_plan(
             .iter()
             .map(|v| node.vars.iter().position(|w| w == v).expect("projection var in single node"))
             .collect();
-        let out = collect_rows(&spec, &proj_positions);
+        let out = collect_rows(&spec, &proj_positions, rt);
         return QueryResult::new(columns, out);
     }
 
@@ -73,7 +82,7 @@ pub(crate) fn execute_plan(
         if t == plan.ghd.root {
             break;
         }
-        match run_node(catalog, q, plan, t, &results, auto_layout) {
+        match run_node(catalog, q, plan, t, &results, auto_layout, rt) {
             Some(r) => results[t] = Some(r),
             None => return QueryResult::empty(columns),
         }
@@ -81,22 +90,31 @@ pub(crate) fn execute_plan(
 
     if plan.pipelined {
         // §III-C: stream the root join directly into the final result.
-        let out = run_pipelined(catalog, q, plan, &results, auto_layout);
+        let out = run_pipelined(catalog, q, plan, &results, auto_layout, rt);
         return QueryResult::new(columns, out);
     }
 
     // Materialise the root like any other node, then join all node
     // results (the top-down message-passing pass).
-    match run_node(catalog, q, plan, plan.ghd.root, &results, auto_layout) {
+    match run_node(catalog, q, plan, plan.ghd.root, &results, auto_layout, rt) {
         Some(r) => results[plan.ghd.root] = Some(r),
         None => return QueryResult::empty(columns),
     }
-    QueryResult::new(columns, final_join(q, plan, &results, auto_layout))
+    QueryResult::new(columns, final_join(q, plan, &results, auto_layout, rt))
+}
+
+/// Per-morsel sink for a node join: materialised output rows plus the
+/// satisfiability witness for zero-attribute (boolean) nodes.
+struct NodeSink {
+    tuples: TupleBuffer,
+    row: Vec<u32>,
+    satisfiable: bool,
 }
 
 /// Run one node's generic join, materialising its output columns.
 /// Returns `None` when the node (or one of its children) is empty, which
 /// empties the whole query.
+#[allow(clippy::too_many_arguments)]
 fn run_node(
     catalog: &Catalog<'_>,
     q: &ConjunctiveQuery,
@@ -104,24 +122,37 @@ fn run_node(
     t: usize,
     results: &[Option<NodeResult>],
     auto_layout: bool,
+    rt: RuntimeConfig,
 ) -> Option<NodeResult> {
     let children = children_rels(plan, t, results, auto_layout)?;
     let spec = node_spec(catalog, q, plan, t, children, auto_layout);
     let node = &plan.nodes[t];
     let out_positions: Vec<usize> =
         node.output.iter().map(|v| node.vars.iter().position(|w| w == v).unwrap()).collect();
-    let mut tuples = TupleBuffer::new(node.output.len());
-    let mut row = vec![0u32; node.output.len()];
-    let mut satisfiable = false;
-    run_join(&spec, &mut |binding| {
-        satisfiable = true;
-        if !row.is_empty() {
-            for (j, &p) in out_positions.iter().enumerate() {
-                row[j] = binding[p];
+    let sinks = run_join_parallel(
+        &spec,
+        rt,
+        || NodeSink {
+            tuples: TupleBuffer::new(node.output.len()),
+            row: vec![0u32; node.output.len()],
+            satisfiable: false,
+        },
+        |sink, binding| {
+            sink.satisfiable = true;
+            if !sink.row.is_empty() {
+                for (j, &p) in out_positions.iter().enumerate() {
+                    sink.row[j] = binding[p];
+                }
+                sink.tuples.push(&sink.row);
             }
-            tuples.push(&row);
-        }
-    });
+        },
+    );
+    let mut tuples = TupleBuffer::new(node.output.len());
+    let mut satisfiable = false;
+    for sink in sinks {
+        tuples.append(&sink.tuples);
+        satisfiable |= sink.satisfiable;
+    }
     let result = NodeResult { attrs: node.output.clone(), tuples, satisfiable };
     if result.is_empty_relation() {
         None
@@ -187,33 +218,43 @@ fn children_rels(
         // (its suffix levels are simply never descended); otherwise
         // materialise the projection.
         let is_prefix = child.attrs.starts_with(shared);
-        let tuples =
-            if is_prefix {
-                child.tuples.clone()
-            } else {
-                let cols: Vec<usize> = shared
-                    .iter()
-                    .map(|v| child.attrs.iter().position(|w| w == v).unwrap())
-                    .collect();
-                child.tuples.permute(&cols)
-            };
-        let trie = Rc::new(Trie::build(tuples, layout_policy(auto_layout)));
+        let tuples = if is_prefix {
+            child.tuples.clone()
+        } else {
+            let cols: Vec<usize> =
+                shared.iter().map(|v| child.attrs.iter().position(|w| w == v).unwrap()).collect();
+            child.tuples.permute(&cols)
+        };
+        let trie = Arc::new(Trie::build(tuples, layout_policy(auto_layout)));
         rels.push(PreparedRel { trie, depths });
     }
     Some(rels)
 }
 
+/// Per-morsel sink for projection collection.
+struct RowSink {
+    out: TupleBuffer,
+    row: Vec<u32>,
+}
+
 /// Run a join and collect `binding[positions]` rows, deduplicated.
-fn collect_rows(spec: &JoinSpec, positions: &[usize]) -> TupleBuffer {
+fn collect_rows(spec: &JoinSpec, positions: &[usize], rt: RuntimeConfig) -> TupleBuffer {
     debug_assert!(positions.iter().all(|&p| p < spec.emit_depth.max(1)));
+    let sinks = run_join_parallel(
+        spec,
+        rt,
+        || RowSink { out: TupleBuffer::new(positions.len()), row: vec![0u32; positions.len()] },
+        |sink, binding| {
+            for (j, &p) in positions.iter().enumerate() {
+                sink.row[j] = binding[p];
+            }
+            sink.out.push(&sink.row);
+        },
+    );
     let mut out = TupleBuffer::new(positions.len());
-    let mut row = vec![0u32; positions.len()];
-    run_join(spec, &mut |binding| {
-        for (j, &p) in positions.iter().enumerate() {
-            row[j] = binding[p];
-        }
-        out.push(&row);
-    });
+    for sink in sinks {
+        out.append(&sink.out);
+    }
     out.sort_dedup();
     out
 }
@@ -225,6 +266,7 @@ fn final_join(
     plan: &Plan,
     results: &[Option<NodeResult>],
     auto_layout: bool,
+    rt: RuntimeConfig,
 ) -> TupleBuffer {
     let live: Vec<&NodeResult> = results.iter().flatten().filter(|r| !r.attrs.is_empty()).collect();
     // Join variables: union of live attrs in global order.
@@ -234,7 +276,7 @@ fn final_join(
     let rels: Vec<PreparedRel> = live
         .iter()
         .map(|r| {
-            let trie = Rc::new(Trie::build(r.tuples.clone(), layout_policy(auto_layout)));
+            let trie = Arc::new(Trie::build(r.tuples.clone(), layout_policy(auto_layout)));
             let depths =
                 r.attrs.iter().map(|v| join_vars.iter().position(|w| w == v).unwrap()).collect();
             PreparedRel { trie, depths }
@@ -250,19 +292,27 @@ fn final_join(
     let emit_depth = proj_positions.iter().map(|&p| p + 1).max().unwrap_or(0);
     let spec =
         JoinSpec { num_vars: join_vars.len(), sel: vec![None; join_vars.len()], emit_depth, rels };
-    collect_rows(&spec, &proj_positions)
+    collect_rows(&spec, &proj_positions, rt)
 }
 
 /// One node's contribution to the pipelined emission: its result trie,
 /// where to read its shared-prefix values in the assembled row, and where
 /// its private columns land.
 struct NodeExt {
-    trie: Rc<Trie>,
+    trie: Arc<Trie>,
     /// Positions in the *assembled* output row supplying the shared
     /// prefix values (bound by the root or an earlier extension).
     shared_positions: Vec<usize>,
     /// Column offset in the assembled row where private values start.
     base: usize,
+}
+
+/// Per-morsel sink for the pipelined pass: output rows plus this morsel's
+/// own row-assembly scratch space.
+struct PipeSink {
+    out: TupleBuffer,
+    assembled: Vec<u32>,
+    row: Vec<u32>,
 }
 
 /// Pipelined path (§III-C, applied transitively down the tree): run the
@@ -276,6 +326,7 @@ fn run_pipelined(
     plan: &Plan,
     results: &[Option<NodeResult>],
     auto_layout: bool,
+    rt: RuntimeConfig,
 ) -> TupleBuffer {
     let root = plan.ghd.root;
     let node = &plan.nodes[root];
@@ -283,7 +334,7 @@ fn run_pipelined(
 
     // Root-join intermediates: the root's children participate on their
     // shared prefix (full child trie, truncated depths).
-    let mut child_tries: Vec<Option<Rc<Trie>>> = (0..plan.ghd.num_nodes()).map(|_| None).collect();
+    let mut child_tries: Vec<Option<Arc<Trie>>> = (0..plan.ghd.num_nodes()).map(|_| None).collect();
     let mut intermediates: Vec<PreparedRel> = Vec::new();
     for &c in &plan.ghd.children[root] {
         let child = results[c].as_ref().expect("children ran before the root");
@@ -292,13 +343,11 @@ fn run_pipelined(
         }
         let shared = &plan.nodes[c].shared_with_parent;
         debug_assert!(child.attrs.starts_with(shared), "planner checked the prefix");
-        let trie = Rc::new(Trie::build(child.tuples.clone(), layout_policy(auto_layout)));
-        child_tries[c] = Some(Rc::clone(&trie));
+        let trie = Arc::new(Trie::build(child.tuples.clone(), layout_policy(auto_layout)));
+        child_tries[c] = Some(Arc::clone(&trie));
         if !shared.is_empty() {
-            intermediates.push(PreparedRel {
-                trie,
-                depths: shared.iter().map(|&v| depth_of(v)).collect(),
-            });
+            intermediates
+                .push(PreparedRel { trie, depths: shared.iter().map(|&v| depth_of(v)).collect() });
         }
     }
 
@@ -324,7 +373,7 @@ fn run_pipelined(
         emit_attrs.extend_from_slice(&child.attrs[shared.len()..]);
         let trie = match child_tries[t].take() {
             Some(t) => t,
-            None => Rc::new(Trie::build(child.tuples.clone(), layout_policy(auto_layout))),
+            None => Arc::new(Trie::build(child.tuples.clone(), layout_policy(auto_layout))),
         };
         exts.push(NodeExt { trie, shared_positions, base });
     }
@@ -339,20 +388,31 @@ fn run_pipelined(
         })
         .collect();
 
-    let mut out = TupleBuffer::new(proj_positions.len());
-    let mut assembled = vec![0u32; emit_attrs.len()];
-    let mut row = vec![0u32; proj_positions.len()];
-    run_join(&spec, &mut |binding| {
-        for (j, &p) in root_out_positions.iter().enumerate() {
-            assembled[j] = binding[p];
-        }
-        extend_nodes(&exts, 0, &mut assembled, &mut |assembled| {
-            for (j, &p) in proj_positions.iter().enumerate() {
-                row[j] = assembled[p];
+    let sinks = run_join_parallel(
+        &spec,
+        rt,
+        || PipeSink {
+            out: TupleBuffer::new(proj_positions.len()),
+            assembled: vec![0u32; emit_attrs.len()],
+            row: vec![0u32; proj_positions.len()],
+        },
+        |sink, binding| {
+            let PipeSink { out, assembled, row } = sink;
+            for (j, &p) in root_out_positions.iter().enumerate() {
+                assembled[j] = binding[p];
             }
-            out.push(&row);
-        });
-    });
+            extend_nodes(&exts, 0, assembled, &mut |assembled| {
+                for (j, &p) in proj_positions.iter().enumerate() {
+                    row[j] = assembled[p];
+                }
+                out.push(row);
+            });
+        },
+    );
+    let mut out = TupleBuffer::new(proj_positions.len());
+    for sink in sinks {
+        out.append(&sink.out);
+    }
     out.sort_dedup();
     out
 }

@@ -1,4 +1,7 @@
-//! Optimization toggles (the knobs behind the paper's Table I ablation).
+//! Optimization toggles (the knobs behind the paper's Table I ablation)
+//! and the execution-runtime configuration.
+
+use eh_par::RuntimeConfig;
 
 /// Independent switches for the three classic optimizations of §III.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,12 +38,7 @@ impl OptFlags {
     /// returns the configuration with the first `k` optimizations enabled
     /// (`k = 0` is [`OptFlags::none`], `k = 4` is [`OptFlags::all`]).
     pub fn cumulative(k: usize) -> OptFlags {
-        OptFlags {
-            layouts: k >= 1,
-            attr_reorder: k >= 2,
-            ghd_pushdown: k >= 3,
-            pipelining: k >= 4,
-        }
+        OptFlags { layouts: k >= 1, attr_reorder: k >= 2, ghd_pushdown: k >= 3, pipelining: k >= 4 }
     }
 }
 
@@ -67,12 +65,22 @@ pub struct PlannerConfig {
     /// LogicBlox matches EmptyHeaded on cyclic joins yet loses two orders
     /// of magnitude on selective patterns (paper §I, §IV-B).
     pub selection_blind_order: bool,
+    /// Execution-runtime knobs: worker threads and morsel granularity.
+    /// The default is fully sequential; parallel execution produces
+    /// bit-identical results (the runtime merges morsel outputs in
+    /// deterministic order).
+    pub runtime: RuntimeConfig,
 }
 
 impl PlannerConfig {
     /// Standard EmptyHeaded configuration with the given flags.
     pub fn with_flags(flags: OptFlags) -> PlannerConfig {
-        PlannerConfig { flags, force_single_node: false, selection_blind_order: false }
+        PlannerConfig {
+            flags,
+            force_single_node: false,
+            selection_blind_order: false,
+            runtime: RuntimeConfig::serial(),
+        }
     }
 
     /// The LogicBlox-style configuration: single-node plan, uint-only
@@ -82,7 +90,21 @@ impl PlannerConfig {
             flags: OptFlags::none(),
             force_single_node: true,
             selection_blind_order: true,
+            runtime: RuntimeConfig::serial(),
         }
+    }
+
+    /// Replace the execution-runtime configuration.
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> PlannerConfig {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Run joins and index construction on `num_threads` workers.
+    pub fn with_threads(mut self, num_threads: usize) -> PlannerConfig {
+        self.runtime =
+            RuntimeConfig::with_threads(num_threads).with_morsel_size(self.runtime.morsel_size);
+        self
     }
 }
 
@@ -105,5 +127,18 @@ mod tests {
         let c = PlannerConfig::logicblox_style();
         assert!(c.force_single_node);
         assert_eq!(c.flags, OptFlags::none());
+        assert!(!c.runtime.is_parallel());
+    }
+
+    #[test]
+    fn runtime_builders() {
+        let c = PlannerConfig::with_flags(OptFlags::all()).with_threads(4);
+        assert_eq!(c.runtime.num_threads, 4);
+        assert_eq!(c.runtime.morsel_size, RuntimeConfig::DEFAULT_MORSEL_SIZE);
+        let c = c.with_runtime(RuntimeConfig::with_threads(2).with_morsel_size(8));
+        assert_eq!((c.runtime.num_threads, c.runtime.morsel_size), (2, 8));
+        // The default configuration stays sequential: no behaviour change
+        // for engines that never opt in.
+        assert_eq!(PlannerConfig::default().runtime, RuntimeConfig::serial());
     }
 }

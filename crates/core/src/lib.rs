@@ -25,6 +25,15 @@
 //! participating as extra relations, and a final pass materialises the
 //! projection.
 //!
+//! Like the original EmptyHeaded (whose reported numbers are multicore),
+//! execution parallelizes across the outermost iterated attribute:
+//! configure workers with [`PlannerConfig::with_threads`] /
+//! [`RuntimeConfig`] and the engine partitions each join's first
+//! unselected attribute into morsels, runs the remaining levels on worker
+//! threads, builds indexes concurrently in [`Engine::warm`], and merges
+//! per-morsel buffers in deterministic order — parallel results are
+//! bit-identical to sequential ones.
+//!
 //! ```
 //! use eh_lubm::{generate_store, GeneratorConfig};
 //! use emptyheaded::{Engine, OptFlags};
@@ -47,6 +56,7 @@ mod planner;
 mod result;
 
 pub use catalog::Catalog;
+pub use eh_par::RuntimeConfig;
 pub use engine::Engine;
 pub use error::EngineError;
 pub use flags::{OptFlags, PlannerConfig};

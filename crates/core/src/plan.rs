@@ -64,14 +64,11 @@ impl Plan {
         let _ = write!(
             out,
             "{}",
-            self.ghd.render(
-                &|v| q.var_name(v).to_string(),
-                &|e| {
-                    let a = &q.atoms()[e];
-                    let short = a.relation.rsplit(['/', '#']).next().unwrap_or(&a.relation);
-                    format!("{short}({}, {})", q.var_name(a.vars[0]), q.var_name(a.vars[1]))
-                },
-            )
+            self.ghd.render(&|v| q.var_name(v).to_string(), &|e| {
+                let a = &q.atoms()[e];
+                let short = a.relation.rsplit(['/', '#']).next().unwrap_or(&a.relation);
+                format!("{short}({}, {})", q.var_name(a.vars[0]), q.var_name(a.vars[1]))
+            },)
         );
         out
     }

@@ -14,7 +14,11 @@ use crate::plan::{AtomPlan, NodePlan, Plan};
 /// variable's side. This drives the "+Attribute" heuristic of §III-B1:
 /// "forcing the attributes with selections **or small initial
 /// cardinalities** to come first".
-fn var_cardinalities(q: &ConjunctiveQuery, store: &TripleStore, selection_aware: bool) -> Vec<usize> {
+fn var_cardinalities(
+    q: &ConjunctiveQuery,
+    store: &TripleStore,
+    selection_aware: bool,
+) -> Vec<usize> {
     let mut est = vec![usize::MAX; q.num_vars()];
     for a in q.atoms() {
         let Some(table) = store.table_by_name(&a.relation) else {
@@ -180,11 +184,7 @@ pub fn build_plan_with(
         && ghd.num_nodes() > 1
         && (0..ghd.num_nodes()).all(|t| {
             t == ghd.root
-                || pipelineable(
-                    &nodes[t].shared_with_parent,
-                    &nodes[t].output,
-                    &nodes[t].output,
-                )
+                || pipelineable(&nodes[t].shared_with_parent, &nodes[t].output, &nodes[t].output)
         });
 
     // Reported width ignores selection attributes: the paper quotes the

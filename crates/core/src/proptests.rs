@@ -8,9 +8,9 @@ use std::collections::BTreeSet;
 use proptest::prelude::*;
 
 use eh_query::{ConjunctiveQuery, QueryBuilder};
-use eh_rdf::{Term, TripleStore, Triple};
+use eh_rdf::{Term, Triple, TripleStore};
 
-use crate::{Engine, OptFlags, PlannerConfig};
+use crate::{Engine, OptFlags, PlannerConfig, RuntimeConfig};
 
 const PREDS: [&str; 3] = ["p0", "p1", "p2"];
 
@@ -178,6 +178,37 @@ proptest! {
                 .map(|r| r.to_vec())
                 .collect();
             prop_assert_eq!(&got, &reference, "flags {:?}", flags);
+        }
+    }
+
+    /// Morsel-merge determinism: the parallel runtime must return results
+    /// *byte-identical* to sequential execution (same rows, same order,
+    /// same columns) for every plan shape, even at morsel size 1 where
+    /// every outer-attribute value becomes its own scheduled task.
+    #[test]
+    fn parallel_execution_is_byte_identical(
+        spec in store_strategy(),
+        qspec in query_strategy(),
+        threads in 2usize..5,
+        morsel in 1usize..4,
+    ) {
+        let store = build_store(&spec);
+        let Some(q) = build_query(&qspec, &store) else { return Ok(()); };
+        for flags in [OptFlags::all(), OptFlags::none()] {
+            let reference = Engine::new(&store, flags).run(&q).unwrap();
+            let runtime = RuntimeConfig::with_threads(threads).with_morsel_size(morsel);
+            let engine =
+                Engine::with_config(&store, PlannerConfig::with_flags(flags).with_runtime(runtime));
+            engine.warm(&q).unwrap();
+            let parallel = engine.run(&q).unwrap();
+            prop_assert_eq!(
+                &parallel,
+                &reference,
+                "threads {} morsel {} flags {:?}",
+                threads,
+                morsel,
+                flags
+            );
         }
     }
 }

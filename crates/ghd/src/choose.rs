@@ -50,7 +50,8 @@ fn cross_product_nodes(g: &Ghd, h: &Hypergraph) -> usize {
                 let mut changed = false;
                 for i in 0..lambda.len() {
                     for j in i + 1..lambda.len() {
-                        let share = h.edges[lambda[i]].iter().any(|v| h.edges[lambda[j]].contains(v));
+                        let share =
+                            h.edges[lambda[i]].iter().any(|v| h.edges[lambda[j]].contains(v));
                         if share && comp[i] != comp[j] {
                             let (a, b) = (comp[i].min(comp[j]), comp[i].max(comp[j]));
                             for c in comp.iter_mut() {
@@ -185,10 +186,7 @@ mod tests {
         let depth_sum = selection_depth(&g, &h, &selected);
         assert!(depth_sum >= 3, "selections must be below the root, got {depth_sum}");
         // Width over unselected vars is the triangle's 3/2.
-        assert_eq!(
-            crate::width::ghd_width_unselected(&g, &h, &selected),
-            Rational::new(3, 2)
-        );
+        assert_eq!(crate::width::ghd_width_unselected(&g, &h, &selected), Rational::new(3, 2));
     }
 
     #[test]
@@ -206,10 +204,7 @@ mod tests {
             "selection-aware choice must deepen selections: {d_aware} vs {d_plain}"
         );
         // Every unselected node's width stays 1 (acyclic star).
-        assert_eq!(
-            crate::width::ghd_width_unselected(&aware, &h, &selected),
-            Rational::ONE
-        );
+        assert_eq!(crate::width::ghd_width_unselected(&aware, &h, &selected), Rational::ONE);
     }
 
     #[test]

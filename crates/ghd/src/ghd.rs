@@ -36,7 +36,8 @@ impl Ghd {
         let bags: Vec<Vec<usize>> = groups
             .iter()
             .map(|g| {
-                let mut bag: Vec<usize> = g.iter().flat_map(|&e| h.edges[e].iter().copied()).collect();
+                let mut bag: Vec<usize> =
+                    g.iter().flat_map(|&e| h.edges[e].iter().copied()).collect();
                 bag.sort_unstable();
                 bag.dedup();
                 bag

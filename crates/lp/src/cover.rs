@@ -61,10 +61,8 @@ pub fn fractional_edge_cover(
     assert_eq!(edges.len(), weights.len());
     let constraints = (0..num_vertices)
         .map(|v| {
-            let row = edges
-                .iter()
-                .map(|e| if e.contains(&v) { 1.0 } else { 0.0 })
-                .collect::<Vec<_>>();
+            let row =
+                edges.iter().map(|e| if e.contains(&v) { 1.0 } else { 0.0 }).collect::<Vec<_>>();
             (row, 1.0)
         })
         .collect();

@@ -85,7 +85,10 @@ impl Add for Rational {
     type Output = Rational;
     fn add(self, o: Rational) -> Rational {
         Rational::new(
-            self.num.checked_mul(o.den).and_then(|a| a.checked_add(o.num.checked_mul(self.den).unwrap())).unwrap(),
+            self.num
+                .checked_mul(o.den)
+                .and_then(|a| a.checked_add(o.num.checked_mul(self.den).unwrap()))
+                .unwrap(),
             self.den.checked_mul(o.den).unwrap(),
         )
     }

@@ -297,10 +297,8 @@ mod tests {
     #[test]
     fn negative_rhs_rows_are_normalized() {
         // -x >= -5 (x <= 5), min -x ... bounded: optimum -5 at x=5.
-        let lp = LinearProgram {
-            objective: vec![ri(-1)],
-            constraints: vec![(vec![ri(-1)], ri(-5))],
-        };
+        let lp =
+            LinearProgram { objective: vec![ri(-1)], constraints: vec![(vec![ri(-1)], ri(-5))] };
         assert_eq!(solve(&lp), LpOutcome::Optimal { x: vec![ri(5)], value: ri(-5) });
     }
 
@@ -316,11 +314,7 @@ mod tests {
         // Same constraint twice plus its double: min x st x >= 1 (x3).
         let lp = LinearProgram {
             objective: vec![ri(1)],
-            constraints: vec![
-                (vec![ri(1)], ri(1)),
-                (vec![ri(1)], ri(1)),
-                (vec![ri(2)], ri(2)),
-            ],
+            constraints: vec![(vec![ri(1)], ri(1)), (vec![ri(1)], ri(1)), (vec![ri(2)], ri(2))],
         };
         assert_eq!(solve(&lp), LpOutcome::Optimal { x: vec![ri(1)], value: ri(1) });
     }

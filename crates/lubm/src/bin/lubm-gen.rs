@@ -39,7 +39,9 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: lubm-gen [--universities N] [--seed S] [--out FILE | --stats-only]");
+                eprintln!(
+                    "usage: lubm-gen [--universities N] [--seed S] [--out FILE | --stats-only]"
+                );
                 std::process::exit(2);
             }
         }

@@ -54,7 +54,9 @@ pub fn department_iri(u: u32, d: u32) -> String {
 
 fn mix_seed(seed: u64, u: u32, d: u32) -> u64 {
     // SplitMix64-style mixing keeps per-department streams independent.
-    let mut z = seed ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (d as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut z = seed
+        ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (d as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -113,7 +115,8 @@ pub fn generate_with<F: FnMut(Triple)>(cfg: &GeneratorConfig, sink: &mut F) -> G
     for u in 0..cfg.universities {
         let univ = university_iri(u);
         em.type_of(&univ, Class::University);
-        let n_depts = range(&mut StdRng::seed_from_u64(mix_seed(cfg.seed, u, u32::MAX)), cfg.depts_per_univ);
+        let n_depts =
+            range(&mut StdRng::seed_from_u64(mix_seed(cfg.seed, u, u32::MAX)), cfg.depts_per_univ);
         for d in 0..n_depts {
             generate_department(cfg, u, d, &mut em);
         }
@@ -121,7 +124,12 @@ pub fn generate_with<F: FnMut(Triple)>(cfg: &GeneratorConfig, sink: &mut F) -> G
     em.counts
 }
 
-fn generate_department<F: FnMut(Triple)>(cfg: &GeneratorConfig, u: u32, d: u32, em: &mut Emitter<'_, F>) {
+fn generate_department<F: FnMut(Triple)>(
+    cfg: &GeneratorConfig,
+    u: u32,
+    d: u32,
+    em: &mut Emitter<'_, F>,
+) {
     let mut rng = StdRng::seed_from_u64(mix_seed(cfg.seed, u, d));
     let dept = department_iri(u, d);
     let host = format!("Department{d}.University{u}.edu");
@@ -171,7 +179,11 @@ fn generate_department<F: FnMut(Triple)>(cfg: &GeneratorConfig, u: u32, d: u32, 
             em.rel(&person, Predicate::WorksFor, &dept);
             em.person_attrs(&person, &format!("{}{k}", class.local_name()), &host);
             // Degrees from random universities.
-            for p in [Predicate::UndergraduateDegreeFrom, Predicate::MastersDegreeFrom, Predicate::DoctoralDegreeFrom] {
+            for p in [
+                Predicate::UndergraduateDegreeFrom,
+                Predicate::MastersDegreeFrom,
+                Predicate::DoctoralDegreeFrom,
+            ] {
                 let from = rng.gen_range(0..cfg.universities.max(1));
                 em.rel(&person, p, &university_iri(from));
             }
@@ -301,7 +313,10 @@ mod tests {
         assert!(counts.departments >= 6 && counts.departments <= 8, "{counts:?}");
         assert_eq!(
             counts.faculty,
-            counts.full_professors + counts.associate_professors + counts.assistant_professors + counts.lecturers
+            counts.full_professors
+                + counts.associate_professors
+                + counts.assistant_professors
+                + counts.lecturers
         );
         assert!(counts.grad_students > 0);
         assert!(counts.undergrad_students > counts.grad_students);
@@ -324,10 +339,7 @@ mod tests {
             Predicate::Telephone,
             Predicate::HeadOf,
         ] {
-            assert!(
-                store.table_by_name(&pred_iri(p)).is_some(),
-                "missing table for {p:?}"
-            );
+            assert!(store.table_by_name(&pred_iri(p)).is_some(), "missing table for {p:?}");
         }
         assert!(store.table_by_name(&rdf_type()).is_some());
     }

@@ -1,0 +1,288 @@
+//! # eh-par
+//!
+//! A small deterministic parallel runtime for the worst-case optimal join
+//! engine — the multicore counterpart of EmptyHeaded's parallel outer
+//! attribute loop (the paper's numbers come from a multicore engine;
+//! Aberger et al. parallelize the outermost trie level across cores).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism**: parallel execution must be *bit-identical* to
+//!    sequential execution. Work is split into fixed, index-addressed
+//!    tasks ("morsels"); every task produces its own output buffer, and
+//!    buffers are merged in task order regardless of which worker ran
+//!    which task or in what order tasks finished.
+//! 2. **No new dependencies**: scoped `std::thread` workers pulling task
+//!    indices off one atomic counter — no rayon, no channels.
+//! 3. **Zero cost when off**: `num_threads <= 1` (the default) never
+//!    spawns a thread and runs tasks inline, so single-threaded engines
+//!    behave exactly as before this runtime existed.
+//!
+//! The scheduler is deliberately work-queue- rather than range-split-
+//! based: morsels are small (hundreds of outer-attribute values), so
+//! skewed queries — one hub vertex with most of the graph behind it —
+//! still balance across workers, which static range splitting would not.
+//!
+//! ```
+//! use eh_par::{run_tasks, RuntimeConfig};
+//!
+//! let squares = run_tasks(4, 10, |i| i * i);
+//! assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+//!
+//! let cfg = RuntimeConfig::with_threads(4);
+//! let sums = eh_par::run_morsels(&cfg, 1000, |_, range| range.sum::<usize>());
+//! assert_eq!(sums.iter().sum::<usize>(), (0..1000).sum::<usize>());
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Execution-runtime knobs, carried by the engine's planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RuntimeConfig {
+    /// Worker threads for join execution and index building. `1` (the
+    /// default) means fully sequential — no threads are ever spawned.
+    pub num_threads: usize,
+    /// Outer-attribute values per scheduled task. Smaller morsels balance
+    /// skew better; larger morsels amortise scheduling. The default (256)
+    /// keeps per-task buffer overhead negligible on LUBM-scale sets.
+    pub morsel_size: usize,
+}
+
+impl RuntimeConfig {
+    /// Default morsel granularity.
+    pub const DEFAULT_MORSEL_SIZE: usize = 256;
+
+    /// Fully sequential execution (the default).
+    pub fn serial() -> RuntimeConfig {
+        RuntimeConfig { num_threads: 1, morsel_size: Self::DEFAULT_MORSEL_SIZE }
+    }
+
+    /// Parallel execution on `num_threads` workers (clamped to >= 1).
+    pub fn with_threads(num_threads: usize) -> RuntimeConfig {
+        RuntimeConfig { num_threads: num_threads.max(1), morsel_size: Self::DEFAULT_MORSEL_SIZE }
+    }
+
+    /// Parallel execution on every available core.
+    pub fn parallel() -> RuntimeConfig {
+        let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+        RuntimeConfig::with_threads(n)
+    }
+
+    /// Override the morsel granularity (clamped to >= 1).
+    pub fn with_morsel_size(mut self, morsel_size: usize) -> RuntimeConfig {
+        self.morsel_size = morsel_size.max(1);
+        self
+    }
+
+    /// True when this configuration runs on worker threads.
+    pub fn is_parallel(&self) -> bool {
+        self.num_threads > 1
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::serial()
+    }
+}
+
+/// Run `num_tasks` independent tasks on up to `threads` workers and
+/// return their results **in task order** — the merge order is a function
+/// of task indices only, never of scheduling, which is what makes
+/// parallel query execution reproducible.
+///
+/// Tasks are claimed dynamically from a shared atomic counter, so
+/// uneven task costs still balance. With `threads <= 1` or fewer than two
+/// tasks everything runs inline on the caller's thread.
+///
+/// Panics in a task propagate to the caller after all workers stop
+/// claiming new tasks.
+pub fn run_tasks<T, F>(threads: usize, num_tasks: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || num_tasks <= 1 {
+        return (0..num_tasks).map(task).collect();
+    }
+    let workers = threads.min(num_tasks);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..num_tasks).map(|_| None).collect();
+    let task = &task;
+    let next = &next;
+    let finished = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= num_tasks {
+                            return local;
+                        }
+                        local.push((i, task(i)));
+                    }
+                })
+            })
+            .collect();
+        // Join every worker before re-raising a panic: resuming early
+        // would let the scope's implicit join see an unjoined panicked
+        // thread and panic *during* unwinding, aborting the process.
+        let mut all = Vec::with_capacity(num_tasks);
+        let mut first_panic = None;
+        for h in handles {
+            match h.join() {
+                Ok(local) => all.extend(local),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        all
+    });
+    for (i, value) in finished {
+        slots[i] = Some(value);
+    }
+    slots.into_iter().map(|s| s.expect("every task index produced a result")).collect()
+}
+
+/// Number of morsels covering `total` items at `morsel_size` granularity.
+pub fn num_morsels(total: usize, morsel_size: usize) -> usize {
+    total.div_ceil(morsel_size.max(1))
+}
+
+/// The item range of morsel `m`.
+pub fn morsel_range(m: usize, morsel_size: usize, total: usize) -> Range<usize> {
+    let morsel_size = morsel_size.max(1);
+    let start = m * morsel_size;
+    start..((start + morsel_size).min(total))
+}
+
+/// Partition `0..total` into morsels of `cfg.morsel_size` and run
+/// `f(morsel_index, item_range)` per morsel on `cfg.num_threads` workers;
+/// results come back in morsel order (see [`run_tasks`] for the
+/// determinism contract).
+pub fn run_morsels<T, F>(cfg: &RuntimeConfig, total: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let n = num_morsels(total, cfg.morsel_size);
+    run_tasks(cfg.num_threads, n, |m| f(m, morsel_range(m, cfg.morsel_size, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_config_is_default_and_never_parallel() {
+        assert_eq!(RuntimeConfig::default(), RuntimeConfig::serial());
+        assert!(!RuntimeConfig::serial().is_parallel());
+        assert!(RuntimeConfig::with_threads(2).is_parallel());
+        assert_eq!(RuntimeConfig::with_threads(0).num_threads, 1);
+        assert_eq!(RuntimeConfig::serial().with_morsel_size(0).morsel_size, 1);
+        assert!(RuntimeConfig::parallel().num_threads >= 1);
+    }
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = run_tasks(threads, 100, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_task_costs_still_merge_in_order() {
+        // Early tasks are slow, late tasks fast: completion order inverts
+        // submission order, the merged result must not.
+        let out = run_tasks(4, 16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_single_task_run_inline() {
+        assert_eq!(run_tasks(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_tasks(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn morsel_partition_covers_everything_exactly_once() {
+        for (total, morsel) in [(0, 4), (1, 4), (7, 3), (12, 3), (5, 100)] {
+            let n = num_morsels(total, morsel);
+            let mut seen = Vec::new();
+            for m in 0..n {
+                seen.extend(morsel_range(m, morsel, total));
+            }
+            assert_eq!(seen, (0..total).collect::<Vec<_>>(), "total {total} morsel {morsel}");
+        }
+    }
+
+    #[test]
+    fn run_morsels_matches_sequential_fold() {
+        let cfg = RuntimeConfig::with_threads(4).with_morsel_size(3);
+        let per_morsel = run_morsels(&cfg, 100, |_, r| r.map(|i| i as u64).sum::<u64>());
+        assert_eq!(per_morsel.len(), num_morsels(100, 3));
+        assert_eq!(per_morsel.iter().sum::<u64>(), (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            run_tasks(2, 8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn panics_on_multiple_workers_stay_catchable() {
+        // Every task panics, so every worker panics: the runtime must
+        // still surface one catchable panic, not abort via a
+        // panic-while-panicking during the scope's implicit joins.
+        let caught =
+            std::panic::catch_unwind(|| run_tasks(4, 8, |i| -> usize { panic!("boom {i}") }));
+        assert!(caught.is_err());
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn merge_is_deterministic_across_schedules(
+                total in 0usize..200,
+                morsel in 1usize..9,
+                threads in 1usize..5,
+            ) {
+                let cfg = RuntimeConfig::with_threads(threads).with_morsel_size(morsel);
+                let par = run_morsels(&cfg, total, |m, r| (m, r.collect::<Vec<_>>()));
+                let seq = run_morsels(&RuntimeConfig::serial().with_morsel_size(morsel), total, |m, r| {
+                    (m, r.collect::<Vec<_>>())
+                });
+                prop_assert_eq!(par, seq);
+            }
+
+            #[test]
+            fn task_order_is_schedule_independent(n in 0usize..300, threads in 1usize..6) {
+                let out = run_tasks(threads, n, |i| i as u64 * 7);
+                prop_assert_eq!(out, (0..n as u64).map(|i| i * 7).collect::<Vec<_>>());
+            }
+        }
+    }
+}

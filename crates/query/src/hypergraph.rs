@@ -114,9 +114,7 @@ impl Hypergraph {
                 .enumerate()
                 .filter(|(i, e)| {
                     !snapshot.iter().enumerate().any(|(j, f)| {
-                        j != *i
-                            && e.iter().all(|v| f.contains(v))
-                            && (f.len() > e.len() || j < *i)
+                        j != *i && e.iter().all(|v| f.contains(v)) && (f.len() > e.len() || j < *i)
                     })
                 })
                 .map(|(_, e)| e.clone())

@@ -40,7 +40,9 @@ impl fmt::Display for QueryError {
             QueryError::RepeatedVarInAtom(r) => {
                 write!(f, "atom over '{r}' repeats a variable; self-join positions are unsupported")
             }
-            QueryError::UnboundProjection(v) => write!(f, "projected variable '{v}' is not bound by any atom"),
+            QueryError::UnboundProjection(v) => {
+                write!(f, "projected variable '{v}' is not bound by any atom")
+            }
             QueryError::ProjectedSelection(v) => {
                 write!(f, "projected variable '{v}' carries an equality selection (project constants instead)")
             }

@@ -1,7 +1,9 @@
 //! A SPARQL-subset frontend covering the paper's LUBM workload (Appendix
-//! B): `PREFIX` declarations, `SELECT` with an explicit variable list, and
-//! a `WHERE` block of `.`-separated triple patterns over IRIs, prefixed
-//! names, literals, and `?variables`.
+//! B): `PREFIX` declarations, `SELECT` with an explicit variable list or
+//! `SELECT *` (expanding to every pattern variable in order of first
+//! appearance), and a `WHERE` block of `.`-separated triple patterns over
+//! IRIs, prefixed names, literals, and `?variables` — with a trailing `.`
+//! before `}` tolerated, as real SPARQL endpoints accept.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -56,6 +58,7 @@ enum Token {
     LBrace,
     RBrace,
     Dot,
+    Star,
 }
 
 fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
@@ -85,6 +88,10 @@ fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
             '.' => {
                 chars.next();
                 out.push(Token::Dot);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
             }
             '?' | '$' => {
                 chars.next();
@@ -208,12 +215,17 @@ pub fn parse_sparql(input: &str, store: &TripleStore) -> Result<ConjunctiveQuery
         other => return Err(syn(format!("expected SELECT, found {other:?}"))),
     }
     let mut select_vars = Vec::new();
-    while let Some(Token::Var(v)) = tokens.get(pos) {
-        select_vars.push(v.clone());
+    let select_star = matches!(tokens.get(pos), Some(Token::Star));
+    if select_star {
         pos += 1;
-    }
-    if select_vars.is_empty() {
-        return Err(syn("SELECT needs at least one variable"));
+    } else {
+        while let Some(Token::Var(v)) = tokens.get(pos) {
+            select_vars.push(v.clone());
+            pos += 1;
+        }
+        if select_vars.is_empty() {
+            return Err(syn("SELECT needs at least one variable (or *)"));
+        }
     }
 
     // WHERE { patterns }.
@@ -253,13 +265,32 @@ pub fn parse_sparql(input: &str, store: &TripleStore) -> Result<ConjunctiveQuery
         let o = resolve(tokens.get(pos + 2).ok_or_else(|| syn("missing object"))?)?;
         pos += 3;
         patterns.push([s, p, o]);
-        // Optional dot between / after patterns.
+        // Optional dot between patterns — and a trailing one before `}`
+        // (the grammar's terminator is separator-like here, matching how
+        // endpoints accept `... ?x ?y . }`).
         if matches!(tokens.get(pos), Some(Token::Dot)) {
             pos += 1;
         }
     }
     if pos != tokens.len() {
         return Err(syn(format!("trailing tokens after '}}': {:?}", &tokens[pos..])));
+    }
+
+    // `SELECT *`: project every named pattern variable in order of first
+    // appearance (subject before object, pattern by pattern).
+    if select_star {
+        for [s, _, o] in &patterns {
+            for term in [s, o] {
+                if let PatTerm::Var(v) = term {
+                    if !select_vars.contains(v) {
+                        select_vars.push(v.clone());
+                    }
+                }
+            }
+        }
+        if select_vars.is_empty() {
+            return Err(syn("SELECT * found no variables in the pattern"));
+        }
     }
 
     // Assemble the IR.
@@ -301,7 +332,11 @@ mod tests {
 
     fn store() -> TripleStore {
         TripleStore::from_triples(vec![
-            Triple::new(Term::iri("http://e/s1"), Term::iri("http://e/p"), Term::iri("http://e/o1")),
+            Triple::new(
+                Term::iri("http://e/s1"),
+                Term::iri("http://e/p"),
+                Term::iri("http://e/o1"),
+            ),
             Triple::new(Term::iri("http://e/s1"), Term::iri("http://e/q"), Term::literal("lit")),
         ])
     }
@@ -317,11 +352,8 @@ mod tests {
 
     #[test]
     fn prefixes_expand() {
-        let q = parse_sparql(
-            "PREFIX e: <http://e/>\nSELECT ?x WHERE { ?x e:p e:o1 }",
-            &store(),
-        )
-        .unwrap();
+        let q = parse_sparql("PREFIX e: <http://e/>\nSELECT ?x WHERE { ?x e:p e:o1 }", &store())
+            .unwrap();
         assert_eq!(q.atoms()[0].relation, "http://e/p");
         // e:o1 resolved to an existing dictionary key.
         let sel = q.selected_vars();
@@ -331,7 +363,8 @@ mod tests {
 
     #[test]
     fn unknown_constant_becomes_missing_selection() {
-        let q = parse_sparql("SELECT ?x WHERE { ?x <http://e/p> <http://e/absent> }", &store()).unwrap();
+        let q = parse_sparql("SELECT ?x WHERE { ?x <http://e/p> <http://e/absent> }", &store())
+            .unwrap();
         assert!(q.has_missing_constant());
     }
 
@@ -370,12 +403,59 @@ mod tests {
             Err(SparqlError::UnknownPrefix(_))
         ));
         assert!(matches!(parse_sparql("SELECT WHERE { }", &s), Err(SparqlError::Syntax(_))));
-        assert!(matches!(parse_sparql("SELECT ?x WHERE { ?x <http://e/p> ?y", &s), Err(SparqlError::Syntax(_))));
+        assert!(matches!(
+            parse_sparql("SELECT ?x WHERE { ?x <http://e/p> ?y", &s),
+            Err(SparqlError::Syntax(_))
+        ));
         // Projection of an unbound variable is caught by IR validation.
         assert!(matches!(
             parse_sparql("SELECT ?zz WHERE { ?x <http://e/p> ?y }", &s),
             Err(SparqlError::Query(_))
         ));
+    }
+
+    #[test]
+    fn select_star_expands_in_pattern_order() {
+        let q =
+            parse_sparql("SELECT * WHERE { ?b <http://e/p> ?a . ?a <http://e/q> ?c }", &store())
+                .unwrap();
+        // First-appearance order: b (subject of pattern 1), a, then c —
+        // not alphabetical, not SELECT-list order.
+        let names: Vec<&str> = q.projection().iter().map(|&v| q.var_name(v)).collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn select_star_skips_constants_and_dedups() {
+        let q = parse_sparql(
+            "SELECT * WHERE { ?x <http://e/p> <http://e/o1> . ?x <http://e/q> \"lit\" }",
+            &store(),
+        )
+        .unwrap();
+        let names: Vec<&str> = q.projection().iter().map(|&v| q.var_name(v)).collect();
+        assert_eq!(names, vec!["x"]);
+    }
+
+    #[test]
+    fn select_star_without_variables_is_an_error() {
+        assert!(matches!(
+            parse_sparql("SELECT * WHERE { <http://e/s1> <http://e/p> <http://e/o1> }", &store()),
+            Err(SparqlError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_dot_before_closing_brace_is_tolerated() {
+        let s = store();
+        // Single pattern, with and without the trailing dot.
+        let with = parse_sparql("SELECT ?x WHERE { ?x <http://e/p> ?y . }", &s).unwrap();
+        let without = parse_sparql("SELECT ?x WHERE { ?x <http://e/p> ?y }", &s).unwrap();
+        assert_eq!(with, without);
+        // Multiple patterns, trailing dot after the last.
+        let q = parse_sparql("SELECT * WHERE { ?x <http://e/p> ?y . ?x <http://e/q> ?z . }", &s)
+            .unwrap();
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.projection().len(), 3);
     }
 
     #[test]

@@ -30,7 +30,8 @@ impl Dictionary {
         if let Some(&id) = self.map.get(term) {
             return id;
         }
-        let id = u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms");
+        let id =
+            u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms");
         self.map.insert(term.clone(), id);
         self.terms.push(term.clone());
         id

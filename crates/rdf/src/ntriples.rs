@@ -112,7 +112,10 @@ impl Parser<'_> {
                             other => {
                                 return Err(err(
                                     self.lineno,
-                                    format!("invalid escape sequence: \\{:?}", other.map(|(_, c)| c)),
+                                    format!(
+                                        "invalid escape sequence: \\{:?}",
+                                        other.map(|(_, c)| c)
+                                    ),
                                 ))
                             }
                         },

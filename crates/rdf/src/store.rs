@@ -158,12 +158,20 @@ impl TripleStore {
 
     /// Decode an encoded triple back to terms.
     pub fn decode_triple(&self, t: EncodedTriple) -> Triple {
-        Triple::new(self.dict.decode(t.s).clone(), self.dict.decode(t.p).clone(), self.dict.decode(t.o).clone())
+        Triple::new(
+            self.dict.decode(t.s).clone(),
+            self.dict.decode(t.p).clone(),
+            self.dict.decode(t.o).clone(),
+        )
     }
 
     /// Summary statistics.
     pub fn stats(&self) -> StoreStats {
-        StoreStats { triples: self.num_triples(), predicates: self.tables.len(), terms: self.dict.len() }
+        StoreStats {
+            triples: self.num_triples(),
+            predicates: self.tables.len(),
+            terms: self.dict.len(),
+        }
     }
 }
 

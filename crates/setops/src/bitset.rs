@@ -46,12 +46,7 @@ impl BitSet {
             acc += w.count_ones();
         }
         debug_assert_eq!(acc as usize, len);
-        BitSet {
-            base_word,
-            words: words.into_boxed_slice(),
-            ranks: ranks.into_boxed_slice(),
-            len,
-        }
+        BitSet { base_word, words: words.into_boxed_slice(), ranks: ranks.into_boxed_slice(), len }
     }
 
     /// Rank of `v`: its index in sorted order, if present. O(1) via the
@@ -106,21 +101,32 @@ impl BitSet {
 
     /// Smallest element.
     pub fn min(&self) -> Option<u32> {
-        self.words.iter().enumerate().find(|(_, w)| **w != 0).map(|(i, w)| {
-            ((self.base_word + i) as u32) * 64 + w.trailing_zeros()
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .find(|(_, w)| **w != 0)
+            .map(|(i, w)| ((self.base_word + i) as u32) * 64 + w.trailing_zeros())
     }
 
     /// Largest element.
     pub fn max(&self) -> Option<u32> {
-        self.words.iter().enumerate().rev().find(|(_, w)| **w != 0).map(|(i, w)| {
-            ((self.base_word + i) as u32) * 64 + 63 - w.leading_zeros()
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, w)| **w != 0)
+            .map(|(i, w)| ((self.base_word + i) as u32) * 64 + 63 - w.leading_zeros())
     }
 
     /// Iterate elements in increasing order.
     pub fn iter(&self) -> BitIter<'_> {
-        BitIter { words: &self.words, base_word: self.base_word, word_idx: 0, current: self.words.first().copied().unwrap_or(0), remaining: self.len }
+        BitIter {
+            words: &self.words,
+            base_word: self.base_word,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            remaining: self.len,
+        }
     }
 
     /// Memory footprint of the payload in bytes.
@@ -163,7 +169,10 @@ impl BitSet {
             return 0;
         }
         (lo..hi)
-            .map(|w| (self.words[w - self.base_word] & other.words[w - other.base_word]).count_ones() as usize)
+            .map(|w| {
+                (self.words[w - self.base_word] & other.words[w - other.base_word]).count_ones()
+                    as usize
+            })
             .sum()
     }
 }

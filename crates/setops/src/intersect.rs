@@ -164,7 +164,13 @@ mod tests {
         let a = [1u32, 2, 64, 65, 500];
         let b = [2u32, 65, 400, 500];
         for (x, y) in all_layout_pairs(&a, &b) {
-            assert_eq!(x.intersect(&y).to_vec(), vec![2, 65, 500], "{:?} x {:?}", x.layout(), y.layout());
+            assert_eq!(
+                x.intersect(&y).to_vec(),
+                vec![2, 65, 500],
+                "{:?} x {:?}",
+                x.layout(),
+                y.layout()
+            );
             assert_eq!(intersect_count(&x, &y), 3);
             assert!(intersects(&x, &y));
         }

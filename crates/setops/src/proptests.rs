@@ -16,8 +16,9 @@ fn sorted_unique(vals: &[u32]) -> Vec<u32> {
 /// Strategy producing moderately clustered value sets so both layouts get
 /// exercised (purely random u32s would almost never pick the bitset).
 fn value_set() -> impl Strategy<Value = Vec<u32>> {
-    (0u32..50_000, proptest::collection::vec(0u32..2_000, 0..300))
-        .prop_map(|(base, offsets)| sorted_unique(&offsets.iter().map(|o| base + o).collect::<Vec<_>>()))
+    (0u32..50_000, proptest::collection::vec(0u32..2_000, 0..300)).prop_map(|(base, offsets)| {
+        sorted_unique(&offsets.iter().map(|o| base + o).collect::<Vec<_>>())
+    })
 }
 
 proptest! {

@@ -35,5 +35,13 @@ mod tuples;
 pub use build::{LayoutPolicy, Trie};
 pub use tuples::TupleBuffer;
 
+// The parallel runtime shares tries (and per-morsel tuple buffers) across
+// worker threads; keep that guarantee checked at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Trie>();
+    assert_send_sync::<TupleBuffer>();
+};
+
 #[cfg(test)]
 mod proptests;

@@ -55,6 +55,17 @@ impl TupleBuffer {
         self.data.extend_from_slice(row);
     }
 
+    /// Append every row of `other`, preserving order — the merge step of
+    /// the parallel runtime, which concatenates per-morsel buffers in
+    /// morsel order.
+    ///
+    /// # Panics
+    /// Panics when the arities differ.
+    pub fn append(&mut self, other: &TupleBuffer) {
+        assert_eq!(other.arity, self.arity, "buffer arity mismatch");
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Row `i` as a slice.
     pub fn row(&self, i: usize) -> &[u32] {
         &self.data[i * self.arity..(i + 1) * self.arity]
@@ -142,6 +153,26 @@ mod tests {
         assert_eq!(t.row(1), &[1, 2]);
         assert_eq!(t.row(2), &[3, 1]);
         assert!(t.is_sorted_unique());
+    }
+
+    #[test]
+    fn append_concatenates_in_order() {
+        let mut a = TupleBuffer::new(2);
+        a.push(&[9, 9]);
+        a.push(&[1, 2]);
+        let mut b = TupleBuffer::new(2);
+        b.push(&[0, 0]);
+        a.append(&b);
+        a.append(&TupleBuffer::new(2));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.row(0), &[9, 9]);
+        assert_eq!(a.row(2), &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn append_rejects_arity_mismatch() {
+        TupleBuffer::new(2).append(&TupleBuffer::new(3));
     }
 
     #[test]

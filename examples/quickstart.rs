@@ -43,4 +43,14 @@ fn main() {
     let q = wcoj_rdf::query::parse_sparql(query, &store).expect("parses");
     let plan = engine.plan(&q).expect("plannable");
     println!("\nphysical plan:\n{}", plan.render(&q));
+
+    // 5. `SELECT *` projects every pattern variable in order of first
+    //    appearance (and a trailing `.` before `}` is fine).
+    let star = engine
+        .run_sparql(
+            "PREFIX ub: <http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#>
+             SELECT * WHERE { ?prof ub:headOf ?dept . ?dept ub:subOrganizationOf ?univ . }",
+        )
+        .expect("valid query");
+    println!("SELECT * bound {:?}: {} (prof, dept, univ) rows", star.columns(), star.cardinality());
 }

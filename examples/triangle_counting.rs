@@ -51,8 +51,8 @@ fn main() {
     let q = qb.select(vec![x, y, z]).build().expect("valid query");
 
     // AGM: output ≤ N^{3/2} via the fractional edge cover (½, ½, ½).
-    let bound = agm_bound(3, &[vec![0, 1], vec![1, 2], vec![0, 2]], &[n as u64; 3])
-        .expect("cover exists");
+    let bound =
+        agm_bound(3, &[vec![0, 1], vec![1, 2], vec![0, 2]], &[n as u64; 3]).expect("cover exists");
     println!("AGM bound: {:.0} (= N^1.5); any pairwise plan may materialise Ω(N²)", bound);
 
     let engine = Engine::new(&store, OptFlags::all());

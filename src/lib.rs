@@ -10,6 +10,10 @@
 //! * [`emptyheaded`] — the worst-case optimal join engine with GHD query
 //!   plans and the paper's three classic optimizations (index layouts,
 //!   selection pushdown, pipelining).
+//! * [`par`] — the deterministic multicore runtime: joins partition their
+//!   outermost iterated attribute into morsels across worker threads and
+//!   merge results in deterministic order (configure via
+//!   [`emptyheaded::PlannerConfig::with_threads`]).
 //! * [`lubm`] — a deterministic reimplementation of the LUBM benchmark
 //!   data generator and its query workload.
 //! * [`baselines`] — simulated comparison engines (MonetDB-, LogicBlox-,
@@ -34,6 +38,7 @@ pub use eh_baselines as baselines;
 pub use eh_ghd as ghd;
 pub use eh_lp as lp;
 pub use eh_lubm as lubm;
+pub use eh_par as par;
 pub use eh_query as query;
 pub use eh_rdf as rdf;
 pub use eh_setops as setops;

@@ -4,9 +4,7 @@
 
 use std::collections::BTreeSet;
 
-use wcoj_rdf::baselines::{
-    LogicBloxStyle, MonetDbStyle, QueryEngine, Rdf3xStyle, TripleBitStyle,
-};
+use wcoj_rdf::baselines::{LogicBloxStyle, MonetDbStyle, QueryEngine, Rdf3xStyle, TripleBitStyle};
 use wcoj_rdf::emptyheaded::{Engine, OptFlags};
 use wcoj_rdf::query::{ConjunctiveQuery, Hypergraph, QueryBuilder};
 use wcoj_rdf::rdf::{Term, Triple, TripleStore};
@@ -32,8 +30,7 @@ fn graph_store() -> TripleStore {
 
 fn check(store: &TripleStore, q: &ConjunctiveQuery, label: &str) -> usize {
     let eh = Engine::new(store, OptFlags::all());
-    let reference: BTreeSet<Vec<u32>> =
-        eh.run(q).unwrap().iter().map(|r| r.to_vec()).collect();
+    let reference: BTreeSet<Vec<u32>> = eh.run(q).unwrap().iter().map(|r| r.to_vec()).collect();
     let engines: Vec<Box<dyn QueryEngine + '_>> = vec![
         Box::new(MonetDbStyle::new(store)),
         Box::new(Rdf3xStyle::new(store)),
@@ -109,10 +106,7 @@ fn mixed_cycle_with_selection() {
     let mut qb = QueryBuilder::new();
     let (x, y, z) = (qb.var("x"), qb.var("y"), qb.var("z"));
     let a = qb.selection_var(anchor);
-    qb.atom("edge", e, x, y)
-        .atom("edge", e, y, z)
-        .atom("edge", e, x, z)
-        .atom("edge", e, x, a); // triangle anchored at a constant neighbour
+    qb.atom("edge", e, x, y).atom("edge", e, y, z).atom("edge", e, x, z).atom("edge", e, x, a); // triangle anchored at a constant neighbour
     let q = qb.select(vec![x, y, z]).build().unwrap();
     check(&store, &q, "anchored triangle");
 }

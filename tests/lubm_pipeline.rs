@@ -4,14 +4,11 @@
 
 use std::collections::BTreeSet;
 
-use wcoj_rdf::baselines::{
-    LogicBloxStyle, MonetDbStyle, QueryEngine, Rdf3xStyle, TripleBitStyle,
-};
+use wcoj_rdf::baselines::{LogicBloxStyle, MonetDbStyle, QueryEngine, Rdf3xStyle, TripleBitStyle};
 use wcoj_rdf::emptyheaded::{Engine, OptFlags};
 use wcoj_rdf::lubm::queries::{lubm_query, QUERY_NUMBERS};
 use wcoj_rdf::lubm::{
-    class_iri, generate_store, generate_with, pred_iri, rdf_type, Class, GeneratorConfig,
-    Predicate,
+    class_iri, generate_store, generate_with, pred_iri, rdf_type, Class, GeneratorConfig, Predicate,
 };
 
 fn rows(t: &wcoj_rdf::trie::TupleBuffer) -> BTreeSet<Vec<u32>> {
@@ -65,11 +62,8 @@ fn query_4_counts_department0_associate_professors() {
     let types = store.table_by_name(&rdf_type()).unwrap();
     let dept0 = store.resolve_iri("http://www.Department0.University0.edu").unwrap();
     let assoc = store.resolve_iri(&class_iri(Class::AssociateProfessor)).unwrap();
-    let expected = works
-        .pairs_for_object(dept0)
-        .iter()
-        .filter(|&&(_, s)| types.contains(s, assoc))
-        .count();
+    let expected =
+        works.pairs_for_object(dept0).iter().filter(|&&(_, s)| types.contains(s, assoc)).count();
     assert!(expected > 0, "tiny profile still has associate professors");
     assert_eq!(result.cardinality(), expected);
 }
@@ -91,7 +85,10 @@ fn query_2_triangle_members_are_consistent() {
     let engine = Engine::new(&store, OptFlags::all());
     let q = lubm_query(2, &store).unwrap();
     let result = engine.run(&q).unwrap();
-    assert!(result.cardinality() > 0, "tiny(2) has triangle matches (degrees within 2 universities)");
+    assert!(
+        result.cardinality() > 0,
+        "tiny(2) has triangle matches (degrees within 2 universities)"
+    );
     let types = store.table_by_name(&rdf_type()).unwrap();
     let member = store.table_by_name(&pred_iri(Predicate::MemberOf)).unwrap();
     let suborg = store.table_by_name(&pred_iri(Predicate::SubOrganizationOf)).unwrap();

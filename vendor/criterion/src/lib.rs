@@ -1,0 +1,218 @@
+//! Minimal, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the API subset its benches use: `Criterion` with
+//! `warm_up_time`/`measurement_time`/`sample_size` builders, benchmark
+//! groups, `bench_function`/`bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros. Statistics are simplified:
+//! each benchmark warms up once, auto-scales its iteration count to the
+//! measurement window, and reports mean wall-clock time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness state.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the nominal sample count (scales the iteration budget).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl ToString, mut f: F) {
+        let label = id.to_string();
+        run_one(self, &label, &mut f);
+    }
+}
+
+/// A benchmark identifier `function/parameter`, as printed in reports.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter rendering.
+    pub fn new(function: impl ToString, parameter: impl ToString) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function.to_string(), parameter.to_string()) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the nominal sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl ToString,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.to_string());
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the scheduled number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(c: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up and per-iteration estimate.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_up_start = Instant::now();
+    let mut per_iter = Duration::from_secs(1);
+    while warm_up_start.elapsed() < c.warm_up_time {
+        f(&mut b);
+        per_iter = per_iter.min(b.elapsed.max(Duration::from_nanos(1)));
+    }
+    // Scale iterations to roughly fill the measurement window, bounded so
+    // a pathologically fast payload still terminates.
+    let budget = c.measurement_time.as_nanos() / per_iter.as_nanos().max(1);
+    let iters = budget.clamp(1, (c.sample_size as u128).saturating_mul(100_000)) as u64;
+    b.iters = iters;
+    f(&mut b);
+    let mean = b.elapsed / iters.max(1) as u32;
+    println!("{label}: {mean:>12?}/iter ({iters} iterations)");
+}
+
+/// Re-export for benches written against older criterion versions; prefer
+/// `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a group-runner function from a config and target benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}
