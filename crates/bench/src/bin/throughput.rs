@@ -1,0 +1,129 @@
+//! Query-service throughput harness: QPS of the LUBM mix through
+//! [`QueryService`], cold (empty caches — every request pays planning and
+//! join execution) versus warm (plan + result caches populated), with
+//! concurrent client sessions.
+//!
+//! Warm answers are checked byte-identical to their cold counterparts in
+//! a dedicated untimed verification pass (single- and multi-session)
+//! before the timed loops run — the cache must be invisible except
+//! through latency and hit counters.
+//!
+//! ```text
+//! cargo run --release -p eh-bench --bin throughput -- --universities 1
+//! EH_THREADS=4 cargo run --release -p eh-bench --bin throughput
+//! ```
+
+use std::time::Instant;
+
+use eh_bench::{HarnessArgs, TablePrinter};
+use eh_lubm::queries::{lubm_sparql, QUERY_NUMBERS};
+use eh_lubm::{generate_store, GeneratorConfig};
+use eh_par::RuntimeConfig;
+use eh_srv::{respond, QueryService, ServiceConfig};
+use emptyheaded::{OptFlags, PlannerConfig};
+
+const SESSION_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let runtime = RuntimeConfig::from_env();
+    let cfg = GeneratorConfig::scale(args.universities).with_seed(args.seed);
+    eprintln!("generating LUBM({}) ...", args.universities);
+    let store = generate_store(&cfg);
+    let mix: Vec<String> =
+        QUERY_NUMBERS.iter().map(|&n| lubm_sparql(n).expect("workload query")).collect();
+    println!(
+        "Service throughput — LUBM({}) = {} triples, {} engine threads, {}-query mix",
+        args.universities,
+        store.stats().triples,
+        runtime.num_threads,
+        mix.len()
+    );
+
+    let service = QueryService::new(
+        &store,
+        ServiceConfig {
+            planner: PlannerConfig::with_flags(OptFlags::all()).with_runtime(runtime),
+            result_cache_bytes: ServiceConfig::DEFAULT_RESULT_CACHE_BYTES,
+            plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
+            server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+        },
+    );
+
+    // Cold pass: every request parses, plans, and executes. Responses are
+    // kept as the reference bytes for the verification pass.
+    let t0 = Instant::now();
+    let reference: Vec<String> =
+        mix.iter().map(|q| respond(&service, &format!("QUERY {q}"))).collect();
+    let cold = t0.elapsed();
+
+    // Untimed verification: warm (cache-served) answers must be
+    // byte-identical to cold ones, from concurrent sessions too, before
+    // any warm number is trusted.
+    std::thread::scope(|scope| {
+        for s in 0..*SESSION_COUNTS.iter().max().unwrap() {
+            let (service, mix, reference) = (&service, &mix, &reference);
+            scope.spawn(move || {
+                for i in 0..mix.len() {
+                    let idx = (i + s) % mix.len();
+                    let got = respond(service, &format!("QUERY {}", mix[idx]));
+                    assert_eq!(
+                        got, reference[idx],
+                        "warm response diverged from cold (query index {idx})"
+                    );
+                }
+            });
+        }
+    });
+
+    let mut table = TablePrinter::new(&["Phase", "Sessions", "Requests", "QPS"]);
+    table.row(&[
+        "cold".into(),
+        "1".into(),
+        mix.len().to_string(),
+        format!("{:.0}", mix.len() as f64 / cold.as_secs_f64()),
+    ]);
+
+    // Warm passes, timed: the mix repeated from N concurrent sessions
+    // (correctness was established above, so the loop only answers).
+    for sessions in SESSION_COUNTS {
+        let rounds = args.runs;
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for s in 0..sessions {
+                let (service, mix) = (&service, &mix);
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        for i in 0..mix.len() {
+                            let idx = (i + s + round) % mix.len();
+                            let got = respond(service, &format!("QUERY {}", mix[idx]));
+                            std::hint::black_box(&got);
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = t0.elapsed();
+        let requests = sessions * rounds * mix.len();
+        table.row(&[
+            "warm".into(),
+            sessions.to_string(),
+            requests.to_string(),
+            format!("{:.0}", requests as f64 / elapsed.as_secs_f64()),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    let stats = service.stats();
+    println!(
+        "caches: plan {}/{} hits, result {}/{} hits, {} entries / {} bytes, epoch {}",
+        stats.plan_hits,
+        stats.plan_hits + stats.plan_misses,
+        stats.result_hits,
+        stats.result_hits + stats.result_misses,
+        stats.result_cache_entries,
+        stats.result_cache_bytes,
+        stats.epoch
+    );
+    assert!(stats.result_hits > 0, "warm passes must hit the result cache");
+}

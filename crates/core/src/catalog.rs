@@ -17,6 +17,7 @@
 //! end up sharing one copy.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use eh_query::Atom;
@@ -35,6 +36,11 @@ pub struct Catalog<'s> {
     store: &'s TripleStore,
     cache: RwLock<HashMap<TrieKey, Arc<Trie>>>,
     empty: Arc<Trie>,
+    /// Monotonic version of the catalog's contents. Bumped by
+    /// [`Catalog::invalidate`]; layers that cache *derived* artifacts
+    /// (e.g. a serving tier's result cache) key them by this epoch so an
+    /// invalidation retires every stale entry at once.
+    epoch: AtomicU64,
 }
 
 impl<'s> Catalog<'s> {
@@ -44,7 +50,21 @@ impl<'s> Catalog<'s> {
             store,
             cache: RwLock::new(HashMap::new()),
             empty: Arc::new(Trie::build(TupleBuffer::new(2), LayoutPolicy::Auto)),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The current catalog epoch (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Drop every cached trie and advance the epoch, forcing downstream
+    /// caches keyed by `(query, epoch)` to miss. Tries rebuild lazily on
+    /// the next access.
+    pub fn invalidate(&self) -> u64 {
+        self.cache.write().expect("catalog lock poisoned").clear();
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// The underlying store.
@@ -140,6 +160,23 @@ mod tests {
         let a = atom_for(&s, "absent");
         assert!(c.trie(&a, true, true).is_empty());
         assert_eq!(c.cardinality(&a), 0);
+    }
+
+    #[test]
+    fn invalidate_clears_tries_and_bumps_epoch() {
+        let s = store();
+        let c = Catalog::new(&s);
+        let a = atom_for(&s, "p");
+        assert_eq!(c.epoch(), 0);
+        let before = c.trie(&a, true, true);
+        assert_eq!(c.cached_tries(), 1);
+        assert_eq!(c.invalidate(), 1);
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.cached_tries(), 0);
+        // The trie rebuilds on demand, content-identical.
+        let after = c.trie(&a, true, true);
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert_eq!(before.num_tuples(), after.num_tuples());
     }
 
     #[test]

@@ -45,6 +45,13 @@ impl<'s> Engine<'s> {
         self.config
     }
 
+    /// The trie catalog — the hook a caching layer needs: its
+    /// [`epoch`](Catalog::epoch) versions derived-result caches and
+    /// [`invalidate`](Catalog::invalidate) retires them.
+    pub fn catalog(&self) -> &Catalog<'s> {
+        &self.catalog
+    }
+
     /// Plan a query without running it.
     pub fn plan(&self, q: &ConjunctiveQuery) -> Result<Plan, EngineError> {
         if q.projection().is_empty() {

@@ -56,6 +56,13 @@ impl QueryResult {
     pub fn decode_row<'s>(&self, store: &'s TripleStore, i: usize) -> Vec<&'s Term> {
         self.tuples.row(i).iter().map(|&id| store.dict().decode(id)).collect()
     }
+
+    /// Approximate heap footprint in bytes (tuple payload plus column
+    /// names) — the accounting unit of a byte-budgeted result cache.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of_val(self.tuples.as_flat())
+            + self.columns.iter().map(|c| c.len() + std::mem::size_of::<String>()).sum::<usize>()
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,17 @@ impl RuntimeConfig {
         RuntimeConfig::with_threads(n)
     }
 
+    /// The runtime the `EH_THREADS` environment variable asks for:
+    /// `EH_THREADS=N` means N workers, unset (or unparsable) means
+    /// sequential. CI runs the test suite under `EH_THREADS=4` so tests
+    /// that build their runtime here exercise the parallel paths.
+    pub fn from_env() -> RuntimeConfig {
+        match std::env::var("EH_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok()) {
+            Some(n) => RuntimeConfig::with_threads(n),
+            None => RuntimeConfig::serial(),
+        }
+    }
+
     /// Override the morsel granularity (clamped to >= 1).
     pub fn with_morsel_size(mut self, morsel_size: usize) -> RuntimeConfig {
         self.morsel_size = morsel_size.max(1);
@@ -177,6 +188,104 @@ where
     run_tasks(cfg.num_threads, n, |m| f(m, morsel_range(m, cfg.morsel_size, total)))
 }
 
+/// A blocking multi-producer/multi-consumer work queue for long-lived
+/// worker pools — the piece [`run_tasks`] cannot cover: tasks that *arrive
+/// over time* (e.g. client connections accepted by a server) rather than
+/// being counted up front.
+///
+/// Workers loop on [`WorkQueue::pop`], which blocks until an item arrives
+/// and returns `None` once the queue is [closed](WorkQueue::close) and
+/// drained — the shutdown signal.
+///
+/// ```
+/// use eh_par::WorkQueue;
+///
+/// let q = WorkQueue::new();
+/// std::thread::scope(|s| {
+///     let workers: Vec<_> = (0..2)
+///         .map(|_| s.spawn(|| std::iter::from_fn(|| q.pop()).sum::<u64>()))
+///         .collect();
+///     for i in 0..10u64 {
+///         q.push(i);
+///     }
+///     q.close();
+///     let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+///     assert_eq!(total, 45);
+/// });
+/// ```
+pub struct WorkQueue<T> {
+    state: std::sync::Mutex<QueueState<T>>,
+    ready: std::sync::Condvar,
+}
+
+struct QueueState<T> {
+    items: std::collections::VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> WorkQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> WorkQueue<T> {
+        WorkQueue {
+            state: std::sync::Mutex::new(QueueState {
+                items: std::collections::VecDeque::new(),
+                closed: false,
+            }),
+            ready: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Enqueue an item, waking one waiting worker. Returns `false` (and
+    /// drops the item) when the queue is already closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("work queue lock poisoned");
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Dequeue the oldest item, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("work queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("work queue lock poisoned");
+        }
+    }
+
+    /// Close the queue: pending items still drain, further pushes are
+    /// rejected, and blocked workers wake to observe shutdown.
+    pub fn close(&self) {
+        self.state.lock().expect("work queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued (diagnostics).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("work queue lock poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for WorkQueue<T> {
+    fn default() -> Self {
+        WorkQueue::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +345,47 @@ mod tests {
         let per_morsel = run_morsels(&cfg, 100, |_, r| r.map(|i| i as u64).sum::<u64>());
         assert_eq!(per_morsel.len(), num_morsels(100, 3));
         assert_eq!(per_morsel.iter().sum::<u64>(), (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn work_queue_delivers_everything_exactly_once() {
+        let q = WorkQueue::new();
+        let collected = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..3)
+                .map(|_| s.spawn(|| std::iter::from_fn(|| q.pop()).collect::<Vec<u32>>()))
+                .collect();
+            for i in 0..100u32 {
+                assert!(q.push(i));
+            }
+            q.close();
+            assert!(!q.push(999), "closed queue must reject pushes");
+            let mut all: Vec<u32> = workers.into_iter().flat_map(|w| w.join().unwrap()).collect();
+            all.sort_unstable();
+            all
+        });
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_queue_drains_after_close() {
+        let q = WorkQueue::new();
+        q.push(1u8);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn env_runtime_defaults_to_serial() {
+        // EH_THREADS is not set in the unit-test environment unless CI
+        // exports it; accept either but require a sane configuration.
+        let cfg = RuntimeConfig::from_env();
+        assert!(cfg.num_threads >= 1);
+        assert_eq!(cfg.morsel_size, RuntimeConfig::DEFAULT_MORSEL_SIZE);
     }
 
     #[test]

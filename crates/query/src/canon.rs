@@ -1,0 +1,257 @@
+//! Canonical forms of conjunctive queries, for plan and result caching.
+//!
+//! Two SPARQL strings that differ only in variable names, atom order, or
+//! duplicated patterns describe the same query; a serving layer should
+//! plan (and cache) them once. [`canonicalize`] maps a
+//! [`ConjunctiveQuery`] to a [`CanonicalQuery`] — variables renumbered by
+//! a deterministic scheme, selection variables erased into inline
+//! constants, atoms sorted and deduplicated — which implements `Hash`/`Eq`
+//! and therefore works as a cache key. [`CanonicalQuery::to_query`]
+//! rebuilds an executable IR whose answers are identical (same rows, same
+//! order) to the original's, because projection variables keep their
+//! `SELECT` positions.
+//!
+//! The numbering scheme: projection variables first, in `SELECT` order;
+//! then, repeatedly, the existential variables of the atom with the
+//! smallest variable-independent signature (relation, predicate, and the
+//! terms numbered so far). This is a heuristic, not a graph-canonization
+//! oracle — queries whose atoms are mutually symmetric under automorphism
+//! may canonicalize differently from a renamed copy, which costs a cache
+//! miss but never a wrong answer: the canonical form is always
+//! semantically equal to its source.
+
+use crate::ir::{ConjunctiveQuery, QueryBuilder, QueryError, Var};
+
+/// One position of a canonical atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CanonTerm {
+    /// A join variable, by canonical number.
+    Var(usize),
+    /// An equality-selection constant (dictionary key; `None` when the
+    /// constant is absent from the dictionary, forcing an empty result).
+    Sel(Option<u32>),
+}
+
+/// A canonical atom `relation(terms[0], terms[1])`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonAtom {
+    /// Predicate IRI.
+    pub relation: String,
+    /// Dictionary key of the predicate.
+    pub pred: u32,
+    /// Subject and object terms.
+    pub terms: [CanonTerm; 2],
+}
+
+/// The canonical form of a conjunctive query: the α-equivalence cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalQuery {
+    atoms: Vec<CanonAtom>,
+    projection: Vec<usize>,
+    num_vars: usize,
+}
+
+impl CanonicalQuery {
+    /// The sorted, deduplicated atoms.
+    pub fn atoms(&self) -> &[CanonAtom] {
+        &self.atoms
+    }
+
+    /// Canonical variable numbers in `SELECT` order (always
+    /// `0, 1, 2, ...` for distinct projections).
+    pub fn projection(&self) -> &[usize] {
+        &self.projection
+    }
+
+    /// Number of canonical join variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Rebuild an executable query. Variables are named `v0..vN` by
+    /// canonical number and the projection preserves `SELECT` order, so
+    /// running the rebuilt query yields exactly the original's rows (only
+    /// the column *names* differ).
+    pub fn to_query(&self) -> Result<ConjunctiveQuery, QueryError> {
+        let mut qb = QueryBuilder::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|i| qb.var(&format!("v{i}"))).collect();
+        for a in &self.atoms {
+            let pos = |qb: &mut QueryBuilder, t: CanonTerm| match t {
+                CanonTerm::Var(i) => vars[i],
+                CanonTerm::Sel(c) => qb.selection_var(c),
+            };
+            let s = pos(&mut qb, a.terms[0]);
+            let o = pos(&mut qb, a.terms[1]);
+            qb.atom(&a.relation, a.pred, s, o);
+        }
+        qb.select(self.projection.iter().map(|&i| vars[i]).collect());
+        qb.build()
+    }
+}
+
+/// A variable-name-independent atom signature under a partial numbering:
+/// relation, predicate, and the [`rank`] of each position.
+type AtomSig<'a> = (&'a str, u32, (u8, u64), (u8, u64));
+
+/// Signature rank of one atom position: orders selections by constant and
+/// numbered variables by canonical id, with unnumbered variables last.
+fn rank(q: &ConjunctiveQuery, v: Var, ids: &[Option<usize>]) -> (u8, u64) {
+    match q.selection(v) {
+        Some(Some(c)) => (0, u64::from(c)),
+        Some(None) => (1, 0),
+        None => match ids[v] {
+            Some(id) => (2, id as u64),
+            None => (3, 0),
+        },
+    }
+}
+
+/// Compute the canonical form of `q` (see the module docs for the
+/// numbering scheme and its guarantees).
+pub fn canonicalize(q: &ConjunctiveQuery) -> CanonicalQuery {
+    let mut ids: Vec<Option<usize>> = vec![None; q.num_vars()];
+    let mut next = 0usize;
+    for &v in q.projection() {
+        if ids[v].is_none() {
+            ids[v] = Some(next);
+            next += 1;
+        }
+    }
+    // Number remaining join variables atom by atom, always expanding the
+    // atom whose signature (under the numbering so far) is smallest.
+    loop {
+        let mut best: Option<(AtomSig<'_>, usize)> = None;
+        for (i, a) in q.atoms().iter().enumerate() {
+            if !a.vars.iter().any(|&v| !q.is_selected(v) && ids[v].is_none()) {
+                continue;
+            }
+            let sig =
+                (a.relation.as_str(), a.pred, rank(q, a.vars[0], &ids), rank(q, a.vars[1], &ids));
+            if best.as_ref().is_none_or(|(b, _)| sig < *b) {
+                best = Some((sig, i));
+            }
+        }
+        let Some((_, i)) = best else { break };
+        for &v in &q.atoms()[i].vars {
+            if !q.is_selected(v) && ids[v].is_none() {
+                ids[v] = Some(next);
+                next += 1;
+            }
+        }
+    }
+    let term = |v: Var| match q.selection(v) {
+        Some(c) => CanonTerm::Sel(c),
+        None => CanonTerm::Var(ids[v].expect("every join variable was numbered")),
+    };
+    let mut atoms: Vec<CanonAtom> = q
+        .atoms()
+        .iter()
+        .map(|a| CanonAtom {
+            relation: a.relation.clone(),
+            pred: a.pred,
+            terms: [term(a.vars[0]), term(a.vars[1])],
+        })
+        .collect();
+    atoms.sort();
+    atoms.dedup();
+    let projection = q.projection().iter().map(|&v| ids[v].expect("projection numbered")).collect();
+    CanonicalQuery { atoms, projection, num_vars: next }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle with projection (x, y): atoms in one order ...
+    fn triangle_a() -> ConjunctiveQuery {
+        let mut qb = QueryBuilder::new();
+        let (x, y, z) = (qb.var("x"), qb.var("y"), qb.var("z"));
+        qb.atom("R", 0, x, y).atom("S", 1, y, z).atom("T", 2, z, x);
+        qb.select(vec![x, y]).build().unwrap()
+    }
+
+    /// ... and the α-equivalent copy: renamed variables, shuffled atoms.
+    fn triangle_b() -> ConjunctiveQuery {
+        let mut qb = QueryBuilder::new();
+        let (c, a, b) = (qb.var("c"), qb.var("a"), qb.var("b"));
+        qb.atom("T", 2, c, a).atom("R", 0, a, b).atom("S", 1, b, c);
+        qb.select(vec![a, b]).build().unwrap()
+    }
+
+    #[test]
+    fn alpha_equivalent_queries_share_a_key() {
+        assert_eq!(canonicalize(&triangle_a()), canonicalize(&triangle_b()));
+    }
+
+    #[test]
+    fn projection_order_is_significant() {
+        let mut qb = QueryBuilder::new();
+        let (x, y) = (qb.var("x"), qb.var("y"));
+        qb.atom("R", 0, x, y);
+        let xy = qb.select(vec![x, y]).build().unwrap();
+        let mut qb = QueryBuilder::new();
+        let (x, y) = (qb.var("x"), qb.var("y"));
+        qb.atom("R", 0, x, y);
+        let yx = qb.select(vec![y, x]).build().unwrap();
+        assert_ne!(canonicalize(&xy), canonicalize(&yx));
+    }
+
+    #[test]
+    fn selection_constants_distinguish_queries() {
+        let with_const = |c: Option<u32>| {
+            let mut qb = QueryBuilder::new();
+            let x = qb.var("x");
+            let s = qb.selection_var(c);
+            qb.atom("R", 0, x, s);
+            qb.select(vec![x]).build().unwrap()
+        };
+        assert_ne!(canonicalize(&with_const(Some(1))), canonicalize(&with_const(Some(2))));
+        assert_ne!(canonicalize(&with_const(Some(1))), canonicalize(&with_const(None)));
+        assert_eq!(canonicalize(&with_const(Some(7))), canonicalize(&with_const(Some(7))));
+    }
+
+    #[test]
+    fn duplicate_atoms_collapse() {
+        let mut qb = QueryBuilder::new();
+        let (x, y) = (qb.var("x"), qb.var("y"));
+        qb.atom("R", 0, x, y).atom("R", 0, x, y);
+        let doubled = qb.select(vec![x]).build().unwrap();
+        let mut qb = QueryBuilder::new();
+        let (x, y) = (qb.var("x"), qb.var("y"));
+        qb.atom("R", 0, x, y);
+        let single = qb.select(vec![x]).build().unwrap();
+        let c = canonicalize(&doubled);
+        assert_eq!(c, canonicalize(&single));
+        assert_eq!(c.atoms().len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_is_idempotent() {
+        for q in [triangle_a(), triangle_b()] {
+            let c = canonicalize(&q);
+            let rebuilt = c.to_query().unwrap();
+            assert_eq!(canonicalize(&rebuilt), c);
+            // Projection keeps SELECT arity and order.
+            assert_eq!(rebuilt.projection().len(), q.projection().len());
+        }
+    }
+
+    #[test]
+    fn canonical_names_follow_numbering() {
+        let q = triangle_b().clone();
+        let rebuilt = canonicalize(&q).to_query().unwrap();
+        let names: Vec<&str> = rebuilt.projection().iter().map(|&v| rebuilt.var_name(v)).collect();
+        assert_eq!(names, vec!["v0", "v1"]);
+    }
+
+    #[test]
+    fn repeated_projection_variables_survive() {
+        let mut qb = QueryBuilder::new();
+        let (x, y) = (qb.var("x"), qb.var("y"));
+        qb.atom("R", 0, x, y);
+        let q = qb.select(vec![x, x]).build().unwrap();
+        let c = canonicalize(&q);
+        assert_eq!(c.projection(), &[0, 0]);
+        assert_eq!(c.to_query().unwrap().projection().len(), 2);
+    }
+}

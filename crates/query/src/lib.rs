@@ -28,10 +28,12 @@
 //! assert_eq!(q.selection(a), Some(Some(7)));
 //! ```
 
+mod canon;
 mod hypergraph;
 mod ir;
 mod sparql;
 
+pub use canon::{canonicalize, CanonAtom, CanonTerm, CanonicalQuery};
 pub use hypergraph::Hypergraph;
 pub use ir::{Atom, ConjunctiveQuery, QueryBuilder, QueryError, Var};
 pub use sparql::{parse_sparql, SparqlError, MISSING_PRED};

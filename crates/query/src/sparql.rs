@@ -61,7 +61,9 @@ enum Token {
     Star,
 }
 
-fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
+/// Tokenize `input` into `(byte offset, token)` pairs; the offset of each
+/// token feeds the parser's position-bearing error messages.
+fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, SparqlError> {
     let mut out = Vec::new();
     let mut chars = input.char_indices().peekable();
     while let Some(&(i, c)) = chars.peek() {
@@ -79,43 +81,43 @@ fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
             }
             '{' => {
                 chars.next();
-                out.push(Token::LBrace);
+                out.push((i, Token::LBrace));
             }
             '}' => {
                 chars.next();
-                out.push(Token::RBrace);
+                out.push((i, Token::RBrace));
             }
             '.' => {
                 chars.next();
-                out.push(Token::Dot);
+                out.push((i, Token::Dot));
             }
             '*' => {
                 chars.next();
-                out.push(Token::Star);
+                out.push((i, Token::Star));
             }
             '?' | '$' => {
                 chars.next();
                 let name = take_while(&mut chars, |c| c.is_alphanumeric() || c == '_');
                 if name.is_empty() {
-                    return Err(syn(format!("bare '?' at byte {i}")));
+                    return Err(syn(format!("bare '{c}' at byte {i}")));
                 }
-                out.push(Token::Var(name));
+                out.push((i, Token::Var(name)));
             }
             '<' => {
                 chars.next();
                 let iri = take_while(&mut chars, |c| c != '>');
                 if chars.next().map(|(_, c)| c) != Some('>') {
-                    return Err(syn("unterminated IRI"));
+                    return Err(syn(format!("unterminated IRI starting at byte {i}")));
                 }
-                out.push(Token::Iri(iri));
+                out.push((i, Token::Iri(iri)));
             }
             '"' => {
                 chars.next();
                 let lit = take_while(&mut chars, |c| c != '"');
                 if chars.next().map(|(_, c)| c) != Some('"') {
-                    return Err(syn("unterminated literal"));
+                    return Err(syn(format!("unterminated literal starting at byte {i}")));
                 }
-                out.push(Token::Literal(lit));
+                out.push((i, Token::Literal(lit)));
             }
             _ => {
                 let word = take_while(&mut chars, |c| {
@@ -126,17 +128,17 @@ fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                 }
                 let upper = word.to_ascii_uppercase();
                 if upper == "PREFIX" || upper == "SELECT" || upper == "WHERE" {
-                    out.push(Token::Keyword(upper));
+                    out.push((i, Token::Keyword(upper)));
                 } else if let Some(colon) = word.find(':') {
                     let (pfx, local) = word.split_at(colon);
                     let local = &local[1..];
                     if local.is_empty() {
-                        out.push(Token::PrefixDecl(pfx.to_string()));
+                        out.push((i, Token::PrefixDecl(pfx.to_string())));
                     } else {
-                        out.push(Token::Prefixed(pfx.to_string(), local.to_string()));
+                        out.push((i, Token::Prefixed(pfx.to_string(), local.to_string())));
                     }
                 } else {
-                    return Err(syn(format!("unexpected word {word:?}")));
+                    return Err(syn(format!("unexpected word {word:?} at byte {i}")));
                 }
             }
         }
@@ -188,92 +190,107 @@ enum PatTerm {
 /// ```
 pub fn parse_sparql(input: &str, store: &TripleStore) -> Result<ConjunctiveQuery, SparqlError> {
     let tokens = tokenize(input)?;
+    // Token at `pos`, and a rendering of "what sits at `pos`" with its
+    // byte offset for error messages (end of input reports input.len()).
+    let tok = |pos: usize| tokens.get(pos).map(|(_, t)| t);
+    let found = |pos: usize| match tokens.get(pos) {
+        Some((i, t)) => format!("{t:?} at byte {i}"),
+        None => format!("end of input at byte {}", input.len()),
+    };
     let mut pos = 0usize;
     let mut prefixes: HashMap<String, String> = HashMap::new();
 
     // PREFIX declarations.
-    while matches!(tokens.get(pos), Some(Token::Keyword(k)) if k == "PREFIX") {
+    while matches!(tok(pos), Some(Token::Keyword(k)) if k == "PREFIX") {
         pos += 1;
-        let name = match tokens.get(pos) {
+        let name = match tok(pos) {
             Some(Token::PrefixDecl(p)) => p.clone(),
             // A declaration like `rdf:` tokenizes as PrefixDecl, but a
             // prefix whose tail is non-empty cannot appear here.
-            other => return Err(syn(format!("expected prefix name, found {other:?}"))),
+            _ => return Err(syn(format!("expected prefix name, found {}", found(pos)))),
         };
         pos += 1;
-        let iri = match tokens.get(pos) {
+        let iri = match tok(pos) {
             Some(Token::Iri(i)) => i.clone(),
-            other => return Err(syn(format!("expected IRI after PREFIX, found {other:?}"))),
+            _ => return Err(syn(format!("expected IRI after PREFIX, found {}", found(pos)))),
         };
         pos += 1;
         prefixes.insert(name, iri);
     }
 
     // SELECT clause.
-    match tokens.get(pos) {
+    match tok(pos) {
         Some(Token::Keyword(k)) if k == "SELECT" => pos += 1,
-        other => return Err(syn(format!("expected SELECT, found {other:?}"))),
+        _ => return Err(syn(format!("expected SELECT, found {}", found(pos)))),
     }
     let mut select_vars = Vec::new();
-    let select_star = matches!(tokens.get(pos), Some(Token::Star));
+    let select_star = matches!(tok(pos), Some(Token::Star));
     if select_star {
         pos += 1;
     } else {
-        while let Some(Token::Var(v)) = tokens.get(pos) {
+        while let Some(Token::Var(v)) = tok(pos) {
             select_vars.push(v.clone());
             pos += 1;
         }
         if select_vars.is_empty() {
-            return Err(syn("SELECT needs at least one variable (or *)"));
+            return Err(syn(format!(
+                "SELECT needs at least one variable (or *), found {}",
+                found(pos)
+            )));
         }
     }
 
     // WHERE { patterns }.
-    if matches!(tokens.get(pos), Some(Token::Keyword(k)) if k == "WHERE") {
+    if matches!(tok(pos), Some(Token::Keyword(k)) if k == "WHERE") {
         pos += 1;
     }
-    match tokens.get(pos) {
+    match tok(pos) {
         Some(Token::LBrace) => pos += 1,
-        other => return Err(syn(format!("expected '{{', found {other:?}"))),
+        _ => return Err(syn(format!("expected '{{', found {}", found(pos)))),
     }
 
-    let resolve = |t: &Token| -> Result<PatTerm, SparqlError> {
-        match t {
-            Token::Var(v) => Ok(PatTerm::Var(v.clone())),
-            Token::Iri(i) => Ok(PatTerm::Const(Term::iri(i.clone()))),
-            Token::Literal(l) => Ok(PatTerm::Const(Term::literal(l.clone()))),
-            Token::Prefixed(p, local) => {
+    let resolve = |pos: usize| -> Result<PatTerm, SparqlError> {
+        match tok(pos) {
+            Some(Token::Var(v)) => Ok(PatTerm::Var(v.clone())),
+            Some(Token::Iri(i)) => Ok(PatTerm::Const(Term::iri(i.clone()))),
+            Some(Token::Literal(l)) => Ok(PatTerm::Const(Term::literal(l.clone()))),
+            Some(Token::Prefixed(p, local)) => {
                 let base = prefixes.get(p).ok_or_else(|| SparqlError::UnknownPrefix(p.clone()))?;
                 Ok(PatTerm::Const(Term::iri(format!("{base}{local}"))))
             }
-            other => Err(syn(format!("expected a term, found {other:?}"))),
+            _ => Err(syn(format!("expected a term, found {}", found(pos)))),
         }
     };
 
     let mut patterns: Vec<[PatTerm; 3]> = Vec::new();
     loop {
-        match tokens.get(pos) {
+        match tok(pos) {
             Some(Token::RBrace) => {
                 pos += 1;
                 break;
             }
-            None => return Err(syn("unterminated WHERE block")),
+            None => {
+                return Err(syn(format!(
+                    "unterminated WHERE block (missing '}}' before byte {})",
+                    input.len()
+                )))
+            }
             _ => {}
         }
-        let s = resolve(tokens.get(pos).ok_or_else(|| syn("missing subject"))?)?;
-        let p = resolve(tokens.get(pos + 1).ok_or_else(|| syn("missing predicate"))?)?;
-        let o = resolve(tokens.get(pos + 2).ok_or_else(|| syn("missing object"))?)?;
+        let s = resolve(pos)?;
+        let p = resolve(pos + 1)?;
+        let o = resolve(pos + 2)?;
         pos += 3;
         patterns.push([s, p, o]);
         // Optional dot between patterns — and a trailing one before `}`
         // (the grammar's terminator is separator-like here, matching how
         // endpoints accept `... ?x ?y . }`).
-        if matches!(tokens.get(pos), Some(Token::Dot)) {
+        if matches!(tok(pos), Some(Token::Dot)) {
             pos += 1;
         }
     }
     if pos != tokens.len() {
-        return Err(syn(format!("trailing tokens after '}}': {:?}", &tokens[pos..])));
+        return Err(syn(format!("trailing tokens after '}}', starting with {}", found(pos))));
     }
 
     // `SELECT *`: project every named pattern variable in order of first
@@ -466,6 +483,91 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.projection().len(), 1);
+    }
+
+    #[test]
+    fn malformed_input_errors_carry_positions() {
+        let s = store();
+        // Unclosed brace.
+        let e = parse_sparql("SELECT ?x WHERE { ?x <http://e/p> ?y", &s).unwrap_err();
+        assert!(e.to_string().contains("byte"), "{e}");
+        // Missing WHERE and missing brace.
+        let e = parse_sparql("SELECT ?x ?y", &s).unwrap_err();
+        assert!(e.to_string().contains("expected '{'") && e.to_string().contains("byte"), "{e}");
+        // Stray tokens after the closing brace.
+        let e = parse_sparql("SELECT ?x WHERE { ?x <http://e/p> ?y } ?z", &s).unwrap_err();
+        assert!(e.to_string().contains("trailing") && e.to_string().contains("byte"), "{e}");
+        // Unterminated IRI / literal report where they started.
+        let e = parse_sparql("SELECT ?x WHERE { ?x <http://e/p ?y }", &s).unwrap_err();
+        assert!(
+            e.to_string().contains("unterminated IRI") && e.to_string().contains("byte"),
+            "{e}"
+        );
+        let e = parse_sparql("SELECT ?x WHERE { ?x <http://e/q> \"lit }", &s).unwrap_err();
+        assert!(e.to_string().contains("unterminated literal"), "{e}");
+        // Bare variable sigil.
+        let e = parse_sparql("SELECT ? WHERE { ?x <http://e/p> ?y }", &s).unwrap_err();
+        assert!(e.to_string().contains("bare '?'"), "{e}");
+        // Truncated pattern inside the block.
+        let e = parse_sparql("SELECT ?x WHERE { ?x <http://e/p> }", &s).unwrap_err();
+        assert!(e.to_string().contains("expected a term"), "{e}");
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Valid workload-shaped queries to mutate.
+        const SEEDS: [&str; 4] = [
+            "SELECT ?x WHERE { ?x <http://e/p> ?y . }",
+            "PREFIX e: <http://e/> SELECT ?x ?y WHERE { ?x e:p ?y . ?y e:q ?x }",
+            "SELECT * WHERE { ?a <http://e/p> <http://e/o1> . ?a <http://e/q> \"lit\" }",
+            "# c\nSELECT $x WHERE { $x <http://e/p> ?y . ?y <http://e/q> ?z . }",
+        ];
+
+        /// Apply one random edit to `text`: delete, insert, duplicate, or
+        /// truncate — enough to hit unclosed braces, stray tokens, split
+        /// keywords, and dangling sigils.
+        fn mutate(text: &str, kind: u8, at: usize, ins: u8) -> String {
+            const INSERTS: &[char] =
+                &['{', '}', '?', '$', '<', '>', '.', '"', '*', ':', ' ', 'Z', '\u{e9}'];
+            let mut chars: Vec<char> = text.chars().collect();
+            if chars.is_empty() {
+                return INSERTS[ins as usize % INSERTS.len()].to_string();
+            }
+            let at = at % chars.len();
+            match kind % 4 {
+                0 => {
+                    chars.remove(at);
+                }
+                1 => chars.insert(at, INSERTS[ins as usize % INSERTS.len()]),
+                2 => {
+                    let c = chars[at];
+                    chars.insert(at, c);
+                }
+                _ => chars.truncate(at),
+            }
+            chars.into_iter().collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            #[test]
+            fn mutated_queries_never_panic(
+                seed in 0usize..SEEDS.len(),
+                edits in proptest::collection::vec((0u8..4, 0usize..128, any::<u8>()), 1..4),
+            ) {
+                let s = store();
+                let mut text = SEEDS[seed].to_string();
+                for (kind, at, ins) in edits {
+                    text = mutate(&text, kind, at, ins);
+                }
+                // Ok or Err are both fine; reaching here without a panic
+                // is the property.
+                let _ = parse_sparql(&text, &s);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! # eh-srv
+//!
+//! The serving tier over the worst-case optimal join engine: the step
+//! from "benchmark reproduction" to "system that answers traffic".
+//!
+//! The paper's engine (Aberger et al., ICDE 2016) executes one query over
+//! a warmed, read-only trie catalog — exactly the shape of a read-mostly,
+//! high-QPS service. What a single-shot engine lacks is *reuse*: every
+//! [`Engine::run`](emptyheaded::Engine::run) re-parses, re-plans (GHD
+//! enumeration plus the fractional-cover LP), and re-executes. This crate
+//! adds the reuse layer:
+//!
+//! * [`QueryService`] — a shareable (`&self`) session front end holding
+//!   one engine, a **plan cache** keyed by the
+//!   [canonical query form](eh_query::canonicalize) (α-equivalent SPARQL
+//!   strings plan once), and a byte-budgeted **LRU result cache** keyed
+//!   by canonical query + catalog epoch.
+//! * [`serve`] — a threaded TCP front end speaking a line-delimited
+//!   protocol (`QUERY` / `STATS` / `INVALIDATE` / `QUIT`), its session
+//!   pool sized by [`ServiceConfig::server_sessions`] while each query
+//!   executes on the engine's [`eh_par::RuntimeConfig`].
+//! * [`Client`] — a minimal blocking client for tests, examples, and the
+//!   throughput harness.
+//!
+//! Determinism is load-bearing: cached, fresh-sequential, and
+//! fresh-parallel answers are all byte-identical, so a cache is never
+//! observable except through latency and [`ServiceStats`].
+//!
+//! ```
+//! use eh_rdf::{Term, Triple, TripleStore};
+//! use eh_srv::QueryService;
+//!
+//! let store = TripleStore::from_triples(vec![Triple::new(
+//!     Term::iri("alice"),
+//!     Term::iri("knows"),
+//!     Term::iri("bob"),
+//! )]);
+//! let service = QueryService::with_defaults(&store);
+//! let cold = service.query_sparql("SELECT ?x WHERE { ?x <knows> ?y }").unwrap();
+//! let warm = service.query_sparql("SELECT ?a WHERE { ?a <knows> ?b }").unwrap();
+//! assert!(warm.result_cache_hit); // α-equivalent text, same cached rows
+//! assert_eq!(cold.result.cardinality(), 1);
+//! ```
+
+mod cache;
+mod server;
+mod service;
+
+pub use server::{respond, serve, Client};
+pub use service::{Answer, QueryService, ServiceConfig, ServiceStats};

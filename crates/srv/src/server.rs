@@ -1,0 +1,389 @@
+//! The line-delimited TCP front end and its client.
+//!
+//! ## Protocol
+//!
+//! Requests are single lines (`\n`-terminated; SPARQL must be flattened
+//! to one line — any whitespace works for the parser):
+//!
+//! | Request | Response |
+//! |---|---|
+//! | `QUERY <sparql>` | `OK <rows> <col> <col> ...` then one tab-separated N-Triples-encoded line per row, then `END` |
+//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n>` |
+//! | `INVALIDATE` | `OK epoch=<n>` (caches dropped, catalog epoch advanced) |
+//! | `QUIT` | `OK bye`, then the connection closes |
+//! | anything else | `ERR <message>` (single line; the connection stays open) |
+//!
+//! Responses are deterministic bytes: a `QUERY` answer is a pure function
+//! of the store contents and the query text, whether it came from cache
+//! or from a fresh (sequential or parallel) execution — tests assert this
+//! byte-for-byte.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use eh_par::WorkQueue;
+
+use crate::service::QueryService;
+
+/// Compute the full response (including trailing newline) for one request
+/// line. This is the protocol's single source of truth: the TCP server
+/// writes exactly these bytes, and tests can call it directly to obtain
+/// reference responses without a socket.
+pub fn respond(service: &QueryService<'_>, line: &str) -> String {
+    let line = line.trim();
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((cmd, rest)) => (cmd, rest.trim()),
+        None => (line, ""),
+    };
+    match cmd.to_ascii_uppercase().as_str() {
+        "QUERY" if !rest.is_empty() => match service.query_sparql(rest) {
+            Ok(answer) => {
+                let mut out = String::new();
+                out.push_str(&format!("OK {}", answer.result.cardinality()));
+                for col in &answer.columns {
+                    out.push(' ');
+                    out.push_str(col);
+                }
+                out.push('\n');
+                // Row text is rendered once per cached result and reused
+                // by every subsequent hit (see CachedResult).
+                out.push_str(answer.result.rendered_rows(service.store()));
+                out.push_str("END\n");
+                out
+            }
+            Err(e) => format!("ERR {}\n", e.to_string().replace(['\n', '\r'], " ")),
+        },
+        "QUERY" => "ERR QUERY needs a SPARQL string on the same line\n".to_string(),
+        "STATS" => {
+            let s = service.stats();
+            format!(
+                "OK plan_hits={} plan_misses={} result_hits={} result_misses={} \
+                 plan_entries={} cache_entries={} cache_bytes={} epoch={}\n",
+                s.plan_hits,
+                s.plan_misses,
+                s.result_hits,
+                s.result_misses,
+                s.plan_cache_entries,
+                s.result_cache_entries,
+                s.result_cache_bytes,
+                s.epoch
+            )
+        }
+        "INVALIDATE" => format!("OK epoch={}\n", service.invalidate()),
+        "QUIT" => "OK bye\n".to_string(),
+        "" => "ERR empty request\n".to_string(),
+        other => format!("ERR unknown command '{other}' (try QUERY/STATS/INVALIDATE/QUIT)\n"),
+    }
+}
+
+/// Longest accepted request line (1 MiB — generous for any SPARQL text).
+/// Longer lines answer `ERR` and drop the session: without a cap, one
+/// client streaming bytes with no newline would grow server memory
+/// without bound.
+const MAX_REQUEST_BYTES: u64 = 1 << 20;
+
+/// Serve one accepted connection: answer request lines until the client
+/// sends `QUIT` or disconnects. I/O errors end the session quietly — the
+/// peer is gone, there is nobody left to report to.
+fn handle_connection(service: &QueryService<'_>, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::Read::take(&mut reader, MAX_REQUEST_BYTES).read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // The cap cut a multi-byte character in half, or the
+                // bytes were never valid UTF-8 — either way, explain
+                // before dropping the session.
+                let _ =
+                    reader.get_mut().write_all(b"ERR request line too long or not valid UTF-8\n");
+                return;
+            }
+            Err(_) => return,
+        }
+        if line.len() as u64 >= MAX_REQUEST_BYTES && !line.ends_with('\n') {
+            let _ = reader.get_mut().write_all(b"ERR request line too long\n");
+            return;
+        }
+        // Same command parse as respond(): QUIT with trailing text still
+        // quits, so the "OK bye" reply and the close always agree.
+        let quitting =
+            line.split_whitespace().next().is_some_and(|cmd| cmd.eq_ignore_ascii_case("QUIT"));
+        let response = respond(service, &line);
+        if reader.get_mut().write_all(response.as_bytes()).is_err() {
+            return;
+        }
+        if quitting {
+            return;
+        }
+    }
+}
+
+/// Run the TCP front end until `shutdown` turns true: the calling thread
+/// accepts connections and a pool of
+/// [`server_sessions`](crate::ServiceConfig::server_sessions) workers
+/// answers them, so N clients execute concurrently against the one shared
+/// catalog (each request still runs on the engine's
+/// [`eh_par::RuntimeConfig`] for execution parallelism — the two pools
+/// are deliberately separate, because a session occupies its worker for
+/// the whole connection, idle time included).
+///
+/// Shutdown drains rather than hangs: in-flight requests finish and their
+/// responses are written, then every session's read side is shut down, so
+/// workers blocked waiting for a next request wake with EOF and exit —
+/// an idle client cannot pin the server open. The listener is switched to
+/// non-blocking so the accept loop can observe the flag.
+///
+/// Known limit: a connected session occupies its pool worker until it
+/// disconnects, so `server_sessions` *idle* clients stall later arrivals
+/// (accepted, queued, not yet served) until one leaves — there is no idle
+/// timeout yet. Size the pool for the expected number of concurrent
+/// connections, not concurrent queries.
+pub fn serve(service: &QueryService<'_>, listener: TcpListener, shutdown: &AtomicBool) {
+    let workers = service.config().server_sessions.max(1);
+    listener.set_nonblocking(true).expect("listener into non-blocking mode");
+    let queue: WorkQueue<(u64, TcpStream)> = WorkQueue::new();
+    // Read-side handles of live sessions, for shutdown wake-up. Workers
+    // remove their entry when a session ends, so the map tracks only
+    // open connections.
+    let sessions: std::sync::Mutex<std::collections::HashMap<u64, TcpStream>> =
+        std::sync::Mutex::new(std::collections::HashMap::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (queue, sessions) = (&queue, &sessions);
+            scope.spawn(move || {
+                while let Some((id, stream)) = queue.pop() {
+                    handle_connection(service, stream);
+                    sessions.lock().expect("session registry poisoned").remove(&id);
+                }
+            });
+        }
+        let mut next_id = 0u64;
+        while !shutdown.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Hand the connection to the pool in blocking mode. A
+                    // session that cannot be registered (fd exhaustion)
+                    // is refused outright: unregistered sessions would be
+                    // unreachable by the shutdown wake-up below.
+                    let _ = stream.set_nonblocking(false);
+                    match stream.try_clone() {
+                        Ok(handle) => {
+                            sessions
+                                .lock()
+                                .expect("session registry poisoned")
+                                .insert(next_id, handle);
+                            queue.push((next_id, stream));
+                            next_id += 1;
+                        }
+                        Err(_) => drop(stream),
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Idle poll: 20 ms bounds both shutdown latency and
+                    // the wakeup rate of an otherwise quiet server.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => break,
+            }
+        }
+        queue.close();
+        // Wake workers parked in read_line on idle sessions: closing the
+        // read side delivers EOF without cutting off a response that is
+        // still being written.
+        for stream in sessions.lock().expect("session registry poisoned").values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    });
+}
+
+/// A minimal blocking client for the line protocol, used by the examples,
+/// the stress test, and the throughput harness.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a serving [`QueryService`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let addr: SocketAddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("no address resolved"))?;
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client { reader: BufReader::new(stream) })
+    }
+
+    /// Send one request line and read the complete framed response
+    /// (multi-line for `QUERY`, single-line otherwise), returned verbatim.
+    pub fn send(&mut self, request: &str) -> std::io::Result<String> {
+        let line = request.replace(['\n', '\r'], " ");
+        let is_query = line.trim_start().to_ascii_uppercase().starts_with("QUERY");
+        self.reader.get_mut().write_all(format!("{line}\n").as_bytes())?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::other("server closed the connection"));
+        }
+        if is_query && response.starts_with("OK") {
+            loop {
+                let mark = response.len();
+                if self.reader.read_line(&mut response)? == 0 {
+                    return Err(std::io::Error::other("response truncated"));
+                }
+                if response[mark..].trim_end() == "END" {
+                    break;
+                }
+            }
+        }
+        Ok(response)
+    }
+
+    /// `QUERY` convenience: newlines in the SPARQL text are flattened.
+    pub fn query(&mut self, sparql: &str) -> std::io::Result<String> {
+        self.send(&format!("QUERY {sparql}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use eh_rdf::{Term, Triple, TripleStore};
+    use emptyheaded::{OptFlags, PlannerConfig};
+
+    fn store() -> TripleStore {
+        TripleStore::from_triples(vec![
+            Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b")),
+            Triple::new(Term::iri("b"), Term::iri("p"), Term::iri("c")),
+            Triple::new(Term::iri("a"), Term::iri("q"), Term::literal("lit")),
+        ])
+    }
+
+    fn config(threads: usize) -> ServiceConfig {
+        ServiceConfig {
+            planner: PlannerConfig::with_flags(OptFlags::all()).with_threads(threads),
+            result_cache_bytes: 1 << 20,
+            plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
+            server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+        }
+    }
+
+    #[test]
+    fn respond_formats_queries_stats_and_errors() {
+        let store = store();
+        let svc = QueryService::new(&store, config(1));
+        let r = respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        assert_eq!(r, "OK 2 x y\n<a>\t<b>\n<b>\t<c>\nEND\n");
+        let r = respond(&svc, "QUERY SELECT ?x WHERE { ?x <q> \"lit\" }");
+        assert_eq!(r, "OK 1 x\n<a>\nEND\n");
+        assert!(respond(&svc, "QUERY SELECT nope").starts_with("ERR "));
+        assert!(respond(&svc, "QUERY").starts_with("ERR "));
+        assert!(respond(&svc, "").starts_with("ERR empty"));
+        assert!(respond(&svc, "FLY me to the moon").starts_with("ERR unknown command"));
+        let stats = respond(&svc, "STATS");
+        assert!(stats.starts_with("OK plan_hits=") && stats.contains("epoch=0"), "{stats}");
+        assert_eq!(respond(&svc, "INVALIDATE"), "OK epoch=1\n");
+        assert_eq!(respond(&svc, "quit"), "OK bye\n");
+    }
+
+    #[test]
+    fn idle_clients_do_not_starve_active_ones() {
+        let store = store();
+        // Single engine thread, but the session pool (default 8) is
+        // sized independently: idle connections must not block service.
+        let svc = QueryService::new(&store, config(1));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let (svc_ref, shutdown_ref) = (&svc, &shutdown);
+            scope.spawn(move || serve(svc_ref, listener, shutdown_ref));
+
+            // Three clients connect and say nothing...
+            let idlers: Vec<Client> = (0..3).map(|_| Client::connect(addr).unwrap()).collect();
+            // ... and a fourth still gets answered.
+            let mut active = Client::connect(addr).unwrap();
+            let r = active.query("SELECT ?x ?y WHERE { ?x <p> ?y }").unwrap();
+            assert!(r.starts_with("OK 2"), "{r}");
+            active.send("QUIT").ok();
+            drop(active);
+            drop(idlers);
+            shutdown.store(true, Ordering::Release);
+        });
+    }
+
+    #[test]
+    fn control_characters_in_terms_cannot_break_framing() {
+        // An IRI containing newline/tab is invalid N-Triples, but a store
+        // built through the API can hold one; the wire format must escape
+        // it rather than let a row masquerade as the END marker.
+        let store = TripleStore::from_triples(vec![Triple::new(
+            Term::iri("a\nEND\nb"),
+            Term::iri("p"),
+            Term::iri("c\td"),
+        )]);
+        let svc = QueryService::new(&store, config(1));
+        let r = respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        assert_eq!(r, "OK 1 x y\n<a\\nEND\\nb>\t<c\\td>\nEND\n");
+    }
+
+    #[test]
+    fn shutdown_drains_despite_idle_and_sloppy_clients() {
+        let store = store();
+        let svc = QueryService::new(&store, config(2));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let (svc_ref, shutdown_ref) = (&svc, &shutdown);
+            let server = scope.spawn(move || serve(svc_ref, listener, shutdown_ref));
+
+            // An idle client that connects and never sends anything, and
+            // one that sends "QUIT now" (trailing text must still quit).
+            let idle = Client::connect(addr).unwrap();
+            let mut sloppy = Client::connect(addr).unwrap();
+            assert_eq!(sloppy.send("QUIT now").unwrap(), "OK bye\n");
+            // Give the acceptor a moment to hand both sessions to workers.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            shutdown.store(true, Ordering::Release);
+            // The idle session must not pin the server open: serve()
+            // returns, so this join completes (a regression hangs here).
+            server.join().unwrap();
+            drop(idle);
+        });
+    }
+
+    #[test]
+    fn server_round_trip_over_tcp() {
+        let store = store();
+        let svc = QueryService::new(&store, config(2));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let svc_ref = &svc;
+            let shutdown_ref = &shutdown;
+            scope.spawn(move || serve(svc_ref, listener, shutdown_ref));
+
+            let mut client = Client::connect(addr).unwrap();
+            let direct = respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+            let wire = client.query("SELECT ?x ?y\nWHERE { ?x <p> ?y }").unwrap();
+            assert_eq!(wire, direct);
+            // Second client: the same bytes again (now cache-served).
+            let mut second = Client::connect(addr).unwrap();
+            assert_eq!(second.query("SELECT ?x ?y WHERE { ?x <p> ?y }").unwrap(), direct);
+            // The direct respond() call was the miss; both wire queries hit.
+            let stats = second.send("STATS").unwrap();
+            assert!(stats.contains("result_hits=2"), "{stats}");
+            assert_eq!(client.send("QUIT").unwrap(), "OK bye\n");
+            drop(client);
+            drop(second);
+            shutdown.store(true, Ordering::Release);
+        });
+    }
+}

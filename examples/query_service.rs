@@ -1,0 +1,61 @@
+//! Serve a LUBM dataset over TCP and talk to it with the line protocol.
+//!
+//! ```text
+//! cargo run --release --example query_service
+//! ```
+//!
+//! The example starts a [`QueryService`] front end on an ephemeral local
+//! port, connects two clients, runs the same query from both (the second
+//! is answered from the result cache), prints the `STATS` line, and shuts
+//! the server down.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use wcoj_rdf::emptyheaded::{OptFlags, PlannerConfig};
+use wcoj_rdf::lubm::queries::lubm_sparql;
+use wcoj_rdf::lubm::{generate_store, GeneratorConfig};
+use wcoj_rdf::srv::{Client, QueryService, ServiceConfig};
+
+fn main() {
+    let store = generate_store(&GeneratorConfig::tiny(1));
+    let service = QueryService::new(
+        &store,
+        ServiceConfig {
+            planner: PlannerConfig::with_flags(OptFlags::all()).with_threads(2),
+            result_cache_bytes: 16 << 20,
+            plan_cache_entries: 1024,
+            server_sessions: 4,
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    println!("serving {} triples on {addr}", store.stats().triples);
+
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (service_ref, shutdown_ref) = (&service, &shutdown);
+        scope.spawn(move || wcoj_rdf::srv::serve(service_ref, listener, shutdown_ref));
+
+        let q2 = lubm_sparql(2).expect("LUBM query 2");
+        let mut alice = Client::connect(addr).expect("connect");
+        let mut bob = Client::connect(addr).expect("connect");
+
+        let cold = alice.query(&q2).expect("query");
+        let warm = bob.query(&q2).expect("query");
+        assert_eq!(cold, warm, "cached answers are byte-identical");
+        println!(
+            "query 2 answered: {} response bytes, header {:?}",
+            cold.len(),
+            cold.lines().next().unwrap_or_default()
+        );
+        print!("{}", bob.send("STATS").expect("stats"));
+
+        alice.send("QUIT").ok();
+        bob.send("QUIT").ok();
+        drop(alice);
+        drop(bob);
+        shutdown.store(true, Ordering::Release);
+    });
+    println!("server drained, bye");
+}

@@ -18,6 +18,9 @@
 //!   data generator and its query workload.
 //! * [`baselines`] — simulated comparison engines (MonetDB-, LogicBlox-,
 //!   RDF-3X-, and TripleBit-style) used by the benchmark harness.
+//! * [`srv`] — the serving tier: a concurrent [`srv::QueryService`] with
+//!   canonical-plan and LRU result caches, plus a threaded TCP front end
+//!   speaking a line protocol (`QUERY`/`STATS`/`INVALIDATE`).
 //!
 //! ```
 //! use wcoj_rdf::lubm::{GeneratorConfig, generate_store};
@@ -42,5 +45,6 @@ pub use eh_par as par;
 pub use eh_query as query;
 pub use eh_rdf as rdf;
 pub use eh_setops as setops;
+pub use eh_srv as srv;
 pub use eh_trie as trie;
 pub use emptyheaded;
