@@ -19,23 +19,29 @@ use crate::traits::QueryEngine;
 use emptyheaded::{Engine, PlannerConfig};
 
 /// Unoptimized worst-case optimal engine (see module docs).
-pub struct LogicBloxStyle<'s> {
-    engine: Engine<'s>,
+pub struct LogicBloxStyle {
+    engine: Engine,
 }
 
-impl<'s> LogicBloxStyle<'s> {
-    /// An engine over `store`.
-    pub fn new(store: &'s TripleStore) -> LogicBloxStyle<'s> {
-        LogicBloxStyle { engine: Engine::with_config(store, PlannerConfig::logicblox_style()) }
+impl LogicBloxStyle {
+    /// An engine over a snapshot of `store`. The borrowed store is cloned
+    /// into the engine's [`SharedStore`](emptyheaded::SharedStore) —
+    /// dictionary keys are preserved, so encoded results compare directly
+    /// against the other baselines over the original store. (The live
+    /// baselines stay read-only; updates are the real engine's concern.)
+    pub fn new(store: &TripleStore) -> LogicBloxStyle {
+        LogicBloxStyle {
+            engine: Engine::with_config(store.clone(), PlannerConfig::logicblox_style()),
+        }
     }
 
     /// The wrapped worst-case optimal engine (for plan inspection).
-    pub fn inner(&self) -> &Engine<'s> {
+    pub fn inner(&self) -> &Engine {
         &self.engine
     }
 }
 
-impl QueryEngine for LogicBloxStyle<'_> {
+impl QueryEngine for LogicBloxStyle {
     fn name(&self) -> &'static str {
         "LogicBlox-style"
     }

@@ -18,7 +18,7 @@ fn rows(t: &TupleBuffer) -> BTreeSet<Vec<u32>> {
 }
 
 fn check_all_engines(store: &TripleStore, q: &ConjunctiveQuery, label: &str) {
-    let eh = Engine::new(store, OptFlags::all());
+    let eh = Engine::new(store.clone(), OptFlags::all());
     let reference = rows(eh.run(q).expect("EH executes workload queries").tuples());
     let engines: Vec<Box<dyn QueryEngine + '_>> = vec![
         Box::new(MonetDbStyle::new(store)),

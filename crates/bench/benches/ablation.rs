@@ -8,19 +8,19 @@ use std::hint::black_box;
 
 use eh_lubm::queries::lubm_query;
 use eh_lubm::{generate_store, GeneratorConfig};
-use emptyheaded::{Engine, OptFlags};
+use emptyheaded::{Engine, OptFlags, SharedStore};
 
 const QUERIES: [u32; 6] = [1, 2, 4, 7, 8, 14];
 const LABELS: [&str; 5] = ["base", "+layout", "+attribute", "+ghd", "+pipelining"];
 
 fn bench_cumulative(c: &mut Criterion) {
-    let store = generate_store(&GeneratorConfig::scale(1));
+    let store = SharedStore::new(generate_store(&GeneratorConfig::scale(1)));
     let mut g = c.benchmark_group("table1_cumulative");
     g.sample_size(15);
     for qn in QUERIES {
-        let q = lubm_query(qn, &store).expect("workload query");
+        let q = lubm_query(qn, &store.read()).expect("workload query");
         for (k, label) in LABELS.iter().enumerate() {
-            let engine = Engine::new(&store, OptFlags::cumulative(k));
+            let engine = Engine::new(store.clone(), OptFlags::cumulative(k));
             let plan = engine.plan(&q).expect("plannable");
             engine.warm(&q).expect("warm");
             g.bench_with_input(BenchmarkId::new(*label, qn), &qn, |b, _| {
@@ -34,7 +34,7 @@ fn bench_cumulative(c: &mut Criterion) {
 fn bench_single_flag(c: &mut Criterion) {
     // Isolate each optimization against the all-on configuration (leave-
     // one-out), the dual view of the paper's cumulative columns.
-    let store = generate_store(&GeneratorConfig::scale(1));
+    let store = SharedStore::new(generate_store(&GeneratorConfig::scale(1)));
     let mut g = c.benchmark_group("table1_leave_one_out");
     g.sample_size(15);
     let variants: [(&str, OptFlags); 5] = [
@@ -45,9 +45,9 @@ fn bench_single_flag(c: &mut Criterion) {
         ("no_pipelining", OptFlags { pipelining: false, ..OptFlags::all() }),
     ];
     for qn in [4u32, 8, 14] {
-        let q = lubm_query(qn, &store).expect("workload query");
+        let q = lubm_query(qn, &store.read()).expect("workload query");
         for (label, flags) in variants {
-            let engine = Engine::new(&store, flags);
+            let engine = Engine::new(store.clone(), flags);
             let plan = engine.plan(&q).expect("plannable");
             engine.warm(&q).expect("warm");
             g.bench_with_input(BenchmarkId::new(label, qn), &qn, |b, _| {

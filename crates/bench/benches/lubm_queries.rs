@@ -13,7 +13,7 @@ use emptyheaded::{Engine, OptFlags};
 
 fn bench_lubm(c: &mut Criterion) {
     let store = generate_store(&GeneratorConfig::scale(1));
-    let eh = Engine::new(&store, OptFlags::all());
+    let eh = Engine::new(store.clone(), OptFlags::all());
     let triplebit = TripleBitStyle::new(&store);
     let rdf3x = Rdf3xStyle::new(&store);
     let monetdb = MonetDbStyle::new(&store);

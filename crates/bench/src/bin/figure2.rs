@@ -16,7 +16,7 @@ fn main() {
     println!("Figure 2 reproduction: GHD for LUBM query 2\n");
     println!("{}\n", lubm_sparql(2).unwrap());
 
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
     let plan = engine.plan(&q).expect("plannable");
     println!("chosen plan (selection-aware GHD, §III-B2):");
     println!("{}", plan.render(&q));
@@ -25,7 +25,7 @@ fn main() {
         plan.width
     );
 
-    let plain = Engine::new(&store, OptFlags { ghd_pushdown: false, ..OptFlags::all() });
+    let plain = Engine::new(store.clone(), OptFlags { ghd_pushdown: false, ..OptFlags::all() });
     let plain_plan = plain.plan(&q).expect("plannable");
     println!("\nfor contrast, the plain (min fhw, min height) GHD of §II-C:");
     println!("{}", plain_plan.render(&q));

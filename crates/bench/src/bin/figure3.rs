@@ -21,13 +21,13 @@ fn main() {
     println!("Figure 3 reproduction: across-node selection pushdown on LUBM query 4\n");
     println!("{}\n", lubm_sparql(4).unwrap());
 
-    let without = Engine::new(&store, OptFlags { ghd_pushdown: false, ..OptFlags::all() });
+    let without = Engine::new(store.clone(), OptFlags { ghd_pushdown: false, ..OptFlags::all() });
     let plan_without = without.plan(&q).expect("plannable");
     println!("=== left of Figure 3: GHD without across-node pushdown ===");
     println!("{}", plan_without.render(&q));
     println!("selection depth: {}\n", selection_depth(&plan_without.ghd, &h, &selected));
 
-    let with = Engine::new(&store, OptFlags::all());
+    let with = Engine::new(store.clone(), OptFlags::all());
     let plan_with = with.plan(&q).expect("plannable");
     println!("=== right of Figure 3: GHD with across-node pushdown (§III-B2) ===");
     println!("{}", plan_with.render(&q));

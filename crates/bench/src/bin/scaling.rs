@@ -24,7 +24,7 @@ use eh_lubm::{generate_store, pred_iri, GeneratorConfig, Predicate};
 use eh_par::RuntimeConfig;
 use eh_query::{ConjunctiveQuery, QueryBuilder};
 use eh_rdf::TripleStore;
-use emptyheaded::{Engine, OptFlags, PlannerConfig};
+use emptyheaded::{Engine, OptFlags, PlannerConfig, SharedStore};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -47,11 +47,11 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cfg = GeneratorConfig::scale(args.universities).with_seed(args.seed);
     eprintln!("generating LUBM({}) ...", args.universities);
-    let store = generate_store(&cfg);
+    let store = SharedStore::new(generate_store(&cfg));
     println!(
         "Thread scaling — LUBM({}) = {} triples, {} runs averaged (best/worst dropped), {} cores",
         args.universities,
-        store.stats().triples,
+        store.read().stats().triples,
         args.runs,
         cores
     );
@@ -59,20 +59,23 @@ fn main() {
         println!("note: only {cores} hardware threads available; expect flat scaling beyond that");
     }
 
-    let queries: Vec<(String, ConjunctiveQuery)> = [2u32, 9, 8]
-        .into_iter()
-        .map(|n| (format!("Q{n}"), lubm_query(n, &store).expect("workload query")))
-        .chain(two_hop_path(&store).map(|q| ("2-hop".to_string(), q)))
-        .collect();
+    let queries: Vec<(String, ConjunctiveQuery)> = {
+        let guard = store.read();
+        [2u32, 9, 8]
+            .into_iter()
+            .map(|n| (format!("Q{n}"), lubm_query(n, &guard).expect("workload query")))
+            .chain(two_hop_path(&guard).map(|q| ("2-hop".to_string(), q)))
+            .collect()
+    };
 
     let mut table = TablePrinter::new(&["Query", "Threads", "Warm (ms)", "Join (ms)", "Speedup"]);
     for (label, q) in &queries {
-        let reference = Engine::new(&store, OptFlags::all()).run(q).expect("reference");
+        let reference = Engine::new(store.clone(), OptFlags::all()).run(q).expect("reference");
         let mut baseline: Option<Duration> = None;
         for threads in THREAD_COUNTS {
             let config = PlannerConfig::with_flags(OptFlags::all())
                 .with_runtime(RuntimeConfig::with_threads(threads));
-            let engine = Engine::with_config(&store, config);
+            let engine = Engine::with_config(store.clone(), config);
             let plan = engine.plan(q).expect("plannable");
             // Parallel index construction (fresh catalog per engine).
             let t0 = Instant::now();

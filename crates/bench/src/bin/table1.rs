@@ -16,7 +16,7 @@
 use eh_bench::{measure, HarnessArgs, TablePrinter};
 use eh_lubm::queries::lubm_query;
 use eh_lubm::{generate_store, GeneratorConfig};
-use emptyheaded::{Engine, OptFlags};
+use emptyheaded::{Engine, OptFlags, SharedStore};
 
 /// The queries Table I reports.
 const QUERIES: [u32; 6] = [1, 2, 4, 7, 8, 14];
@@ -26,8 +26,8 @@ fn main() {
     let args = HarnessArgs::from_env();
     let cfg = GeneratorConfig::scale(args.universities).with_seed(args.seed);
     eprintln!("generating LUBM({}) ...", args.universities);
-    let store = generate_store(&cfg);
-    let stats = store.stats();
+    let store = SharedStore::new(generate_store(&cfg));
+    let stats = store.read().stats();
     println!(
         "Table I reproduction — LUBM({}) = {} triples, {} runs averaged (best/worst dropped)",
         args.universities, stats.triples, args.runs
@@ -35,14 +35,14 @@ fn main() {
 
     let mut table = TablePrinter::new(&["Query", "+Layout", "+Attribute", "+GHD", "+Pipelining"]);
     for qn in QUERIES {
-        let q = lubm_query(qn, &store).expect("workload query");
+        let q = lubm_query(qn, &store.read()).expect("workload query");
         // Time each cumulative configuration; planning (query compilation)
         // is excluded per the paper's methodology.
         let mut times = Vec::new();
         let mut cards = Vec::new();
         let mut plans = Vec::new();
         for k in 0..=4 {
-            let engine = Engine::new(&store, OptFlags::cumulative(k));
+            let engine = Engine::new(store.clone(), OptFlags::cumulative(k));
             let plan = engine.plan(&q).expect("plannable");
             engine.warm(&q).expect("warm");
             let mut card = 0;

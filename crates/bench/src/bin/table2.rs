@@ -32,7 +32,7 @@ fn main() {
     );
 
     eprintln!("building engines (load time, excluded from query timing) ...");
-    let eh = Engine::new(&store, OptFlags::all());
+    let eh = Engine::new(store.clone(), OptFlags::all());
     let triplebit = TripleBitStyle::new(&store);
     let rdf3x = Rdf3xStyle::new(&store);
     let monetdb = MonetDbStyle::new(&store);

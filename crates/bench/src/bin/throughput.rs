@@ -41,7 +41,7 @@ fn main() {
     );
 
     let service = QueryService::new(
-        &store,
+        store.clone(),
         ServiceConfig {
             planner: PlannerConfig::with_flags(OptFlags::all()).with_runtime(runtime),
             result_cache_bytes: ServiceConfig::DEFAULT_RESULT_CACHE_BYTES,

@@ -1,0 +1,184 @@
+//! Update-workload harness: steady-state query throughput of the serving
+//! tier **while a writer applies batched inserts**, plus the cost of the
+//! update path itself (per-batch apply latency, tries rebuilt).
+//!
+//! Three phases, each over the same LUBM store and query mix:
+//!
+//! 1. `read-only` — reader threads only, warm caches: the baseline QPS.
+//! 2. `under-writes` — the same readers racing one writer that applies
+//!    a batch of fresh triples every `--write-every-ms` milliseconds;
+//!    every batch invalidates the touched predicate's tries and every
+//!    derived cache, so this measures the real cost of churn.
+//! 3. a correctness epilogue: the final answers must be byte-identical
+//!    to a cold engine over the final store contents.
+//!
+//! ```text
+//! cargo run --release -p eh-bench --bin updates -- --universities 1
+//! EH_THREADS=4 cargo run --release -p eh-bench --bin updates
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use eh_bench::{HarnessArgs, TablePrinter};
+use eh_lubm::queries::{lubm_sparql, QUERY_NUMBERS};
+use eh_lubm::{generate_store, pred_iri, GeneratorConfig, Predicate};
+use eh_par::RuntimeConfig;
+use eh_rdf::{Term, Triple};
+use eh_srv::{respond, QueryService, ServiceConfig, SharedStore, UpdateBatch};
+use emptyheaded::{OptFlags, PlannerConfig};
+
+const READERS: usize = 4;
+const PHASE_MS: u64 = 1500;
+const WRITE_EVERY_MS: u64 = 50;
+const BATCH_TRIPLES: usize = 64;
+
+/// A batch of fresh student→course triples (new subjects every call, so
+/// every batch is real change on one hot predicate).
+fn write_batch(round: u64) -> UpdateBatch {
+    let takes = pred_iri(Predicate::TakesCourse);
+    let mut batch = UpdateBatch::new();
+    for i in 0..BATCH_TRIPLES {
+        batch.insert(Triple::new(
+            Term::iri(format!("http://bench/update-student-{round}-{i}")),
+            Term::iri(&*takes),
+            Term::iri(format!("http://bench/update-course-{}", i % 8)),
+        ));
+    }
+    batch
+}
+
+/// Run the reader loop until `stop`, counting answered requests.
+fn read_loop(svc: &QueryService, mix: &[String], offset: usize, stop: &AtomicBool) -> u64 {
+    let mut answered = 0u64;
+    let mut i = offset;
+    while !stop.load(Ordering::Acquire) {
+        let request = &mix[i % mix.len()];
+        let response = respond(svc, request);
+        assert!(response.starts_with("OK "), "reader got an error: {response}");
+        std::hint::black_box(&response);
+        answered += 1;
+        i += 1;
+    }
+    answered
+}
+
+fn timed_phase(
+    svc: &QueryService,
+    mix: &[String],
+    duration: Duration,
+    writer: Option<(&AtomicU64, Duration)>,
+) -> (u64, u64, Duration) {
+    let stop = AtomicBool::new(false);
+    let answered = AtomicU64::new(0);
+    let batches = AtomicU64::new(0);
+    let mut apply_time = Duration::ZERO;
+    std::thread::scope(|scope| {
+        for r in 0..READERS {
+            let (svc, mix, stop, answered) = (svc, mix, &stop, &answered);
+            scope.spawn(move || {
+                answered.fetch_add(read_loop(svc, mix, r, stop), Ordering::Relaxed);
+            });
+        }
+        if let Some((round_counter, every)) = writer {
+            let (stop, batches, apply_time) = (&stop, &batches, &mut apply_time);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let round = round_counter.fetch_add(1, Ordering::Relaxed);
+                    let t0 = Instant::now();
+                    let summary = svc.update(write_batch(round));
+                    *apply_time += t0.elapsed();
+                    assert_eq!(summary.inserted, BATCH_TRIPLES, "batch must be fresh triples");
+                    batches.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(every);
+                }
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Release);
+    });
+    (answered.load(Ordering::Relaxed), batches.load(Ordering::Relaxed), apply_time)
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let runtime = RuntimeConfig::from_env();
+    let cfg = GeneratorConfig::scale(args.universities).with_seed(args.seed);
+    eprintln!("generating LUBM({}) ...", args.universities);
+    let store = SharedStore::new(generate_store(&cfg));
+    let triples = store.read().stats().triples;
+    let mix: Vec<String> = QUERY_NUMBERS
+        .iter()
+        .map(|&n| format!("QUERY {}", lubm_sparql(n).expect("workload query")))
+        .collect();
+    println!(
+        "Update workload — LUBM({}) = {} triples, {} engine threads, {READERS} readers, \
+         {BATCH_TRIPLES}-triple batches every {WRITE_EVERY_MS} ms",
+        args.universities, triples, runtime.num_threads
+    );
+
+    let svc = QueryService::new(
+        store.clone(),
+        ServiceConfig {
+            planner: PlannerConfig::with_flags(OptFlags::all()).with_runtime(runtime),
+            result_cache_bytes: ServiceConfig::DEFAULT_RESULT_CACHE_BYTES,
+            plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
+            server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+        },
+    );
+    // Warm every shape once so phase 1 measures the steady state.
+    for request in &mix {
+        let r = respond(&svc, request);
+        assert!(r.starts_with("OK "), "{r}");
+    }
+
+    let phase = Duration::from_millis(PHASE_MS);
+    let round = AtomicU64::new(0);
+    let mut table = TablePrinter::new(&["Phase", "Requests", "QPS", "Batches", "Apply ms/batch"]);
+    let (answered, _, _) = timed_phase(&svc, &mix, phase, None);
+    table.row(&[
+        "read-only".into(),
+        answered.to_string(),
+        format!("{:.0}", answered as f64 / phase.as_secs_f64()),
+        "0".into(),
+        "-".into(),
+    ]);
+    let (answered, batches, apply_time) =
+        timed_phase(&svc, &mix, phase, Some((&round, Duration::from_millis(WRITE_EVERY_MS))));
+    table.row(&[
+        "under-writes".into(),
+        answered.to_string(),
+        format!("{:.0}", answered as f64 / phase.as_secs_f64()),
+        batches.to_string(),
+        if batches > 0 {
+            format!("{:.2}", apply_time.as_secs_f64() * 1e3 / batches as f64)
+        } else {
+            "-".into()
+        },
+    ]);
+    println!("\n{}", table.render());
+
+    // Correctness epilogue: the served answers over the final contents
+    // must be byte-identical to a cold engine over a snapshot of them.
+    let snapshot = store.read().clone();
+    let cold = QueryService::new(
+        snapshot,
+        ServiceConfig {
+            planner: PlannerConfig::with_flags(OptFlags::all()),
+            result_cache_bytes: 0,
+            plan_cache_entries: 1,
+            server_sessions: 1,
+        },
+    );
+    for request in &mix {
+        assert_eq!(respond(&svc, request), respond(&cold, request), "diverged on {request}");
+    }
+    let stats = svc.stats();
+    println!(
+        "final store: {} triples; updates={} inserted={} epoch={}; all answers match a cold engine",
+        store.read().stats().triples,
+        stats.updates_applied,
+        stats.triples_inserted,
+        stats.epoch
+    );
+}

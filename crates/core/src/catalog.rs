@@ -8,21 +8,41 @@
 //! both sort orders are already materialised in the store's
 //! [`PairTable`](eh_rdf::PairTable)s, so trie construction skips sorting.
 //!
+//! ## Ownership and mutation
+//!
+//! The catalog co-owns its [`SharedStore`]: queries and updates share one
+//! store behind a `RwLock`, and the catalog's job is keeping its tries
+//! consistent with whatever that store currently holds. After a mutation,
+//! [`Catalog::refresh_preds`] retires exactly the changed predicates'
+//! tries (untouched predicates keep theirs), advances the epoch, and
+//! rebuilds the previously cached orders concurrently on the runtime's
+//! workers. Layers that cache *derived* artifacts (a serving tier's
+//! result cache) key them by [`Catalog::epoch`] so every retired state is
+//! unreachable at once.
+//!
+//! ## Concurrency
+//!
 //! The cache is shared-state concurrent: tries live behind `Arc` and the
 //! map behind an `RwLock`, so the parallel runtime can both *read* tries
 //! from many worker threads during join execution and *build* distinct
 //! tries concurrently during [`Engine::warm`](crate::Engine::warm) — all
 //! through `&self`. Construction happens outside the lock; when two
 //! workers race to build the same trie, the first insert wins and both
-//! end up sharing one copy.
+//! end up sharing one copy. Because construction is outside the lock, a
+//! build can race with an invalidation — publication therefore re-checks
+//! the epoch under the cache's write lock (the epoch only mutates under
+//! that lock) and rebuilds instead of inserting a trie made from retired
+//! data.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use eh_par::RuntimeConfig;
 use eh_query::Atom;
-use eh_rdf::TripleStore;
 use eh_trie::{LayoutPolicy, Trie, TupleBuffer};
+
+use crate::shared::SharedStore;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct TrieKey {
@@ -31,69 +51,222 @@ struct TrieKey {
     auto_layout: bool,
 }
 
-/// Trie provider over a [`TripleStore`].
-pub struct Catalog<'s> {
-    store: &'s TripleStore,
+/// Trie provider over a [`SharedStore`].
+pub struct Catalog {
+    store: SharedStore,
     cache: RwLock<HashMap<TrieKey, Arc<Trie>>>,
     empty: Arc<Trie>,
-    /// Monotonic version of the catalog's contents. Bumped by
-    /// [`Catalog::invalidate`]; layers that cache *derived* artifacts
-    /// (e.g. a serving tier's result cache) key them by this epoch so an
-    /// invalidation retires every stale entry at once.
+    /// Monotonic version of the catalog's contents. Advanced by
+    /// [`Catalog::invalidate`] / [`Catalog::refresh_preds`], and only
+    /// ever mutated while the `cache` write lock is held — that is what
+    /// makes the publish-time epoch re-check in [`Catalog::obtain`]
+    /// race-free.
     epoch: AtomicU64,
+    /// The [`SharedStore::version`] this catalog last synchronised with.
+    /// Several engines can share one store; only the updating engine's
+    /// catalog gets the precise per-predicate refresh, so every other
+    /// catalog detects the skew here and retires *all* of its tries (it
+    /// cannot know which predicates the foreign update touched). Mutated
+    /// only under the `cache` write lock, like `epoch`.
+    synced_version: AtomicU64,
 }
 
-impl<'s> Catalog<'s> {
+impl Catalog {
     /// A catalog over `store`.
-    pub fn new(store: &'s TripleStore) -> Catalog<'s> {
+    pub fn new(store: SharedStore) -> Catalog {
+        let synced_version = AtomicU64::new(store.version());
         Catalog {
             store,
             cache: RwLock::new(HashMap::new()),
             empty: Arc::new(Trie::build(TupleBuffer::new(2), LayoutPolicy::Auto)),
             epoch: AtomicU64::new(0),
+            synced_version,
         }
     }
 
-    /// The current catalog epoch (see the field docs).
+    /// The current catalog epoch (see the field docs). Reading the epoch
+    /// first synchronises with the store version, so a foreign engine's
+    /// update is observed — as a full invalidation — no later than the
+    /// next epoch read.
     pub fn epoch(&self) -> u64 {
+        self.sync_with_store();
         self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Catch up with updates applied through *other* engines over the
+    /// same store: when the store version moved past the one this catalog
+    /// last synchronised with, drop every trie and advance the epoch.
+    /// (The updating engine's own catalog is kept in step by
+    /// [`Catalog::refresh_preds`], which records the version it covered.)
+    fn sync_with_store(&self) {
+        if self.synced_version.load(Ordering::Acquire) == self.store.version() {
+            return;
+        }
+        let mut cache = self.cache.write().expect("catalog lock poisoned");
+        let version = self.store.version();
+        if self.synced_version.load(Ordering::Acquire) == version {
+            return;
+        }
+        cache.clear();
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.synced_version.store(version, Ordering::Release);
+    }
+
+    /// Claim store version `version` as covered by this catalog's *own*
+    /// in-flight update, before the store write lock is released: the
+    /// precise [`Catalog::refresh_preds`] that follows will retire
+    /// exactly the changed predicates, so readers racing into the gap
+    /// must not treat the version skew as a foreign update and
+    /// full-invalidate (which would throw away every untouched
+    /// predicate's trie).
+    pub(crate) fn claim_version(&self, version: u64) {
+        // Under the cache lock purely to keep the invariant that
+        // `synced_version` mutates only there.
+        let _cache = self.cache.write().expect("catalog lock poisoned");
+        self.synced_version.fetch_max(version, Ordering::AcqRel);
     }
 
     /// Drop every cached trie and advance the epoch, forcing downstream
     /// caches keyed by `(query, epoch)` to miss. Tries rebuild lazily on
     /// the next access.
     pub fn invalidate(&self) -> u64 {
-        self.cache.write().expect("catalog lock poisoned").clear();
+        let mut cache = self.cache.write().expect("catalog lock poisoned");
+        cache.clear();
+        // A full clear also covers any store version we had not yet
+        // synchronised with — record that so the next epoch read does not
+        // invalidate a second time.
+        self.synced_version.fetch_max(self.store.version(), Ordering::AcqRel);
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
-    /// The underlying store.
-    pub fn store(&self) -> &'s TripleStore {
-        self.store
+    /// The store handle this catalog indexes.
+    pub fn store(&self) -> &SharedStore {
+        &self.store
     }
 
     /// The trie for `atom`'s predicate table in the given column order.
-    /// Predicates absent from the store resolve to a shared empty trie.
+    /// Predicates absent from the store (or with emptied tables) resolve
+    /// to a shared empty trie.
     pub fn trie(&self, atom: &Atom, subject_first: bool, auto_layout: bool) -> Arc<Trie> {
-        let Some(table) = self.store.table_by_name(&atom.relation) else {
+        let Some(pred) = self.store.read().resolve_iri(&atom.relation) else {
             return Arc::clone(&self.empty);
         };
-        let key = TrieKey { pred: table.pred(), subject_first, auto_layout };
-        if let Some(t) = self.cache.read().expect("catalog lock poisoned").get(&key) {
-            return Arc::clone(t);
+        let key = TrieKey { pred, subject_first, auto_layout };
+        self.obtain(key, &|| {})
+    }
+
+    /// Test hook: like [`Catalog::trie`], but runs `window` between
+    /// building a trie and publishing it — the exact window in which a
+    /// concurrent invalidation used to be able to slip a stale trie into
+    /// a freshly cleared cache. Kept public (hidden) so the regression
+    /// test can drive the interleaving deterministically.
+    #[doc(hidden)]
+    pub fn trie_with_publish_window(
+        &self,
+        atom: &Atom,
+        subject_first: bool,
+        auto_layout: bool,
+        window: &dyn Fn(),
+    ) -> Arc<Trie> {
+        let Some(pred) = self.store.read().resolve_iri(&atom.relation) else {
+            return Arc::clone(&self.empty);
+        };
+        self.obtain(TrieKey { pred, subject_first, auto_layout }, window)
+    }
+
+    /// Cached-or-built trie for `key`, with race-safe publication:
+    ///
+    /// 1. fast path — return a cached trie;
+    /// 2. record the epoch, then build from the store *outside* any
+    ///    catalog lock (concurrent warm-up builds distinct tries in
+    ///    parallel instead of serialising on the map);
+    /// 3. publish under the cache write lock **only if the epoch is
+    ///    unchanged** — an invalidation between (2) and (3) means the
+    ///    build may have read retired data, so the loop rebuilds.
+    ///
+    /// Without step 3's re-check, a build racing an invalidation could
+    /// insert a pre-invalidation trie into the cleared cache and serve it
+    /// under the new epoch indefinitely.
+    fn obtain(&self, key: TrieKey, window: &dyn Fn()) -> Arc<Trie> {
+        // The hook models a single racing invalidation, injected into the
+        // first build's publish window; it must not re-fire on the retry
+        // or the retry can never settle.
+        let mut window = Some(window);
+        loop {
+            self.sync_with_store();
+            if let Some(t) = self.cache.read().expect("catalog lock poisoned").get(&key) {
+                return Arc::clone(t);
+            }
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let Some(trie) = self.build(key) else {
+                return Arc::clone(&self.empty);
+            };
+            if let Some(w) = window.take() {
+                w();
+            }
+            let mut cache = self.cache.write().expect("catalog lock poisoned");
+            // Raw load, NOT self.epoch(): epoch() runs sync_with_store,
+            // which may re-acquire the cache write lock held right here —
+            // std's RwLock is non-reentrant, so that would self-deadlock.
+            // A version skew at this point is fine to publish through: the
+            // next sync (no later than the next epoch read) retires it.
+            if self.epoch.load(Ordering::Acquire) == epoch {
+                return Arc::clone(cache.entry(key).or_insert(trie));
+            }
+            // Epoch moved while building: the data this trie was built
+            // from may be gone. Drop it and start over.
         }
-        // Build outside the lock so concurrent warm-up builds distinct
-        // tries in parallel instead of serialising on the map.
-        let pairs = if subject_first { table.so_pairs() } else { table.os_pairs() };
-        let policy = if auto_layout { LayoutPolicy::Auto } else { LayoutPolicy::UintOnly };
-        let trie = Arc::new(Trie::from_sorted(TupleBuffer::from_pairs(pairs), policy));
-        let mut cache = self.cache.write().expect("catalog lock poisoned");
-        Arc::clone(cache.entry(key).or_insert(trie))
+    }
+
+    /// Build a trie for `key` from the current store contents, or `None`
+    /// when the predicate's table is absent or empty.
+    fn build(&self, key: TrieKey) -> Option<Arc<Trie>> {
+        let store = self.store.read();
+        let table = store.table(key.pred)?;
+        let pairs = if key.subject_first { table.so_pairs() } else { table.os_pairs() };
+        if pairs.is_empty() {
+            return None;
+        }
+        let policy = if key.auto_layout { LayoutPolicy::Auto } else { LayoutPolicy::UintOnly };
+        Some(Arc::new(Trie::from_sorted(TupleBuffer::from_pairs(pairs), policy)))
+    }
+
+    /// The store changed under `preds` at store version `version`: retire
+    /// exactly those predicates' cached tries, advance the epoch, and
+    /// eagerly rebuild the retired ("hot") orders concurrently on
+    /// `runtime`'s workers so the next query doesn't pay the build.
+    /// Untouched predicates keep their tries untouched. Recording
+    /// `version` tells [`Catalog::sync_with_store`] that this update is
+    /// already covered — the precise refresh replaces the full
+    /// invalidation a foreign update would force. Returns the new epoch
+    /// and the number of tries rebuilt.
+    pub fn refresh_preds(
+        &self,
+        preds: &[u32],
+        version: u64,
+        runtime: RuntimeConfig,
+    ) -> (u64, usize) {
+        let (epoch, stale) = {
+            let mut cache = self.cache.write().expect("catalog lock poisoned");
+            let stale: Vec<TrieKey> =
+                cache.keys().filter(|k| preds.contains(&k.pred)).copied().collect();
+            for k in &stale {
+                cache.remove(k);
+            }
+            // fetch_max, not store: if an even newer foreign version
+            // exists, the next sync must still do its full invalidation.
+            self.synced_version.fetch_max(version, Ordering::AcqRel);
+            (self.epoch.fetch_add(1, Ordering::AcqRel) + 1, stale)
+        };
+        eh_par::run_tasks(runtime.num_threads, stale.len(), |i| {
+            self.obtain(stale[i], &|| {});
+        });
+        (epoch, stale.len())
     }
 
     /// Cardinality of an atom's predicate table (0 when absent).
     pub fn cardinality(&self, atom: &Atom) -> usize {
-        self.store.table_by_name(&atom.relation).map_or(0, |t| t.len())
+        self.store.read().table_by_name(&atom.relation).map_or(0, |t| t.len())
     }
 
     /// Number of distinct tries currently cached (diagnostics).
@@ -106,13 +279,17 @@ impl<'s> Catalog<'s> {
 mod tests {
     use super::*;
     use eh_query::QueryBuilder;
-    use eh_rdf::{Term, Triple};
+    use eh_rdf::{Term, Triple, TripleStore};
 
-    fn store() -> TripleStore {
-        TripleStore::from_triples(vec![
-            Triple::new(Term::iri("s1"), Term::iri("p"), Term::iri("o1")),
-            Triple::new(Term::iri("s1"), Term::iri("p"), Term::iri("o2")),
-            Triple::new(Term::iri("s2"), Term::iri("p"), Term::iri("o1")),
+    fn triple(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn store() -> SharedStore {
+        SharedStore::from_triples(vec![
+            triple("s1", "p", "o1"),
+            triple("s1", "p", "o2"),
+            triple("s2", "p", "o1"),
         ])
     }
 
@@ -127,8 +304,8 @@ mod tests {
     #[test]
     fn loads_both_orders() {
         let s = store();
-        let c = Catalog::new(&s);
-        let a = atom_for(&s, "p");
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "p");
         let so = c.trie(&a, true, true);
         let os = c.trie(&a, false, true);
         assert_eq!(so.num_tuples(), 3);
@@ -142,8 +319,8 @@ mod tests {
     #[test]
     fn cache_hits() {
         let s = store();
-        let c = Catalog::new(&s);
-        let a = atom_for(&s, "p");
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "p");
         let t1 = c.trie(&a, true, true);
         let t2 = c.trie(&a, true, true);
         assert!(Arc::ptr_eq(&t1, &t2));
@@ -156,8 +333,8 @@ mod tests {
     #[test]
     fn missing_predicate_is_empty() {
         let s = store();
-        let c = Catalog::new(&s);
-        let a = atom_for(&s, "absent");
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "absent");
         assert!(c.trie(&a, true, true).is_empty());
         assert_eq!(c.cardinality(&a), 0);
     }
@@ -165,8 +342,8 @@ mod tests {
     #[test]
     fn invalidate_clears_tries_and_bumps_epoch() {
         let s = store();
-        let c = Catalog::new(&s);
-        let a = atom_for(&s, "p");
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "p");
         assert_eq!(c.epoch(), 0);
         let before = c.trie(&a, true, true);
         assert_eq!(c.cached_tries(), 1);
@@ -182,8 +359,8 @@ mod tests {
     #[test]
     fn cardinality() {
         let s = store();
-        let c = Catalog::new(&s);
-        assert_eq!(c.cardinality(&atom_for(&s, "p")), 3);
+        let c = Catalog::new(s.clone());
+        assert_eq!(c.cardinality(&atom_for(&s.read(), "p")), 3);
     }
 
     #[test]
@@ -191,12 +368,89 @@ mod tests {
         // The warm-path contract: many workers requesting overlapping
         // keys through &self agree on a single cached Arc per key.
         let s = store();
-        let c = Catalog::new(&s);
-        let a = atom_for(&s, "p");
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "p");
         let tries = eh_par::run_tasks(4, 16, |i| c.trie(&a, i % 2 == 0, true));
         assert_eq!(c.cached_tries(), 2);
         for (i, t) in tries.iter().enumerate() {
             assert!(Arc::ptr_eq(t, &tries[i % 2]));
         }
+    }
+
+    #[test]
+    fn refresh_preds_keeps_untouched_predicates() {
+        let s = SharedStore::from_triples(vec![triple("a", "p", "b"), triple("a", "q", "b")]);
+        let c = Catalog::new(s.clone());
+        let (ap, aq) = { (atom_for(&s.read(), "p"), atom_for(&s.read(), "q")) };
+        let p_before = c.trie(&ap, true, true);
+        let q_before = c.trie(&aq, true, true);
+        let pred_p = s.read().resolve_iri("p").unwrap();
+
+        s.write().add_triples(vec![triple("c", "p", "d")]);
+        let v = s.bump_version();
+        let (epoch, rebuilt) = c.refresh_preds(&[pred_p], v, RuntimeConfig::serial());
+        assert_eq!(epoch, 1);
+        assert_eq!(rebuilt, 1);
+        // p was rebuilt eagerly (still cached) with the new contents; q's
+        // trie is the very same Arc as before.
+        assert_eq!(c.cached_tries(), 2);
+        let p_after = c.trie(&ap, true, true);
+        assert!(!Arc::ptr_eq(&p_before, &p_after));
+        assert_eq!(p_after.num_tuples(), 2);
+        assert!(Arc::ptr_eq(&q_before, &c.trie(&aq, true, true)));
+    }
+
+    #[test]
+    fn emptied_table_resolves_to_empty_trie() {
+        let s = SharedStore::from_triples(vec![triple("a", "p", "b")]);
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "p");
+        assert_eq!(c.trie(&a, true, true).num_tuples(), 1);
+        let pred = s.read().resolve_iri("p").unwrap();
+        s.write().remove_triples(vec![triple("a", "p", "b")]);
+        let v = s.bump_version();
+        c.refresh_preds(&[pred], v, RuntimeConfig::serial());
+        assert!(c.trie(&a, true, true).is_empty());
+        assert_eq!(c.cardinality(&a), 0);
+    }
+
+    /// The headline regression: a trie built from pre-invalidation data
+    /// must not be published into the cache after the invalidation
+    /// cleared it — with a mutable store that stale trie would be served
+    /// under the new epoch indefinitely. The publish-window hook drives
+    /// the exact interleaving; reverting the epoch re-check in
+    /// [`Catalog::obtain`] makes this fail.
+    #[test]
+    fn stale_trie_is_not_published_across_invalidation() {
+        let s = SharedStore::from_triples(vec![triple("a", "p", "b")]);
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "p");
+        let pred = s.read().resolve_iri("p").unwrap();
+        // Build p's trie; in the window between build and publish, the
+        // store gains a triple and the catalog invalidates p.
+        let served = c.trie_with_publish_window(&a, true, true, &|| {
+            s.write().add_triples(vec![triple("c", "p", "d")]);
+            let v = s.bump_version();
+            c.refresh_preds(&[pred], v, RuntimeConfig::serial());
+        });
+        // The racing builder must have retried against the new contents…
+        assert_eq!(served.num_tuples(), 2, "stale trie escaped the publish window");
+        // …and whatever the cache now serves must also be current.
+        assert_eq!(c.trie(&a, true, true).num_tuples(), 2, "stale trie cached across invalidation");
+    }
+
+    /// Same race against a full invalidate(): the cleared cache must not
+    /// be repopulated with a pre-clear build.
+    #[test]
+    fn stale_trie_is_not_published_across_full_invalidate() {
+        let s = SharedStore::from_triples(vec![triple("a", "p", "b")]);
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "p");
+        let served = c.trie_with_publish_window(&a, true, true, &|| {
+            s.write().add_triples(vec![triple("c", "p", "d")]);
+            c.invalidate();
+        });
+        assert_eq!(served.num_tuples(), 2);
+        assert_eq!(c.trie(&a, true, true).num_tuples(), 2);
     }
 }

@@ -1,5 +1,7 @@
 //! The user-facing engine API.
 
+use std::sync::RwLockReadGuard;
+
 use eh_query::{parse_sparql, ConjunctiveQuery};
 use eh_rdf::TripleStore;
 
@@ -10,34 +12,53 @@ use crate::flags::{OptFlags, PlannerConfig};
 use crate::plan::Plan;
 use crate::planner::build_plan_with;
 use crate::result::QueryResult;
+use crate::shared::SharedStore;
+use crate::update::{UpdateBatch, UpdateSummary};
 
-/// A worst-case optimal join engine over a [`TripleStore`].
+/// A worst-case optimal join engine over a [`SharedStore`].
 ///
 /// The engine owns a trie catalog (its "indexes"); tries are built lazily
 /// per (predicate, order, layout) and cached, mirroring how EmptyHeaded
 /// loads relations once and reuses them across queries. Timing
 /// methodology note: the paper excludes index construction from query
 /// time (§IV-A4) — call [`Engine::warm`] before measuring.
-pub struct Engine<'s> {
-    catalog: Catalog<'s>,
+///
+/// The store is *live*: [`Engine::update`] applies a batch of insertions
+/// and deletions, invalidates only the changed predicates' tries, and
+/// advances the catalog epoch so downstream result caches retire their
+/// stale entries. Queries running concurrently with an update are
+/// answered from a consistent trie snapshot — tries are immutable
+/// `Arc`s, never mutated in place.
+pub struct Engine {
+    catalog: Catalog,
     config: PlannerConfig,
 }
 
-impl<'s> Engine<'s> {
-    /// An engine with the given optimization flags.
-    pub fn new(store: &'s TripleStore, flags: OptFlags) -> Engine<'s> {
+impl Engine {
+    /// An engine with the given optimization flags. Accepts a
+    /// [`SharedStore`] (clone the handle to keep access) or a bare
+    /// [`TripleStore`] (moved in; retrieve it through
+    /// [`Engine::store`] / [`Engine::shared_store`]).
+    pub fn new(store: impl Into<SharedStore>, flags: OptFlags) -> Engine {
         Engine::with_config(store, PlannerConfig::with_flags(flags))
     }
 
     /// An engine with a full planner configuration (used by the
     /// LogicBlox-style baseline).
-    pub fn with_config(store: &'s TripleStore, config: PlannerConfig) -> Engine<'s> {
-        Engine { catalog: Catalog::new(store), config }
+    pub fn with_config(store: impl Into<SharedStore>, config: PlannerConfig) -> Engine {
+        Engine { catalog: Catalog::new(store.into()), config }
     }
 
-    /// The underlying store.
-    pub fn store(&self) -> &'s TripleStore {
-        self.catalog.store()
+    /// Read access to the underlying store. The guard is cheap; hold it
+    /// only for short lookups (term resolution, row decoding), not across
+    /// another engine call.
+    pub fn store(&self) -> RwLockReadGuard<'_, TripleStore> {
+        self.catalog.store().read()
+    }
+
+    /// A clone of the shared store handle.
+    pub fn shared_store(&self) -> SharedStore {
+        self.catalog.store().clone()
     }
 
     /// The planner configuration.
@@ -48,8 +69,56 @@ impl<'s> Engine<'s> {
     /// The trie catalog — the hook a caching layer needs: its
     /// [`epoch`](Catalog::epoch) versions derived-result caches and
     /// [`invalidate`](Catalog::invalidate) retires them.
-    pub fn catalog(&self) -> &Catalog<'s> {
+    pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Apply a batch of live updates: deletions first, then insertions
+    /// (SPARQL Update convention), atomically under the store's write
+    /// lock. Afterwards only the *changed* predicates' tries are retired
+    /// and eagerly rebuilt (concurrently, on the configured runtime) and
+    /// the epoch advances; a batch that changes nothing — duplicates of
+    /// resident triples, deletions of absent ones — leaves tries, epoch,
+    /// and downstream caches untouched.
+    pub fn update(&self, batch: UpdateBatch) -> UpdateSummary {
+        let shared = self.catalog.store();
+        let (report, version) = {
+            let mut store = shared.write();
+            let mut report = store.remove_triples(batch.deletes);
+            report.merge(store.add_triples(batch.inserts));
+            if report.is_empty() {
+                (report, 0)
+            } else {
+                // Bump while the write lock is still held: any reader
+                // that can observe the new data can also observe the new
+                // version, so sibling catalogs over this store can't keep
+                // serving their now-stale tries (see SharedStore docs).
+                // Our own catalog claims the version immediately — the
+                // precise refresh below covers it, and readers racing
+                // into the gap must not full-invalidate on the skew.
+                let version = shared.bump_version();
+                self.catalog.claim_version(version);
+                (report, version)
+            }
+        };
+        if report.is_empty() {
+            return UpdateSummary {
+                inserted: 0,
+                deleted: 0,
+                changed_predicates: 0,
+                rebuilt_tries: 0,
+                epoch: self.catalog.epoch(),
+            };
+        }
+        let (epoch, rebuilt) =
+            self.catalog.refresh_preds(&report.changed_preds, version, self.config.runtime);
+        UpdateSummary {
+            inserted: report.added,
+            deleted: report.removed,
+            changed_predicates: report.changed_preds.len(),
+            rebuilt_tries: rebuilt,
+            epoch,
+        }
     }
 
     /// Plan a query without running it.
@@ -57,7 +126,7 @@ impl<'s> Engine<'s> {
         if q.projection().is_empty() {
             return Err(EngineError::EmptyProjection);
         }
-        Ok(build_plan_with(q, self.config, Some(self.store())))
+        Ok(build_plan_with(q, self.config, Some(&self.store())))
     }
 
     /// Plan and execute a query.
@@ -69,13 +138,46 @@ impl<'s> Engine<'s> {
     /// Execute a previously built plan (on the configured runtime:
     /// sequential by default, morsel-parallel when
     /// [`PlannerConfig::with_threads`] asked for workers).
+    ///
+    /// Execution fetches tries lazily, so a multi-predicate update
+    /// landing *mid-join* could otherwise mix pre- and post-update tries
+    /// into one answer that matches no store state. The epoch bracket
+    /// below closes that: if the epoch moved while the join ran, the
+    /// result is discarded and the join re-executes against the settled
+    /// catalog.
+    ///
+    /// Retries are bounded: a sustained writer whose inter-batch gap is
+    /// shorter than this query's runtime would otherwise starve the
+    /// reader forever. After the last retry the result is returned as a
+    /// best-effort answer — each trie in it is still an immutable
+    /// snapshot of its own predicate, but tries of different predicates
+    /// may straddle adjacent updates. Only workloads updating faster than
+    /// they can run a single join ever see this.
     pub fn run_plan(&self, q: &ConjunctiveQuery, plan: &Plan) -> QueryResult {
-        execute_plan(&self.catalog, q, plan, self.config.flags.layouts, self.config.runtime)
+        const MID_JOIN_UPDATE_RETRIES: usize = 3;
+        let mut attempts = 0;
+        loop {
+            let epoch = self.catalog.epoch();
+            let result = execute_plan(
+                &self.catalog,
+                q,
+                plan,
+                self.config.flags.layouts,
+                self.config.runtime,
+            );
+            attempts += 1;
+            if self.catalog.epoch() == epoch || attempts > MID_JOIN_UPDATE_RETRIES {
+                return result;
+            }
+        }
     }
 
     /// Parse a SPARQL query against this engine's store and run it.
     pub fn run_sparql(&self, text: &str) -> Result<QueryResult, EngineError> {
-        let q = parse_sparql(text, self.store())?;
+        let q = {
+            let store = self.store();
+            parse_sparql(text, &store)?
+        };
         self.run(&q)
     }
 
@@ -133,7 +235,10 @@ impl<'s> Engine<'s> {
 
     /// Parse and explain a SPARQL query (see [`Engine::explain`]).
     pub fn explain_sparql(&self, text: &str) -> Result<String, EngineError> {
-        let q = parse_sparql(text, self.store())?;
+        let q = {
+            let store = self.store();
+            parse_sparql(text, &store)?
+        };
         self.explain(&q)
     }
 }
@@ -149,8 +254,8 @@ mod tests {
     }
 
     /// A small graph with two triangles: (0,1,2) and (1,2,3).
-    fn triangle_store() -> TripleStore {
-        TripleStore::from_triples(vec![edge(0, 1), edge(1, 2), edge(0, 2), edge(1, 3), edge(2, 3)])
+    fn triangle_store() -> SharedStore {
+        SharedStore::from_triples(vec![edge(0, 1), edge(1, 2), edge(0, 2), edge(1, 3), edge(2, 3)])
     }
 
     fn triangle_query(store: &TripleStore) -> ConjunctiveQuery {
@@ -164,33 +269,34 @@ mod tests {
     #[test]
     fn triangle_listing_all_flag_combinations() {
         let store = triangle_store();
-        let q = triangle_query(&store);
+        let q = triangle_query(&store.read());
         for k in 0..=4 {
-            let engine = Engine::new(&store, OptFlags::cumulative(k));
+            let engine = Engine::new(store.clone(), OptFlags::cumulative(k));
             let r = engine.run(&q).unwrap();
             let rows: Vec<Vec<u32>> = r.iter().map(|t| t.to_vec()).collect();
             assert_eq!(rows.len(), 2, "flags {k}: {rows:?}");
         }
         // LogicBlox-style single node agrees.
-        let engine = Engine::with_config(&store, PlannerConfig::logicblox_style());
+        let engine = Engine::with_config(store.clone(), PlannerConfig::logicblox_style());
         assert_eq!(engine.run(&q).unwrap().cardinality(), 2);
     }
 
     #[test]
     fn triangle_results_decode() {
         let store = triangle_store();
-        let q = triangle_query(&store);
-        let engine = Engine::new(&store, OptFlags::all());
+        let q = triangle_query(&store.read());
+        let engine = Engine::new(store.clone(), OptFlags::all());
         let r = engine.run(&q).unwrap();
+        let guard = store.read();
         let decoded: Vec<String> =
-            r.decode_row(&store, 0).into_iter().map(|t| t.as_str().to_string()).collect();
+            r.decode_row(&guard, 0).into_iter().map(|t| t.as_str().to_string()).collect();
         assert_eq!(decoded, vec!["n0", "n1", "n2"]);
     }
 
     #[test]
     fn sparql_end_to_end() {
         let store = triangle_store();
-        let engine = Engine::new(&store, OptFlags::all());
+        let engine = Engine::new(store.clone(), OptFlags::all());
         let r = engine.run_sparql("SELECT ?x ?y WHERE { ?x <edge> ?y . ?y <edge> ?x }").unwrap();
         // No 2-cycles in the triangle store.
         assert_eq!(r.cardinality(), 0);
@@ -201,7 +307,7 @@ mod tests {
     #[test]
     fn missing_constant_is_empty_not_error() {
         let store = triangle_store();
-        let engine = Engine::new(&store, OptFlags::all());
+        let engine = Engine::new(store.clone(), OptFlags::all());
         let r = engine.run_sparql("SELECT ?x WHERE { ?x <edge> <nowhere> }").unwrap();
         assert!(r.is_empty());
     }
@@ -212,19 +318,19 @@ mod tests {
         let q = {
             let mut qb = QueryBuilder::new();
             let (x, y) = (qb.var("x"), qb.var("y"));
-            let pred = store.resolve_iri("edge").unwrap();
+            let pred = store.read().resolve_iri("edge").unwrap();
             qb.atom("edge", pred, x, y);
             qb.build().unwrap()
         };
-        let engine = Engine::new(&store, OptFlags::all());
+        let engine = Engine::new(store.clone(), OptFlags::all());
         assert_eq!(engine.run(&q).unwrap_err(), EngineError::EmptyProjection);
     }
 
     #[test]
     fn warm_populates_cache() {
         let store = triangle_store();
-        let q = triangle_query(&store);
-        let engine = Engine::new(&store, OptFlags::all());
+        let q = triangle_query(&store.read());
+        let engine = Engine::new(store.clone(), OptFlags::all());
         engine.warm(&q).unwrap();
         let r = engine.run(&q).unwrap();
         assert_eq!(r.cardinality(), 2);
@@ -233,13 +339,13 @@ mod tests {
     #[test]
     fn parallel_execution_is_bit_identical() {
         let store = triangle_store();
-        let q = triangle_query(&store);
-        let reference = Engine::new(&store, OptFlags::all()).run(&q).unwrap();
+        let q = triangle_query(&store.read());
+        let reference = Engine::new(store.clone(), OptFlags::all()).run(&q).unwrap();
         for threads in [2, 4] {
             for flags in [OptFlags::all(), OptFlags::none()] {
                 let config = PlannerConfig::with_flags(flags)
                     .with_runtime(eh_par::RuntimeConfig::with_threads(threads).with_morsel_size(1));
-                let engine = Engine::with_config(&store, config);
+                let engine = Engine::with_config(store.clone(), config);
                 engine.warm(&q).unwrap();
                 let r = engine.run(&q).unwrap();
                 assert_eq!(r, reference, "threads {threads}, flags {flags:?}");
@@ -250,9 +356,11 @@ mod tests {
     #[test]
     fn parallel_warm_builds_each_trie_once() {
         let store = triangle_store();
-        let q = triangle_query(&store);
-        let engine =
-            Engine::with_config(&store, PlannerConfig::with_flags(OptFlags::all()).with_threads(4));
+        let q = triangle_query(&store.read());
+        let engine = Engine::with_config(
+            store.clone(),
+            PlannerConfig::with_flags(OptFlags::all()).with_threads(4),
+        );
         engine.warm(&q).unwrap();
         // Three self-join atoms over one predicate share at most two trie
         // orders; the jobs were deduplicated before fan-out.
@@ -261,9 +369,60 @@ mod tests {
     }
 
     #[test]
+    fn update_applies_batch_and_reports_real_change() {
+        let store = triangle_store();
+        let engine = Engine::new(store.clone(), OptFlags::all());
+        let q = triangle_query(&store.read());
+        assert_eq!(engine.run(&q).unwrap().cardinality(), 2);
+
+        // Delete one edge of the second triangle, insert a duplicate
+        // (no-op) and one fresh edge closing a new triangle (0, 2, 3).
+        let mut batch = UpdateBatch::new();
+        batch.delete(edge(1, 3)).insert(edge(0, 1)).insert(edge(0, 3));
+        let summary = engine.update(batch);
+        assert_eq!((summary.inserted, summary.deleted, summary.changed_predicates), (1, 1, 1));
+        assert_eq!(summary.epoch, 1);
+        assert_eq!(engine.catalog().epoch(), 1);
+        assert_eq!(engine.run(&q).unwrap().cardinality(), 2); // (0,1,2) and (0,2,3)
+
+        // A no-op batch leaves the epoch alone.
+        let mut noop = UpdateBatch::new();
+        noop.insert(edge(0, 1)).delete(edge(7, 9));
+        assert_eq!(engine.update(noop).epoch, 1);
+        assert_eq!(engine.catalog().epoch(), 1);
+    }
+
+    /// Several engines over one [`SharedStore`]: an update applied
+    /// through one must be observed by the others (their catalogs detect
+    /// the store-version skew and retire their tries), not served stale
+    /// from tries built before the foreign update.
+    #[test]
+    fn sibling_engines_observe_foreign_updates() {
+        let store = triangle_store();
+        let writer = Engine::new(store.clone(), OptFlags::all());
+        let reader = Engine::new(store.clone(), OptFlags::all());
+        let q = triangle_query(&store.read());
+        // Warm the reader's catalog so it has pre-update tries cached.
+        assert_eq!(reader.run(&q).unwrap().cardinality(), 2);
+        assert_eq!(reader.catalog().epoch(), 0);
+
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge(0, 3));
+        writer.update(batch);
+
+        // The reader's next answer reflects the new data — edge (0, 3)
+        // closes triangles (0, 1, 3) and (0, 2, 3) on top of the original
+        // two — and its epoch moved, so a serving tier's result cache
+        // over it misses too.
+        assert_eq!(reader.run(&q).unwrap().cardinality(), 4);
+        assert_eq!(reader.catalog().epoch(), 1);
+        assert_eq!(writer.run(&q).unwrap().cardinality(), 4);
+    }
+
+    #[test]
     fn explain_lists_access_paths() {
         let store = triangle_store();
-        let engine = Engine::new(&store, OptFlags::all());
+        let engine = Engine::new(store.clone(), OptFlags::all());
         let text =
             engine.explain_sparql("SELECT ?x ?y WHERE { ?x <edge> ?y . ?y <edge> <n3> }").unwrap();
         assert!(text.contains("global attribute order"), "{text}");
@@ -275,14 +434,14 @@ mod tests {
     #[test]
     fn path_query_projection_order_and_dedup() {
         let store = triangle_store();
-        let pred = store.resolve_iri("edge").unwrap();
+        let pred = store.read().resolve_iri("edge").unwrap();
         let mut qb = QueryBuilder::new();
         let (x, y, z) = (qb.var("x"), qb.var("y"), qb.var("z"));
         qb.atom("edge", pred, x, y).atom("edge", pred, y, z);
         // Project z before x, dropping y: forces permutation + dedup.
         let q = qb.select(vec![z, x]).build().unwrap();
         for flags in [OptFlags::all(), OptFlags::none()] {
-            let engine = Engine::new(&store, flags);
+            let engine = Engine::new(store.clone(), flags);
             let r = engine.run(&q).unwrap();
             let rows: Vec<Vec<u32>> = r.iter().map(|t| t.to_vec()).collect();
             // Paths of length 2: 0->1->2, 0->1->3, 0->2->3, 1->2->3; on

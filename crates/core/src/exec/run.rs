@@ -51,7 +51,7 @@ fn layout_policy(auto: bool) -> LayoutPolicy {
 
 /// Execute `plan` for `q`, materialising the projection.
 pub(crate) fn execute_plan(
-    catalog: &Catalog<'_>,
+    catalog: &Catalog,
     q: &ConjunctiveQuery,
     plan: &Plan,
     auto_layout: bool,
@@ -116,7 +116,7 @@ struct NodeSink {
 /// empties the whole query.
 #[allow(clippy::too_many_arguments)]
 fn run_node(
-    catalog: &Catalog<'_>,
+    catalog: &Catalog,
     q: &ConjunctiveQuery,
     plan: &Plan,
     t: usize,
@@ -164,7 +164,7 @@ fn run_node(
 /// Build the JoinSpec for a node: its λ atoms plus prepared child
 /// intermediates.
 fn node_spec(
-    catalog: &Catalog<'_>,
+    catalog: &Catalog,
     q: &ConjunctiveQuery,
     plan: &Plan,
     t: usize,
@@ -321,7 +321,7 @@ struct PipeSink {
 /// node's shared-with-parent variables are a prefix of its output order,
 /// and BFS order guarantees shared values are assembled before use.
 fn run_pipelined(
-    catalog: &Catalog<'_>,
+    catalog: &Catalog,
     q: &ConjunctiveQuery,
     plan: &Plan,
     results: &[Option<NodeResult>],

@@ -34,14 +34,20 @@
 //! per-morsel buffers in deterministic order — parallel results are
 //! bit-identical to sequential ones.
 //!
+//! The store is shared and **live**: the engine holds a [`SharedStore`]
+//! (`Arc<RwLock<TripleStore>>`) rather than a borrow, and
+//! [`Engine::update`] applies insert/delete batches that invalidate only
+//! the changed predicates' tries and advance the catalog epoch — the
+//! contract serving tiers key their caches by.
+//!
 //! ```
 //! use eh_lubm::{generate_store, GeneratorConfig};
-//! use emptyheaded::{Engine, OptFlags};
+//! use emptyheaded::{Engine, OptFlags, SharedStore};
 //!
-//! let store = generate_store(&GeneratorConfig::tiny(1));
-//! let engine = Engine::new(&store, OptFlags::all());
+//! let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
+//! let engine = Engine::new(store.clone(), OptFlags::all());
 //! // LUBM query 14: all undergraduate students.
-//! let q = eh_lubm::queries::lubm_query(14, &store).unwrap();
+//! let q = eh_lubm::queries::lubm_query(14, &store.read()).unwrap();
 //! let result = engine.run(&q).unwrap();
 //! assert!(result.cardinality() > 0);
 //! ```
@@ -54,6 +60,8 @@ mod flags;
 mod plan;
 mod planner;
 mod result;
+mod shared;
+mod update;
 
 pub use catalog::Catalog;
 pub use eh_par::RuntimeConfig;
@@ -62,6 +70,8 @@ pub use error::EngineError;
 pub use flags::{OptFlags, PlannerConfig};
 pub use plan::{AtomPlan, NodePlan, Plan};
 pub use result::QueryResult;
+pub use shared::SharedStore;
+pub use update::{UpdateBatch, UpdateSummary};
 
 #[cfg(test)]
 mod proptests;

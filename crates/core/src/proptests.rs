@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use eh_query::{ConjunctiveQuery, QueryBuilder};
 use eh_rdf::{Term, Triple, TripleStore};
 
-use crate::{Engine, OptFlags, PlannerConfig, RuntimeConfig};
+use crate::{Engine, OptFlags, PlannerConfig, RuntimeConfig, SharedStore};
 
 const PREDS: [&str; 3] = ["p0", "p1", "p2"];
 
@@ -142,13 +142,14 @@ proptest! {
         let Some(q) = build_query(&qspec, &store) else { return Ok(()); };
         prop_assume!(q.num_vars() <= 5); // keep the oracle cheap
         let expect = oracle(&q, &store);
+        let shared = SharedStore::new(store);
         for k in 0..=4 {
-            let engine = Engine::new(&store, OptFlags::cumulative(k));
+            let engine = Engine::new(shared.clone(), OptFlags::cumulative(k));
             let got: BTreeSet<Vec<u32>> =
                 engine.run(&q).unwrap().iter().map(|r| r.to_vec()).collect();
             prop_assert_eq!(&got, &expect, "flags cumulative({})", k);
         }
-        let lb = Engine::with_config(&store, PlannerConfig::logicblox_style());
+        let lb = Engine::with_config(shared.clone(), PlannerConfig::logicblox_style());
         let got: BTreeSet<Vec<u32>> = lb.run(&q).unwrap().iter().map(|r| r.to_vec()).collect();
         prop_assert_eq!(&got, &expect, "logicblox-style");
     }
@@ -157,7 +158,8 @@ proptest! {
     fn flags_never_change_results(spec in store_strategy(), qspec in query_strategy()) {
         let store = build_store(&spec);
         let Some(q) = build_query(&qspec, &store) else { return Ok(()); };
-        let reference: BTreeSet<Vec<u32>> = Engine::new(&store, OptFlags::all())
+        let shared = SharedStore::new(store);
+        let reference: BTreeSet<Vec<u32>> = Engine::new(shared.clone(), OptFlags::all())
             .run(&q)
             .unwrap()
             .iter()
@@ -171,7 +173,7 @@ proptest! {
                 ghd_pushdown: bits & 4 != 0,
                 pipelining: bits & 8 != 0,
             };
-            let got: BTreeSet<Vec<u32>> = Engine::new(&store, flags)
+            let got: BTreeSet<Vec<u32>> = Engine::new(shared.clone(), flags)
                 .run(&q)
                 .unwrap()
                 .iter()
@@ -194,11 +196,14 @@ proptest! {
     ) {
         let store = build_store(&spec);
         let Some(q) = build_query(&qspec, &store) else { return Ok(()); };
+        let shared = SharedStore::new(store);
         for flags in [OptFlags::all(), OptFlags::none()] {
-            let reference = Engine::new(&store, flags).run(&q).unwrap();
+            let reference = Engine::new(shared.clone(), flags).run(&q).unwrap();
             let runtime = RuntimeConfig::with_threads(threads).with_morsel_size(morsel);
-            let engine =
-                Engine::with_config(&store, PlannerConfig::with_flags(flags).with_runtime(runtime));
+            let engine = Engine::with_config(
+                shared.clone(),
+                PlannerConfig::with_flags(flags).with_runtime(runtime),
+            );
             engine.warm(&q).unwrap();
             let parallel = engine.run(&q).unwrap();
             prop_assert_eq!(

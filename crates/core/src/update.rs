@@ -1,0 +1,65 @@
+//! Update batches: the unit of live mutation the engine applies.
+
+use eh_rdf::Triple;
+
+/// A batch of triple insertions and deletions, applied atomically by
+/// [`Engine::update`](crate::Engine::update).
+///
+/// Semantics follow SPARQL Update's `DELETE`/`INSERT` convention:
+/// deletions apply first, then insertions, so a triple staged in both
+/// lists is present afterwards. Duplicate stagings collapse (RDF set
+/// semantics), deleting an absent triple is a no-op, and inserting a
+/// resident one is too — only *actual* change invalidates indexes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// Triples to add (dictionary grows as needed).
+    pub inserts: Vec<Triple>,
+    /// Triples to remove (unknown terms are ignored).
+    pub deletes: Vec<Triple>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> UpdateBatch {
+        UpdateBatch::default()
+    }
+
+    /// Stage an insertion.
+    pub fn insert(&mut self, t: Triple) -> &mut UpdateBatch {
+        self.inserts.push(t);
+        self
+    }
+
+    /// Stage a deletion.
+    pub fn delete(&mut self, t: Triple) -> &mut UpdateBatch {
+        self.deletes.push(t);
+        self
+    }
+
+    /// Number of staged operations (inserts plus deletes).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// What one applied batch did, as observed by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateSummary {
+    /// Triples actually added (resident duplicates don't count).
+    pub inserted: usize,
+    /// Triples actually removed (absent victims don't count).
+    pub deleted: usize,
+    /// Predicates whose tables changed.
+    pub changed_predicates: usize,
+    /// Hot tries rebuilt eagerly after invalidation (previously cached
+    /// orders of the changed predicates).
+    pub rebuilt_tries: usize,
+    /// The catalog epoch after the batch. Unchanged when the batch was a
+    /// no-op on table contents — no-ops don't invalidate anything.
+    pub epoch: u64,
+}

@@ -1,8 +1,66 @@
 //! Dictionary encoding of RDF terms to dense 32-bit keys (paper §II-A1).
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
-use crate::term::Term;
+use crate::term::{hash_term_parts, Term, KIND_IRI, KIND_LITERAL};
+
+/// A borrowed view of a term, so the map can be probed with a bare `&str`
+/// without cloning it into an owned [`Term`] first. Both [`Term`] and the
+/// probe hash through [`hash_term_parts`], which keeps the `HashMap`
+/// contract (`k == q ⇒ hash(k) == hash(q)`) across the two
+/// representations.
+trait TermKey {
+    fn kind(&self) -> u8;
+    fn text(&self) -> &str;
+}
+
+impl TermKey for Term {
+    fn kind(&self) -> u8 {
+        Term::kind(self)
+    }
+
+    fn text(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// The allocation-free probe: a term "by parts".
+struct Probe<'a> {
+    kind: u8,
+    text: &'a str,
+}
+
+impl TermKey for Probe<'_> {
+    fn kind(&self) -> u8 {
+        self.kind
+    }
+
+    fn text(&self) -> &str {
+        self.text
+    }
+}
+
+impl PartialEq for dyn TermKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind() == other.kind() && self.text() == other.text()
+    }
+}
+
+impl Eq for dyn TermKey + '_ {}
+
+impl Hash for dyn TermKey + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        hash_term_parts(self.kind(), self.text(), state);
+    }
+}
+
+impl<'a> Borrow<dyn TermKey + 'a> for Term {
+    fn borrow(&self) -> &(dyn TermKey + 'a) {
+        self
+    }
+}
 
 /// A bidirectional mapping between [`Term`]s and dense `u32` keys.
 ///
@@ -42,9 +100,17 @@ impl Dictionary {
         self.map.get(term).copied()
     }
 
-    /// Convenience lookup of an IRI by string.
+    /// Allocation-free lookup of an IRI by string: the map is probed with
+    /// a borrowed view of the term, so no `String` (or `Term`) is built.
+    /// This sits on the serving hot path — every constant in every query
+    /// resolves through here.
     pub fn lookup_iri(&self, iri: &str) -> Option<u32> {
-        self.lookup(&Term::Iri(iri.to_string()))
+        self.map.get(&Probe { kind: KIND_IRI, text: iri } as &dyn TermKey).copied()
+    }
+
+    /// Allocation-free lookup of a plain literal by its body.
+    pub fn lookup_literal(&self, literal: &str) -> Option<u32> {
+        self.map.get(&Probe { kind: KIND_LITERAL, text: literal } as &dyn TermKey).copied()
     }
 
     /// Decode a key back to its term.
@@ -112,6 +178,21 @@ mod tests {
         d.encode(&Term::iri("present"));
         assert_eq!(d.lookup_iri("present"), Some(0));
         assert_eq!(d.lookup_iri("absent"), None);
+    }
+
+    #[test]
+    fn borrowed_lookup_agrees_with_owned_and_separates_kinds() {
+        // The same text as IRI and literal must resolve to its own key
+        // through the borrowed probes, exactly as the owned lookup does.
+        let mut d = Dictionary::new();
+        let iri = d.encode(&Term::iri("x"));
+        let lit = d.encode(&Term::literal("x"));
+        assert_ne!(iri, lit);
+        assert_eq!(d.lookup_iri("x"), Some(iri));
+        assert_eq!(d.lookup_literal("x"), Some(lit));
+        assert_eq!(d.lookup_iri("x"), d.lookup(&Term::iri("x")));
+        assert_eq!(d.lookup_literal("x"), d.lookup(&Term::literal("x")));
+        assert_eq!(d.lookup_literal("y"), None);
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod vp;
 
 pub use dict::Dictionary;
 pub use ntriples::{parse_ntriples, write_ntriples, NtError};
-pub use store::{StoreStats, TripleStore};
+pub use store::{StoreStats, TripleStore, UpdateReport};
 pub use term::Term;
 pub use triple::{EncodedTriple, Triple};
 pub use vp::PairTable;

@@ -129,10 +129,16 @@ impl Parser<'_> {
 
     fn end(&mut self) -> Result<(), NtError> {
         let rest = self.rest().trim_start();
-        if rest == "." {
+        // The grammar allows a comment to follow the terminating dot
+        // (`<a> <b> <c> . # note`) — hand-annotated dumps rely on it.
+        let Some(tail) = rest.strip_prefix('.') else {
+            return Err(err(self.lineno, format!("expected terminating '.', found {rest:?}")));
+        };
+        let tail = tail.trim_start();
+        if tail.is_empty() || tail.starts_with('#') {
             Ok(())
         } else {
-            Err(err(self.lineno, format!("expected terminating '.', found {rest:?}")))
+            Err(err(self.lineno, format!("unexpected text after terminating '.': {tail:?}")))
         }
     }
 }
@@ -193,6 +199,20 @@ mod tests {
     fn rejects_missing_dot() {
         let e = parse_ntriples("<a> <b> <c>").unwrap_err();
         assert!(e.message.contains("terminating"), "{e}");
+    }
+
+    #[test]
+    fn accepts_trailing_comment_after_dot() {
+        // N-Triples allows `triple . # comment`; hand-annotated LUBM
+        // dumps use it. Both spaced and flush comments must parse.
+        let doc = "<a> <b> <c> . # note\n<a> <b> \"v\" .# flush\n<a> <b> <d> .   \n";
+        assert_eq!(parse_ntriples(doc).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rejects_non_comment_text_after_dot() {
+        let e = parse_ntriples("<a> <b> <c> . <d>").unwrap_err();
+        assert!(e.message.contains("after terminating"), "{e}");
     }
 
     #[test]

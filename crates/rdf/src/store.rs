@@ -16,7 +16,16 @@ use crate::vp::PairTable;
 /// [`from_triples`](TripleStore::from_triples)) sorts and deduplicates the
 /// tables. Read accessors panic on an uncommitted store to make misuse
 /// loud rather than subtly stale.
-#[derive(Debug, Default)]
+///
+/// A committed store can also be mutated in place:
+/// [`add_triples`](TripleStore::add_triples) and
+/// [`remove_triples`](TripleStore::remove_triples) merge a batch into the
+/// affected tables (through the same sort/dedup machinery) and report
+/// which predicates actually changed, so an index layer can invalidate
+/// only the tries those predicates back. Removal never shrinks the
+/// dictionary and leaves emptied tables in place — term keys stay stable
+/// for the lifetime of the store.
+#[derive(Debug, Default, Clone)]
 pub struct TripleStore {
     dict: Dictionary,
     tables: Vec<PairTable>,
@@ -35,6 +44,38 @@ pub struct StoreStats {
     pub predicates: usize,
     /// Distinct dictionary-encoded terms.
     pub terms: usize,
+}
+
+/// What a mutation actually changed, in dictionary-encoded terms.
+///
+/// "Actually" is load-bearing: inserting a resident triple or deleting an
+/// absent one changes nothing and is not reported, so downstream index
+/// invalidation stays proportional to real change, not batch size.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Pairs newly added across all predicates.
+    pub added: usize,
+    /// Pairs removed across all predicates.
+    pub removed: usize,
+    /// Keys of predicates whose tables changed, sorted ascending.
+    pub changed_preds: Vec<u32>,
+}
+
+impl UpdateReport {
+    /// True when the mutation was a no-op on the table contents.
+    pub fn is_empty(&self) -> bool {
+        self.changed_preds.is_empty()
+    }
+
+    /// Fold another report into this one (counts add, predicate sets
+    /// union).
+    pub fn merge(&mut self, other: UpdateReport) {
+        self.added += other.added;
+        self.removed += other.removed;
+        self.changed_preds.extend(other.changed_preds);
+        self.changed_preds.sort_unstable();
+        self.changed_preds.dedup();
+    }
 }
 
 impl TripleStore {
@@ -72,17 +113,34 @@ impl TripleStore {
 
     /// Sort, deduplicate, and merge all buffered pairs into the tables.
     pub fn commit(&mut self) {
+        let _ = self.commit_report();
+    }
+
+    /// [`commit`](TripleStore::commit), reporting which predicate tables
+    /// actually changed. A table whose pending pairs were all already
+    /// resident is left untouched (not rebuilt, not reported).
+    pub fn commit_report(&mut self) -> UpdateReport {
+        let mut report = UpdateReport::default();
         if self.pending.is_empty() {
-            return;
+            return report;
         }
         let names: HashMap<u32, String> = self.pending_names.drain(..).collect();
         let pending = std::mem::take(&mut self.pending);
         self.n_pending = 0;
         for (p, mut pairs) in pending {
+            pairs.sort_unstable();
+            pairs.dedup();
             match self.by_pred.get(&p) {
                 Some(&idx) => {
-                    // Merge with the existing table: rebuild from the union.
+                    // Merge with the existing table: rebuild from the
+                    // union, but only when something genuinely new landed.
                     let old = &self.tables[idx];
+                    pairs.retain(|&(s, o)| !old.contains(s, o));
+                    if pairs.is_empty() {
+                        continue;
+                    }
+                    report.added += pairs.len();
+                    report.changed_preds.push(p);
                     pairs.extend_from_slice(old.so_pairs());
                     let name = old.name().to_string();
                     self.tables[idx] = PairTable::build(name, p, pairs);
@@ -95,9 +153,72 @@ impl TripleStore {
                     let idx = self.tables.len();
                     self.tables.push(PairTable::build(name, p, pairs));
                     self.by_pred.insert(p, idx);
+                    report.added += self.tables[idx].len();
+                    report.changed_preds.push(p);
                 }
             }
         }
+        report.changed_preds.sort_unstable();
+        report
+    }
+
+    /// Post-commit insertion: encode and merge a batch of triples,
+    /// growing the dictionary as needed, and report what changed.
+    ///
+    /// # Panics
+    /// Panics when called on an uncommitted store (mixed two-phase and
+    /// live mutation would make `insert`/`commit` bookkeeping ambiguous).
+    pub fn add_triples(&mut self, triples: impl IntoIterator<Item = Triple>) -> UpdateReport {
+        self.assert_committed();
+        for t in triples {
+            self.insert(t);
+        }
+        self.commit_report()
+    }
+
+    /// Post-commit removal: delete a batch of triples from the affected
+    /// tables and report what changed. Triples naming unknown terms or
+    /// predicates are ignored (they cannot be resident). The dictionary
+    /// never shrinks and emptied tables remain (empty) so predicate keys
+    /// and table identity stay stable.
+    ///
+    /// # Panics
+    /// Panics when called on an uncommitted store.
+    pub fn remove_triples(&mut self, triples: impl IntoIterator<Item = Triple>) -> UpdateReport {
+        self.assert_committed();
+        let mut victims: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        for t in triples {
+            let (Some(s), Some(p), Some(o)) =
+                (self.dict.lookup(&t.s), self.dict.lookup(&t.p), self.dict.lookup(&t.o))
+            else {
+                continue;
+            };
+            if self.by_pred.contains_key(&p) {
+                victims.entry(p).or_default().push((s, o));
+            }
+        }
+        let mut report = UpdateReport::default();
+        for (p, mut gone) in victims {
+            gone.sort_unstable();
+            gone.dedup();
+            let idx = self.by_pred[&p];
+            let old = &self.tables[idx];
+            let kept: Vec<(u32, u32)> = old
+                .so_pairs()
+                .iter()
+                .copied()
+                .filter(|pr| gone.binary_search(pr).is_err())
+                .collect();
+            let removed = old.len() - kept.len();
+            if removed > 0 {
+                let name = old.name().to_string();
+                self.tables[idx] = PairTable::build(name, p, kept);
+                report.removed += removed;
+                report.changed_preds.push(p);
+            }
+        }
+        report.changed_preds.sort_unstable();
+        report
     }
 
     fn assert_committed(&self) {
@@ -247,5 +368,77 @@ mod tests {
         store.commit();
         assert_eq!(store.num_triples(), 0);
         assert!(store.__invariant_check());
+    }
+
+    #[test]
+    fn add_triples_reports_only_real_change() {
+        let mut store = TripleStore::from_triples(vec![t("a", "p", "b")]);
+        let p = store.resolve_iri("p").unwrap();
+        // One duplicate, one new pair on p, one brand-new predicate.
+        let report = store.add_triples(vec![t("a", "p", "b"), t("c", "p", "d"), t("a", "q", "b")]);
+        let q = store.resolve_iri("q").unwrap();
+        assert_eq!(report.added, 2);
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.changed_preds, {
+            let mut v = vec![p, q];
+            v.sort_unstable();
+            v
+        });
+        assert_eq!(store.num_triples(), 3);
+        assert!(store
+            .table_by_name("p")
+            .unwrap()
+            .contains(store.resolve_iri("c").unwrap(), store.resolve_iri("d").unwrap()));
+        assert!(store.__invariant_check());
+    }
+
+    #[test]
+    fn add_of_resident_triples_is_reported_empty() {
+        let mut store = TripleStore::from_triples(vec![t("a", "p", "b")]);
+        let report = store.add_triples(vec![t("a", "p", "b"), t("a", "p", "b")]);
+        assert!(report.is_empty());
+        assert_eq!((report.added, report.removed), (0, 0));
+        assert_eq!(store.num_triples(), 1);
+    }
+
+    #[test]
+    fn remove_triples_reports_and_keeps_empty_tables() {
+        let mut store =
+            TripleStore::from_triples(vec![t("a", "p", "b"), t("c", "p", "d"), t("a", "q", "b")]);
+        let p = store.resolve_iri("p").unwrap();
+        let report = store.remove_triples(vec![
+            t("a", "p", "b"),
+            t("a", "p", "b"),      // duplicate victim counts once
+            t("x", "p", "y"),      // absent terms: ignored
+            t("a", "nosuch", "b"), // unknown predicate: ignored
+        ]);
+        assert_eq!(report.removed, 1);
+        assert_eq!(report.added, 0);
+        assert_eq!(report.changed_preds, vec![p]);
+        assert_eq!(store.num_triples(), 2);
+        // Removing the rest of p empties but does not drop the table.
+        let report = store.remove_triples(vec![t("c", "p", "d")]);
+        assert_eq!(report.removed, 1);
+        let table = store.table_by_name("p").unwrap();
+        assert!(table.is_empty());
+        assert_eq!(store.stats().predicates, 2);
+        assert!(store.__invariant_check());
+    }
+
+    #[test]
+    fn update_report_merge_unions_predicates() {
+        let mut a = UpdateReport { added: 1, removed: 0, changed_preds: vec![1, 3] };
+        a.merge(UpdateReport { added: 2, removed: 4, changed_preds: vec![2, 3] });
+        assert_eq!(a, UpdateReport { added: 3, removed: 4, changed_preds: vec![1, 2, 3] });
+    }
+
+    #[test]
+    fn add_then_remove_roundtrips_to_original_contents() {
+        let mut store = TripleStore::from_triples(vec![t("a", "p", "b")]);
+        let before: Vec<_> = store.encoded_triples().collect();
+        store.add_triples(vec![t("x", "p", "y"), t("x", "r", "y")]);
+        store.remove_triples(vec![t("x", "p", "y"), t("x", "r", "y")]);
+        let after: Vec<_> = store.encoded_triples().collect();
+        assert_eq!(before, after);
     }
 }

@@ -6,7 +6,12 @@ use std::fmt;
 ///
 /// LUBM and the paper's workload need nothing richer (no typed literals,
 /// language tags, or blank nodes), so the model stays deliberately small.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// `Hash` is implemented manually (not derived) so that it depends only on
+/// the [`kind`](Term::kind) discriminant and the text — the contract the
+/// [`Dictionary`](crate::Dictionary)'s allocation-free borrowed probes
+/// rely on to hash a bare `&str` identically to the owned term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Term {
     /// An IRI reference, stored without the surrounding angle brackets.
     Iri(String),
@@ -14,10 +19,39 @@ pub enum Term {
     Literal(String),
 }
 
+/// Discriminant of [`Term::Iri`] in the manual `Hash` scheme.
+pub(crate) const KIND_IRI: u8 = 0;
+/// Discriminant of [`Term::Literal`] in the manual `Hash` scheme.
+pub(crate) const KIND_LITERAL: u8 = 1;
+
+/// The one hashing routine shared by [`Term`] and the dictionary's
+/// borrowed probes: discriminant byte, text bytes, then a terminator so
+/// `("ab", KIND_IRI)` and `("a", KIND_IRI)` followed by junk can't collide
+/// by concatenation (mirrors `str`'s own `Hash`).
+pub(crate) fn hash_term_parts<H: std::hash::Hasher>(kind: u8, text: &str, state: &mut H) {
+    state.write_u8(kind);
+    state.write(text.as_bytes());
+    state.write_u8(0xff);
+}
+
+impl std::hash::Hash for Term {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        hash_term_parts(self.kind(), self.as_str(), state);
+    }
+}
+
 impl Term {
     /// Construct an IRI term.
     pub fn iri(s: impl Into<String>) -> Term {
         Term::Iri(s.into())
+    }
+
+    /// The `Hash` discriminant of this term's variant.
+    pub(crate) fn kind(&self) -> u8 {
+        match self {
+            Term::Iri(_) => KIND_IRI,
+            Term::Literal(_) => KIND_LITERAL,
+        }
     }
 
     /// Construct a plain-literal term.

@@ -60,9 +60,13 @@ impl ResultLru {
     }
 
     /// Insert a result, evicting least-recently-used entries until the
-    /// budget holds. Oversized results and duplicate keys are no-ops.
+    /// budget holds. Oversized results and duplicate keys are no-ops, and
+    /// both checks come *before* any eviction: an entry that can never be
+    /// admitted must not first flush every resident entry. A zero-budget
+    /// cache is a total no-op — even zero-byte entries are refused, since
+    /// nothing could ever evict them from a cache with no byte pressure.
     pub fn insert(&mut self, key: ResultKey, result: Arc<CachedResult>, bytes: usize) {
-        if bytes > self.budget || self.entries.contains_key(&key) {
+        if self.budget == 0 || bytes > self.budget || self.entries.contains_key(&key) {
             return;
         }
         while self.bytes + bytes > self.budget {
@@ -118,7 +122,7 @@ mod tests {
             Term::iri("p"),
             Term::iri("o"),
         )]);
-        let engine = Engine::new(&store, OptFlags::all());
+        let engine = Engine::new(store, OptFlags::all());
         Arc::new(CachedResult::new(engine.run_sparql("SELECT ?x WHERE { ?x <p> ?y }").unwrap()))
     }
 
@@ -143,6 +147,49 @@ mod tests {
         let mut lru = ResultLru::new(10);
         lru.insert(key("a", 0), result(), 11);
         assert_eq!((lru.len(), lru.bytes()), (0, 0));
+    }
+
+    #[test]
+    fn oversized_insert_does_not_evict_residents() {
+        // The failure mode under test: an entry larger than the whole
+        // budget must be refused up front, not admitted after pointlessly
+        // evicting every resident entry.
+        let mut lru = ResultLru::new(100);
+        let r = result();
+        lru.insert(key("a", 0), Arc::clone(&r), 40);
+        lru.insert(key("b", 0), Arc::clone(&r), 40);
+        lru.insert(key("huge", 0), Arc::clone(&r), 101);
+        assert_eq!((lru.len(), lru.bytes()), (2, 80));
+        assert!(lru.get(&key("a", 0)).is_some());
+        assert!(lru.get(&key("b", 0)).is_some());
+        assert!(lru.get(&key("huge", 0)).is_none());
+    }
+
+    #[test]
+    fn entry_exactly_filling_the_budget_is_admitted() {
+        let mut lru = ResultLru::new(100);
+        let r = result();
+        lru.insert(key("a", 0), Arc::clone(&r), 40);
+        // Exactly the budget: fits, at the cost of evicting residents.
+        lru.insert(key("full", 0), Arc::clone(&r), 100);
+        assert_eq!((lru.len(), lru.bytes()), (1, 100));
+        assert!(lru.get(&key("full", 0)).is_some());
+    }
+
+    #[test]
+    fn zero_budget_cache_is_a_noop_even_for_zero_byte_entries() {
+        // A zero-byte entry "fits" any budget arithmetically; admitting
+        // it into a zero-budget cache would grow the entry map without
+        // bound (no byte pressure ever evicts it). The cache must refuse
+        // outright — and must neither loop nor panic doing so.
+        let mut lru = ResultLru::new(0);
+        let r = result();
+        for i in 0..16 {
+            lru.insert(key(&format!("k{i}"), 0), Arc::clone(&r), 0);
+            lru.insert(key(&format!("p{i}"), 0), Arc::clone(&r), 1);
+        }
+        assert_eq!((lru.len(), lru.bytes()), (0, 0));
+        assert!(lru.get(&key("k0", 0)).is_none());
     }
 
     #[test]

@@ -16,11 +16,19 @@
 //!   strings plan once), and a byte-budgeted **LRU result cache** keyed
 //!   by canonical query + catalog epoch.
 //! * [`serve`] — a threaded TCP front end speaking a line-delimited
-//!   protocol (`QUERY` / `STATS` / `INVALIDATE` / `QUIT`), its session
-//!   pool sized by [`ServiceConfig::server_sessions`] while each query
-//!   executes on the engine's [`eh_par::RuntimeConfig`].
+//!   protocol (`QUERY` / `INSERT` / `DELETE` / `APPLY` / `STATS` /
+//!   `INVALIDATE` / `QUIT`), its session pool sized by
+//!   [`ServiceConfig::server_sessions`] while each query executes on the
+//!   engine's [`eh_par::RuntimeConfig`].
 //! * [`Client`] — a minimal blocking client for tests, examples, and the
 //!   throughput harness.
+//!
+//! The store behind the service is **live**: `INSERT`/`DELETE` lines
+//! stage triples into a per-connection [`Session`] batch and `APPLY`
+//! pushes them through [`QueryService::update`], which invalidates only
+//! the changed predicates' tries and advances the epoch that keys the
+//! result cache — queries after an update are answered exactly as a cold
+//! engine over the new data would.
 //!
 //! Determinism is load-bearing: cached, fresh-sequential, and
 //! fresh-parallel answers are all byte-identical, so a cache is never
@@ -35,7 +43,7 @@
 //!     Term::iri("knows"),
 //!     Term::iri("bob"),
 //! )]);
-//! let service = QueryService::with_defaults(&store);
+//! let service = QueryService::with_defaults(store);
 //! let cold = service.query_sparql("SELECT ?x WHERE { ?x <knows> ?y }").unwrap();
 //! let warm = service.query_sparql("SELECT ?a WHERE { ?a <knows> ?b }").unwrap();
 //! assert!(warm.result_cache_hit); // α-equivalent text, same cached rows
@@ -46,5 +54,6 @@ mod cache;
 mod server;
 mod service;
 
-pub use server::{respond, serve, Client};
+pub use emptyheaded::{SharedStore, UpdateBatch, UpdateSummary};
+pub use server::{respond, respond_in_session, serve, Client, Session};
 pub use service::{Answer, QueryService, ServiceConfig, ServiceStats};

@@ -8,10 +8,22 @@
 //! | Request | Response |
 //! |---|---|
 //! | `QUERY <sparql>` | `OK <rows> <col> <col> ...` then one tab-separated N-Triples-encoded line per row, then `END` |
-//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n>` |
+//! | `INSERT <s> <p> <o> .` | `OK pending inserts=<n> deletes=<n>` (staged, N-Triples term syntax) |
+//! | `DELETE <s> <p> <o> .` | `OK pending inserts=<n> deletes=<n>` (staged) |
+//! | `APPLY` | `OK applied inserted=<n> deleted=<n> predicates=<n> epoch=<n>` (staged batch applied atomically) |
+//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> inserted=<n> deleted=<n>` |
 //! | `INVALIDATE` | `OK epoch=<n>` (caches dropped, catalog epoch advanced) |
 //! | `QUIT` | `OK bye`, then the connection closes |
 //! | anything else | `ERR <message>` (single line; the connection stays open) |
+//!
+//! Updates are **batched per connection**: `INSERT`/`DELETE` lines stage
+//! triples into the session's pending batch and nothing changes until
+//! `APPLY`, which applies the whole batch atomically (deletes first, then
+//! inserts — SPARQL Update convention) and reports what actually changed.
+//! A connection that drops (or `QUIT`s) with a pending batch discards it.
+//! The applied counts reflect real change: inserting a resident triple or
+//! deleting an absent one counts zero and a fully no-op batch does not
+//! advance the epoch.
 //!
 //! Responses are deterministic bytes: a `QUERY` answer is a pure function
 //! of the store contents and the query text, whether it came from cache
@@ -24,14 +36,35 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use eh_par::WorkQueue;
+use eh_rdf::parse_ntriples;
+use emptyheaded::UpdateBatch;
 
 use crate::service::QueryService;
 
+/// Per-connection protocol state: the update batch staged by
+/// `INSERT`/`DELETE` lines, waiting for `APPLY`.
+#[derive(Debug, Default)]
+pub struct Session {
+    pending: UpdateBatch,
+}
+
+impl Session {
+    /// A fresh session with nothing staged.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Triples currently staged (inserts + deletes).
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+}
+
 /// Compute the full response (including trailing newline) for one request
-/// line. This is the protocol's single source of truth: the TCP server
-/// writes exactly these bytes, and tests can call it directly to obtain
-/// reference responses without a socket.
-pub fn respond(service: &QueryService<'_>, line: &str) -> String {
+/// line of a *stateful* session. This is the protocol's single source of
+/// truth: the TCP server writes exactly these bytes, and tests can call
+/// it directly to obtain reference responses without a socket.
+pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &str) -> String {
     let line = line.trim();
     let (cmd, rest) = match line.split_once(char::is_whitespace) {
         Some((cmd, rest)) => (cmd, rest.trim()),
@@ -49,18 +82,46 @@ pub fn respond(service: &QueryService<'_>, line: &str) -> String {
                 out.push('\n');
                 // Row text is rendered once per cached result and reused
                 // by every subsequent hit (see CachedResult).
-                out.push_str(answer.result.rendered_rows(service.store()));
+                out.push_str(answer.result.rendered_rows(&service.store()));
                 out.push_str("END\n");
                 out
             }
             Err(e) => format!("ERR {}\n", e.to_string().replace(['\n', '\r'], " ")),
         },
         "QUERY" => "ERR QUERY needs a SPARQL string on the same line\n".to_string(),
+        verb @ ("INSERT" | "DELETE") if !rest.is_empty() => match parse_ntriples(rest) {
+            Ok(mut triples) if triples.len() == 1 => {
+                let t = triples.pop().expect("length checked");
+                if verb == "INSERT" {
+                    session.pending.insert(t);
+                } else {
+                    session.pending.delete(t);
+                }
+                format!(
+                    "OK pending inserts={} deletes={}\n",
+                    session.pending.inserts.len(),
+                    session.pending.deletes.len()
+                )
+            }
+            Ok(_) => format!("ERR {verb} stages exactly one triple per line\n"),
+            Err(e) => format!("ERR {}\n", e.to_string().replace(['\n', '\r'], " ")),
+        },
+        "INSERT" => "ERR INSERT needs an N-Triples triple on the same line\n".to_string(),
+        "DELETE" => "ERR DELETE needs an N-Triples triple on the same line\n".to_string(),
+        "APPLY" => {
+            let batch = std::mem::take(&mut session.pending);
+            let s = service.update(batch);
+            format!(
+                "OK applied inserted={} deleted={} predicates={} epoch={}\n",
+                s.inserted, s.deleted, s.changed_predicates, s.epoch
+            )
+        }
         "STATS" => {
             let s = service.stats();
             format!(
                 "OK plan_hits={} plan_misses={} result_hits={} result_misses={} \
-                 plan_entries={} cache_entries={} cache_bytes={} epoch={}\n",
+                 plan_entries={} cache_entries={} cache_bytes={} epoch={} \
+                 updates={} inserted={} deleted={}\n",
                 s.plan_hits,
                 s.plan_misses,
                 s.result_hits,
@@ -68,14 +129,32 @@ pub fn respond(service: &QueryService<'_>, line: &str) -> String {
                 s.plan_cache_entries,
                 s.result_cache_entries,
                 s.result_cache_bytes,
-                s.epoch
+                s.epoch,
+                s.updates_applied,
+                s.triples_inserted,
+                s.triples_deleted
             )
         }
         "INVALIDATE" => format!("OK epoch={}\n", service.invalidate()),
         "QUIT" => "OK bye\n".to_string(),
         "" => "ERR empty request\n".to_string(),
-        other => format!("ERR unknown command '{other}' (try QUERY/STATS/INVALIDATE/QUIT)\n"),
+        other => format!(
+            "ERR unknown command '{other}' \
+             (try QUERY/INSERT/DELETE/APPLY/STATS/INVALIDATE/QUIT)\n"
+        ),
     }
+}
+
+/// Stateless convenience for read-only traffic (`QUERY`/`STATS`/...):
+/// each call gets a throwaway [`Session`]. The update verbs need state
+/// that survives across lines, so here they answer `ERR` instead of
+/// silently staging into a batch nobody can ever `APPLY`.
+pub fn respond(service: &QueryService, line: &str) -> String {
+    let verb = line.split_whitespace().next().unwrap_or("").to_ascii_uppercase();
+    if matches!(verb.as_str(), "INSERT" | "DELETE" | "APPLY") {
+        return format!("ERR {verb} needs a stateful session (connect over TCP)\n");
+    }
+    respond_in_session(service, &mut Session::new(), line)
 }
 
 /// Longest accepted request line (1 MiB — generous for any SPARQL text).
@@ -85,10 +164,12 @@ pub fn respond(service: &QueryService<'_>, line: &str) -> String {
 const MAX_REQUEST_BYTES: u64 = 1 << 20;
 
 /// Serve one accepted connection: answer request lines until the client
-/// sends `QUIT` or disconnects. I/O errors end the session quietly — the
-/// peer is gone, there is nobody left to report to.
-fn handle_connection(service: &QueryService<'_>, stream: TcpStream) {
+/// sends `QUIT` or disconnects. Each connection owns a [`Session`], so
+/// its staged updates die with it unless `APPLY`ed. I/O errors end the
+/// session quietly — the peer is gone, there is nobody left to report to.
+fn handle_connection(service: &QueryService, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
+    let mut session = Session::new();
     let mut line = String::new();
     loop {
         line.clear();
@@ -113,7 +194,7 @@ fn handle_connection(service: &QueryService<'_>, stream: TcpStream) {
         // quits, so the "OK bye" reply and the close always agree.
         let quitting =
             line.split_whitespace().next().is_some_and(|cmd| cmd.eq_ignore_ascii_case("QUIT"));
-        let response = respond(service, &line);
+        let response = respond_in_session(service, &mut session, &line);
         if reader.get_mut().write_all(response.as_bytes()).is_err() {
             return;
         }
@@ -143,7 +224,7 @@ fn handle_connection(service: &QueryService<'_>, stream: TcpStream) {
 /// (accepted, queued, not yet served) until one leaves — there is no idle
 /// timeout yet. Size the pool for the expected number of concurrent
 /// connections, not concurrent queries.
-pub fn serve(service: &QueryService<'_>, listener: TcpListener, shutdown: &AtomicBool) {
+pub fn serve(service: &QueryService, listener: TcpListener, shutdown: &AtomicBool) {
     let workers = service.config().server_sessions.max(1);
     listener.set_nonblocking(true).expect("listener into non-blocking mode");
     let queue: WorkQueue<(u64, TcpStream)> = WorkQueue::new();
@@ -254,10 +335,10 @@ mod tests {
     use super::*;
     use crate::service::ServiceConfig;
     use eh_rdf::{Term, Triple, TripleStore};
-    use emptyheaded::{OptFlags, PlannerConfig};
+    use emptyheaded::{OptFlags, PlannerConfig, SharedStore};
 
-    fn store() -> TripleStore {
-        TripleStore::from_triples(vec![
+    fn store() -> SharedStore {
+        SharedStore::from_triples(vec![
             Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b")),
             Triple::new(Term::iri("b"), Term::iri("p"), Term::iri("c")),
             Triple::new(Term::iri("a"), Term::iri("q"), Term::literal("lit")),
@@ -276,7 +357,7 @@ mod tests {
     #[test]
     fn respond_formats_queries_stats_and_errors() {
         let store = store();
-        let svc = QueryService::new(&store, config(1));
+        let svc = QueryService::new(store.clone(), config(1));
         let r = respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
         assert_eq!(r, "OK 2 x y\n<a>\t<b>\n<b>\t<c>\nEND\n");
         let r = respond(&svc, "QUERY SELECT ?x WHERE { ?x <q> \"lit\" }");
@@ -292,11 +373,101 @@ mod tests {
     }
 
     #[test]
+    fn update_verbs_stage_and_apply_in_a_session() {
+        let store = store();
+        let svc = QueryService::new(store.clone(), config(1));
+        let mut session = Session::new();
+        let before =
+            respond_in_session(&svc, &mut session, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        assert!(before.starts_with("OK 2"), "{before}");
+
+        // Stage: nothing visible until APPLY.
+        let r = respond_in_session(&svc, &mut session, "INSERT <c> <p> <d> .");
+        assert_eq!(r, "OK pending inserts=1 deletes=0\n");
+        let r = respond_in_session(&svc, &mut session, "delete <a> <p> <b> .");
+        assert_eq!(r, "OK pending inserts=1 deletes=1\n");
+        assert_eq!(session.pending_ops(), 2);
+        let unchanged =
+            respond_in_session(&svc, &mut session, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        assert_eq!(unchanged, before);
+
+        let r = respond_in_session(&svc, &mut session, "APPLY");
+        assert_eq!(r, "OK applied inserted=1 deleted=1 predicates=1 epoch=1\n");
+        assert_eq!(session.pending_ops(), 0);
+        let after =
+            respond_in_session(&svc, &mut session, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        assert_eq!(after, "OK 2 x y\n<b>\t<c>\n<c>\t<d>\nEND\n");
+
+        // Malformed and empty stagings answer ERR without side effects.
+        assert!(respond_in_session(&svc, &mut session, "INSERT <a> <b>").starts_with("ERR "));
+        assert!(respond_in_session(&svc, &mut session, "INSERT").starts_with("ERR "));
+        // An empty APPLY is a no-op: nothing changed, epoch stays.
+        let r = respond_in_session(&svc, &mut session, "APPLY");
+        assert_eq!(r, "OK applied inserted=0 deleted=0 predicates=0 epoch=1\n");
+        let stats = respond_in_session(&svc, &mut session, "STATS");
+        assert!(stats.contains("updates=2 inserted=1 deleted=1"), "{stats}");
+    }
+
+    #[test]
+    fn stateless_respond_rejects_update_verbs() {
+        let store = store();
+        let svc = QueryService::new(store.clone(), config(1));
+        assert!(respond(&svc, "INSERT <c> <p> <d> .").starts_with("ERR INSERT"));
+        assert!(respond(&svc, "delete <a> <p> <b> .").starts_with("ERR DELETE"));
+        assert!(respond(&svc, "APPLY").starts_with("ERR APPLY"));
+        // Read-only verbs still answer normally.
+        assert!(respond(&svc, "STATS").starts_with("OK "));
+    }
+
+    #[test]
+    fn updates_over_tcp_match_a_cold_engine_on_the_new_data() {
+        let store = store();
+        let svc = QueryService::new(store.clone(), config(2));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let (svc_ref, shutdown_ref) = (&svc, &shutdown);
+            scope.spawn(move || serve(svc_ref, listener, shutdown_ref));
+
+            let mut writer = Client::connect(addr).unwrap();
+            let mut reader = Client::connect(addr).unwrap();
+            let q = "SELECT ?x ?y WHERE { ?x <p> ?y }";
+            // Warm the caches pre-update from a second connection.
+            let warm = reader.query(q).unwrap();
+            assert!(warm.starts_with("OK 2"), "{warm}");
+
+            assert!(writer.send("INSERT <c> <p> <d> .").unwrap().starts_with("OK pending"));
+            assert!(writer.send("DELETE <b> <p> <c> .").unwrap().starts_with("OK pending"));
+            let applied = writer.send("APPLY").unwrap();
+            assert_eq!(applied, "OK applied inserted=1 deleted=1 predicates=1 epoch=1\n");
+
+            // Both connections now see the post-update rows, and the bytes
+            // equal a cold service built directly over the new contents.
+            let cold_store = TripleStore::from_triples(vec![
+                Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b")),
+                Triple::new(Term::iri("c"), Term::iri("p"), Term::iri("d")),
+                Triple::new(Term::iri("a"), Term::iri("q"), Term::literal("lit")),
+            ]);
+            let cold_svc = QueryService::new(cold_store, config(1));
+            let expect = respond(&cold_svc, &format!("QUERY {q}"));
+            assert_eq!(reader.query(q).unwrap(), expect);
+            assert_eq!(writer.query(q).unwrap(), expect);
+
+            writer.send("QUIT").ok();
+            reader.send("QUIT").ok();
+            drop(writer);
+            drop(reader);
+            shutdown.store(true, Ordering::Release);
+        });
+    }
+
+    #[test]
     fn idle_clients_do_not_starve_active_ones() {
         let store = store();
         // Single engine thread, but the session pool (default 8) is
         // sized independently: idle connections must not block service.
-        let svc = QueryService::new(&store, config(1));
+        let svc = QueryService::new(store.clone(), config(1));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let shutdown = AtomicBool::new(false);
@@ -327,7 +498,7 @@ mod tests {
             Term::iri("p"),
             Term::iri("c\td"),
         )]);
-        let svc = QueryService::new(&store, config(1));
+        let svc = QueryService::new(store.clone(), config(1));
         let r = respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
         assert_eq!(r, "OK 1 x y\n<a\\nEND\\nb>\t<c\\td>\nEND\n");
     }
@@ -335,7 +506,7 @@ mod tests {
     #[test]
     fn shutdown_drains_despite_idle_and_sloppy_clients() {
         let store = store();
-        let svc = QueryService::new(&store, config(2));
+        let svc = QueryService::new(store.clone(), config(2));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let shutdown = AtomicBool::new(false);
@@ -361,7 +532,7 @@ mod tests {
     #[test]
     fn server_round_trip_over_tcp() {
         let store = store();
-        let svc = QueryService::new(&store, config(2));
+        let svc = QueryService::new(store.clone(), config(2));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let shutdown = AtomicBool::new(false);

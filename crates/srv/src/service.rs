@@ -1,11 +1,13 @@
 //! The query service: one shared engine, two caches, many callers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 use eh_query::{canonicalize, parse_sparql, CanonicalQuery, ConjunctiveQuery};
 use eh_rdf::TripleStore;
-use emptyheaded::{Engine, EngineError, Plan, PlannerConfig, QueryResult};
+use emptyheaded::{
+    Engine, EngineError, Plan, PlannerConfig, QueryResult, SharedStore, UpdateBatch, UpdateSummary,
+};
 use std::collections::HashMap;
 
 use crate::cache::ResultLru;
@@ -89,6 +91,12 @@ pub struct ServiceStats {
     pub result_cache_entries: u64,
     /// Current catalog epoch.
     pub epoch: u64,
+    /// Update batches applied (including no-op batches).
+    pub updates_applied: u64,
+    /// Triples actually inserted across all applied batches.
+    pub triples_inserted: u64,
+    /// Triples actually deleted across all applied batches.
+    pub triples_deleted: u64,
 }
 
 /// A cacheable result: the engine's [`QueryResult`] plus a lazily
@@ -180,8 +188,8 @@ pub struct Answer {
 /// Cached and freshly computed answers are byte-identical: a cached entry
 /// *is* the deterministic engine's output, and parallel execution is
 /// bit-identical to sequential by the runtime's merge contract.
-pub struct QueryService<'s> {
-    engine: Engine<'s>,
+pub struct QueryService {
+    engine: Engine,
     config: ServiceConfig,
     plans: RwLock<PlanCache>,
     results: Mutex<ResultLru>,
@@ -189,11 +197,14 @@ pub struct QueryService<'s> {
     plan_misses: AtomicU64,
     result_hits: AtomicU64,
     result_misses: AtomicU64,
+    updates_applied: AtomicU64,
+    triples_inserted: AtomicU64,
+    triples_deleted: AtomicU64,
 }
 
-impl<'s> QueryService<'s> {
+impl QueryService {
     /// A service over `store` with the given configuration.
-    pub fn new(store: &'s TripleStore, config: ServiceConfig) -> QueryService<'s> {
+    pub fn new(store: impl Into<SharedStore>, config: ServiceConfig) -> QueryService {
         QueryService {
             engine: Engine::with_config(store, config.planner),
             config,
@@ -203,21 +214,24 @@ impl<'s> QueryService<'s> {
             plan_misses: AtomicU64::new(0),
             result_hits: AtomicU64::new(0),
             result_misses: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            triples_inserted: AtomicU64::new(0),
+            triples_deleted: AtomicU64::new(0),
         }
     }
 
     /// A service with default configuration.
-    pub fn with_defaults(store: &'s TripleStore) -> QueryService<'s> {
+    pub fn with_defaults(store: impl Into<SharedStore>) -> QueryService {
         QueryService::new(store, ServiceConfig::default())
     }
 
     /// The underlying engine.
-    pub fn engine(&self) -> &Engine<'s> {
+    pub fn engine(&self) -> &Engine {
         &self.engine
     }
 
-    /// The underlying store.
-    pub fn store(&self) -> &'s TripleStore {
+    /// Read access to the underlying store (short-lived guard).
+    pub fn store(&self) -> RwLockReadGuard<'_, TripleStore> {
         self.engine.store()
     }
 
@@ -228,7 +242,10 @@ impl<'s> QueryService<'s> {
 
     /// Parse, canonicalize, and answer a SPARQL query through the caches.
     pub fn query_sparql(&self, text: &str) -> Result<Answer, EngineError> {
-        let q = parse_sparql(text, self.store())?;
+        let q = {
+            let store = self.store();
+            parse_sparql(text, &store)?
+        };
         self.query(&q)
     }
 
@@ -257,7 +274,7 @@ impl<'s> QueryService<'s> {
         // busts the budget skip rendering: they cannot be cached, and a
         // protocol caller will render lazily if it needs the text.
         let bytes = if result.approx_bytes() <= self.config.result_cache_bytes {
-            result.approx_bytes() + result.rendered_rows(self.store()).len()
+            result.approx_bytes() + result.rendered_rows(&self.store()).len()
         } else {
             result.approx_bytes()
         };
@@ -279,12 +296,22 @@ impl<'s> QueryService<'s> {
             return Ok((Arc::clone(p), true));
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let planned_epoch = self.engine.catalog().epoch();
         let query = canonical.to_query()?;
         let plan = self.engine.plan(&query)?;
         let entry = Arc::new(CachedPlan { query, plan });
         let mut plans = self.plans.write().expect("plan cache poisoned");
         if let Some(existing) = plans.map.get(canonical) {
             return Ok((Arc::clone(existing), false));
+        }
+        // Plan entries carry no epoch in their key, so an insert must not
+        // outlive the clear that [`QueryService::update`] performs: a
+        // plan computed from pre-update cardinalities (whose attribute
+        // order shapes the byte-exact row order) could otherwise be
+        // published into the post-update cache and served indefinitely.
+        // Planning is per-shape, so running this one uncached is cheap.
+        if self.engine.catalog().epoch() != planned_epoch {
+            return Ok((entry, false));
         }
         let cap = self.config.plan_cache_entries.max(1);
         while plans.map.len() >= cap {
@@ -302,13 +329,40 @@ impl<'s> QueryService<'s> {
     /// epoch may still publish stale entries; the epoch in the key keeps
     /// them unreachable, and LRU pressure retires them.
     pub fn invalidate(&self) -> u64 {
+        self.drop_derived_caches();
+        self.engine.catalog().invalidate()
+    }
+
+    /// Apply a batch of live updates through the engine and retire every
+    /// derived cache entry the change invalidates.
+    ///
+    /// The division of labour: [`Engine::update`] touches only the
+    /// *changed* predicates' tries (untouched predicates keep theirs),
+    /// while this layer drops **all** cached plans and results — a plan
+    /// embeds cardinality-driven decisions (GHD choice, attribute order)
+    /// that the mutation may have shifted, and a materialised result can
+    /// join across any predicate, so neither can be retained per
+    /// predicate. Old-epoch result entries would be unreachable anyway
+    /// (the epoch is in the key); clearing just frees their bytes now. A
+    /// batch that changes nothing leaves epoch and caches untouched.
+    pub fn update(&self, batch: UpdateBatch) -> UpdateSummary {
+        let summary = self.engine.update(batch);
+        if summary.changed_predicates > 0 {
+            self.drop_derived_caches();
+        }
+        self.updates_applied.fetch_add(1, Ordering::Relaxed);
+        self.triples_inserted.fetch_add(summary.inserted as u64, Ordering::Relaxed);
+        self.triples_deleted.fetch_add(summary.deleted as u64, Ordering::Relaxed);
+        summary
+    }
+
+    fn drop_derived_caches(&self) {
         {
             let mut plans = self.plans.write().expect("plan cache poisoned");
             plans.map.clear();
             plans.order.clear();
         }
         self.results.lock().expect("result cache poisoned").clear();
-        self.engine.catalog().invalidate()
     }
 
     /// Current cache counters.
@@ -326,6 +380,9 @@ impl<'s> QueryService<'s> {
             result_cache_bytes: bytes,
             result_cache_entries: entries,
             epoch: self.engine.catalog().epoch(),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            triples_inserted: self.triples_inserted.load(Ordering::Relaxed),
+            triples_deleted: self.triples_deleted.load(Ordering::Relaxed),
         }
     }
 }
@@ -337,9 +394,9 @@ mod tests {
     use eh_lubm::{generate_store, GeneratorConfig};
     use emptyheaded::OptFlags;
 
-    fn service(store: &TripleStore) -> QueryService<'_> {
+    fn service(store: &SharedStore) -> QueryService {
         QueryService::new(
-            store,
+            store.clone(),
             ServiceConfig {
                 planner: PlannerConfig::with_flags(OptFlags::all()),
                 result_cache_bytes: 1 << 20,
@@ -351,9 +408,9 @@ mod tests {
 
     #[test]
     fn repeat_queries_hit_both_caches() {
-        let store = generate_store(&GeneratorConfig::tiny(1));
+        let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
         let svc = service(&store);
-        let q = lubm_query(2, &store).unwrap();
+        let q = lubm_query(2, &store.read()).unwrap();
         let first = svc.query(&q).unwrap();
         assert!(!first.plan_cache_hit && !first.result_cache_hit);
         let second = svc.query(&q).unwrap();
@@ -367,7 +424,7 @@ mod tests {
 
     #[test]
     fn alpha_equivalent_sparql_strings_share_entries() {
-        let store = generate_store(&GeneratorConfig::tiny(1));
+        let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
         let svc = service(&store);
         let a = svc
             .query_sparql(
@@ -392,11 +449,11 @@ mod tests {
 
     #[test]
     fn plan_cache_hits_when_results_do_not_fit() {
-        let store = generate_store(&GeneratorConfig::tiny(1));
+        let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
         // Zero-byte result budget: nothing is ever cached, so repeats
         // exercise the plan cache in isolation.
         let svc = QueryService::new(
-            &store,
+            store.clone(),
             ServiceConfig {
                 planner: PlannerConfig::with_flags(OptFlags::all()),
                 result_cache_bytes: 0,
@@ -404,7 +461,7 @@ mod tests {
                 server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
             },
         );
-        let q = lubm_query(2, &store).unwrap();
+        let q = lubm_query(2, &store.read()).unwrap();
         let reference = svc.query(&q).unwrap();
         for _ in 0..3 {
             let again = svc.query(&q).unwrap();
@@ -419,11 +476,11 @@ mod tests {
 
     #[test]
     fn plan_cache_is_bounded_by_config() {
-        let store = generate_store(&GeneratorConfig::tiny(1));
+        let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
         // Result caching off and a 2-plan cap: the distinct shapes of the
         // workload churn through the bounded plan store.
         let svc = QueryService::new(
-            &store,
+            store.clone(),
             ServiceConfig {
                 planner: PlannerConfig::with_flags(OptFlags::all()),
                 result_cache_bytes: 0,
@@ -432,12 +489,12 @@ mod tests {
             },
         );
         for &n in QUERY_NUMBERS.iter() {
-            svc.query(&lubm_query(n, &store).unwrap()).unwrap();
+            svc.query(&lubm_query(n, &store.read()).unwrap()).unwrap();
             assert!(svc.stats().plan_cache_entries <= 2);
         }
         assert_eq!(svc.stats().plan_cache_entries, 2);
         // Evicted plans rebuild transparently: same answers, extra miss.
-        let q = lubm_query(1, &store).unwrap();
+        let q = lubm_query(1, &store.read()).unwrap();
         let again = svc.query(&q).unwrap();
         assert!(!again.plan_cache_hit);
         assert!(!again.result.is_empty());
@@ -445,11 +502,11 @@ mod tests {
 
     #[test]
     fn cached_answers_match_direct_execution_for_the_whole_workload() {
-        let store = generate_store(&GeneratorConfig::tiny(1));
+        let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
         let svc = service(&store);
-        let engine = Engine::new(&store, OptFlags::all());
+        let engine = Engine::new(store.clone(), OptFlags::all());
         for n in QUERY_NUMBERS {
-            let q = lubm_query(n, &store).unwrap();
+            let q = lubm_query(n, &store.read()).unwrap();
             let direct = engine.run(&q).unwrap();
             let cold = svc.query(&q).unwrap();
             let warm = svc.query(&q).unwrap();
@@ -465,9 +522,9 @@ mod tests {
 
     #[test]
     fn invalidate_bumps_epoch_and_forces_recompute() {
-        let store = generate_store(&GeneratorConfig::tiny(1));
+        let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
         let svc = service(&store);
-        let q = lubm_query(14, &store).unwrap();
+        let q = lubm_query(14, &store.read()).unwrap();
         let before = svc.query(&q).unwrap();
         assert_eq!(svc.invalidate(), 1);
         assert_eq!(svc.stats().epoch, 1);
@@ -479,8 +536,49 @@ mod tests {
     }
 
     #[test]
+    fn update_retires_caches_and_answers_like_a_cold_engine() {
+        use eh_rdf::{Term, Triple};
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        let store = SharedStore::from_triples(vec![t("a", "p", "b")]);
+        let svc = service(&store);
+        let q = "SELECT ?x ?y WHERE { ?x <p> ?y }";
+        assert_eq!(svc.query_sparql(q).unwrap().result.cardinality(), 1);
+        assert!(svc.query_sparql(q).unwrap().result_cache_hit);
+
+        let mut batch = UpdateBatch::new();
+        batch.insert(t("c", "p", "d")).delete(t("a", "p", "b"));
+        let summary = svc.update(batch);
+        assert_eq!((summary.inserted, summary.deleted), (1, 1));
+        assert_eq!(summary.epoch, 1);
+        let stats = svc.stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(
+            (stats.updates_applied, stats.triples_inserted, stats.triples_deleted),
+            (1, 1, 1)
+        );
+        assert_eq!((stats.plan_cache_entries, stats.result_cache_entries), (0, 0));
+
+        // Post-update answers equal a cold engine over the same store.
+        let answer = svc.query_sparql(q).unwrap();
+        assert!(!answer.result_cache_hit && !answer.plan_cache_hit);
+        let cold = Engine::new(store.clone(), OptFlags::all()).run_sparql(q).unwrap();
+        assert_eq!(answer.result.tuples(), cold.tuples());
+
+        // A no-op batch (re-inserting a resident triple) leaves the epoch
+        // and the freshly warmed caches alone.
+        assert!(svc.query_sparql(q).unwrap().result_cache_hit);
+        let mut noop = UpdateBatch::new();
+        noop.insert(t("c", "p", "d"));
+        let summary = svc.update(noop);
+        assert_eq!((summary.inserted, summary.changed_predicates), (0, 0));
+        assert_eq!(summary.epoch, 1);
+        assert_eq!(svc.stats().result_cache_entries, 1);
+        assert!(svc.query_sparql(q).unwrap().result_cache_hit);
+    }
+
+    #[test]
     fn parse_errors_surface_not_panic() {
-        let store = generate_store(&GeneratorConfig::tiny(1));
+        let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
         let svc = service(&store);
         let err = svc.query_sparql("SELECT ?x WHERE { ?x ").unwrap_err();
         assert!(err.to_string().contains("byte"), "{err}");
@@ -488,13 +586,13 @@ mod tests {
 
     #[test]
     fn concurrent_sessions_agree_with_sequential_answers() {
-        let store = generate_store(&GeneratorConfig::tiny(1));
+        let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
         let svc = service(&store);
         let reference: Vec<_> = QUERY_NUMBERS
             .iter()
             .map(|&n| {
-                let q = lubm_query(n, &store).unwrap();
-                Engine::new(&store, OptFlags::all()).run(&q).unwrap()
+                let q = lubm_query(n, &store.read()).unwrap();
+                Engine::new(store.clone(), OptFlags::all()).run(&q).unwrap()
             })
             .collect();
         // 8 sessions × 2 passes over the mix, racing on both caches.
@@ -505,7 +603,7 @@ mod tests {
                     for pass in 0..2 {
                         for i in 0..QUERY_NUMBERS.len() {
                             let idx = (i + worker + pass) % QUERY_NUMBERS.len();
-                            let q = lubm_query(QUERY_NUMBERS[idx], store).unwrap();
+                            let q = lubm_query(QUERY_NUMBERS[idx], &store.read()).unwrap();
                             let a = svc.query(&q).unwrap();
                             assert_eq!(a.result.tuples(), reference[idx].tuples());
                         }

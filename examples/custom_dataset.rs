@@ -27,7 +27,7 @@ fn main() {
     let store = TripleStore::from_triples(triples);
     println!("loaded {} triples", store.num_triples());
 
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
 
     // Colleagues that know each other (a join with a cycle through
     // `knows` and `worksAt`).

@@ -19,7 +19,7 @@ fn main() {
     let store = generate_store(&GeneratorConfig::scale(scale));
     println!("LUBM({scale}): {} triples\n", store.num_triples());
 
-    let eh = Engine::new(&store, OptFlags::all());
+    let eh = Engine::new(store.clone(), OptFlags::all());
     let triplebit = TripleBitStyle::new(&store);
     let rdf3x = Rdf3xStyle::new(&store);
     let monetdb = MonetDbStyle::new(&store);

@@ -18,7 +18,7 @@ fn main() {
 
     // Sequential reference. Following the paper's timing methodology
     // (§IV-A4), plan and warm first so the measurement is join-only.
-    let sequential = Engine::new(&store, OptFlags::all());
+    let sequential = Engine::new(store.clone(), OptFlags::all());
     let plan = sequential.plan(&q).expect("plan");
     sequential.warm(&q).expect("warm");
     let t0 = Instant::now();
@@ -31,7 +31,7 @@ fn main() {
     for threads in [2, 4, 8] {
         let config = PlannerConfig::with_flags(OptFlags::all())
             .with_runtime(RuntimeConfig::with_threads(threads));
-        let engine = Engine::with_config(&store, config);
+        let engine = Engine::with_config(store.clone(), config);
         let plan = engine.plan(&q).expect("plan");
         engine.warm(&q).expect("parallel warm");
         let t0 = Instant::now();

@@ -20,7 +20,7 @@ use wcoj_rdf::srv::{Client, QueryService, ServiceConfig};
 fn main() {
     let store = generate_store(&GeneratorConfig::tiny(1));
     let service = QueryService::new(
-        &store,
+        store.clone(),
         ServiceConfig {
             planner: PlannerConfig::with_flags(OptFlags::all()).with_threads(2),
             result_cache_bytes: 16 << 20,

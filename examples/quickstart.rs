@@ -19,7 +19,7 @@ fn main() {
     );
 
     // 2. An engine with all of the paper's optimizations enabled.
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
 
     // 3. Ask a SPARQL question: graduate students and the university
     //    their department belongs to (a join across three predicates).

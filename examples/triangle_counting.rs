@@ -55,7 +55,7 @@ fn main() {
         agm_bound(3, &[vec![0, 1], vec![1, 2], vec![0, 2]], &[n as u64; 3]).expect("cover exists");
     println!("AGM bound: {:.0} (= N^1.5); any pairwise plan may materialise Ω(N²)", bound);
 
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
     let plan = engine.plan(&q).expect("plannable");
     engine.warm(&q).expect("warm");
     let t0 = Instant::now();

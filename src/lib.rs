@@ -20,19 +20,23 @@
 //!   RDF-3X-, and TripleBit-style) used by the benchmark harness.
 //! * [`srv`] — the serving tier: a concurrent [`srv::QueryService`] with
 //!   canonical-plan and LRU result caches, plus a threaded TCP front end
-//!   speaking a line protocol (`QUERY`/`STATS`/`INVALIDATE`).
+//!   speaking a line protocol
+//!   (`QUERY`/`INSERT`/`DELETE`/`APPLY`/`STATS`/`INVALIDATE`). The store
+//!   behind the engine is live: updates flow through
+//!   [`emptyheaded::Engine::update`] with per-predicate trie
+//!   invalidation.
 //!
 //! ```
 //! use wcoj_rdf::lubm::{GeneratorConfig, generate_store};
 //! use wcoj_rdf::lubm::queries::lubm_query;
-//! use wcoj_rdf::emptyheaded::{Engine, OptFlags};
+//! use wcoj_rdf::emptyheaded::{Engine, OptFlags, SharedStore};
 //!
 //! // Generate a small LUBM dataset (1 university, test-sized profile)
 //! // and run query 2 (the triangle query) through the worst-case
 //! // optimal engine.
-//! let store = generate_store(&GeneratorConfig::tiny(1));
-//! let engine = Engine::new(&store, OptFlags::all());
-//! let q2 = lubm_query(2, &store).unwrap();
+//! let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
+//! let engine = Engine::new(store.clone(), OptFlags::all());
+//! let q2 = lubm_query(2, &store.read()).unwrap();
 //! let result = engine.run(&q2).unwrap();
 //! assert!(result.cardinality() > 0);
 //! ```

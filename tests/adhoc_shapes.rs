@@ -29,7 +29,7 @@ fn graph_store() -> TripleStore {
 }
 
 fn check(store: &TripleStore, q: &ConjunctiveQuery, label: &str) -> usize {
-    let eh = Engine::new(store, OptFlags::all());
+    let eh = Engine::new(store.clone(), OptFlags::all());
     let reference: BTreeSet<Vec<u32>> = eh.run(q).unwrap().iter().map(|r| r.to_vec()).collect();
     let engines: Vec<Box<dyn QueryEngine + '_>> = vec![
         Box::new(MonetDbStyle::new(store)),
@@ -42,7 +42,7 @@ fn check(store: &TripleStore, q: &ConjunctiveQuery, label: &str) -> usize {
         assert_eq!(got, reference, "{label}: {} disagrees", e.name());
     }
     // And the unoptimized worst-case optimal engine.
-    let none = Engine::new(store, OptFlags::none());
+    let none = Engine::new(store.clone(), OptFlags::none());
     let got: BTreeSet<Vec<u32>> = none.run(q).unwrap().iter().map(|r| r.to_vec()).collect();
     assert_eq!(got, reference, "{label}: OptFlags::none disagrees");
     reference.len()
@@ -91,7 +91,7 @@ fn four_cycle_is_wider_than_lubm() {
     let q = qb.select(v.clone()).build().unwrap();
     let h = Hypergraph::from_query(&q);
     assert!(h.is_cyclic());
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
     let plan = engine.plan(&q).unwrap();
     // fhw of the 4-cycle is 2 (two opposite edges cover it).
     assert_eq!(plan.width, wcoj_rdf::lp::Rational::from_int(2));

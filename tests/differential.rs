@@ -96,7 +96,7 @@ fn check_against_oracle(edges: &[(u32, u8, u32)]) -> Result<(), TestCaseError> {
         let expected = sorted_rows(&oracle.execute(q));
         for flags in [OptFlags::all(), OptFlags::none()] {
             let config = PlannerConfig::with_flags(flags).with_runtime(RuntimeConfig::from_env());
-            let engine = Engine::with_config(&store, config);
+            let engine = Engine::with_config(store.clone(), config);
             let got = sorted_rows(engine.run(q).unwrap().tuples());
             prop_assert_eq!(
                 &got,

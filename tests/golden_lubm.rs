@@ -9,7 +9,7 @@
 //! benchmark's inference step, research groups are `subOrganizationOf`
 //! their department, never directly of `University0`.
 
-use wcoj_rdf::emptyheaded::{Engine, OptFlags, PlannerConfig};
+use wcoj_rdf::emptyheaded::{Engine, OptFlags, PlannerConfig, SharedStore};
 use wcoj_rdf::lubm::queries::{lubm_query, QUERY_NUMBERS};
 use wcoj_rdf::lubm::{generate_store, GeneratorConfig};
 
@@ -90,7 +90,7 @@ fn golden_covers_every_workload_query() {
 #[test]
 fn lubm_results_match_goldens() {
     let store = generate_store(&GeneratorConfig::tiny(1));
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(SharedStore::new(store.clone()), OptFlags::all());
     for &(n, count, head) in GOLDEN {
         let q = lubm_query(n, &store).unwrap();
         let r = engine.run(&q).unwrap();
@@ -105,6 +105,7 @@ fn goldens_hold_under_every_profile() {
     // plans, and the env-configured (possibly parallel) runtime: the
     // answer is a property of the query, not of the plan.
     let store = generate_store(&GeneratorConfig::tiny(1));
+    let shared = SharedStore::new(store.clone());
     let configs = [
         PlannerConfig::with_flags(OptFlags::none()),
         PlannerConfig::logicblox_style(),
@@ -112,7 +113,7 @@ fn goldens_hold_under_every_profile() {
             .with_runtime(wcoj_rdf::par::RuntimeConfig::from_env()),
     ];
     for config in configs {
-        let engine = Engine::with_config(&store, config);
+        let engine = Engine::with_config(shared.clone(), config);
         for &(n, count, head) in GOLDEN {
             let q = lubm_query(n, &store).unwrap();
             let r = engine.run(&q).unwrap();

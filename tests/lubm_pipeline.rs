@@ -18,7 +18,7 @@ fn rows(t: &wcoj_rdf::trie::TupleBuffer) -> BTreeSet<Vec<u32>> {
 #[test]
 fn full_workload_all_engines_agree() {
     let store = generate_store(&GeneratorConfig::tiny(2));
-    let eh = Engine::new(&store, OptFlags::all());
+    let eh = Engine::new(store.clone(), OptFlags::all());
     let triplebit = TripleBitStyle::new(&store);
     let rdf3x = Rdf3xStyle::new(&store);
     let monetdb = MonetDbStyle::new(&store);
@@ -44,7 +44,7 @@ fn query_11_is_empty_without_inference() {
     // are subOrganizationOf departments, not universities, and the
     // inference step is removed.
     let store = generate_store(&GeneratorConfig::tiny(1));
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
     let q = lubm_query(11, &store).unwrap();
     assert_eq!(engine.run(&q).unwrap().cardinality(), 0);
 }
@@ -52,7 +52,7 @@ fn query_11_is_empty_without_inference() {
 #[test]
 fn query_4_counts_department0_associate_professors() {
     let store = generate_store(&GeneratorConfig::tiny(1));
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
     let q = lubm_query(4, &store).unwrap();
     let result = engine.run(&q).unwrap();
     // Ground truth from the raw tables: associate professors working for
@@ -72,7 +72,7 @@ fn query_4_counts_department0_associate_professors() {
 fn query_14_counts_every_undergraduate() {
     let store = generate_store(&GeneratorConfig::tiny(1));
     let counts = generate_with(&GeneratorConfig::tiny(1), &mut |_| {});
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
     let q = lubm_query(14, &store).unwrap();
     assert_eq!(engine.run(&q).unwrap().cardinality() as u64, counts.undergrad_students);
 }
@@ -82,7 +82,7 @@ fn query_2_triangle_members_are_consistent() {
     // Every (x, y, z) answer of query 2 satisfies all three triangle
     // edges and the three type constraints.
     let store = generate_store(&GeneratorConfig::tiny(2));
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
     let q = lubm_query(2, &store).unwrap();
     let result = engine.run(&q).unwrap();
     assert!(

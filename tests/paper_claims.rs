@@ -10,7 +10,7 @@
 use std::time::{Duration, Instant};
 
 use wcoj_rdf::baselines::{MonetDbStyle, QueryEngine};
-use wcoj_rdf::emptyheaded::{Engine, OptFlags};
+use wcoj_rdf::emptyheaded::{Engine, OptFlags, SharedStore};
 use wcoj_rdf::lubm::queries::lubm_query;
 use wcoj_rdf::lubm::{generate_store, GeneratorConfig};
 
@@ -28,7 +28,8 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
 #[test]
 fn wcoj_beats_pairwise_on_cyclic_queries() {
     let store = generate_store(&GeneratorConfig::scale(2));
-    let eh = Engine::new(&store, OptFlags::all());
+    let shared = SharedStore::new(store.clone());
+    let eh = Engine::new(shared, OptFlags::all());
     let monet = MonetDbStyle::new(&store);
     for qn in [2u32, 9] {
         let q = lubm_query(qn, &store).unwrap();
@@ -46,13 +47,13 @@ fn wcoj_beats_pairwise_on_cyclic_queries() {
 
 #[test]
 fn optimizations_speed_up_selective_queries() {
-    let store = generate_store(&GeneratorConfig::scale(2));
+    let store = SharedStore::new(generate_store(&GeneratorConfig::scale(2)));
     // Table I's headline rows: queries 1 and 14 gain >100x / >200x from
     // +Attribute at paper scale; require a loose 5x for all opts combined.
     for qn in [1u32, 14] {
-        let q = lubm_query(qn, &store).unwrap();
-        let all = Engine::new(&store, OptFlags::all());
-        let none = Engine::new(&store, OptFlags::none());
+        let q = lubm_query(qn, &store.read()).unwrap();
+        let all = Engine::new(store.clone(), OptFlags::all());
+        let none = Engine::new(store.clone(), OptFlags::none());
         let plan_all = all.plan(&q).unwrap();
         let plan_none = none.plan(&q).unwrap();
         all.warm(&q).unwrap();
@@ -68,12 +69,12 @@ fn optimizations_speed_up_selective_queries() {
 
 #[test]
 fn optimizations_never_change_results() {
-    let store = generate_store(&GeneratorConfig::tiny(2));
+    let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(2)));
     for qn in [1u32, 2, 4, 7, 8, 14] {
-        let q = lubm_query(qn, &store).unwrap();
-        let reference = Engine::new(&store, OptFlags::all()).run(&q).unwrap();
+        let q = lubm_query(qn, &store.read()).unwrap();
+        let reference = Engine::new(store.clone(), OptFlags::all()).run(&q).unwrap();
         for k in 0..=4 {
-            let r = Engine::new(&store, OptFlags::cumulative(k)).run(&q).unwrap();
+            let r = Engine::new(store.clone(), OptFlags::cumulative(k)).run(&q).unwrap();
             assert_eq!(
                 r.tuples(),
                 reference.tuples(),
@@ -87,10 +88,10 @@ fn optimizations_never_change_results() {
 fn plan_widths_match_the_paper() {
     // fhw 3/2 for the two triangle queries (the paper quotes 1.5 for
     // query 2's GHD), 1 for every acyclic query.
-    let store = generate_store(&GeneratorConfig::tiny(1));
-    let engine = Engine::new(&store, OptFlags::all());
+    let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
+    let engine = Engine::new(store.clone(), OptFlags::all());
     for qn in wcoj_rdf::lubm::queries::QUERY_NUMBERS {
-        let q = lubm_query(qn, &store).unwrap();
+        let q = lubm_query(qn, &store.read()).unwrap();
         let plan = engine.plan(&q).unwrap();
         let expected = if wcoj_rdf::lubm::queries::CYCLIC_QUERIES.contains(&qn) {
             wcoj_rdf::lp::Rational::new(3, 2)

@@ -5,7 +5,7 @@
 //! same row order — under every optimization profile, including
 //! morsel size 1 (each outer value its own task) to stress the merge.
 
-use wcoj_rdf::emptyheaded::{Engine, OptFlags, PlannerConfig, RuntimeConfig};
+use wcoj_rdf::emptyheaded::{Engine, OptFlags, PlannerConfig, RuntimeConfig, SharedStore};
 use wcoj_rdf::lubm::queries::{lubm_query, QUERY_NUMBERS};
 use wcoj_rdf::lubm::{generate_store, GeneratorConfig};
 use wcoj_rdf::query::{ConjunctiveQuery, QueryBuilder};
@@ -14,14 +14,15 @@ use wcoj_rdf::rdf::{Term, Triple, TripleStore};
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Sequential reference vs. every parallel configuration, bit for bit.
-fn assert_parallel_identical(store: &TripleStore, q: &ConjunctiveQuery, label: &str) {
+/// Engines share one store handle — no per-configuration deep copies.
+fn assert_parallel_identical(store: &SharedStore, q: &ConjunctiveQuery, label: &str) {
     for flags in [OptFlags::all(), OptFlags::none()] {
-        let reference = Engine::new(store, flags).run(q).unwrap();
+        let reference = Engine::new(store.clone(), flags).run(q).unwrap();
         for threads in THREAD_COUNTS {
             for morsel_size in [1, 256] {
                 let runtime = RuntimeConfig::with_threads(threads).with_morsel_size(morsel_size);
                 let engine = Engine::with_config(
-                    store,
+                    store.clone(),
                     PlannerConfig::with_flags(flags).with_runtime(runtime),
                 );
                 engine.warm(q).unwrap();
@@ -37,9 +38,9 @@ fn assert_parallel_identical(store: &TripleStore, q: &ConjunctiveQuery, label: &
 
 #[test]
 fn lubm_workload_is_parallel_deterministic() {
-    let store = generate_store(&GeneratorConfig::tiny(2));
+    let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(2)));
     for n in QUERY_NUMBERS {
-        let q = lubm_query(n, &store).unwrap();
+        let q = lubm_query(n, &store.read()).unwrap();
         assert_parallel_identical(&store, &q, &format!("LUBM query {n}"));
     }
 }
@@ -65,9 +66,11 @@ fn graph_store() -> TripleStore {
 
 #[test]
 fn adhoc_shapes_are_parallel_deterministic() {
-    let store = graph_store();
-    let e = store.resolve_iri("edge").unwrap();
-    let l = store.resolve_iri("link").unwrap();
+    let store = SharedStore::new(graph_store());
+    let (e, l) = {
+        let guard = store.read();
+        (guard.resolve_iri("edge").unwrap(), guard.resolve_iri("link").unwrap())
+    };
 
     // Four-hop chain (multi-node GHD, pipelined when eligible).
     let chain = {
@@ -107,7 +110,7 @@ fn adhoc_shapes_are_parallel_deterministic() {
 
     // Triangle anchored at a constant neighbour (selection + cycle).
     let anchored = {
-        let anchor = store.resolve_iri("n1");
+        let anchor = store.read().resolve_iri("n1");
         let mut qb = QueryBuilder::new();
         let (x, y, z) = (qb.var("x"), qb.var("y"), qb.var("z"));
         let a = qb.selection_var(anchor);
@@ -121,15 +124,15 @@ fn adhoc_shapes_are_parallel_deterministic() {
 fn logicblox_profile_is_parallel_deterministic_too() {
     // The single-node, selection-blind profile exercises the parallel
     // split on naive attribute orders.
-    let store = generate_store(&GeneratorConfig::tiny(1));
+    let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
     for n in QUERY_NUMBERS {
-        let q = lubm_query(n, &store).unwrap();
+        let q = lubm_query(n, &store.read()).unwrap();
         let reference =
-            Engine::with_config(&store, PlannerConfig::logicblox_style()).run(&q).unwrap();
+            Engine::with_config(store.clone(), PlannerConfig::logicblox_style()).run(&q).unwrap();
         for threads in THREAD_COUNTS {
             let config = PlannerConfig::logicblox_style()
                 .with_runtime(RuntimeConfig::with_threads(threads).with_morsel_size(16));
-            let parallel = Engine::with_config(&store, config).run(&q).unwrap();
+            let parallel = Engine::with_config(store.clone(), config).run(&q).unwrap();
             assert_eq!(parallel, reference, "LUBM query {n} at {threads} threads");
         }
     }
@@ -138,7 +141,7 @@ fn logicblox_profile_is_parallel_deterministic_too() {
 #[test]
 fn parallel_sparql_end_to_end() {
     // SELECT * + trailing dot + parallel runtime in one round trip.
-    let store = generate_store(&GeneratorConfig::tiny(1));
+    let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
     let text = "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
                 PREFIX ub: <http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#>\n\
                 SELECT * WHERE {\n\
@@ -146,12 +149,12 @@ fn parallel_sparql_end_to_end() {
                   ?x ub:memberOf ?dept .\n\
                   ?dept ub:subOrganizationOf ?univ .\n\
                 }";
-    let sequential = Engine::new(&store, OptFlags::all()).run_sparql(text).unwrap();
+    let sequential = Engine::new(store.clone(), OptFlags::all()).run_sparql(text).unwrap();
     assert!(!sequential.is_empty());
     assert_eq!(sequential.columns(), &["x".to_string(), "dept".into(), "univ".into()]);
     for threads in THREAD_COUNTS {
         let config = PlannerConfig::with_flags(OptFlags::all()).with_threads(threads);
-        let parallel = Engine::with_config(&store, config).run_sparql(text).unwrap();
+        let parallel = Engine::with_config(store.clone(), config).run_sparql(text).unwrap();
         assert_eq!(parallel, sequential, "{threads} threads");
     }
 }

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use wcoj_rdf::emptyheaded::{OptFlags, PlannerConfig};
 use wcoj_rdf::lubm::queries::{lubm_sparql, QUERY_NUMBERS};
 use wcoj_rdf::lubm::{generate_store, GeneratorConfig};
-use wcoj_rdf::rdf::TripleStore;
+use wcoj_rdf::srv::SharedStore;
 use wcoj_rdf::srv::{respond, serve, Client, QueryService, ServiceConfig};
 
 fn service_config(threads: usize) -> ServiceConfig {
@@ -32,8 +32,8 @@ fn request_mix() -> Vec<String> {
 
 /// Reference responses from a fresh, single-threaded, cache-cold service:
 /// the bytes every other configuration must reproduce.
-fn reference_responses(store: &TripleStore, requests: &[String]) -> Vec<String> {
-    let svc = QueryService::new(store, service_config(1));
+fn reference_responses(store: &SharedStore, requests: &[String]) -> Vec<String> {
+    let svc = QueryService::new(store.clone(), service_config(1));
     let reference: Vec<String> = requests.iter().map(|r| respond(&svc, r)).collect();
     // The reference pass itself never hit a cache.
     assert_eq!(svc.stats().result_hits, 0);
@@ -42,11 +42,11 @@ fn reference_responses(store: &TripleStore, requests: &[String]) -> Vec<String> 
 
 #[test]
 fn eight_clients_hammering_one_service_get_exact_bytes() {
-    let store = generate_store(&GeneratorConfig::tiny(1));
+    let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
     let requests = request_mix();
     let reference = reference_responses(&store, &requests);
 
-    let svc = QueryService::new(&store, service_config(4));
+    let svc = QueryService::new(store.clone(), service_config(4));
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let shutdown = AtomicBool::new(false);
@@ -97,12 +97,12 @@ fn eight_clients_hammering_one_service_get_exact_bytes() {
 
 #[test]
 fn cached_answers_identical_across_worker_thread_counts() {
-    let store = generate_store(&GeneratorConfig::tiny(1));
+    let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
     let requests = request_mix();
     let reference = reference_responses(&store, &requests);
 
     for threads in [1usize, 2, 4] {
-        let svc = QueryService::new(&store, service_config(threads));
+        let svc = QueryService::new(store.clone(), service_config(threads));
         // Pass 1 fills the caches (uncached execution), pass 2 is served
         // from them; both must reproduce the single-threaded bytes.
         for pass in 0..2 {
@@ -122,11 +122,11 @@ fn cached_answers_identical_across_worker_thread_counts() {
 
 #[test]
 fn invalidation_over_the_wire_is_serialized_with_traffic() {
-    let store = generate_store(&GeneratorConfig::tiny(1));
+    let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
     let requests = request_mix();
     let reference = reference_responses(&store, &requests);
 
-    let svc = QueryService::new(&store, service_config(2));
+    let svc = QueryService::new(store.clone(), service_config(2));
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let shutdown = AtomicBool::new(false);

@@ -29,8 +29,8 @@ fn paper_example_1_attribute_orders() {
     // optimization and [x, a] without.
     let store = generate_store(&GeneratorConfig::tiny(1));
     let q = lubm_query(14, &store).unwrap();
-    let with = Engine::new(&store, OptFlags::all()).plan(&q).unwrap();
-    let without = Engine::new(&store, OptFlags::none()).plan(&q).unwrap();
+    let with = Engine::new(store.clone(), OptFlags::all()).plan(&q).unwrap();
+    let without = Engine::new(store.clone(), OptFlags::none()).plan(&q).unwrap();
     let x = q.var_by_name("X").unwrap();
     let a = q.selected_vars()[0];
     assert_eq!(with.global_order, vec![a, x], "selection attribute first");
@@ -46,7 +46,7 @@ fn paper_q2_selections_precede_join_attributes() {
     // selection attributes before the join attributes.
     let store = generate_store(&GeneratorConfig::tiny(1));
     let q = lubm_query(2, &store).unwrap();
-    let plan = Engine::new(&store, OptFlags::all()).plan(&q).unwrap();
+    let plan = Engine::new(store.clone(), OptFlags::all()).plan(&q).unwrap();
     let n_sel = q.selected_vars().len();
     assert_eq!(n_sel, 3);
     let (front, back) = plan.global_order.split_at(n_sel);
@@ -59,7 +59,7 @@ fn cyclic_queries_keep_their_triangle_in_one_bag() {
     let store = generate_store(&GeneratorConfig::tiny(1));
     for qn in [2u32, 9] {
         let q = lubm_query(qn, &store).unwrap();
-        let plan = Engine::new(&store, OptFlags::all()).plan(&q).unwrap();
+        let plan = Engine::new(store.clone(), OptFlags::all()).plan(&q).unwrap();
         let h = Hypergraph::from_query(&q);
         // Some bag contains all three triangle variables (the unselected,
         // projected ones).
@@ -77,7 +77,7 @@ fn cyclic_queries_keep_their_triangle_in_one_bag() {
 #[test]
 fn logicblox_config_is_single_node() {
     let store = generate_store(&GeneratorConfig::tiny(1));
-    let engine = Engine::with_config(&store, PlannerConfig::logicblox_style());
+    let engine = Engine::with_config(store.clone(), PlannerConfig::logicblox_style());
     for n in QUERY_NUMBERS {
         let q = lubm_query(n, &store).unwrap();
         let plan = engine.plan(&q).unwrap();
@@ -101,7 +101,7 @@ fn ntriples_roundtrip_through_store_and_query() {
     let rendered = write_ntriples(&triples);
     assert_eq!(parse_ntriples(&rendered).unwrap(), triples);
     let store = TripleStore::from_triples(triples);
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
     let r = engine
         .run_sparql("SELECT ?x WHERE { ?x <http://e/p> <http://e/o1> . ?x <http://e/q> \"v\" }")
         .unwrap();
@@ -112,7 +112,7 @@ fn ntriples_roundtrip_through_store_and_query() {
 #[test]
 fn engine_results_are_deterministic() {
     let store = generate_store(&GeneratorConfig::tiny(2));
-    let engine = Engine::new(&store, OptFlags::all());
+    let engine = Engine::new(store.clone(), OptFlags::all());
     for n in QUERY_NUMBERS {
         let q = lubm_query(n, &store).unwrap();
         let a = engine.run(&q).unwrap();
