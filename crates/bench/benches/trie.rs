@@ -1,12 +1,13 @@
 //! Microbenchmarks for trie construction and probing (paper §II-A):
-//! build cost per layout policy and order, and the §III-A covering-index
-//! probe pattern.
+//! build cost per layout policy, order, and representation (Vec-of-Set
+//! `Trie` vs arena `FrozenTrie`), and the §III-A covering-index probe
+//! pattern on both representations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use eh_lubm::{generate_store, pred_iri, GeneratorConfig, Predicate};
-use eh_trie::{LayoutPolicy, Trie, TupleBuffer};
+use eh_trie::{FrozenTrie, LayoutPolicy, Trie, TupleBuffer};
 
 fn bench_trie_build(c: &mut Criterion) {
     let store = generate_store(&GeneratorConfig::scale(1));
@@ -26,6 +27,17 @@ fn bench_trie_build(c: &mut Criterion) {
                 black_box(t.num_tuples())
             })
         });
+        g.bench_with_input(
+            BenchmarkId::new("takesCourse_so_frozen", label),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let t =
+                        FrozenTrie::from_sorted(TupleBuffer::from_pairs(takes.so_pairs()), policy);
+                    black_box(t.num_tuples())
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -42,6 +54,16 @@ fn bench_trie_probe(c: &mut Criterion) {
                 let mut hits = 0usize;
                 for &s in &subjects {
                     hits += usize::from(trie.contains_prefix(&[s]));
+                }
+                black_box(hits)
+            })
+        });
+        let frozen = FrozenTrie::from_sorted(TupleBuffer::from_pairs(takes.so_pairs()), policy);
+        g.bench_function(format!("contains_prefix_frozen/{label}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &s in &subjects {
+                    hits += usize::from(frozen.contains_prefix(&[s]));
                 }
                 black_box(hits)
             })

@@ -40,7 +40,7 @@ use std::sync::{Arc, RwLock};
 
 use eh_par::RuntimeConfig;
 use eh_query::Atom;
-use eh_trie::{LayoutPolicy, Trie, TupleBuffer};
+use eh_trie::{FrozenTrie, LayoutPolicy, TupleBuffer};
 
 use crate::shared::SharedStore;
 
@@ -51,11 +51,16 @@ struct TrieKey {
     auto_layout: bool,
 }
 
-/// Trie provider over a [`SharedStore`].
+/// Trie provider over a [`SharedStore`]. Every trie it serves is a
+/// [`FrozenTrie`] — one contiguous arena per (predicate, order, layout) —
+/// whether it was built from the live store or preloaded from a snapshot
+/// ([`Catalog::preload`]). An update *thaws* only the changed predicates:
+/// their frozen tries are retired and rebuilt from the mutable store
+/// through [`Catalog::refresh_preds`], exactly like any cache miss.
 pub struct Catalog {
     store: SharedStore,
-    cache: RwLock<HashMap<TrieKey, Arc<Trie>>>,
-    empty: Arc<Trie>,
+    cache: RwLock<HashMap<TrieKey, Arc<FrozenTrie>>>,
+    empty: Arc<FrozenTrie>,
     /// Monotonic version of the catalog's contents. Advanced by
     /// [`Catalog::invalidate`] / [`Catalog::refresh_preds`], and only
     /// ever mutated while the `cache` write lock is held — that is what
@@ -78,7 +83,7 @@ impl Catalog {
         Catalog {
             store,
             cache: RwLock::new(HashMap::new()),
-            empty: Arc::new(Trie::build(TupleBuffer::new(2), LayoutPolicy::Auto)),
+            empty: Arc::new(FrozenTrie::build(TupleBuffer::new(2), LayoutPolicy::Auto)),
             epoch: AtomicU64::new(0),
             synced_version,
         }
@@ -147,7 +152,7 @@ impl Catalog {
     /// The trie for `atom`'s predicate table in the given column order.
     /// Predicates absent from the store (or with emptied tables) resolve
     /// to a shared empty trie.
-    pub fn trie(&self, atom: &Atom, subject_first: bool, auto_layout: bool) -> Arc<Trie> {
+    pub fn trie(&self, atom: &Atom, subject_first: bool, auto_layout: bool) -> Arc<FrozenTrie> {
         let Some(pred) = self.store.read().resolve_iri(&atom.relation) else {
             return Arc::clone(&self.empty);
         };
@@ -167,7 +172,7 @@ impl Catalog {
         subject_first: bool,
         auto_layout: bool,
         window: &dyn Fn(),
-    ) -> Arc<Trie> {
+    ) -> Arc<FrozenTrie> {
         let Some(pred) = self.store.read().resolve_iri(&atom.relation) else {
             return Arc::clone(&self.empty);
         };
@@ -187,7 +192,7 @@ impl Catalog {
     /// Without step 3's re-check, a build racing an invalidation could
     /// insert a pre-invalidation trie into the cleared cache and serve it
     /// under the new epoch indefinitely.
-    fn obtain(&self, key: TrieKey, window: &dyn Fn()) -> Arc<Trie> {
+    fn obtain(&self, key: TrieKey, window: &dyn Fn()) -> Arc<FrozenTrie> {
         // The hook models a single racing invalidation, injected into the
         // first build's publish window; it must not re-fire on the retry
         // or the retry can never settle.
@@ -220,7 +225,7 @@ impl Catalog {
 
     /// Build a trie for `key` from the current store contents, or `None`
     /// when the predicate's table is absent or empty.
-    fn build(&self, key: TrieKey) -> Option<Arc<Trie>> {
+    fn build(&self, key: TrieKey) -> Option<Arc<FrozenTrie>> {
         let store = self.store.read();
         let table = store.table(key.pred)?;
         let pairs = if key.subject_first { table.so_pairs() } else { table.os_pairs() };
@@ -228,7 +233,21 @@ impl Catalog {
             return None;
         }
         let policy = if key.auto_layout { LayoutPolicy::Auto } else { LayoutPolicy::UintOnly };
-        Some(Arc::new(Trie::from_sorted(TupleBuffer::from_pairs(pairs), policy)))
+        Some(Arc::new(FrozenTrie::from_sorted(TupleBuffer::from_pairs(pairs), policy)))
+    }
+
+    /// Seed the cache with pre-built frozen tries (auto-layout orders) —
+    /// the snapshot cold-start path: a loaded engine starts *warm*, no
+    /// trie is rebuilt until an update thaws its predicate. Entries are
+    /// inserted as given and trusted to match the store's current tables
+    /// (the snapshot reader validates exactly that before handing them
+    /// over). Intended for startup; entries are published under the
+    /// current epoch like any built trie.
+    pub fn preload(&self, entries: impl IntoIterator<Item = (u32, bool, Arc<FrozenTrie>)>) {
+        let mut cache = self.cache.write().expect("catalog lock poisoned");
+        for (pred, subject_first, trie) in entries {
+            cache.insert(TrieKey { pred, subject_first, auto_layout: true }, trie);
+        }
     }
 
     /// The store changed under `preds` at store version `version`: retire

@@ -1,9 +1,10 @@
 //! The user-facing engine API.
 
+use std::path::Path;
 use std::sync::RwLockReadGuard;
 
 use eh_query::{parse_sparql, ConjunctiveQuery};
-use eh_rdf::TripleStore;
+use eh_rdf::{SnapshotError, StoreSnapshot, TripleStore};
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
@@ -47,6 +48,47 @@ impl Engine {
     /// LogicBlox-style baseline).
     pub fn with_config(store: impl Into<SharedStore>, config: PlannerConfig) -> Engine {
         Engine { catalog: Catalog::new(store.into()), config }
+    }
+
+    /// An engine restored from a snapshot file: the store loads without
+    /// parsing or re-sorting, and any frozen tries the snapshot carries
+    /// are preloaded into the catalog — so the engine starts *warm*, its
+    /// first query served from arenas that were `memcpy`d off disk. The
+    /// loaded store is as mutable as a cold-built one; an
+    /// [`Engine::update`] thaws (rebuilds) only the changed predicates'
+    /// tries, exactly as it would after any invalidation.
+    pub fn from_snapshot(
+        path: impl AsRef<Path>,
+        config: PlannerConfig,
+    ) -> Result<Engine, SnapshotError> {
+        Ok(Engine::from_loaded_snapshot(StoreSnapshot::read_from_path(path)?, config))
+    }
+
+    /// An engine over an already-loaded [`StoreSnapshot`] (see
+    /// [`Engine::from_snapshot`]).
+    pub fn from_loaded_snapshot(snapshot: StoreSnapshot, config: PlannerConfig) -> Engine {
+        let engine = Engine::with_config(snapshot.store, config);
+        engine
+            .catalog
+            .preload(snapshot.tries.into_iter().map(|e| (e.pred, e.subject_first, e.trie)));
+        engine
+    }
+
+    /// Persist the current store — dictionary, predicate tables, and
+    /// freshly frozen hot-order tries — to a snapshot file. Returns the
+    /// bytes written and the number of triples the image holds.
+    ///
+    /// The store's read lock is held only long enough to *clone* the
+    /// store, so the image is a consistent point in time but writers are
+    /// not stalled behind trie freezing and file I/O (the expensive
+    /// parts, which run on the private clone). The triple count is taken
+    /// from that same clone, so it always agrees with the file contents
+    /// even when updates land mid-save.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(u64, usize), SnapshotError> {
+        let store = self.store().clone();
+        let tries = StoreSnapshot::hot_tries(&store);
+        let bytes = StoreSnapshot::write_to_path(&store, &tries, path)?;
+        Ok((bytes, store.num_triples()))
     }
 
     /// Read access to the underlying store. The guard is cheap; hold it
@@ -417,6 +459,33 @@ mod tests {
         assert_eq!(reader.run(&q).unwrap().cardinality(), 4);
         assert_eq!(reader.catalog().epoch(), 1);
         assert_eq!(writer.run(&q).unwrap().cardinality(), 4);
+    }
+
+    #[test]
+    fn snapshot_restart_starts_warm_and_answers_identically() {
+        let store = triangle_store();
+        let engine = Engine::new(store.clone(), OptFlags::all());
+        let q = triangle_query(&store.read());
+        let reference = engine.run(&q).unwrap();
+
+        let path = std::env::temp_dir().join(format!("eh-engine-snap-{}.snap", std::process::id()));
+        engine.save_snapshot(&path).unwrap();
+        let restored = Engine::from_snapshot(&path, PlannerConfig::with_flags(OptFlags::all()))
+            .expect("snapshot loads");
+        std::fs::remove_file(&path).ok();
+
+        // Preloaded: the hot orders are already cached, before any query.
+        assert!(restored.catalog().cached_tries() >= 2);
+        assert_eq!(restored.run(&q).unwrap(), reference);
+
+        // The loaded store stays live: updates thaw only what changed.
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge(0, 3));
+        let summary = restored.update(batch);
+        assert_eq!(summary.inserted, 1);
+        assert_eq!(restored.run(&q).unwrap().cardinality(), 4);
+        // And a writer on the original engine sees independent state.
+        assert_eq!(engine.run(&q).unwrap(), reference);
     }
 
     #[test]

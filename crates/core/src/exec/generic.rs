@@ -23,16 +23,19 @@
 use std::sync::Arc;
 
 use eh_par::RuntimeConfig;
-use eh_setops::{intersect_all, Set};
-use eh_trie::Trie;
+use eh_setops::{intersect_all_refs, Set, SetRef};
+use eh_trie::FrozenTrie;
 
-/// One relation participating in a join: a trie plus the depth at which
-/// each of its levels binds. `depths` may cover only a prefix of the
-/// trie's levels — the unbound suffix is semantically projected away
+/// One relation participating in a join: a frozen trie plus the depth at
+/// which each of its levels binds. `depths` may cover only a prefix of
+/// the trie's levels — the unbound suffix is semantically projected away
 /// (valid because trie levels are ordered by the global attribute order).
 pub(crate) struct PreparedRel {
-    /// The trie (shared with the catalog cache and across workers).
-    pub trie: Arc<Trie>,
+    /// The frozen trie (shared with the catalog cache and across
+    /// workers). Every relation the join touches — catalog-served or an
+    /// intermediate built mid-plan — is arena-backed; its per-block sets
+    /// decode in place as [`SetRef`] views.
+    pub trie: Arc<FrozenTrie>,
     /// `depths[level]` = join depth at which this trie level binds;
     /// strictly increasing.
     pub depths: Vec<usize>,
@@ -272,9 +275,9 @@ fn probe_selected(
 /// participants, shared by [`step`] and the parallel candidate
 /// materialisation.
 fn intersect_participants(spec: &JoinSpec, st: &State, here: &[(usize, usize)]) -> Set {
-    let sets: Vec<&Set> =
+    let sets: Vec<SetRef<'_>> =
         here.iter().map(|&(r, lvl)| spec.rels[r].trie.set(lvl, st.blocks[r][lvl])).collect();
-    intersect_all(&sets).expect("at least one participant")
+    intersect_all_refs(&sets).expect("at least one participant")
 }
 
 /// Move every participant's cursor to the child block of `v` (which is
@@ -295,8 +298,8 @@ mod tests {
     use super::*;
     use eh_trie::{LayoutPolicy, TupleBuffer};
 
-    fn trie_of(pairs: &[(u32, u32)]) -> Arc<Trie> {
-        Arc::new(Trie::build(TupleBuffer::from_pairs(pairs), LayoutPolicy::Auto))
+    fn trie_of(pairs: &[(u32, u32)]) -> Arc<FrozenTrie> {
+        Arc::new(FrozenTrie::build(TupleBuffer::from_pairs(pairs), LayoutPolicy::Auto))
     }
 
     fn collect(spec: &JoinSpec) -> Vec<Vec<u32>> {
@@ -383,7 +386,7 @@ mod tests {
         let mut f = TupleBuffer::new(1);
         f.push(&[2]);
         f.push(&[3]);
-        let f = Arc::new(Trie::build(f, LayoutPolicy::Auto));
+        let f = Arc::new(FrozenTrie::build(f, LayoutPolicy::Auto));
         let spec = JoinSpec {
             num_vars: 2,
             sel: vec![None, None],
@@ -411,7 +414,7 @@ mod tests {
 
     #[test]
     fn empty_relation_yields_nothing() {
-        let e = Arc::new(Trie::build(TupleBuffer::new(2), LayoutPolicy::Auto));
+        let e = Arc::new(FrozenTrie::build(TupleBuffer::new(2), LayoutPolicy::Auto));
         let r = trie_of(&[(1, 2)]);
         let spec = JoinSpec {
             num_vars: 2,

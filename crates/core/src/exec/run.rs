@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use eh_par::RuntimeConfig;
 use eh_query::{ConjunctiveQuery, Var};
-use eh_trie::{LayoutPolicy, Trie, TupleBuffer};
+use eh_trie::{FrozenTrie, LayoutPolicy, TupleBuffer};
 
 use crate::catalog::Catalog;
 use crate::exec::generic::{run_join_parallel, JoinSpec, PreparedRel};
@@ -225,7 +225,7 @@ fn children_rels(
                 shared.iter().map(|v| child.attrs.iter().position(|w| w == v).unwrap()).collect();
             child.tuples.permute(&cols)
         };
-        let trie = Arc::new(Trie::build(tuples, layout_policy(auto_layout)));
+        let trie = Arc::new(FrozenTrie::build(tuples, layout_policy(auto_layout)));
         rels.push(PreparedRel { trie, depths });
     }
     Some(rels)
@@ -276,7 +276,7 @@ fn final_join(
     let rels: Vec<PreparedRel> = live
         .iter()
         .map(|r| {
-            let trie = Arc::new(Trie::build(r.tuples.clone(), layout_policy(auto_layout)));
+            let trie = Arc::new(FrozenTrie::build(r.tuples.clone(), layout_policy(auto_layout)));
             let depths =
                 r.attrs.iter().map(|v| join_vars.iter().position(|w| w == v).unwrap()).collect();
             PreparedRel { trie, depths }
@@ -299,7 +299,7 @@ fn final_join(
 /// where to read its shared-prefix values in the assembled row, and where
 /// its private columns land.
 struct NodeExt {
-    trie: Arc<Trie>,
+    trie: Arc<FrozenTrie>,
     /// Positions in the *assembled* output row supplying the shared
     /// prefix values (bound by the root or an earlier extension).
     shared_positions: Vec<usize>,
@@ -334,7 +334,8 @@ fn run_pipelined(
 
     // Root-join intermediates: the root's children participate on their
     // shared prefix (full child trie, truncated depths).
-    let mut child_tries: Vec<Option<Arc<Trie>>> = (0..plan.ghd.num_nodes()).map(|_| None).collect();
+    let mut child_tries: Vec<Option<Arc<FrozenTrie>>> =
+        (0..plan.ghd.num_nodes()).map(|_| None).collect();
     let mut intermediates: Vec<PreparedRel> = Vec::new();
     for &c in &plan.ghd.children[root] {
         let child = results[c].as_ref().expect("children ran before the root");
@@ -343,7 +344,7 @@ fn run_pipelined(
         }
         let shared = &plan.nodes[c].shared_with_parent;
         debug_assert!(child.attrs.starts_with(shared), "planner checked the prefix");
-        let trie = Arc::new(Trie::build(child.tuples.clone(), layout_policy(auto_layout)));
+        let trie = Arc::new(FrozenTrie::build(child.tuples.clone(), layout_policy(auto_layout)));
         child_tries[c] = Some(Arc::clone(&trie));
         if !shared.is_empty() {
             intermediates
@@ -373,7 +374,7 @@ fn run_pipelined(
         emit_attrs.extend_from_slice(&child.attrs[shared.len()..]);
         let trie = match child_tries[t].take() {
             Some(t) => t,
-            None => Arc::new(Trie::build(child.tuples.clone(), layout_policy(auto_layout))),
+            None => Arc::new(FrozenTrie::build(child.tuples.clone(), layout_policy(auto_layout))),
         };
         exts.push(NodeExt { trie, shared_positions, base });
     }
@@ -448,7 +449,7 @@ fn extend_nodes(
 fn walk_private(
     exts: &[NodeExt],
     i: usize,
-    trie: &Trie,
+    trie: &FrozenTrie,
     level: usize,
     block: usize,
     offset: usize,

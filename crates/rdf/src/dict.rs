@@ -80,6 +80,15 @@ impl Dictionary {
         Dictionary::default()
     }
 
+    /// Rebuild a dictionary from its terms in key order (the snapshot
+    /// load path). The reverse map is re-hashed — the only per-term work
+    /// a snapshot load performs — but no parsing, allocation-per-probe,
+    /// or key reassignment happens: term `i` keeps key `i`.
+    pub(crate) fn from_terms(terms: Vec<Term>) -> Dictionary {
+        let map = terms.iter().enumerate().map(|(i, t)| (t.clone(), i as u32)).collect();
+        Dictionary { map, terms }
+    }
+
     /// Encode `term`, assigning the next key on first encounter.
     ///
     /// # Panics

@@ -22,6 +22,7 @@
 
 mod dict;
 mod ntriples;
+mod snapshot;
 mod store;
 mod term;
 mod triple;
@@ -29,6 +30,9 @@ mod vp;
 
 pub use dict::Dictionary;
 pub use ntriples::{parse_ntriples, write_ntriples, NtError};
+pub use snapshot::{
+    FrozenTrieEntry, SnapshotError, StoreSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use store::{StoreStats, TripleStore, UpdateReport};
 pub use term::Term;
 pub use triple::{EncodedTriple, Triple};

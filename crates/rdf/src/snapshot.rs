@@ -1,0 +1,827 @@
+//! Versioned, checksummed store snapshots: the cold-start path.
+//!
+//! A production server cannot re-parse N-Triples and re-sort every
+//! predicate table on restart. A snapshot persists the whole read-path
+//! state — dictionary, both sort orders of every [`PairTable`], and
+//! (optionally) pre-built [`FrozenTrie`] arenas for the hot trie orders —
+//! so a reload is bulk `memcpy`-shaped: no parsing, no sorting, no
+//! per-block allocation. The frozen-trie arenas load as single contiguous
+//! `u32` blocks and are served by the catalog as-is.
+//!
+//! ## File format (version 1, little-endian)
+//!
+//! ```text
+//! [0..8)   magic  b"EHSNAP01"
+//! [8..12)  format version (u32) = 1
+//! [12..20) payload length in bytes (u64)
+//! [20..28) XXH64 checksum of the payload (u64)
+//! [28..)   payload
+//! ```
+//!
+//! Payload sections, in order:
+//!
+//! 1. **dictionary** — term count, then each term as `(kind u8, len u32,
+//!    utf-8 bytes)` in key order (term *i* keeps key *i*);
+//! 2. **tables** — table count, then per table `(pred, name, pair count,
+//!    so pairs, os pairs)`, both orders verbatim so the load re-sorts
+//!    nothing;
+//! 3. **frozen tries** — entry count, then per entry `(pred,
+//!    subject_first, arity, num_tuples, level directory, arena)`.
+//!
+//! ## Compatibility policy
+//!
+//! The version is bumped on any layout change; [`StoreSnapshot::read`]
+//! rejects unknown versions (and anything truncated, mis-magicked, or
+//! failing the checksum) with a typed [`SnapshotError`] — never a panic.
+//! Snapshots are an *optimisation*, not the system of record: on any
+//! read error, rebuild from the source N-Triples.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use eh_trie::FrozenTrie;
+
+use crate::store::TripleStore;
+use crate::term::Term;
+use crate::vp::PairTable;
+
+/// The 8-byte magic that opens every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EHSNAP01";
+/// The format version this build writes and accepts.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Fixed header size: magic + version + payload length + checksum.
+const HEADER_BYTES: usize = 28;
+
+/// Why a snapshot could not be written or read.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`SNAPSHOT_VERSION`].
+    BadVersion(u32),
+    /// The file ends before the declared payload does.
+    Truncated,
+    /// The payload checksum (XXH64) does not match the header.
+    ChecksumMismatch,
+    /// The payload decoded but its structure is inconsistent.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::BadVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// A pre-built frozen trie shipped inside a snapshot: one (predicate,
+/// order) the serving engine treats as hot.
+#[derive(Debug, Clone)]
+pub struct FrozenTrieEntry {
+    /// Dictionary key of the predicate this trie indexes.
+    pub pred: u32,
+    /// `true` for the subject-major `[s, o]` order, `false` for `[o, s]`.
+    pub subject_first: bool,
+    /// The arena-backed trie, ready to serve.
+    pub trie: Arc<FrozenTrie>,
+}
+
+/// A loaded snapshot: the reassembled store plus any frozen tries it
+/// carried (see [`StoreSnapshot::read`]).
+#[derive(Debug)]
+pub struct StoreSnapshot {
+    /// The store, committed and fully queryable (and mutable — updates
+    /// after a snapshot load work exactly as on a cold-built store).
+    pub store: TripleStore,
+    /// Pre-built tries for the hot orders, for an index catalog to
+    /// preload.
+    pub tries: Vec<FrozenTrieEntry>,
+}
+
+impl StoreSnapshot {
+    /// The standard hot orders: an auto-layout [`FrozenTrie`] for both
+    /// `[s, o]` and `[o, s]` of every non-empty predicate — exactly the
+    /// set of tries a warmed query engine holds for a binary-atom
+    /// workload.
+    pub fn hot_tries(store: &TripleStore) -> Vec<FrozenTrieEntry> {
+        let mut out = Vec::new();
+        for table in store.tables() {
+            if table.is_empty() {
+                continue;
+            }
+            for subject_first in [true, false] {
+                let pairs = if subject_first { table.so_pairs() } else { table.os_pairs() };
+                let trie = FrozenTrie::from_sorted(
+                    eh_trie::TupleBuffer::from_pairs(pairs),
+                    eh_trie::LayoutPolicy::Auto,
+                );
+                out.push(FrozenTrieEntry {
+                    pred: table.pred(),
+                    subject_first,
+                    trie: Arc::new(trie),
+                });
+            }
+        }
+        out
+    }
+
+    /// Serialize `store` (plus optional pre-built tries) to `w`.
+    /// Returns the total bytes written.
+    pub fn write(
+        store: &TripleStore,
+        tries: &[FrozenTrieEntry],
+        mut w: impl Write,
+    ) -> Result<u64, SnapshotError> {
+        let payload = encode_payload(store, tries);
+        let checksum = xxh64(&payload);
+        w.write_all(&SNAPSHOT_MAGIC)?;
+        w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        w.write_all(&checksum.to_le_bytes())?;
+        w.write_all(&payload)?;
+        w.flush()?;
+        Ok(HEADER_BYTES as u64 + payload.len() as u64)
+    }
+
+    /// Serialize to a file path (buffered).
+    pub fn write_to_path(
+        store: &TripleStore,
+        tries: &[FrozenTrieEntry],
+        path: impl AsRef<Path>,
+    ) -> Result<u64, SnapshotError> {
+        StoreSnapshot::write(store, tries, BufWriter::new(File::create(path)?))
+    }
+
+    /// Read and verify a snapshot: magic, version, length, checksum, then
+    /// structure. All failure modes are `Err`, never panics — corrupt
+    /// input must not take a serving process down.
+    pub fn read(mut r: impl Read) -> Result<StoreSnapshot, SnapshotError> {
+        let mut header = [0u8; HEADER_BYTES];
+        read_exact_or_truncated(&mut r, &mut header)?;
+        if header[0..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let payload_len = u64::from_le_bytes(header[12..20].try_into().expect("fixed slice"));
+        let checksum = u64::from_le_bytes(header[20..28].try_into().expect("fixed slice"));
+        let mut payload = Vec::new();
+        r.read_to_end(&mut payload)?;
+        if (payload.len() as u64) < payload_len {
+            return Err(SnapshotError::Truncated);
+        }
+        if payload.len() as u64 > payload_len {
+            return Err(SnapshotError::Malformed("trailing bytes after payload"));
+        }
+        if xxh64(&payload) != checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        decode_payload(&payload)
+    }
+
+    /// Read from a file path. The whole file is slurped in one
+    /// (size-hinted) read — on the cold-start critical path, funnelling
+    /// a couple hundred KB through a `BufReader`'s 8 KiB window would
+    /// just be an extra copy.
+    pub fn read_from_path(path: impl AsRef<Path>) -> Result<StoreSnapshot, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        StoreSnapshot::read(&bytes[..])
+    }
+}
+
+fn read_exact_or_truncated(r: &mut impl Read, buf: &mut [u8]) -> Result<(), SnapshotError> {
+    r.read_exact(buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => SnapshotError::Truncated,
+        _ => SnapshotError::Io(e),
+    })
+}
+
+// ---------------------------------------------------------------- payload
+
+fn encode_payload(store: &TripleStore, tries: &[FrozenTrieEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    // Dictionary.
+    let dict = store.dict();
+    put_u32(&mut out, dict.len() as u32);
+    for (_, term) in dict.iter() {
+        let (kind, text) = match term {
+            Term::Iri(s) => (0u8, s.as_str()),
+            Term::Literal(s) => (1u8, s.as_str()),
+        };
+        out.push(kind);
+        put_u32(&mut out, text.len() as u32);
+        out.extend_from_slice(text.as_bytes());
+    }
+    // Tables, both orders verbatim.
+    let tables = store.tables();
+    put_u32(&mut out, tables.len() as u32);
+    for t in tables {
+        put_u32(&mut out, t.pred());
+        put_u32(&mut out, t.name().len() as u32);
+        out.extend_from_slice(t.name().as_bytes());
+        put_u32(&mut out, t.len() as u32);
+        for &(a, b) in t.so_pairs() {
+            put_u32(&mut out, a);
+            put_u32(&mut out, b);
+        }
+        for &(a, b) in t.os_pairs() {
+            put_u32(&mut out, a);
+            put_u32(&mut out, b);
+        }
+    }
+    // Frozen tries.
+    put_u32(&mut out, tries.len() as u32);
+    for e in tries {
+        let (arity, num_tuples, levels, arena) = e.trie.raw_parts();
+        put_u32(&mut out, e.pred);
+        out.push(e.subject_first as u8);
+        put_u32(&mut out, arity);
+        put_u32(&mut out, num_tuples);
+        put_u32(&mut out, levels.len() as u32);
+        for &(off, count) in levels {
+            put_u32(&mut out, off);
+            put_u32(&mut out, count);
+        }
+        put_u32(&mut out, arena.len() as u32);
+        for &w in arena {
+            put_u32(&mut out, w);
+        }
+    }
+    out
+}
+
+fn decode_payload(bytes: &[u8]) -> Result<StoreSnapshot, SnapshotError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    // Dictionary.
+    let n_terms = c.u32()? as usize;
+    let mut terms = Vec::with_capacity(n_terms.min(c.remaining()));
+    for _ in 0..n_terms {
+        let kind = c.u8()?;
+        let text = c.string()?;
+        terms.push(match kind {
+            0 => Term::Iri(text),
+            1 => Term::Literal(text),
+            _ => return Err(SnapshotError::Malformed("unknown term kind")),
+        });
+    }
+    // Tables.
+    let n_tables = c.u32()? as usize;
+    let mut tables = Vec::with_capacity(n_tables.min(c.remaining()));
+    let mut seen_preds = std::collections::HashSet::new();
+    for _ in 0..n_tables {
+        let pred = c.u32()?;
+        // Duplicate tables would make `by_pred` (last wins) disagree with
+        // whole-store iteration (sees both): reject the inconsistency at
+        // the door.
+        if !seen_preds.insert(pred) {
+            return Err(SnapshotError::Malformed("duplicate predicate table"));
+        }
+        let name = c.string()?;
+        let n_pairs = c.u32()? as usize;
+        let so = c.pairs(n_pairs)?;
+        let os = c.pairs(n_pairs)?;
+        if pred as usize >= terms.len() {
+            return Err(SnapshotError::Malformed("table predicate outside dictionary"));
+        }
+        // One fused pass per order: sorted-unique (so binary searches
+        // work) and id-bounded (an out-of-dictionary id surviving into a
+        // query result would panic in `Dictionary::decode` much later, on
+        // a serving thread — exactly the class of failure the never-panic
+        // guarantee exists for).
+        for pairs in [&so, &os] {
+            let sorted = pairs.windows(2).all(|w| w[0] < w[1]);
+            let bounded = pairs.last().is_none_or(|&(a, _)| (a as usize) < terms.len())
+                && pairs.iter().all(|&(_, b)| (b as usize) < terms.len());
+            if !sorted || !bounded {
+                return Err(SnapshotError::Malformed("table pairs not sorted or out of range"));
+            }
+        }
+        // The two orders must describe the same relation, or the same
+        // query would answer differently depending on which access order
+        // the planner picks. Both are sorted unique and equally long, so
+        // membership of every transposed `os` pair in `so` is a full
+        // bijection check — O(n log n) binary searches, no re-sort.
+        if !os.iter().all(|&(o, s)| so.binary_search(&(s, o)).is_ok()) {
+            return Err(SnapshotError::Malformed("table orders are not transposes"));
+        }
+        tables.push(PairTable::from_sorted_parts(name, pred, so, os));
+    }
+    let store = TripleStore::from_snapshot_parts(terms, tables);
+    // Frozen tries.
+    let n_tries = c.u32()? as usize;
+    let mut tries = Vec::with_capacity(n_tries.min(c.remaining()));
+    let mut seen_orders = std::collections::HashSet::new();
+    for _ in 0..n_tries {
+        let pred = c.u32()?;
+        let subject_first = match c.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Malformed("bad trie order flag")),
+        };
+        if !seen_orders.insert((pred, subject_first)) {
+            return Err(SnapshotError::Malformed("duplicate frozen trie entry"));
+        }
+        let arity = c.u32()?;
+        let num_tuples = c.u32()?;
+        let n_levels = c.u32()? as usize;
+        let mut levels = Vec::with_capacity(n_levels.min(c.remaining()));
+        for _ in 0..n_levels {
+            let off = c.u32()?;
+            let count = c.u32()?;
+            levels.push((off, count));
+        }
+        let arena_len = c.u32()? as usize;
+        let arena = c.words(arena_len)?;
+        let trie = FrozenTrie::from_raw_parts(arity, num_tuples, levels, arena)
+            .map_err(SnapshotError::Malformed)?;
+        // A preloaded trie is served by the catalog as if it were built
+        // from the table, so its contents must *be* the table in the
+        // claimed order, tuple for tuple — a count or id-range check
+        // would let a transposed (or otherwise mislabeled) trie through
+        // and silently corrupt every query over its predicate. This walk
+        // is an O(n) in-place decode + compare: no sorting, no rebuild,
+        // so the zero-copy load path keeps its speedup.
+        let Some(table) = store.table(pred) else {
+            return Err(SnapshotError::Malformed("frozen trie for an absent table"));
+        };
+        let pairs = if subject_first { table.so_pairs() } else { table.os_pairs() };
+        if !trie.matches_pairs(pairs) {
+            return Err(SnapshotError::Malformed("frozen trie does not match its table"));
+        }
+        tries.push(FrozenTrieEntry { pred, subject_first, trie: Arc::new(trie) });
+    }
+    if c.remaining() != 0 {
+        return Err(SnapshotError::Malformed("unconsumed payload bytes"));
+    }
+    Ok(StoreSnapshot { store, tries })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked payload reader: every accessor returns `Err` rather
+/// than panicking past the end, and length-prefixed reads validate the
+/// length against the remaining bytes *before* allocating.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("fixed slice")))
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?.to_vec();
+        String::from_utf8(bytes).map_err(|_| SnapshotError::Malformed("invalid utf-8 text"))
+    }
+
+    fn pairs(&mut self, n: usize) -> Result<Vec<(u32, u32)>, SnapshotError> {
+        let bytes = self.take(n.checked_mul(8).ok_or(SnapshotError::Truncated)?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| {
+                (
+                    u32::from_le_bytes(c[0..4].try_into().expect("fixed slice")),
+                    u32::from_le_bytes(c[4..8].try_into().expect("fixed slice")),
+                )
+            })
+            .collect())
+    }
+
+    fn words(&mut self, n: usize) -> Result<Vec<u32>, SnapshotError> {
+        let bytes = self.take(n.checked_mul(4).ok_or(SnapshotError::Truncated)?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("fixed slice")))
+            .collect())
+    }
+}
+
+// ------------------------------------------------------------------ xxh64
+
+const XXP1: u64 = 0x9E37_79B1_85EB_CA87;
+const XXP2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const XXP3: u64 = 0x1656_67B1_9E37_79F9;
+const XXP4: u64 = 0x85EB_CA77_C2B2_AE63;
+const XXP5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn xx_round(acc: u64, lane: u64) -> u64 {
+    acc.wrapping_add(lane.wrapping_mul(XXP2)).rotate_left(31).wrapping_mul(XXP1)
+}
+
+#[inline]
+fn xx_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("fixed slice"))
+}
+
+/// XXH64 (seed 0), implemented here because the workspace vendors no
+/// external crates. Chosen over CRC-32 deliberately: the checksum runs
+/// over the whole payload on the cold-start critical path, and the four
+/// independent multiply lanes stream several bytes per cycle where a
+/// table-driven CRC plods one — with 64 bits of equally good corruption
+/// detection. (This checksum guards against *corruption*; it is not a
+/// cryptographic integrity mechanism.)
+fn xxh64(bytes: &[u8]) -> u64 {
+    let len = bytes.len() as u64;
+    let mut h: u64;
+    let mut tail = bytes;
+    if bytes.len() >= 32 {
+        let stripes = bytes.chunks_exact(32);
+        tail = stripes.remainder();
+        let mut v1 = XXP1.wrapping_add(XXP2);
+        let mut v2 = XXP2;
+        let mut v3 = 0u64;
+        let mut v4 = 0u64.wrapping_sub(XXP1);
+        for s in stripes {
+            v1 = xx_round(v1, xx_u64(&s[0..8]));
+            v2 = xx_round(v2, xx_u64(&s[8..16]));
+            v3 = xx_round(v3, xx_u64(&s[16..24]));
+            v4 = xx_round(v4, xx_u64(&s[24..32]));
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        for v in [v1, v2, v3, v4] {
+            h = (h ^ xx_round(0, v)).wrapping_mul(XXP1).wrapping_add(XXP4);
+        }
+    } else {
+        h = XXP5;
+    }
+    h = h.wrapping_add(len);
+    while tail.len() >= 8 {
+        h = (h ^ xx_round(0, xx_u64(tail))).rotate_left(27).wrapping_mul(XXP1).wrapping_add(XXP4);
+        tail = &tail[8..];
+    }
+    if tail.len() >= 4 {
+        let k = u32::from_le_bytes(tail[..4].try_into().expect("fixed slice")) as u64;
+        h = (h ^ k.wrapping_mul(XXP1)).rotate_left(23).wrapping_mul(XXP2).wrapping_add(XXP3);
+        tail = &tail[4..];
+    }
+    for &b in tail {
+        h = (h ^ (b as u64).wrapping_mul(XXP5)).rotate_left(11).wrapping_mul(XXP1);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(XXP2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(XXP3);
+    h ^= h >> 32;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn sample_store() -> TripleStore {
+        TripleStore::from_triples(vec![
+            t("s1", "p", "o1"),
+            t("s1", "p", "o2"),
+            t("s2", "p", "o1"),
+            t("s1", "q", "o2"),
+            Triple::new(Term::iri("s2"), Term::iri("q"), Term::literal("lit \"x\"\n")),
+        ])
+    }
+
+    fn snapshot_bytes(store: &TripleStore) -> Vec<u8> {
+        let tries = StoreSnapshot::hot_tries(store);
+        let mut buf = Vec::new();
+        StoreSnapshot::write(store, &tries, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn xxh64_reference_vectors() {
+        // Canonical XXH64 (seed 0) vectors, cross-checked against the
+        // reference implementation.
+        assert_eq!(xxh64(b""), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"a"), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxh64(b"abc"), 0x44BC_2CF5_AD77_0999);
+        assert_eq!(xxh64(b"The quick brown fox jumps over the lazy dog"), 0x0B24_2D36_1FDA_71BC);
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let store = sample_store();
+        let bytes = snapshot_bytes(&store);
+        let snap = StoreSnapshot::read(&bytes[..]).unwrap();
+        // Dictionary: identical keys and terms.
+        assert_eq!(snap.store.dict().len(), store.dict().len());
+        for (k, term) in store.dict().iter() {
+            assert_eq!(snap.store.dict().decode(k), term);
+        }
+        // Tables: identical contents in both orders.
+        assert_eq!(snap.store.tables().len(), store.tables().len());
+        for (a, b) in store.tables().iter().zip(snap.store.tables()) {
+            assert_eq!((a.pred(), a.name()), (b.pred(), b.name()));
+            assert_eq!(a.so_pairs(), b.so_pairs());
+            assert_eq!(a.os_pairs(), b.os_pairs());
+            assert_eq!(a.distinct_subjects(), b.distinct_subjects());
+            assert_eq!(a.distinct_objects(), b.distinct_objects());
+        }
+        assert_eq!(
+            store.encoded_triples().collect::<Vec<_>>(),
+            snap.store.encoded_triples().collect::<Vec<_>>()
+        );
+        // Frozen tries: one per (non-empty predicate, order), identical
+        // to a fresh build from the loaded table.
+        assert_eq!(snap.tries.len(), 2 * store.tables().len());
+        for e in &snap.tries {
+            let table = snap.store.table(e.pred).unwrap();
+            let pairs = if e.subject_first { table.so_pairs() } else { table.os_pairs() };
+            let fresh = FrozenTrie::from_sorted(
+                eh_trie::TupleBuffer::from_pairs(pairs),
+                eh_trie::LayoutPolicy::Auto,
+            );
+            assert_eq!(*e.trie, fresh);
+        }
+    }
+
+    #[test]
+    fn loaded_store_stays_mutable() {
+        let store = sample_store();
+        let bytes = snapshot_bytes(&store);
+        let mut loaded = StoreSnapshot::read(&bytes[..]).unwrap().store;
+        let report = loaded.add_triples(vec![t("s9", "p", "o9"), t("s9", "r", "o9")]);
+        assert_eq!(report.added, 2);
+        assert_eq!(loaded.num_triples(), store.num_triples() + 2);
+        let report = loaded.remove_triples(vec![t("s1", "p", "o1")]);
+        assert_eq!(report.removed, 1);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = TripleStore::new();
+        let mut buf = Vec::new();
+        StoreSnapshot::write(&store, &[], &mut buf).unwrap();
+        let snap = StoreSnapshot::read(&buf[..]).unwrap();
+        assert_eq!(snap.store.dict().len(), 0);
+        assert!(snap.tries.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_version_truncation_and_checksum() {
+        let store = sample_store();
+        let good = snapshot_bytes(&store);
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(StoreSnapshot::read(&bad[..]), Err(SnapshotError::BadMagic)));
+
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(StoreSnapshot::read(&bad[..]), Err(SnapshotError::BadVersion(99))));
+
+        for cut in [0, 7, 12, 23, 24, good.len() / 2, good.len() - 1] {
+            assert!(
+                matches!(StoreSnapshot::read(&good[..cut]), Err(SnapshotError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(StoreSnapshot::read(&bad[..]), Err(SnapshotError::ChecksumMismatch)));
+
+        let mut extended = good.clone();
+        extended.push(0);
+        assert!(StoreSnapshot::read(&extended[..]).is_err());
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic() {
+        // The corruption property, exhaustively for one small snapshot:
+        // every single-byte mutation either still reads (a single flip
+        // never collides the checksum, but stay permissive) or returns a
+        // typed error — it must never panic.
+        // The workspace-level proptest widens this to random multi-byte
+        // mutations over random stores.
+        let store = TripleStore::from_triples(vec![t("a", "p", "b")]);
+        let good = snapshot_bytes(&store);
+        for i in 0..good.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = good.clone();
+                bad[i] ^= flip;
+                let _ = StoreSnapshot::read(&bad[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_valid_out_of_dictionary_ids_are_rejected() {
+        // A snapshot can be internally consistent (good magic, version,
+        // checksum) and still carry ids the dictionary cannot decode; reading
+        // one must be a typed error, never a later decode panic.
+        let bogus_table = TripleStore::from_snapshot_parts(
+            vec![Term::iri("p")],
+            vec![PairTable::from_sorted_parts("p".into(), 0, vec![(5, 6)], vec![(6, 5)])],
+        );
+        let mut buf = Vec::new();
+        StoreSnapshot::write(&bogus_table, &[], &mut buf).unwrap();
+        assert!(
+            matches!(StoreSnapshot::read(&buf[..]), Err(SnapshotError::Malformed(m)) if m.contains("pair")),
+            "out-of-dictionary pair must be rejected"
+        );
+
+        // Same for a shipped frozen trie: right predicate, right tuple
+        // count, but values outside the dictionary.
+        let store = TripleStore::from_triples(vec![t("a", "p", "b")]);
+        let pred = store.resolve_iri("p").unwrap();
+        let rogue = FrozenTrie::from_sorted(
+            eh_trie::TupleBuffer::from_pairs(&[(7, 8)]),
+            eh_trie::LayoutPolicy::Auto,
+        );
+        let entry = FrozenTrieEntry { pred, subject_first: true, trie: std::sync::Arc::new(rogue) };
+        let mut buf = Vec::new();
+        StoreSnapshot::write(&store, &[entry], &mut buf).unwrap();
+        assert!(
+            matches!(StoreSnapshot::read(&buf[..]), Err(SnapshotError::Malformed(m)) if m.contains("trie")),
+            "out-of-dictionary trie value must be rejected"
+        );
+    }
+
+    #[test]
+    fn mislabeled_and_duplicate_entries_are_rejected() {
+        // A trie whose order flag lies — the [o, s] trie labeled as
+        // subject-major — passes any count/id-range check (same length,
+        // same id universe) but would silently transpose every answer
+        // over its predicate; only exact content comparison catches it.
+        let store = TripleStore::from_triples(vec![t("a", "p", "b"), t("c", "p", "a")]);
+        let table = store.table_by_name("p").unwrap();
+        let transposed = FrozenTrie::from_sorted(
+            eh_trie::TupleBuffer::from_pairs(table.os_pairs()),
+            eh_trie::LayoutPolicy::Auto,
+        );
+        let entry = FrozenTrieEntry {
+            pred: table.pred(),
+            subject_first: true, // lie: this is the [o, s] trie
+            trie: std::sync::Arc::new(transposed),
+        };
+        let mut buf = Vec::new();
+        StoreSnapshot::write(&store, &[entry], &mut buf).unwrap();
+        assert!(
+            matches!(StoreSnapshot::read(&buf[..]), Err(SnapshotError::Malformed(m)) if m.contains("match")),
+            "a transposed trie must not load"
+        );
+
+        // Duplicate (pred, order) trie entries are inconsistent by
+        // construction (which one would the catalog serve?).
+        let tries = StoreSnapshot::hot_tries(&store);
+        let doubled: Vec<FrozenTrieEntry> = tries.iter().chain(tries.iter()).cloned().collect();
+        let mut buf = Vec::new();
+        StoreSnapshot::write(&store, &doubled, &mut buf).unwrap();
+        assert!(
+            matches!(StoreSnapshot::read(&buf[..]), Err(SnapshotError::Malformed(m)) if m.contains("duplicate")),
+            "duplicate trie entries must not load"
+        );
+
+        // A table whose two orders are each valid but describe different
+        // relations would answer the same query differently depending on
+        // the access order the planner picks.
+        let skewed = TripleStore::from_snapshot_parts(
+            vec![Term::iri("a"), Term::iri("p"), Term::iri("b")],
+            vec![PairTable::from_sorted_parts("p".into(), 1, vec![(0, 2)], vec![(1, 0)])],
+        );
+        let mut buf = Vec::new();
+        StoreSnapshot::write(&skewed, &[], &mut buf).unwrap();
+        assert!(
+            matches!(StoreSnapshot::read(&buf[..]), Err(SnapshotError::Malformed(m)) if m.contains("transpose")),
+            "non-transposed orders must not load"
+        );
+
+        // Duplicate predicate tables: `by_pred` would answer from one
+        // while whole-store iteration sees both.
+        let twin = TripleStore::from_snapshot_parts(
+            vec![Term::iri("a"), Term::iri("p"), Term::iri("b")],
+            vec![
+                PairTable::from_sorted_parts("p".into(), 1, vec![(0, 2)], vec![(2, 0)]),
+                PairTable::from_sorted_parts("p".into(), 1, vec![(2, 0)], vec![(0, 2)]),
+            ],
+        );
+        let mut buf = Vec::new();
+        StoreSnapshot::write(&twin, &[], &mut buf).unwrap();
+        assert!(
+            matches!(StoreSnapshot::read(&buf[..]), Err(SnapshotError::Malformed(m)) if m.contains("duplicate")),
+            "duplicate tables must not load"
+        );
+    }
+
+    mod corruption_proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The corruption-hardening property (randomised): arbitrary
+            /// multi-byte mutations of a small valid snapshot either read
+            /// back (only possible when the flips are all no-ops) or
+            /// return a typed error — truncation, bad magic/version,
+            /// checksum mismatch, or malformed structure — never a panic.
+            #[test]
+            fn random_mutations_return_err_not_panic(
+                flips in proptest::collection::vec((0usize..2048, 1u8..=255), 1..16),
+                cut in 0usize..4096,
+            ) {
+                let store = TripleStore::from_triples(vec![
+                    t("a", "p", "b"),
+                    t("a", "p", "c"),
+                    t("b", "q", "c"),
+                ]);
+                let good = snapshot_bytes(&store);
+                let mut bad = good.clone();
+                for &(pos, mask) in &flips {
+                    let pos = pos % bad.len();
+                    bad[pos] ^= mask;
+                }
+                if cut < bad.len() * 2 {
+                    // Half the cut range truncates, half leaves the file
+                    // whole, so both shapes are exercised.
+                    bad.truncate(cut.min(bad.len()));
+                }
+                match StoreSnapshot::read(&bad[..]) {
+                    Ok(snap) => {
+                        // Only reachable when every flip cancelled out.
+                        prop_assert_eq!(bad, good);
+                        prop_assert_eq!(snap.store.num_triples(), store.num_triples());
+                    }
+                    Err(e) => {
+                        // The error renders; corruption is diagnosable.
+                        prop_assert!(!e.to_string().is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_reports_total_bytes() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        let n = StoreSnapshot::write(&store, &[], &mut buf).unwrap();
+        assert_eq!(n, buf.len() as u64);
+        assert!(n > 24);
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let store = sample_store();
+        let path = std::env::temp_dir().join(format!("eh-snap-test-{}.snap", std::process::id()));
+        let tries = StoreSnapshot::hot_tries(&store);
+        StoreSnapshot::write_to_path(&store, &tries, &path).unwrap();
+        let snap = StoreSnapshot::read_from_path(&path).unwrap();
+        assert_eq!(snap.store.num_triples(), store.num_triples());
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(StoreSnapshot::read_from_path(&path), Err(SnapshotError::Io(_))));
+    }
+}

@@ -94,6 +94,21 @@ impl TripleStore {
         store
     }
 
+    /// Reassemble a committed store from snapshot parts: the dictionary's
+    /// terms in key order plus fully built tables. The `by_pred` index is
+    /// rebuilt; nothing is sorted or re-encoded.
+    pub(crate) fn from_snapshot_parts(terms: Vec<Term>, tables: Vec<PairTable>) -> TripleStore {
+        let by_pred = tables.iter().enumerate().map(|(i, t)| (t.pred(), i)).collect();
+        TripleStore {
+            dict: Dictionary::from_terms(terms),
+            tables,
+            by_pred,
+            pending: HashMap::new(),
+            pending_names: Vec::new(),
+            n_pending: 0,
+        }
+    }
+
     /// Buffer one triple (call [`commit`](TripleStore::commit) before reading).
     pub fn insert(&mut self, t: Triple) {
         let s = self.dict.encode(&t.s);

@@ -31,6 +31,25 @@ impl PairTable {
         PairTable { name, pred, so, os, distinct_subjects, distinct_objects }
     }
 
+    /// Rebuild from both pre-sorted orders (the snapshot load path): no
+    /// sorting, no deduplication — the distinct counts are recomputed by
+    /// a linear scan, everything else is taken as-is. Sortedness is a
+    /// debug assertion only; callers are expected to have integrity-
+    /// checked the input (the snapshot reader checksums it).
+    pub(crate) fn from_sorted_parts(
+        name: String,
+        pred: u32,
+        so: Vec<(u32, u32)>,
+        os: Vec<(u32, u32)>,
+    ) -> PairTable {
+        debug_assert!(so.windows(2).all(|w| w[0] < w[1]), "so pairs must be sorted unique");
+        debug_assert!(os.windows(2).all(|w| w[0] < w[1]), "os pairs must be sorted unique");
+        debug_assert_eq!(so.len(), os.len());
+        let distinct_subjects = count_distinct_firsts(&so);
+        let distinct_objects = count_distinct_firsts(&os);
+        PairTable { name, pred, so, os, distinct_subjects, distinct_objects }
+    }
+
     /// Predicate IRI text.
     pub fn name(&self) -> &str {
         &self.name

@@ -1,8 +1,12 @@
 //! Word-aligned bitset layout (paper §II-A2).
 
-/// A set of `u32` values stored as an uncompressed bitset.
+use crate::view::BitsRef;
+
+/// A set of `u32` values stored as an uncompressed bitset over **32-bit
+/// words**, so the payload is representable inside the `u32`-aligned
+/// frozen arenas ([`SetRef`](crate::SetRef) borrows the words directly).
 ///
-/// The bitset covers the word-aligned range `[64*base_word, 64*(base_word +
+/// The bitset covers the word-aligned range `[32*base_word, 32*(base_word +
 /// words.len()))`; values below or above that range are simply absent. This
 /// offset representation keeps dense clusters far from zero compact, which
 /// matters for dictionary-encoded RDF data where each predicate's ids are
@@ -10,16 +14,23 @@
 ///
 /// Membership is `O(1)` — the constant-time equality-selection probe the
 /// paper's +Layout optimization relies on (§III-A).
+///
+/// Every read operation (membership, rank, iteration, intersection)
+/// delegates to the borrowed [`BitsRef`] view, so owned and frozen bitsets
+/// execute through one code path.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BitSet {
-    base_word: usize,
-    words: Box<[u64]>,
+    base_word: u32,
+    words: Box<[u32]>,
     /// Rank directory: `ranks[i]` = number of set bits in `words[..i]`.
     /// Makes [`BitSet::rank`] O(1) — tries call rank per descend, so a
     /// scan here would make trie iteration quadratic.
     ranks: Box<[u32]>,
     len: usize,
 }
+
+/// Bits per payload word.
+pub(crate) const WORD_BITS: u32 = 32;
 
 impl BitSet {
     /// Build from a sorted, duplicate-free slice.
@@ -28,41 +39,43 @@ impl BitSet {
         if values.is_empty() {
             return BitSet::default();
         }
-        let base_word = (values[0] / 64) as usize;
-        let last_word = (values[values.len() - 1] / 64) as usize;
-        let mut words = vec![0u64; last_word - base_word + 1];
+        let base_word = values[0] / WORD_BITS;
+        let last_word = values[values.len() - 1] / WORD_BITS;
+        let mut words = vec![0u32; (last_word - base_word + 1) as usize];
         for &v in values {
-            let w = (v / 64) as usize - base_word;
-            words[w] |= 1u64 << (v % 64);
+            let w = (v / WORD_BITS - base_word) as usize;
+            words[w] |= 1u32 << (v % WORD_BITS);
         }
         Self::from_words(base_word, words, values.len())
     }
 
-    fn from_words(base_word: usize, words: Vec<u64>, len: usize) -> Self {
-        let mut ranks = Vec::with_capacity(words.len());
-        let mut acc = 0u32;
-        for w in &words {
-            ranks.push(acc);
-            acc += w.count_ones();
-        }
-        debug_assert_eq!(acc as usize, len);
+    /// Adopt pre-computed parts (payload copy, no rank recomputation) —
+    /// the materialisation path of [`SetRef::to_set`](crate::SetRef).
+    pub(crate) fn from_raw(base_word: u32, words: Vec<u32>, ranks: Vec<u32>, len: usize) -> Self {
+        debug_assert_eq!(ranks, rank_directory(&words));
         BitSet { base_word, words: words.into_boxed_slice(), ranks: ranks.into_boxed_slice(), len }
+    }
+
+    pub(crate) fn from_words(base_word: u32, words: Vec<u32>, len: usize) -> Self {
+        let ranks = rank_directory(&words);
+        debug_assert_eq!(
+            ranks.last().map_or(0, |&r| r as usize)
+                + words.last().map_or(0, |w| w.count_ones() as usize),
+            len
+        );
+        BitSet { base_word, words: words.into_boxed_slice(), ranks: ranks.into_boxed_slice(), len }
+    }
+
+    /// Borrow this bitset as the layout-shared view all kernels run on.
+    #[inline]
+    pub fn as_bits_ref(&self) -> BitsRef<'_> {
+        BitsRef::new(self.base_word, &self.words, &self.ranks, self.len as u32)
     }
 
     /// Rank of `v`: its index in sorted order, if present. O(1) via the
     /// rank directory.
     pub fn rank(&self, v: u32) -> Option<usize> {
-        let w = (v / 64) as usize;
-        if w < self.base_word || w - self.base_word >= self.words.len() {
-            return None;
-        }
-        let word = w - self.base_word;
-        let bit = 1u64 << (v % 64);
-        if self.words[word] & bit == 0 {
-            return None;
-        }
-        let below = (self.words[word] & (bit - 1)).count_ones();
-        Some(self.ranks[word] as usize + below as usize)
+        self.as_bits_ref().rank(v)
     }
 
     /// Number of elements (cached popcount).
@@ -80,110 +93,72 @@ impl BitSet {
     /// Constant-time membership probe.
     #[inline]
     pub fn contains(&self, v: u32) -> bool {
-        let w = (v / 64) as usize;
-        if w < self.base_word || w - self.base_word >= self.words.len() {
-            return false;
-        }
-        self.words[w - self.base_word] & (1u64 << (v % 64)) != 0
+        self.as_bits_ref().contains(v)
     }
 
     /// First word index covered by this bitset.
-    #[inline]
-    pub(crate) fn base_word(&self) -> usize {
+    #[cfg(test)]
+    pub(crate) fn base_word(&self) -> u32 {
         self.base_word
     }
 
     /// Backing words.
-    #[inline]
-    pub(crate) fn words(&self) -> &[u64] {
+    #[cfg(test)]
+    pub(crate) fn words(&self) -> &[u32] {
         &self.words
     }
 
     /// Smallest element.
     pub fn min(&self) -> Option<u32> {
-        self.words
-            .iter()
-            .enumerate()
-            .find(|(_, w)| **w != 0)
-            .map(|(i, w)| ((self.base_word + i) as u32) * 64 + w.trailing_zeros())
+        self.as_bits_ref().min()
     }
 
     /// Largest element.
     pub fn max(&self) -> Option<u32> {
-        self.words
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|(_, w)| **w != 0)
-            .map(|(i, w)| ((self.base_word + i) as u32) * 64 + 63 - w.leading_zeros())
+        self.as_bits_ref().max()
     }
 
     /// Iterate elements in increasing order.
     pub fn iter(&self) -> BitIter<'_> {
-        BitIter {
-            words: &self.words,
-            base_word: self.base_word,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
-            remaining: self.len,
-        }
+        self.as_bits_ref().iter()
     }
 
     /// Memory footprint of the payload in bytes.
     pub fn bytes(&self) -> usize {
-        self.words.len() * std::mem::size_of::<u64>()
+        self.words.len() * std::mem::size_of::<u32>()
     }
 
     /// Word-wise AND intersection with another bitset, producing a new
     /// bitset over the overlapping word range.
     pub fn intersect_bitset(&self, other: &BitSet) -> BitSet {
-        let lo = self.base_word.max(other.base_word);
-        let hi = (self.base_word + self.words.len()).min(other.base_word + other.words.len());
-        if lo >= hi {
-            return BitSet::default();
-        }
-        let mut words = vec![0u64; hi - lo];
-        let mut len = 0usize;
-        for (i, w) in words.iter_mut().enumerate() {
-            let a = self.words[lo + i - self.base_word];
-            let b = other.words[lo + i - other.base_word];
-            *w = a & b;
-            len += w.count_ones() as usize;
-        }
-        // Trim zero words at both ends so `base_word`/extent stay tight.
-        let first = words.iter().position(|w| *w != 0);
-        match first {
-            None => BitSet::default(),
-            Some(f) => {
-                let l = words.iter().rposition(|w| *w != 0).unwrap();
-                Self::from_words(lo + f, words[f..=l].to_vec(), len)
-            }
-        }
+        crate::view::intersect_bits(self.as_bits_ref(), other.as_bits_ref())
     }
 
     /// Count of the word-wise AND without materialising the result.
     pub fn intersect_bitset_count(&self, other: &BitSet) -> usize {
-        let lo = self.base_word.max(other.base_word);
-        let hi = (self.base_word + self.words.len()).min(other.base_word + other.words.len());
-        if lo >= hi {
-            return 0;
-        }
-        (lo..hi)
-            .map(|w| {
-                (self.words[w - self.base_word] & other.words[w - other.base_word]).count_ones()
-                    as usize
-            })
-            .sum()
+        self.as_bits_ref().intersect_count(other.as_bits_ref())
     }
 }
 
-/// Iterator over the elements of a [`BitSet`] in increasing order.
+/// The rank directory for a word slice: prefix popcounts.
+pub(crate) fn rank_directory(words: &[u32]) -> Vec<u32> {
+    let mut ranks = Vec::with_capacity(words.len());
+    let mut acc = 0u32;
+    for w in words {
+        ranks.push(acc);
+        acc += w.count_ones();
+    }
+    ranks
+}
+
+/// Iterator over the elements of a bitset in increasing order, shared by
+/// the owned [`BitSet`] and borrowed [`BitsRef`] representations.
 pub struct BitIter<'a> {
-    words: &'a [u64],
-    base_word: usize,
-    word_idx: usize,
-    current: u64,
-    remaining: usize,
+    pub(crate) words: &'a [u32],
+    pub(crate) base_word: u32,
+    pub(crate) word_idx: usize,
+    pub(crate) current: u32,
+    pub(crate) remaining: usize,
 }
 
 impl Iterator for BitIter<'_> {
@@ -200,7 +175,7 @@ impl Iterator for BitIter<'_> {
         let bit = self.current.trailing_zeros();
         self.current &= self.current - 1; // clear lowest set bit
         self.remaining -= 1;
-        Some(((self.base_word + self.word_idx) as u32) * 64 + bit)
+        Some((self.base_word + self.word_idx as u32) * WORD_BITS + bit)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -216,7 +191,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let vals = [0u32, 1, 63, 64, 65, 1000];
+        let vals = [0u32, 1, 31, 32, 65, 1000];
         let b = BitSet::from_sorted(&vals);
         assert_eq!(b.len(), vals.len());
         assert_eq!(b.iter().collect::<Vec<_>>(), vals);
@@ -234,7 +209,7 @@ mod tests {
     #[test]
     fn offset_base_is_compact() {
         let b = BitSet::from_sorted(&[6400, 6401]);
-        assert_eq!(b.base_word(), 100);
+        assert_eq!(b.base_word(), 200);
         assert_eq!(b.words().len(), 1);
     }
 
@@ -244,6 +219,17 @@ mod tests {
         assert_eq!(b.min(), Some(65));
         assert_eq!(b.max(), Some(513));
         assert_eq!(BitSet::default().min(), None);
+    }
+
+    #[test]
+    fn rank_agrees_with_iteration_order() {
+        let vals = [3u32, 31, 32, 33, 95, 96, 300];
+        let b = BitSet::from_sorted(&vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(b.rank(v), Some(i), "rank of {v}");
+        }
+        assert_eq!(b.rank(4), None);
+        assert_eq!(b.rank(0), None);
     }
 
     #[test]
@@ -270,7 +256,7 @@ mod tests {
         let b = BitSet::from_sorted(&[640, 1000]);
         let c = a.intersect_bitset(&b);
         assert_eq!(c.iter().collect::<Vec<_>>(), vec![640]);
-        assert_eq!(c.base_word(), 10);
+        assert_eq!(c.base_word(), 20);
         assert_eq!(c.words().len(), 1);
     }
 

@@ -9,31 +9,41 @@
 //!   SIMD-friendly path the paper credits for its cyclic-query edge over
 //!   LogicBlox, §IV-B);
 //! * uint ∩ bitset — probe the bitset for every array element.
+//!
+//! Every kernel takes borrowed [`SetRef`] views, so owned [`Set`]s and
+//! frozen arena sets intersect through identical code — the `&Set` entry
+//! points below are thin `as_ref` wrappers.
 
-use crate::bitset::BitSet;
 use crate::set::Set;
 use crate::uint::{intersect_uint, UintSet};
+use crate::view::{intersect_bits, BitsRef, SetRef};
 
-/// Intersect two sets. The result layout follows the natural layout of the
-/// kernel (uint for array-driven kernels, bitset for word-AND) and is *not*
-/// re-optimized here; callers that keep results long-term can call
-/// [`Set::optimize`].
-pub fn intersect(a: &Set, b: &Set) -> Set {
+/// Intersect two set views. The result layout follows the natural layout
+/// of the kernel (uint for array-driven kernels, bitset for word-AND) and
+/// is *not* re-optimized here; callers that keep results long-term can
+/// call [`Set::optimize`].
+pub fn intersect_refs(a: SetRef<'_>, b: SetRef<'_>) -> Set {
     match (a, b) {
-        (Set::Uint(x), Set::Uint(y)) => {
+        (SetRef::Uint(x), SetRef::Uint(y)) => {
             let mut out = Vec::with_capacity(x.len().min(y.len()));
-            intersect_uint(x.as_slice(), y.as_slice(), &mut out);
+            intersect_uint(x, y, &mut out);
             Set::Uint(UintSet::from_sorted_vec(out))
         }
-        (Set::Bits(x), Set::Bits(y)) => Set::Bits(x.intersect_bitset(y)),
-        (Set::Uint(x), Set::Bits(y)) => Set::Uint(probe_uint_bits(x, y)),
-        (Set::Bits(x), Set::Uint(y)) => Set::Uint(probe_uint_bits(y, x)),
+        (SetRef::Bits(x), SetRef::Bits(y)) => Set::Bits(intersect_bits(x, y)),
+        (SetRef::Uint(x), SetRef::Bits(y)) | (SetRef::Bits(y), SetRef::Uint(x)) => {
+            Set::Uint(probe_uint_bits(x, y))
+        }
     }
 }
 
-fn probe_uint_bits(u: &UintSet, b: &BitSet) -> UintSet {
+/// Intersect two owned sets (see [`intersect_refs`]).
+pub fn intersect(a: &Set, b: &Set) -> Set {
+    intersect_refs(a.as_ref(), b.as_ref())
+}
+
+fn probe_uint_bits(u: &[u32], b: BitsRef<'_>) -> UintSet {
     let mut out = Vec::with_capacity(u.len().min(b.len()));
-    for v in u.iter() {
+    for &v in u {
         if b.contains(v) {
             out.push(v);
         }
@@ -43,11 +53,10 @@ fn probe_uint_bits(u: &UintSet, b: &BitSet) -> UintSet {
 
 /// Cardinality of `a ∩ b` without materialisation. Used for aggregate
 /// (COUNT) queries and for ordering multiway intersections.
-pub fn intersect_count(a: &Set, b: &Set) -> usize {
+pub fn intersect_count_refs(a: SetRef<'_>, b: SetRef<'_>) -> usize {
     match (a, b) {
-        (Set::Uint(x), Set::Uint(y)) => {
+        (SetRef::Uint(xs), SetRef::Uint(ys)) => {
             // Count via merge without allocating.
-            let (xs, ys) = (x.as_slice(), y.as_slice());
             let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
             while i < xs.len() && j < ys.len() {
                 match xs[i].cmp(&ys[j]) {
@@ -62,18 +71,22 @@ pub fn intersect_count(a: &Set, b: &Set) -> usize {
             }
             n
         }
-        (Set::Bits(x), Set::Bits(y)) => x.intersect_bitset_count(y),
-        (Set::Uint(x), Set::Bits(y)) | (Set::Bits(y), Set::Uint(x)) => {
-            x.iter().filter(|&v| y.contains(v)).count()
+        (SetRef::Bits(x), SetRef::Bits(y)) => x.intersect_count(y),
+        (SetRef::Uint(x), SetRef::Bits(y)) | (SetRef::Bits(y), SetRef::Uint(x)) => {
+            x.iter().filter(|&&v| y.contains(v)).count()
         }
     }
 }
 
+/// Cardinality of the intersection of two owned sets.
+pub fn intersect_count(a: &Set, b: &Set) -> usize {
+    intersect_count_refs(a.as_ref(), b.as_ref())
+}
+
 /// True when `a ∩ b` is non-empty, with early exit.
-pub fn intersects(a: &Set, b: &Set) -> bool {
+pub fn intersects_refs(a: SetRef<'_>, b: SetRef<'_>) -> bool {
     match (a, b) {
-        (Set::Uint(x), Set::Uint(y)) => {
-            let (xs, ys) = (x.as_slice(), y.as_slice());
+        (SetRef::Uint(xs), SetRef::Uint(ys)) => {
             let (mut i, mut j) = (0usize, 0usize);
             while i < xs.len() && j < ys.len() {
                 match xs[i].cmp(&ys[j]) {
@@ -84,69 +97,83 @@ pub fn intersects(a: &Set, b: &Set) -> bool {
             }
             false
         }
-        (Set::Bits(x), Set::Bits(y)) => {
-            let lo = x.base_word().max(y.base_word());
-            let hi = (x.base_word() + x.words().len()).min(y.base_word() + y.words().len());
-            (lo..hi).any(|w| x.words()[w - x.base_word()] & y.words()[w - y.base_word()] != 0)
-        }
-        (Set::Uint(x), Set::Bits(y)) | (Set::Bits(y), Set::Uint(x)) => {
-            x.iter().any(|v| y.contains(v))
+        (SetRef::Bits(x), SetRef::Bits(y)) => x.intersects(y),
+        (SetRef::Uint(x), SetRef::Bits(y)) | (SetRef::Bits(y), SetRef::Uint(x)) => {
+            x.iter().any(|&v| y.contains(v))
         }
     }
 }
 
-/// Multiway intersection: folds pairwise, smallest sets first so the
-/// running result shrinks as fast as possible.
+/// True when two owned sets intersect.
+pub fn intersects(a: &Set, b: &Set) -> bool {
+    intersects_refs(a.as_ref(), b.as_ref())
+}
+
+/// Multiway intersection over set views: folds pairwise, smallest sets
+/// first so the running result shrinks as fast as possible.
 ///
 /// Returns the full universe-equivalent only when `sets` is empty — callers
 /// in Generic-Join always pass at least one set, so we return `None` for an
 /// empty input to force the caller to decide.
-pub fn intersect_all(sets: &[&Set]) -> Option<Set> {
+pub fn intersect_all_refs(sets: &[SetRef<'_>]) -> Option<Set> {
     match sets.len() {
         0 => None,
-        1 => Some(sets[0].clone()),
+        1 => Some(sets[0].to_set()),
         _ => {
-            let mut order: Vec<&Set> = sets.to_vec();
+            let mut order: Vec<SetRef<'_>> = sets.to_vec();
             order.sort_by_key(|s| s.len());
-            let mut acc = order[0].intersect(order[1]);
+            let mut acc = intersect_refs(order[0], order[1]);
             for s in &order[2..] {
                 if acc.is_empty() {
                     break;
                 }
-                acc = acc.intersect(s);
+                acc = intersect_refs(acc.as_ref(), *s);
             }
             Some(acc)
         }
     }
 }
 
+/// Multiway intersection over owned sets (see [`intersect_all_refs`]).
+pub fn intersect_all(sets: &[&Set]) -> Option<Set> {
+    let refs: Vec<SetRef<'_>> = sets.iter().map(|s| s.as_ref()).collect();
+    intersect_all_refs(&refs)
+}
+
 /// Cardinality of a multiway intersection (materialises all but the final
 /// pair, so it is cheap only for small arities — which is what Generic-Join
 /// produces).
-pub fn intersect_count_all(sets: &[&Set]) -> usize {
+pub fn intersect_count_all_refs(sets: &[SetRef<'_>]) -> usize {
     match sets.len() {
         0 => 0,
         1 => sets[0].len(),
-        2 => intersect_count(sets[0], sets[1]),
+        2 => intersect_count_refs(sets[0], sets[1]),
         _ => {
-            let mut order: Vec<&Set> = sets.to_vec();
+            let mut order: Vec<SetRef<'_>> = sets.to_vec();
             order.sort_by_key(|s| s.len());
-            let mut acc = order[0].intersect(order[1]);
+            let mut acc = intersect_refs(order[0], order[1]);
             for s in &order[2..order.len() - 1] {
                 if acc.is_empty() {
                     return 0;
                 }
-                acc = acc.intersect(s);
+                acc = intersect_refs(acc.as_ref(), *s);
             }
-            intersect_count(&acc, order[order.len() - 1])
+            intersect_count_refs(acc.as_ref(), order[order.len() - 1])
         }
     }
+}
+
+/// Cardinality of a multiway intersection over owned sets.
+pub fn intersect_count_all(sets: &[&Set]) -> usize {
+    let refs: Vec<SetRef<'_>> = sets.iter().map(|s| s.as_ref()).collect();
+    intersect_count_all_refs(&refs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::optimizer::Layout;
+    use crate::view::{decode_set, encode_sorted_into};
 
     fn all_layout_pairs(a: &[u32], b: &[u32]) -> Vec<(Set, Set)> {
         let layouts = [Layout::UintArray, Layout::Bitset];
@@ -173,6 +200,29 @@ mod tests {
             );
             assert_eq!(intersect_count(&x, &y), 3);
             assert!(intersects(&x, &y));
+        }
+    }
+
+    #[test]
+    fn frozen_views_intersect_like_owned_sets() {
+        // Encode both operands into one arena, decode them as views, and
+        // check the view kernels agree with the owned-set kernels — the
+        // execution-path equivalence the frozen tries rely on.
+        let a = [1u32, 2, 64, 65, 500];
+        let b: Vec<u32> = (0..200).step_by(5).collect();
+        for la in [Layout::UintArray, Layout::Bitset] {
+            for lb in [Layout::UintArray, Layout::Bitset] {
+                let mut arena = Vec::new();
+                let na = encode_sorted_into(&a, Some(la), &mut arena);
+                encode_sorted_into(&b, Some(lb), &mut arena);
+                let (ra, consumed) = decode_set(&arena);
+                assert_eq!(consumed, na);
+                let (rb, _) = decode_set(&arena[na..]);
+                let (oa, ob) = (Set::from_sorted_with(&a, la), Set::from_sorted_with(&b, lb));
+                assert_eq!(intersect_refs(ra, rb), oa.intersect(&ob), "{la:?} x {lb:?}");
+                assert_eq!(intersect_count_refs(ra, rb), oa.intersect_count(&ob));
+                assert_eq!(intersects_refs(ra, rb), oa.intersects(&ob));
+            }
         }
     }
 

@@ -35,13 +35,21 @@ mod optimizer;
 mod set;
 mod uint;
 mod union;
+mod view;
 
 pub use bitset::BitSet;
-pub use intersect::{intersect_all, intersect_count_all};
+pub use intersect::{
+    intersect, intersect_all, intersect_all_refs, intersect_count, intersect_count_all,
+    intersect_count_all_refs, intersect_count_refs, intersect_refs, intersects, intersects_refs,
+};
 pub use optimizer::{choose_layout, Layout, DENSITY_THRESHOLD};
 pub use set::{Set, SetIter};
 pub use uint::UintSet;
 pub use union::{difference, union};
+pub use view::{
+    decode_set, encode_set_into, encode_sorted_into, validate_encoded_set, BitsRef, SetRef,
+    SetRefIter, TAG_BITSET, TAG_UINT,
+};
 
 #[cfg(test)]
 mod proptests;

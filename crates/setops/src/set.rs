@@ -1,8 +1,9 @@
 //! The layout-polymorphic [`Set`] type used by trie levels.
 
-use crate::bitset::{BitIter, BitSet};
+use crate::bitset::BitSet;
 use crate::optimizer::{choose_layout, Layout};
 use crate::uint::UintSet;
+use crate::view::{SetRef, SetRefIter};
 
 /// A set of dictionary-encoded `u32` values in one of EmptyHeaded's two
 /// physical layouts (paper §II-A2).
@@ -10,6 +11,10 @@ use crate::uint::UintSet;
 /// Constructors pick the layout with the [`choose_layout`] optimizer unless
 /// a layout is forced (the Table I "+Layout" ablation forces
 /// [`Layout::UintArray`] everywhere to measure the mixed-layout speedup).
+///
+/// Every read operation borrows the payload as a [`SetRef`] first, so
+/// owned sets and frozen (arena-resident) sets execute through the same
+/// kernels.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Set {
     /// Sorted unique `u32` array.
@@ -44,11 +49,28 @@ impl Set {
     }
 
     /// Build from an arbitrary slice (sorts + dedups), auto layout.
+    ///
+    /// Fast path: input that is already strictly increasing — the common
+    /// case when rebuilding from committed, already-sorted `PairTable`
+    /// runs — skips the clone-sort-dedup entirely and produces the
+    /// identical layout the slow path would.
     pub fn from_unsorted(values: &[u32]) -> Self {
+        if values.windows(2).all(|w| w[0] < w[1]) {
+            return Set::from_sorted(values);
+        }
         let mut v = values.to_vec();
         v.sort_unstable();
         v.dedup();
         Set::from_sorted(&v)
+    }
+
+    /// Borrow this set as the layout-shared view every kernel runs on.
+    #[inline]
+    pub fn as_ref(&self) -> SetRef<'_> {
+        match self {
+            Set::Uint(s) => SetRef::Uint(s.as_slice()),
+            Set::Bits(b) => SetRef::Bits(b.as_bits_ref()),
+        }
     }
 
     /// The physical layout of this set.
@@ -78,34 +100,22 @@ impl Set {
     /// the asymmetry behind the paper's §III-A index-layout optimization.
     #[inline]
     pub fn contains(&self, v: u32) -> bool {
-        match self {
-            Set::Uint(s) => s.contains(v),
-            Set::Bits(s) => s.contains(v),
-        }
+        self.as_ref().contains(v)
     }
 
     /// Smallest element.
     pub fn min(&self) -> Option<u32> {
-        match self {
-            Set::Uint(s) => s.min(),
-            Set::Bits(s) => s.min(),
-        }
+        self.as_ref().min()
     }
 
     /// Largest element.
     pub fn max(&self) -> Option<u32> {
-        match self {
-            Set::Uint(s) => s.max(),
-            Set::Bits(s) => s.max(),
-        }
+        self.as_ref().max()
     }
 
     /// Iterate elements in increasing order regardless of layout.
     pub fn iter(&self) -> SetIter<'_> {
-        match self {
-            Set::Uint(s) => SetIter::Uint(s.as_slice().iter()),
-            Set::Bits(s) => SetIter::Bits(s.iter()),
-        }
+        self.as_ref().iter()
     }
 
     /// Rank (index in sorted order) of `v`, if present.
@@ -113,15 +123,12 @@ impl Set {
     /// Used by tries to map an element to its child block. `O(log n)` for
     /// uint arrays, `O(1)` for bitsets (rank directory).
     pub fn rank(&self, v: u32) -> Option<usize> {
-        match self {
-            Set::Uint(s) => s.rank(v),
-            Set::Bits(s) => s.rank(v),
-        }
+        self.as_ref().rank(v)
     }
 
     /// Copy out the elements as a sorted `Vec`.
     pub fn to_vec(&self) -> Vec<u32> {
-        self.iter().collect()
+        self.as_ref().to_vec()
     }
 
     /// Payload bytes (for layout ablation reporting).
@@ -136,18 +143,18 @@ impl Set {
     /// (uint∩uint = merge/gallop, bitset∩bitset = word AND,
     /// mixed = probe the bitset for each array element).
     pub fn intersect(&self, other: &Set) -> Set {
-        crate::intersect::intersect(self, other)
+        crate::intersect::intersect_refs(self.as_ref(), other.as_ref())
     }
 
     /// Cardinality of the intersection without materialising it.
     pub fn intersect_count(&self, other: &Set) -> usize {
-        crate::intersect::intersect_count(self, other)
+        crate::intersect::intersect_count_refs(self.as_ref(), other.as_ref())
     }
 
     /// True when the intersection is non-empty (early-exit probe used for
     /// the existence-check/semijoin fast path in Generic-Join).
     pub fn intersects(&self, other: &Set) -> bool {
-        crate::intersect::intersects(self, other)
+        crate::intersect::intersects_refs(self.as_ref(), other.as_ref())
     }
 
     /// Re-apply the layout optimizer to this set (e.g. after an
@@ -166,34 +173,9 @@ impl Set {
     }
 }
 
-/// Layout-polymorphic iterator over a [`Set`].
-pub enum SetIter<'a> {
-    /// Iterating a sorted uint array.
-    Uint(std::slice::Iter<'a, u32>),
-    /// Iterating a bitset.
-    Bits(BitIter<'a>),
-}
-
-impl Iterator for SetIter<'_> {
-    type Item = u32;
-
-    #[inline]
-    fn next(&mut self) -> Option<u32> {
-        match self {
-            SetIter::Uint(it) => it.next().copied(),
-            SetIter::Bits(it) => it.next(),
-        }
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        match self {
-            SetIter::Uint(it) => it.size_hint(),
-            SetIter::Bits(it) => it.size_hint(),
-        }
-    }
-}
-
-impl ExactSizeIterator for SetIter<'_> {}
+/// Layout-polymorphic iterator over a [`Set`] — the same iterator that
+/// walks borrowed [`SetRef`]s.
+pub type SetIter<'a> = SetRefIter<'a>;
 
 impl FromIterator<u32> for Set {
     fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
@@ -257,6 +239,36 @@ mod tests {
     fn from_iterator() {
         let s: Set = vec![9u32, 1, 9, 5].into_iter().collect();
         assert_eq!(s.to_vec(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn from_unsorted_fast_path_layout_identical() {
+        // Already-sorted input takes the no-copy fast path; the resulting
+        // layout and contents must be indistinguishable from the sorted
+        // constructor AND from the slow (shuffled) path.
+        for vals in [
+            (0u32..600).collect::<Vec<_>>(),    // dense -> bitset
+            vec![1, 70_000, 3_000_000],         // sparse -> uint
+            vec![],                             // empty
+            (0..64).map(|i| i * 257).collect(), // boundary density
+        ] {
+            let fast = Set::from_unsorted(&vals);
+            assert_eq!(fast, Set::from_sorted(&vals), "sorted ctor, {} vals", vals.len());
+            let mut shuffled = vals.clone();
+            shuffled.reverse();
+            shuffled.extend_from_slice(&vals); // duplicates too
+            let slow = Set::from_unsorted(&shuffled);
+            assert_eq!(fast, slow, "slow path, {} vals", vals.len());
+            assert_eq!(fast.layout(), slow.layout());
+        }
+    }
+
+    #[test]
+    fn from_unsorted_detects_duplicates_and_disorder() {
+        // Neither duplicates nor disorder may sneak through the fast path.
+        assert_eq!(Set::from_unsorted(&[5, 5, 5]).to_vec(), vec![5]);
+        assert_eq!(Set::from_unsorted(&[3, 2, 1]).to_vec(), vec![1, 2, 3]);
+        assert_eq!(Set::from_unsorted(&[1, 2, 2, 3]).to_vec(), vec![1, 2, 3]);
     }
 
     #[test]

@@ -1,0 +1,583 @@
+//! Borrowed set views and the frozen (arena) set encoding.
+//!
+//! [`SetRef`] is the layout-shared read interface of the crate: every
+//! membership, rank, iteration, and intersection kernel is written once
+//! over these views, and both representations of a set route through
+//! them —
+//!
+//! * an **owned** [`Set`](crate::Set) borrows its heap payload via
+//!   [`Set::as_ref`](crate::Set::as_ref);
+//! * a **frozen** set decodes in place from the `u32` words of a trie
+//!   arena ([`decode_set`]), with no per-block allocation.
+//!
+//! This is what lets snapshot-loaded (frozen) tries and freshly built
+//! (mutable) tries execute through one code path.
+//!
+//! ## Frozen encoding
+//!
+//! A set occupies a contiguous run of `u32` words:
+//!
+//! ```text
+//! uint:   [TAG_UINT,   len, v0, v1, ... v(len-1)]
+//! bitset: [TAG_BITSET, len, base_word, nwords, words..., ranks...]
+//! ```
+//!
+//! The bitset's rank directory is materialised in the arena so frozen
+//! tries keep the O(1) rank (= child lookup) of owned ones.
+
+use crate::bitset::{rank_directory, BitIter, BitSet, WORD_BITS};
+use crate::optimizer::{choose_layout, Layout};
+use crate::set::Set;
+use crate::uint::UintSet;
+
+/// Frozen-encoding tag for a sorted uint array payload.
+pub const TAG_UINT: u32 = 0;
+/// Frozen-encoding tag for a bitset payload.
+pub const TAG_BITSET: u32 = 1;
+
+/// A borrowed bitset: base word plus word and rank slices (either owned
+/// by a [`BitSet`] or living inside a frozen arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitsRef<'a> {
+    base_word: u32,
+    words: &'a [u32],
+    ranks: &'a [u32],
+    len: u32,
+}
+
+impl<'a> BitsRef<'a> {
+    pub(crate) fn new(base_word: u32, words: &'a [u32], ranks: &'a [u32], len: u32) -> BitsRef<'a> {
+        debug_assert_eq!(words.len(), ranks.len());
+        BitsRef { base_word, words, ranks, len }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First covered word index.
+    #[inline]
+    pub(crate) fn base_word(&self) -> u32 {
+        self.base_word
+    }
+
+    /// The payload words.
+    #[inline]
+    pub(crate) fn words(&self) -> &'a [u32] {
+        self.words
+    }
+
+    /// Constant-time membership probe.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        let w = v / WORD_BITS;
+        if w < self.base_word || (w - self.base_word) as usize >= self.words.len() {
+            return false;
+        }
+        self.words[(w - self.base_word) as usize] & (1u32 << (v % WORD_BITS)) != 0
+    }
+
+    /// Rank of `v` (its index in sorted order), if present — O(1) via the
+    /// rank directory.
+    pub fn rank(&self, v: u32) -> Option<usize> {
+        let w = v / WORD_BITS;
+        if w < self.base_word || (w - self.base_word) as usize >= self.words.len() {
+            return None;
+        }
+        let word = (w - self.base_word) as usize;
+        let bit = 1u32 << (v % WORD_BITS);
+        if self.words[word] & bit == 0 {
+            return None;
+        }
+        let below = (self.words[word] & (bit - 1)).count_ones();
+        Some(self.ranks[word] as usize + below as usize)
+    }
+
+    /// Smallest element.
+    pub fn min(&self) -> Option<u32> {
+        self.words
+            .iter()
+            .enumerate()
+            .find(|(_, w)| **w != 0)
+            .map(|(i, w)| (self.base_word + i as u32) * WORD_BITS + w.trailing_zeros())
+    }
+
+    /// Largest element.
+    pub fn max(&self) -> Option<u32> {
+        self.words.iter().enumerate().rev().find(|(_, w)| **w != 0).map(|(i, w)| {
+            (self.base_word + i as u32) * WORD_BITS + WORD_BITS - 1 - w.leading_zeros()
+        })
+    }
+
+    /// Iterate elements in increasing order.
+    pub fn iter(&self) -> BitIter<'a> {
+        BitIter {
+            words: self.words,
+            base_word: self.base_word,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            remaining: self.len as usize,
+        }
+    }
+
+    /// Count of the word-wise AND with another bitset view.
+    pub fn intersect_count(&self, other: BitsRef<'_>) -> usize {
+        let lo = self.base_word.max(other.base_word);
+        let hi = (self.base_word + self.words.len() as u32)
+            .min(other.base_word + other.words.len() as u32);
+        if lo >= hi {
+            return 0;
+        }
+        (lo..hi)
+            .map(|w| {
+                (self.words[(w - self.base_word) as usize]
+                    & other.words[(w - other.base_word) as usize])
+                    .count_ones() as usize
+            })
+            .sum()
+    }
+
+    /// True when the word-wise AND is non-empty (early exit per word).
+    pub fn intersects(&self, other: BitsRef<'_>) -> bool {
+        let lo = self.base_word.max(other.base_word);
+        let hi = (self.base_word + self.words.len() as u32)
+            .min(other.base_word + other.words.len() as u32);
+        (lo..hi).any(|w| {
+            self.words[(w - self.base_word) as usize] & other.words[(w - other.base_word) as usize]
+                != 0
+        })
+    }
+}
+
+/// Word-wise AND of two bitset views, materialised as an owned [`BitSet`]
+/// over the overlapping (and then trimmed) word range. The single bitset
+/// intersection kernel: owned `Set`s and frozen arena sets both land here.
+pub(crate) fn intersect_bits(a: BitsRef<'_>, b: BitsRef<'_>) -> BitSet {
+    let lo = a.base_word.max(b.base_word);
+    let hi = (a.base_word + a.words.len() as u32).min(b.base_word + b.words.len() as u32);
+    if lo >= hi {
+        return BitSet::default();
+    }
+    let mut words = vec![0u32; (hi - lo) as usize];
+    let mut len = 0usize;
+    for (i, w) in words.iter_mut().enumerate() {
+        let x = a.words[(lo - a.base_word) as usize + i];
+        let y = b.words[(lo - b.base_word) as usize + i];
+        *w = x & y;
+        len += w.count_ones() as usize;
+    }
+    // Trim zero words at both ends so `base_word`/extent stay tight.
+    match words.iter().position(|w| *w != 0) {
+        None => BitSet::default(),
+        Some(f) => {
+            let l = words.iter().rposition(|w| *w != 0).unwrap();
+            BitSet::from_words(lo + f as u32, words[f..=l].to_vec(), len)
+        }
+    }
+}
+
+/// A borrowed, layout-polymorphic set view — the read-side currency of
+/// the crate (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetRef<'a> {
+    /// A sorted unique `u32` slice.
+    Uint(&'a [u32]),
+    /// A borrowed bitset.
+    Bits(BitsRef<'a>),
+}
+
+impl<'a> SetRef<'a> {
+    /// The physical layout of the viewed set.
+    pub fn layout(&self) -> Layout {
+        match self {
+            SetRef::Uint(_) => Layout::UintArray,
+            SetRef::Bits(_) => Layout::Bitset,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            SetRef::Uint(v) => v.len(),
+            SetRef::Bits(b) => b.len(),
+        }
+    }
+
+    /// True when the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership probe: `O(1)` for bitsets, `O(log n)` for uint arrays.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        match self {
+            SetRef::Uint(s) => s.binary_search(&v).is_ok(),
+            SetRef::Bits(b) => b.contains(v),
+        }
+    }
+
+    /// Rank (index in sorted order) of `v`, if present.
+    #[inline]
+    pub fn rank(&self, v: u32) -> Option<usize> {
+        match self {
+            SetRef::Uint(s) => s.binary_search(&v).ok(),
+            SetRef::Bits(b) => b.rank(v),
+        }
+    }
+
+    /// Smallest element.
+    pub fn min(&self) -> Option<u32> {
+        match self {
+            SetRef::Uint(s) => s.first().copied(),
+            SetRef::Bits(b) => b.min(),
+        }
+    }
+
+    /// Largest element.
+    pub fn max(&self) -> Option<u32> {
+        match self {
+            SetRef::Uint(s) => s.last().copied(),
+            SetRef::Bits(b) => b.max(),
+        }
+    }
+
+    /// Iterate elements in increasing order regardless of layout.
+    pub fn iter(&self) -> SetRefIter<'a> {
+        match self {
+            SetRef::Uint(s) => SetRefIter::Uint(s.iter()),
+            SetRef::Bits(b) => SetRefIter::Bits(b.iter()),
+        }
+    }
+
+    /// Copy out the elements as a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<u32> {
+        match self {
+            SetRef::Uint(s) => s.to_vec(),
+            SetRef::Bits(b) => b.iter().collect(),
+        }
+    }
+
+    /// Materialise an owned [`Set`] in this view's layout. Both arms are
+    /// straight payload copies — this sits on the single-participant
+    /// join path (`intersect_all_refs` with one set), so a per-element
+    /// rebuild would be a measurable regression on dense predicates.
+    pub fn to_set(&self) -> Set {
+        match self {
+            SetRef::Uint(s) => Set::Uint(UintSet::from_sorted(s)),
+            SetRef::Bits(b) => Set::Bits(BitSet::from_raw(
+                b.base_word,
+                b.words.to_vec(),
+                b.ranks.to_vec(),
+                b.len as usize,
+            )),
+        }
+    }
+
+    /// Payload bytes of the viewed set.
+    pub fn bytes(&self) -> usize {
+        match self {
+            SetRef::Uint(s) => std::mem::size_of_val(*s),
+            SetRef::Bits(b) => std::mem::size_of_val(b.words()),
+        }
+    }
+}
+
+/// Layout-polymorphic iterator over a [`SetRef`] (and, via delegation,
+/// over an owned [`Set`]).
+pub enum SetRefIter<'a> {
+    /// Iterating a sorted uint slice.
+    Uint(std::slice::Iter<'a, u32>),
+    /// Iterating a bitset.
+    Bits(BitIter<'a>),
+}
+
+impl Iterator for SetRefIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            SetRefIter::Uint(it) => it.next().copied(),
+            SetRefIter::Bits(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            SetRefIter::Uint(it) => it.size_hint(),
+            SetRefIter::Bits(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for SetRefIter<'_> {}
+
+/// Append the frozen encoding of a sorted duplicate-free slice to `out`,
+/// choosing the layout with the standard optimizer unless `forced` pins
+/// one. Returns the number of words written. This writes the arena
+/// directly — no intermediate [`Set`] is built.
+pub fn encode_sorted_into(vals: &[u32], forced: Option<Layout>, out: &mut Vec<u32>) -> usize {
+    debug_assert!(vals.windows(2).all(|w| w[0] < w[1]), "input must be strictly increasing");
+    let start = out.len();
+    let layout = match (forced, vals.is_empty()) {
+        (_, true) => Layout::UintArray,
+        (Some(l), _) => l,
+        (None, _) => choose_layout(vals.len(), vals[0], vals[vals.len() - 1]),
+    };
+    match layout {
+        Layout::UintArray => {
+            out.push(TAG_UINT);
+            out.push(vals.len() as u32);
+            out.extend_from_slice(vals);
+        }
+        Layout::Bitset => {
+            out.push(TAG_BITSET);
+            out.push(vals.len() as u32);
+            let base_word = vals[0] / WORD_BITS;
+            let last_word = vals[vals.len() - 1] / WORD_BITS;
+            let nwords = (last_word - base_word + 1) as usize;
+            out.push(base_word);
+            out.push(nwords as u32);
+            let word_start = out.len();
+            out.resize(word_start + nwords, 0);
+            for &v in vals {
+                out[word_start + (v / WORD_BITS - base_word) as usize] |= 1u32 << (v % WORD_BITS);
+            }
+            // Rank directory, computed from the words just written.
+            let mut acc = 0u32;
+            for i in 0..nwords {
+                let ones = out[word_start + i].count_ones();
+                out.push(acc);
+                acc += ones;
+            }
+        }
+    }
+    out.len() - start
+}
+
+/// Append the frozen encoding of an owned [`Set`] to `out` (payload words
+/// copied verbatim — freezing a set and re-decoding it views identical
+/// content). Returns the number of words written.
+pub fn encode_set_into(set: &Set, out: &mut Vec<u32>) -> usize {
+    let start = out.len();
+    match set {
+        Set::Uint(s) => {
+            out.push(TAG_UINT);
+            out.push(s.len() as u32);
+            out.extend_from_slice(s.as_slice());
+        }
+        Set::Bits(b) => {
+            let r = b.as_bits_ref();
+            out.push(TAG_BITSET);
+            out.push(r.len() as u32);
+            out.push(r.base_word());
+            out.push(r.words().len() as u32);
+            out.extend_from_slice(r.words());
+            out.extend_from_slice(&rank_directory(r.words()));
+        }
+    }
+    out.len() - start
+}
+
+/// Decode a frozen set starting at `words[0]`, returning the view and the
+/// number of words the encoding occupies.
+///
+/// # Panics
+/// Panics (via slice indexing) when `words` is not a valid encoding —
+/// arena content is produced by the encoders above and integrity-checked
+/// (checksummed) before it is trusted; see [`validate_encoded_set`] for
+/// the non-panicking structural check used at snapshot load.
+#[inline]
+pub fn decode_set(words: &[u32]) -> (SetRef<'_>, usize) {
+    let len = words[1] as usize;
+    match words[0] {
+        TAG_UINT => (SetRef::Uint(&words[2..2 + len]), 2 + len),
+        TAG_BITSET => {
+            let base_word = words[2];
+            let nwords = words[3] as usize;
+            let payload = &words[4..4 + 2 * nwords];
+            (
+                SetRef::Bits(BitsRef::new(
+                    base_word,
+                    &payload[..nwords],
+                    &payload[nwords..],
+                    len as u32,
+                )),
+                4 + 2 * nwords,
+            )
+        }
+        tag => panic!("corrupt frozen set: unknown tag {tag}"),
+    }
+}
+
+/// Structurally validate a frozen set encoding at `words[0]`: bounds, tag,
+/// element count, sortedness (uint) / rank-directory consistency (bitset).
+/// Returns `(encoded length, cardinality)`, or `None` when the bytes are
+/// not a valid encoding — the defence that turns a corrupt-but-
+/// checksum-valid snapshot into an `Err` instead of a later panic.
+pub fn validate_encoded_set(words: &[u32]) -> Option<(usize, usize)> {
+    if words.len() < 2 {
+        return None;
+    }
+    let len = words[1] as usize;
+    match words[0] {
+        TAG_UINT => {
+            let vals = words.get(2..2 + len)?;
+            if !vals.windows(2).all(|w| w[0] < w[1]) {
+                return None;
+            }
+            Some((2 + len, len))
+        }
+        TAG_BITSET => {
+            let base_word = *words.get(2)? as u64;
+            let nwords = *words.get(3)? as usize;
+            if nwords == 0 {
+                return None;
+            }
+            // The largest representable element must fit in u32, or later
+            // navigation arithmetic ((base + i) * 32) would overflow.
+            if (base_word + nwords as u64) * WORD_BITS as u64 - 1 > u32::MAX as u64 {
+                return None;
+            }
+            let payload = words.get(4..4 + 2 * nwords)?;
+            let (bits, ranks) = payload.split_at(nwords);
+            let mut acc = 0u32;
+            for (w, &r) in bits.iter().zip(ranks) {
+                if r != acc {
+                    return None;
+                }
+                acc += w.count_ones();
+            }
+            if acc as usize != len {
+                return None;
+            }
+            Some((4 + 2 * nwords, len))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layouts(vals: &[u32]) -> [Set; 2] {
+        [
+            Set::from_sorted_with(vals, Layout::UintArray),
+            Set::from_sorted_with(vals, Layout::Bitset),
+        ]
+    }
+
+    #[test]
+    fn set_ref_agrees_with_owned_set() {
+        let vals = [3u32, 31, 32, 64, 65, 127, 128, 300];
+        for s in layouts(&vals) {
+            let r = s.as_ref();
+            assert_eq!(r.layout(), s.layout());
+            assert_eq!(r.len(), s.len());
+            assert_eq!(r.to_vec(), s.to_vec());
+            assert_eq!(r.min(), s.min());
+            assert_eq!(r.max(), s.max());
+            for probe in 0..400u32 {
+                assert_eq!(r.contains(probe), s.contains(probe), "contains {probe}");
+                assert_eq!(r.rank(probe), s.rank(probe), "rank {probe}");
+            }
+            assert_eq!(r.to_set(), s);
+        }
+    }
+
+    #[test]
+    fn frozen_roundtrip_both_layouts() {
+        let vals = [0u32, 5, 31, 32, 200, 4096];
+        for forced in [Some(Layout::UintArray), Some(Layout::Bitset), None] {
+            let mut arena = vec![0xdead_beef]; // offset != 0 start
+            let written = encode_sorted_into(&vals, forced, &mut arena);
+            let (r, consumed) = decode_set(&arena[1..]);
+            assert_eq!(consumed, written);
+            assert_eq!(r.to_vec(), vals);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(r.rank(v), Some(i));
+            }
+            assert_eq!(validate_encoded_set(&arena[1..]), Some((written, vals.len())));
+        }
+    }
+
+    #[test]
+    fn encode_set_matches_encode_sorted() {
+        let vals: Vec<u32> = (100..400).chain([5000, 9000]).collect();
+        for s in layouts(&vals) {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            encode_set_into(&s, &mut a);
+            encode_sorted_into(&vals, Some(s.layout()), &mut b);
+            assert_eq!(a, b, "{:?}", s.layout());
+        }
+    }
+
+    #[test]
+    fn empty_set_encodes_as_uint() {
+        let mut out = Vec::new();
+        let n = encode_sorted_into(&[], None, &mut out);
+        assert_eq!(out, vec![TAG_UINT, 0]);
+        let (r, consumed) = decode_set(&out);
+        assert_eq!(consumed, n);
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_corruption() {
+        let mut out = Vec::new();
+        encode_sorted_into(&(0..200).collect::<Vec<u32>>(), None, &mut out);
+        assert_eq!(validate_encoded_set(&out), Some((out.len(), 200)));
+        // Unknown tag.
+        assert_eq!(validate_encoded_set(&[7, 0]), None);
+        // Truncated payloads.
+        assert_eq!(validate_encoded_set(&out[..out.len() - 1]), None);
+        assert_eq!(validate_encoded_set(&[TAG_UINT, 3, 1]), None);
+        // Unsorted uint payload.
+        assert_eq!(validate_encoded_set(&[TAG_UINT, 2, 9, 4]), None);
+        // Bitset whose rank directory disagrees with its words.
+        let mut bits = Vec::new();
+        encode_sorted_into(&[0, 1, 64], Some(Layout::Bitset), &mut bits);
+        let last = bits.len() - 1;
+        bits[last] ^= 1;
+        assert_eq!(validate_encoded_set(&bits), None);
+        // Bitset whose cardinality disagrees with its popcount.
+        let mut bits2 = Vec::new();
+        encode_sorted_into(&[0, 1, 64], Some(Layout::Bitset), &mut bits2);
+        bits2[1] = 9;
+        assert_eq!(validate_encoded_set(&bits2), None);
+        // Too short to even carry a header.
+        assert_eq!(validate_encoded_set(&[TAG_UINT]), None);
+        // Bitset whose base_word would overflow element arithmetic: a
+        // crafted arena must be rejected up front, not wrap to aliased
+        // ids during navigation.
+        assert_eq!(validate_encoded_set(&[TAG_BITSET, 1, u32::MAX, 1, 1, 0]), None);
+        // The largest legitimate base word still validates.
+        let top = u32::MAX / WORD_BITS;
+        assert_eq!(validate_encoded_set(&[TAG_BITSET, 1, top, 1, 1, 0]), Some((6, 1)));
+    }
+
+    #[test]
+    fn bits_ref_intersections_agree_with_owned() {
+        let a: Vec<u32> = (0..128).step_by(3).collect();
+        let b: Vec<u32> = (60..300).step_by(2).collect();
+        let (sa, sb) = (BitSet::from_sorted(&a), BitSet::from_sorted(&b));
+        let expect: Vec<u32> = a.iter().copied().filter(|v| b.contains(v)).collect();
+        assert_eq!(sa.intersect_bitset(&sb).iter().collect::<Vec<_>>(), expect);
+        assert_eq!(sa.as_bits_ref().intersect_count(sb.as_bits_ref()), expect.len());
+        assert!(sa.as_bits_ref().intersects(sb.as_bits_ref()));
+    }
+}

@@ -1,0 +1,121 @@
+//! The standalone serving daemon for the WCOJ engine.
+//!
+//! ```text
+//! # Cold start: parse N-Triples, build everything from scratch.
+//! cargo run --release -p eh-srv --bin server -- --data graph.nt --port 7878
+//!
+//! # Warm start: memory-load a snapshot written by the SAVE verb (or
+//! # eh-bench's coldstart harness) — milliseconds instead of a re-parse.
+//! cargo run --release -p eh-srv --bin server -- --snapshot store.snap --port 7878
+//!
+//! # Demo data: generate an N-Triples file first (keeps the benchmark
+//! # generator out of the serving crate's dependencies).
+//! cargo run --release -p eh-lubm --bin lubm-gen -- --universities 1 --out lubm1.nt
+//! cargo run --release -p eh-srv --bin server -- --data lubm1.nt --port 7878
+//! ```
+//!
+//! Exactly one data source (`--snapshot` or `--data`) must be given.
+//! `--threads N` sets join-execution workers, `--sessions N` the
+//! concurrent-connection pool. The server runs until killed; clients can
+//! persist the live store at any time with `SAVE <path>`.
+
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
+
+use eh_rdf::parse_ntriples;
+use eh_srv::{serve, QueryService, ServiceConfig};
+use emptyheaded::{PlannerConfig, SharedStore};
+
+struct Args {
+    snapshot: Option<String>,
+    data: Option<String>,
+    port: u16,
+    threads: usize,
+    sessions: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: server (--snapshot <path> | --data <file.nt>) \
+         [--port P] [--threads N] [--sessions N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { snapshot: None, data: None, port: 0, threads: 1, sessions: 8 };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value =
+            |i: usize| -> &str { argv.get(i + 1).map(|s| s.as_str()).unwrap_or_else(|| usage()) };
+        match argv[i].as_str() {
+            "--snapshot" => args.snapshot = Some(value(i).to_string()),
+            "--data" => args.data = Some(value(i).to_string()),
+            "--port" => args.port = value(i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = value(i).parse().unwrap_or_else(|_| usage()),
+            "--sessions" => args.sessions = value(i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if args.snapshot.is_some() == args.data.is_some() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let config = ServiceConfig {
+        planner: PlannerConfig::default().with_threads(args.threads),
+        result_cache_bytes: ServiceConfig::DEFAULT_RESULT_CACHE_BYTES,
+        plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
+        server_sessions: args.sessions,
+    };
+
+    let t0 = Instant::now();
+    let service = if let Some(path) = &args.snapshot {
+        let svc = QueryService::from_snapshot(path, config).unwrap_or_else(|e| {
+            eprintln!("failed to load snapshot {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "loaded snapshot {path} in {:.1} ms ({} tries preloaded)",
+            t0.elapsed().as_secs_f64() * 1e3,
+            svc.engine().catalog().cached_tries()
+        );
+        svc
+    } else {
+        let path = args.data.as_deref().expect("one source is set");
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        });
+        let triples = parse_ntriples(&text).unwrap_or_else(|e| {
+            eprintln!("failed to parse {path}: {e}");
+            std::process::exit(1);
+        });
+        let svc = QueryService::new(SharedStore::from_triples(triples), config);
+        println!("parsed {path} in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+        svc
+    };
+
+    let stats = service.store().stats();
+    let listener = TcpListener::bind(("127.0.0.1", args.port)).unwrap_or_else(|e| {
+        eprintln!("failed to bind port {}: {e}", args.port);
+        std::process::exit(1);
+    });
+    println!(
+        "serving {} triples / {} predicates on {} ({} threads, {} sessions)",
+        stats.triples,
+        stats.predicates,
+        listener.local_addr().expect("bound socket has an address"),
+        args.threads,
+        args.sessions
+    );
+    // Runs until the process is killed; SAVE snapshots can be taken live.
+    let shutdown = AtomicBool::new(false);
+    serve(&service, listener, &shutdown);
+}

@@ -13,8 +13,13 @@
 //! | `APPLY` | `OK applied inserted=<n> deleted=<n> predicates=<n> epoch=<n>` (staged batch applied atomically) |
 //! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> inserted=<n> deleted=<n>` |
 //! | `INVALIDATE` | `OK epoch=<n>` (caches dropped, catalog epoch advanced) |
+//! | `SAVE <path>` | `OK saved bytes=<n> triples=<n>` (snapshot written server-side; restart with `--snapshot <path>`) |
 //! | `QUIT` | `OK bye`, then the connection closes |
 //! | anything else | `ERR <message>` (single line; the connection stays open) |
+//!
+//! `SAVE` writes to a path on the **server's** filesystem — it is an
+//! operator verb for the trusted deployments this line protocol serves,
+//! not something to expose to untrusted internet traffic.
 //!
 //! Updates are **batched per connection**: `INSERT`/`DELETE` lines stage
 //! triples into the session's pending batch and nothing changes until
@@ -136,11 +141,18 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
             )
         }
         "INVALIDATE" => format!("OK epoch={}\n", service.invalidate()),
+        "SAVE" if !rest.is_empty() => match service.save_snapshot(rest) {
+            // The count comes from the saved image itself, so the reply
+            // can't disagree with the file when an APPLY lands mid-save.
+            Ok((bytes, triples)) => format!("OK saved bytes={bytes} triples={triples}\n"),
+            Err(e) => format!("ERR {}\n", e.to_string().replace(['\n', '\r'], " ")),
+        },
+        "SAVE" => "ERR SAVE needs a file path on the same line\n".to_string(),
         "QUIT" => "OK bye\n".to_string(),
         "" => "ERR empty request\n".to_string(),
         other => format!(
             "ERR unknown command '{other}' \
-             (try QUERY/INSERT/DELETE/APPLY/STATS/INVALIDATE/QUIT)\n"
+             (try QUERY/INSERT/DELETE/APPLY/STATS/INVALIDATE/SAVE/QUIT)\n"
         ),
     }
 }
@@ -406,6 +418,30 @@ mod tests {
         assert_eq!(r, "OK applied inserted=0 deleted=0 predicates=0 epoch=1\n");
         let stats = respond_in_session(&svc, &mut session, "STATS");
         assert!(stats.contains("updates=2 inserted=1 deleted=1"), "{stats}");
+    }
+
+    #[test]
+    fn save_verb_writes_a_loadable_snapshot() {
+        let store = store();
+        let svc = QueryService::new(store.clone(), config(1));
+        let q = "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }";
+        let expect = respond(&svc, q);
+
+        let path = std::env::temp_dir().join(format!("eh-save-verb-{}.snap", std::process::id()));
+        let r = respond(&svc, &format!("SAVE {}", path.display()));
+        assert!(r.starts_with("OK saved bytes="), "{r}");
+        assert!(r.contains("triples=3"), "{r}");
+
+        // A service restarted from the snapshot serves identical bytes —
+        // and starts warm (tries preloaded before any query ran).
+        let restarted = QueryService::from_snapshot(&path, config(1)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(restarted.engine().catalog().cached_tries() > 0);
+        assert_eq!(respond(&restarted, q), expect);
+
+        // Failure modes answer ERR, they don't kill the session.
+        assert!(respond(&svc, "SAVE").starts_with("ERR SAVE needs"));
+        assert!(respond(&svc, "SAVE /nonexistent-dir-zzz/x.snap").starts_with("ERR "));
     }
 
     #[test]

@@ -6,7 +6,8 @@ use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use eh_query::{canonicalize, parse_sparql, CanonicalQuery, ConjunctiveQuery};
 use eh_rdf::TripleStore;
 use emptyheaded::{
-    Engine, EngineError, Plan, PlannerConfig, QueryResult, SharedStore, UpdateBatch, UpdateSummary,
+    Engine, EngineError, Plan, PlannerConfig, QueryResult, SharedStore, SnapshotError, UpdateBatch,
+    UpdateSummary,
 };
 use std::collections::HashMap;
 
@@ -205,8 +206,12 @@ pub struct QueryService {
 impl QueryService {
     /// A service over `store` with the given configuration.
     pub fn new(store: impl Into<SharedStore>, config: ServiceConfig) -> QueryService {
+        QueryService::from_engine(Engine::with_config(store, config.planner), config)
+    }
+
+    fn from_engine(engine: Engine, config: ServiceConfig) -> QueryService {
         QueryService {
-            engine: Engine::with_config(store, config.planner),
+            engine,
             config,
             plans: RwLock::new(PlanCache::default()),
             results: Mutex::new(ResultLru::new(config.result_cache_bytes)),
@@ -223,6 +228,30 @@ impl QueryService {
     /// A service with default configuration.
     pub fn with_defaults(store: impl Into<SharedStore>) -> QueryService {
         QueryService::new(store, ServiceConfig::default())
+    }
+
+    /// A service restored from a snapshot file ([`Engine::from_snapshot`]):
+    /// the store loads without parsing or sorting and the catalog starts
+    /// warm with the snapshot's frozen tries, so even the *first* query
+    /// skips index construction.
+    pub fn from_snapshot(
+        path: impl AsRef<std::path::Path>,
+        config: ServiceConfig,
+    ) -> Result<QueryService, SnapshotError> {
+        Ok(QueryService::from_engine(Engine::from_snapshot(path, config.planner)?, config))
+    }
+
+    /// Persist the current store (and freshly frozen hot-order tries) to
+    /// `path` — the protocol's `SAVE` verb. Returns the bytes written
+    /// and the triple count of the image. The store is cloned under its
+    /// read lock and serialized from the clone, so the image is a
+    /// consistent point in time and concurrent `APPLY` traffic is never
+    /// stalled behind trie freezing or file I/O.
+    pub fn save_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(u64, usize), SnapshotError> {
+        self.engine.save_snapshot(path)
     }
 
     /// The underlying engine.

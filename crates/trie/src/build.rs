@@ -107,6 +107,12 @@ impl Trie {
         self.levels[level].len()
     }
 
+    /// Index of the first child block (on `level + 1`) of `block` at
+    /// `level` — the `child_base` the frozen encoding persists per block.
+    pub fn child_base(&self, level: usize, block: usize) -> usize {
+        self.levels[level][block].child_base
+    }
+
     /// Child block (at `level + 1`) for element `value` of `block` at
     /// `level`; `None` when the value is absent.
     pub fn child(&self, level: usize, block: usize, value: u32) -> Option<usize> {

@@ -1,0 +1,539 @@
+//! The frozen trie: every level, block, child base, and set payload
+//! flattened into one contiguous `u32` arena.
+//!
+//! A [`FrozenTrie`] is the zero-copy counterpart of [`Trie`]: identical
+//! navigation semantics, but the storage is a single allocation that can
+//! be written to — and memory-loaded from — a snapshot file wholesale,
+//! with no per-block allocation and no re-sorting. Sets decode in place
+//! as [`SetRef`] views, so frozen tries run through exactly the same
+//! intersection kernels as mutable ones.
+//!
+//! ## Arena layout
+//!
+//! ```text
+//! arena = [ level-0 offset table | level-1 offset table | ...
+//!         | block | block | ... ]
+//!
+//! offset table entry  = arena index of the block's first word
+//! block               = [ child_base, frozen set encoding... ]
+//! ```
+//!
+//! Per-level table positions live in the (tiny, `arity`-sized) `levels`
+//! side array; everything whose size scales with the data is inside the
+//! arena. Offsets are `u32` arena indices, capping one trie's arena at
+//! 16 GiB — far beyond any per-predicate index this engine builds.
+
+use eh_setops::{decode_set, encode_sorted_into, validate_encoded_set, Layout, SetRef};
+
+use crate::build::{LayoutPolicy, Trie};
+use crate::tuples::TupleBuffer;
+
+/// A materialised trie over fixed-arity tuples whose entire payload lives
+/// in one contiguous `u32` arena (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenTrie {
+    arity: u32,
+    num_tuples: u32,
+    /// Per level: (arena index of the block offset table, block count).
+    levels: Box<[(u32, u32)]>,
+    arena: Box<[u32]>,
+}
+
+impl FrozenTrie {
+    /// Build a frozen trie from tuples (sorted + deduplicated internally).
+    pub fn build(mut tuples: TupleBuffer, policy: LayoutPolicy) -> FrozenTrie {
+        tuples.sort_dedup();
+        FrozenTrie::from_sorted(tuples, policy)
+    }
+
+    /// Build from tuples already sorted lexicographically and unique
+    /// (e.g. a `PairTable`-order slice), writing set payloads straight
+    /// into the arena — no intermediate per-block `Set` allocations.
+    pub fn from_sorted(tuples: TupleBuffer, policy: LayoutPolicy) -> FrozenTrie {
+        debug_assert!(tuples.is_sorted_unique());
+        let arity = tuples.arity();
+        assert!(arity > 0, "tries need arity >= 1");
+        let n = tuples.len();
+        assert!(u32::try_from(n).is_ok(), "frozen tries cap at 2^32 tuples");
+        let forced = match policy {
+            LayoutPolicy::Auto => None,
+            LayoutPolicy::UintOnly => Some(Layout::UintArray),
+        };
+        // Pass over the sorted tuples level by level, appending encoded
+        // blocks to `payload` and recording each block's start in its
+        // level's offset table (payload-relative; rebased below).
+        let mut tables: Vec<Vec<u32>> = Vec::with_capacity(arity);
+        let mut payload: Vec<u32> = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = vec![(0, n)];
+        let mut vals: Vec<u32> = Vec::new();
+        for level in 0..arity {
+            let mut table = Vec::with_capacity(ranges.len());
+            let mut next_ranges = Vec::new();
+            for &(start, end) in &ranges {
+                vals.clear();
+                let child_base = next_ranges.len();
+                let mut i = start;
+                while i < end {
+                    let v = tuples.row(i)[level];
+                    let mut j = i + 1;
+                    while j < end && tuples.row(j)[level] == v {
+                        j += 1;
+                    }
+                    vals.push(v);
+                    next_ranges.push((i, j));
+                    i = j;
+                }
+                table.push(payload.len() as u32);
+                payload.push(child_base as u32);
+                encode_sorted_into(&vals, forced, &mut payload);
+            }
+            tables.push(table);
+            ranges = next_ranges;
+        }
+        Self::assemble(arity as u32, n as u32, tables, payload)
+    }
+
+    /// Glue the per-level offset tables and the block payload into the
+    /// final arena, rebasing payload-relative offsets past the tables.
+    fn assemble(
+        arity: u32,
+        num_tuples: u32,
+        tables: Vec<Vec<u32>>,
+        payload: Vec<u32>,
+    ) -> FrozenTrie {
+        let tables_len: usize = tables.iter().map(|t| t.len()).sum();
+        let total = tables_len + payload.len();
+        assert!(u32::try_from(total).is_ok(), "frozen trie arena caps at 2^32 words");
+        let mut arena = Vec::with_capacity(total);
+        let mut levels = Vec::with_capacity(tables.len());
+        let mut table_pos = 0u32;
+        for t in &tables {
+            levels.push((table_pos, t.len() as u32));
+            table_pos += t.len() as u32;
+        }
+        for t in tables {
+            arena.extend(t.into_iter().map(|off| off + tables_len as u32));
+        }
+        arena.extend(payload);
+        FrozenTrie {
+            arity,
+            num_tuples,
+            levels: levels.into_boxed_slice(),
+            arena: arena.into_boxed_slice(),
+        }
+    }
+
+    /// Tuple width (= number of levels).
+    pub fn arity(&self) -> usize {
+        self.arity as usize
+    }
+
+    /// Number of distinct tuples stored.
+    pub fn num_tuples(&self) -> usize {
+        self.num_tuples as usize
+    }
+
+    /// True when the trie holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.num_tuples == 0
+    }
+
+    /// The level-0 set (distinct values of the first attribute).
+    pub fn root_set(&self) -> SetRef<'_> {
+        self.set(0, 0)
+    }
+
+    /// The set of block `block` at `level`, decoded in place from the
+    /// arena.
+    pub fn set(&self, level: usize, block: usize) -> SetRef<'_> {
+        let off = self.block_offset(level, block);
+        decode_set(&self.arena[off + 1..]).0
+    }
+
+    /// Number of blocks at a level.
+    pub fn num_blocks(&self, level: usize) -> usize {
+        self.levels[level].1 as usize
+    }
+
+    #[inline]
+    fn block_offset(&self, level: usize, block: usize) -> usize {
+        let (table, count) = self.levels[level];
+        debug_assert!(block < count as usize, "block out of range");
+        self.arena[table as usize + block] as usize
+    }
+
+    /// Child block (at `level + 1`) for element `value` of `block` at
+    /// `level`; `None` when the value is absent.
+    pub fn child(&self, level: usize, block: usize, value: u32) -> Option<usize> {
+        debug_assert!(level + 1 < self.arity(), "leaf levels have no children");
+        let off = self.block_offset(level, block);
+        let child_base = self.arena[off] as usize;
+        decode_set(&self.arena[off + 1..]).0.rank(value).map(|r| child_base + r)
+    }
+
+    /// True when a full or prefix tuple is present.
+    pub fn contains_prefix(&self, prefix: &[u32]) -> bool {
+        assert!(prefix.len() <= self.arity());
+        let mut block = 0usize;
+        for (level, &v) in prefix.iter().enumerate() {
+            if self.is_empty() {
+                return false;
+            }
+            if level + 1 == self.arity() {
+                return self.set(level, block).contains(v);
+            }
+            match self.child(level, block, v) {
+                Some(c) => block = c,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Invoke `f` for every tuple in lexicographic order.
+    pub fn for_each_tuple(&self, mut f: impl FnMut(&[u32])) {
+        let mut tuple = vec![0u32; self.arity()];
+        self.walk(0, 0, &mut tuple, &mut f);
+    }
+
+    fn walk(&self, level: usize, block: usize, tuple: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+        let off = self.block_offset(level, block);
+        let child_base = self.arena[off] as usize;
+        for (rank, v) in decode_set(&self.arena[off + 1..]).0.iter().enumerate() {
+            tuple[level] = v;
+            if level + 1 == self.arity() {
+                f(tuple);
+            } else {
+                self.walk(level + 1, child_base + rank, tuple, f);
+            }
+        }
+    }
+
+    /// Collect all tuples into a buffer (lexicographic order).
+    pub fn to_tuples(&self) -> TupleBuffer {
+        let mut out = TupleBuffer::with_capacity(self.arity(), self.num_tuples());
+        self.for_each_tuple(|row| out.push(row));
+        out
+    }
+
+    /// Total bytes used by the set payloads (for layout ablation
+    /// reporting).
+    pub fn set_bytes(&self) -> usize {
+        self.blocks().map(|(_, set)| set.bytes()).sum()
+    }
+
+    /// Number of bitset-layout blocks (diagnostics for the +Layout
+    /// ablation).
+    pub fn bitset_blocks(&self) -> usize {
+        self.blocks().filter(|(_, set)| set.layout() == Layout::Bitset).count()
+    }
+
+    /// Every block of every level as `(child_base, set)`.
+    fn blocks(&self) -> impl Iterator<Item = (usize, SetRef<'_>)> + '_ {
+        (0..self.arity()).flat_map(move |level| {
+            (0..self.num_blocks(level)).map(move |block| {
+                let off = self.block_offset(level, block);
+                (self.arena[off] as usize, decode_set(&self.arena[off + 1..]).0)
+            })
+        })
+    }
+
+    /// Largest value stored on any level, `None` when empty. Snapshot
+    /// loading uses this to bound every id against the dictionary before
+    /// the trie is served (a crafted arena must not be able to smuggle
+    /// out-of-dictionary ids into query results). Bitset maxima are O(1)
+    /// scans from the extent's end, so this is O(blocks), not O(values).
+    pub fn max_symbol(&self) -> Option<u32> {
+        self.blocks().filter_map(|(_, set)| set.max()).max()
+    }
+
+    /// True iff this is a binary trie whose tuples are exactly `pairs`,
+    /// in order. This is the snapshot reader's content check — a shipped
+    /// trie is served as if built from its table, so it must *be* the
+    /// table — written as one flat in-place-decode pass (no recursion,
+    /// no per-row allocation) because it runs on the cold-start critical
+    /// path for every loaded trie.
+    pub fn matches_pairs(&self, pairs: &[(u32, u32)]) -> bool {
+        if self.arity() != 2 || self.num_tuples() != pairs.len() {
+            return false;
+        }
+        if pairs.is_empty() {
+            return true;
+        }
+        let root_off = self.block_offset(0, 0);
+        let root_base = self.arena[root_off] as usize;
+        let mut i = 0usize;
+        for (r, s) in decode_set(&self.arena[root_off + 1..]).0.iter().enumerate() {
+            let off = self.block_offset(1, root_base + r);
+            for o in decode_set(&self.arena[off + 1..]).0.iter() {
+                if i >= pairs.len() || pairs[i] != (s, o) {
+                    return false;
+                }
+                i += 1;
+            }
+        }
+        i == pairs.len()
+    }
+
+    /// Total arena size in bytes (the single allocation a snapshot
+    /// persists).
+    pub fn arena_bytes(&self) -> usize {
+        std::mem::size_of_val(&*self.arena)
+    }
+
+    /// The raw parts a snapshot writer persists: `(arity, num_tuples,
+    /// levels, arena)`.
+    pub fn raw_parts(&self) -> (u32, u32, &[(u32, u32)], &[u32]) {
+        (self.arity, self.num_tuples, &self.levels, &self.arena)
+    }
+
+    /// Reassemble a frozen trie from persisted raw parts, structurally
+    /// validating every offset, block, and set encoding so that corrupt
+    /// input yields `Err` instead of a later panic (or out-of-bounds
+    /// index) during navigation.
+    pub fn from_raw_parts(
+        arity: u32,
+        num_tuples: u32,
+        levels: Vec<(u32, u32)>,
+        arena: Vec<u32>,
+    ) -> Result<FrozenTrie, &'static str> {
+        if arity == 0 || levels.len() != arity as usize {
+            return Err("level directory does not match arity");
+        }
+        let mut next_level_blocks = 1u64; // level 0 always has one block
+        for (level, &(table, count)) in levels.iter().enumerate() {
+            if count as u64 != next_level_blocks {
+                return Err("level block count does not chain");
+            }
+            let table = table as usize;
+            let Some(offsets) = arena.get(table..table + count as usize) else {
+                return Err("offset table out of bounds");
+            };
+            let mut child_blocks = 0u64;
+            for &off in offsets {
+                let off = off as usize;
+                if off >= arena.len() {
+                    return Err("block offset out of bounds");
+                }
+                let Some((_, set_len)) = validate_encoded_set(&arena[off + 1..]) else {
+                    return Err("corrupt set encoding");
+                };
+                if arena[off] as u64 != child_blocks {
+                    return Err("child bases do not tile the next level");
+                }
+                child_blocks += set_len as u64;
+            }
+            next_level_blocks = child_blocks;
+            if level + 1 == arity as usize && num_tuples as u64 != child_blocks {
+                return Err("leaf cardinality does not match num_tuples");
+            }
+        }
+        Ok(FrozenTrie {
+            arity,
+            num_tuples,
+            levels: levels.into_boxed_slice(),
+            arena: arena.into_boxed_slice(),
+        })
+    }
+}
+
+impl Trie {
+    /// Freeze this trie into its arena representation. The frozen trie is
+    /// identical to [`FrozenTrie::from_sorted`] over the same tuples —
+    /// layouts included — because both derive each block's layout from
+    /// the same optimizer inputs.
+    pub fn freeze(&self) -> FrozenTrie {
+        let arity = self.arity();
+        let mut tables: Vec<Vec<u32>> = Vec::with_capacity(arity);
+        let mut payload: Vec<u32> = Vec::new();
+        for level in 0..arity {
+            let mut table = Vec::with_capacity(self.num_blocks(level));
+            for block in 0..self.num_blocks(level) {
+                table.push(payload.len() as u32);
+                payload.push(self.child_base(level, block) as u32);
+                eh_setops::encode_set_into(self.set(level, block), &mut payload);
+            }
+            tables.push(table);
+        }
+        FrozenTrie::assemble(arity as u32, self.num_tuples() as u32, tables, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_tuples() -> TupleBuffer {
+        // Figure 1: suborganizationOf = {(Univ0,Dept0),(Univ0,Dept1),
+        // (Univ1,Dept1)} encoded as {(0,1),(0,2),(3,2)}.
+        let mut t = TupleBuffer::new(2);
+        t.push(&[0, 1]);
+        t.push(&[0, 2]);
+        t.push(&[3, 2]);
+        t
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let trie = FrozenTrie::build(figure1_tuples(), LayoutPolicy::Auto);
+        assert_eq!(trie.arity(), 2);
+        assert_eq!(trie.num_tuples(), 3);
+        assert_eq!(trie.root_set().to_vec(), vec![0, 3]);
+        let c0 = trie.child(0, 0, 0).unwrap();
+        let c1 = trie.child(0, 0, 3).unwrap();
+        assert_eq!(trie.set(1, c0).to_vec(), vec![1, 2]);
+        assert_eq!(trie.set(1, c1).to_vec(), vec![2]);
+        assert_eq!(trie.child(0, 0, 7), None);
+        assert!(trie.contains_prefix(&[0, 2]));
+        assert!(!trie.contains_prefix(&[1]));
+    }
+
+    #[test]
+    fn matches_mutable_trie_everywhere() {
+        // A mixed-density relation: frozen navigation, layouts, and
+        // enumeration must agree with the Vec-of-Set trie exactly.
+        let mut t = TupleBuffer::new(3);
+        for a in 0..4u32 {
+            for b in 0..300u32 {
+                if (a + b) % 3 == 0 {
+                    t.push(&[a, b, (b * 7) % 40]);
+                    t.push(&[a, b, 1000 + b]);
+                }
+            }
+        }
+        for policy in [LayoutPolicy::Auto, LayoutPolicy::UintOnly] {
+            let mutable = Trie::build(t.clone(), policy);
+            let frozen = FrozenTrie::build(t.clone(), policy);
+            assert_eq!(frozen.num_tuples(), mutable.num_tuples());
+            assert_eq!(frozen.to_tuples(), mutable.to_tuples());
+            assert_eq!(frozen.bitset_blocks(), mutable.bitset_blocks());
+            assert_eq!(frozen.set_bytes(), mutable.set_bytes());
+            for level in 0..mutable.arity() {
+                assert_eq!(frozen.num_blocks(level), mutable.num_blocks(level));
+                for block in 0..mutable.num_blocks(level) {
+                    assert_eq!(
+                        frozen.set(level, block).to_vec(),
+                        mutable.set(level, block).to_vec(),
+                        "level {level} block {block}"
+                    );
+                    if level + 1 < mutable.arity() {
+                        for v in mutable.set(level, block).iter() {
+                            assert_eq!(
+                                frozen.child(level, block, v),
+                                mutable.child(level, block, v)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_equals_direct_build() {
+        let mut t = TupleBuffer::new(2);
+        for v in 0..1000u32 {
+            t.push(&[v % 7, v]);
+        }
+        for policy in [LayoutPolicy::Auto, LayoutPolicy::UintOnly] {
+            let mutable = Trie::build(t.clone(), policy);
+            assert_eq!(mutable.freeze(), FrozenTrie::build(t.clone(), policy), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_and_validation() {
+        let trie = FrozenTrie::build(figure1_tuples(), LayoutPolicy::Auto);
+        let (arity, n, levels, arena) = trie.raw_parts();
+        let rebuilt =
+            FrozenTrie::from_raw_parts(arity, n, levels.to_vec(), arena.to_vec()).unwrap();
+        assert_eq!(rebuilt, trie);
+
+        // Structural corruption is rejected, not panicked on.
+        assert!(FrozenTrie::from_raw_parts(0, n, levels.to_vec(), arena.to_vec()).is_err());
+        assert!(FrozenTrie::from_raw_parts(3, n, levels.to_vec(), arena.to_vec()).is_err());
+        assert!(FrozenTrie::from_raw_parts(arity, n + 1, levels.to_vec(), arena.to_vec()).is_err());
+        let mut bad_levels = levels.to_vec();
+        bad_levels[1].0 = arena.len() as u32;
+        assert!(FrozenTrie::from_raw_parts(arity, n, bad_levels, arena.to_vec()).is_err());
+        for i in 0..arena.len() {
+            let mut bad = arena.to_vec();
+            bad[i] = bad[i].wrapping_add(1_000_000);
+            // Any single-word corruption either fails validation or still
+            // decodes structurally — it must never panic.
+            let _ = FrozenTrie::from_raw_parts(arity, n, levels.to_vec(), bad);
+        }
+        assert!(FrozenTrie::from_raw_parts(arity, n, levels.to_vec(), vec![]).is_err());
+    }
+
+    #[test]
+    fn matches_pairs_detects_any_divergence() {
+        let pairs: Vec<(u32, u32)> = (0..200u32).map(|i| (i / 7, i * 3)).collect();
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let trie = FrozenTrie::from_sorted(TupleBuffer::from_pairs(&sorted), LayoutPolicy::Auto);
+        assert!(trie.matches_pairs(&sorted));
+        // Transposed order, dropped pair, altered pair, extra pair: all
+        // must be detected.
+        let transposed: Vec<(u32, u32)> = {
+            let mut t: Vec<(u32, u32)> = sorted.iter().map(|&(a, b)| (b, a)).collect();
+            t.sort_unstable();
+            t
+        };
+        assert!(!trie.matches_pairs(&transposed));
+        assert!(!trie.matches_pairs(&sorted[1..]));
+        let mut altered = sorted.clone();
+        altered[17].1 ^= 1;
+        assert!(!trie.matches_pairs(&altered));
+        let mut extra = sorted.clone();
+        extra.push((u32::MAX, u32::MAX));
+        assert!(!trie.matches_pairs(&extra));
+        // Arity and emptiness edges.
+        let unary = FrozenTrie::build(
+            {
+                let mut t = TupleBuffer::new(1);
+                t.push(&[1]);
+                t
+            },
+            LayoutPolicy::Auto,
+        );
+        assert!(!unary.matches_pairs(&[(1, 1)]));
+        let empty = FrozenTrie::build(TupleBuffer::new(2), LayoutPolicy::Auto);
+        assert!(empty.matches_pairs(&[]));
+        assert!(!empty.matches_pairs(&[(0, 0)]));
+    }
+
+    #[test]
+    fn unary_and_empty() {
+        let mut t = TupleBuffer::new(1);
+        t.push(&[4]);
+        t.push(&[2]);
+        let trie = FrozenTrie::build(t, LayoutPolicy::Auto);
+        assert_eq!(trie.root_set().to_vec(), vec![2, 4]);
+        assert!(trie.contains_prefix(&[4]));
+        assert!(!trie.contains_prefix(&[3]));
+
+        let empty = FrozenTrie::build(TupleBuffer::new(2), LayoutPolicy::Auto);
+        assert!(empty.is_empty());
+        assert_eq!(empty.root_set().len(), 0);
+        assert!(!empty.contains_prefix(&[0]));
+        let mut count = 0;
+        empty.for_each_tuple(|_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn uint_only_policy_has_no_bitsets() {
+        let mut t = TupleBuffer::new(1);
+        for v in 0..1000 {
+            t.push(&[v]);
+        }
+        let auto = FrozenTrie::build(t.clone(), LayoutPolicy::Auto);
+        let uint = FrozenTrie::build(t, LayoutPolicy::UintOnly);
+        assert!(auto.bitset_blocks() > 0);
+        assert_eq!(uint.bitset_blocks(), 0);
+        assert_eq!(auto.num_tuples(), uint.num_tuples());
+        assert!(auto.arena_bytes() < uint.arena_bytes());
+    }
+}

@@ -30,9 +30,11 @@
 //! ```
 
 mod build;
+mod frozen;
 mod tuples;
 
 pub use build::{LayoutPolicy, Trie};
+pub use frozen::FrozenTrie;
 pub use tuples::TupleBuffer;
 
 // The parallel runtime shares tries (and per-morsel tuple buffers) across
@@ -40,6 +42,7 @@ pub use tuples::TupleBuffer;
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Trie>();
+    assert_send_sync::<FrozenTrie>();
     assert_send_sync::<TupleBuffer>();
 };
 

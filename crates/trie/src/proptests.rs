@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-use crate::{LayoutPolicy, Trie, TupleBuffer};
+use crate::{FrozenTrie, LayoutPolicy, Trie, TupleBuffer};
 
 fn tuples(arity: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
     proptest::collection::vec(proptest::collection::vec(0u32..64, arity..=arity), 0..200)
@@ -87,5 +87,41 @@ proptest! {
         let auto = Trie::build(buffer_of(&rows, 2), LayoutPolicy::Auto);
         let uint = Trie::build(buffer_of(&rows, 2), LayoutPolicy::UintOnly);
         prop_assert_eq!(auto.to_tuples(), uint.to_tuples());
+    }
+
+    #[test]
+    fn frozen_trie_is_navigation_equivalent(rows in tuples(3), probes in tuples(3)) {
+        // The arena representation must agree with the Vec-of-Set trie on
+        // every observable: contents, membership, per-block sets, child
+        // links, and the freeze() of the mutable trie must equal the
+        // directly built arena bit for bit.
+        let set: BTreeSet<Vec<u32>> = rows.iter().cloned().collect();
+        for policy in [LayoutPolicy::Auto, LayoutPolicy::UintOnly] {
+            let mutable = Trie::build(buffer_of(&rows, 3), policy);
+            let frozen = FrozenTrie::build(buffer_of(&rows, 3), policy);
+            prop_assert_eq!(&mutable.freeze(), &frozen);
+            prop_assert_eq!(frozen.num_tuples(), set.len());
+            prop_assert_eq!(frozen.to_tuples(), mutable.to_tuples());
+            for p in &probes {
+                prop_assert_eq!(frozen.contains_prefix(p), set.contains(p));
+            }
+            for level in 0..3 {
+                prop_assert_eq!(frozen.num_blocks(level), mutable.num_blocks(level));
+                for block in 0..mutable.num_blocks(level) {
+                    prop_assert_eq!(
+                        frozen.set(level, block).to_vec(),
+                        mutable.set(level, block).to_vec()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_raw_parts_roundtrip(rows in tuples(2)) {
+        let frozen = FrozenTrie::build(buffer_of(&rows, 2), LayoutPolicy::Auto);
+        let (arity, n, levels, arena) = frozen.raw_parts();
+        let rebuilt = FrozenTrie::from_raw_parts(arity, n, levels.to_vec(), arena.to_vec());
+        prop_assert_eq!(rebuilt.expect("self-produced parts validate"), frozen);
     }
 }
