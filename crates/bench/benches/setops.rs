@@ -5,21 +5,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use eh_setops::{Layout, Set};
-
-/// Deterministic pseudo-random sorted set of `n` values with the given
-/// stride range (larger stride = sparser set).
-fn synth_set(n: usize, max_stride: u32, seed: u64) -> Vec<u32> {
-    let mut state = seed | 1;
-    let mut v = 0u32;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        v = v.wrapping_add(1 + ((state >> 33) as u32 % max_stride));
-        out.push(v);
-    }
-    out
-}
+use eh_bench::synth_set;
+use eh_setops::{
+    intersect_all_into, intersect_all_refs_fold, intersect_count_all_refs, IntersectScratch,
+    Layout, Set, SetRef,
+};
 
 fn bench_intersections(c: &mut Criterion) {
     let mut g = c.benchmark_group("intersect");
@@ -75,6 +65,67 @@ fn bench_membership(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_multiway_adaptive(c: &mut Criterion) {
+    // The tentpole comparison: adaptive k-way driver (scratch-reusing,
+    // SIMD, kernel-selected) vs the preserved pre-PR pairwise fold, on
+    // the same workload shapes the `setops_kernels` harness gates in CI.
+    // Both sides are measured through to consumed values (the executor
+    // iterates every intersection it computes).
+    let mut g = c.benchmark_group("multiway");
+    let large1 = synth_set(200_000, 3, 7);
+    let small: Vec<u32> = large1.iter().copied().step_by(24).collect();
+    let large2 = synth_set(200_000, 3, 13);
+    let dense1 = synth_set(200_000, 12, 7);
+    let dense2 = synth_set(200_000, 12, 13);
+    let dense3 = synth_set(200_000, 12, 29);
+    let cases: Vec<(&str, Vec<Set>)> = vec![
+        (
+            "uint_skewed",
+            vec![
+                Set::from_sorted_with(&small, Layout::UintArray),
+                Set::from_sorted_with(&large1, Layout::UintArray),
+                Set::from_sorted_with(&large2, Layout::UintArray),
+            ],
+        ),
+        (
+            "bitset",
+            vec![
+                Set::from_sorted_with(&dense1, Layout::Bitset),
+                Set::from_sorted_with(&dense2, Layout::Bitset),
+                Set::from_sorted_with(&dense3, Layout::Bitset),
+            ],
+        ),
+        (
+            "mixed",
+            vec![
+                Set::from_sorted_with(&small, Layout::UintArray),
+                Set::from_sorted_with(&dense1, Layout::Bitset),
+                Set::from_sorted_with(&large2, Layout::UintArray),
+            ],
+        ),
+    ];
+    for (label, sets) in &cases {
+        let refs: Vec<SetRef<'_>> = sets.iter().map(|s| s.as_ref()).collect();
+        g.bench_with_input(BenchmarkId::new("fold", label), &refs, |bench, refs| {
+            bench.iter(|| {
+                let set = intersect_all_refs_fold(black_box(refs)).expect("non-empty");
+                black_box(set.iter().map(u64::from).sum::<u64>())
+            })
+        });
+        let mut scratch = IntersectScratch::new();
+        g.bench_with_input(BenchmarkId::new("adaptive", label), &refs, |bench, refs| {
+            bench.iter(|| {
+                let vals = intersect_all_into(black_box(refs), &mut scratch);
+                black_box(vals.iter().map(|&v| v as u64).sum::<u64>())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("count", label), &refs, |bench, refs| {
+            bench.iter(|| black_box(intersect_count_all_refs(black_box(refs))))
+        });
+    }
+    g.finish();
+}
+
 fn bench_density_threshold(c: &mut Criterion) {
     // Ablation: intersection cost as density crosses the paper's 1/256
     // bitset threshold.
@@ -106,6 +157,7 @@ criterion_group!(
     bench_intersections,
     bench_skewed_gallop,
     bench_membership,
+    bench_multiway_adaptive,
     bench_density_threshold
 );
 criterion_main!(benches);

@@ -18,7 +18,7 @@
 
 use std::time::{Duration, Instant};
 
-use eh_bench::{fmt_ms, measure, HarnessArgs, TablePrinter};
+use eh_bench::{fmt_ms, measure, BenchReport, HarnessArgs, TablePrinter};
 use eh_lubm::queries::lubm_query;
 use eh_lubm::{generate_store, pred_iri, GeneratorConfig, Predicate};
 use eh_par::RuntimeConfig;
@@ -68,6 +68,12 @@ fn main() {
             .collect()
     };
 
+    let mut report = BenchReport::new("scaling");
+    report
+        .meta("universities", args.universities)
+        .meta("seed", args.seed)
+        .meta("cores", cores)
+        .metric("triples", store.read().stats().triples as f64);
     let mut table = TablePrinter::new(&["Query", "Threads", "Warm (ms)", "Join (ms)", "Speedup"]);
     for (label, q) in &queries {
         let reference = Engine::new(store.clone(), OptFlags::all()).run(q).expect("reference");
@@ -96,7 +102,18 @@ fn main() {
                 fmt_ms(joined),
                 format!("{:.2}x", base.as_secs_f64() / joined.as_secs_f64()),
             ]);
+            report
+                .metric_ms(&format!("{label}.t{threads}.warm_ms"), warm)
+                .metric_ms(&format!("{label}.t{threads}.join_ms"), joined)
+                .metric(
+                    &format!("{label}.t{threads}.speedup"),
+                    base.as_secs_f64() / joined.as_secs_f64(),
+                );
         }
     }
     println!("\n{}", table.render());
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH json: {e}"),
+    }
 }

@@ -1,0 +1,306 @@
+//! Intersection-kernel microbench + SIMD byte-identity gate.
+//!
+//! ```text
+//! cargo run --release -p eh-bench --bin setops_kernels
+//! cargo run --release -p eh-bench --bin setops_kernels -- --quick --min-speedup 1.5
+//! ```
+//!
+//! Measures the adaptive k-way driver ([`eh_setops::intersect_all_into`])
+//! against the pre-PR pairwise fold
+//! ([`eh_setops::intersect_all_refs_fold`], preserved verbatim with its
+//! scalar kernels) on four canonical multiway workloads, and checks every
+//! SIMD kernel byte-identical to its portable fallback at every level
+//! this CPU supports.
+//!
+//! * `--quick` shrinks the workloads for a CI smoke run;
+//! * `--min-speedup X` exits non-zero unless **both** gated workloads
+//!   (skewed uint∩uint and bitset∩bitset) reach `X`. The CI job gates at
+//!   1.5 (the paper-claim floor; local runs measure well above it — see
+//!   the README "Performance" section). The flag exists so a noisy
+//!   runner can be accommodated without editing the workflow;
+//! * results land in `BENCH_setops_kernels.json` (honouring
+//!   `$EH_BENCH_OUT`).
+//!
+//! Any byte-identity mismatch exits non-zero regardless of flags.
+
+use eh_bench::{fmt_ms, measure, synth_set, BenchReport, TablePrinter};
+use eh_setops::{
+    and_words_k_count_with, and_words_k_into_with, available_levels, detected_level,
+    intersect_all_into, intersect_all_refs_fold, intersect_count_all_refs,
+    intersect_merge_count_v_with, intersect_merge_v_with, simd_level, IntersectScratch, Layout,
+    Set, SetRef, SimdLevel,
+};
+
+struct Args {
+    quick: bool,
+    runs: usize,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { quick: false, runs: 7, min_speedup: None };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => {
+                args.quick = true;
+                args.runs = 5;
+                i += 1;
+            }
+            "--runs" | "-r" => {
+                args.runs = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("bad value after {}", argv[i]));
+                i += 2;
+            }
+            "--min-speedup" => {
+                args.min_speedup = Some(
+                    argv.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("bad value after {}", argv[i])),
+                );
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}; expected --quick, --runs K, --min-speedup X");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(args.runs >= 3, "need at least 3 runs to drop best and worst");
+    args
+}
+
+/// One multiway workload: named operand sets in forced layouts.
+struct Workload {
+    name: &'static str,
+    /// Participates in the `--min-speedup` gate.
+    gated: bool,
+    sets: Vec<Set>,
+}
+
+/// Sorted-unique union of two sorted-unique slices.
+fn union_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+fn workloads(quick: bool) -> Vec<Workload> {
+    let scale = if quick { 1usize } else { 5 };
+    let big = 200_000 * scale;
+    let mk = |vals: &[u32], l: Layout| Set::from_sorted_with(vals, l);
+    // Skewed uint workload, RDF-shaped: a selective predicate's subject
+    // set (1:24 of the big predicates) whose elements mostly *do* appear
+    // in the big predicates — so the running intersection never shrinks
+    // below the pre-PR gallop ratio and the pre-PR fold pays a scalar
+    // full-length merge per operand. The adaptive driver probes the
+    // small side only.
+    let large1 = synth_set(big, 3, 7);
+    let small: Vec<u32> = large1.iter().copied().step_by(24).collect();
+    let large2 = union_sorted(&synth_set(big, 3, 13), &small);
+    let large3 = union_sorted(&synth_set(big, 3, 29), &small);
+    vec![
+        Workload {
+            name: "uint_skewed",
+            gated: true,
+            sets: vec![
+                mk(&small, Layout::UintArray),
+                mk(&large1, Layout::UintArray),
+                mk(&large2, Layout::UintArray),
+                mk(&large3, Layout::UintArray),
+            ],
+        },
+        Workload {
+            // Density ~0.15 (well above the 1/256 bitset threshold but
+            // with a sparse 3-way result), so the cost is the AND pass
+            // itself — the pre-PR fold pays two scalar passes plus two
+            // materialised bitsets with rank directories.
+            name: "bitset_3way",
+            gated: true,
+            sets: vec![
+                mk(&synth_set(big, 12, 7), Layout::Bitset),
+                mk(&synth_set(big, 12, 13), Layout::Bitset),
+                mk(&synth_set(big, 12, 29), Layout::Bitset),
+            ],
+        },
+        Workload {
+            name: "uint_balanced_3way",
+            gated: false,
+            sets: vec![
+                mk(&synth_set(big, 4, 7), Layout::UintArray),
+                mk(&synth_set(big, 4, 13), Layout::UintArray),
+                mk(&synth_set(big * 2 / 3, 6, 29), Layout::UintArray),
+            ],
+        },
+        Workload {
+            name: "mixed_4way",
+            gated: false,
+            sets: vec![
+                mk(&synth_set(big / 50, 160, 11), Layout::UintArray),
+                mk(&synth_set(big, 3, 7), Layout::Bitset),
+                mk(&synth_set(big, 3, 13), Layout::UintArray),
+                mk(&synth_set(big, 3, 29), Layout::Bitset),
+            ],
+        },
+    ]
+}
+
+/// Byte-identity: every vectorized kernel must reproduce the portable
+/// fallback exactly at every level this CPU supports. Returns the number
+/// of mismatches (0 = pass).
+fn byte_identity_check() -> usize {
+    let mut mismatches = 0usize;
+    let a = synth_set(50_000, 3, 7);
+    let b = synth_set(40_000, 4, 13);
+    let words_a: Vec<u32> = synth_set(20_000, 7, 5);
+    let words_b: Vec<u32> = synth_set(20_000, 7, 9);
+    let words_c: Vec<u32> = synth_set(20_000, 7, 21);
+    let mut merged_ref = Vec::new();
+    intersect_merge_v_with(SimdLevel::Portable, &a, &b, &mut merged_ref);
+    let srcs = [&words_a[..], &words_b[..], &words_c[..]];
+    let mut and_ref = Vec::new();
+    let and_count = and_words_k_into_with(SimdLevel::Portable, &srcs, &mut and_ref);
+    for &level in available_levels() {
+        let mut merged = Vec::new();
+        intersect_merge_v_with(level, &a, &b, &mut merged);
+        if merged != merged_ref || intersect_merge_count_v_with(level, &a, &b) != merged_ref.len() {
+            eprintln!("BYTE-IDENTITY FAILURE: uint merge kernel at {level}");
+            mismatches += 1;
+        }
+        let mut anded = Vec::new();
+        if and_words_k_into_with(level, &srcs, &mut anded) != and_count
+            || anded != and_ref
+            || and_words_k_count_with(level, &srcs) != and_count
+        {
+            eprintln!("BYTE-IDENTITY FAILURE: word-AND kernel at {level}");
+            mismatches += 1;
+        }
+    }
+    println!(
+        "byte-identity: {} kernels x {} levels checked, {} mismatches",
+        2,
+        available_levels().len(),
+        mismatches
+    );
+    mismatches
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "setops kernel microbench — simd level {} (detected {}), {} runs averaged{}",
+        simd_level(),
+        detected_level(),
+        args.runs,
+        if args.quick { ", quick mode" } else { "" }
+    );
+
+    let mismatches = byte_identity_check();
+
+    let mut report = BenchReport::new("setops_kernels");
+    report
+        .meta("simd_level", simd_level())
+        .meta("detected_level", detected_level())
+        .meta("mode", if args.quick { "quick" } else { "full" })
+        .metric("byte_identity_mismatches", mismatches as f64);
+
+    let mut table =
+        TablePrinter::new(&["Workload", "Fold (ms)", "Adaptive (ms)", "Count (ms)", "Speedup"]);
+    let mut gate_failures: Vec<(String, f64)> = Vec::new();
+    for w in workloads(args.quick) {
+        let refs: Vec<SetRef<'_>> = w.sets.iter().map(|s| s.as_ref()).collect();
+        // Correctness before speed: adaptive and fold must agree here too.
+        let mut scratch = IntersectScratch::new();
+        let adaptive_vals = intersect_all_into(&refs, &mut scratch).to_vec();
+        let fold_vals = intersect_all_refs_fold(&refs).expect("non-empty input").to_vec();
+        assert_eq!(adaptive_vals, fold_vals, "{}: adaptive diverged from fold", w.name);
+        assert_eq!(intersect_count_all_refs(&refs), adaptive_vals.len(), "{}: count", w.name);
+
+        // Both sides are measured through to *consumed values* (a
+        // checksum over the result elements): Generic-Join iterates every
+        // intersection it computes, so a kernel that leaves its result
+        // encoded (the fold's bitset arm) must pay its decode here just
+        // as the executor would.
+        let fold_t = measure(args.runs, || {
+            let set = intersect_all_refs_fold(std::hint::black_box(&refs)).expect("non-empty");
+            std::hint::black_box(set.iter().map(u64::from).sum::<u64>());
+        });
+        let adaptive_t = measure(args.runs, || {
+            let vals = intersect_all_into(std::hint::black_box(&refs), &mut scratch);
+            std::hint::black_box(vals.iter().map(|&v| v as u64).sum::<u64>());
+        });
+        let count_t = measure(args.runs, || {
+            std::hint::black_box(intersect_count_all_refs(std::hint::black_box(&refs)));
+        });
+        let speedup = fold_t.as_secs_f64() / adaptive_t.as_secs_f64().max(f64::EPSILON);
+        table.row(&[
+            format!("{}{}", w.name, if w.gated { " *" } else { "" }),
+            fmt_ms(fold_t),
+            fmt_ms(adaptive_t),
+            fmt_ms(count_t),
+            format!("{speedup:.2}x"),
+        ]);
+        report
+            .metric_ms(&format!("{}.fold_ms", w.name), fold_t)
+            .metric_ms(&format!("{}.adaptive_ms", w.name), adaptive_t)
+            .metric_ms(&format!("{}.count_ms", w.name), count_t)
+            .metric(&format!("{}.speedup", w.name), speedup);
+        if w.gated {
+            if let Some(min) = args.min_speedup {
+                if speedup < min {
+                    gate_failures.push((w.name.to_string(), speedup));
+                }
+            }
+        }
+    }
+    println!("\n{}\n(* = gated workload)", table.render());
+
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH json: {e}"),
+    }
+
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} SIMD/fallback byte-identity mismatches");
+        std::process::exit(1);
+    }
+    if let Some(min) = args.min_speedup {
+        if gate_failures.is_empty() {
+            println!("gate: all gated workloads >= {min:.2}x over the pre-PR fold");
+        } else {
+            for (name, s) in &gate_failures {
+                eprintln!("FAIL: {name} speedup {s:.2}x < required {min:.2}x");
+            }
+            std::process::exit(1);
+        }
+    }
+}

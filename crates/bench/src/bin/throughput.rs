@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use eh_bench::{HarnessArgs, TablePrinter};
+use eh_bench::{BenchReport, HarnessArgs, TablePrinter};
 use eh_lubm::queries::{lubm_sparql, QUERY_NUMBERS};
 use eh_lubm::{generate_store, GeneratorConfig};
 use eh_par::RuntimeConfig;
@@ -76,6 +76,12 @@ fn main() {
         }
     });
 
+    let mut report = BenchReport::new("throughput");
+    report
+        .meta("universities", args.universities)
+        .meta("seed", args.seed)
+        .meta("engine_threads", runtime.num_threads)
+        .metric("cold_qps", mix.len() as f64 / cold.as_secs_f64());
     let mut table = TablePrinter::new(&["Phase", "Sessions", "Requests", "QPS"]);
     table.row(&[
         "cold".into(),
@@ -111,6 +117,7 @@ fn main() {
             requests.to_string(),
             format!("{:.0}", requests as f64 / elapsed.as_secs_f64()),
         ]);
+        report.metric(&format!("warm_qps.s{sessions}"), requests as f64 / elapsed.as_secs_f64());
     }
     println!("\n{}", table.render());
 
@@ -126,4 +133,12 @@ fn main() {
         stats.epoch
     );
     assert!(stats.result_hits > 0, "warm passes must hit the result cache");
+    report
+        .metric("plan_hits", stats.plan_hits as f64)
+        .metric("result_hits", stats.result_hits as f64)
+        .metric("result_cache_bytes", stats.result_cache_bytes as f64);
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH json: {e}"),
+    }
 }

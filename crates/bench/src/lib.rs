@@ -19,6 +19,8 @@
 //! worst-case optimal engines, as the paper excludes EmptyHeaded's
 //! compilation time.
 
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Command-line options shared by the harness binaries.
@@ -78,6 +80,23 @@ impl HarnessArgs {
     }
 }
 
+/// Deterministic pseudo-random sorted value set: `n` strictly increasing
+/// `u32`s with average stride `(1 + max_stride) / 2` (larger stride =
+/// sparser set). Shared by the setops criterion bench and the
+/// `setops_kernels` gate harness so the locally-benchmarked workloads
+/// and the CI-gated ones come from one generator.
+pub fn synth_set(n: usize, max_stride: u32, seed: u64) -> Vec<u32> {
+    let mut state = seed | 1;
+    let mut v = 0u32;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        v = v.wrapping_add(1 + ((state >> 33) as u32 % max_stride));
+        out.push(v);
+    }
+    out
+}
+
 /// Paper §IV-A4 timing: run `f` `runs` times, drop the best and worst
 /// wall-clock times, and average the rest.
 pub fn measure(runs: usize, mut f: impl FnMut()) -> Duration {
@@ -102,6 +121,95 @@ pub fn fmt_ms(d: Duration) -> String {
 /// A relative-runtime cell: `1.00x` marks the best engine.
 pub fn fmt_rel(d: Duration, best: Duration) -> String {
     format!("{:.2}x", d.as_secs_f64() / best.as_secs_f64())
+}
+
+/// Machine-readable benchmark emission: collects flat key → value
+/// metrics and writes them as `BENCH_<name>.json` (into `$EH_BENCH_OUT`
+/// if set, else the working directory), so CI runs accumulate a
+/// perf-trajectory file set instead of scroll-back tables.
+///
+/// The JSON is hand-rendered (the build environment has no serde): one
+/// object with `bench`, `meta` string fields, and a `metrics` object of
+/// numbers.
+pub struct BenchReport {
+    name: String,
+    meta: Vec<(String, String)>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Start a report for the benchmark `name`.
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport { name: name.to_string(), meta: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Attach a descriptive string field (machine, scale, mode, ...).
+    pub fn meta(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.meta.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Record one numeric metric.
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        self.metrics.push((key.to_string(), value));
+        self
+    }
+
+    /// Record a duration in milliseconds under `key`.
+    pub fn metric_ms(&mut self, key: &str, d: Duration) -> &mut Self {
+        self.metric(key, d.as_secs_f64() * 1e3)
+    }
+
+    fn render(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", esc(&self.name)));
+        out.push_str("  \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": \"{}\"", esc(k), esc(v)));
+        }
+        out.push_str(if self.meta.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // JSON has no NaN/Inf; emit null so a broken measurement
+            // stays distinguishable from a genuine zero.
+            if v.is_finite() {
+                out.push_str(&format!("\n    \"{}\": {v}", esc(k)));
+            } else {
+                out.push_str(&format!("\n    \"{}\": null", esc(k)));
+            }
+        }
+        out.push_str(if self.metrics.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Write `BENCH_<name>.json` and return its path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var_os("EH_BENCH_OUT").map(PathBuf::from).unwrap_or_default();
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(&dir)?;
+        }
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.render().as_bytes())?;
+        Ok(path)
+    }
 }
 
 /// Fixed-width table printer for harness output.
@@ -177,5 +285,27 @@ mod tests {
         let a = HarnessArgs::default();
         assert_eq!(a.universities, 5);
         assert_eq!(a.runs, 7);
+    }
+
+    #[test]
+    fn bench_report_renders_valid_flat_json() {
+        let mut r = BenchReport::new("unit");
+        r.meta("mode", "quick").meta("quoted", "a\"b\\c");
+        r.metric("qps", 1234.5).metric_ms("lat", Duration::from_micros(1500));
+        let s = r.render();
+        assert!(s.contains("\"bench\": \"unit\""), "{s}");
+        assert!(s.contains("\"mode\": \"quick\""), "{s}");
+        assert!(s.contains("\"quoted\": \"a\\\"b\\\\c\""), "{s}");
+        assert!(s.contains("\"qps\": 1234.5"), "{s}");
+        assert!(s.contains("\"lat\": 1.5"), "{s}");
+        // Non-finite measurements surface as null, not a fake zero.
+        r.metric("broken", f64::INFINITY);
+        assert!(r.render().contains("\"broken\": null"), "{}", r.render());
+        // Balanced braces = parseable by any JSON reader.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        // Empty sections stay valid.
+        let empty = BenchReport::new("e").render();
+        assert!(empty.contains("\"meta\": {}"), "{empty}");
+        assert!(empty.contains("\"metrics\": {}"), "{empty}");
     }
 }

@@ -19,11 +19,18 @@
 //! attribute's candidate set is partitioned into morsels, every remaining
 //! level runs per-morsel on worker threads, and per-morsel sinks merge in
 //! morsel order — so parallel output is bit-identical to [`run_join`].
+//!
+//! The inner loop is allocation-free: every multiway intersection runs
+//! through the adaptive k-way driver ([`intersect_all_into`]) into a
+//! per-depth, per-morsel [`IntersectScratch`], participant views are
+//! assembled on the stack, and trailing existence checks use the
+//! non-materializing [`intersects_all_refs`] kernel. All set probes are
+//! [`SetRef`] views decoded in place from the [`FrozenTrie`] arenas.
 
 use std::sync::Arc;
 
 use eh_par::RuntimeConfig;
-use eh_setops::{intersect_all_refs, Set, SetRef};
+use eh_setops::{intersect_all_into, intersects_all_refs, IntersectScratch, SetRef};
 use eh_trie::FrozenTrie;
 
 /// One relation participating in a join: a frozen trie plus the depth at
@@ -54,11 +61,29 @@ pub(crate) struct JoinSpec {
     pub rels: Vec<PreparedRel>,
 }
 
-#[derive(Clone)]
 struct State {
     /// `blocks[rel][level]` = current trie block per relation level.
     blocks: Vec<Vec<usize>>,
     binding: Vec<u32>,
+    /// One reusable intersection scratch per join depth, so the adaptive
+    /// multiway driver performs zero heap allocation per extension once
+    /// the buffers reach workload size. Depths never alias (the depth-`d`
+    /// candidate list stays live while the search recurses into `d + 1`,
+    /// which uses its own slot).
+    scratch: Vec<IntersectScratch>,
+}
+
+/// The per-morsel fork in [`run_join_parallel`]: cursors and bindings are
+/// copied, scratch buffers start fresh and empty — they are transient
+/// kernel state, and each morsel must stay allocation-independent.
+impl Clone for State {
+    fn clone(&self) -> State {
+        State {
+            blocks: self.blocks.clone(),
+            binding: self.binding.clone(),
+            scratch: (0..self.scratch.len()).map(|_| IntersectScratch::new()).collect(),
+        }
+    }
 }
 
 impl State {
@@ -66,6 +91,7 @@ impl State {
         State {
             blocks: spec.rels.iter().map(|r| vec![0usize; r.trie.arity()]).collect(),
             binding: vec![0u32; spec.num_vars],
+            scratch: (0..spec.num_vars).map(|_| IntersectScratch::new()).collect(),
         }
     }
 }
@@ -148,7 +174,9 @@ where
         let (r, lvl) = here[0];
         spec.rels[r].trie.set(lvl, st.blocks[r][lvl]).to_vec()
     } else {
-        intersect_participants(spec, &st, here).to_vec()
+        let mut scratch = IntersectScratch::new();
+        with_participant_sets(spec, &st, here, |sets| intersect_all_into(sets, &mut scratch));
+        scratch.values().to_vec()
     };
     if candidates.is_empty() {
         return Vec::new();
@@ -193,6 +221,19 @@ fn exists(spec: &JoinSpec, parts: &[Vec<(usize, usize)>], st: &mut State, depth:
     if depth == spec.num_vars {
         return true;
     }
+    // Final-depth fast path: with no deeper level to descend into, a
+    // witness is just "is the participants' intersection non-empty" —
+    // answered by the non-materializing EXISTS kernel instead of
+    // iterating a materialised candidate list.
+    if depth + 1 == spec.num_vars && spec.sel[depth].is_none() {
+        let here = &parts[depth];
+        debug_assert!(!here.is_empty(), "unselected attribute with no participants");
+        if here.len() == 1 {
+            let (r, lvl) = here[0];
+            return !spec.rels[r].trie.set(lvl, st.blocks[r][lvl]).is_empty();
+        }
+        return with_participant_sets(spec, st, here, intersects_all_refs);
+    }
     let mut found = false;
     step(spec, parts, st, depth, &mut |spec, st| {
         found = exists(spec, parts, st, depth + 1);
@@ -235,14 +276,24 @@ fn step(
                     }
                 }
             } else {
-                let isect = intersect_participants(spec, st, here);
-                for v in isect.iter() {
+                // Multiway intersection into this depth's reusable
+                // scratch: the buffer is taken out of the state for the
+                // duration of the iteration (recursion below uses deeper
+                // slots), then restored — zero allocation per extension
+                // in the steady state.
+                let mut scratch = std::mem::take(&mut st.scratch[depth]);
+                with_participant_sets(spec, st, here, |sets| {
+                    intersect_all_into(sets, &mut scratch);
+                });
+                for idx in 0..scratch.values().len() {
+                    let v = scratch.values()[idx];
                     descend(spec, st, here, v);
                     st.binding[depth] = v;
                     if !then(spec, st) {
-                        return;
+                        break;
                     }
                 }
+                st.scratch[depth] = scratch;
             }
         }
     }
@@ -270,14 +321,32 @@ fn probe_selected(
     true
 }
 
-/// Multiway intersection of every participant's current set — the
-/// iteration domain of an unselected attribute with two or more
-/// participants, shared by [`step`] and the parallel candidate
-/// materialisation.
-fn intersect_participants(spec: &JoinSpec, st: &State, here: &[(usize, usize)]) -> Set {
-    let sets: Vec<SetRef<'_>> =
-        here.iter().map(|&(r, lvl)| spec.rels[r].trie.set(lvl, st.blocks[r][lvl])).collect();
-    intersect_all_refs(&sets).expect("at least one participant")
+/// Run `f` over every participant's current set view, assembled on the
+/// stack for typical arities — the views borrow the tries owned by
+/// `spec`, so they are independent of later `st` mutation. Shared by
+/// [`step`], [`exists`], and the parallel candidate materialisation.
+fn with_participant_sets<R>(
+    spec: &JoinSpec,
+    st: &State,
+    here: &[(usize, usize)],
+    f: impl FnOnce(&[SetRef<'_>]) -> R,
+) -> R {
+    // A planner bug that produces an unselected attribute with no
+    // participants must fail loudly (as the pre-scratch code's `expect`
+    // did), not as a silently empty result in release builds.
+    assert!(!here.is_empty(), "unselected attribute with no participants");
+    const INLINE: usize = 8;
+    if here.len() <= INLINE {
+        let mut table: [SetRef<'_>; INLINE] = [SetRef::Uint(&[]); INLINE];
+        for (slot, &(r, lvl)) in table.iter_mut().zip(here) {
+            *slot = spec.rels[r].trie.set(lvl, st.blocks[r][lvl]);
+        }
+        f(&table[..here.len()])
+    } else {
+        let sets: Vec<SetRef<'_>> =
+            here.iter().map(|&(r, lvl)| spec.rels[r].trie.set(lvl, st.blocks[r][lvl])).collect();
+        f(&sets)
+    }
 }
 
 /// Move every participant's cursor to the child block of `v` (which is

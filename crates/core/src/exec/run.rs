@@ -153,6 +153,12 @@ fn run_node(
         tuples.append(&sink.tuples);
         satisfiable |= sink.satisfiable;
     }
+    // Canonicalise once at the source: every consumer of a node result
+    // turns it into a trie (which needs sorted unique tuples anyway), so
+    // sorting + deduplicating here lets them all take the arena-direct
+    // `FrozenTrie::from_sorted` path and shrinks duplicated intermediates
+    // before they are cloned around.
+    tuples.sort_dedup();
     let result = NodeResult { attrs: node.output.clone(), tuples, satisfiable };
     if result.is_empty_relation() {
         None
@@ -215,17 +221,17 @@ fn children_rels(
         let depths: Vec<usize> = shared.iter().map(|&v| depth_of(v)).collect();
         // If the shared variables are a prefix of the child's output
         // order, the full child trie participates with truncated depths
-        // (its suffix levels are simply never descended); otherwise
-        // materialise the projection.
+        // (its suffix levels are simply never descended) and the
+        // already-sorted tuples freeze without re-sorting; otherwise
+        // materialise the projection (permuting breaks the sort order).
         let is_prefix = child.attrs.starts_with(shared);
-        let tuples = if is_prefix {
-            child.tuples.clone()
+        let trie = if is_prefix {
+            Arc::new(FrozenTrie::from_sorted(child.tuples.clone(), layout_policy(auto_layout)))
         } else {
             let cols: Vec<usize> =
                 shared.iter().map(|v| child.attrs.iter().position(|w| w == v).unwrap()).collect();
-            child.tuples.permute(&cols)
+            Arc::new(FrozenTrie::build(child.tuples.permute(&cols), layout_policy(auto_layout)))
         };
-        let trie = Arc::new(FrozenTrie::build(tuples, layout_policy(auto_layout)));
         rels.push(PreparedRel { trie, depths });
     }
     Some(rels)
@@ -276,7 +282,9 @@ fn final_join(
     let rels: Vec<PreparedRel> = live
         .iter()
         .map(|r| {
-            let trie = Arc::new(FrozenTrie::build(r.tuples.clone(), layout_policy(auto_layout)));
+            // Node results are sorted unique at the source (run_node).
+            let trie =
+                Arc::new(FrozenTrie::from_sorted(r.tuples.clone(), layout_policy(auto_layout)));
             let depths =
                 r.attrs.iter().map(|v| join_vars.iter().position(|w| w == v).unwrap()).collect();
             PreparedRel { trie, depths }
@@ -344,7 +352,8 @@ fn run_pipelined(
         }
         let shared = &plan.nodes[c].shared_with_parent;
         debug_assert!(child.attrs.starts_with(shared), "planner checked the prefix");
-        let trie = Arc::new(FrozenTrie::build(child.tuples.clone(), layout_policy(auto_layout)));
+        let trie =
+            Arc::new(FrozenTrie::from_sorted(child.tuples.clone(), layout_policy(auto_layout)));
         child_tries[c] = Some(Arc::clone(&trie));
         if !shared.is_empty() {
             intermediates
@@ -374,7 +383,9 @@ fn run_pipelined(
         emit_attrs.extend_from_slice(&child.attrs[shared.len()..]);
         let trie = match child_tries[t].take() {
             Some(t) => t,
-            None => Arc::new(FrozenTrie::build(child.tuples.clone(), layout_policy(auto_layout))),
+            None => {
+                Arc::new(FrozenTrie::from_sorted(child.tuples.clone(), layout_policy(auto_layout)))
+            }
         };
         exts.push(NodeExt { trie, shared_positions, base });
     }

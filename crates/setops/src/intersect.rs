@@ -12,22 +12,49 @@
 //!
 //! Every kernel takes borrowed [`SetRef`] views, so owned [`Set`]s and
 //! frozen arena sets intersect through identical code — the `&Set` entry
-//! points below are thin `as_ref` wrappers.
+//! points below are thin `as_ref` wrappers. Multiway (k-way)
+//! intersections live in [`crate::multiway`]: this module's
+//! `intersect_all*` entry points delegate to the adaptive driver there.
 
 use crate::set::Set;
-use crate::uint::{intersect_uint, UintSet};
+use crate::uint::{intersect_uint, intersect_uint_count, UintSet};
 use crate::view::{intersect_bits, BitsRef, SetRef};
+
+/// Upper bound on the speculative capacity reserved for a pairwise
+/// intersection result (values, i.e. 16 KiB). Reserving the full
+/// `min(|a|, |b|)` over-allocates wildly for near-disjoint operands —
+/// long-lived results (e.g. entries in the serving tier's result cache)
+/// would pin that transient high-water mark as RSS.
+const RESULT_CAP: usize = 4096;
+
+#[inline]
+fn result_vec(smaller_len: usize) -> Vec<u32> {
+    Vec::with_capacity(smaller_len.min(RESULT_CAP))
+}
+
+/// Release slack before boxing: when the result came out far smaller
+/// than reserved (high skew), give the pages back instead of letting
+/// `into_boxed_slice` copy out of an oversized block.
+#[inline]
+fn finish_result(mut out: Vec<u32>) -> UintSet {
+    if out.capacity() >= 64 && out.len() * 4 <= out.capacity() {
+        out.shrink_to_fit();
+    }
+    UintSet::from_sorted_vec(out)
+}
 
 /// Intersect two set views. The result layout follows the natural layout
 /// of the kernel (uint for array-driven kernels, bitset for word-AND) and
 /// is *not* re-optimized here; callers that keep results long-term can
 /// call [`Set::optimize`].
 pub fn intersect_refs(a: SetRef<'_>, b: SetRef<'_>) -> Set {
+    #[cfg(test)]
+    crate::instrument::note_materialization();
     match (a, b) {
         (SetRef::Uint(x), SetRef::Uint(y)) => {
-            let mut out = Vec::with_capacity(x.len().min(y.len()));
+            let mut out = result_vec(x.len().min(y.len()));
             intersect_uint(x, y, &mut out);
-            Set::Uint(UintSet::from_sorted_vec(out))
+            Set::Uint(finish_result(out))
         }
         (SetRef::Bits(x), SetRef::Bits(y)) => Set::Bits(intersect_bits(x, y)),
         (SetRef::Uint(x), SetRef::Bits(y)) | (SetRef::Bits(y), SetRef::Uint(x)) => {
@@ -42,35 +69,21 @@ pub fn intersect(a: &Set, b: &Set) -> Set {
 }
 
 fn probe_uint_bits(u: &[u32], b: BitsRef<'_>) -> UintSet {
-    let mut out = Vec::with_capacity(u.len().min(b.len()));
+    let mut out = result_vec(u.len().min(b.len()));
     for &v in u {
         if b.contains(v) {
             out.push(v);
         }
     }
-    UintSet::from_sorted_vec(out)
+    finish_result(out)
 }
 
 /// Cardinality of `a ∩ b` without materialisation. Used for aggregate
 /// (COUNT) queries and for ordering multiway intersections.
 pub fn intersect_count_refs(a: SetRef<'_>, b: SetRef<'_>) -> usize {
     match (a, b) {
-        (SetRef::Uint(xs), SetRef::Uint(ys)) => {
-            // Count via merge without allocating.
-            let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
-            while i < xs.len() && j < ys.len() {
-                match xs[i].cmp(&ys[j]) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        n += 1;
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
-            n
-        }
+        // Merge/gallop count without allocating (SIMD merge kernel).
+        (SetRef::Uint(xs), SetRef::Uint(ys)) => intersect_uint_count(xs, ys),
         (SetRef::Bits(x), SetRef::Bits(y)) => x.intersect_count(y),
         (SetRef::Uint(x), SetRef::Bits(y)) | (SetRef::Bits(y), SetRef::Uint(x)) => {
             x.iter().filter(|&&v| y.contains(v)).count()
@@ -109,8 +122,12 @@ pub fn intersects(a: &Set, b: &Set) -> bool {
     intersects_refs(a.as_ref(), b.as_ref())
 }
 
-/// Multiway intersection over set views: folds pairwise, smallest sets
-/// first so the running result shrinks as fast as possible.
+/// Multiway intersection over set views, materialised as an owned
+/// [`Set`] — a convenience wrapper over the adaptive k-way driver in
+/// [`crate::multiway`]. Hot paths should hold an
+/// [`IntersectScratch`](crate::IntersectScratch) and call
+/// [`intersect_all_into`](crate::intersect_all_into) instead, which
+/// performs no allocation in the steady state.
 ///
 /// Returns the full universe-equivalent only when `sets` is empty — callers
 /// in Generic-Join always pass at least one set, so we return `None` for an
@@ -120,16 +137,8 @@ pub fn intersect_all_refs(sets: &[SetRef<'_>]) -> Option<Set> {
         0 => None,
         1 => Some(sets[0].to_set()),
         _ => {
-            let mut order: Vec<SetRef<'_>> = sets.to_vec();
-            order.sort_by_key(|s| s.len());
-            let mut acc = intersect_refs(order[0], order[1]);
-            for s in &order[2..] {
-                if acc.is_empty() {
-                    break;
-                }
-                acc = intersect_refs(acc.as_ref(), *s);
-            }
-            Some(acc)
+            let mut scratch = crate::multiway::IntersectScratch::new();
+            Some(Set::from_sorted(crate::multiway::intersect_all_into(sets, &mut scratch)))
         }
     }
 }
@@ -140,33 +149,12 @@ pub fn intersect_all(sets: &[&Set]) -> Option<Set> {
     intersect_all_refs(&refs)
 }
 
-/// Cardinality of a multiway intersection (materialises all but the final
-/// pair, so it is cheap only for small arities — which is what Generic-Join
-/// produces).
-pub fn intersect_count_all_refs(sets: &[SetRef<'_>]) -> usize {
-    match sets.len() {
-        0 => 0,
-        1 => sets[0].len(),
-        2 => intersect_count_refs(sets[0], sets[1]),
-        _ => {
-            let mut order: Vec<SetRef<'_>> = sets.to_vec();
-            order.sort_by_key(|s| s.len());
-            let mut acc = intersect_refs(order[0], order[1]);
-            for s in &order[2..order.len() - 1] {
-                if acc.is_empty() {
-                    return 0;
-                }
-                acc = intersect_refs(acc.as_ref(), *s);
-            }
-            intersect_count_refs(acc.as_ref(), order[order.len() - 1])
-        }
-    }
-}
-
-/// Cardinality of a multiway intersection over owned sets.
+/// Cardinality of a multiway intersection over owned sets. Allocation-
+/// free beyond the view vector — see
+/// [`intersect_count_all_refs`](crate::multiway::intersect_count_all_refs).
 pub fn intersect_count_all(sets: &[&Set]) -> usize {
     let refs: Vec<SetRef<'_>> = sets.iter().map(|s| s.as_ref()).collect();
-    intersect_count_all_refs(&refs)
+    crate::multiway::intersect_count_all_refs(&refs)
 }
 
 #[cfg(test)]
@@ -263,6 +251,33 @@ mod tests {
         assert!(intersect_all(&[]).is_none());
         assert_eq!(intersect_count_all(&[]), 0);
         assert_eq!(intersect_count_all(&[&a]), 2);
+    }
+
+    #[test]
+    fn result_capacity_is_capped_and_shrunk() {
+        // Satellite regression: near-disjoint large operands must not pin
+        // a min(|a|,|b|)-sized allocation. The initial reservation is
+        // capped...
+        let cap = result_vec(1_000_000).capacity();
+        assert!((RESULT_CAP..1_000_000).contains(&cap), "capacity {cap} not capped");
+        assert!(result_vec(10).capacity() >= 10);
+        // ...and a highly skewed result releases its slack before boxing.
+        let mut big = Vec::with_capacity(100_000);
+        big.extend_from_slice(&[1, 2, 3]);
+        let shrunk = finish_result(big);
+        assert_eq!(shrunk.as_slice(), &[1, 2, 3]);
+        // Small results keep their (tiny) buffer untouched.
+        let small = finish_result(vec![7, 9]);
+        assert_eq!(small.as_slice(), &[7, 9]);
+        // End to end: a near-disjoint intersection of big sets stays
+        // correct through the capped path.
+        let a: Vec<u32> = (0..100_000).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..100_000).map(|x| x * 2 + 1).chain([40_000]).collect();
+        let mut b = b;
+        b.sort_unstable();
+        b.dedup();
+        let r = intersect_refs(SetRef::Uint(&a), SetRef::Uint(&b));
+        assert_eq!(r.to_vec(), vec![40_000]);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! * [`UintSet`] — a sorted array of unique `u32` values. Membership is
 //!   `O(log n)` binary search; intersection is merge- or galloping-based.
-//! * [`BitSet`] — an uncompressed bitset over 64-bit words, offset by the
+//! * [`BitSet`] — an uncompressed bitset over 32-bit words, offset by the
 //!   word index of the minimum element. Membership is `O(1)`; intersection
 //!   is word-wise `AND`.
 //!
@@ -17,6 +17,18 @@
 //! bit-width of an AVX register), else the uint array. The paper reports
 //! that mixing layouts yields up to an 8.22× speedup on selective queries
 //! (Table I, +Layout) — `crates/bench` reproduces that ablation.
+//!
+//! Intersections dispatch along two axes (the "old techniques" of §IV):
+//!
+//! * **instruction set** — runtime-detected SSE/AVX2 kernels with a
+//!   proptest-pinned byte-identical portable fallback (`simd` module,
+//!   `EH_SIMD` override);
+//! * **operand shape** — the multiway driver picks word-`AND` /
+//!   probe-smallest / vectorized-fold per the [`choose_multiway`] cost
+//!   model, writes into caller-provided [`IntersectScratch`] buffers
+//!   (zero allocation in Generic-Join's inner loop), and serves COUNT /
+//!   EXISTS shapes without materialising anything
+//!   ([`intersect_count_all_refs`], [`intersects_all_refs`]).
 //!
 //! ```
 //! use eh_setops::{Set, Layout};
@@ -31,8 +43,10 @@
 
 mod bitset;
 mod intersect;
+mod multiway;
 mod optimizer;
 mod set;
+mod simd;
 mod uint;
 mod union;
 mod view;
@@ -40,16 +54,50 @@ mod view;
 pub use bitset::BitSet;
 pub use intersect::{
     intersect, intersect_all, intersect_all_refs, intersect_count, intersect_count_all,
-    intersect_count_all_refs, intersect_count_refs, intersect_refs, intersects, intersects_refs,
+    intersect_count_refs, intersect_refs, intersects, intersects_refs,
 };
-pub use optimizer::{choose_layout, Layout, DENSITY_THRESHOLD};
+pub use multiway::{
+    intersect_all_into, intersect_all_refs_fold, intersect_count_all_refs, intersects_all_refs,
+    IntersectScratch,
+};
+pub use optimizer::{
+    choose_layout, choose_multiway, choose_uint_strategy, Layout, MultiwayKernel, UintStrategy,
+    DENSITY_THRESHOLD, GALLOP_SKEW, MULTIWAY_PROBE_SKEW,
+};
 pub use set::{Set, SetIter};
+pub use simd::{
+    and_words_k_any, and_words_k_count, and_words_k_count_with, and_words_k_into,
+    and_words_k_into_with, available_levels, detected_level, intersect_merge_count_v_with,
+    intersect_merge_v_with, simd_level, SimdLevel,
+};
 pub use uint::UintSet;
 pub use union::{difference, union};
 pub use view::{
     decode_set, encode_set_into, encode_sorted_into, validate_encoded_set, BitsRef, SetRef,
     SetRefIter, TAG_BITSET, TAG_UINT,
 };
+
+/// Test-only bookkeeping: a thread-local counter of intermediate `Set`
+/// materialisations, used to pin the COUNT/EXISTS and scratch-driver
+/// paths as allocation-free (they must never mint a `Set`).
+#[cfg(test)]
+pub(crate) mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        static SET_BUILDS: Cell<usize> = const { Cell::new(0) };
+    }
+
+    /// Record one `Set` materialisation on this thread.
+    pub fn note_materialization() {
+        SET_BUILDS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Materialisations recorded on this thread so far.
+    pub fn materializations() -> usize {
+        SET_BUILDS.with(|c| c.get())
+    }
+}
 
 #[cfg(test)]
 mod proptests;

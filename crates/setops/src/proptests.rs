@@ -6,7 +6,12 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
-use crate::{difference, intersect_all, intersect_count_all, union, Layout, Set};
+use crate::{
+    and_words_k_count_with, and_words_k_into_with, available_levels, difference, intersect_all,
+    intersect_all_into, intersect_all_refs_fold, intersect_count_all, intersect_count_all_refs,
+    intersect_merge_count_v_with, intersect_merge_v_with, intersects_all_refs, union,
+    IntersectScratch, Layout, Set, SetRef, SimdLevel,
+};
 
 fn sorted_unique(vals: &[u32]) -> Vec<u32> {
     let s: BTreeSet<u32> = vals.iter().copied().collect();
@@ -19,6 +24,37 @@ fn value_set() -> impl Strategy<Value = Vec<u32>> {
     (0u32..50_000, proptest::collection::vec(0u32..2_000, 0..300)).prop_map(|(base, offsets)| {
         sorted_unique(&offsets.iter().map(|o| base + o).collect::<Vec<_>>())
     })
+}
+
+/// One multiway operand: a size class spanning four orders of magnitude
+/// (so operand pairs reach skew ratios up to ~1:10⁴), a clustered value
+/// population, and a forced layout bit.
+fn multiway_operand() -> impl Strategy<Value = (Vec<u32>, Layout)> {
+    (0u32..5, 0u32..30_000, any::<u64>(), any::<bool>()).prop_map(
+        |(magnitude, base, seed, dense)| {
+            // Sizes 1, 10, 100, 1000, 10000 — arity-many of these mix
+            // into every skew ratio between 1:1 and 1:10⁴.
+            let n = 10usize.pow(magnitude);
+            // Deterministic LCG so huge operands don't need huge proptest
+            // draws; stride keeps density near the bitset threshold.
+            let stride = if dense { 3 } else { 700 };
+            let mut state = seed | 1;
+            let mut v = base;
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v = v.wrapping_add(1 + ((state >> 33) as u32 % stride));
+                vals.push(v);
+            }
+            let layout = if dense { Layout::Bitset } else { Layout::UintArray };
+            (sorted_unique(&vals), layout)
+        },
+    )
+}
+
+/// 1 to 6 multiway operands (Generic-Join arities).
+fn multiway_operands() -> impl Strategy<Value = Vec<(Vec<u32>, Layout)>> {
+    proptest::collection::vec(multiway_operand(), 1..=6)
 }
 
 proptest! {
@@ -144,6 +180,83 @@ proptest! {
         for layout in [Layout::UintArray, Layout::Bitset] {
             let s = Set::from_sorted_with(&vals, layout);
             prop_assert_eq!(s.optimize().to_vec(), vals.clone());
+        }
+    }
+
+    /// The satellite matrix: the adaptive k-way driver must agree with the
+    /// naive pairwise fold (and a BTreeSet oracle) across layout mixes,
+    /// skew ratios from 1:1 up to 1:10⁴, arities 1–6, and frozen-arena vs
+    /// owned operands — for materialisation, count, and existence alike.
+    #[test]
+    fn adaptive_driver_matches_fold(operands in multiway_operands()) {
+        // Oracle.
+        let mut expect: Vec<u32> = operands[0].0.clone();
+        for (vals, _) in &operands[1..] {
+            let s: BTreeSet<u32> = vals.iter().copied().collect();
+            expect.retain(|v| s.contains(v));
+        }
+
+        // Owned operands.
+        let owned: Vec<Set> =
+            operands.iter().map(|(v, l)| Set::from_sorted_with(v, *l)).collect();
+        let owned_refs: Vec<SetRef<'_>> = owned.iter().map(|s| s.as_ref()).collect();
+
+        // The same operands frozen into one contiguous arena.
+        let mut arena: Vec<u32> = Vec::new();
+        let mut offsets = Vec::new();
+        for (vals, layout) in &operands {
+            offsets.push(arena.len());
+            crate::encode_sorted_into(vals, Some(*layout), &mut arena);
+        }
+        let frozen_refs: Vec<SetRef<'_>> =
+            offsets.iter().map(|&o| crate::decode_set(&arena[o..]).0).collect();
+
+        let mut scratch = IntersectScratch::new();
+        for refs in [&owned_refs, &frozen_refs] {
+            prop_assert_eq!(intersect_all_into(refs, &mut scratch), &expect[..]);
+            prop_assert_eq!(intersect_count_all_refs(refs), expect.len());
+            prop_assert_eq!(intersects_all_refs(refs), !expect.is_empty());
+            let fold = intersect_all_refs_fold(refs).unwrap();
+            prop_assert_eq!(fold.to_vec(), expect.clone());
+        }
+    }
+
+    /// SIMD kernels are byte-identical to the portable fallback at every
+    /// level this CPU supports.
+    #[test]
+    fn simd_levels_are_byte_identical(a in value_set(), b in value_set(), c in value_set()) {
+        // uint merge kernel.
+        let mut reference = Vec::new();
+        intersect_merge_v_with(SimdLevel::Portable, &a, &b, &mut reference);
+        for &level in available_levels() {
+            let mut out = Vec::new();
+            intersect_merge_v_with(level, &a, &b, &mut out);
+            prop_assert_eq!(&out, &reference, "merge at {}", level);
+            prop_assert_eq!(
+                intersect_merge_count_v_with(level, &a, &b),
+                reference.len(),
+                "merge count at {}", level
+            );
+        }
+        // Word-AND kernel over equal extents.
+        let n = 40usize;
+        let pack = |vals: &[u32]| -> Vec<u32> {
+            let mut words = vec![0u32; n];
+            for &v in vals {
+                let w = (v / 32) as usize % n;
+                words[w] |= 1 << (v % 32);
+            }
+            words
+        };
+        let (wa, wb, wc) = (pack(&a), pack(&b), pack(&c));
+        let srcs = [&wa[..], &wb[..], &wc[..]];
+        let mut reference = Vec::new();
+        let ref_count = and_words_k_into_with(SimdLevel::Portable, &srcs, &mut reference);
+        for &level in available_levels() {
+            let mut out = Vec::new();
+            prop_assert_eq!(and_words_k_into_with(level, &srcs, &mut out), ref_count);
+            prop_assert_eq!(&out, &reference, "and at {}", level);
+            prop_assert_eq!(and_words_k_count_with(level, &srcs), ref_count);
         }
     }
 }

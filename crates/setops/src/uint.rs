@@ -1,5 +1,8 @@
 //! Sorted unsigned-integer-array set layout (paper §II-A2).
 
+use crate::optimizer::{choose_uint_strategy, UintStrategy};
+use crate::simd::{intersect_merge_count_v, intersect_merge_v};
+
 /// A set of `u32` values stored as a sorted array of unique elements.
 ///
 /// This is EmptyHeaded's default layout: compact for sparse sets, with
@@ -88,7 +91,9 @@ impl UintSet {
     }
 }
 
-/// Merge-based intersection of two sorted slices, appending to `out`.
+/// Merge-based intersection of two sorted slices, appending to `out` —
+/// the scalar reference the vectorized kernels are checked against.
+#[cfg(test)]
 pub(crate) fn intersect_merge(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -105,6 +110,30 @@ pub(crate) fn intersect_merge(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     }
 }
 
+/// Galloping seek: the first index `>= lo` in the sorted slice `list`
+/// whose value is `>= v`. Exponential probe from `lo`, then a binary
+/// search over the final window — `O(log d)` in the distance `d`
+/// advanced, so a monotone sequence of seeks (the multiway probe
+/// driver's cursors) stays linear overall. (A block-linear pre-phase was
+/// measured against this on the `setops_kernels` workloads and lost;
+/// the pure exponential probe is also the shape the fold baseline uses.)
+pub(crate) fn gallop_seek(list: &[u32], lo: usize, v: u32) -> usize {
+    // Find a window [prev, hi) with list[prev - 1] < v and
+    // (hi == len or list[hi] >= v).
+    let mut step = 1usize;
+    let mut prev = lo;
+    let mut probe = lo;
+    while probe < list.len() && list[probe] < v {
+        prev = probe + 1;
+        probe += step;
+        step <<= 1;
+    }
+    let hi = probe.min(list.len());
+    // First index in [prev, hi) not below v; list[hi] >= v when in
+    // range, so this is the global partition point for v.
+    prev + list[prev..hi].partition_point(|&x| x < v)
+}
+
 /// Galloping (exponential-search) intersection for skewed cardinalities:
 /// for each element of the smaller slice, gallop through the larger one.
 /// `O(|small| * log |large|)` — asymptotically better than merging when
@@ -115,20 +144,7 @@ pub(crate) fn intersect_gallop(small: &[u32], large: &[u32], out: &mut Vec<u32>)
         if lo >= large.len() {
             break;
         }
-        // Exponential probe: find a window [prev, hi) with
-        // large[prev - 1] < v and (hi == len or large[hi] >= v).
-        let mut step = 1usize;
-        let mut prev = lo;
-        let mut probe = lo;
-        while probe < large.len() && large[probe] < v {
-            prev = probe + 1;
-            probe += step;
-            step <<= 1;
-        }
-        let hi = probe.min(large.len());
-        // First index in [prev, hi) not below v; large[hi] >= v when in
-        // range, so this is the global partition point for v.
-        let idx = prev + large[prev..hi].partition_point(|&x| x < v);
+        let idx = gallop_seek(large, lo, v);
         if idx < large.len() && large[idx] == v {
             out.push(v);
             lo = idx + 1;
@@ -138,17 +154,44 @@ pub(crate) fn intersect_gallop(small: &[u32], large: &[u32], out: &mut Vec<u32>)
     }
 }
 
-/// Ratio at which the galloping strategy replaces the linear merge.
-const GALLOP_RATIO: usize = 32;
+/// Counting variant of [`intersect_gallop`] — no output buffer.
+pub(crate) fn intersect_gallop_count(small: &[u32], large: &[u32]) -> usize {
+    let mut lo = 0usize;
+    let mut n = 0usize;
+    for &v in small {
+        if lo >= large.len() {
+            break;
+        }
+        let idx = gallop_seek(large, lo, v);
+        if idx < large.len() && large[idx] == v {
+            n += 1;
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+    }
+    n
+}
 
 /// Layout-internal intersection of two sorted slices with automatic
-/// merge/gallop strategy selection.
+/// merge/gallop strategy selection ([`choose_uint_strategy`], using the
+/// measured [`crate::optimizer::GALLOP_SKEW`] threshold). The merge arm
+/// is the runtime-dispatched SIMD kernel.
 pub(crate) fn intersect_uint(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if small.len().saturating_mul(GALLOP_RATIO) < large.len() {
-        intersect_gallop(small, large, out);
-    } else {
-        intersect_merge(a, b, out);
+    match choose_uint_strategy(small.len(), large.len()) {
+        UintStrategy::Gallop => intersect_gallop(small, large, out),
+        UintStrategy::Merge => intersect_merge_v(a, b, out),
+    }
+}
+
+/// Cardinality of a uint ∩ uint pair, allocation-free, with the same
+/// merge/gallop strategy selection as [`intersect_uint`].
+pub(crate) fn intersect_uint_count(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    match choose_uint_strategy(small.len(), large.len()) {
+        UintStrategy::Gallop => intersect_gallop_count(small, large),
+        UintStrategy::Merge => intersect_merge_count_v(a, b),
     }
 }
 
@@ -241,5 +284,29 @@ mod tests {
         let mut out2 = vec![];
         intersect_uint(&[1, 2, 3], &[2, 3, 4], &mut out2);
         assert_eq!(out2, vec![2, 3]);
+    }
+
+    #[test]
+    fn count_agrees_with_materialising_path() {
+        let small = vec![4u32, 64, 641, 9_000];
+        let large: Vec<u32> = (0..10_000).collect();
+        let balanced: Vec<u32> = (0..10_000).map(|x| x * 2).collect();
+        for (a, b) in [(&small, &large), (&large, &balanced), (&small, &small)] {
+            let mut out = vec![];
+            intersect_uint(a, b, &mut out);
+            assert_eq!(intersect_uint_count(a, b), out.len());
+            assert_eq!(intersect_uint_count(b, a), out.len());
+        }
+    }
+
+    #[test]
+    fn gallop_seek_partition_points() {
+        let list: Vec<u32> = (0..100).map(|x| x * 3).collect();
+        assert_eq!(gallop_seek(&list, 0, 0), 0);
+        assert_eq!(gallop_seek(&list, 0, 1), 1);
+        assert_eq!(gallop_seek(&list, 0, 297), 99);
+        assert_eq!(gallop_seek(&list, 0, 298), 100);
+        // Seeks from an advanced cursor never look backwards.
+        assert_eq!(gallop_seek(&list, 50, 3), 50);
     }
 }

@@ -128,32 +128,37 @@ impl<'a> BitsRef<'a> {
         }
     }
 
-    /// Count of the word-wise AND with another bitset view.
-    pub fn intersect_count(&self, other: BitsRef<'_>) -> usize {
+    /// The overlapping word windows of two bitsets, as equal-length
+    /// slices ready for the word-`AND` kernels, plus the first shared
+    /// word index. `None` when the extents don't overlap.
+    pub(crate) fn overlap<'b>(&self, other: &BitsRef<'b>) -> Option<(u32, &'a [u32], &'b [u32])> {
         let lo = self.base_word.max(other.base_word);
         let hi = (self.base_word + self.words.len() as u32)
             .min(other.base_word + other.words.len() as u32);
         if lo >= hi {
-            return 0;
+            return None;
         }
-        (lo..hi)
-            .map(|w| {
-                (self.words[(w - self.base_word) as usize]
-                    & other.words[(w - other.base_word) as usize])
-                    .count_ones() as usize
-            })
-            .sum()
+        let n = (hi - lo) as usize;
+        let a = &self.words[(lo - self.base_word) as usize..][..n];
+        let b = &other.words[(lo - other.base_word) as usize..][..n];
+        Some((lo, a, b))
+    }
+
+    /// Count of the word-wise AND with another bitset view (SIMD where
+    /// available), without materialising the result.
+    pub fn intersect_count(&self, other: BitsRef<'_>) -> usize {
+        match self.overlap(&other) {
+            None => 0,
+            Some((_, a, b)) => crate::simd::and_words_k_count(&[a, b]),
+        }
     }
 
     /// True when the word-wise AND is non-empty (early exit per word).
     pub fn intersects(&self, other: BitsRef<'_>) -> bool {
-        let lo = self.base_word.max(other.base_word);
-        let hi = (self.base_word + self.words.len() as u32)
-            .min(other.base_word + other.words.len() as u32);
-        (lo..hi).any(|w| {
-            self.words[(w - self.base_word) as usize] & other.words[(w - other.base_word) as usize]
-                != 0
-        })
+        match self.overlap(&other) {
+            None => false,
+            Some((_, a, b)) => crate::simd::and_words_k_any(&[a, b]),
+        }
     }
 }
 
@@ -161,27 +166,19 @@ impl<'a> BitsRef<'a> {
 /// over the overlapping (and then trimmed) word range. The single bitset
 /// intersection kernel: owned `Set`s and frozen arena sets both land here.
 pub(crate) fn intersect_bits(a: BitsRef<'_>, b: BitsRef<'_>) -> BitSet {
-    let lo = a.base_word.max(b.base_word);
-    let hi = (a.base_word + a.words.len() as u32).min(b.base_word + b.words.len() as u32);
-    if lo >= hi {
+    let (lo, wa, wb) = match a.overlap(&b) {
+        None => return BitSet::default(),
+        Some(o) => o,
+    };
+    let mut words = Vec::new();
+    let len = crate::simd::and_words_k_into(&[wa, wb], &mut words);
+    if len == 0 {
         return BitSet::default();
     }
-    let mut words = vec![0u32; (hi - lo) as usize];
-    let mut len = 0usize;
-    for (i, w) in words.iter_mut().enumerate() {
-        let x = a.words[(lo - a.base_word) as usize + i];
-        let y = b.words[(lo - b.base_word) as usize + i];
-        *w = x & y;
-        len += w.count_ones() as usize;
-    }
     // Trim zero words at both ends so `base_word`/extent stay tight.
-    match words.iter().position(|w| *w != 0) {
-        None => BitSet::default(),
-        Some(f) => {
-            let l = words.iter().rposition(|w| *w != 0).unwrap();
-            BitSet::from_words(lo + f as u32, words[f..=l].to_vec(), len)
-        }
-    }
+    let f = words.iter().position(|w| *w != 0).expect("len > 0");
+    let l = words.iter().rposition(|w| *w != 0).unwrap();
+    BitSet::from_words(lo + f as u32, words[f..=l].to_vec(), len)
 }
 
 /// A borrowed, layout-polymorphic set view — the read-side currency of
@@ -273,6 +270,8 @@ impl<'a> SetRef<'a> {
     /// join path (`intersect_all_refs` with one set), so a per-element
     /// rebuild would be a measurable regression on dense predicates.
     pub fn to_set(&self) -> Set {
+        #[cfg(test)]
+        crate::instrument::note_materialization();
         match self {
             SetRef::Uint(s) => Set::Uint(UintSet::from_sorted(s)),
             SetRef::Bits(b) => Set::Bits(BitSet::from_raw(

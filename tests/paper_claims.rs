@@ -49,7 +49,12 @@ fn wcoj_beats_pairwise_on_cyclic_queries() {
 fn optimizations_speed_up_selective_queries() {
     let store = SharedStore::new(generate_store(&GeneratorConfig::scale(2)));
     // Table I's headline rows: queries 1 and 14 gain >100x / >200x from
-    // +Attribute at paper scale; require a loose 5x for all opts combined.
+    // +Attribute at paper scale; require a loose 3x for all opts combined.
+    // (Was 5x before the adaptive SIMD kernels: those apply under
+    // OptFlags::none too, and the unoptimized attribute orders produce
+    // exactly the skewed intersections they accelerate most, so the
+    // all-vs-none *margin* narrowed — to ~5-7x on quiet hardware — while
+    // both absolute times improved.)
     for qn in [1u32, 14] {
         let q = lubm_query(qn, &store.read()).unwrap();
         let all = Engine::new(store.clone(), OptFlags::all());
@@ -61,8 +66,8 @@ fn optimizations_speed_up_selective_queries() {
         let t_all = best_of(3, || all.run_plan(&q, &plan_all));
         let t_none = best_of(3, || none.run_plan(&q, &plan_none));
         assert!(
-            t_none > t_all * 5,
-            "Q{qn}: optimizations should speed up by >5x ({t_none:?} vs {t_all:?})"
+            t_none > t_all * 3,
+            "Q{qn}: optimizations should speed up by >3x ({t_none:?} vs {t_all:?})"
         );
     }
 }
