@@ -47,6 +47,8 @@ fn main() {
             result_cache_bytes: ServiceConfig::DEFAULT_RESULT_CACHE_BYTES,
             plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
             server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+            record_metrics: true,
+            slow_query_ms: None,
         },
     );
 

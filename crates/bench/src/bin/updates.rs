@@ -124,6 +124,8 @@ fn main() {
             result_cache_bytes: ServiceConfig::DEFAULT_RESULT_CACHE_BYTES,
             plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
             server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+            record_metrics: true,
+            slow_query_ms: None,
         },
     );
     // Warm every shape once so phase 1 measures the steady state.
@@ -168,6 +170,8 @@ fn main() {
             result_cache_bytes: 0,
             plan_cache_entries: 1,
             server_sessions: 1,
+            record_metrics: true,
+            slow_query_ms: None,
         },
     );
     for request in &mix {

@@ -1,7 +1,8 @@
 //! The user-facing engine API.
 
 use std::path::Path;
-use std::sync::RwLockReadGuard;
+use std::sync::{OnceLock, RwLockReadGuard};
+use std::time::Instant;
 
 use eh_query::{parse_sparql, ConjunctiveQuery};
 use eh_rdf::{SnapshotError, StoreSnapshot, TripleStore};
@@ -12,9 +13,24 @@ use crate::exec::execute_plan;
 use crate::flags::{OptFlags, PlannerConfig};
 use crate::plan::Plan;
 use crate::planner::build_plan_with;
+use crate::profile::{ExecStats, QueryProfile};
 use crate::result::QueryResult;
 use crate::shared::SharedStore;
 use crate::update::{UpdateBatch, UpdateSummary};
+
+/// Bound on mid-join epoch-moved re-executions (see [`Engine::run_plan`]).
+const MID_JOIN_UPDATE_RETRIES: u64 = 3;
+
+/// `EH_OBS_FORCE=1` routes every plan execution through the profiled
+/// path (the profile is recorded and discarded when the caller didn't ask
+/// for it). CI uses this to run the whole suite with instrumentation on,
+/// proving the recording layer cannot perturb results.
+fn obs_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("EH_OBS_FORCE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    })
+}
 
 /// A worst-case optimal join engine over a [`SharedStore`].
 ///
@@ -196,7 +212,9 @@ impl Engine {
     /// may straddle adjacent updates. Only workloads updating faster than
     /// they can run a single join ever see this.
     pub fn run_plan(&self, q: &ConjunctiveQuery, plan: &Plan) -> QueryResult {
-        const MID_JOIN_UPDATE_RETRIES: usize = 3;
+        if obs_forced() {
+            return self.run_plan_profiled(q, plan).0;
+        }
         let mut attempts = 0;
         loop {
             let epoch = self.catalog.epoch();
@@ -206,12 +224,56 @@ impl Engine {
                 plan,
                 self.config.flags.layouts,
                 self.config.runtime,
+                None,
             );
             attempts += 1;
             if self.catalog.epoch() == epoch || attempts > MID_JOIN_UPDATE_RETRIES {
                 return result;
             }
         }
+    }
+
+    /// Execute a previously built plan with full profiling: same retry
+    /// semantics as [`Engine::run_plan`], but every join records kernel
+    /// dispatches, candidate counts, probes, and wall times. Each retry
+    /// attempt starts a fresh collector, so the returned profile describes
+    /// exactly the attempt whose result is returned (plus how many
+    /// attempts were discarded in `epoch_retries`).
+    pub fn run_plan_profiled(
+        &self,
+        q: &ConjunctiveQuery,
+        plan: &Plan,
+    ) -> (QueryResult, QueryProfile) {
+        let threads = self.config.runtime.num_threads;
+        let t0 = Instant::now();
+        let mut retries = 0u64;
+        loop {
+            let stats = ExecStats::new(threads);
+            let epoch = self.catalog.epoch();
+            let result = execute_plan(
+                &self.catalog,
+                q,
+                plan,
+                self.config.flags.layouts,
+                self.config.runtime,
+                Some(&stats),
+            );
+            if self.catalog.epoch() == epoch || retries >= MID_JOIN_UPDATE_RETRIES {
+                let profile = stats.snapshot(threads, t0.elapsed().as_nanos() as u64, retries);
+                return (result, profile);
+            }
+            retries += 1;
+        }
+    }
+
+    /// Plan, execute, and profile a query (see
+    /// [`Engine::run_plan_profiled`]).
+    pub fn profile(
+        &self,
+        q: &ConjunctiveQuery,
+    ) -> Result<(QueryResult, QueryProfile), EngineError> {
+        let plan = self.plan(q)?;
+        Ok(self.run_plan_profiled(q, &plan))
     }
 
     /// Parse a SPARQL query against this engine's store and run it.
@@ -256,8 +318,14 @@ impl Engine {
     /// and the chosen trie orders — the `EXPLAIN` a downstream user would
     /// expect.
     pub fn explain(&self, q: &ConjunctiveQuery) -> Result<String, EngineError> {
-        use std::fmt::Write;
         let plan = self.plan(q)?;
+        Ok(self.explain_with(q, &plan))
+    }
+
+    /// Render an already-built plan (the body shared by
+    /// [`Engine::explain`] and [`Engine::explain_analyze`]).
+    fn explain_with(&self, q: &ConjunctiveQuery, plan: &Plan) -> String {
+        use std::fmt::Write;
         let mut out = plan.render(q);
         let _ = writeln!(out, "atom access paths:");
         for node in &plan.nodes {
@@ -272,7 +340,7 @@ impl Engine {
                 );
             }
         }
-        Ok(out)
+        out
     }
 
     /// Parse and explain a SPARQL query (see [`Engine::explain`]).
@@ -282,6 +350,31 @@ impl Engine {
             parse_sparql(text, &store)?
         };
         self.explain(&q)
+    }
+
+    /// `EXPLAIN ANALYZE`: the static plan explanation followed by the
+    /// measured execution profile of an actual run — per-depth kernel
+    /// choices, candidate counts, probe counts, wall times — and the
+    /// result cardinality. Volatile (timing) lines are `~`-prefixed; the
+    /// rest is schedule-invariant across thread counts.
+    pub fn explain_analyze(&self, q: &ConjunctiveQuery) -> Result<String, EngineError> {
+        use std::fmt::Write;
+        let plan = self.plan(q)?;
+        let (result, profile) = self.run_plan_profiled(q, &plan);
+        let mut out = self.explain_with(q, &plan);
+        out.push_str(&profile.render());
+        let _ = writeln!(out, "result rows: {}", result.cardinality());
+        Ok(out)
+    }
+
+    /// Parse and `EXPLAIN ANALYZE` a SPARQL query (see
+    /// [`Engine::explain_analyze`]).
+    pub fn explain_analyze_sparql(&self, text: &str) -> Result<String, EngineError> {
+        let q = {
+            let store = self.store();
+            parse_sparql(text, &store)?
+        };
+        self.explain_analyze(&q)
     }
 }
 
@@ -498,6 +591,49 @@ mod tests {
         assert!(text.contains("atom access paths"), "{text}");
         assert!(text.contains("edge: trie"), "{text}");
         assert!(text.contains("5 tuples"), "{text}");
+    }
+
+    #[test]
+    fn profile_counts_are_identical_across_thread_counts() {
+        let store = triangle_store();
+        let q = triangle_query(&store.read());
+        let engine = Engine::new(store.clone(), OptFlags::all());
+        let (r, p) = engine.profile(&q).unwrap();
+        assert_eq!(r.cardinality(), 2);
+        assert!(!p.joins.is_empty());
+        let totals = p.kernel_totals();
+        assert!(totals.dispatches() + totals.single_iter > 0, "{totals:?}");
+        let stable = |p: &crate::QueryProfile| {
+            p.render()
+                .lines()
+                .filter(|l| !l.trim_start().starts_with('~'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for threads in [2, 4] {
+            let config = PlannerConfig::with_flags(OptFlags::all())
+                .with_runtime(eh_par::RuntimeConfig::with_threads(threads).with_morsel_size(1));
+            let engine_t = Engine::with_config(store.clone(), config);
+            let (r_t, p_t) = engine_t.profile(&q).unwrap();
+            assert_eq!(r_t.cardinality(), 2);
+            assert_eq!(p_t.kernel_totals(), totals, "threads {threads}");
+            assert_eq!(stable(&p_t), stable(&p), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn explain_analyze_appends_profile_to_plan() {
+        let store = triangle_store();
+        let engine = Engine::new(store.clone(), OptFlags::all());
+        let text = engine
+            .explain_analyze_sparql(
+                "SELECT ?x ?y ?z WHERE { ?x <edge> ?y . ?y <edge> ?z . ?x <edge> ?z }",
+            )
+            .unwrap();
+        assert!(text.contains("atom access paths"), "{text}");
+        assert!(text.contains("profile:"), "{text}");
+        assert!(text.contains("kernels {"), "{text}");
+        assert!(text.contains("result rows: 2"), "{text}");
     }
 
     #[test]

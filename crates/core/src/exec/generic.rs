@@ -28,10 +28,13 @@
 //! [`SetRef`] views decoded in place from the [`FrozenTrie`] arenas.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use eh_par::RuntimeConfig;
 use eh_setops::{intersect_all_into, intersects_all_refs, IntersectScratch, SetRef};
 use eh_trie::FrozenTrie;
+
+use crate::profile::JoinObs;
 
 /// One relation participating in a join: a frozen trie plus the depth at
 /// which each of its levels binds. `depths` may cover only a prefix of
@@ -59,6 +62,12 @@ pub(crate) struct JoinSpec {
     pub emit_depth: usize,
     /// Participating relations.
     pub rels: Vec<PreparedRel>,
+    /// Profiling hook: `None` (the normal path) records nothing — not
+    /// even a clock read. `Some` makes every depth record its kernel
+    /// dispatches, candidate counts, and probe counts; those counts are
+    /// schedule-invariant because the parallel split materialises the
+    /// split depth exactly the way the sequential step would.
+    pub obs: Option<JoinObs>,
 }
 
 struct State {
@@ -168,22 +177,37 @@ where
     // Candidate values of the split attribute, in iteration order —
     // materialising exactly the domain `step` would iterate lazily (its
     // single-participant fast path iterates the set directly; per-value
-    // descent happens per morsel below).
+    // descent happens per morsel below). Profile recording here mirrors
+    // `step`'s two branches exactly, which is what keeps the profile's
+    // counts invariant across thread counts.
     let here = &parts[split];
     let candidates: Vec<u32> = if here.len() == 1 {
         let (r, lvl) = here[0];
-        spec.rels[r].trie.set(lvl, st.blocks[r][lvl]).to_vec()
+        let set = spec.rels[r].trie.set(lvl, st.blocks[r][lvl]);
+        if let Some(o) = &spec.obs {
+            o.stats.note_single(split, set.len() as u64, 0);
+        }
+        set.to_vec()
     } else {
         let mut scratch = IntersectScratch::new();
+        let start = spec.obs.as_ref().map(|_| Instant::now());
         with_participant_sets(spec, &st, here, |sets| intersect_all_into(sets, &mut scratch));
+        if let Some(o) = &spec.obs {
+            let ns = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+            o.stats.note_multiway(split, scratch.last_kernel(), scratch.values().len() as u64, ns);
+        }
         scratch.values().to_vec()
     };
     if candidates.is_empty() {
         return Vec::new();
     }
 
+    if let Some(o) = &spec.obs {
+        o.stats.note_morsels(eh_par::num_morsels(candidates.len(), rt.morsel_size) as u64);
+    }
+    let observer = spec.obs.as_ref().map(|o| &*o.tasks);
     let base = st;
-    eh_par::run_morsels(&rt, candidates.len(), |_, range| {
+    eh_par::run_morsels_observed(&rt, candidates.len(), observer, |_, range| {
         let mut sink = init();
         let mut st = base.clone();
         {
@@ -228,6 +252,9 @@ fn exists(spec: &JoinSpec, parts: &[Vec<(usize, usize)>], st: &mut State, depth:
     if depth + 1 == spec.num_vars && spec.sel[depth].is_none() {
         let here = &parts[depth];
         debug_assert!(!here.is_empty(), "unselected attribute with no participants");
+        if let Some(o) = &spec.obs {
+            o.stats.note_exists(depth);
+        }
         if here.len() == 1 {
             let (r, lvl) = here[0];
             return !spec.rels[r].trie.set(lvl, st.blocks[r][lvl]).is_empty();
@@ -265,6 +292,9 @@ fn step(
                 let (r, lvl) = here[0];
                 let trie = Arc::clone(&spec.rels[r].trie);
                 let block = st.blocks[r][lvl];
+                if let Some(o) = &spec.obs {
+                    o.stats.note_single(depth, trie.set(lvl, block).len() as u64, 0);
+                }
                 for v in trie.set(lvl, block).iter() {
                     if lvl + 1 < trie.arity() {
                         st.blocks[r][lvl + 1] =
@@ -282,9 +312,19 @@ fn step(
                 // slots), then restored — zero allocation per extension
                 // in the steady state.
                 let mut scratch = std::mem::take(&mut st.scratch[depth]);
+                let start = spec.obs.as_ref().map(|_| Instant::now());
                 with_participant_sets(spec, st, here, |sets| {
                     intersect_all_into(sets, &mut scratch);
                 });
+                if let Some(o) = &spec.obs {
+                    let ns = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+                    o.stats.note_multiway(
+                        depth,
+                        scratch.last_kernel(),
+                        scratch.values().len() as u64,
+                        ns,
+                    );
+                }
                 for idx in 0..scratch.values().len() {
                     let v = scratch.values()[idx];
                     descend(spec, st, here, v);
@@ -311,6 +351,9 @@ fn probe_selected(
     depth: usize,
     c: u32,
 ) -> bool {
+    if let Some(o) = &spec.obs {
+        o.stats.note_selected(depth);
+    }
     for &(r, lvl) in here {
         if !spec.rels[r].trie.set(lvl, st.blocks[r][lvl]).contains(c) {
             return false;
@@ -398,6 +441,7 @@ mod tests {
             num_vars: 3,
             sel: vec![None, None, None],
             emit_depth: 3,
+            obs: None,
             rels: vec![
                 PreparedRel { trie: r, depths: vec![0, 1] },
                 PreparedRel { trie: s, depths: vec![1, 2] },
@@ -417,6 +461,7 @@ mod tests {
             num_vars: 2,
             sel: vec![Some(1), None],
             emit_depth: 2,
+            obs: None,
             rels: vec![PreparedRel { trie: r, depths: vec![0, 1] }],
         };
         assert_eq!(collect(&spec), vec![vec![1, 10], vec![1, 11]]);
@@ -429,6 +474,7 @@ mod tests {
             num_vars: 2,
             sel: vec![Some(9), None],
             emit_depth: 2,
+            obs: None,
             rels: vec![PreparedRel { trie: r, depths: vec![0, 1] }],
         };
         assert!(collect(&spec).is_empty());
@@ -442,6 +488,7 @@ mod tests {
             num_vars: 2,
             sel: vec![None, None],
             emit_depth: 1,
+            obs: None,
             rels: vec![PreparedRel { trie: r, depths: vec![0, 1] }],
         };
         assert_eq!(collect(&spec), vec![vec![5], vec![6]]);
@@ -460,6 +507,7 @@ mod tests {
             num_vars: 2,
             sel: vec![None, None],
             emit_depth: 2,
+            obs: None,
             rels: vec![
                 PreparedRel { trie: r, depths: vec![0, 1] },
                 PreparedRel { trie: f, depths: vec![0] },
@@ -476,6 +524,7 @@ mod tests {
             num_vars: 1,
             sel: vec![None],
             emit_depth: 1,
+            obs: None,
             rels: vec![PreparedRel { trie: r, depths: vec![0] }],
         };
         assert_eq!(collect(&spec), vec![vec![1], vec![4]]);
@@ -489,6 +538,7 @@ mod tests {
             num_vars: 2,
             sel: vec![None, None],
             emit_depth: 2,
+            obs: None,
             rels: vec![
                 PreparedRel { trie: r, depths: vec![0, 1] },
                 PreparedRel { trie: e, depths: vec![0, 1] },
@@ -506,6 +556,7 @@ mod tests {
             num_vars: 2,
             sel: vec![None, None],
             emit_depth: 0,
+            obs: None,
             rels: vec![PreparedRel { trie: r, depths: vec![0, 1] }],
         };
         let out = collect(&spec);

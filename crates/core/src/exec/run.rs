@@ -12,6 +12,7 @@
 //! sequential path.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use eh_par::RuntimeConfig;
 use eh_query::{ConjunctiveQuery, Var};
@@ -20,6 +21,7 @@ use eh_trie::{FrozenTrie, LayoutPolicy, TupleBuffer};
 use crate::catalog::Catalog;
 use crate::exec::generic::{run_join_parallel, JoinSpec, PreparedRel};
 use crate::plan::Plan;
+use crate::profile::{ExecStats, JoinObs, JoinStats};
 use crate::result::QueryResult;
 
 /// A materialised per-node result.
@@ -49,13 +51,40 @@ fn layout_policy(auto: bool) -> LayoutPolicy {
     }
 }
 
-/// Execute `plan` for `q`, materialising the projection.
+/// Attach a profiling collector to a join about to run: registers a
+/// [`JoinStats`] under `label` with the run's [`ExecStats`] and hands the
+/// executor its recording hook. `None` stats (the unprofiled path) cost
+/// nothing.
+fn observe_join(
+    stats: Option<&ExecStats>,
+    q: &ConjunctiveQuery,
+    label: String,
+    vars: &[Var],
+    sel: &[Option<u32>],
+    emit_depth: usize,
+) -> Option<JoinObs> {
+    let stats = stats?;
+    let join = Arc::new(JoinStats::new(
+        label,
+        vars.iter().map(|&v| q.var_name(v).to_string()).collect(),
+        sel.iter().map(|s| s.is_some()).collect(),
+        emit_depth,
+    ));
+    stats.register(Arc::clone(&join));
+    Some(JoinObs { stats: join, tasks: Arc::clone(&stats.observer) })
+}
+
+/// Execute `plan` for `q`, materialising the projection. With `stats`
+/// the run records a per-join, per-depth execution profile (kernel
+/// dispatches, candidate counts, probes, wall times); without it the
+/// executor performs no recording at all.
 pub(crate) fn execute_plan(
     catalog: &Catalog,
     q: &ConjunctiveQuery,
     plan: &Plan,
     auto_layout: bool,
     rt: RuntimeConfig,
+    stats: Option<&ExecStats>,
 ) -> QueryResult {
     let columns: Vec<String> = q.projection().iter().map(|&v| q.var_name(v).to_string()).collect();
     if q.has_missing_constant() {
@@ -65,8 +94,18 @@ pub(crate) fn execute_plan(
     // Single-node plans emit straight into the final buffer: there are no
     // intermediates to materialise.
     if plan.ghd.num_nodes() == 1 {
-        let spec = node_spec(catalog, q, plan, plan.ghd.root, Vec::new(), auto_layout);
-        let node = &plan.nodes[plan.ghd.root];
+        let root = plan.ghd.root;
+        let spec = node_spec(
+            catalog,
+            q,
+            plan,
+            root,
+            Vec::new(),
+            auto_layout,
+            stats,
+            format!("node {root}"),
+        );
+        let node = &plan.nodes[root];
         let proj_positions: Vec<usize> = q
             .projection()
             .iter()
@@ -82,7 +121,7 @@ pub(crate) fn execute_plan(
         if t == plan.ghd.root {
             break;
         }
-        match run_node(catalog, q, plan, t, &results, auto_layout, rt) {
+        match run_node(catalog, q, plan, t, &results, auto_layout, rt, stats) {
             Some(r) => results[t] = Some(r),
             None => return QueryResult::empty(columns),
         }
@@ -90,17 +129,17 @@ pub(crate) fn execute_plan(
 
     if plan.pipelined {
         // §III-C: stream the root join directly into the final result.
-        let out = run_pipelined(catalog, q, plan, &results, auto_layout, rt);
+        let out = run_pipelined(catalog, q, plan, &results, auto_layout, rt, stats);
         return QueryResult::new(columns, out);
     }
 
     // Materialise the root like any other node, then join all node
     // results (the top-down message-passing pass).
-    match run_node(catalog, q, plan, plan.ghd.root, &results, auto_layout, rt) {
+    match run_node(catalog, q, plan, plan.ghd.root, &results, auto_layout, rt, stats) {
         Some(r) => results[plan.ghd.root] = Some(r),
         None => return QueryResult::empty(columns),
     }
-    QueryResult::new(columns, final_join(q, plan, &results, auto_layout, rt))
+    QueryResult::new(columns, final_join(q, plan, &results, auto_layout, rt, stats))
 }
 
 /// Per-morsel sink for a node join: materialised output rows plus the
@@ -123,10 +162,12 @@ fn run_node(
     results: &[Option<NodeResult>],
     auto_layout: bool,
     rt: RuntimeConfig,
+    stats: Option<&ExecStats>,
 ) -> Option<NodeResult> {
     let children = children_rels(plan, t, results, auto_layout)?;
-    let spec = node_spec(catalog, q, plan, t, children, auto_layout);
+    let spec = node_spec(catalog, q, plan, t, children, auto_layout, stats, format!("node {t}"));
     let node = &plan.nodes[t];
+    let t0 = spec.obs.as_ref().map(|_| Instant::now());
     let out_positions: Vec<usize> =
         node.output.iter().map(|v| node.vars.iter().position(|w| w == v).unwrap()).collect();
     let sinks = run_join_parallel(
@@ -159,6 +200,10 @@ fn run_node(
     // `FrozenTrie::from_sorted` path and shrinks duplicated intermediates
     // before they are cloned around.
     tuples.sort_dedup();
+    if let (Some(o), Some(t0)) = (&spec.obs, t0) {
+        o.stats.set_rows(tuples.len() as u64);
+        o.stats.add_wall_ns(t0.elapsed().as_nanos() as u64);
+    }
     let result = NodeResult { attrs: node.output.clone(), tuples, satisfiable };
     if result.is_empty_relation() {
         None
@@ -169,6 +214,7 @@ fn run_node(
 
 /// Build the JoinSpec for a node: its λ atoms plus prepared child
 /// intermediates.
+#[allow(clippy::too_many_arguments)]
 fn node_spec(
     catalog: &Catalog,
     q: &ConjunctiveQuery,
@@ -176,6 +222,8 @@ fn node_spec(
     t: usize,
     mut extra: Vec<PreparedRel>,
     auto_layout: bool,
+    stats: Option<&ExecStats>,
+    label: String,
 ) -> JoinSpec {
     let node = &plan.nodes[t];
     let depth_of = |v: Var| node.vars.iter().position(|&w| w == v).unwrap();
@@ -194,7 +242,8 @@ fn node_spec(
         .map(|&v| q.selection(v).map(|c| c.expect("missing constants short-circuit earlier")))
         .collect();
     let emit_depth = node.output.iter().map(|v| depth_of(*v) + 1).max().unwrap_or(0);
-    JoinSpec { num_vars: node.vars.len(), sel, emit_depth, rels }
+    let obs = observe_join(stats, q, label, &node.vars, &sel, emit_depth);
+    JoinSpec { num_vars: node.vars.len(), sel, emit_depth, obs, rels }
 }
 
 /// Prepared relations for a node's child intermediates: each child result
@@ -244,8 +293,10 @@ struct RowSink {
 }
 
 /// Run a join and collect `binding[positions]` rows, deduplicated.
+/// Records the join's row count and wall time when the spec is observed.
 fn collect_rows(spec: &JoinSpec, positions: &[usize], rt: RuntimeConfig) -> TupleBuffer {
     debug_assert!(positions.iter().all(|&p| p < spec.emit_depth.max(1)));
+    let t0 = spec.obs.as_ref().map(|_| Instant::now());
     let sinks = run_join_parallel(
         spec,
         rt,
@@ -262,6 +313,10 @@ fn collect_rows(spec: &JoinSpec, positions: &[usize], rt: RuntimeConfig) -> Tupl
         out.append(&sink.out);
     }
     out.sort_dedup();
+    if let (Some(o), Some(t0)) = (&spec.obs, t0) {
+        o.stats.set_rows(out.len() as u64);
+        o.stats.add_wall_ns(t0.elapsed().as_nanos() as u64);
+    }
     out
 }
 
@@ -273,6 +328,7 @@ fn final_join(
     results: &[Option<NodeResult>],
     auto_layout: bool,
     rt: RuntimeConfig,
+    stats: Option<&ExecStats>,
 ) -> TupleBuffer {
     let live: Vec<&NodeResult> = results.iter().flatten().filter(|r| !r.attrs.is_empty()).collect();
     // Join variables: union of live attrs in global order.
@@ -298,8 +354,9 @@ fn final_join(
         })
         .collect();
     let emit_depth = proj_positions.iter().map(|&p| p + 1).max().unwrap_or(0);
-    let spec =
-        JoinSpec { num_vars: join_vars.len(), sel: vec![None; join_vars.len()], emit_depth, rels };
+    let sel: Vec<Option<u32>> = vec![None; join_vars.len()];
+    let obs = observe_join(stats, q, "final join".to_string(), &join_vars, &sel, emit_depth);
+    let spec = JoinSpec { num_vars: join_vars.len(), sel, emit_depth, obs, rels };
     collect_rows(&spec, &proj_positions, rt)
 }
 
@@ -328,6 +385,7 @@ struct PipeSink {
 /// private columns by direct trie lookup. The planner guaranteed each
 /// node's shared-with-parent variables are a prefix of its output order,
 /// and BFS order guarantees shared values are assembled before use.
+#[allow(clippy::too_many_arguments)]
 fn run_pipelined(
     catalog: &Catalog,
     q: &ConjunctiveQuery,
@@ -335,6 +393,7 @@ fn run_pipelined(
     results: &[Option<NodeResult>],
     auto_layout: bool,
     rt: RuntimeConfig,
+    stats: Option<&ExecStats>,
 ) -> TupleBuffer {
     let root = plan.ghd.root;
     let node = &plan.nodes[root];
@@ -390,7 +449,17 @@ fn run_pipelined(
         exts.push(NodeExt { trie, shared_positions, base });
     }
 
-    let spec = node_spec(catalog, q, plan, root, intermediates, auto_layout);
+    let spec = node_spec(
+        catalog,
+        q,
+        plan,
+        root,
+        intermediates,
+        auto_layout,
+        stats,
+        format!("node {root} (pipelined)"),
+    );
+    let t0 = spec.obs.as_ref().map(|_| Instant::now());
     let root_out_positions: Vec<usize> = node.output.iter().map(|&v| depth_of(v)).collect();
     let proj_positions: Vec<usize> = q
         .projection()
@@ -426,6 +495,10 @@ fn run_pipelined(
         out.append(&sink.out);
     }
     out.sort_dedup();
+    if let (Some(o), Some(t0)) = (&spec.obs, t0) {
+        o.stats.set_rows(out.len() as u64);
+        o.stats.add_wall_ns(t0.elapsed().as_nanos() as u64);
+    }
     out
 }
 

@@ -59,6 +59,7 @@ mod exec;
 mod flags;
 mod plan;
 mod planner;
+mod profile;
 mod result;
 mod shared;
 mod update;
@@ -70,6 +71,7 @@ pub use engine::Engine;
 pub use error::EngineError;
 pub use flags::{OptFlags, PlannerConfig};
 pub use plan::{AtomPlan, NodePlan, Plan};
+pub use profile::{DepthProfile, JoinProfile, KernelTally, QueryProfile, WorkerLoad};
 pub use result::QueryResult;
 pub use shared::SharedStore;
 pub use update::{UpdateBatch, UpdateSummary};

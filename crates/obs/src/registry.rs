@@ -1,0 +1,300 @@
+//! A registry of named metrics with Prometheus text-format exposition.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::histogram::{Histogram, NUM_BUCKETS};
+use crate::text::escape_label_value;
+use crate::{Counter, Gauge};
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    // BTreeMap keyed by the sorted label pairs → exposition order is
+    // deterministic regardless of registration order within a family.
+    series: BTreeMap<Vec<(String, String)>, Metric>,
+}
+
+/// A set of named metrics that renders itself in the Prometheus text
+/// exposition format. Registration is idempotent: asking for the same
+/// `(name, labels)` twice returns the same underlying metric, so call
+/// sites can look metrics up on the fly without caching handles
+/// (though caching the `Arc` is cheaper for hot paths).
+///
+/// Families are keyed by metric name; every series in a family shares
+/// one type and help string. Registering the same name with a
+/// different type panics — that is a programming error, not a runtime
+/// condition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+        && !name.as_bytes()[0].is_ascii_digit()
+}
+
+fn label_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut key: Vec<(String, String)> =
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    key.sort();
+    key
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry, for call sites with no natural owner.
+    /// Services that are constructed many times per process (tests!)
+    /// should own a `Registry` instead.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?}");
+        }
+        let key = label_key(labels);
+        // Fast path: already registered.
+        if let Some(fam) = self.families.read().unwrap().get(name) {
+            if let Some(metric) = fam.series.get(&key) {
+                return metric.clone();
+            }
+        }
+        let mut families = self.families.write().unwrap();
+        let fam = families
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help: help.to_string(), series: BTreeMap::new() });
+        let metric = fam.series.entry(key).or_insert_with(make).clone();
+        metric
+    }
+
+    /// Get-or-create a counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-create a counter series with the given labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, labels, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get-or-create a gauge with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-create a gauge series with the given labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, labels, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get-or-create a histogram with no labels.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Get-or-create a histogram series with the given labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.register(name, help, labels, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Render every registered metric in the Prometheus text exposition
+    /// format: `# HELP` / `# TYPE` per family, then one line per series
+    /// (histograms expand to cumulative `_bucket{le=...}` lines plus
+    /// `_sum` and `_count`). Families render in name order, series in
+    /// label order — the output is deterministic for a fixed state.
+    pub fn expose(&self) -> String {
+        let families = self.families.read().unwrap();
+        let mut out = String::new();
+        for (name, fam) in families.iter() {
+            let kind = match fam.series.values().next() {
+                Some(m) => m.kind(),
+                None => continue,
+            };
+            out.push_str(&format!("# HELP {name} {}\n", fam.help));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for (labels, metric) in fam.series.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, &[]),
+                            c.get()
+                        ));
+                    }
+                    Metric::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, &[]),
+                            g.get()
+                        ));
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cumulative = 0u64;
+                        for i in 0..NUM_BUCKETS {
+                            cumulative += snap.buckets[i];
+                            let le = match crate::histogram::bucket_upper_bound(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            // Skip empty leading buckets except the ones
+                            // needed for a well-formed cumulative series:
+                            // keep any bucket whose cumulative count
+                            // differs from the previous line, plus +Inf.
+                            let is_last = i == NUM_BUCKETS - 1;
+                            let changed = snap.buckets[i] != 0;
+                            if changed || is_last {
+                                out.push_str(&format!(
+                                    "{name}_bucket{} {cumulative}\n",
+                                    render_labels(labels, &[("le", &le)]),
+                                ));
+                            }
+                        }
+                        out.push_str(&format!(
+                            "{name}_sum{} {}\n",
+                            render_labels(labels, &[]),
+                            snap.sum
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{} {cumulative}\n",
+                            render_labels(labels, &[]),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    parts.extend(extra.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))));
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("requests_total", "requests");
+        let b = r.counter("requests_total", "requests");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let r = Registry::new();
+        let q = r.counter_with("requests_total", "requests", &[("verb", "QUERY")]);
+        let s = r.counter_with("requests_total", "requests", &[("verb", "STATS")]);
+        q.add(3);
+        s.inc();
+        assert_eq!(q.get(), 3);
+        assert_eq!(s.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("thing", "a thing");
+        r.gauge("thing", "a thing");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        Registry::new().counter("9starts-with-digit", "nope");
+    }
+
+    #[test]
+    fn exposition_renders_all_kinds() {
+        let r = Registry::new();
+        r.counter("c_total", "a counter").add(7);
+        r.gauge("g", "a gauge").set(-2);
+        let h = r.histogram("h_us", "a histogram");
+        h.record(3);
+        h.record(100);
+        let text = r.expose();
+        assert!(text.contains("# HELP c_total a counter\n"));
+        assert!(text.contains("# TYPE c_total counter\n"));
+        assert!(text.contains("c_total 7\n"));
+        assert!(text.contains("# TYPE g gauge\n"));
+        assert!(text.contains("g -2\n"));
+        assert!(text.contains("# TYPE h_us histogram\n"));
+        assert!(text.contains("h_us_bucket{le=\"4\"} 1\n"));
+        assert!(text.contains("h_us_bucket{le=\"128\"} 2\n"));
+        assert!(text.contains("h_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("h_us_sum 103\n"));
+        assert!(text.contains("h_us_count 2\n"));
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_sorted() {
+        let r = Registry::new();
+        r.counter("zzz_total", "late").inc();
+        r.counter("aaa_total", "early").inc();
+        let text = r.expose();
+        let a = text.find("aaa_total").unwrap();
+        let z = text.find("zzz_total").unwrap();
+        assert!(a < z, "families must render in name order");
+        assert_eq!(text, r.expose());
+    }
+}

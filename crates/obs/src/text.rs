@@ -1,0 +1,214 @@
+//! A minimal parser for the Prometheus text exposition format — enough
+//! to round-trip [`crate::Registry::expose`] output in scrapers and
+//! tests without pulling in a real Prometheus client.
+
+use std::fmt;
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline are escaped.
+pub(crate) fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One sample line from an exposition: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name, including any `_bucket`/`_sum`/`_count` suffix.
+    pub name: String,
+    /// Label pairs in the order they appeared.
+    pub labels: Vec<(String, String)>,
+    /// The sample value. Histogram `le="+Inf"` buckets parse as
+    /// finite sample values; only the label is non-numeric.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parse failure, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exposition parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parse Prometheus text exposition into samples. Comment (`#`) and
+/// blank lines are skipped; every other line must be
+/// `name[{label="value",...}] value`.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, ParseError> {
+    let mut samples = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_and_labels, value_str) = match line.rfind(' ') {
+            Some(pos) => (&line[..pos], line[pos + 1..].trim()),
+            None => return Err(err(lineno, "missing value")),
+        };
+        let (name, labels) = match name_and_labels.find('{') {
+            Some(open) => {
+                let close = name_and_labels
+                    .rfind('}')
+                    .ok_or_else(|| err(lineno, "unterminated label set"))?;
+                if close < open {
+                    return Err(err(lineno, "malformed label set"));
+                }
+                (&name_and_labels[..open], parse_labels(&name_and_labels[open + 1..close], lineno)?)
+            }
+            None => (name_and_labels, Vec::new()),
+        };
+        if name.is_empty() {
+            return Err(err(lineno, "empty metric name"));
+        }
+        let value = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            s => s.parse::<f64>().map_err(|_| err(lineno, format!("bad value {s:?}")))?,
+        };
+        samples.push(Sample { name: name.to_string(), labels, value });
+    }
+    Ok(samples)
+}
+
+fn parse_labels(body: &str, lineno: usize) -> Result<Vec<(String, String)>, ParseError> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Skip separators and trailing comma.
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err(err(lineno, "empty label name"));
+        }
+        if chars.next() != Some('"') {
+            return Err(err(lineno, format!("label {key:?} value must be quoted")));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => {
+                        return Err(err(lineno, format!("bad escape {other:?} in label {key:?}")))
+                    }
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(err(lineno, format!("unterminated value for label {key:?}"))),
+            }
+        }
+        labels.push((key, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn parses_plain_and_labeled_samples() {
+        let samples = parse_exposition(
+            "# HELP x help text\n# TYPE x counter\nx 3\nx_labeled{a=\"1\",b=\"two\"} 4.5\n",
+        )
+        .unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0], Sample { name: "x".into(), labels: vec![], value: 3.0 });
+        assert_eq!(samples[1].name, "x_labeled");
+        assert_eq!(samples[1].label("a"), Some("1"));
+        assert_eq!(samples[1].label("b"), Some("two"));
+        assert_eq!(samples[1].value, 4.5);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let tricky = "a\\b\"c\nd";
+        let escaped = escape_label_value(tricky);
+        let line = format!("m{{k=\"{escaped}\"}} 1\n");
+        let samples = parse_exposition(&line).unwrap();
+        assert_eq!(samples[0].label("k"), Some(tricky));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_exposition("novalue\n").is_err());
+        assert!(parse_exposition("m{unclosed=\"v\" 1\n").is_err());
+        assert!(parse_exposition("m{k=unquoted} 1\n").is_err());
+        assert!(parse_exposition("m nan-ish\n").is_err());
+    }
+
+    #[test]
+    fn registry_exposition_round_trips() {
+        let r = Registry::new();
+        r.counter("c_total", "counter").add(11);
+        r.counter_with("verbs_total", "per-verb", &[("verb", "QUERY")]).add(5);
+        r.gauge("g", "gauge").set(-7);
+        let h = r.histogram("lat_us", "latency");
+        for v in [1u64, 2, 3, 500, 70_000] {
+            h.record(v);
+        }
+        let text = r.expose();
+        let samples = parse_exposition(&text).unwrap();
+        let find = |name: &str| samples.iter().find(|s| s.name == name).unwrap();
+        assert_eq!(find("c_total").value, 11.0);
+        assert_eq!(find("g").value, -7.0);
+        let verb = find("verbs_total");
+        assert_eq!(verb.label("verb"), Some("QUERY"));
+        assert_eq!(verb.value, 5.0);
+        assert_eq!(find("lat_us_count").value, 5.0);
+        assert_eq!(find("lat_us_sum").value, 70_506.0);
+        let inf_bucket = samples
+            .iter()
+            .find(|s| s.name == "lat_us_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(inf_bucket.value, 5.0);
+        // Cumulative buckets are monotone non-decreasing.
+        let buckets: Vec<&Sample> = samples.iter().filter(|s| s.name == "lat_us_bucket").collect();
+        for pair in buckets.windows(2) {
+            assert!(pair[0].value <= pair[1].value);
+        }
+    }
+}

@@ -35,7 +35,7 @@
 //! ```
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Execution-runtime knobs, carried by the engine's planner configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,6 +98,78 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// Per-worker busy-time and task-count accounting for
+/// [`run_tasks_observed`] / [`run_morsels_observed`]. Recording is two
+/// relaxed atomic adds per task, and happens **only when an observer is
+/// passed** — the unobserved entry points never read the clock.
+///
+/// One observer can accumulate across several scheduler invocations
+/// (e.g. every morsel batch of a query); slot `w` aggregates whatever
+/// ran on worker `w` of each invocation (the caller's thread counts as
+/// worker 0 on inline runs).
+#[derive(Debug)]
+pub struct TaskObserver {
+    busy_ns: Vec<AtomicU64>,
+    tasks: Vec<AtomicU64>,
+}
+
+impl TaskObserver {
+    /// An observer with `workers` slots (clamped to >= 1). Size it with
+    /// the runtime's `num_threads`; workers beyond the slot count fold
+    /// into the last slot rather than being dropped.
+    pub fn new(workers: usize) -> TaskObserver {
+        let n = workers.max(1);
+        TaskObserver {
+            busy_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            tasks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of worker slots.
+    pub fn workers(&self) -> usize {
+        self.busy_ns.len()
+    }
+
+    fn note(&self, worker: usize, elapsed_ns: u64) {
+        let w = worker.min(self.busy_ns.len() - 1);
+        self.busy_ns[w].fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.tasks[w].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Busy nanoseconds per worker slot.
+    pub fn busy_ns(&self) -> Vec<u64> {
+        self.busy_ns.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Tasks completed per worker slot.
+    pub fn tasks(&self) -> Vec<u64> {
+        self.tasks.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Tasks completed across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[inline]
+fn run_one<T>(
+    observer: Option<&TaskObserver>,
+    worker: usize,
+    task: &(impl Fn(usize) -> T + ?Sized),
+    i: usize,
+) -> T {
+    match observer {
+        None => task(i),
+        Some(obs) => {
+            let start = std::time::Instant::now();
+            let out = task(i);
+            obs.note(worker, start.elapsed().as_nanos() as u64);
+            out
+        }
+    }
+}
+
 /// Run `num_tasks` independent tasks on up to `threads` workers and
 /// return their results **in task order** — the merge order is a function
 /// of task indices only, never of scheduling, which is what makes
@@ -114,8 +186,25 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_tasks_observed(threads, num_tasks, None, task)
+}
+
+/// [`run_tasks`] with optional per-worker accounting: when `observer` is
+/// `Some`, each task's wall time and completion is credited to the worker
+/// that ran it (the caller's thread is worker 0 on the inline path).
+/// With `observer` of `None` this *is* `run_tasks` — no clock reads.
+pub fn run_tasks_observed<T, F>(
+    threads: usize,
+    num_tasks: usize,
+    observer: Option<&TaskObserver>,
+    task: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if threads <= 1 || num_tasks <= 1 {
-        return (0..num_tasks).map(task).collect();
+        return (0..num_tasks).map(|i| run_one(observer, 0, &task, i)).collect();
     }
     let workers = threads.min(num_tasks);
     let next = AtomicUsize::new(0);
@@ -124,7 +213,7 @@ where
     let next = &next;
     let finished = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 scope.spawn(move || {
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
@@ -132,7 +221,7 @@ where
                         if i >= num_tasks {
                             return local;
                         }
-                        local.push((i, task(i)));
+                        local.push((i, run_one(observer, w, task, i)));
                     }
                 })
             })
@@ -184,8 +273,25 @@ where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
+    run_morsels_observed(cfg, total, None, f)
+}
+
+/// [`run_morsels`] with optional per-worker accounting (see
+/// [`run_tasks_observed`]).
+pub fn run_morsels_observed<T, F>(
+    cfg: &RuntimeConfig,
+    total: usize,
+    observer: Option<&TaskObserver>,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
     let n = num_morsels(total, cfg.morsel_size);
-    run_tasks(cfg.num_threads, n, |m| f(m, morsel_range(m, cfg.morsel_size, total)))
+    run_tasks_observed(cfg.num_threads, n, observer, |m| {
+        f(m, morsel_range(m, cfg.morsel_size, total))
+    })
 }
 
 /// A blocking multi-producer/multi-consumer work queue for long-lived
@@ -345,6 +451,45 @@ mod tests {
         let per_morsel = run_morsels(&cfg, 100, |_, r| r.map(|i| i as u64).sum::<u64>());
         assert_eq!(per_morsel.len(), num_morsels(100, 3));
         assert_eq!(per_morsel.iter().sum::<u64>(), (0..100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn observer_accounts_for_every_task() {
+        for threads in [1usize, 2, 4] {
+            let obs = TaskObserver::new(threads);
+            let out = run_tasks_observed(threads, 40, Some(&obs), |i| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                i
+            });
+            assert_eq!(out, (0..40).collect::<Vec<_>>(), "threads {threads}");
+            assert_eq!(obs.total_tasks(), 40, "threads {threads}");
+            assert_eq!(obs.workers(), threads);
+            // Every task slept, so total busy time is strictly positive
+            // and at least the sum of the sleeps.
+            let busy: u64 = obs.busy_ns().iter().sum();
+            assert!(busy >= 40 * 50_000, "busy {busy} (threads {threads})");
+            if threads == 1 {
+                assert_eq!(obs.tasks(), vec![40], "inline path credits worker 0");
+            }
+        }
+    }
+
+    #[test]
+    fn observer_accumulates_across_invocations() {
+        let cfg = RuntimeConfig::with_threads(2).with_morsel_size(5);
+        let obs = TaskObserver::new(cfg.num_threads);
+        run_morsels_observed(&cfg, 20, Some(&obs), |_, r| r.count());
+        run_morsels_observed(&cfg, 30, Some(&obs), |_, r| r.count());
+        assert_eq!(obs.total_tasks(), (num_morsels(20, 5) + num_morsels(30, 5)) as u64);
+    }
+
+    #[test]
+    fn observer_clamps_degenerate_sizes() {
+        let obs = TaskObserver::new(0);
+        assert_eq!(obs.workers(), 1);
+        // Workers past the slot count fold into the last slot.
+        run_tasks_observed(4, 8, Some(&obs), |i| i);
+        assert_eq!(obs.total_tasks(), 8);
     }
 
     #[test]

@@ -57,8 +57,8 @@ pub use intersect::{
     intersect_count_refs, intersect_refs, intersects, intersects_refs,
 };
 pub use multiway::{
-    intersect_all_into, intersect_all_refs_fold, intersect_count_all_refs, intersects_all_refs,
-    IntersectScratch,
+    choose_for, intersect_all_into, intersect_all_refs_fold, intersect_count_all_refs,
+    intersects_all_refs, IntersectScratch,
 };
 pub use optimizer::{
     choose_layout, choose_multiway, choose_uint_strategy, Layout, MultiwayKernel, UintStrategy,
@@ -77,12 +77,21 @@ pub use view::{
     SetRefIter, TAG_BITSET, TAG_UINT,
 };
 
-/// Test-only bookkeeping: a thread-local counter of intermediate `Set`
-/// materialisations, used to pin the COUNT/EXISTS and scratch-driver
-/// paths as allocation-free (they must never mint a `Set`).
-#[cfg(test)]
-pub(crate) mod instrument {
+/// Test-only bookkeeping, compiled under `cfg(test)` or the `instrument`
+/// feature (which downstream crates enable from *dev*-dependencies only,
+/// so it never reaches a release build):
+///
+/// * a thread-local counter of intermediate `Set` materialisations, used
+///   to pin the COUNT/EXISTS and scratch-driver paths as allocation-free
+///   (they must never mint a `Set`);
+/// * process-global tallies of which [`MultiwayKernel`] the driver ran,
+///   the ground truth that `QueryProfile`'s per-depth kernel counts are
+///   checked against.
+#[cfg(any(test, feature = "instrument"))]
+pub mod instrument {
+    use crate::optimizer::MultiwayKernel;
     use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     thread_local! {
         static SET_BUILDS: Cell<usize> = const { Cell::new(0) };
@@ -96,6 +105,41 @@ pub(crate) mod instrument {
     /// Materialisations recorded on this thread so far.
     pub fn materializations() -> usize {
         SET_BUILDS.with(|c| c.get())
+    }
+
+    static KERNEL_COUNTS: [AtomicU64; 3] =
+        [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+    fn slot(kernel: MultiwayKernel) -> usize {
+        match kernel {
+            MultiwayKernel::WordAnd => 0,
+            MultiwayKernel::ProbeSmallest => 1,
+            MultiwayKernel::FoldMerge => 2,
+        }
+    }
+
+    /// Record one multiway-driver dispatch of `kernel` (process-global,
+    /// all threads).
+    pub fn note_kernel(kernel: MultiwayKernel) {
+        KERNEL_COUNTS[slot(kernel)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Driver dispatches per kernel since the last reset, indexed
+    /// `[WordAnd, ProbeSmallest, FoldMerge]`.
+    pub fn kernel_counts() -> [u64; 3] {
+        [
+            KERNEL_COUNTS[0].load(Ordering::Relaxed),
+            KERNEL_COUNTS[1].load(Ordering::Relaxed),
+            KERNEL_COUNTS[2].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Zero the kernel tallies. Callers comparing before/after counts
+    /// must serialise against other engine activity in the process.
+    pub fn reset_kernel_counts() {
+        for c in &KERNEL_COUNTS {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 }
 

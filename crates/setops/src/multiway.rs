@@ -53,6 +53,8 @@ pub struct IntersectScratch {
     tmp: Vec<u32>,
     /// Word buffer for the k-way bitset `AND`.
     words: Vec<u32>,
+    /// Kernel dispatched by the most recent drive, if one ran.
+    last_kernel: Option<MultiwayKernel>,
 }
 
 impl IntersectScratch {
@@ -67,6 +69,16 @@ impl IntersectScratch {
     pub fn values(&self) -> &[u32] {
         &self.out
     }
+
+    /// The kernel the most recent [`intersect_all_into`] dispatched, or
+    /// `None` when the driver short-circuited without running one
+    /// (arity < 2 or an empty smallest operand). This is the executor's
+    /// truthful per-intersection provenance: it reports what actually
+    /// ran, set by the driver itself at dispatch.
+    #[inline]
+    pub fn last_kernel(&self) -> Option<MultiwayKernel> {
+        self.last_kernel
+    }
 }
 
 /// Multiway intersection into caller-provided scratch: the sorted result
@@ -78,12 +90,30 @@ impl IntersectScratch {
 /// return); Generic-Join callers always pass at least one operand.
 pub fn intersect_all_into<'s>(sets: &[SetRef<'_>], scratch: &'s mut IntersectScratch) -> &'s [u32] {
     scratch.out.clear();
+    scratch.last_kernel = None;
     match sets.len() {
         0 => {}
         1 => scratch.out.extend(sets[0].iter()),
         _ => drive(sets, scratch),
     }
     &scratch.out
+}
+
+/// The kernel the driver would dispatch for `sets`, or `None` when it
+/// short-circuits without running one (arity < 2 or an empty smallest
+/// operand). This is the same census + [`choose_multiway`] the driver
+/// itself performs — exposed so profiling and tests can predict kernel
+/// choices without driving an intersection.
+pub fn choose_for(sets: &[SetRef<'_>]) -> Option<MultiwayKernel> {
+    if sets.len() < 2 {
+        return None;
+    }
+    let (smallest, largest, num_bits) = census(sets);
+    let smallest_len = sets[smallest].len();
+    if smallest_len == 0 {
+        return None;
+    }
+    Some(choose_multiway(smallest_len, largest, num_bits, sets.len()))
 }
 
 /// Operand census: index of the smallest operand, largest cardinality,
@@ -110,7 +140,11 @@ fn drive(sets: &[SetRef<'_>], scratch: &mut IntersectScratch) {
     if smallest_len == 0 {
         return;
     }
-    match choose_multiway(smallest_len, largest, num_bits, sets.len()) {
+    let kernel = choose_multiway(smallest_len, largest, num_bits, sets.len());
+    scratch.last_kernel = Some(kernel);
+    #[cfg(any(test, feature = "instrument"))]
+    crate::instrument::note_kernel(kernel);
+    match kernel {
         MultiwayKernel::WordAnd => word_and_into(sets, scratch),
         MultiwayKernel::ProbeSmallest => probe_smallest_into(sets, smallest, &mut scratch.out),
         MultiwayKernel::FoldMerge => fold_merge_into(sets, scratch),
@@ -587,6 +621,47 @@ mod tests {
             let _ = intersect_all_refs_fold(&refs);
             assert!(instrument::materializations() > before, "counter not wired");
         }
+    }
+
+    #[test]
+    fn last_kernel_reports_what_drove() {
+        let mut scratch = IntersectScratch::new();
+        let dense: Vec<u32> = (0..512).collect();
+        let sparse = vec![3u32, 300, 100_000];
+        let bits = [mk(&dense, Layout::Bitset), mk(&dense, Layout::Bitset)];
+        let refs: Vec<SetRef<'_>> = bits.iter().map(|s| s.as_ref()).collect();
+        intersect_all_into(&refs, &mut scratch);
+        assert_eq!(scratch.last_kernel(), Some(MultiwayKernel::WordAnd));
+        assert_eq!(choose_for(&refs), Some(MultiwayKernel::WordAnd));
+        let mixed = [mk(&sparse, Layout::UintArray), mk(&dense, Layout::Bitset)];
+        let refs: Vec<SetRef<'_>> = mixed.iter().map(|s| s.as_ref()).collect();
+        intersect_all_into(&refs, &mut scratch);
+        assert_eq!(scratch.last_kernel(), Some(MultiwayKernel::ProbeSmallest));
+        assert_eq!(choose_for(&refs), scratch.last_kernel());
+        // Short circuits report no kernel.
+        let one = [mk(&sparse, Layout::UintArray)];
+        let refs: Vec<SetRef<'_>> = one.iter().map(|s| s.as_ref()).collect();
+        intersect_all_into(&refs, &mut scratch);
+        assert_eq!(scratch.last_kernel(), None);
+        assert_eq!(choose_for(&refs), None);
+        let empty = Set::default();
+        let pair = [empty.as_ref(), one[0].as_ref()];
+        intersect_all_into(&pair, &mut scratch);
+        assert_eq!(scratch.last_kernel(), None);
+        assert_eq!(choose_for(&pair), None);
+    }
+
+    #[test]
+    fn kernel_tallies_count_dispatches() {
+        let a: Vec<u32> = (0..256).collect();
+        let sets = [mk(&a, Layout::Bitset), mk(&a, Layout::Bitset)];
+        let refs: Vec<SetRef<'_>> = sets.iter().map(|s| s.as_ref()).collect();
+        let mut scratch = IntersectScratch::new();
+        let before = instrument::kernel_counts();
+        intersect_all_into(&refs, &mut scratch);
+        intersect_all_into(&refs, &mut scratch);
+        let after = instrument::kernel_counts();
+        assert_eq!(after[0] - before[0], 2, "two WordAnd dispatches");
     }
 
     #[test]

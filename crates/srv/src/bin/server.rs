@@ -73,6 +73,8 @@ fn main() {
         result_cache_bytes: ServiceConfig::DEFAULT_RESULT_CACHE_BYTES,
         plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
         server_sessions: args.sessions,
+        record_metrics: true,
+        slow_query_ms: ServiceConfig::slow_query_ms_from_env(),
     };
 
     let t0 = Instant::now();

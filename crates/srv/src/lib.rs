@@ -16,10 +16,10 @@
 //!   strings plan once), and a byte-budgeted **LRU result cache** keyed
 //!   by canonical query + catalog epoch.
 //! * [`serve`] — a threaded TCP front end speaking a line-delimited
-//!   protocol (`QUERY` / `INSERT` / `DELETE` / `APPLY` / `STATS` /
-//!   `INVALIDATE` / `QUIT`), its session pool sized by
-//!   [`ServiceConfig::server_sessions`] while each query executes on the
-//!   engine's [`eh_par::RuntimeConfig`].
+//!   protocol (`QUERY` / `PROFILE` / `METRICS` / `INSERT` / `DELETE` /
+//!   `APPLY` / `STATS` / `INVALIDATE` / `QUIT`), its session pool sized
+//!   by [`ServiceConfig::server_sessions`] while each query executes on
+//!   the engine's [`eh_par::RuntimeConfig`].
 //! * [`Client`] — a minimal blocking client for tests, examples, and the
 //!   throughput harness.
 //!
@@ -33,6 +33,15 @@
 //! Determinism is load-bearing: cached, fresh-sequential, and
 //! fresh-parallel answers are all byte-identical, so a cache is never
 //! observable except through latency and [`ServiceStats`].
+//!
+//! The service is **observable**: every request records into a private
+//! [`eh_obs`] registry (latency histograms with p50/p99, per-verb
+//! counters, cache hit/miss counters, occupancy gauges), dumped by the
+//! `METRICS` verb in Prometheus text format; `PROFILE <sparql>` runs one
+//! query with full executor instrumentation and returns `EXPLAIN
+//! ANALYZE` output (per-depth kernel choices, candidate counts, wall
+//! times); and queries slower than [`ServiceConfig::slow_query_ms`]
+//! (`EH_SLOW_QUERY_MS`) land in a bounded slow-query log.
 //!
 //! ```
 //! use eh_rdf::{Term, Triple, TripleStore};
@@ -51,6 +60,7 @@
 //! ```
 
 mod cache;
+mod metrics;
 mod server;
 mod service;
 

@@ -1,0 +1,154 @@
+//! The service's metric surface: every series the `METRICS` verb exposes.
+//!
+//! Each [`QueryService`](crate::QueryService) owns a private
+//! [`Registry`] (not the process-global one), so concurrently running
+//! services — and tests — never share counters. Handles are resolved once
+//! at construction; the hot recording paths touch only relaxed atomics.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use eh_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Slow-query log capacity: a bounded ring, oldest entries dropped.
+pub(crate) const SLOW_LOG_CAPACITY: usize = 128;
+
+/// Every request-counter label the protocol can produce: the known verbs
+/// plus the `"other"` bucket unrecognized commands fall into.
+const REQUEST_LABELS: &[&str] = &[
+    "query",
+    "profile",
+    "metrics",
+    "insert",
+    "delete",
+    "apply",
+    "stats",
+    "invalidate",
+    "save",
+    "quit",
+    "other",
+];
+
+/// Pre-resolved handles for every metric the service records.
+pub(crate) struct ServiceMetrics {
+    registry: Registry,
+    /// Per-verb request counters, pre-resolved so the per-request path is
+    /// one slice scan + one relaxed increment (no registry lock).
+    requests_by_verb: Vec<(&'static str, Arc<Counter>)>,
+    pub query_latency_us: Arc<Histogram>,
+    pub update_apply_latency_us: Arc<Histogram>,
+    pub plan_cache_hits: Arc<Counter>,
+    pub plan_cache_misses: Arc<Counter>,
+    pub result_cache_hits: Arc<Counter>,
+    pub result_cache_misses: Arc<Counter>,
+    pub triples_inserted: Arc<Counter>,
+    pub triples_deleted: Arc<Counter>,
+    pub updates_applied: Arc<Counter>,
+    pub slow_queries: Arc<Counter>,
+    pub active_sessions: Arc<Gauge>,
+    pub result_cache_bytes: Arc<Gauge>,
+    pub result_cache_entries: Arc<Gauge>,
+    pub plan_cache_entries: Arc<Gauge>,
+    pub epoch: Arc<Gauge>,
+    /// Ring of recent slow queries: `"<millis> ms: <sparql>"`.
+    slow_log: Mutex<VecDeque<String>>,
+}
+
+impl ServiceMetrics {
+    pub fn new() -> ServiceMetrics {
+        let registry = Registry::new();
+        let requests_by_verb = REQUEST_LABELS
+            .iter()
+            .map(|&label| {
+                let counter = registry.counter_with(
+                    "eh_requests_total",
+                    "Protocol requests by verb",
+                    &[("verb", label)],
+                );
+                (label, counter)
+            })
+            .collect();
+        ServiceMetrics {
+            requests_by_verb,
+            query_latency_us: registry.histogram(
+                "eh_query_latency_us",
+                "End-to-end query latency (parse, caches, execution) in microseconds",
+            ),
+            update_apply_latency_us: registry.histogram(
+                "eh_update_apply_latency_us",
+                "APPLY batch latency (store mutation, trie rebuild, cache retirement) in microseconds",
+            ),
+            plan_cache_hits: registry
+                .counter("eh_plan_cache_hits_total", "Plan-cache hits"),
+            plan_cache_misses: registry.counter(
+                "eh_plan_cache_misses_total",
+                "Plan-cache misses (each paid GHD enumeration + the LP solve)",
+            ),
+            result_cache_hits: registry
+                .counter("eh_result_cache_hits_total", "Result-cache hits"),
+            result_cache_misses: registry.counter(
+                "eh_result_cache_misses_total",
+                "Result-cache misses (each paid a join execution)",
+            ),
+            triples_inserted: registry.counter(
+                "eh_triples_inserted_total",
+                "Triples actually inserted across applied batches",
+            ),
+            triples_deleted: registry.counter(
+                "eh_triples_deleted_total",
+                "Triples actually deleted across applied batches",
+            ),
+            updates_applied: registry
+                .counter("eh_updates_applied_total", "Update batches applied (including no-ops)"),
+            slow_queries: registry.counter(
+                "eh_slow_queries_total",
+                "Queries slower than the configured slow-query threshold",
+            ),
+            active_sessions: registry
+                .gauge("eh_active_sessions", "TCP sessions currently connected"),
+            result_cache_bytes: registry
+                .gauge("eh_result_cache_bytes", "Bytes currently held by the result cache"),
+            result_cache_entries: registry
+                .gauge("eh_result_cache_entries", "Entries currently held by the result cache"),
+            plan_cache_entries: registry
+                .gauge("eh_plan_cache_entries", "Plans currently cached"),
+            epoch: registry.gauge("eh_catalog_epoch", "Current catalog epoch"),
+            slow_log: Mutex::new(VecDeque::new()),
+            registry,
+        }
+    }
+
+    /// Count one protocol request for `verb` (lowercased label).
+    pub fn note_request(&self, verb: &str) {
+        match self.requests_by_verb.iter().find(|(label, _)| *label == verb) {
+            Some((_, counter)) => counter.inc(),
+            // Unreachable through the protocol (unknown commands map to
+            // "other"), but keep direct callers correct.
+            None => self
+                .registry
+                .counter_with("eh_requests_total", "Protocol requests by verb", &[("verb", verb)])
+                .inc(),
+        }
+    }
+
+    /// Append to the bounded slow-query ring (oldest dropped) and bump
+    /// the counter.
+    pub fn note_slow_query(&self, millis: u64, text: &str) {
+        self.slow_queries.inc();
+        let mut log = self.slow_log.lock().expect("slow log poisoned");
+        if log.len() >= SLOW_LOG_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(format!("{millis} ms: {text}"));
+    }
+
+    /// Recent slow queries, oldest first.
+    pub fn slow_log(&self) -> Vec<String> {
+        self.slow_log.lock().expect("slow log poisoned").iter().cloned().collect()
+    }
+
+    /// Render the full exposition (Prometheus text format).
+    pub fn expose(&self) -> String {
+        self.registry.expose()
+    }
+}

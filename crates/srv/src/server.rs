@@ -8,14 +8,24 @@
 //! | Request | Response |
 //! |---|---|
 //! | `QUERY <sparql>` | `OK <rows> <col> <col> ...` then one tab-separated N-Triples-encoded line per row, then `END` |
+//! | `PROFILE <sparql>` | `OK PROFILE` then the `EXPLAIN ANALYZE` text (plan + measured execution profile), then `END` |
+//! | `METRICS` | `OK METRICS` then the Prometheus text-format exposition, then `END` |
 //! | `INSERT <s> <p> <o> .` | `OK pending inserts=<n> deletes=<n>` (staged, N-Triples term syntax) |
 //! | `DELETE <s> <p> <o> .` | `OK pending inserts=<n> deletes=<n>` (staged) |
 //! | `APPLY` | `OK applied inserted=<n> deleted=<n> predicates=<n> epoch=<n>` (staged batch applied atomically) |
-//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> inserted=<n> deleted=<n>` |
+//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> inserted=<n> deleted=<n> query_p50_us=<n> query_p99_us=<n>` |
 //! | `INVALIDATE` | `OK epoch=<n>` (caches dropped, catalog epoch advanced) |
 //! | `SAVE <path>` | `OK saved bytes=<n> triples=<n>` (snapshot written server-side; restart with `--snapshot <path>`) |
 //! | `QUIT` | `OK bye`, then the connection closes |
 //! | anything else | `ERR <message>` (single line; the connection stays open) |
+//!
+//! `PROFILE` executes the query with full instrumentation (bypassing the
+//! result cache — the point is to measure a real run) and renders the
+//! plan annotated with per-depth kernel choices, candidate counts, and
+//! wall times; timing lines are `~`-prefixed, the rest is deterministic.
+//! `METRICS` dumps every service metric (latency histograms, per-verb
+//! request counters, cache hit/miss counters, occupancy gauges) in
+//! Prometheus text format, `END`-framed like a query response.
 //!
 //! `SAVE` writes to a path on the **server's** filesystem — it is an
 //! operator verb for the trusted deployments this line protocol serves,
@@ -75,7 +85,28 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
         Some((cmd, rest)) => (cmd, rest.trim()),
         None => (line, ""),
     };
-    match cmd.to_ascii_uppercase().as_str() {
+    let verb = cmd.to_ascii_uppercase();
+    if service.metrics_on() {
+        const VERBS: &[&str] = &[
+            "QUERY",
+            "PROFILE",
+            "METRICS",
+            "INSERT",
+            "DELETE",
+            "APPLY",
+            "STATS",
+            "INVALIDATE",
+            "SAVE",
+            "QUIT",
+        ];
+        let label = if VERBS.contains(&verb.as_str()) {
+            verb.to_ascii_lowercase()
+        } else {
+            "other".to_string()
+        };
+        service.metrics().note_request(&label);
+    }
+    match verb.as_str() {
         "QUERY" if !rest.is_empty() => match service.query_sparql(rest) {
             Ok(answer) => {
                 let mut out = String::new();
@@ -94,6 +125,25 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
             Err(e) => format!("ERR {}\n", e.to_string().replace(['\n', '\r'], " ")),
         },
         "QUERY" => "ERR QUERY needs a SPARQL string on the same line\n".to_string(),
+        "PROFILE" if !rest.is_empty() => match service.profile_sparql(rest) {
+            Ok(report) => {
+                let mut out = String::from("OK PROFILE\n");
+                out.push_str(&report);
+                if !out.ends_with('\n') {
+                    out.push('\n');
+                }
+                out.push_str("END\n");
+                out
+            }
+            Err(e) => format!("ERR {}\n", e.to_string().replace(['\n', '\r'], " ")),
+        },
+        "PROFILE" => "ERR PROFILE needs a SPARQL string on the same line\n".to_string(),
+        "METRICS" => {
+            let mut out = String::from("OK METRICS\n");
+            out.push_str(&service.metrics_text());
+            out.push_str("END\n");
+            out
+        }
         verb @ ("INSERT" | "DELETE") if !rest.is_empty() => match parse_ntriples(rest) {
             Ok(mut triples) if triples.len() == 1 => {
                 let t = triples.pop().expect("length checked");
@@ -126,7 +176,7 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
             format!(
                 "OK plan_hits={} plan_misses={} result_hits={} result_misses={} \
                  plan_entries={} cache_entries={} cache_bytes={} epoch={} \
-                 updates={} inserted={} deleted={}\n",
+                 updates={} inserted={} deleted={} query_p50_us={} query_p99_us={}\n",
                 s.plan_hits,
                 s.plan_misses,
                 s.result_hits,
@@ -137,7 +187,9 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
                 s.epoch,
                 s.updates_applied,
                 s.triples_inserted,
-                s.triples_deleted
+                s.triples_deleted,
+                s.query_p50_us,
+                s.query_p99_us
             )
         }
         "INVALIDATE" => format!("OK epoch={}\n", service.invalidate()),
@@ -152,7 +204,7 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
         "" => "ERR empty request\n".to_string(),
         other => format!(
             "ERR unknown command '{other}' \
-             (try QUERY/INSERT/DELETE/APPLY/STATS/INVALIDATE/SAVE/QUIT)\n"
+             (try QUERY/PROFILE/METRICS/INSERT/DELETE/APPLY/STATS/INVALIDATE/SAVE/QUIT)\n"
         ),
     }
 }
@@ -250,7 +302,16 @@ pub fn serve(service: &QueryService, listener: TcpListener, shutdown: &AtomicBoo
             let (queue, sessions) = (&queue, &sessions);
             scope.spawn(move || {
                 while let Some((id, stream)) = queue.pop() {
+                    // The gauge counts sessions being *served* (connected
+                    // and assigned a worker), bracketing the whole
+                    // connection lifetime including idle stretches.
+                    if service.metrics_on() {
+                        service.metrics().active_sessions.inc();
+                    }
                     handle_connection(service, stream);
+                    if service.metrics_on() {
+                        service.metrics().active_sessions.dec();
+                    }
                     sessions.lock().expect("session registry poisoned").remove(&id);
                 }
             });
@@ -312,10 +373,12 @@ impl Client {
     }
 
     /// Send one request line and read the complete framed response
-    /// (multi-line for `QUERY`, single-line otherwise), returned verbatim.
+    /// (multi-line for `QUERY`/`PROFILE`/`METRICS`, single-line
+    /// otherwise), returned verbatim.
     pub fn send(&mut self, request: &str) -> std::io::Result<String> {
         let line = request.replace(['\n', '\r'], " ");
-        let is_query = line.trim_start().to_ascii_uppercase().starts_with("QUERY");
+        let upper = line.trim_start().to_ascii_uppercase();
+        let is_query = ["QUERY", "PROFILE", "METRICS"].iter().any(|v| upper.starts_with(v));
         self.reader.get_mut().write_all(format!("{line}\n").as_bytes())?;
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
@@ -363,6 +426,8 @@ mod tests {
             result_cache_bytes: 1 << 20,
             plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
             server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+            record_metrics: true,
+            slow_query_ms: None,
         }
     }
 
@@ -418,6 +483,104 @@ mod tests {
         assert_eq!(r, "OK applied inserted=0 deleted=0 predicates=0 epoch=1\n");
         let stats = respond_in_session(&svc, &mut session, "STATS");
         assert!(stats.contains("updates=2 inserted=1 deleted=1"), "{stats}");
+    }
+
+    #[test]
+    fn profile_verb_reports_a_measured_run() {
+        let store = store();
+        let svc = QueryService::new(store.clone(), config(1));
+        let r = respond(&svc, "PROFILE SELECT ?x ?y WHERE { ?x <p> ?y }");
+        assert!(r.starts_with("OK PROFILE\n"), "{r}");
+        assert!(r.ends_with("END\n"), "{r}");
+        assert!(r.contains("profile:"), "{r}");
+        assert!(r.contains("kernels {"), "{r}");
+        assert!(r.contains("result rows: 2"), "{r}");
+        assert!(respond(&svc, "PROFILE").starts_with("ERR PROFILE needs"));
+        assert!(respond(&svc, "PROFILE SELECT nope").starts_with("ERR "));
+    }
+
+    #[test]
+    fn metrics_verb_exposes_parseable_nonzero_series() {
+        let store = store();
+        let svc = QueryService::new(store.clone(), config(1));
+        // Traffic: one miss, one hit, one update.
+        respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        let mut session = Session::new();
+        respond_in_session(&svc, &mut session, "INSERT <c> <p> <d> .");
+        respond_in_session(&svc, &mut session, "APPLY");
+
+        let m = respond(&svc, "METRICS");
+        assert!(m.starts_with("OK METRICS\n") && m.ends_with("END\n"), "{m}");
+        let body = &m["OK METRICS\n".len()..m.len() - "END\n".len()];
+        let samples = eh_obs::parse_exposition(body).expect("exposition parses");
+        let total = |name: &str| -> f64 {
+            samples.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+        };
+        assert!(total("eh_query_latency_us_count") >= 2.0, "{body}");
+        assert!(total("eh_result_cache_hits_total") >= 1.0, "{body}");
+        assert!(total("eh_result_cache_misses_total") >= 1.0, "{body}");
+        assert!(total("eh_update_apply_latency_us_count") >= 1.0, "{body}");
+        assert!(total("eh_updates_applied_total") >= 1.0, "{body}");
+        // Per-verb counters carry the verb label.
+        let query_requests: f64 = samples
+            .iter()
+            .filter(|s| s.name == "eh_requests_total" && s.label("verb") == Some("query"))
+            .map(|s| s.value)
+            .sum();
+        assert!(query_requests >= 2.0, "{body}");
+    }
+
+    #[test]
+    fn stats_reports_latency_percentiles() {
+        let store = store();
+        let svc = QueryService::new(store.clone(), config(1));
+        respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        let stats = respond(&svc, "STATS");
+        assert!(stats.contains("query_p50_us="), "{stats}");
+        assert!(stats.contains("query_p99_us="), "{stats}");
+        let p50: u64 = stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("query_p50_us="))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        // The histogram quantizes to bucket upper bounds (>= 1), so any
+        // recorded query yields a non-zero percentile.
+        assert!(p50 >= 1, "{stats}");
+    }
+
+    #[test]
+    fn metrics_off_records_nothing() {
+        let store = store();
+        let mut cfg = config(1);
+        cfg.record_metrics = false;
+        let svc = QueryService::new(store.clone(), cfg);
+        respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        let stats = respond(&svc, "STATS");
+        assert!(stats.contains("query_p50_us=0 query_p99_us=0"), "{stats}");
+        let m = respond(&svc, "METRICS");
+        let body = &m["OK METRICS\n".len()..m.len() - "END\n".len()];
+        let samples = eh_obs::parse_exposition(body).expect("exposition parses");
+        let count: f64 =
+            samples.iter().filter(|s| s.name == "eh_query_latency_us_count").map(|s| s.value).sum();
+        assert_eq!(count, 0.0, "{body}");
+    }
+
+    #[test]
+    fn slow_query_log_captures_over_threshold_queries() {
+        let store = store();
+        let mut cfg = config(1);
+        cfg.slow_query_ms = Some(0); // everything is "slow"
+        let svc = QueryService::new(store.clone(), cfg);
+        assert!(svc.slow_queries().is_empty());
+        respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        let log = svc.slow_queries();
+        assert_eq!(log.len(), 1, "{log:?}");
+        assert!(log[0].contains("SELECT ?x ?y"), "{log:?}");
+        let m = respond(&svc, "METRICS");
+        assert!(m.contains("eh_slow_queries_total 1"), "{m}");
     }
 
     #[test]
@@ -587,6 +750,13 @@ mod tests {
             // The direct respond() call was the miss; both wire queries hit.
             let stats = second.send("STATS").unwrap();
             assert!(stats.contains("result_hits=2"), "{stats}");
+            // Multi-line verbs frame correctly through the client too,
+            // and the session gauge sees both live connections.
+            let profile = second.send("PROFILE SELECT ?x ?y WHERE { ?x <p> ?y }").unwrap();
+            assert!(profile.starts_with("OK PROFILE\n") && profile.ends_with("END\n"), "{profile}");
+            let metrics = second.send("METRICS").unwrap();
+            assert!(metrics.starts_with("OK METRICS\n") && metrics.ends_with("END\n"), "{metrics}");
+            assert!(metrics.contains("eh_active_sessions 2"), "{metrics}");
             assert_eq!(client.send("QUIT").unwrap(), "OK bye\n");
             drop(client);
             drop(second);

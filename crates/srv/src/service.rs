@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use std::time::Instant;
 
 use eh_query::{canonicalize, parse_sparql, CanonicalQuery, ConjunctiveQuery};
 use eh_rdf::TripleStore;
@@ -12,6 +13,7 @@ use emptyheaded::{
 use std::collections::HashMap;
 
 use crate::cache::ResultLru;
+use crate::metrics::ServiceMetrics;
 
 /// Service knobs.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +35,15 @@ pub struct ServiceConfig {
     /// occupies its worker while *connected*, not just while executing,
     /// so an idle client must never starve the pool that runs joins.
     pub server_sessions: usize,
+    /// Record service metrics (latency histograms, per-verb counters,
+    /// cache counters) exposed by the `METRICS` verb. The recording path
+    /// is a handful of relaxed atomics per request; turning it off exists
+    /// mainly so the overhead benchmark has an uninstrumented baseline.
+    pub record_metrics: bool,
+    /// Queries slower than this many milliseconds are counted and kept in
+    /// a bounded slow-query log. `None` (the default) disables the log;
+    /// `EH_SLOW_QUERY_MS` sets it for [`ServiceConfig::default`].
+    pub slow_query_ms: Option<u64>,
 }
 
 impl ServiceConfig {
@@ -42,17 +53,27 @@ impl ServiceConfig {
     pub const DEFAULT_PLAN_CACHE_ENTRIES: usize = 4096;
     /// Default concurrent-session capacity of the TCP front end.
     pub const DEFAULT_SERVER_SESSIONS: usize = 8;
+
+    /// The slow-query threshold from `EH_SLOW_QUERY_MS` (unset, empty,
+    /// `0`, or unparsable all mean "off").
+    pub fn slow_query_ms_from_env() -> Option<u64> {
+        std::env::var("EH_SLOW_QUERY_MS").ok()?.parse::<u64>().ok().filter(|&ms| ms > 0)
+    }
 }
 
 impl Default for ServiceConfig {
     /// All optimizations on, runtime from `EH_THREADS` (sequential when
-    /// unset), 64 MiB result budget, 4096 cached plans, 8 sessions.
+    /// unset), 64 MiB result budget, 4096 cached plans, 8 sessions,
+    /// metrics on, slow-query log from `EH_SLOW_QUERY_MS` (off when
+    /// unset).
     fn default() -> Self {
         ServiceConfig {
             planner: PlannerConfig::default().with_runtime(eh_par::RuntimeConfig::from_env()),
             result_cache_bytes: Self::DEFAULT_RESULT_CACHE_BYTES,
             plan_cache_entries: Self::DEFAULT_PLAN_CACHE_ENTRIES,
             server_sessions: Self::DEFAULT_SERVER_SESSIONS,
+            record_metrics: true,
+            slow_query_ms: Self::slow_query_ms_from_env(),
         }
     }
 }
@@ -98,6 +119,11 @@ pub struct ServiceStats {
     pub triples_inserted: u64,
     /// Triples actually deleted across all applied batches.
     pub triples_deleted: u64,
+    /// Median end-to-end query latency in microseconds (0 until the
+    /// first recorded query, or when metrics recording is off).
+    pub query_p50_us: u64,
+    /// 99th-percentile end-to-end query latency in microseconds.
+    pub query_p99_us: u64,
 }
 
 /// A cacheable result: the engine's [`QueryResult`] plus a lazily
@@ -201,6 +227,7 @@ pub struct QueryService {
     updates_applied: AtomicU64,
     triples_inserted: AtomicU64,
     triples_deleted: AtomicU64,
+    metrics: ServiceMetrics,
 }
 
 impl QueryService {
@@ -222,6 +249,7 @@ impl QueryService {
             updates_applied: AtomicU64::new(0),
             triples_inserted: AtomicU64::new(0),
             triples_deleted: AtomicU64::new(0),
+            metrics: ServiceMetrics::new(),
         }
     }
 
@@ -271,15 +299,57 @@ impl QueryService {
 
     /// Parse, canonicalize, and answer a SPARQL query through the caches.
     pub fn query_sparql(&self, text: &str) -> Result<Answer, EngineError> {
+        let t0 = self.config.record_metrics.then(Instant::now);
         let q = {
             let store = self.store();
             parse_sparql(text, &store)?
         };
-        self.query(&q)
+        let out = self.query_inner(&q);
+        if let Some(t0) = t0 {
+            self.record_query(t0, &out, Some(text));
+        }
+        out
     }
 
     /// Answer an already-built query through the caches.
     pub fn query(&self, q: &ConjunctiveQuery) -> Result<Answer, EngineError> {
+        let t0 = self.config.record_metrics.then(Instant::now);
+        let out = self.query_inner(q);
+        if let Some(t0) = t0 {
+            self.record_query(t0, &out, None);
+        }
+        out
+    }
+
+    /// Record one answered (or failed) query into the metric surface:
+    /// the end-to-end latency histogram, cache hit/miss counters, and —
+    /// past the configured threshold — the slow-query log.
+    fn record_query(&self, t0: Instant, out: &Result<Answer, EngineError>, text: Option<&str>) {
+        let us = t0.elapsed().as_micros() as u64;
+        self.metrics.query_latency_us.record(us);
+        if let Ok(a) = out {
+            if a.result_cache_hit {
+                self.metrics.result_cache_hits.inc();
+            } else {
+                self.metrics.result_cache_misses.inc();
+                if a.plan_cache_hit {
+                    self.metrics.plan_cache_hits.inc();
+                } else {
+                    self.metrics.plan_cache_misses.inc();
+                }
+            }
+        }
+        if let Some(threshold_ms) = self.config.slow_query_ms {
+            let ms = us / 1_000;
+            if ms >= threshold_ms {
+                let text = text.unwrap_or("<prebuilt query>");
+                eprintln!("slow query ({ms} ms): {text}");
+                self.metrics.note_slow_query(ms, text);
+            }
+        }
+    }
+
+    fn query_inner(&self, q: &ConjunctiveQuery) -> Result<Answer, EngineError> {
         let columns: Vec<String> =
             q.projection().iter().map(|&v| q.var_name(v).to_string()).collect();
         let canonical = canonicalize(q);
@@ -375,6 +445,7 @@ impl QueryService {
     /// (the epoch is in the key); clearing just frees their bytes now. A
     /// batch that changes nothing leaves epoch and caches untouched.
     pub fn update(&self, batch: UpdateBatch) -> UpdateSummary {
+        let t0 = self.config.record_metrics.then(Instant::now);
         let summary = self.engine.update(batch);
         if summary.changed_predicates > 0 {
             self.drop_derived_caches();
@@ -382,6 +453,12 @@ impl QueryService {
         self.updates_applied.fetch_add(1, Ordering::Relaxed);
         self.triples_inserted.fetch_add(summary.inserted as u64, Ordering::Relaxed);
         self.triples_deleted.fetch_add(summary.deleted as u64, Ordering::Relaxed);
+        if let Some(t0) = t0 {
+            self.metrics.update_apply_latency_us.record(t0.elapsed().as_micros() as u64);
+            self.metrics.updates_applied.inc();
+            self.metrics.triples_inserted.add(summary.inserted as u64);
+            self.metrics.triples_deleted.add(summary.deleted as u64);
+        }
         summary
     }
 
@@ -412,7 +489,54 @@ impl QueryService {
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
             triples_inserted: self.triples_inserted.load(Ordering::Relaxed),
             triples_deleted: self.triples_deleted.load(Ordering::Relaxed),
+            query_p50_us: self.metrics.query_latency_us.p50(),
+            query_p99_us: self.metrics.query_latency_us.p99(),
         }
+    }
+
+    /// The service's metric handles (the TCP front end records per-verb
+    /// counters and the session gauge through these).
+    pub(crate) fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Whether this service records metrics (see
+    /// [`ServiceConfig::record_metrics`]).
+    pub(crate) fn metrics_on(&self) -> bool {
+        self.config.record_metrics
+    }
+
+    /// Render the full metric exposition (Prometheus text format) — the
+    /// `METRICS` verb's payload. Cache-occupancy and epoch gauges are
+    /// synchronised from live state at scrape time; counters and
+    /// histograms are whatever the recording paths accumulated.
+    pub fn metrics_text(&self) -> String {
+        let (bytes, entries) = {
+            let results = self.results.lock().expect("result cache poisoned");
+            (results.bytes() as i64, results.len() as i64)
+        };
+        self.metrics.result_cache_bytes.set(bytes);
+        self.metrics.result_cache_entries.set(entries);
+        self.metrics
+            .plan_cache_entries
+            .set(self.plans.read().expect("plan cache poisoned").map.len() as i64);
+        self.metrics.epoch.set(self.engine.catalog().epoch() as i64);
+        self.metrics.expose()
+    }
+
+    /// Recent slow queries (oldest first; empty unless
+    /// [`ServiceConfig::slow_query_ms`] is set and was exceeded).
+    pub fn slow_queries(&self) -> Vec<String> {
+        self.metrics.slow_log()
+    }
+
+    /// `EXPLAIN ANALYZE` for the `PROFILE` verb: parse the SPARQL text,
+    /// plan it, execute it with full profiling, and render the plan with
+    /// measured numbers. Deliberately bypasses the result cache — the
+    /// point is to measure a real execution — but shares the service's
+    /// engine, so it profiles against the live store and warm tries.
+    pub fn profile_sparql(&self, text: &str) -> Result<String, EngineError> {
+        self.engine.explain_analyze_sparql(text)
     }
 }
 
@@ -431,6 +555,8 @@ mod tests {
                 result_cache_bytes: 1 << 20,
                 plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
                 server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+                record_metrics: true,
+                slow_query_ms: None,
             },
         )
     }
@@ -488,6 +614,8 @@ mod tests {
                 result_cache_bytes: 0,
                 plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
                 server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+                record_metrics: true,
+                slow_query_ms: None,
             },
         );
         let q = lubm_query(2, &store.read()).unwrap();
@@ -515,6 +643,8 @@ mod tests {
                 result_cache_bytes: 0,
                 plan_cache_entries: 2,
                 server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+                record_metrics: true,
+                slow_query_ms: None,
             },
         );
         for &n in QUERY_NUMBERS.iter() {

@@ -27,6 +27,8 @@ fn service_config() -> ServiceConfig {
         result_cache_bytes: 16 << 20,
         plan_cache_entries: 1024,
         server_sessions: 4,
+        record_metrics: true,
+        slow_query_ms: None,
     }
 }
 

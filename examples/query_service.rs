@@ -26,6 +26,8 @@ fn main() {
             result_cache_bytes: 16 << 20,
             plan_cache_entries: 1024,
             server_sessions: 4,
+            record_metrics: true,
+            slow_query_ms: None,
         },
     );
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");

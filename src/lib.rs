@@ -45,6 +45,7 @@ pub use eh_baselines as baselines;
 pub use eh_ghd as ghd;
 pub use eh_lp as lp;
 pub use eh_lubm as lubm;
+pub use eh_obs as obs;
 pub use eh_par as par;
 pub use eh_query as query;
 pub use eh_rdf as rdf;

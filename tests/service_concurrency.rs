@@ -19,6 +19,8 @@ fn service_config(threads: usize) -> ServiceConfig {
         result_cache_bytes: 32 << 20,
         plan_cache_entries: 256,
         server_sessions: 8,
+        record_metrics: true,
+        slow_query_ms: None,
     }
 }
 

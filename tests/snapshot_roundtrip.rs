@@ -70,6 +70,8 @@ fn lubm_service_bytes_are_identical_over_the_wire_format() {
             result_cache_bytes: 1 << 20,
             plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
             server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+            record_metrics: true,
+            slow_query_ms: None,
         };
         let cold = QueryService::new(store.clone(), svc_config);
         let path = temp_snapshot(&format!("svc-{threads}t"));

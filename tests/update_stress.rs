@@ -40,6 +40,8 @@ fn config(threads: usize) -> ServiceConfig {
         result_cache_bytes: 1 << 20,
         plan_cache_entries: 64,
         server_sessions: 8,
+        record_metrics: true,
+        slow_query_ms: None,
     }
 }
 
