@@ -2,25 +2,34 @@
 //! tier **while a writer applies batched inserts**, plus the cost of the
 //! update path itself (per-batch apply latency, tries rebuilt).
 //!
-//! Three phases, each over the same LUBM store and query mix:
+//! Four phases, each over the same LUBM store and query mix:
 //!
 //! 1. `read-only` — reader threads only, warm caches: the baseline QPS.
 //! 2. `under-writes` — the same readers racing one writer that applies
 //!    a batch of fresh triples every `--write-every-ms` milliseconds;
-//!    every batch invalidates the touched predicate's tries and every
-//!    derived cache, so this measures the real cost of churn.
-//! 3. a correctness epilogue: the final answers must be byte-identical
+//!    every batch invalidates every derived cache, so this measures the
+//!    real cost of churn.
+//! 3. an apply-path comparison on the hot predicate: per-batch latency
+//!    of the **staged** path (deltas overlay the frozen base, O(batch))
+//!    vs. the **rebuild** path (compaction forced every batch, so each
+//!    apply re-freezes the whole predicate, O(predicate)), plus the
+//!    one-time pause of folding everything staged. `--min-speedup X`
+//!    turns the ratio into a gate: exit non-zero below `X`.
+//! 4. a correctness epilogue: the final answers must be byte-identical
 //!    to a cold engine over the final store contents.
+//!
+//! Emits `BENCH_updates.json` (into `$EH_BENCH_OUT` if set) with the QPS,
+//! per-batch latency, speedup, and compaction-pause numbers.
 //!
 //! ```text
 //! cargo run --release -p eh-bench --bin updates -- --universities 1
-//! EH_THREADS=4 cargo run --release -p eh-bench --bin updates
+//! EH_THREADS=4 cargo run --release -p eh-bench --bin updates -- --min-speedup 5
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use eh_bench::{HarnessArgs, TablePrinter};
+use eh_bench::{measure, BenchReport, TablePrinter};
 use eh_lubm::queries::{lubm_sparql, QUERY_NUMBERS};
 use eh_lubm::{generate_store, pred_iri, GeneratorConfig, Predicate};
 use eh_par::RuntimeConfig;
@@ -32,6 +41,49 @@ const READERS: usize = 4;
 const PHASE_MS: u64 = 1500;
 const WRITE_EVERY_MS: u64 = 50;
 const BATCH_TRIPLES: usize = 64;
+/// Batch size for the staged-vs-rebuild gate: small against any LUBM
+/// scale, so the staged path's cost is O(batch) while the rebuild path
+/// stays O(predicate) — the gap the gate defends.
+const GATE_BATCH_TRIPLES: usize = 100;
+
+#[derive(Debug, Clone, Copy)]
+struct Args {
+    universities: u32,
+    runs: usize,
+    seed: u64,
+    /// Minimum staged-over-rebuild apply speedup; below it, exit 1.
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { universities: 5, runs: 7, seed: 42, min_speedup: None };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value after {}", argv[i]))
+                .parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad value after {}: {e}", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--universities" | "-u" => args.universities = value(i) as u32,
+            "--runs" | "-r" => args.runs = value(i) as usize,
+            "--seed" | "-s" => args.seed = value(i) as u64,
+            "--min-speedup" => args.min_speedup = Some(value(i)),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; expected --universities N, --runs K, --seed S, \
+                     --min-speedup X"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    assert!(args.runs >= 3, "need at least 3 runs to drop best and worst");
+    args
+}
 
 /// A batch of fresh student→course triples (new subjects every call, so
 /// every batch is real change on one hot predicate).
@@ -100,8 +152,67 @@ fn timed_phase(
     (answered.load(Ordering::Relaxed), batches.load(Ordering::Relaxed), apply_time)
 }
 
+/// A fresh `GATE_BATCH_TRIPLES`-triple batch on the hot predicate, in a
+/// namespace disjoint from [`write_batch`]'s so gate batches are always
+/// real change.
+fn gate_batch(round: u64) -> UpdateBatch {
+    let takes = pred_iri(Predicate::TakesCourse);
+    let mut batch = UpdateBatch::new();
+    for i in 0..GATE_BATCH_TRIPLES {
+        batch.insert(Triple::new(
+            Term::iri(format!("http://bench/gate-student-{round}-{i}")),
+            Term::iri(&*takes),
+            Term::iri(format!("http://bench/gate-course-{}", i % 8)),
+        ));
+    }
+    batch
+}
+
+/// Per-batch apply latency of one path: a fresh service over `store`,
+/// tries warmed on the hot predicate, then `runs` batches timed (best
+/// and worst dropped). With `compact_each`, every batch is immediately
+/// folded into fresh base tables — the pre-overlay cost model, where an
+/// apply re-freezes the whole predicate no matter how small the batch.
+/// Returns the mean latency and the service (still holding whatever the
+/// path left staged).
+fn timed_apply_path(
+    store: SharedStore,
+    planner: PlannerConfig,
+    runs: usize,
+    compact_each: bool,
+) -> (Duration, QueryService) {
+    let svc = QueryService::new(
+        store,
+        ServiceConfig {
+            planner,
+            result_cache_bytes: ServiceConfig::DEFAULT_RESULT_CACHE_BYTES,
+            plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
+            server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+            record_metrics: true,
+            slow_query_ms: None,
+        },
+    );
+    // Warm the hot predicate's tries: the rebuild path's per-batch cost
+    // is exactly re-freezing this serving state, which the staged path
+    // defers to one compaction.
+    let takes = pred_iri(Predicate::TakesCourse);
+    let warm = respond(&svc, &format!("QUERY SELECT ?x ?y WHERE {{ ?x <{takes}> ?y }}"));
+    assert!(warm.starts_with("OK "), "{warm}");
+    let mut round = 0u64;
+    let per_batch = measure(runs, || {
+        let summary = svc.update(gate_batch(round));
+        assert_eq!(summary.inserted, GATE_BATCH_TRIPLES, "gate batches must be fresh triples");
+        if compact_each {
+            let folded = svc.compact();
+            assert!(folded.compacted_predicates >= 1, "forced fold must compact");
+        }
+        round += 1;
+    });
+    (per_batch, svc)
+}
+
 fn main() {
-    let args = HarnessArgs::from_env();
+    let args = parse_args();
     let runtime = RuntimeConfig::from_env();
     let cfg = GeneratorConfig::scale(args.universities).with_seed(args.seed);
     eprintln!("generating LUBM({}) ...", args.universities);
@@ -137,20 +248,22 @@ fn main() {
     let phase = Duration::from_millis(PHASE_MS);
     let round = AtomicU64::new(0);
     let mut table = TablePrinter::new(&["Phase", "Requests", "QPS", "Batches", "Apply ms/batch"]);
-    let (answered, _, _) = timed_phase(&svc, &mix, phase, None);
+    let (read_only_answered, _, _) = timed_phase(&svc, &mix, phase, None);
+    let read_only_qps = read_only_answered as f64 / phase.as_secs_f64();
     table.row(&[
         "read-only".into(),
-        answered.to_string(),
-        format!("{:.0}", answered as f64 / phase.as_secs_f64()),
+        read_only_answered.to_string(),
+        format!("{read_only_qps:.0}"),
         "0".into(),
         "-".into(),
     ]);
     let (answered, batches, apply_time) =
         timed_phase(&svc, &mix, phase, Some((&round, Duration::from_millis(WRITE_EVERY_MS))));
+    let under_writes_qps = answered as f64 / phase.as_secs_f64();
     table.row(&[
         "under-writes".into(),
         answered.to_string(),
-        format!("{:.0}", answered as f64 / phase.as_secs_f64()),
+        format!("{under_writes_qps:.0}"),
         batches.to_string(),
         if batches > 0 {
             format!("{:.2}", apply_time.as_secs_f64() * 1e3 / batches as f64)
@@ -159,6 +272,64 @@ fn main() {
         },
     ]);
     println!("\n{}", table.render());
+
+    // Phase 3 — the tentpole's cost model, measured: a small batch on
+    // the hottest predicate through the staged (overlay) path vs. the
+    // rebuild path (every batch immediately folded, so each apply
+    // re-freezes the whole predicate — the pre-overlay behaviour). Both
+    // start from identical store contents.
+    let contents = store.read().clone();
+    let flags = PlannerConfig::with_flags(OptFlags::all()).with_runtime(runtime);
+    let (staged_per_batch, staged_svc) =
+        timed_apply_path(SharedStore::new(contents.clone()), flags, args.runs, false);
+    let (rebuild_per_batch, _) =
+        timed_apply_path(SharedStore::new(contents), flags, args.runs, true);
+    // The staged path's defining property, asserted not just timed: a
+    // small batch re-freezes nothing.
+    let probe = staged_svc.update(gate_batch(u64::MAX));
+    assert_eq!(
+        (probe.rebuilt_tries, probe.compacted_predicates),
+        (0, 0),
+        "a {GATE_BATCH_TRIPLES}-triple batch must stage, not re-freeze the predicate"
+    );
+    // The staged service now holds every gate batch as overlay deltas;
+    // folding them all is the pause the overlay defers off the hot path.
+    let staged_pairs = staged_svc.stats().staged_pairs;
+    assert!(staged_pairs > 0, "gate batches must have stayed staged");
+    let t0 = Instant::now();
+    let folded = staged_svc.compact();
+    let compaction_pause = t0.elapsed();
+    assert!(folded.compacted_predicates >= 1, "compact must fold the staged predicate");
+    let speedup = rebuild_per_batch.as_secs_f64() / staged_per_batch.as_secs_f64();
+    println!(
+        "apply path ({GATE_BATCH_TRIPLES}-triple batches on takesCourse): \
+         staged {:.3} ms/batch vs rebuild {:.3} ms/batch = {speedup:.1}x; \
+         compaction pause {:.3} ms for {staged_pairs} staged pairs",
+        staged_per_batch.as_secs_f64() * 1e3,
+        rebuild_per_batch.as_secs_f64() * 1e3,
+        compaction_pause.as_secs_f64() * 1e3,
+    );
+
+    let mut report = BenchReport::new("updates");
+    report
+        .meta("universities", args.universities)
+        .meta("threads", runtime.num_threads)
+        .meta("gate_batch_triples", GATE_BATCH_TRIPLES)
+        .metric("read_only_qps", read_only_qps)
+        .metric("under_writes_qps", under_writes_qps)
+        .metric("writer_batches", batches as f64)
+        .metric_ms("staged_apply_ms_per_batch", staged_per_batch)
+        .metric_ms("rebuild_apply_ms_per_batch", rebuild_per_batch)
+        .metric("staged_speedup", speedup)
+        .metric_ms("compaction_pause_ms", compaction_pause)
+        .metric("staged_pairs_folded", staged_pairs as f64);
+    if batches > 0 {
+        report.metric("apply_ms_per_batch", apply_time.as_secs_f64() * 1e3 / batches as f64);
+    }
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
 
     // Correctness epilogue: the served answers over the final contents
     // must be byte-identical to a cold engine over a snapshot of them.
@@ -185,4 +356,15 @@ fn main() {
         stats.triples_inserted,
         stats.epoch
     );
+
+    if let Some(min) = args.min_speedup {
+        if speedup < min {
+            eprintln!(
+                "FAIL: staged apply is only {speedup:.1}x faster than the rebuild path \
+                 (required {min:.1}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("gate: staged apply {speedup:.1}x >= {min:.1}x over rebuild — OK");
+    }
 }

@@ -40,7 +40,8 @@ use std::sync::{Arc, RwLock};
 
 use eh_par::RuntimeConfig;
 use eh_query::Atom;
-use eh_trie::{FrozenTrie, LayoutPolicy, TupleBuffer};
+use eh_rdf::PredDelta;
+use eh_trie::{DeltaOverlay, FrozenTrie, LayoutPolicy, TupleBuffer};
 
 use crate::shared::SharedStore;
 
@@ -51,6 +52,22 @@ struct TrieKey {
     auto_layout: bool,
 }
 
+/// Overlay cache key: `(predicate, subject_first)`. Overlays are
+/// layout-independent — their sets stay in the uint layout and the
+/// kernels intersect mixed layouts anyway — so both layout modes share
+/// one entry per order.
+type OverlayKey = (u32, bool);
+
+/// Both cache maps behind one lock: the epoch-recheck publication
+/// protocol requires the epoch to mutate only under this lock, and
+/// splitting the maps across two locks would force an ordering discipline
+/// for no gain (overlay construction is O(delta), never a bottleneck).
+#[derive(Default)]
+struct CacheMaps {
+    tries: HashMap<TrieKey, Arc<FrozenTrie>>,
+    overlays: HashMap<OverlayKey, Arc<DeltaOverlay>>,
+}
+
 /// Trie provider over a [`SharedStore`]. Every trie it serves is a
 /// [`FrozenTrie`] — one contiguous arena per (predicate, order, layout) —
 /// whether it was built from the live store or preloaded from a snapshot
@@ -59,7 +76,7 @@ struct TrieKey {
 /// through [`Catalog::refresh_preds`], exactly like any cache miss.
 pub struct Catalog {
     store: SharedStore,
-    cache: RwLock<HashMap<TrieKey, Arc<FrozenTrie>>>,
+    cache: RwLock<CacheMaps>,
     empty: Arc<FrozenTrie>,
     /// Monotonic version of the catalog's contents. Advanced by
     /// [`Catalog::invalidate`] / [`Catalog::refresh_preds`], and only
@@ -82,7 +99,7 @@ impl Catalog {
         let synced_version = AtomicU64::new(store.version());
         Catalog {
             store,
-            cache: RwLock::new(HashMap::new()),
+            cache: RwLock::new(CacheMaps::default()),
             empty: Arc::new(FrozenTrie::build(TupleBuffer::new(2), LayoutPolicy::Auto)),
             epoch: AtomicU64::new(0),
             synced_version,
@@ -112,7 +129,8 @@ impl Catalog {
         if self.synced_version.load(Ordering::Acquire) == version {
             return;
         }
-        cache.clear();
+        cache.tries.clear();
+        cache.overlays.clear();
         self.epoch.fetch_add(1, Ordering::AcqRel);
         self.synced_version.store(version, Ordering::Release);
     }
@@ -136,7 +154,8 @@ impl Catalog {
     /// the next access.
     pub fn invalidate(&self) -> u64 {
         let mut cache = self.cache.write().expect("catalog lock poisoned");
-        cache.clear();
+        cache.tries.clear();
+        cache.overlays.clear();
         // A full clear also covers any store version we had not yet
         // synchronised with — record that so the next epoch read does not
         // invalidate a second time.
@@ -199,7 +218,7 @@ impl Catalog {
         let mut window = Some(window);
         loop {
             self.sync_with_store();
-            if let Some(t) = self.cache.read().expect("catalog lock poisoned").get(&key) {
+            if let Some(t) = self.cache.read().expect("catalog lock poisoned").tries.get(&key) {
                 return Arc::clone(t);
             }
             let epoch = self.epoch.load(Ordering::Acquire);
@@ -216,11 +235,56 @@ impl Catalog {
             // A version skew at this point is fine to publish through: the
             // next sync (no later than the next epoch read) retires it.
             if self.epoch.load(Ordering::Acquire) == epoch {
-                return Arc::clone(cache.entry(key).or_insert(trie));
+                return Arc::clone(cache.tries.entry(key).or_insert(trie));
             }
             // Epoch moved while building: the data this trie was built
             // from may be gone. Drop it and start over.
         }
+    }
+
+    /// The staged-delta overlay for `(pred, subject_first)`, or `None`
+    /// when the predicate has no uncompacted delta. Cached with the same
+    /// race-safe epoch-recheck publication as [`Catalog::obtain`]; the
+    /// delta's presence is re-read from the store on every miss (no
+    /// negative caching — a predicate without deltas costs one map probe
+    /// and one store read).
+    fn overlay(&self, pred: u32, subject_first: bool) -> Option<Arc<DeltaOverlay>> {
+        let key: OverlayKey = (pred, subject_first);
+        loop {
+            self.sync_with_store();
+            if let Some(ov) = self.cache.read().expect("catalog lock poisoned").overlays.get(&key) {
+                return Some(Arc::clone(ov));
+            }
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let built = {
+                let store = self.store.read();
+                Arc::new(build_overlay(store.delta(pred)?, subject_first))
+            };
+            let mut cache = self.cache.write().expect("catalog lock poisoned");
+            // Same raw load as obtain(): epoch() would re-enter the lock.
+            if self.epoch.load(Ordering::Acquire) == epoch {
+                return Some(Arc::clone(cache.overlays.entry(key).or_insert(built)));
+            }
+        }
+    }
+
+    /// The full operand pair for one access path: the (immutable) base
+    /// trie plus the staged-delta overlay when the predicate has
+    /// uncompacted novelty. This is what the executor consumes — the
+    /// overlay rides into the join as extra [`SetRef`](eh_setops::SetRef)
+    /// operands, it is never folded into the arena.
+    pub(crate) fn relation(
+        &self,
+        atom: &Atom,
+        subject_first: bool,
+        auto_layout: bool,
+    ) -> (Arc<FrozenTrie>, Option<Arc<DeltaOverlay>>) {
+        let Some(pred) = self.store.read().resolve_iri(&atom.relation) else {
+            return (Arc::clone(&self.empty), None);
+        };
+        let trie = self.obtain(TrieKey { pred, subject_first, auto_layout }, &|| {});
+        let overlay = self.overlay(pred, subject_first).filter(|ov| !ov.is_empty());
+        (trie, overlay)
     }
 
     /// Build a trie for `key` from the current store contents, or `None`
@@ -246,7 +310,7 @@ impl Catalog {
     pub fn preload(&self, entries: impl IntoIterator<Item = (u32, bool, Arc<FrozenTrie>)>) {
         let mut cache = self.cache.write().expect("catalog lock poisoned");
         for (pred, subject_first, trie) in entries {
-            cache.insert(TrieKey { pred, subject_first, auto_layout: true }, trie);
+            cache.tries.insert(TrieKey { pred, subject_first, auto_layout: true }, trie);
         }
     }
 
@@ -265,13 +329,37 @@ impl Catalog {
         version: u64,
         runtime: RuntimeConfig,
     ) -> (u64, usize) {
+        self.refresh_after_update(&[], preds, version, runtime)
+    }
+
+    /// The overlay-aware refresh behind [`Engine::update`](crate::Engine::update):
+    ///
+    /// * `staged` predicates gained or changed a delta but kept their base
+    ///   tables — their base tries **survive** (that is the whole point of
+    ///   the overlay: O(delta) apply cost), only their cached overlays are
+    ///   retired and rebuilt lazily from the store's new delta;
+    /// * `compacted` predicates had their deltas folded into fresh base
+    ///   tables — their base tries retire and the previously hot orders
+    ///   rebuild eagerly on `runtime`'s workers, plus any cached overlay
+    ///   drops (the delta is gone).
+    ///
+    /// One epoch bump covers the whole batch. Returns the new epoch and
+    /// the number of base tries rebuilt.
+    pub fn refresh_after_update(
+        &self,
+        staged: &[u32],
+        compacted: &[u32],
+        version: u64,
+        runtime: RuntimeConfig,
+    ) -> (u64, usize) {
         let (epoch, stale) = {
             let mut cache = self.cache.write().expect("catalog lock poisoned");
             let stale: Vec<TrieKey> =
-                cache.keys().filter(|k| preds.contains(&k.pred)).copied().collect();
+                cache.tries.keys().filter(|k| compacted.contains(&k.pred)).copied().collect();
             for k in &stale {
-                cache.remove(k);
+                cache.tries.remove(k);
             }
+            cache.overlays.retain(|&(p, _), _| !staged.contains(&p) && !compacted.contains(&p));
             // fetch_max, not store: if an even newer foreign version
             // exists, the next sync must still do its full invalidation.
             self.synced_version.fetch_max(version, Ordering::AcqRel);
@@ -283,14 +371,47 @@ impl Catalog {
         (epoch, stale.len())
     }
 
-    /// Cardinality of an atom's predicate table (0 when absent).
+    /// Logical cardinality of an atom's predicate (0 when absent): the
+    /// base table adjusted by the staged delta, so the planner's
+    /// cost-model sees the same relation the executor serves.
     pub fn cardinality(&self, atom: &Atom) -> usize {
-        self.store.read().table_by_name(&atom.relation).map_or(0, |t| t.len())
+        let store = self.store.read();
+        let Some(pred) = store.resolve_iri(&atom.relation) else {
+            return 0;
+        };
+        let Some(table) = store.table(pred) else {
+            return 0;
+        };
+        let (ins, del) =
+            store.delta(pred).map_or((0, 0), |d| (d.ins_pairs().len(), d.del_pairs().len()));
+        table.len() + ins - del
     }
 
     /// Number of distinct tries currently cached (diagnostics).
     pub fn cached_tries(&self) -> usize {
-        self.cache.read().expect("catalog lock poisoned").len()
+        self.cache.read().expect("catalog lock poisoned").tries.len()
+    }
+
+    /// Number of distinct delta overlays currently cached (diagnostics).
+    pub fn cached_overlays(&self) -> usize {
+        self.cache.read().expect("catalog lock poisoned").overlays.len()
+    }
+}
+
+/// Materialise one order's [`DeltaOverlay`] from the store's staged
+/// delta. Deltas are kept subject-major in the store; the object-major
+/// order permutes and re-sorts (deltas are small by the compaction
+/// threshold, so this stays O(delta log delta)).
+fn build_overlay(delta: &PredDelta, subject_first: bool) -> DeltaOverlay {
+    if subject_first {
+        DeltaOverlay::from_pairs(delta.ins_pairs(), delta.del_pairs())
+    } else {
+        let permute = |pairs: &[(u32, u32)]| {
+            let mut v: Vec<(u32, u32)> = pairs.iter().map(|&(s, o)| (o, s)).collect();
+            v.sort_unstable();
+            v
+        };
+        DeltaOverlay::from_pairs(&permute(delta.ins_pairs()), &permute(delta.del_pairs()))
     }
 }
 
@@ -456,6 +577,48 @@ mod tests {
         assert_eq!(served.num_tuples(), 2, "stale trie escaped the publish window");
         // …and whatever the cache now serves must also be current.
         assert_eq!(c.trie(&a, true, true).num_tuples(), 2, "stale trie cached across invalidation");
+    }
+
+    /// The tentpole contract: a staged update serves through an overlay
+    /// while the base trie Arc survives untouched; compaction then
+    /// retires both base trie and overlay.
+    #[test]
+    fn staged_deltas_serve_overlays_and_keep_base_tries() {
+        let s = SharedStore::from_triples(vec![triple("a", "p", "b")]);
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "p");
+        let base = c.trie(&a, true, true);
+        let pred = s.read().resolve_iri("p").unwrap();
+
+        s.write().stage_add_triples(vec![triple("c", "p", "d")]);
+        let v = s.bump_version();
+        c.claim_version(v);
+        let (epoch, rebuilt) = c.refresh_after_update(&[pred], &[], v, RuntimeConfig::serial());
+        assert_eq!((epoch, rebuilt), (1, 0), "staged updates must not rebuild base tries");
+
+        let (trie, ov) = c.relation(&a, true, true);
+        assert!(Arc::ptr_eq(&base, &trie), "base trie retired by a staged update");
+        let ov = ov.expect("delta resident");
+        assert_eq!((ov.inserted(), ov.deleted()), (1, 0));
+        assert_eq!(c.cardinality(&a), 2);
+        assert_eq!(c.cached_overlays(), 1);
+        // Object-major overlay is served (and cached) independently.
+        let (_, ov_os) = c.relation(&a, false, true);
+        assert_eq!(ov_os.expect("os overlay").inserted(), 1);
+        assert_eq!(c.cached_overlays(), 2);
+
+        // Compaction folds the delta: base tries rebuild, overlays drop.
+        let compacted = s.write().compact_all();
+        let v = s.bump_version();
+        c.claim_version(v);
+        let (_, rebuilt) = c.refresh_after_update(&[], &compacted, v, RuntimeConfig::serial());
+        assert_eq!(rebuilt, 2, "both cached orders of p rebuild on compaction");
+        let (trie, ov) = c.relation(&a, true, true);
+        assert!(!Arc::ptr_eq(&base, &trie));
+        assert_eq!(trie.num_tuples(), 2);
+        assert!(ov.is_none());
+        assert_eq!(c.cached_overlays(), 0);
+        assert_eq!(c.cardinality(&a), 2);
     }
 
     /// Same race against a full invalidate(): the cleared cache must not

@@ -101,7 +101,12 @@ impl Engine {
     /// from that same clone, so it always agrees with the file contents
     /// even when updates land mid-save.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(u64, usize), SnapshotError> {
-        let store = self.store().clone();
+        let mut store = self.store().clone();
+        // Snapshots encode base tables only; fold the clone's staged
+        // deltas in so overlay novelty is never silently dropped from the
+        // image. The live store keeps its deltas — this is the private
+        // copy.
+        store.compact_all();
         let tries = StoreSnapshot::hot_tries(&store);
         let bytes = StoreSnapshot::write_to_path(&store, &tries, path)?;
         Ok((bytes, store.num_triples()))
@@ -133,30 +138,48 @@ impl Engine {
 
     /// Apply a batch of live updates: deletions first, then insertions
     /// (SPARQL Update convention), atomically under the store's write
-    /// lock. Afterwards only the *changed* predicates' tries are retired
-    /// and eagerly rebuilt (concurrently, on the configured runtime) and
-    /// the epoch advances; a batch that changes nothing — duplicates of
-    /// resident triples, deletions of absent ones — leaves tries, epoch,
-    /// and downstream caches untouched.
+    /// lock. The batch is **staged** LSM-style — sorted per-predicate
+    /// delta sets of inserts and tombstones — in O(delta) time, without
+    /// rebuilding any base table or re-freezing any trie: queries serve
+    /// the novelty by handing each delta to the multiway driver as one
+    /// more set operand. Only a predicate whose accumulated delta crosses
+    /// [`PlannerConfig::compaction_threshold`] is folded into a fresh
+    /// base table (and its cached tries rebuilt) as part of the batch.
+    /// The epoch advances once per batch; a batch that changes nothing —
+    /// duplicates of resident triples, deletions of absent ones — leaves
+    /// deltas, epoch, and downstream caches untouched.
     pub fn update(&self, batch: UpdateBatch) -> UpdateSummary {
         let shared = self.catalog.store();
-        let (report, version) = {
+        let (report, compacted, version) = {
             let mut store = shared.write();
-            let mut report = store.remove_triples(batch.deletes);
-            report.merge(store.add_triples(batch.inserts));
+            let mut report = store.stage_remove_triples(batch.deletes);
+            report.merge(store.stage_add_triples(batch.inserts));
             if report.is_empty() {
-                (report, 0)
+                (report, Vec::new(), 0)
             } else {
+                // Threshold compaction, still under the write lock: fold
+                // any predicate whose staged delta grew past
+                // max(absolute floor, frac% of its base table). Everything
+                // below the threshold stays an overlay — O(delta) apply.
+                let mut compacted: Vec<u32> = Vec::new();
+                for &p in &report.changed_preds {
+                    let staged = store.delta_len(p);
+                    let base = store.table(p).map_or(0, |t| t.len());
+                    if staged > 0 && staged >= self.config.compaction_threshold(base) {
+                        store.compact_pred(p);
+                        compacted.push(p);
+                    }
+                }
                 // Bump while the write lock is still held: any reader
                 // that can observe the new data can also observe the new
                 // version, so sibling catalogs over this store can't keep
-                // serving their now-stale tries (see SharedStore docs).
+                // serving their now-stale view (see SharedStore docs).
                 // Our own catalog claims the version immediately — the
                 // precise refresh below covers it, and readers racing
                 // into the gap must not full-invalidate on the skew.
                 let version = shared.bump_version();
                 self.catalog.claim_version(version);
-                (report, version)
+                (report, compacted, version)
             }
         };
         if report.is_empty() {
@@ -165,16 +188,64 @@ impl Engine {
                 deleted: 0,
                 changed_predicates: 0,
                 rebuilt_tries: 0,
+                compacted_predicates: 0,
                 epoch: self.catalog.epoch(),
             };
         }
+        let staged: Vec<u32> =
+            report.changed_preds.iter().copied().filter(|p| !compacted.contains(p)).collect();
         let (epoch, rebuilt) =
-            self.catalog.refresh_preds(&report.changed_preds, version, self.config.runtime);
+            self.catalog.refresh_after_update(&staged, &compacted, version, self.config.runtime);
         UpdateSummary {
             inserted: report.added,
             deleted: report.removed,
             changed_predicates: report.changed_preds.len(),
             rebuilt_tries: rebuilt,
+            compacted_predicates: compacted.len(),
+            epoch,
+        }
+    }
+
+    /// Fold every staged delta into fresh base tables and rebuild the
+    /// affected cached tries — the off-hot-path compaction entry point a
+    /// serving tier calls from its maintenance trigger (or a caller who
+    /// wants overlay memory back). No-op (epoch untouched) when nothing
+    /// is staged.
+    pub fn compact(&self) -> UpdateSummary {
+        let shared = self.catalog.store();
+        let (preds, version) = {
+            let mut store = shared.write();
+            let preds = store.compact_all();
+            if preds.is_empty() {
+                (preds, 0)
+            } else {
+                // Same protocol as `update`: compaction changes which
+                // physical structures serve each predicate, so sibling
+                // catalogs holding (base trie + now-vanished delta) views
+                // must observe the version move.
+                let version = shared.bump_version();
+                self.catalog.claim_version(version);
+                (preds, version)
+            }
+        };
+        if preds.is_empty() {
+            return UpdateSummary {
+                inserted: 0,
+                deleted: 0,
+                changed_predicates: 0,
+                rebuilt_tries: 0,
+                compacted_predicates: 0,
+                epoch: self.catalog.epoch(),
+            };
+        }
+        let (epoch, rebuilt) =
+            self.catalog.refresh_after_update(&[], &preds, version, self.config.runtime);
+        UpdateSummary {
+            inserted: 0,
+            deleted: 0,
+            changed_predicates: preds.len(),
+            rebuilt_tries: rebuilt,
+            compacted_predicates: preds.len(),
             epoch,
         }
     }
@@ -525,6 +596,77 @@ mod tests {
         noop.insert(edge(0, 1)).delete(edge(7, 9));
         assert_eq!(engine.update(noop).epoch, 1);
         assert_eq!(engine.catalog().epoch(), 1);
+    }
+
+    #[test]
+    fn staged_update_is_o_delta_and_compact_folds() {
+        let store = triangle_store();
+        let engine = Engine::new(store.clone(), OptFlags::all());
+        let q = triangle_query(&store.read());
+        assert_eq!(engine.run(&q).unwrap().cardinality(), 2);
+
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge(0, 3)).delete(edge(1, 3));
+        let s = engine.update(batch);
+        // Below the compaction threshold the batch stays an overlay: no
+        // base table merged, no trie re-frozen — O(delta) apply.
+        assert_eq!((s.inserted, s.deleted), (1, 1));
+        assert_eq!((s.rebuilt_tries, s.compacted_predicates), (0, 0));
+        assert!(engine.store().has_deltas());
+        // Queries answer the merged (base − del) ∪ ins view: deleting
+        // (1,3) kills triangle (1,2,3), inserting (0,3) closes (0,2,3).
+        assert_eq!(engine.run(&q).unwrap().cardinality(), 2);
+
+        // Explicit compaction folds the overlay into fresh base tables
+        // and rebuilds the affected cached tries; answers are unchanged.
+        let before = engine.run(&q).unwrap();
+        let c = engine.compact();
+        assert_eq!(c.compacted_predicates, 1);
+        assert!(c.rebuilt_tries >= 1, "cached orders of the predicate rebuild");
+        assert!(!engine.store().has_deltas());
+        assert_eq!(engine.run(&q).unwrap(), before);
+        // Compacting an already-compacted store is a no-op on the epoch.
+        assert_eq!(engine.compact().epoch, c.epoch);
+    }
+
+    #[test]
+    fn tiny_compaction_threshold_folds_inline() {
+        let store = triangle_store();
+        let config = PlannerConfig::with_flags(OptFlags::all()).with_compaction(1, 1);
+        let engine = Engine::with_config(store.clone(), config);
+        let q = triangle_query(&store.read());
+        assert_eq!(engine.run(&q).unwrap().cardinality(), 2);
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge(0, 3));
+        let s = engine.update(batch);
+        assert_eq!((s.changed_predicates, s.compacted_predicates), (1, 1));
+        assert!(!engine.store().has_deltas());
+        assert_eq!(engine.run(&q).unwrap().cardinality(), 4);
+    }
+
+    #[test]
+    fn snapshot_with_deltas_resident_round_trips_logical_contents() {
+        let store = triangle_store();
+        let engine = Engine::new(store.clone(), OptFlags::all());
+        let q = triangle_query(&store.read());
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge(0, 3)).delete(edge(1, 3));
+        engine.update(batch);
+        assert!(engine.store().has_deltas());
+        let reference = engine.run(&q).unwrap();
+
+        let path =
+            std::env::temp_dir().join(format!("eh-engine-delta-snap-{}.snap", std::process::id()));
+        engine.save_snapshot(&path).unwrap();
+        let restored = Engine::from_snapshot(&path, PlannerConfig::with_flags(OptFlags::all()))
+            .expect("snapshot loads");
+        std::fs::remove_file(&path).ok();
+        // The image carries the delta-merged contents even though the
+        // snapshot format encodes base tables only.
+        assert_eq!(restored.run(&q).unwrap(), reference);
+        assert!(!restored.store().has_deltas());
+        // Saving compacted only the private clone; the live overlay stays.
+        assert!(engine.store().has_deltas());
     }
 
     /// Several engines over one [`SharedStore`]: an update applied

@@ -31,8 +31,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use eh_par::RuntimeConfig;
-use eh_setops::{intersect_all_into, intersects_all_refs, IntersectScratch, SetRef};
-use eh_trie::FrozenTrie;
+use eh_setops::{
+    intersect_all_into, intersects_all_refs, overlay_merge_into, IntersectScratch, SetRef,
+};
+use eh_trie::{DeltaOverlay, FrozenTrie};
 
 use crate::profile::JoinObs;
 
@@ -46,6 +48,14 @@ pub(crate) struct PreparedRel {
     /// intermediate built mid-plan — is arena-backed; its per-block sets
     /// decode in place as [`SetRef`] views.
     pub trie: Arc<FrozenTrie>,
+    /// LSM-style novelty overlay: staged inserts and tombstones not yet
+    /// compacted into the base arena. `None` (intermediates, predicates
+    /// with no pending delta) keeps every read on the exact pre-overlay
+    /// code path. `Some` routes this relation's set views through the
+    /// merged view — the merged sets enter the multiway kernels as plain
+    /// [`SetRef`] operands, so the intersection drivers are untouched.
+    /// Overlays only apply to arity-2 catalog relations.
+    pub overlay: Option<Arc<DeltaOverlay>>,
     /// `depths[level]` = join depth at which this trie level binds;
     /// strictly increasing.
     pub depths: Vec<usize>,
@@ -70,6 +80,30 @@ pub(crate) struct JoinSpec {
     pub obs: Option<JoinObs>,
 }
 
+/// Where an overlay relation's current leaf set lives after a descent:
+/// entirely in the base arena, entirely in the insert trie, or merged
+/// into the cursor's buffer.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+enum LeafSrc {
+    /// `trie.set(1, blocks[r][1])` — base block untouched by the delta.
+    #[default]
+    Base,
+    /// `overlay.ins_leaf(blocks[r][1])` — value exists only in inserts.
+    Ins,
+    /// The merged `(base − del) ∪ ins` set in [`OverlayCursor::buf`].
+    Buf,
+}
+
+/// Per-relation overlay cursor: which source holds the current leaf and
+/// the reusable merge buffer for the mixed case. Cloned (buffer contents
+/// included) on the per-morsel fork — the selected-prefix probe may have
+/// populated it before the split.
+#[derive(Clone, Default)]
+struct OverlayCursor {
+    leaf: LeafSrc,
+    buf: Vec<u32>,
+}
+
 struct State {
     /// `blocks[rel][level]` = current trie block per relation level.
     blocks: Vec<Vec<usize>>,
@@ -80,6 +114,9 @@ struct State {
     /// candidate list stays live while the search recurses into `d + 1`,
     /// which uses its own slot).
     scratch: Vec<IntersectScratch>,
+    /// One overlay cursor per relation (unused for relations without an
+    /// overlay).
+    overlay: Vec<OverlayCursor>,
 }
 
 /// The per-morsel fork in [`run_join_parallel`]: cursors and bindings are
@@ -91,6 +128,7 @@ impl Clone for State {
             blocks: self.blocks.clone(),
             binding: self.binding.clone(),
             scratch: (0..self.scratch.len()).map(|_| IntersectScratch::new()).collect(),
+            overlay: self.overlay.clone(),
         }
     }
 }
@@ -101,6 +139,30 @@ impl State {
             blocks: spec.rels.iter().map(|r| vec![0usize; r.trie.arity()]).collect(),
             binding: vec![0u32; spec.num_vars],
             scratch: (0..spec.num_vars).map(|_| IntersectScratch::new()).collect(),
+            overlay: spec.rels.iter().map(|_| OverlayCursor::default()).collect(),
+        }
+    }
+}
+
+/// The current set view of relation `r` at trie level `lvl` — the single
+/// read point through which every probe, intersection, and candidate
+/// materialisation sees a relation. Without an overlay this is exactly
+/// the pre-overlay arena read; with one, level 0 is the cached merged
+/// root and level 1 routes by the cursor's [`LeafSrc`].
+fn rel_set<'a>(spec: &'a JoinSpec, st: &'a State, r: usize, lvl: usize) -> SetRef<'a> {
+    let rel = &spec.rels[r];
+    match &rel.overlay {
+        None => rel.trie.set(lvl, st.blocks[r][lvl]),
+        Some(ov) => {
+            if lvl == 0 {
+                SetRef::Uint(ov.root(&rel.trie))
+            } else {
+                match st.overlay[r].leaf {
+                    LeafSrc::Base => rel.trie.set(1, st.blocks[r][1]),
+                    LeafSrc::Ins => ov.ins_leaf(st.blocks[r][1]),
+                    LeafSrc::Buf => SetRef::Uint(&st.overlay[r].buf),
+                }
+            }
         }
     }
 }
@@ -183,7 +245,7 @@ where
     let here = &parts[split];
     let candidates: Vec<u32> = if here.len() == 1 {
         let (r, lvl) = here[0];
-        let set = spec.rels[r].trie.set(lvl, st.blocks[r][lvl]);
+        let set = rel_set(spec, &st, r, lvl);
         if let Some(o) = &spec.obs {
             o.stats.note_single(split, set.len() as u64, 0);
         }
@@ -257,7 +319,7 @@ fn exists(spec: &JoinSpec, parts: &[Vec<(usize, usize)>], st: &mut State, depth:
         }
         if here.len() == 1 {
             let (r, lvl) = here[0];
-            return !spec.rels[r].trie.set(lvl, st.blocks[r][lvl]).is_empty();
+            return !rel_set(spec, st, r, lvl).is_empty();
         }
         return with_participant_sets(spec, st, here, intersects_all_refs);
     }
@@ -288,8 +350,12 @@ fn step(
         None => {
             debug_assert!(!here.is_empty(), "unselected attribute with no participants");
             if here.len() == 1 {
-                // Fast path: iterate the single participant's set directly.
                 let (r, lvl) = here[0];
+                if spec.rels[r].overlay.is_some() {
+                    step_single_overlay(spec, st, depth, r, lvl, then);
+                    return;
+                }
+                // Fast path: iterate the single participant's set directly.
                 let trie = Arc::clone(&spec.rels[r].trie);
                 let block = st.blocks[r][lvl];
                 if let Some(o) = &spec.obs {
@@ -339,6 +405,74 @@ fn step(
     }
 }
 
+/// The single-participant unselected path for a relation carrying an
+/// overlay: iterate its merged view at `depth`, descending per value at
+/// level 0. Mirrors the base-arena fast path above — [`JoinObs`] records
+/// the same `note_single` shape, so profiles stay schedule-invariant.
+fn step_single_overlay(
+    spec: &JoinSpec,
+    st: &mut State,
+    depth: usize,
+    r: usize,
+    lvl: usize,
+    then: &mut dyn FnMut(&JoinSpec, &mut State) -> bool,
+) {
+    let rel = &spec.rels[r];
+    let ov = rel.overlay.as_ref().expect("caller checked the overlay");
+    if lvl == 0 {
+        // The cached merged root borrows `spec`-owned data, so it stays
+        // valid across the mutating `then` callbacks.
+        let root = ov.root(&rel.trie);
+        if let Some(o) = &spec.obs {
+            o.stats.note_single(depth, root.len() as u64, 0);
+        }
+        for &v in root {
+            descend(spec, st, &[(r, 0)], v);
+            st.binding[depth] = v;
+            if !then(spec, st) {
+                return;
+            }
+        }
+        return;
+    }
+    // Leaf level: nothing deeper to descend into — just iterate whichever
+    // source the cursor routed to.
+    match st.overlay[r].leaf {
+        LeafSrc::Buf => {
+            // The merged buffer lives in `st`, which `then` mutates; take
+            // it out for the iteration (the same discipline as the
+            // per-depth scratch) and restore it afterwards.
+            let buf = std::mem::take(&mut st.overlay[r].buf);
+            if let Some(o) = &spec.obs {
+                o.stats.note_single(depth, buf.len() as u64, 0);
+            }
+            for &v in &buf {
+                st.binding[depth] = v;
+                if !then(spec, st) {
+                    break;
+                }
+            }
+            st.overlay[r].buf = buf;
+        }
+        src => {
+            let block = st.blocks[r][1];
+            let set = match src {
+                LeafSrc::Base => rel.trie.set(1, block),
+                _ => ov.ins_leaf(block),
+            };
+            if let Some(o) = &spec.obs {
+                o.stats.note_single(depth, set.len() as u64, 0);
+            }
+            for v in set.iter() {
+                st.binding[depth] = v;
+                if !then(spec, st) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
 /// Probe selection value `c` against every participant at `depth`; on
 /// success descend all cursors and bind it. Shared by the sequential
 /// [`step`] and the parallel prefix probe so the two cannot drift — the
@@ -355,7 +489,7 @@ fn probe_selected(
         o.stats.note_selected(depth);
     }
     for &(r, lvl) in here {
-        if !spec.rels[r].trie.set(lvl, st.blocks[r][lvl]).contains(c) {
+        if !rel_set(spec, st, r, lvl).contains(c) {
             return false;
         }
     }
@@ -382,12 +516,12 @@ fn with_participant_sets<R>(
     if here.len() <= INLINE {
         let mut table: [SetRef<'_>; INLINE] = [SetRef::Uint(&[]); INLINE];
         for (slot, &(r, lvl)) in table.iter_mut().zip(here) {
-            *slot = spec.rels[r].trie.set(lvl, st.blocks[r][lvl]);
+            *slot = rel_set(spec, st, r, lvl);
         }
         f(&table[..here.len()])
     } else {
         let sets: Vec<SetRef<'_>> =
-            here.iter().map(|&(r, lvl)| spec.rels[r].trie.set(lvl, st.blocks[r][lvl])).collect();
+            here.iter().map(|&(r, lvl)| rel_set(spec, st, r, lvl)).collect();
         f(&sets)
     }
 }
@@ -396,11 +530,58 @@ fn with_participant_sets<R>(
 /// known to be present in each participant's current set).
 fn descend(spec: &JoinSpec, st: &mut State, here: &[(usize, usize)], v: u32) {
     for &(r, lvl) in here {
-        let trie = &spec.rels[r].trie;
-        if lvl + 1 < trie.arity() {
-            st.blocks[r][lvl + 1] = trie
-                .child(lvl, st.blocks[r][lvl], v)
-                .expect("descend value must be present in the set");
+        let rel = &spec.rels[r];
+        match &rel.overlay {
+            None => {
+                if lvl + 1 < rel.trie.arity() {
+                    st.blocks[r][lvl + 1] = rel
+                        .trie
+                        .child(lvl, st.blocks[r][lvl], v)
+                        .expect("descend value must be present in the set");
+                }
+            }
+            Some(ov) => {
+                // Leaf-level participants (lvl 1) have nothing deeper to
+                // descend into, and a prefix-only participant never reads
+                // its leaf level — only the root→leaf move merges.
+                if lvl == 0 && lvl + 1 < rel.depths.len() {
+                    descend_overlay(rel, ov, st, r, v);
+                }
+            }
+        }
+    }
+}
+
+/// Overlay-aware descent into the leaf level of relation `r`: route the
+/// cursor to the base block, the insert block, or — when the value has
+/// presence in both (or a tombstone to subtract) — merge
+/// `(base − del) ∪ ins` into the cursor's reusable buffer.
+fn descend_overlay(rel: &PreparedRel, ov: &DeltaOverlay, st: &mut State, r: usize, v: u32) {
+    let base_block =
+        if rel.trie.num_tuples() == 0 { None } else { rel.trie.child(0, st.blocks[r][0], v) };
+    let ins_block = ov.ins_child_block(v);
+    let del = ov.del_child(v);
+    match (base_block, ins_block) {
+        (Some(bb), None) if del.is_none() => {
+            st.overlay[r].leaf = LeafSrc::Base;
+            st.blocks[r][1] = bb;
+        }
+        (None, Some(ib)) => {
+            st.overlay[r].leaf = LeafSrc::Ins;
+            st.blocks[r][1] = ib;
+        }
+        (bb, ib) => {
+            debug_assert!(
+                bb.is_some(),
+                "descend value must be present in the merged set, so absent \
+                 from inserts means present in the base"
+            );
+            let base_set = bb.map(|b| rel.trie.set(1, b));
+            let ins_set = ib.map(|b| ov.ins_leaf(b));
+            let cur = &mut st.overlay[r];
+            cur.buf.clear();
+            overlay_merge_into(base_set, del, ins_set, &mut cur.buf);
+            cur.leaf = LeafSrc::Buf;
         }
     }
 }
@@ -443,9 +624,9 @@ mod tests {
             emit_depth: 3,
             obs: None,
             rels: vec![
-                PreparedRel { trie: r, depths: vec![0, 1] },
-                PreparedRel { trie: s, depths: vec![1, 2] },
-                PreparedRel { trie: t, depths: vec![0, 2] },
+                PreparedRel { trie: r, overlay: None, depths: vec![0, 1] },
+                PreparedRel { trie: s, overlay: None, depths: vec![1, 2] },
+                PreparedRel { trie: t, overlay: None, depths: vec![0, 2] },
             ],
         };
         // Triangles: (x=0,y=1,z=2) and (x=0,y=2,z=4).
@@ -462,7 +643,7 @@ mod tests {
             sel: vec![Some(1), None],
             emit_depth: 2,
             obs: None,
-            rels: vec![PreparedRel { trie: r, depths: vec![0, 1] }],
+            rels: vec![PreparedRel { trie: r, overlay: None, depths: vec![0, 1] }],
         };
         assert_eq!(collect(&spec), vec![vec![1, 10], vec![1, 11]]);
     }
@@ -475,7 +656,7 @@ mod tests {
             sel: vec![Some(9), None],
             emit_depth: 2,
             obs: None,
-            rels: vec![PreparedRel { trie: r, depths: vec![0, 1] }],
+            rels: vec![PreparedRel { trie: r, overlay: None, depths: vec![0, 1] }],
         };
         assert!(collect(&spec).is_empty());
     }
@@ -489,7 +670,7 @@ mod tests {
             sel: vec![None, None],
             emit_depth: 1,
             obs: None,
-            rels: vec![PreparedRel { trie: r, depths: vec![0, 1] }],
+            rels: vec![PreparedRel { trie: r, overlay: None, depths: vec![0, 1] }],
         };
         assert_eq!(collect(&spec), vec![vec![5], vec![6]]);
     }
@@ -509,8 +690,8 @@ mod tests {
             emit_depth: 2,
             obs: None,
             rels: vec![
-                PreparedRel { trie: r, depths: vec![0, 1] },
-                PreparedRel { trie: f, depths: vec![0] },
+                PreparedRel { trie: r, overlay: None, depths: vec![0, 1] },
+                PreparedRel { trie: f, overlay: None, depths: vec![0] },
             ],
         };
         assert_eq!(collect(&spec), vec![vec![2, 20], vec![3, 30]]);
@@ -525,7 +706,7 @@ mod tests {
             sel: vec![None],
             emit_depth: 1,
             obs: None,
-            rels: vec![PreparedRel { trie: r, depths: vec![0] }],
+            rels: vec![PreparedRel { trie: r, overlay: None, depths: vec![0] }],
         };
         assert_eq!(collect(&spec), vec![vec![1], vec![4]]);
     }
@@ -540,11 +721,127 @@ mod tests {
             emit_depth: 2,
             obs: None,
             rels: vec![
-                PreparedRel { trie: r, depths: vec![0, 1] },
-                PreparedRel { trie: e, depths: vec![0, 1] },
+                PreparedRel { trie: r, overlay: None, depths: vec![0, 1] },
+                PreparedRel { trie: e, overlay: None, depths: vec![0, 1] },
             ],
         };
         assert!(collect(&spec).is_empty());
+    }
+
+    #[test]
+    fn overlay_operand_serves_merged_view() {
+        // Base R = {(1,10),(1,11),(2,20),(3,30)}; delta stages +(1,12),
+        // +(4,40) and tombstones (1,10), (2,20). Logical view:
+        // {(1,11),(1,12),(3,30),(4,40)} — exercising the Buf (subject 1),
+        // Base (subject 3), and Ins (subject 4) leaf routes, plus the
+        // fully tombstoned subject 2 vanishing from the root.
+        let base = trie_of(&[(1, 10), (1, 11), (2, 20), (3, 30)]);
+        let ov = Arc::new(DeltaOverlay::from_pairs(&[(1, 12), (4, 40)], &[(1, 10), (2, 20)]));
+        let spec = JoinSpec {
+            num_vars: 2,
+            sel: vec![None, None],
+            emit_depth: 2,
+            obs: None,
+            rels: vec![PreparedRel { trie: base, overlay: Some(ov), depths: vec![0, 1] }],
+        };
+        assert_eq!(collect(&spec), vec![vec![1, 11], vec![1, 12], vec![3, 30], vec![4, 40]]);
+    }
+
+    #[test]
+    fn overlay_participates_in_multiway_intersection() {
+        // Overlaid R joined with a plain S: the merged sets enter the
+        // intersection kernels as ordinary operands at both depths.
+        let r = trie_of(&[(1, 10), (2, 20)]);
+        // Logical R = {(2,20),(2,21),(5,50)}.
+        let ov = Arc::new(DeltaOverlay::from_pairs(&[(2, 21), (5, 50)], &[(1, 10)]));
+        let s = trie_of(&[(2, 21), (2, 22), (5, 50), (6, 60)]);
+        let spec = JoinSpec {
+            num_vars: 2,
+            sel: vec![None, None],
+            emit_depth: 2,
+            obs: None,
+            rels: vec![
+                PreparedRel { trie: r, overlay: Some(ov), depths: vec![0, 1] },
+                PreparedRel { trie: s, overlay: None, depths: vec![0, 1] },
+            ],
+        };
+        assert_eq!(collect(&spec), vec![vec![2, 21], vec![5, 50]]);
+    }
+
+    #[test]
+    fn selection_probes_route_through_the_overlay() {
+        let r = trie_of(&[(1, 10), (2, 20)]);
+        // Logical R = {(1,12),(2,20)}.
+        let ov = Arc::new(DeltaOverlay::from_pairs(&[(1, 12)], &[(1, 10)]));
+        let mk = |sel| JoinSpec {
+            num_vars: 2,
+            sel,
+            emit_depth: 2,
+            obs: None,
+            rels: vec![PreparedRel {
+                trie: Arc::clone(&r),
+                overlay: Some(Arc::clone(&ov)),
+                depths: vec![0, 1],
+            }],
+        };
+        // A tombstoned pair must miss, the staged insert must hit, and a
+        // base-resident pair still hits.
+        assert!(collect(&mk(vec![Some(1), Some(10)])).is_empty());
+        assert_eq!(collect(&mk(vec![Some(1), Some(12)])), vec![vec![1, 12]]);
+        assert_eq!(collect(&mk(vec![Some(2), Some(20)])), vec![vec![2, 20]]);
+    }
+
+    #[test]
+    fn overlay_existence_check_on_trailing_nonoutput() {
+        // Emit x once per surviving subject: tombstoning subject 6's only
+        // pair removes it, staged subject 7 appears.
+        let r = trie_of(&[(5, 1), (5, 2), (6, 3)]);
+        let ov = Arc::new(DeltaOverlay::from_pairs(&[(7, 9)], &[(6, 3)]));
+        let spec = JoinSpec {
+            num_vars: 2,
+            sel: vec![None, None],
+            emit_depth: 1,
+            obs: None,
+            rels: vec![PreparedRel { trie: r, overlay: Some(ov), depths: vec![0, 1] }],
+        };
+        assert_eq!(collect(&spec), vec![vec![5], vec![7]]);
+    }
+
+    #[test]
+    fn overlay_over_empty_base_serves_pure_inserts() {
+        // A predicate born from staged inserts: empty base trie, all
+        // novelty in the overlay.
+        let e = Arc::new(FrozenTrie::build(TupleBuffer::new(2), LayoutPolicy::Auto));
+        let ov = Arc::new(DeltaOverlay::from_pairs(&[(1, 10), (2, 20)], &[]));
+        let spec = JoinSpec {
+            num_vars: 2,
+            sel: vec![None, None],
+            emit_depth: 2,
+            obs: None,
+            rels: vec![PreparedRel { trie: e, overlay: Some(ov), depths: vec![0, 1] }],
+        };
+        assert_eq!(collect(&spec), vec![vec![1, 10], vec![2, 20]]);
+    }
+
+    #[test]
+    fn overlay_prefix_participation_filters_without_leaf_merge() {
+        // An overlaid relation participating only at depth 0 (semijoin
+        // filter): the merged root applies, and no leaf merge runs.
+        let r = trie_of(&[(1, 10), (2, 20), (3, 30)]);
+        let f_base = trie_of(&[(2, 1), (9, 1)]);
+        // Filter root = ({2, 9} − {9}) ∪ {3} = {2, 3}.
+        let f_ov = Arc::new(DeltaOverlay::from_pairs(&[(3, 1)], &[(9, 1)]));
+        let spec = JoinSpec {
+            num_vars: 2,
+            sel: vec![None, None],
+            emit_depth: 2,
+            obs: None,
+            rels: vec![
+                PreparedRel { trie: r, overlay: None, depths: vec![0, 1] },
+                PreparedRel { trie: f_base, overlay: Some(f_ov), depths: vec![0] },
+            ],
+        };
+        assert_eq!(collect(&spec), vec![vec![2, 20], vec![3, 30]]);
     }
 
     #[test]
@@ -557,7 +854,7 @@ mod tests {
             sel: vec![None, None],
             emit_depth: 0,
             obs: None,
-            rels: vec![PreparedRel { trie: r, depths: vec![0, 1] }],
+            rels: vec![PreparedRel { trie: r, overlay: None, depths: vec![0, 1] }],
         };
         let out = collect(&spec);
         assert_eq!(out, vec![Vec::<u32>::new()]);

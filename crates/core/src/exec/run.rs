@@ -62,6 +62,7 @@ fn observe_join(
     vars: &[Var],
     sel: &[Option<u32>],
     emit_depth: usize,
+    overlay_rels: usize,
 ) -> Option<JoinObs> {
     let stats = stats?;
     let join = Arc::new(JoinStats::new(
@@ -69,6 +70,7 @@ fn observe_join(
         vars.iter().map(|&v| q.var_name(v).to_string()).collect(),
         sel.iter().map(|s| s.is_some()).collect(),
         emit_depth,
+        overlay_rels,
     ));
     stats.register(Arc::clone(&join));
     Some(JoinObs { stats: join, tasks: Arc::clone(&stats.observer) })
@@ -231,8 +233,9 @@ fn node_spec(
         .atoms
         .iter()
         .map(|ap| {
-            let trie = catalog.trie(&q.atoms()[ap.atom_index], ap.subject_first, auto_layout);
-            PreparedRel { trie, depths: ap.attrs.iter().map(|&v| depth_of(v)).collect() }
+            let (trie, overlay) =
+                catalog.relation(&q.atoms()[ap.atom_index], ap.subject_first, auto_layout);
+            PreparedRel { trie, overlay, depths: ap.attrs.iter().map(|&v| depth_of(v)).collect() }
         })
         .collect();
     rels.append(&mut extra);
@@ -242,7 +245,8 @@ fn node_spec(
         .map(|&v| q.selection(v).map(|c| c.expect("missing constants short-circuit earlier")))
         .collect();
     let emit_depth = node.output.iter().map(|v| depth_of(*v) + 1).max().unwrap_or(0);
-    let obs = observe_join(stats, q, label, &node.vars, &sel, emit_depth);
+    let overlay_rels = rels.iter().filter(|r| r.overlay.is_some()).count();
+    let obs = observe_join(stats, q, label, &node.vars, &sel, emit_depth, overlay_rels);
     JoinSpec { num_vars: node.vars.len(), sel, emit_depth, obs, rels }
 }
 
@@ -281,7 +285,7 @@ fn children_rels(
                 shared.iter().map(|v| child.attrs.iter().position(|w| w == v).unwrap()).collect();
             Arc::new(FrozenTrie::build(child.tuples.permute(&cols), layout_policy(auto_layout)))
         };
-        rels.push(PreparedRel { trie, depths });
+        rels.push(PreparedRel { trie, overlay: None, depths });
     }
     Some(rels)
 }
@@ -343,7 +347,7 @@ fn final_join(
                 Arc::new(FrozenTrie::from_sorted(r.tuples.clone(), layout_policy(auto_layout)));
             let depths =
                 r.attrs.iter().map(|v| join_vars.iter().position(|w| w == v).unwrap()).collect();
-            PreparedRel { trie, depths }
+            PreparedRel { trie, overlay: None, depths }
         })
         .collect();
     let proj_positions: Vec<usize> = q
@@ -355,7 +359,7 @@ fn final_join(
         .collect();
     let emit_depth = proj_positions.iter().map(|&p| p + 1).max().unwrap_or(0);
     let sel: Vec<Option<u32>> = vec![None; join_vars.len()];
-    let obs = observe_join(stats, q, "final join".to_string(), &join_vars, &sel, emit_depth);
+    let obs = observe_join(stats, q, "final join".to_string(), &join_vars, &sel, emit_depth, 0);
     let spec = JoinSpec { num_vars: join_vars.len(), sel, emit_depth, obs, rels };
     collect_rows(&spec, &proj_positions, rt)
 }
@@ -415,8 +419,11 @@ fn run_pipelined(
             Arc::new(FrozenTrie::from_sorted(child.tuples.clone(), layout_policy(auto_layout)));
         child_tries[c] = Some(Arc::clone(&trie));
         if !shared.is_empty() {
-            intermediates
-                .push(PreparedRel { trie, depths: shared.iter().map(|&v| depth_of(v)).collect() });
+            intermediates.push(PreparedRel {
+                trie,
+                overlay: None,
+                depths: shared.iter().map(|&v| depth_of(v)).collect(),
+            });
         }
     }
 

@@ -70,6 +70,17 @@ pub struct PlannerConfig {
     /// bit-identical results (the runtime merges morsel outputs in
     /// deterministic order).
     pub runtime: RuntimeConfig,
+    /// Compaction trigger, absolute arm: a predicate's staged delta is
+    /// folded into a fresh base table once it holds at least this many
+    /// pairs. `0` means the built-in default (see
+    /// [`PlannerConfig::compaction_min_staged`]).
+    pub compact_min_staged: u32,
+    /// Compaction trigger, relative arm: compact once the staged delta
+    /// reaches this percentage of the base table (whichever arm yields
+    /// the *larger* threshold wins, so big predicates aren't re-frozen
+    /// over trivial deltas). `0` means the built-in default (see
+    /// [`PlannerConfig::compaction_frac_pct`]).
+    pub compact_frac_pct: u32,
 }
 
 impl PlannerConfig {
@@ -80,6 +91,8 @@ impl PlannerConfig {
             force_single_node: false,
             selection_blind_order: false,
             runtime: RuntimeConfig::serial(),
+            compact_min_staged: 0,
+            compact_frac_pct: 0,
         }
     }
 
@@ -91,6 +104,8 @@ impl PlannerConfig {
             force_single_node: true,
             selection_blind_order: true,
             runtime: RuntimeConfig::serial(),
+            compact_min_staged: 0,
+            compact_frac_pct: 0,
         }
     }
 
@@ -105,6 +120,42 @@ impl PlannerConfig {
         self.runtime =
             RuntimeConfig::with_threads(num_threads).with_morsel_size(self.runtime.morsel_size);
         self
+    }
+
+    /// Override the compaction trigger: absolute staged-pair floor and
+    /// percentage of the base table (either `0` keeps its default).
+    pub fn with_compaction(mut self, min_staged: u32, frac_pct: u32) -> PlannerConfig {
+        self.compact_min_staged = min_staged;
+        self.compact_frac_pct = frac_pct;
+        self
+    }
+
+    /// Effective absolute compaction floor (field `compact_min_staged`,
+    /// defaulting to 4096 staged pairs when unset).
+    pub fn compaction_min_staged(&self) -> usize {
+        if self.compact_min_staged == 0 {
+            4096
+        } else {
+            self.compact_min_staged as usize
+        }
+    }
+
+    /// Effective relative compaction trigger in percent of the base table
+    /// (field `compact_frac_pct`, defaulting to 20 when unset).
+    pub fn compaction_frac_pct(&self) -> usize {
+        if self.compact_frac_pct == 0 {
+            20
+        } else {
+            self.compact_frac_pct as usize
+        }
+    }
+
+    /// The staged-pair count at which a predicate with `base_len` resident
+    /// pairs gets compacted: `max(absolute floor, frac% of base)`. The
+    /// `max` keeps update cost O(delta) on large predicates — a LUBM-scale
+    /// table is never re-frozen over a 100-triple batch.
+    pub fn compaction_threshold(&self, base_len: usize) -> usize {
+        self.compaction_min_staged().max(base_len * self.compaction_frac_pct() / 100)
     }
 }
 
@@ -140,5 +191,18 @@ mod tests {
         // The default configuration stays sequential: no behaviour change
         // for engines that never opt in.
         assert_eq!(PlannerConfig::default().runtime, RuntimeConfig::serial());
+    }
+
+    #[test]
+    fn compaction_knobs_default_and_override() {
+        let c = PlannerConfig::default();
+        assert_eq!(c.compaction_min_staged(), 4096);
+        assert_eq!(c.compaction_frac_pct(), 20);
+        // max(floor, frac%): small bases use the floor, huge bases scale.
+        assert_eq!(c.compaction_threshold(100), 4096);
+        assert_eq!(c.compaction_threshold(1_000_000), 200_000);
+        let c = c.with_compaction(8, 50);
+        assert_eq!(c.compaction_threshold(0), 8);
+        assert_eq!(c.compaction_threshold(100), 50);
     }
 }

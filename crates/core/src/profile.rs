@@ -51,6 +51,10 @@ pub(crate) struct JoinStats {
     /// Whether each depth is an equality selection.
     pub sel: Vec<bool>,
     pub emit_depth: usize,
+    /// How many of the join's relations carried an LSM novelty overlay
+    /// (staged, uncompacted deltas) when the spec was assembled. Fixed at
+    /// registration — schedule-invariant by construction.
+    pub overlay_rels: usize,
     depths: Vec<DepthStats>,
     rows: AtomicU64,
     wall_ns: AtomicU64,
@@ -58,13 +62,20 @@ pub(crate) struct JoinStats {
 }
 
 impl JoinStats {
-    pub fn new(label: String, vars: Vec<String>, sel: Vec<bool>, emit_depth: usize) -> JoinStats {
+    pub fn new(
+        label: String,
+        vars: Vec<String>,
+        sel: Vec<bool>,
+        emit_depth: usize,
+        overlay_rels: usize,
+    ) -> JoinStats {
         let n = vars.len();
         JoinStats {
             label,
             vars,
             sel,
             emit_depth,
+            overlay_rels,
             depths: (0..n).map(|_| DepthStats::default()).collect(),
             rows: AtomicU64::new(0),
             wall_ns: AtomicU64::new(0),
@@ -128,6 +139,7 @@ impl JoinStats {
         JoinProfile {
             label: self.label.clone(),
             emit_depth: self.emit_depth,
+            overlay_rels: self.overlay_rels as u64,
             rows: self.rows.load(Ordering::Relaxed),
             wall_ns: self.wall_ns.load(Ordering::Relaxed),
             morsels: self.morsels.load(Ordering::Relaxed),
@@ -283,6 +295,10 @@ pub struct JoinProfile {
     /// Depth at which the join emits (trailing depths are existence
     /// checks).
     pub emit_depth: usize,
+    /// Relations served through an LSM novelty overlay (base trie plus
+    /// staged delta) rather than a plain frozen arena. 0 on a fully
+    /// compacted catalog; schedule-invariant.
+    pub overlay_rels: u64,
     /// Rows this join emitted (pre-deduplication of the final buffer).
     pub rows: u64,
     /// Wall time of the join including sink merging (volatile).
@@ -371,6 +387,9 @@ impl QueryProfile {
                     );
                 }
             }
+            if j.overlay_rels > 0 {
+                let _ = writeln!(out, "    overlay rels: {}", j.overlay_rels);
+            }
             let _ = writeln!(out, "    rows emitted: {}", j.rows);
             let _ = writeln!(
                 out,
@@ -404,6 +423,7 @@ mod tests {
             vec!["x".into(), "y".into()],
             vec![false, true],
             2,
+            1,
         ));
         stats.register(Arc::clone(&j));
         j.note_multiway(0, Some(MultiwayKernel::WordAnd), 10, 1_000);
@@ -437,6 +457,9 @@ mod tests {
         }
         let stable: Vec<&str> = text.lines().filter(|l| !l.trim_start().starts_with('~')).collect();
         assert!(stable.iter().any(|l| l.contains("kernels {word_and: 1, probe_smallest: 1")));
+        // The overlay tally is fixed at registration, so it renders on a
+        // stable (unprefixed) line — and only when non-zero.
+        assert!(stable.iter().any(|l| l.contains("overlay rels: 1")), "{text}");
     }
 
     #[test]

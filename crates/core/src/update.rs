@@ -57,8 +57,14 @@ pub struct UpdateSummary {
     /// Predicates whose tables changed.
     pub changed_predicates: usize,
     /// Hot tries rebuilt eagerly after invalidation (previously cached
-    /// orders of the changed predicates).
+    /// orders of the changed predicates). Staged (overlay) updates leave
+    /// this at 0 — base tries survive; only compaction rebuilds.
     pub rebuilt_tries: usize,
+    /// Changed predicates whose deltas crossed the compaction threshold
+    /// and were folded into fresh base tables as part of this batch. The
+    /// remaining `changed_predicates - compacted_predicates` predicates
+    /// serve their novelty from the in-memory overlay.
+    pub compacted_predicates: usize,
     /// The catalog epoch after the batch. Unchanged when the batch was a
     /// no-op on table contents — no-ops don't invalidate anything.
     pub epoch: u64,

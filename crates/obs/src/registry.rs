@@ -1,7 +1,7 @@
 //! A registry of named metrics with Prometheus text-format exposition.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 use crate::histogram::{Histogram, NUM_BUCKETS};
 use crate::text::escape_label_value;
@@ -86,13 +86,19 @@ impl Registry {
             assert!(valid_name(k), "invalid label name {k:?}");
         }
         let key = label_key(labels);
+        // Both lock acquisitions recover from poisoning: a thread that
+        // panicked between registry calls (metric recording itself never
+        // holds this lock) leaves the map fully consistent — every
+        // mutation below is a single BTreeMap entry insertion — and the
+        // process-global registry especially must outlive any one
+        // panicking caller.
         // Fast path: already registered.
-        if let Some(fam) = self.families.read().unwrap().get(name) {
+        if let Some(fam) = self.families.read().unwrap_or_else(PoisonError::into_inner).get(name) {
             if let Some(metric) = fam.series.get(&key) {
                 return metric.clone();
             }
         }
-        let mut families = self.families.write().unwrap();
+        let mut families = self.families.write().unwrap_or_else(PoisonError::into_inner);
         let fam = families
             .entry(name.to_string())
             .or_insert_with(|| Family { help: help.to_string(), series: BTreeMap::new() });
@@ -150,7 +156,7 @@ impl Registry {
     /// `_sum` and `_count`). Families render in name order, series in
     /// label order — the output is deterministic for a fixed state.
     pub fn expose(&self) -> String {
-        let families = self.families.read().unwrap();
+        let families = self.families.read().unwrap_or_else(PoisonError::into_inner);
         let mut out = String::new();
         for (name, fam) in families.iter() {
             let kind = match fam.series.values().next() {
@@ -284,6 +290,27 @@ mod tests {
         assert!(text.contains("h_us_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("h_us_sum 103\n"));
         assert!(text.contains("h_us_count 2\n"));
+    }
+
+    #[test]
+    fn a_poisoned_registry_still_registers_and_exposes() {
+        let r = Registry::new();
+        r.counter("survivor_total", "registered before the panic").inc();
+        let r_ref = &r;
+        std::thread::scope(|scope| {
+            let victim = scope.spawn(move || {
+                let _guard = r_ref.families.write().unwrap();
+                panic!("scrape thread dies holding the registry");
+            });
+            assert!(victim.join().is_err());
+        });
+        // Lookup (read path), registration (write path), and exposition
+        // all keep working after the poisoning.
+        r.counter("survivor_total", "registered before the panic").inc();
+        r.counter("late_total", "registered after the panic").inc();
+        let text = r.expose();
+        assert!(text.contains("survivor_total 2"), "{text}");
+        assert!(text.contains("late_total 1"), "{text}");
     }
 
     #[test]

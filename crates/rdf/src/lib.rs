@@ -33,7 +33,7 @@ pub use ntriples::{parse_ntriples, write_ntriples, NtError};
 pub use snapshot::{
     FrozenTrieEntry, SnapshotError, StoreSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
-pub use store::{StoreStats, TripleStore, UpdateReport};
+pub use store::{PredDelta, StoreStats, TripleStore, UpdateReport};
 pub use term::Term;
 pub use triple::{EncodedTriple, Triple};
 pub use vp::PairTable;

@@ -17,22 +17,101 @@ use crate::vp::PairTable;
 /// tables. Read accessors panic on an uncommitted store to make misuse
 /// loud rather than subtly stale.
 ///
-/// A committed store can also be mutated in place:
-/// [`add_triples`](TripleStore::add_triples) and
-/// [`remove_triples`](TripleStore::remove_triples) merge a batch into the
-/// affected tables (through the same sort/dedup machinery) and report
-/// which predicates actually changed, so an index layer can invalidate
-/// only the tries those predicates back. Removal never shrinks the
-/// dictionary and leaves emptied tables in place — term keys stay stable
-/// for the lifetime of the store.
+/// A committed store can also be mutated in place, two ways:
+///
+/// * **Eagerly** — [`add_triples`](TripleStore::add_triples) and
+///   [`remove_triples`](TripleStore::remove_triples) merge a batch into
+///   the affected tables (through the same sort/dedup machinery). This
+///   pays a full table rebuild per changed predicate.
+/// * **Staged (LSM-style)** —
+///   [`stage_add_triples`](TripleStore::stage_add_triples) and
+///   [`stage_remove_triples`](TripleStore::stage_remove_triples) record
+///   the batch as a sorted per-predicate [`PredDelta`] (inserts +
+///   tombstones) in O(delta) without touching the base tables; a later
+///   [`compact_pred`](TripleStore::compact_pred) /
+///   [`compact_all`](TripleStore::compact_all) folds deltas into fresh
+///   tables off the hot path. Logical accessors ([`num_triples`],
+///   [`encoded_triples`], [`stats`]) always report the merged view;
+///   [`table`](TripleStore::table) exposes the frozen **base** only, with
+///   [`delta`](TripleStore::delta) carrying the rest.
+///
+/// Both ways report which predicates actually changed, so an index layer
+/// can invalidate only the tries those predicates back. Removal never
+/// shrinks the dictionary and leaves emptied tables in place — term keys
+/// stay stable for the lifetime of the store.
+///
+/// [`num_triples`]: TripleStore::num_triples
+/// [`encoded_triples`]: TripleStore::encoded_triples
+/// [`stats`]: TripleStore::stats
 #[derive(Debug, Default, Clone)]
 pub struct TripleStore {
     dict: Dictionary,
     tables: Vec<PairTable>,
     by_pred: HashMap<u32, usize>,
+    deltas: HashMap<u32, PredDelta>,
     pending: HashMap<u32, Vec<(u32, u32)>>,
     pending_names: Vec<(u32, String)>,
     n_pending: usize,
+}
+
+/// Staged, uncompacted mutations for one predicate: sorted insert pairs
+/// disjoint from the base table and sorted tombstone pairs resident in
+/// it. Both slices are subject-major `(s, o)`; consumers needing the
+/// object-major orientation permute and re-sort (deltas are small).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PredDelta {
+    ins: Vec<(u32, u32)>,
+    del: Vec<(u32, u32)>,
+}
+
+impl PredDelta {
+    /// Staged insert pairs, sorted `(s, o)`, none resident in the base.
+    pub fn ins_pairs(&self) -> &[(u32, u32)] {
+        &self.ins
+    }
+
+    /// Staged tombstone pairs, sorted `(s, o)`, all resident in the base.
+    pub fn del_pairs(&self) -> &[(u32, u32)] {
+        &self.del
+    }
+
+    /// Total staged pairs (inserts + tombstones).
+    pub fn len(&self) -> usize {
+        self.ins.len() + self.del.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.ins.is_empty() && self.del.is_empty()
+    }
+}
+
+/// Three-way linear merge `(base − del) ∪ ins` over sorted-unique pair
+/// slices — the compaction kernel, O(base + delta).
+fn merge_pairs(base: &[(u32, u32)], del: &[(u32, u32)], ins: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::with_capacity(base.len() + ins.len() - del.len().min(base.len()));
+    let mut di = del.iter().peekable();
+    let mut ii = ins.iter().peekable();
+    for &pair in base {
+        while di.next_if(|&&d| d < pair).is_some() {}
+        if di.next_if(|&&d| d == pair).is_some() {
+            continue;
+        }
+        while let Some(&&i) = ii.peek() {
+            if i < pair {
+                out.push(i);
+                ii.next();
+            } else {
+                break;
+            }
+        }
+        if ii.next_if(|&&i| i == pair).is_some() {
+            // Invariant says ins ∩ base = ∅; stay set-semantic anyway.
+        }
+        out.push(pair);
+    }
+    out.extend(ii.copied());
+    out
 }
 
 /// Summary statistics for a committed store.
@@ -103,6 +182,7 @@ impl TripleStore {
             dict: Dictionary::from_terms(terms),
             tables,
             by_pred,
+            deltas: HashMap::new(),
             pending: HashMap::new(),
             pending_names: Vec::new(),
             n_pending: 0,
@@ -138,6 +218,12 @@ impl TripleStore {
         let mut report = UpdateReport::default();
         if self.pending.is_empty() {
             return report;
+        }
+        // Eager merges rebuild base tables from their current contents;
+        // fold staged deltas in first so nothing is silently dropped or
+        // duplicated across the base/delta split.
+        if !self.deltas.is_empty() {
+            self.compact_all();
         }
         let names: HashMap<u32, String> = self.pending_names.drain(..).collect();
         let pending = std::mem::take(&mut self.pending);
@@ -201,6 +287,9 @@ impl TripleStore {
     /// Panics when called on an uncommitted store.
     pub fn remove_triples(&mut self, triples: impl IntoIterator<Item = Triple>) -> UpdateReport {
         self.assert_committed();
+        if !self.deltas.is_empty() {
+            self.compact_all();
+        }
         let mut victims: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
         for t in triples {
             let (Some(s), Some(p), Some(o)) =
@@ -234,6 +323,162 @@ impl TripleStore {
         }
         report.changed_preds.sort_unstable();
         report
+    }
+
+    /// Stage an insert batch as per-predicate deltas without rebuilding
+    /// any base table: O(delta) in the batch, not the predicate. New
+    /// terms grow the dictionary; a new predicate gets an empty base
+    /// table (so its key is stable) with the pairs staged as inserts.
+    /// Inserting a tombstoned pair cancels the tombstone; inserting a
+    /// resident or already-staged pair is a no-op. The report counts real
+    /// logical change only, exactly like [`add_triples`].
+    ///
+    /// [`add_triples`]: TripleStore::add_triples
+    ///
+    /// # Panics
+    /// Panics when called on an uncommitted store.
+    pub fn stage_add_triples(&mut self, triples: impl IntoIterator<Item = Triple>) -> UpdateReport {
+        self.assert_committed();
+        let mut report = UpdateReport::default();
+        for t in triples {
+            let s = self.dict.encode(&t.s);
+            let p = self.dict.encode(&t.p);
+            let o = self.dict.encode(&t.o);
+            let idx = match self.by_pred.get(&p) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = self.tables.len();
+                    self.tables.push(PairTable::build(t.p.as_str().to_string(), p, Vec::new()));
+                    self.by_pred.insert(p, idx);
+                    idx
+                }
+            };
+            let pair = (s, o);
+            let d = self.deltas.entry(p).or_default();
+            if let Ok(at) = d.del.binary_search(&pair) {
+                d.del.remove(at); // insert cancels the tombstone
+            } else if self.tables[idx].contains(s, o) || d.ins.binary_search(&pair).is_ok() {
+                continue;
+            } else if let Err(at) = d.ins.binary_search(&pair) {
+                d.ins.insert(at, pair);
+            }
+            report.added += 1;
+            report.changed_preds.push(p);
+        }
+        self.finish_staging(&mut report);
+        report
+    }
+
+    /// Stage a delete batch as per-predicate tombstones without
+    /// rebuilding any base table: O(delta) in the batch. Deleting a
+    /// staged insert cancels it; deleting an absent pair (or a triple
+    /// naming unknown terms) is a no-op. The report counts real logical
+    /// change only, exactly like [`remove_triples`].
+    ///
+    /// [`remove_triples`]: TripleStore::remove_triples
+    ///
+    /// # Panics
+    /// Panics when called on an uncommitted store.
+    pub fn stage_remove_triples(
+        &mut self,
+        triples: impl IntoIterator<Item = Triple>,
+    ) -> UpdateReport {
+        self.assert_committed();
+        let mut report = UpdateReport::default();
+        for t in triples {
+            let (Some(s), Some(p), Some(o)) =
+                (self.dict.lookup(&t.s), self.dict.lookup(&t.p), self.dict.lookup(&t.o))
+            else {
+                continue;
+            };
+            let Some(&idx) = self.by_pred.get(&p) else {
+                continue;
+            };
+            let pair = (s, o);
+            let d = self.deltas.entry(p).or_default();
+            if let Ok(at) = d.ins.binary_search(&pair) {
+                d.ins.remove(at); // delete cancels the staged insert
+            } else if self.tables[idx].contains(s, o) {
+                match d.del.binary_search(&pair) {
+                    Ok(_) => continue, // already tombstoned
+                    Err(at) => d.del.insert(at, pair),
+                }
+            } else {
+                continue;
+            }
+            report.removed += 1;
+            report.changed_preds.push(p);
+        }
+        self.finish_staging(&mut report);
+        report
+    }
+
+    /// Drop delta entries that cancelled out to nothing and canonicalise
+    /// the report.
+    fn finish_staging(&mut self, report: &mut UpdateReport) {
+        self.deltas.retain(|_, d| !d.is_empty());
+        report.changed_preds.sort_unstable();
+        report.changed_preds.dedup();
+    }
+
+    /// The staged delta for a predicate, if any mutation is pending
+    /// compaction.
+    pub fn delta(&self, pred: u32) -> Option<&PredDelta> {
+        self.deltas.get(&pred)
+    }
+
+    /// Staged pairs (inserts + tombstones) for one predicate.
+    pub fn delta_len(&self, pred: u32) -> usize {
+        self.deltas.get(&pred).map_or(0, PredDelta::len)
+    }
+
+    /// True when any predicate has staged deltas.
+    pub fn has_deltas(&self) -> bool {
+        !self.deltas.is_empty()
+    }
+
+    /// Total staged pairs across all predicates (the overlay's memory
+    /// bound, up to constant factors).
+    pub fn staged_pairs(&self) -> usize {
+        self.deltas.values().map(PredDelta::len).sum()
+    }
+
+    /// Predicates with staged deltas, sorted ascending.
+    pub fn delta_preds(&self) -> Vec<u32> {
+        let mut preds: Vec<u32> = self.deltas.keys().copied().collect();
+        preds.sort_unstable();
+        preds
+    }
+
+    /// Fold one predicate's staged delta into a fresh base table (one
+    /// linear three-way merge per sort order). Returns whether a delta
+    /// was present. Logical contents are unchanged — compaction only
+    /// moves pairs across the base/delta split.
+    pub fn compact_pred(&mut self, pred: u32) -> bool {
+        let Some(d) = self.deltas.remove(&pred) else {
+            return false;
+        };
+        let idx = self.by_pred[&pred];
+        let old = &self.tables[idx];
+        let so = merge_pairs(old.so_pairs(), &d.del, &d.ins);
+        let permute_sort = |pairs: &[(u32, u32)]| {
+            let mut v: Vec<(u32, u32)> = pairs.iter().map(|&(s, o)| (o, s)).collect();
+            v.sort_unstable();
+            v
+        };
+        let os = merge_pairs(old.os_pairs(), &permute_sort(&d.del), &permute_sort(&d.ins));
+        self.tables[idx] = PairTable::from_sorted_parts(old.name().to_string(), pred, so, os);
+        true
+    }
+
+    /// Fold every staged delta into its base table, returning the
+    /// compacted predicate keys sorted ascending.
+    pub fn compact_all(&mut self) -> Vec<u32> {
+        let preds = self.delta_preds();
+        for &p in &preds {
+            self.compact_pred(p);
+        }
+        preds
     }
 
     fn assert_committed(&self) {
@@ -277,18 +522,31 @@ impl TripleStore {
         &self.tables
     }
 
-    /// Total distinct triples.
+    /// Total distinct triples in the **logical** (delta-merged) view.
     pub fn num_triples(&self) -> usize {
         self.assert_committed();
-        self.tables.iter().map(|t| t.len()).sum()
+        self.tables
+            .iter()
+            .map(|t| {
+                let (ins, del) =
+                    self.deltas.get(&t.pred()).map_or((0, 0), |d| (d.ins.len(), d.del.len()));
+                t.len() + ins - del
+            })
+            .sum()
     }
 
-    /// Iterate every triple in encoded form (predicate-major order).
+    /// Iterate every triple of the **logical** (delta-merged) view in
+    /// encoded form, predicate-major order. Tables with staged deltas pay
+    /// one merge allocation; untouched tables stream their base pairs.
     pub fn encoded_triples(&self) -> impl Iterator<Item = EncodedTriple> + '_ {
         self.assert_committed();
-        self.tables.iter().flat_map(|t| {
+        self.tables.iter().flat_map(move |t| {
             let p = t.pred();
-            t.so_pairs().iter().map(move |&(s, o)| EncodedTriple { s, p, o })
+            let pairs: Box<dyn Iterator<Item = (u32, u32)> + '_> = match self.deltas.get(&p) {
+                None => Box::new(t.so_pairs().iter().copied()),
+                Some(d) => Box::new(merge_pairs(t.so_pairs(), &d.del, &d.ins).into_iter()),
+            };
+            pairs.map(move |(s, o)| EncodedTriple { s, p, o })
         })
     }
 
@@ -314,7 +572,22 @@ impl TripleStore {
 impl TripleStore {
     #[doc(hidden)]
     pub fn __invariant_check(&self) -> bool {
-        self.tables.len() == self.by_pred.len()
+        if self.tables.len() != self.by_pred.len() {
+            return false;
+        }
+        // Staged deltas: sorted-unique, anchored to a real table, with
+        // del ⊆ base and ins ∩ base = ∅ (and therefore non-empty).
+        self.deltas.iter().all(|(&p, d)| {
+            let Some(&idx) = self.by_pred.get(&p) else {
+                return false;
+            };
+            let t = &self.tables[idx];
+            !d.is_empty()
+                && d.ins.windows(2).all(|w| w[0] < w[1])
+                && d.del.windows(2).all(|w| w[0] < w[1])
+                && d.del.iter().all(|&(s, o)| t.contains(s, o))
+                && d.ins.iter().all(|&(s, o)| !t.contains(s, o))
+        })
     }
 }
 
@@ -445,6 +718,117 @@ mod tests {
         let mut a = UpdateReport { added: 1, removed: 0, changed_preds: vec![1, 3] };
         a.merge(UpdateReport { added: 2, removed: 4, changed_preds: vec![2, 3] });
         assert_eq!(a, UpdateReport { added: 3, removed: 4, changed_preds: vec![1, 2, 3] });
+    }
+
+    #[test]
+    fn staging_reports_real_change_and_leaves_base_tables_alone() {
+        let mut store = TripleStore::from_triples(vec![t("a", "p", "b"), t("c", "p", "d")]);
+        let p = store.resolve_iri("p").unwrap();
+        let report = store.stage_add_triples(vec![
+            t("a", "p", "b"), // resident: no-op
+            t("x", "p", "y"), // new pair
+            t("m", "q", "n"), // brand-new predicate
+        ]);
+        let q = store.resolve_iri("q").unwrap();
+        assert_eq!(report.added, 2);
+        assert_eq!(report.changed_preds, {
+            let mut v = vec![p, q];
+            v.sort_unstable();
+            v
+        });
+        // Base tables untouched; logical view merged.
+        assert_eq!(store.table(p).unwrap().len(), 2);
+        assert!(store.table(q).unwrap().is_empty());
+        assert_eq!(store.num_triples(), 4);
+        assert_eq!(store.delta_len(p), 1);
+        assert_eq!(store.staged_pairs(), 2);
+        assert!(store.has_deltas());
+        assert!(store.__invariant_check());
+
+        let report = store.stage_remove_triples(vec![
+            t("a", "p", "b"), // resident: tombstone
+            t("x", "p", "y"), // staged insert: cancels
+            t("z", "p", "z"), // absent: no-op
+        ]);
+        assert_eq!(report.removed, 2);
+        assert_eq!(report.changed_preds, vec![p]);
+        assert_eq!(store.num_triples(), 2);
+        assert_eq!(store.delta(p).unwrap().del_pairs().len(), 1);
+        assert!(store.delta(p).unwrap().ins_pairs().is_empty());
+        assert!(store.__invariant_check());
+
+        // Re-inserting the tombstoned pair cancels the tombstone and the
+        // delta evaporates entirely.
+        let report = store.stage_add_triples(vec![t("a", "p", "b")]);
+        assert_eq!(report.added, 1);
+        assert!(store.delta(p).is_none());
+        assert_eq!(store.delta_preds(), vec![q]);
+        assert_eq!(store.num_triples(), 3);
+    }
+
+    #[test]
+    fn staged_noops_report_empty() {
+        let mut store = TripleStore::from_triples(vec![t("a", "p", "b")]);
+        let report = store.stage_add_triples(vec![t("a", "p", "b")]);
+        assert!(report.is_empty());
+        let report = store.stage_remove_triples(vec![t("z", "p", "z"), t("a", "nosuch", "b")]);
+        assert!(report.is_empty());
+        assert!(!store.has_deltas());
+    }
+
+    #[test]
+    fn compaction_preserves_logical_contents() {
+        let mut store =
+            TripleStore::from_triples(vec![t("a", "p", "b"), t("c", "p", "d"), t("e", "q", "f")]);
+        let p = store.resolve_iri("p").unwrap();
+        store.stage_add_triples(vec![t("x", "p", "y"), t("g", "q", "h")]);
+        store.stage_remove_triples(vec![t("c", "p", "d")]);
+        let logical: Vec<_> = store.encoded_triples().collect();
+        let compacted = store.compact_all();
+        assert_eq!(compacted.len(), 2);
+        assert!(compacted.contains(&p));
+        assert!(!store.has_deltas());
+        let after: Vec<_> = store.encoded_triples().collect();
+        assert_eq!(logical, after);
+        // Compacted tables are fully coherent (os order included).
+        let table = store.table(p).unwrap();
+        assert_eq!(table.len(), 2);
+        let y = store.resolve_iri("y").unwrap();
+        assert_eq!(table.pairs_for_object(y).len(), 1);
+        assert!(store.__invariant_check());
+    }
+
+    #[test]
+    fn eager_paths_fold_staged_deltas_first() {
+        let mut store = TripleStore::from_triples(vec![t("a", "p", "b")]);
+        store.stage_add_triples(vec![t("x", "p", "y")]);
+        // Eager add compacts first, then merges — nothing lost, no dups.
+        let report = store.add_triples(vec![t("x", "p", "y"), t("c", "p", "d")]);
+        assert_eq!(report.added, 1);
+        assert!(!store.has_deltas());
+        assert_eq!(store.num_triples(), 3);
+
+        store.stage_remove_triples(vec![t("a", "p", "b")]);
+        let report = store.remove_triples(vec![t("c", "p", "d")]);
+        assert_eq!(report.removed, 1);
+        assert!(!store.has_deltas());
+        assert_eq!(store.num_triples(), 1);
+        assert!(store
+            .table_by_name("p")
+            .unwrap()
+            .contains(store.resolve_iri("x").unwrap(), store.resolve_iri("y").unwrap()));
+    }
+
+    #[test]
+    fn staged_store_clones_carry_their_deltas() {
+        let mut store = TripleStore::from_triples(vec![t("a", "p", "b")]);
+        store.stage_add_triples(vec![t("x", "p", "y")]);
+        let clone = store.clone();
+        assert_eq!(clone.staged_pairs(), 1);
+        assert_eq!(
+            clone.encoded_triples().collect::<Vec<_>>(),
+            store.encoded_triples().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use simd::{
     intersect_merge_v_with, simd_level, SimdLevel,
 };
 pub use uint::UintSet;
-pub use union::{difference, union};
+pub use union::{difference, overlay_merge_into, union};
 pub use view::{
     decode_set, encode_set_into, encode_sorted_into, validate_encoded_set, BitsRef, SetRef,
     SetRefIter, TAG_BITSET, TAG_UINT,

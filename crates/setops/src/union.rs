@@ -5,6 +5,7 @@
 use crate::bitset::BitSet;
 use crate::set::Set;
 use crate::uint::UintSet;
+use crate::view::{SetRef, SetRefIter};
 
 /// Union of two sets. The result re-runs the layout optimizer, since a
 /// union can push a sparse pair over the bitset density threshold.
@@ -95,6 +96,71 @@ fn union_bitset(a: &BitSet, b: &BitSet) -> BitSet {
     BitSet::from_sorted(&vals)
 }
 
+/// Merge an LSM-style delta over a base view: `(base − del) ∪ ins`,
+/// appended to `out` in sorted order. Any operand may be absent (treated
+/// as empty) and each may be either layout. The pass is one linear
+/// three-way merge over the borrowed views — no intermediate `Set` is
+/// materialised, which is what lets the join executor assemble a
+/// delta-patched trie level straight into a reusable buffer.
+///
+/// Tombstones (`del`) are expected to be a subset of `base`; a tombstone
+/// for an absent value simply matches nothing.
+pub fn overlay_merge_into(
+    base: Option<SetRef<'_>>,
+    del: Option<SetRef<'_>>,
+    ins: Option<SetRef<'_>>,
+    out: &mut Vec<u32>,
+) {
+    fn next(it: &mut Option<SetRefIter<'_>>) -> Option<u32> {
+        it.as_mut().and_then(|i| i.next())
+    }
+    let mut bi = base.map(|s| s.iter());
+    let mut di = del.map(|s| s.iter());
+    let mut ii = ins.map(|s| s.iter());
+    let mut bv = next(&mut bi);
+    let mut dv = next(&mut di);
+    let mut iv = next(&mut ii);
+    loop {
+        // Advance the base cursor past tombstoned values.
+        while let (Some(b), Some(d)) = (bv, dv) {
+            match d.cmp(&b) {
+                std::cmp::Ordering::Less => dv = next(&mut di),
+                std::cmp::Ordering::Equal => {
+                    dv = next(&mut di);
+                    bv = next(&mut bi);
+                }
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+        match (bv, iv) {
+            (None, None) => break,
+            (Some(b), None) => {
+                out.push(b);
+                bv = next(&mut bi);
+            }
+            (None, Some(x)) => {
+                out.push(x);
+                iv = next(&mut ii);
+            }
+            (Some(b), Some(x)) => match b.cmp(&x) {
+                std::cmp::Ordering::Less => {
+                    out.push(b);
+                    bv = next(&mut bi);
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(x);
+                    iv = next(&mut ii);
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(b);
+                    bv = next(&mut bi);
+                    iv = next(&mut ii);
+                }
+            },
+        }
+    }
+}
+
 /// Difference `a \ b`: elements of `a` not in `b`. The result keeps the
 /// uint layout (differences shrink sets, so density rarely pays) and is
 /// re-optimized by the caller if needed.
@@ -161,5 +227,52 @@ mod tests {
         let a = Set::from_sorted(&[1, 2, 3]);
         assert_eq!(difference(&a, &Set::default()).to_vec(), vec![1, 2, 3]);
         assert!(difference(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn overlay_merge_across_layouts() {
+        for base in layouts(&[1, 3, 64, 65, 200]) {
+            for del in layouts(&[3, 200]) {
+                for ins in layouts(&[2, 64, 300]) {
+                    let mut out = Vec::new();
+                    overlay_merge_into(
+                        Some(base.as_ref()),
+                        Some(del.as_ref()),
+                        Some(ins.as_ref()),
+                        &mut out,
+                    );
+                    // 64 appears in both base and ins: emitted once.
+                    assert_eq!(out, vec![1, 2, 64, 65, 300]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_merge_with_absent_operands() {
+        let base = Set::from_sorted(&[5, 9]);
+        let ins = Set::from_sorted(&[1, 9, 12]);
+        let del = Set::from_sorted(&[9]);
+        let mut out = Vec::new();
+        overlay_merge_into(Some(base.as_ref()), None, None, &mut out);
+        assert_eq!(out, vec![5, 9]);
+        out.clear();
+        overlay_merge_into(None, None, Some(ins.as_ref()), &mut out);
+        assert_eq!(out, vec![1, 9, 12]);
+        out.clear();
+        overlay_merge_into(Some(base.as_ref()), Some(del.as_ref()), Some(ins.as_ref()), &mut out);
+        assert_eq!(out, vec![1, 5, 9, 12]);
+        out.clear();
+        // A tombstone for an absent value matches nothing.
+        overlay_merge_into(
+            Some(base.as_ref()),
+            Some(Set::from_sorted(&[7]).as_ref()),
+            None,
+            &mut out,
+        );
+        assert_eq!(out, vec![5, 9]);
+        out.clear();
+        overlay_merge_into(None, Some(del.as_ref()), None, &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -6,7 +6,7 @@
 //! at construction; the hot recording paths touch only relaxed atomics.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use eh_obs::{Counter, Gauge, Histogram, Registry};
 
@@ -22,6 +22,7 @@ const REQUEST_LABELS: &[&str] = &[
     "insert",
     "delete",
     "apply",
+    "compact",
     "stats",
     "invalidate",
     "save",
@@ -37,6 +38,7 @@ pub(crate) struct ServiceMetrics {
     requests_by_verb: Vec<(&'static str, Arc<Counter>)>,
     pub query_latency_us: Arc<Histogram>,
     pub update_apply_latency_us: Arc<Histogram>,
+    pub compaction_pause_us: Arc<Histogram>,
     pub plan_cache_hits: Arc<Counter>,
     pub plan_cache_misses: Arc<Counter>,
     pub result_cache_hits: Arc<Counter>,
@@ -44,12 +46,15 @@ pub(crate) struct ServiceMetrics {
     pub triples_inserted: Arc<Counter>,
     pub triples_deleted: Arc<Counter>,
     pub updates_applied: Arc<Counter>,
+    pub updates_noop: Arc<Counter>,
+    pub compactions: Arc<Counter>,
     pub slow_queries: Arc<Counter>,
     pub active_sessions: Arc<Gauge>,
     pub result_cache_bytes: Arc<Gauge>,
     pub result_cache_entries: Arc<Gauge>,
     pub plan_cache_entries: Arc<Gauge>,
     pub epoch: Arc<Gauge>,
+    pub staged_pairs: Arc<Gauge>,
     /// Ring of recent slow queries: `"<millis> ms: <sparql>"`.
     slow_log: Mutex<VecDeque<String>>,
 }
@@ -76,7 +81,11 @@ impl ServiceMetrics {
             ),
             update_apply_latency_us: registry.histogram(
                 "eh_update_apply_latency_us",
-                "APPLY batch latency (store mutation, trie rebuild, cache retirement) in microseconds",
+                "APPLY batch latency (delta staging, overlay refresh, cache retirement) in microseconds",
+            ),
+            compaction_pause_us: registry.histogram(
+                "eh_compaction_pause_us",
+                "COMPACT pause (folding staged deltas into fresh base tables) in microseconds",
             ),
             plan_cache_hits: registry
                 .counter("eh_plan_cache_hits_total", "Plan-cache hits"),
@@ -99,7 +108,15 @@ impl ServiceMetrics {
                 "Triples actually deleted across applied batches",
             ),
             updates_applied: registry
-                .counter("eh_updates_applied_total", "Update batches applied (including no-ops)"),
+                .counter("eh_updates_applied_total", "Update batches that actually changed data"),
+            updates_noop: registry.counter(
+                "eh_updates_noop_total",
+                "Update batches that changed nothing (counted apart from applied batches)",
+            ),
+            compactions: registry.counter(
+                "eh_compactions_total",
+                "Predicates whose staged deltas were folded into fresh base tables",
+            ),
             slow_queries: registry.counter(
                 "eh_slow_queries_total",
                 "Queries slower than the configured slow-query threshold",
@@ -113,6 +130,10 @@ impl ServiceMetrics {
             plan_cache_entries: registry
                 .gauge("eh_plan_cache_entries", "Plans currently cached"),
             epoch: registry.gauge("eh_catalog_epoch", "Current catalog epoch"),
+            staged_pairs: registry.gauge(
+                "eh_staged_pairs",
+                "Delta pairs (inserts + tombstones) resident in novelty overlays",
+            ),
             slow_log: Mutex::new(VecDeque::new()),
             registry,
         }
@@ -135,7 +156,10 @@ impl ServiceMetrics {
     /// the counter.
     pub fn note_slow_query(&self, millis: u64, text: &str) {
         self.slow_queries.inc();
-        let mut log = self.slow_log.lock().expect("slow log poisoned");
+        // Recover the ring from poisoning: a session that panicked while
+        // appending leaves at worst one missing entry, and the log must
+        // keep accepting entries after one bad query.
+        let mut log = self.slow_log.lock().unwrap_or_else(PoisonError::into_inner);
         if log.len() >= SLOW_LOG_CAPACITY {
             log.pop_front();
         }
@@ -144,11 +168,36 @@ impl ServiceMetrics {
 
     /// Recent slow queries, oldest first.
     pub fn slow_log(&self) -> Vec<String> {
-        self.slow_log.lock().expect("slow log poisoned").iter().cloned().collect()
+        self.slow_log.lock().unwrap_or_else(PoisonError::into_inner).iter().cloned().collect()
     }
 
     /// Render the full exposition (Prometheus text format).
     pub fn expose(&self) -> String {
         self.registry.expose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_query_ring_survives_a_poisoning_panic() {
+        let m = ServiceMetrics::new();
+        m.note_slow_query(5, "before the crash");
+        let m_ref = &m;
+        std::thread::scope(|scope| {
+            let victim = scope.spawn(move || {
+                let _guard = m_ref.slow_log.lock().unwrap();
+                panic!("session dies holding the slow-query ring");
+            });
+            assert!(victim.join().is_err());
+        });
+        // The ring keeps recording and reading after the poisoning.
+        m.note_slow_query(7, "after the crash");
+        let log = m.slow_log();
+        assert_eq!(log.len(), 2, "{log:?}");
+        assert!(log[1].contains("after the crash"), "{log:?}");
+        assert_eq!(m.slow_queries.get(), 2);
     }
 }

@@ -12,8 +12,9 @@
 //! | `METRICS` | `OK METRICS` then the Prometheus text-format exposition, then `END` |
 //! | `INSERT <s> <p> <o> .` | `OK pending inserts=<n> deletes=<n>` (staged, N-Triples term syntax) |
 //! | `DELETE <s> <p> <o> .` | `OK pending inserts=<n> deletes=<n>` (staged) |
-//! | `APPLY` | `OK applied inserted=<n> deleted=<n> predicates=<n> epoch=<n>` (staged batch applied atomically) |
-//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> inserted=<n> deleted=<n> query_p50_us=<n> query_p99_us=<n>` |
+//! | `APPLY` | `OK applied inserted=<n> deleted=<n> predicates=<n> compacted=<n> epoch=<n>` (staged batch applied atomically) |
+//! | `COMPACT` | `OK compacted predicates=<n> rebuilt=<n> epoch=<n>` (staged deltas folded into fresh base tables) |
+//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> updates_noop=<n> inserted=<n> deleted=<n> staged=<n> query_p50_us=<n> query_p99_us=<n>` |
 //! | `INVALIDATE` | `OK epoch=<n>` (caches dropped, catalog epoch advanced) |
 //! | `SAVE <path>` | `OK saved bytes=<n> triples=<n>` (snapshot written server-side; restart with `--snapshot <path>`) |
 //! | `QUIT` | `OK bye`, then the connection closes |
@@ -39,6 +40,13 @@
 //! The applied counts reflect real change: inserting a resident triple or
 //! deleting an absent one counts zero and a fully no-op batch does not
 //! advance the epoch.
+//!
+//! An applied batch stages its triples into per-predicate delta overlays
+//! (cost proportional to the batch, not the predicate); `compacted=` in
+//! the reply counts predicates whose overlays crossed the compaction
+//! threshold and were folded inline. `COMPACT` folds everything staged on
+//! demand — `STATS`' `staged=` gauge shows how many delta pairs are
+//! resident and therefore what a `COMPACT` would reclaim.
 //!
 //! Responses are deterministic bytes: a `QUERY` answer is a pure function
 //! of the store contents and the query text, whether it came from cache
@@ -94,6 +102,7 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
             "INSERT",
             "DELETE",
             "APPLY",
+            "COMPACT",
             "STATS",
             "INVALIDATE",
             "SAVE",
@@ -167,8 +176,15 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
             let batch = std::mem::take(&mut session.pending);
             let s = service.update(batch);
             format!(
-                "OK applied inserted={} deleted={} predicates={} epoch={}\n",
-                s.inserted, s.deleted, s.changed_predicates, s.epoch
+                "OK applied inserted={} deleted={} predicates={} compacted={} epoch={}\n",
+                s.inserted, s.deleted, s.changed_predicates, s.compacted_predicates, s.epoch
+            )
+        }
+        "COMPACT" => {
+            let s = service.compact();
+            format!(
+                "OK compacted predicates={} rebuilt={} epoch={}\n",
+                s.compacted_predicates, s.rebuilt_tries, s.epoch
             )
         }
         "STATS" => {
@@ -176,7 +192,8 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
             format!(
                 "OK plan_hits={} plan_misses={} result_hits={} result_misses={} \
                  plan_entries={} cache_entries={} cache_bytes={} epoch={} \
-                 updates={} inserted={} deleted={} query_p50_us={} query_p99_us={}\n",
+                 updates={} updates_noop={} inserted={} deleted={} staged={} \
+                 query_p50_us={} query_p99_us={}\n",
                 s.plan_hits,
                 s.plan_misses,
                 s.result_hits,
@@ -186,8 +203,10 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
                 s.result_cache_bytes,
                 s.epoch,
                 s.updates_applied,
+                s.updates_noop,
                 s.triples_inserted,
                 s.triples_deleted,
+                s.staged_pairs,
                 s.query_p50_us,
                 s.query_p99_us
             )
@@ -204,7 +223,7 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
         "" => "ERR empty request\n".to_string(),
         other => format!(
             "ERR unknown command '{other}' \
-             (try QUERY/PROFILE/METRICS/INSERT/DELETE/APPLY/STATS/INVALIDATE/SAVE/QUIT)\n"
+             (try QUERY/PROFILE/METRICS/INSERT/DELETE/APPLY/COMPACT/STATS/INVALIDATE/SAVE/QUIT)\n"
         ),
     }
 }
@@ -312,7 +331,7 @@ pub fn serve(service: &QueryService, listener: TcpListener, shutdown: &AtomicBoo
                     if service.metrics_on() {
                         service.metrics().active_sessions.dec();
                     }
-                    sessions.lock().expect("session registry poisoned").remove(&id);
+                    sessions.lock().unwrap_or_else(std::sync::PoisonError::into_inner).remove(&id);
                 }
             });
         }
@@ -329,7 +348,7 @@ pub fn serve(service: &QueryService, listener: TcpListener, shutdown: &AtomicBoo
                         Ok(handle) => {
                             sessions
                                 .lock()
-                                .expect("session registry poisoned")
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
                                 .insert(next_id, handle);
                             queue.push((next_id, stream));
                             next_id += 1;
@@ -349,7 +368,7 @@ pub fn serve(service: &QueryService, listener: TcpListener, shutdown: &AtomicBoo
         // Wake workers parked in read_line on idle sessions: closing the
         // read side delivers EOF without cutting off a response that is
         // still being written.
-        for stream in sessions.lock().expect("session registry poisoned").values() {
+        for stream in sessions.lock().unwrap_or_else(std::sync::PoisonError::into_inner).values() {
             let _ = stream.shutdown(std::net::Shutdown::Read);
         }
     });
@@ -469,7 +488,7 @@ mod tests {
         assert_eq!(unchanged, before);
 
         let r = respond_in_session(&svc, &mut session, "APPLY");
-        assert_eq!(r, "OK applied inserted=1 deleted=1 predicates=1 epoch=1\n");
+        assert_eq!(r, "OK applied inserted=1 deleted=1 predicates=1 compacted=0 epoch=1\n");
         assert_eq!(session.pending_ops(), 0);
         let after =
             respond_in_session(&svc, &mut session, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
@@ -478,11 +497,27 @@ mod tests {
         // Malformed and empty stagings answer ERR without side effects.
         assert!(respond_in_session(&svc, &mut session, "INSERT <a> <b>").starts_with("ERR "));
         assert!(respond_in_session(&svc, &mut session, "INSERT").starts_with("ERR "));
-        // An empty APPLY is a no-op: nothing changed, epoch stays.
+        // An empty APPLY is a no-op: nothing changed, epoch stays, and it
+        // lands in the updates_noop series, not the applied counter.
         let r = respond_in_session(&svc, &mut session, "APPLY");
-        assert_eq!(r, "OK applied inserted=0 deleted=0 predicates=0 epoch=1\n");
+        assert_eq!(r, "OK applied inserted=0 deleted=0 predicates=0 compacted=0 epoch=1\n");
         let stats = respond_in_session(&svc, &mut session, "STATS");
-        assert!(stats.contains("updates=2 inserted=1 deleted=1"), "{stats}");
+        assert!(stats.contains("updates=1 updates_noop=1 inserted=1 deleted=1"), "{stats}");
+
+        // The applied batch staged its triples as overlay deltas (visible
+        // in STATS) and an explicit COMPACT folds them into the base,
+        // advancing the epoch; a second COMPACT has nothing to fold.
+        assert!(stats.contains("staged=2"), "{stats}");
+        let r = respond_in_session(&svc, &mut session, "COMPACT");
+        assert!(r.starts_with("OK compacted predicates=1 rebuilt="), "{r}");
+        assert!(r.ends_with("epoch=2\n"), "{r}");
+        let stats = respond_in_session(&svc, &mut session, "STATS");
+        assert!(stats.contains("staged=0"), "{stats}");
+        let r = respond_in_session(&svc, &mut session, "COMPACT");
+        assert_eq!(r, "OK compacted predicates=0 rebuilt=0 epoch=2\n");
+        // Query answers are unchanged by compaction.
+        let post = respond_in_session(&svc, &mut session, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        assert_eq!(post, "OK 2 x y\n<b>\t<c>\n<c>\t<d>\nEND\n");
     }
 
     #[test]
@@ -639,7 +674,10 @@ mod tests {
             assert!(writer.send("INSERT <c> <p> <d> .").unwrap().starts_with("OK pending"));
             assert!(writer.send("DELETE <b> <p> <c> .").unwrap().starts_with("OK pending"));
             let applied = writer.send("APPLY").unwrap();
-            assert_eq!(applied, "OK applied inserted=1 deleted=1 predicates=1 epoch=1\n");
+            assert_eq!(
+                applied,
+                "OK applied inserted=1 deleted=1 predicates=1 compacted=0 epoch=1\n"
+            );
 
             // Both connections now see the post-update rows, and the bytes
             // equal a cold service built directly over the new contents.

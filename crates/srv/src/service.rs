@@ -1,7 +1,7 @@
 //! The query service: one shared engine, two caches, many callers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 use eh_query::{canonicalize, parse_sparql, CanonicalQuery, ConjunctiveQuery};
@@ -113,8 +113,17 @@ pub struct ServiceStats {
     pub result_cache_entries: u64,
     /// Current catalog epoch.
     pub epoch: u64,
-    /// Update batches applied (including no-op batches).
+    /// Update batches that actually changed data. No-op batches are
+    /// counted separately in [`ServiceStats::updates_noop`], so apply
+    /// latency percentiles and throughput math describe real work.
     pub updates_applied: u64,
+    /// Update batches that changed nothing (every insert already
+    /// resident, every delete already absent).
+    pub updates_noop: u64,
+    /// Delta pairs (staged inserts + tombstones) currently resident in
+    /// the store's novelty overlays, awaiting compaction. Bounds the
+    /// overlay memory the write path has deferred.
+    pub staged_pairs: u64,
     /// Triples actually inserted across all applied batches.
     pub triples_inserted: u64,
     /// Triples actually deleted across all applied batches.
@@ -218,6 +227,10 @@ pub struct Answer {
 pub struct QueryService {
     engine: Engine,
     config: ServiceConfig,
+    // Both cache locks recover from poisoning
+    // (`unwrap_or_else(PoisonError::into_inner)`): they guard *derived*
+    // data that is safe to serve or retire after a panicking session,
+    // and one crashed request must not wedge every later one.
     plans: RwLock<PlanCache>,
     results: Mutex<ResultLru>,
     plan_hits: AtomicU64,
@@ -225,6 +238,7 @@ pub struct QueryService {
     result_hits: AtomicU64,
     result_misses: AtomicU64,
     updates_applied: AtomicU64,
+    updates_noop: AtomicU64,
     triples_inserted: AtomicU64,
     triples_deleted: AtomicU64,
     metrics: ServiceMetrics,
@@ -247,6 +261,7 @@ impl QueryService {
             result_hits: AtomicU64::new(0),
             result_misses: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
+            updates_noop: AtomicU64::new(0),
             triples_inserted: AtomicU64::new(0),
             triples_deleted: AtomicU64::new(0),
             metrics: ServiceMetrics::new(),
@@ -356,7 +371,8 @@ impl QueryService {
         let epoch = self.engine.catalog().epoch();
         let key = (canonical, epoch);
 
-        if let Some(result) = self.results.lock().expect("result cache poisoned").get(&key) {
+        if let Some(result) = self.results.lock().unwrap_or_else(PoisonError::into_inner).get(&key)
+        {
             self.result_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Answer { columns, result, plan_cache_hit: false, result_cache_hit: true });
         }
@@ -377,7 +393,7 @@ impl QueryService {
         } else {
             result.approx_bytes()
         };
-        self.results.lock().expect("result cache poisoned").insert(
+        self.results.lock().unwrap_or_else(PoisonError::into_inner).insert(
             (canonical, epoch),
             Arc::clone(&result),
             bytes,
@@ -390,7 +406,9 @@ impl QueryService {
     /// the same (deterministic) plan. The cache is FIFO-bounded by
     /// [`ServiceConfig::plan_cache_entries`].
     fn plan_for(&self, canonical: &CanonicalQuery) -> Result<(Arc<CachedPlan>, bool), EngineError> {
-        if let Some(p) = self.plans.read().expect("plan cache poisoned").map.get(canonical) {
+        if let Some(p) =
+            self.plans.read().unwrap_or_else(PoisonError::into_inner).map.get(canonical)
+        {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(p), true));
         }
@@ -399,7 +417,7 @@ impl QueryService {
         let query = canonical.to_query()?;
         let plan = self.engine.plan(&query)?;
         let entry = Arc::new(CachedPlan { query, plan });
-        let mut plans = self.plans.write().expect("plan cache poisoned");
+        let mut plans = self.plans.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(existing) = plans.map.get(canonical) {
             return Ok((Arc::clone(existing), false));
         }
@@ -447,9 +465,18 @@ impl QueryService {
     pub fn update(&self, batch: UpdateBatch) -> UpdateSummary {
         let t0 = self.config.record_metrics.then(Instant::now);
         let summary = self.engine.update(batch);
-        if summary.changed_predicates > 0 {
-            self.drop_derived_caches();
+        if summary.changed_predicates == 0 {
+            // Nothing changed: no caches to retire, and recording the
+            // batch into the applied counter or the apply-latency
+            // histogram would dilute both — a no-op APPLY costs a store
+            // probe, not a staging pass. Count it under its own series.
+            self.updates_noop.fetch_add(1, Ordering::Relaxed);
+            if t0.is_some() {
+                self.metrics.updates_noop.inc();
+            }
+            return summary;
         }
+        self.drop_derived_caches();
         self.updates_applied.fetch_add(1, Ordering::Relaxed);
         self.triples_inserted.fetch_add(summary.inserted as u64, Ordering::Relaxed);
         self.triples_deleted.fetch_add(summary.deleted as u64, Ordering::Relaxed);
@@ -458,23 +485,47 @@ impl QueryService {
             self.metrics.updates_applied.inc();
             self.metrics.triples_inserted.add(summary.inserted as u64);
             self.metrics.triples_deleted.add(summary.deleted as u64);
+            if summary.compacted_predicates > 0 {
+                self.metrics.compactions.add(summary.compacted_predicates as u64);
+            }
+        }
+        summary
+    }
+
+    /// Fold every staged delta overlay into fresh frozen base tables —
+    /// the protocol's `COMPACT` verb. Threshold-triggered compaction
+    /// already runs inside [`Engine::update`]; this is the operator's
+    /// explicit handle for reclaiming overlay memory (and restoring
+    /// pure-base query speed) at a moment of their choosing. Folding
+    /// advances the epoch, so derived caches are retired; with nothing
+    /// staged this is a free no-op that touches neither.
+    pub fn compact(&self) -> UpdateSummary {
+        let t0 = self.config.record_metrics.then(Instant::now);
+        let summary = self.engine.compact();
+        if summary.compacted_predicates == 0 {
+            return summary;
+        }
+        self.drop_derived_caches();
+        if let Some(t0) = t0 {
+            self.metrics.compaction_pause_us.record(t0.elapsed().as_micros() as u64);
+            self.metrics.compactions.add(summary.compacted_predicates as u64);
         }
         summary
     }
 
     fn drop_derived_caches(&self) {
         {
-            let mut plans = self.plans.write().expect("plan cache poisoned");
+            let mut plans = self.plans.write().unwrap_or_else(PoisonError::into_inner);
             plans.map.clear();
             plans.order.clear();
         }
-        self.results.lock().expect("result cache poisoned").clear();
+        self.results.lock().unwrap_or_else(PoisonError::into_inner).clear();
     }
 
     /// Current cache counters.
     pub fn stats(&self) -> ServiceStats {
         let (bytes, entries) = {
-            let results = self.results.lock().expect("result cache poisoned");
+            let results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
             (results.bytes() as u64, results.len() as u64)
         };
         ServiceStats {
@@ -482,11 +533,14 @@ impl QueryService {
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
             result_hits: self.result_hits.load(Ordering::Relaxed),
             result_misses: self.result_misses.load(Ordering::Relaxed),
-            plan_cache_entries: self.plans.read().expect("plan cache poisoned").map.len() as u64,
+            plan_cache_entries: self.plans.read().unwrap_or_else(PoisonError::into_inner).map.len()
+                as u64,
             result_cache_bytes: bytes,
             result_cache_entries: entries,
             epoch: self.engine.catalog().epoch(),
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            updates_noop: self.updates_noop.load(Ordering::Relaxed),
+            staged_pairs: self.store().staged_pairs() as u64,
             triples_inserted: self.triples_inserted.load(Ordering::Relaxed),
             triples_deleted: self.triples_deleted.load(Ordering::Relaxed),
             query_p50_us: self.metrics.query_latency_us.p50(),
@@ -512,15 +566,16 @@ impl QueryService {
     /// histograms are whatever the recording paths accumulated.
     pub fn metrics_text(&self) -> String {
         let (bytes, entries) = {
-            let results = self.results.lock().expect("result cache poisoned");
+            let results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
             (results.bytes() as i64, results.len() as i64)
         };
         self.metrics.result_cache_bytes.set(bytes);
         self.metrics.result_cache_entries.set(entries);
         self.metrics
             .plan_cache_entries
-            .set(self.plans.read().expect("plan cache poisoned").map.len() as i64);
+            .set(self.plans.read().unwrap_or_else(PoisonError::into_inner).map.len() as i64);
         self.metrics.epoch.set(self.engine.catalog().epoch() as i64);
+        self.metrics.staged_pairs.set(self.store().staged_pairs() as i64);
         self.metrics.expose()
     }
 
@@ -733,6 +788,53 @@ mod tests {
         assert_eq!(summary.epoch, 1);
         assert_eq!(svc.stats().result_cache_entries, 1);
         assert!(svc.query_sparql(q).unwrap().result_cache_hit);
+
+        // The no-op batch lands in its own counter: the applied count and
+        // the apply-latency histogram keep describing batches that did
+        // real work.
+        let stats = svc.stats();
+        assert_eq!((stats.updates_applied, stats.updates_noop), (1, 1));
+        let text = svc.metrics_text();
+        assert!(text.contains("eh_updates_applied_total 1"), "{text}");
+        assert!(text.contains("eh_updates_noop_total 1"), "{text}");
+        assert!(text.contains("eh_update_apply_latency_us_count 1"), "{text}");
+    }
+
+    #[test]
+    fn poisoned_cache_locks_recover_instead_of_wedging_the_service() {
+        use eh_rdf::{Term, Triple};
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        let store = SharedStore::from_triples(vec![t("a", "p", "b")]);
+        let svc = service(&store);
+        let q = "SELECT ?x ?y WHERE { ?x <p> ?y }";
+        svc.query_sparql(q).unwrap();
+
+        // Two sessions die while holding the cache locks — the classic
+        // poisoning scenario a panicking request used to leave behind.
+        let svc_ref = &svc;
+        std::thread::scope(|scope| {
+            let victim = scope.spawn(move || {
+                let _guard = svc_ref.results.lock().unwrap();
+                panic!("session dies holding the result cache");
+            });
+            assert!(victim.join().is_err());
+            let victim = scope.spawn(move || {
+                let _guard = svc_ref.plans.write().unwrap();
+                panic!("session dies holding the plan cache");
+            });
+            assert!(victim.join().is_err());
+        });
+
+        // Later sessions still get full service through both caches.
+        let warm = svc.query_sparql(q).unwrap();
+        assert!(warm.result_cache_hit);
+        let stats = svc.stats();
+        assert_eq!(stats.result_hits, 1, "{stats:?}");
+        assert!(!svc.metrics_text().is_empty());
+        let mut batch = UpdateBatch::new();
+        batch.insert(t("c", "p", "d"));
+        assert_eq!(svc.update(batch).inserted, 1);
+        assert_eq!(svc.query_sparql(q).unwrap().result.cardinality(), 2);
     }
 
     #[test]

@@ -31,10 +31,12 @@
 
 mod build;
 mod frozen;
+mod overlay;
 mod tuples;
 
 pub use build::{LayoutPolicy, Trie};
 pub use frozen::FrozenTrie;
+pub use overlay::DeltaOverlay;
 pub use tuples::TupleBuffer;
 
 // The parallel runtime shares tries (and per-morsel tuple buffers) across
@@ -43,6 +45,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Trie>();
     assert_send_sync::<FrozenTrie>();
+    assert_send_sync::<DeltaOverlay>();
     assert_send_sync::<TupleBuffer>();
 };
 

@@ -74,7 +74,10 @@ fn tcp_updates_answer_like_a_cold_engine_on_every_path() {
                 assert!(client.send(line).unwrap().starts_with("OK pending"), "{line}");
             }
             let applied = client.send("APPLY").unwrap();
-            assert_eq!(applied, "OK applied inserted=1 deleted=1 predicates=1 epoch=1\n");
+            assert_eq!(
+                applied,
+                "OK applied inserted=1 deleted=1 predicates=1 compacted=0 epoch=1\n"
+            );
 
             // A cold engine over the post-update triple set: same store
             // contents (the dictionary is part of the store's identity),
@@ -97,7 +100,7 @@ fn tcp_updates_answer_like_a_cold_engine_on_every_path() {
             let cached = client.query(q).unwrap();
             assert_eq!(cached, expect_seq, "{threads} threads: cached post-update answer");
             let stats = client.send("STATS").unwrap();
-            assert!(stats.contains("updates=1 inserted=1 deleted=1"), "{stats}");
+            assert!(stats.contains("updates=1 updates_noop=0 inserted=1 deleted=1"), "{stats}");
 
             client.send("QUIT").ok();
             drop(client);
@@ -106,8 +109,10 @@ fn tcp_updates_answer_like_a_cold_engine_on_every_path() {
     }
 }
 
-/// Updating one predicate must not rebuild the other's trie: the catalog
-/// retires per predicate, not wholesale.
+/// A small batch must not rebuild *any* trie: it stages as an LSM
+/// overlay (O(delta) apply, base tries untouched), and only compaction —
+/// which retires per predicate, not wholesale — re-freezes the changed
+/// one while the untouched predicate keeps its trie throughout.
 #[test]
 fn untouched_predicates_keep_their_tries() {
     let store = SharedStore::from_triples(base_triples());
@@ -128,19 +133,144 @@ fn untouched_predicates_keep_their_tries() {
     let mut batch = UpdateBatch::new();
     batch.insert(t("d", "edge", "e"));
     let summary = engine.update(batch);
-    assert_eq!((summary.inserted, summary.changed_predicates, summary.rebuilt_tries), (1, 1, 1));
+    // Staged, not rebuilt: update cost is O(delta), not O(predicate).
+    assert_eq!(
+        (
+            summary.inserted,
+            summary.changed_predicates,
+            summary.rebuilt_tries,
+            summary.compacted_predicates
+        ),
+        (1, 1, 0, 0)
+    );
+    let edge_staged = engine.catalog().trie(&edge_atom, true, true);
+    assert!(
+        std::sync::Arc::ptr_eq(&edge_before, &edge_staged),
+        "a staged batch must keep the base trie frozen in place"
+    );
+    assert!(engine.store().has_deltas());
 
+    // Compaction folds the overlay off the hot path: only the changed
+    // predicate's cached tries are re-frozen.
+    let c = engine.compact();
+    assert_eq!(c.compacted_predicates, 1);
+    assert!(c.rebuilt_tries >= 1, "compaction rebuilds the cached orders");
     let edge_after = engine.catalog().trie(&edge_atom, true, true);
     let kind_after = engine.catalog().trie(&kind_atom, true, true);
     assert!(
         !std::sync::Arc::ptr_eq(&edge_before, &edge_after),
-        "changed predicate must get a fresh trie"
+        "compacted predicate must get a fresh trie"
     );
     assert_eq!(edge_after.num_tuples(), 5);
     assert!(
         std::sync::Arc::ptr_eq(&kind_before, &kind_after),
         "untouched predicate's trie must be rebuilt exactly never"
     );
+}
+
+/// Every overlay lifecycle stage — deltas resident, mid-compaction (one
+/// predicate folded by threshold, the other still overlaid), and
+/// post-compaction — answers identically to a cold engine built from the
+/// final store contents, at 1/2/4 threads, for insert-mostly and
+/// tombstone-heavy (delete-mostly) batches alike.
+#[test]
+fn overlay_lifecycle_matches_cold_engine_at_every_stage() {
+    let queries = [
+        "SELECT ?x ?y ?z WHERE { ?x <edge> ?y . ?y <edge> ?z . ?x <edge> ?z }",
+        "SELECT ?x ?y WHERE { ?x <edge> ?y . ?x <kind> <thing> }",
+        "SELECT ?x WHERE { ?x <kind> <thing> }",
+    ];
+    // One insert-mostly batch, one delete-mostly: both touch `edge` (3
+    // staged pairs) and `kind` (1 staged pair). No batch introduces new
+    // dictionary terms, so results compare exactly across engines.
+    let batches: Vec<UpdateBatch> = vec![
+        {
+            let mut b = UpdateBatch::new();
+            b.insert(t("b", "edge", "d"))
+                .insert(t("d", "edge", "a"))
+                .insert(t("c", "kind", "thing"))
+                .delete(t("a", "edge", "b"));
+            b
+        },
+        {
+            let mut b = UpdateBatch::new();
+            b.delete(t("b", "edge", "c"))
+                .delete(t("c", "edge", "d"))
+                .delete(t("b", "kind", "thing"))
+                .insert(t("d", "edge", "b"));
+            b
+        },
+    ];
+    for threads in [1usize, 2, 4] {
+        for batch in &batches {
+            let planner = PlannerConfig::with_flags(OptFlags::all()).with_threads(threads);
+            let live = Engine::with_config(SharedStore::from_triples(base_triples()), planner);
+            // Warm pre-update caches so stale state would be caught.
+            for q in &queries {
+                live.run_sparql(q).unwrap();
+            }
+            let s = live.update(batch.clone());
+            assert_eq!(s.rebuilt_tries, 0, "default threshold keeps the batch staged");
+            assert!(live.store().has_deltas());
+
+            // The reference: a cold engine over the final logical
+            // contents (clone carries the deltas; compact folds them).
+            let cold = {
+                let mut snap = live.store().clone();
+                snap.compact_all();
+                Engine::with_config(
+                    SharedStore::new(snap),
+                    PlannerConfig::with_flags(OptFlags::all()),
+                )
+            };
+
+            // Stage 1: deltas resident.
+            for q in &queries {
+                assert_eq!(
+                    live.run_sparql(q).unwrap(),
+                    cold.run_sparql(q).unwrap(),
+                    "deltas resident, {threads} threads: {q}"
+                );
+            }
+
+            // Stage 2: mid-compaction. A threshold of max(2, 1% of base)
+            // folds `edge` (3 staged) inline but leaves `kind` (1 staged)
+            // overlaid — a genuinely mixed base/overlay catalog.
+            let mid = Engine::with_config(
+                SharedStore::from_triples(base_triples()),
+                planner.with_compaction(2, 1),
+            );
+            for q in &queries {
+                mid.run_sparql(q).unwrap();
+            }
+            let sm = mid.update(batch.clone());
+            assert_eq!(
+                (sm.changed_predicates, sm.compacted_predicates),
+                (2, 1),
+                "threshold must fold edge and keep kind staged"
+            );
+            assert!(mid.store().has_deltas(), "kind stays overlaid mid-compaction");
+            for q in &queries {
+                assert_eq!(
+                    mid.run_sparql(q).unwrap(),
+                    cold.run_sparql(q).unwrap(),
+                    "mid-compaction, {threads} threads: {q}"
+                );
+            }
+
+            // Stage 3: post-compaction.
+            let c = live.compact();
+            assert_eq!(c.compacted_predicates, 2);
+            assert!(!live.store().has_deltas());
+            for q in &queries {
+                assert_eq!(
+                    live.run_sparql(q).unwrap(),
+                    cold.run_sparql(q).unwrap(),
+                    "post-compaction, {threads} threads: {q}"
+                );
+            }
+        }
+    }
 }
 
 /// Concurrent readers against a writer toggling the store between two
