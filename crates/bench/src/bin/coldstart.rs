@@ -83,7 +83,9 @@ fn cold_start(nt_text: &str) -> Engine {
     let store = TripleStore::from_triples(triples);
     let tries = StoreSnapshot::hot_tries(&store);
     let engine = Engine::new(store, OptFlags::all());
-    engine.catalog().preload(tries.into_iter().map(|e| (e.pred, e.subject_first, e.trie)));
+    engine
+        .catalog()
+        .preload(tries.into_iter().map(|e| (e.pred, e.subject_first, e.shard as usize, e.trie)));
     engine
 }
 

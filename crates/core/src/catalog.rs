@@ -8,17 +8,30 @@
 //! both sort orders are already materialised in the store's
 //! [`PairTable`](eh_rdf::PairTable)s, so trie construction skips sorting.
 //!
+//! ## Sharding
+//!
+//! The store hash-partitions subjects into `P` shards, each owning its
+//! own `PairTable`s and staged deltas; the catalog mirrors that layout
+//! one level down: every cache key carries the shard, so each shard's
+//! trie freezes into its own contiguous arena and a shard-local
+//! compaction retires exactly one shard's tries. [`Catalog::relation`]
+//! assembles the executor's view: at `P = 1` (or when only one shard
+//! holds the predicate) a single operand, byte-identical to the
+//! unpartitioned engine; otherwise the per-shard operands plus the merged
+//! root domain ([`RelOperands::Sharded`]) that the generic join unions
+//! through the multiway driver.
+//!
 //! ## Ownership and mutation
 //!
 //! The catalog co-owns its [`SharedStore`]: queries and updates share one
 //! store behind a `RwLock`, and the catalog's job is keeping its tries
 //! consistent with whatever that store currently holds. After a mutation,
-//! [`Catalog::refresh_preds`] retires exactly the changed predicates'
-//! tries (untouched predicates keep theirs), advances the epoch, and
-//! rebuilds the previously cached orders concurrently on the runtime's
-//! workers. Layers that cache *derived* artifacts (a serving tier's
-//! result cache) key them by [`Catalog::epoch`] so every retired state is
-//! unreachable at once.
+//! [`Catalog::refresh_after_update`] retires exactly the changed
+//! (predicate, shard) pairs' tries (untouched shards keep theirs),
+//! advances the epoch, and rebuilds the previously cached orders
+//! concurrently on the runtime's workers. Layers that cache *derived*
+//! artifacts (a serving tier's result cache) key them by
+//! [`Catalog::epoch`] so every retired state is unreachable at once.
 //!
 //! ## Concurrency
 //!
@@ -48,40 +61,71 @@ use crate::shared::SharedStore;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct TrieKey {
     pred: u32,
+    shard: usize,
     subject_first: bool,
     auto_layout: bool,
 }
 
-/// Overlay cache key: `(predicate, subject_first)`. Overlays are
+/// Overlay cache key: `(predicate, subject_first, shard)`. Overlays are
 /// layout-independent — their sets stay in the uint layout and the
 /// kernels intersect mixed layouts anyway — so both layout modes share
-/// one entry per order.
-type OverlayKey = (u32, bool);
+/// one entry per (order, shard).
+type OverlayKey = (u32, bool, usize);
 
-/// Both cache maps behind one lock: the epoch-recheck publication
+/// Union-root cache key: `(predicate, subject_first)`. The merged root
+/// domain across shards is a plain value set, independent of layout.
+type UnionKey = (u32, bool);
+
+/// All cache maps behind one lock: the epoch-recheck publication
 /// protocol requires the epoch to mutate only under this lock, and
-/// splitting the maps across two locks would force an ordering discipline
-/// for no gain (overlay construction is O(delta), never a bottleneck).
+/// splitting the maps across several locks would force an ordering
+/// discipline for no gain (overlay and union-root construction are
+/// O(delta) / O(roots), never the bottleneck).
 #[derive(Default)]
 struct CacheMaps {
     tries: HashMap<TrieKey, Arc<FrozenTrie>>,
     overlays: HashMap<OverlayKey, Arc<DeltaOverlay>>,
+    unions: HashMap<UnionKey, Arc<Vec<u32>>>,
+}
+
+/// One shard's contribution to a partitioned relation: its frozen trie
+/// plus its staged-delta overlay (when that shard has uncompacted
+/// novelty).
+pub(crate) struct ShardOperand {
+    pub trie: Arc<FrozenTrie>,
+    pub overlay: Option<Arc<DeltaOverlay>>,
+}
+
+/// What [`Catalog::relation`] hands the executor for one access path.
+pub(crate) enum RelOperands {
+    /// One trie (+ optional overlay): the `P = 1` case, a predicate
+    /// resident in a single shard, or an absent predicate (empty trie).
+    /// Execution is byte-for-byte the unpartitioned code path.
+    Single { trie: Arc<FrozenTrie>, overlay: Option<Arc<DeltaOverlay>> },
+    /// Two or more shards hold pairs: the per-shard operands (empty
+    /// shards already skipped) plus the merged effective root domain —
+    /// the union over shards of each shard's overlay-merged root set.
+    /// The generic join iterates/probes `union_root` at the relation's
+    /// first level and routes descents to the shards that contain each
+    /// value.
+    Sharded { ops: Vec<ShardOperand>, union_root: Arc<Vec<u32>> },
 }
 
 /// Trie provider over a [`SharedStore`]. Every trie it serves is a
-/// [`FrozenTrie`] — one contiguous arena per (predicate, order, layout) —
-/// whether it was built from the live store or preloaded from a snapshot
-/// ([`Catalog::preload`]). An update *thaws* only the changed predicates:
-/// their frozen tries are retired and rebuilt from the mutable store
-/// through [`Catalog::refresh_preds`], exactly like any cache miss.
+/// [`FrozenTrie`] — one contiguous arena per (predicate, shard, order,
+/// layout) — whether it was built from the live store or preloaded from
+/// a snapshot ([`Catalog::preload`]). An update *thaws* only the changed
+/// (predicate, shard) pairs: their frozen tries are retired and rebuilt
+/// from the mutable store through [`Catalog::refresh_after_update`],
+/// exactly like any cache miss.
 pub struct Catalog {
     store: SharedStore,
     cache: RwLock<CacheMaps>,
     empty: Arc<FrozenTrie>,
     /// Monotonic version of the catalog's contents. Advanced by
-    /// [`Catalog::invalidate`] / [`Catalog::refresh_preds`], and only
-    /// ever mutated while the `cache` write lock is held — that is what
-    /// makes the publish-time epoch re-check in [`Catalog::obtain`]
+    /// [`Catalog::invalidate`] / [`Catalog::refresh_after_update`], and
+    /// only ever mutated while the `cache` write lock is held — that is
+    /// what makes the publish-time epoch re-check in [`Catalog::obtain`]
     /// race-free.
     epoch: AtomicU64,
     /// The [`SharedStore::version`] this catalog last synchronised with.
@@ -115,11 +159,17 @@ impl Catalog {
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// Number of subject-hash shards in the underlying store.
+    pub fn partitions(&self) -> usize {
+        self.store.read().partitions()
+    }
+
     /// Catch up with updates applied through *other* engines over the
     /// same store: when the store version moved past the one this catalog
     /// last synchronised with, drop every trie and advance the epoch.
     /// (The updating engine's own catalog is kept in step by
-    /// [`Catalog::refresh_preds`], which records the version it covered.)
+    /// [`Catalog::refresh_after_update`], which records the version it
+    /// covered.)
     fn sync_with_store(&self) {
         if self.synced_version.load(Ordering::Acquire) == self.store.version() {
             return;
@@ -131,16 +181,17 @@ impl Catalog {
         }
         cache.tries.clear();
         cache.overlays.clear();
+        cache.unions.clear();
         self.epoch.fetch_add(1, Ordering::AcqRel);
         self.synced_version.store(version, Ordering::Release);
     }
 
     /// Claim store version `version` as covered by this catalog's *own*
     /// in-flight update, before the store write lock is released: the
-    /// precise [`Catalog::refresh_preds`] that follows will retire
-    /// exactly the changed predicates, so readers racing into the gap
-    /// must not treat the version skew as a foreign update and
-    /// full-invalidate (which would throw away every untouched
+    /// precise [`Catalog::refresh_after_update`] that follows will retire
+    /// exactly the changed (predicate, shard) pairs, so readers racing
+    /// into the gap must not treat the version skew as a foreign update
+    /// and full-invalidate (which would throw away every untouched
     /// predicate's trie).
     pub(crate) fn claim_version(&self, version: u64) {
         // Under the cache lock purely to keep the invariant that
@@ -156,6 +207,7 @@ impl Catalog {
         let mut cache = self.cache.write().expect("catalog lock poisoned");
         cache.tries.clear();
         cache.overlays.clear();
+        cache.unions.clear();
         // A full clear also covers any store version we had not yet
         // synchronised with — record that so the next epoch read does not
         // invalidate a second time.
@@ -168,14 +220,19 @@ impl Catalog {
         &self.store
     }
 
-    /// The trie for `atom`'s predicate table in the given column order.
-    /// Predicates absent from the store (or with emptied tables) resolve
-    /// to a shared empty trie.
+    /// The trie for `atom`'s predicate table in the given column order —
+    /// the `P = 1` view. Predicates absent from the store (or with
+    /// emptied tables) resolve to a shared empty trie.
+    ///
+    /// # Panics
+    /// Panics on a partitioned catalog: a single trie per predicate is
+    /// ill-defined there — use [`Catalog::relation`].
     pub fn trie(&self, atom: &Atom, subject_first: bool, auto_layout: bool) -> Arc<FrozenTrie> {
+        assert_eq!(self.partitions(), 1, "partitioned catalog: use relation()");
         let Some(pred) = self.store.read().resolve_iri(&atom.relation) else {
             return Arc::clone(&self.empty);
         };
-        let key = TrieKey { pred, subject_first, auto_layout };
+        let key = TrieKey { pred, shard: 0, subject_first, auto_layout };
         self.obtain(key, &|| {})
     }
 
@@ -195,7 +252,22 @@ impl Catalog {
         let Some(pred) = self.store.read().resolve_iri(&atom.relation) else {
             return Arc::clone(&self.empty);
         };
-        self.obtain(TrieKey { pred, subject_first, auto_layout }, window)
+        self.obtain(TrieKey { pred, shard: 0, subject_first, auto_layout }, window)
+    }
+
+    /// Build (or fetch) one shard's trie for `atom` — the warm path's
+    /// per-shard unit of work ([`Engine::warm`](crate::Engine::warm) fans
+    /// (predicate, order, shard) jobs over the runtime's workers).
+    pub(crate) fn warm_shard(
+        &self,
+        atom: &Atom,
+        subject_first: bool,
+        auto_layout: bool,
+        shard: usize,
+    ) {
+        if let Some(pred) = self.store.read().resolve_iri(&atom.relation) {
+            self.obtain(TrieKey { pred, shard, subject_first, auto_layout }, &|| {});
+        }
     }
 
     /// Cached-or-built trie for `key`, with race-safe publication:
@@ -242,14 +314,14 @@ impl Catalog {
         }
     }
 
-    /// The staged-delta overlay for `(pred, subject_first)`, or `None`
-    /// when the predicate has no uncompacted delta. Cached with the same
-    /// race-safe epoch-recheck publication as [`Catalog::obtain`]; the
-    /// delta's presence is re-read from the store on every miss (no
-    /// negative caching — a predicate without deltas costs one map probe
-    /// and one store read).
-    fn overlay(&self, pred: u32, subject_first: bool) -> Option<Arc<DeltaOverlay>> {
-        let key: OverlayKey = (pred, subject_first);
+    /// The staged-delta overlay for `(pred, subject_first, shard)`, or
+    /// `None` when that shard has no uncompacted delta for the predicate.
+    /// Cached with the same race-safe epoch-recheck publication as
+    /// [`Catalog::obtain`]; the delta's presence is re-read from the
+    /// store on every miss (no negative caching — a predicate without
+    /// deltas costs one map probe and one store read).
+    fn overlay(&self, pred: u32, subject_first: bool, shard: usize) -> Option<Arc<DeltaOverlay>> {
+        let key: OverlayKey = (pred, subject_first, shard);
         loop {
             self.sync_with_store();
             if let Some(ov) = self.cache.read().expect("catalog lock poisoned").overlays.get(&key) {
@@ -258,7 +330,10 @@ impl Catalog {
             let epoch = self.epoch.load(Ordering::Acquire);
             let built = {
                 let store = self.store.read();
-                Arc::new(build_overlay(store.delta(pred)?, subject_first))
+                if shard >= store.partitions() {
+                    return None;
+                }
+                Arc::new(build_overlay(store.shard_delta(shard, pred)?, subject_first))
             };
             let mut cache = self.cache.write().expect("catalog lock poisoned");
             // Same raw load as obtain(): epoch() would re-enter the lock.
@@ -268,30 +343,118 @@ impl Catalog {
         }
     }
 
-    /// The full operand pair for one access path: the (immutable) base
-    /// trie plus the staged-delta overlay when the predicate has
-    /// uncompacted novelty. This is what the executor consumes — the
-    /// overlay rides into the join as extra [`SetRef`](eh_setops::SetRef)
-    /// operands, it is never folded into the arena.
+    /// The merged effective root domain for a partitioned relation: the
+    /// union over `ops` of each shard's overlay-merged root set, sorted
+    /// unique. Cached per (predicate, order) under the same epoch-recheck
+    /// publication — retired whenever any shard of the predicate changes
+    /// (staged or compacted), since either moves some shard's effective
+    /// root.
+    fn union_root(&self, pred: u32, subject_first: bool, ops: &[ShardOperand]) -> Arc<Vec<u32>> {
+        let key: UnionKey = (pred, subject_first);
+        loop {
+            self.sync_with_store();
+            if let Some(u) = self.cache.read().expect("catalog lock poisoned").unions.get(&key) {
+                return Arc::clone(u);
+            }
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let mut root: Vec<u32> = Vec::new();
+            for op in ops {
+                match &op.overlay {
+                    Some(ov) => root.extend_from_slice(ov.root(&op.trie)),
+                    None => root.extend(op.trie.root_set().iter()),
+                }
+            }
+            // Subject-major roots are disjoint across shards (subjects
+            // hash to exactly one shard); object-major roots overlap —
+            // sort + dedup restores the P = 1 root set either way.
+            root.sort_unstable();
+            root.dedup();
+            let built = Arc::new(root);
+            let mut cache = self.cache.write().expect("catalog lock poisoned");
+            if self.epoch.load(Ordering::Acquire) == epoch {
+                return Arc::clone(cache.unions.entry(key).or_insert(built));
+            }
+        }
+    }
+
+    /// One shard's full operand pair for an access path: that shard's
+    /// base trie plus its staged-delta overlay. This is what the
+    /// shard-local execution path consumes — at most this shard's slice
+    /// of the predicate, never a cross-shard view.
+    pub(crate) fn shard_relation(
+        &self,
+        atom: &Atom,
+        subject_first: bool,
+        auto_layout: bool,
+        shard: usize,
+    ) -> (Arc<FrozenTrie>, Option<Arc<DeltaOverlay>>) {
+        let Some(pred) = self.store.read().resolve_iri(&atom.relation) else {
+            return (Arc::clone(&self.empty), None);
+        };
+        let trie = self.obtain(TrieKey { pred, shard, subject_first, auto_layout }, &|| {});
+        let overlay = self.overlay(pred, subject_first, shard).filter(|ov| !ov.is_empty());
+        (trie, overlay)
+    }
+
+    /// The full operand set for one access path — what the executor
+    /// consumes. Overlays ride into the join as extra
+    /// [`SetRef`](eh_setops::SetRef) operands, never folded into an
+    /// arena; at `P > 1` the per-shard operands ride in the same way,
+    /// unioned through the multiway driver (see [`RelOperands`]).
     pub(crate) fn relation(
         &self,
         atom: &Atom,
         subject_first: bool,
         auto_layout: bool,
-    ) -> (Arc<FrozenTrie>, Option<Arc<DeltaOverlay>>) {
-        let Some(pred) = self.store.read().resolve_iri(&atom.relation) else {
-            return (Arc::clone(&self.empty), None);
+    ) -> RelOperands {
+        let (pred, partitions) = {
+            let store = self.store.read();
+            (store.resolve_iri(&atom.relation), store.partitions())
         };
-        let trie = self.obtain(TrieKey { pred, subject_first, auto_layout }, &|| {});
-        let overlay = self.overlay(pred, subject_first).filter(|ov| !ov.is_empty());
-        (trie, overlay)
+        let Some(pred) = pred else {
+            return RelOperands::Single { trie: Arc::clone(&self.empty), overlay: None };
+        };
+        if partitions == 1 {
+            let trie = self.obtain(TrieKey { pred, shard: 0, subject_first, auto_layout }, &|| {});
+            let overlay = self.overlay(pred, subject_first, 0).filter(|ov| !ov.is_empty());
+            return RelOperands::Single { trie, overlay };
+        }
+        // Skip shards that hold neither base pairs nor staged novelty:
+        // they contribute nothing to any set view, and dropping them here
+        // is what collapses a one-shard-resident predicate back onto the
+        // exact single-operand code path.
+        let mut ops: Vec<ShardOperand> = Vec::new();
+        for shard in 0..partitions {
+            let trie = self.obtain(TrieKey { pred, shard, subject_first, auto_layout }, &|| {});
+            let overlay = self.overlay(pred, subject_first, shard).filter(|ov| !ov.is_empty());
+            if trie.num_tuples() == 0 && overlay.is_none() {
+                continue;
+            }
+            ops.push(ShardOperand { trie, overlay });
+        }
+        match ops.len() {
+            0 => RelOperands::Single { trie: Arc::clone(&self.empty), overlay: None },
+            1 => {
+                let op = ops.pop().expect("checked length");
+                RelOperands::Single { trie: op.trie, overlay: op.overlay }
+            }
+            _ => {
+                let union_root = self.union_root(pred, subject_first, &ops);
+                RelOperands::Sharded { ops, union_root }
+            }
+        }
     }
 
     /// Build a trie for `key` from the current store contents, or `None`
-    /// when the predicate's table is absent or empty.
+    /// when the predicate's table is absent or empty in that shard.
     fn build(&self, key: TrieKey) -> Option<Arc<FrozenTrie>> {
         let store = self.store.read();
-        let table = store.table(key.pred)?;
+        if key.shard >= store.partitions() {
+            // A racing repartition shrank the shard count; the version
+            // bump will retire this key's world momentarily.
+            return None;
+        }
+        let table = store.shard_table(key.shard, key.pred)?;
         let pairs = if key.subject_first { table.so_pairs() } else { table.os_pairs() };
         if pairs.is_empty() {
             return None;
@@ -302,64 +465,79 @@ impl Catalog {
 
     /// Seed the cache with pre-built frozen tries (auto-layout orders) —
     /// the snapshot cold-start path: a loaded engine starts *warm*, no
-    /// trie is rebuilt until an update thaws its predicate. Entries are
-    /// inserted as given and trusted to match the store's current tables
-    /// (the snapshot reader validates exactly that before handing them
-    /// over). Intended for startup; entries are published under the
-    /// current epoch like any built trie.
-    pub fn preload(&self, entries: impl IntoIterator<Item = (u32, bool, Arc<FrozenTrie>)>) {
+    /// trie is rebuilt until an update thaws its (predicate, shard).
+    /// Entries are inserted as given and trusted to match the store's
+    /// current shard tables (the snapshot reader validates exactly that
+    /// before handing them over). Intended for startup; entries are
+    /// published under the current epoch like any built trie.
+    pub fn preload(&self, entries: impl IntoIterator<Item = (u32, bool, usize, Arc<FrozenTrie>)>) {
         let mut cache = self.cache.write().expect("catalog lock poisoned");
-        for (pred, subject_first, trie) in entries {
-            cache.tries.insert(TrieKey { pred, subject_first, auto_layout: true }, trie);
+        for (pred, subject_first, shard, trie) in entries {
+            cache.tries.insert(TrieKey { pred, shard, subject_first, auto_layout: true }, trie);
         }
     }
 
-    /// The store changed under `preds` at store version `version`: retire
-    /// exactly those predicates' cached tries, advance the epoch, and
-    /// eagerly rebuild the retired ("hot") orders concurrently on
-    /// `runtime`'s workers so the next query doesn't pay the build.
-    /// Untouched predicates keep their tries untouched. Recording
-    /// `version` tells [`Catalog::sync_with_store`] that this update is
-    /// already covered — the precise refresh replaces the full
-    /// invalidation a foreign update would force. Returns the new epoch
-    /// and the number of tries rebuilt.
+    /// The store's base tables changed under `preds` (every shard — the
+    /// eager add/remove path rebuilds all shards of a changed predicate)
+    /// at store version `version`: retire those predicates' cached tries,
+    /// advance the epoch, and eagerly rebuild the retired ("hot") orders
+    /// concurrently on `runtime`'s workers so the next query doesn't pay
+    /// the build. Untouched predicates keep their tries untouched.
     pub fn refresh_preds(
         &self,
         preds: &[u32],
         version: u64,
         runtime: RuntimeConfig,
     ) -> (u64, usize) {
-        self.refresh_after_update(&[], preds, version, runtime)
+        let partitions = self.partitions();
+        let compacted: Vec<(u32, usize)> =
+            preds.iter().flat_map(|&p| (0..partitions).map(move |s| (p, s))).collect();
+        self.refresh_after_update(&[], &compacted, version, runtime)
     }
 
     /// The overlay-aware refresh behind [`Engine::update`](crate::Engine::update):
     ///
     /// * `staged` predicates gained or changed a delta but kept their base
     ///   tables — their base tries **survive** (that is the whole point of
-    ///   the overlay: O(delta) apply cost), only their cached overlays are
-    ///   retired and rebuilt lazily from the store's new delta;
-    /// * `compacted` predicates had their deltas folded into fresh base
-    ///   tables — their base tries retire and the previously hot orders
-    ///   rebuild eagerly on `runtime`'s workers, plus any cached overlay
-    ///   drops (the delta is gone).
+    ///   the overlay: O(delta) apply cost), only their cached overlays
+    ///   (every shard's — overlay rebuilds are O(delta), precision buys
+    ///   nothing) and union roots are retired, rebuilt lazily from the
+    ///   store's new deltas;
+    /// * `compacted` (predicate, shard) pairs had that shard's delta
+    ///   folded into a fresh base table — exactly that shard's base tries
+    ///   retire and the previously hot orders rebuild eagerly on
+    ///   `runtime`'s workers, plus the shard's cached overlay drops (the
+    ///   delta is gone). Other shards of the same predicate keep their
+    ///   tries — the shard-local compaction contract.
     ///
     /// One epoch bump covers the whole batch. Returns the new epoch and
     /// the number of base tries rebuilt.
     pub fn refresh_after_update(
         &self,
         staged: &[u32],
-        compacted: &[u32],
+        compacted: &[(u32, usize)],
         version: u64,
         runtime: RuntimeConfig,
     ) -> (u64, usize) {
         let (epoch, stale) = {
             let mut cache = self.cache.write().expect("catalog lock poisoned");
-            let stale: Vec<TrieKey> =
-                cache.tries.keys().filter(|k| compacted.contains(&k.pred)).copied().collect();
+            let stale: Vec<TrieKey> = cache
+                .tries
+                .keys()
+                .filter(|k| compacted.contains(&(k.pred, k.shard)))
+                .copied()
+                .collect();
             for k in &stale {
                 cache.tries.remove(k);
             }
-            cache.overlays.retain(|&(p, _), _| !staged.contains(&p) && !compacted.contains(&p));
+            cache
+                .overlays
+                .retain(|&(p, _, s), _| !staged.contains(&p) && !compacted.contains(&(p, s)));
+            // Either kind of change moves some shard's effective root, so
+            // the merged domain is stale for every touched predicate.
+            cache.unions.retain(|&(p, _), _| {
+                !staged.contains(&p) && !compacted.iter().any(|&(cp, _)| cp == p)
+            });
             // fetch_max, not store: if an even newer foreign version
             // exists, the next sync must still do its full invalidation.
             self.synced_version.fetch_max(version, Ordering::AcqRel);
@@ -372,19 +550,15 @@ impl Catalog {
     }
 
     /// Logical cardinality of an atom's predicate (0 when absent): the
-    /// base table adjusted by the staged delta, so the planner's
-    /// cost-model sees the same relation the executor serves.
+    /// base tables adjusted by the staged deltas across all shards, so
+    /// the planner's cost-model sees the same relation the executor
+    /// serves — identical at every partition count.
     pub fn cardinality(&self, atom: &Atom) -> usize {
         let store = self.store.read();
         let Some(pred) = store.resolve_iri(&atom.relation) else {
             return 0;
         };
-        let Some(table) = store.table(pred) else {
-            return 0;
-        };
-        let (ins, del) =
-            store.delta(pred).map_or((0, 0), |d| (d.ins_pairs().len(), d.del_pairs().len()));
-        table.len() + ins - del
+        store.pred_logical_len(pred)
     }
 
     /// Number of distinct tries currently cached (diagnostics).
@@ -395,6 +569,19 @@ impl Catalog {
     /// Number of distinct delta overlays currently cached (diagnostics).
     pub fn cached_overlays(&self) -> usize {
         self.cache.read().expect("catalog lock poisoned").overlays.len()
+    }
+
+    /// Cached arena bytes per shard (index = shard), for the serving
+    /// tier's per-shard gauges. Shards with nothing cached report 0.
+    pub fn arena_bytes_by_shard(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.partitions()];
+        let cache = self.cache.read().expect("catalog lock poisoned");
+        for (k, t) in &cache.tries {
+            if let Some(slot) = out.get_mut(k.shard) {
+                *slot += t.arena_bytes() as u64;
+            }
+        }
+        out
     }
 }
 
@@ -439,6 +626,24 @@ mod tests {
         let pred = store.resolve_iri(rel).unwrap_or(u32::MAX);
         qb.atom(rel, pred, x, y);
         qb.select(vec![x]).build().unwrap().atoms()[0].clone()
+    }
+
+    /// Unwrap the single-operand case of [`Catalog::relation`].
+    fn single_rel(
+        c: &Catalog,
+        a: &Atom,
+        subject_first: bool,
+    ) -> (Arc<FrozenTrie>, Option<Arc<DeltaOverlay>>) {
+        match c.relation(a, subject_first, true) {
+            RelOperands::Single { trie, overlay } => (trie, overlay),
+            RelOperands::Sharded { .. } => panic!("expected a single operand"),
+        }
+    }
+
+    /// Expand predicate keys to (pred, shard) pairs across all shards.
+    fn all_shards(c: &Catalog, preds: &[u32]) -> Vec<(u32, usize)> {
+        let p = c.partitions();
+        preds.iter().flat_map(|&pred| (0..p).map(move |s| (pred, s))).collect()
     }
 
     #[test]
@@ -579,7 +784,7 @@ mod tests {
         assert_eq!(c.trie(&a, true, true).num_tuples(), 2, "stale trie cached across invalidation");
     }
 
-    /// The tentpole contract: a staged update serves through an overlay
+    /// The LSM contract: a staged update serves through an overlay
     /// while the base trie Arc survives untouched; compaction then
     /// retires both base trie and overlay.
     #[test]
@@ -596,14 +801,14 @@ mod tests {
         let (epoch, rebuilt) = c.refresh_after_update(&[pred], &[], v, RuntimeConfig::serial());
         assert_eq!((epoch, rebuilt), (1, 0), "staged updates must not rebuild base tries");
 
-        let (trie, ov) = c.relation(&a, true, true);
+        let (trie, ov) = single_rel(&c, &a, true);
         assert!(Arc::ptr_eq(&base, &trie), "base trie retired by a staged update");
         let ov = ov.expect("delta resident");
         assert_eq!((ov.inserted(), ov.deleted()), (1, 0));
         assert_eq!(c.cardinality(&a), 2);
         assert_eq!(c.cached_overlays(), 1);
         // Object-major overlay is served (and cached) independently.
-        let (_, ov_os) = c.relation(&a, false, true);
+        let (_, ov_os) = single_rel(&c, &a, false);
         assert_eq!(ov_os.expect("os overlay").inserted(), 1);
         assert_eq!(c.cached_overlays(), 2);
 
@@ -611,9 +816,10 @@ mod tests {
         let compacted = s.write().compact_all();
         let v = s.bump_version();
         c.claim_version(v);
-        let (_, rebuilt) = c.refresh_after_update(&[], &compacted, v, RuntimeConfig::serial());
+        let pairs = all_shards(&c, &compacted);
+        let (_, rebuilt) = c.refresh_after_update(&[], &pairs, v, RuntimeConfig::serial());
         assert_eq!(rebuilt, 2, "both cached orders of p rebuild on compaction");
-        let (trie, ov) = c.relation(&a, true, true);
+        let (trie, ov) = single_rel(&c, &a, true);
         assert!(!Arc::ptr_eq(&base, &trie));
         assert_eq!(trie.num_tuples(), 2);
         assert!(ov.is_none());
@@ -634,5 +840,124 @@ mod tests {
         });
         assert_eq!(served.num_tuples(), 2);
         assert_eq!(c.trie(&a, true, true).num_tuples(), 2);
+    }
+
+    /// Enough distinct subjects to populate every shard at P = 4.
+    fn wide_store(partitions: usize) -> SharedStore {
+        let triples: Vec<Triple> =
+            (0..32).map(|i| triple(&format!("s{i}"), "p", &format!("o{}", i % 3))).collect();
+        SharedStore::from(TripleStore::from_triples_partitioned(triples, partitions))
+    }
+
+    /// The tentpole contract: a partitioned catalog serves per-shard
+    /// operands whose union root reproduces the P = 1 root set exactly,
+    /// in both trie orders.
+    #[test]
+    fn partitioned_relation_serves_sharded_operands() {
+        let s1 = wide_store(1);
+        let s4 = wide_store(4);
+        let c1 = Catalog::new(s1.clone());
+        let c4 = Catalog::new(s4.clone());
+        let a = atom_for(&s4.read(), "p");
+        assert_eq!(c4.partitions(), 4);
+        for subject_first in [true, false] {
+            let reference = c1.trie(&a, subject_first, true);
+            let RelOperands::Sharded { ops, union_root } = c4.relation(&a, subject_first, true)
+            else {
+                panic!("32 spread subjects must occupy several shards");
+            };
+            assert!(ops.len() >= 2);
+            let total: usize = ops.iter().map(|op| op.trie.num_tuples()).sum();
+            assert_eq!(total, reference.num_tuples(), "shards partition the pairs");
+            let merged: Vec<u32> = union_root.to_vec();
+            let expect: Vec<u32> = reference.root_set().iter().collect();
+            assert_eq!(merged, expect, "union root reproduces the P=1 root set");
+            // The union root is cached: a second fetch shares the Arc.
+            let RelOperands::Sharded { union_root: again, .. } =
+                c4.relation(&a, subject_first, true)
+            else {
+                panic!("still sharded");
+            };
+            assert!(Arc::ptr_eq(&union_root, &again));
+        }
+    }
+
+    /// Shard-local compaction precision: folding one shard's delta must
+    /// retire exactly that shard's tries — every other shard keeps its
+    /// Arcs.
+    #[test]
+    fn shard_local_refresh_retires_only_that_shard() {
+        let s = wide_store(4);
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "p");
+        let pred = s.read().resolve_iri("p").unwrap();
+        // Warm every shard's subject-major trie.
+        let before: Vec<Arc<FrozenTrie>> =
+            (0..4).map(|shard| c.shard_relation(&a, true, true, shard).0).collect();
+
+        // Stage a pair into whichever shard owns the (already encoded)
+        // subject, then fold exactly that shard.
+        let target = {
+            let store = s.read();
+            store.partitioner().shard_of(store.resolve_iri("s0").unwrap())
+        };
+        s.write().stage_add_triples(vec![triple("s0", "p", "o9")]);
+        let v = s.bump_version();
+        c.claim_version(v);
+        c.refresh_after_update(&[pred], &[], v, RuntimeConfig::serial());
+        assert!(s.write().compact_pred_in(target, pred));
+        let v = s.bump_version();
+        c.claim_version(v);
+        let (_, rebuilt) =
+            c.refresh_after_update(&[], &[(pred, target)], v, RuntimeConfig::serial());
+        assert_eq!(rebuilt, 1, "only the folded shard's cached order rebuilds");
+
+        for (shard, old) in before.iter().enumerate() {
+            let (now, ov) = c.shard_relation(&a, true, true, shard);
+            assert!(ov.is_none(), "delta folded");
+            if shard == target {
+                assert!(!Arc::ptr_eq(old, &now), "folded shard must retire its trie");
+                assert_eq!(now.num_tuples(), old.num_tuples() + 1);
+            } else {
+                assert!(Arc::ptr_eq(old, &now), "untouched shard {shard} lost its trie");
+            }
+        }
+    }
+
+    /// Staged novelty at P > 1 rides per-shard overlays: only the shard
+    /// owning the staged subject carries one, and a predicate resident in
+    /// a single shard collapses back to a single operand.
+    #[test]
+    fn partitioned_overlays_route_by_subject_shard() {
+        let s = wide_store(4);
+        let c = Catalog::new(s.clone());
+        let a = atom_for(&s.read(), "p");
+        let pred = s.read().resolve_iri("p").unwrap();
+        let target = {
+            let store = s.read();
+            store.partitioner().shard_of(store.resolve_iri("s1").unwrap())
+        };
+        s.write().stage_add_triples(vec![triple("s1", "p", "o77")]);
+        let v = s.bump_version();
+        c.claim_version(v);
+        c.refresh_after_update(&[pred], &[], v, RuntimeConfig::serial());
+
+        for shard in 0..4 {
+            let (_, ov) = c.shard_relation(&a, true, true, shard);
+            assert_eq!(ov.is_some(), shard == target, "overlay misrouted for shard {shard}");
+        }
+
+        // A predicate whose pairs all live in one shard serves a single
+        // operand even on a partitioned store.
+        s.write().add_triples(vec![triple("lonely", "q", "z")]);
+        let v = s.bump_version();
+        c.claim_version(v);
+        let q_pred = s.read().resolve_iri("q").unwrap();
+        c.refresh_preds(&[q_pred], v, RuntimeConfig::serial());
+        let aq = atom_for(&s.read(), "q");
+        match c.relation(&aq, true, true) {
+            RelOperands::Single { trie, .. } => assert_eq!(trie.num_tuples(), 1),
+            RelOperands::Sharded { .. } => panic!("one-shard predicate must serve Single"),
+        }
     }
 }

@@ -77,16 +77,21 @@ impl Engine {
         path: impl AsRef<Path>,
         config: PlannerConfig,
     ) -> Result<Engine, SnapshotError> {
-        Ok(Engine::from_loaded_snapshot(StoreSnapshot::read_from_path(path)?, config))
+        // Shard sections load and verify on the configured runtime's
+        // workers — the snapshot format's per-shard layout exists so a
+        // partitioned cold start is bounded by the largest shard, not the
+        // whole file.
+        let snapshot = StoreSnapshot::read_from_path_with(path, config.runtime.num_threads)?;
+        Ok(Engine::from_loaded_snapshot(snapshot, config))
     }
 
     /// An engine over an already-loaded [`StoreSnapshot`] (see
     /// [`Engine::from_snapshot`]).
     pub fn from_loaded_snapshot(snapshot: StoreSnapshot, config: PlannerConfig) -> Engine {
         let engine = Engine::with_config(snapshot.store, config);
-        engine
-            .catalog
-            .preload(snapshot.tries.into_iter().map(|e| (e.pred, e.subject_first, e.trie)));
+        engine.catalog.preload(
+            snapshot.tries.into_iter().map(|e| (e.pred, e.subject_first, e.shard as usize, e.trie)),
+        );
         engine
     }
 
@@ -124,6 +129,28 @@ impl Engine {
         self.catalog.store().clone()
     }
 
+    /// Redistribute the store across `max(1, partitions)` subject-hash
+    /// shards and retire every cached trie and overlay (placement moved;
+    /// logical contents did not, so query answers are unchanged). A
+    /// request matching the current partitioning is a free no-op.
+    /// Returns the partition count now in effect.
+    pub fn repartition(&self, partitions: usize) -> usize {
+        let shared = self.catalog.store();
+        {
+            let mut store = shared.write();
+            if store.partitions() == partitions.max(1) {
+                return store.partitions();
+            }
+            store.repartition(partitions);
+        }
+        // Version first, then the full clear: invalidate records the
+        // version it covered, so the next epoch read does not double-pay
+        // a foreign-update invalidation.
+        shared.bump_version();
+        self.catalog.invalidate();
+        partitions.max(1)
+    }
+
     /// The planner configuration.
     pub fn config(&self) -> PlannerConfig {
         self.config
@@ -155,21 +182,45 @@ impl Engine {
             let mut report = store.stage_remove_triples(batch.deletes);
             report.merge(store.stage_add_triples(batch.inserts));
             if report.is_empty() {
-                (report, Vec::new(), 0)
+                (report, (Vec::new(), Vec::new(), Vec::new()), 0)
             } else {
-                // Threshold compaction, still under the write lock: fold
-                // any predicate whose staged delta grew past
-                // max(absolute floor, frac% of its base table). Everything
-                // below the threshold stays an overlay — O(delta) apply.
-                let mut compacted: Vec<u32> = Vec::new();
+                // Threshold compaction, still under the write lock, at
+                // shard granularity: fold exactly the (predicate, shard)
+                // deltas that grew past max(absolute floor, frac% of that
+                // shard's base table). A skewed shard folds alone — every
+                // other shard's tries and deltas are untouched, and the
+                // pause is recorded against the shard that caused it.
+                // Everything below the threshold stays an overlay.
+                let partitions = store.partitions();
+                let mut compacted: Vec<(u32, usize)> = Vec::new();
+                let mut shard_pauses: Vec<(usize, u64)> = Vec::new();
                 for &p in &report.changed_preds {
-                    let staged = store.delta_len(p);
-                    let base = store.table(p).map_or(0, |t| t.len());
-                    if staged > 0 && staged >= self.config.compaction_threshold(base) {
-                        store.compact_pred(p);
-                        compacted.push(p);
+                    for s in 0..partitions {
+                        let staged = store.shard_delta_len(s, p);
+                        if staged == 0 {
+                            continue;
+                        }
+                        let base = store.shard_table(s, p).map_or(0, |t| t.len());
+                        if staged >= self.config.compaction_threshold(base) {
+                            let t0 = Instant::now();
+                            store.compact_pred_in(s, p);
+                            let us = t0.elapsed().as_micros() as u64;
+                            match shard_pauses.iter_mut().find(|(sh, _)| *sh == s) {
+                                Some(e) => e.1 += us,
+                                None => shard_pauses.push((s, us)),
+                            }
+                            compacted.push((p, s));
+                        }
                     }
                 }
+                // Predicates with any delta left after the folds still
+                // serve part of their novelty as an overlay.
+                let staged: Vec<u32> = report
+                    .changed_preds
+                    .iter()
+                    .copied()
+                    .filter(|&p| store.delta_len(p) > 0)
+                    .collect();
                 // Bump while the write lock is still held: any reader
                 // that can observe the new data can also observe the new
                 // version, so sibling catalogs over this store can't keep
@@ -179,9 +230,10 @@ impl Engine {
                 // into the gap must not full-invalidate on the skew.
                 let version = shared.bump_version();
                 self.catalog.claim_version(version);
-                (report, compacted, version)
+                (report, (compacted, staged, shard_pauses), version)
             }
         };
+        let (compacted, staged, shard_pauses) = compacted;
         if report.is_empty() {
             return UpdateSummary {
                 inserted: 0,
@@ -190,19 +242,21 @@ impl Engine {
                 rebuilt_tries: 0,
                 compacted_predicates: 0,
                 epoch: self.catalog.epoch(),
+                shard_pauses: Vec::new(),
             };
         }
-        let staged: Vec<u32> =
-            report.changed_preds.iter().copied().filter(|p| !compacted.contains(p)).collect();
         let (epoch, rebuilt) =
             self.catalog.refresh_after_update(&staged, &compacted, version, self.config.runtime);
+        let mut compacted_preds: Vec<u32> = compacted.iter().map(|&(p, _)| p).collect();
+        compacted_preds.dedup();
         UpdateSummary {
             inserted: report.added,
             deleted: report.removed,
             changed_predicates: report.changed_preds.len(),
             rebuilt_tries: rebuilt,
-            compacted_predicates: compacted.len(),
+            compacted_predicates: compacted_preds.len(),
             epoch,
+            shard_pauses,
         }
     }
 
@@ -213,11 +267,24 @@ impl Engine {
     /// is staged.
     pub fn compact(&self) -> UpdateSummary {
         let shared = self.catalog.store();
-        let (preds, version) = {
+        let (pairs, shard_pauses, version) = {
             let mut store = shared.write();
-            let preds = store.compact_all();
-            if preds.is_empty() {
-                (preds, 0)
+            // Fold shard by shard so the pause attribution matches the
+            // shard-local storage: each shard's fold only touches its own
+            // tables and is timed on its own.
+            let partitions = store.partitions();
+            let mut pairs: Vec<(u32, usize)> = Vec::new();
+            let mut shard_pauses: Vec<(usize, u64)> = Vec::new();
+            for s in 0..partitions {
+                let t0 = Instant::now();
+                let preds = store.compact_shard(s);
+                if !preds.is_empty() {
+                    shard_pauses.push((s, t0.elapsed().as_micros() as u64));
+                    pairs.extend(preds.into_iter().map(|p| (p, s)));
+                }
+            }
+            if pairs.is_empty() {
+                (pairs, shard_pauses, 0)
             } else {
                 // Same protocol as `update`: compaction changes which
                 // physical structures serve each predicate, so sibling
@@ -225,10 +292,10 @@ impl Engine {
                 // must observe the version move.
                 let version = shared.bump_version();
                 self.catalog.claim_version(version);
-                (preds, version)
+                (pairs, shard_pauses, version)
             }
         };
-        if preds.is_empty() {
+        if pairs.is_empty() {
             return UpdateSummary {
                 inserted: 0,
                 deleted: 0,
@@ -236,10 +303,14 @@ impl Engine {
                 rebuilt_tries: 0,
                 compacted_predicates: 0,
                 epoch: self.catalog.epoch(),
+                shard_pauses: Vec::new(),
             };
         }
         let (epoch, rebuilt) =
-            self.catalog.refresh_after_update(&[], &preds, version, self.config.runtime);
+            self.catalog.refresh_after_update(&[], &pairs, version, self.config.runtime);
+        let mut preds: Vec<u32> = pairs.iter().map(|&(p, _)| p).collect();
+        preds.sort_unstable();
+        preds.dedup();
         UpdateSummary {
             inserted: 0,
             deleted: 0,
@@ -247,6 +318,7 @@ impl Engine {
             rebuilt_tries: rebuilt,
             compacted_predicates: preds.len(),
             epoch,
+            shard_pauses,
         }
     }
 
@@ -377,9 +449,17 @@ impl Engine {
             .collect();
         jobs.sort_unstable();
         jobs.dedup_by_key(|&mut (pred, subject_first, _)| (pred, subject_first));
-        eh_par::run_tasks(self.config.runtime.num_threads, jobs.len(), |i| {
-            let (_, subject_first, atom_index) = jobs[i];
-            self.catalog.trie(&q.atoms()[atom_index], subject_first, self.config.flags.layouts);
+        // Each shard's trie is its own arena and its own build job — the
+        // fan-out dimension is (predicate, order) × shard.
+        let partitions = self.catalog.partitions();
+        eh_par::run_tasks(self.config.runtime.num_threads, jobs.len() * partitions, |i| {
+            let (_, subject_first, atom_index) = jobs[i / partitions];
+            self.catalog.warm_shard(
+                &q.atoms()[atom_index],
+                subject_first,
+                self.config.flags.layouts,
+                i % partitions,
+            );
         });
         Ok(())
     }

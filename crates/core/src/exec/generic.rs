@@ -36,6 +36,7 @@ use eh_setops::{
 };
 use eh_trie::{DeltaOverlay, FrozenTrie};
 
+use crate::catalog::ShardOperand;
 use crate::profile::JoinObs;
 
 /// One relation participating in a join: a frozen trie plus the depth at
@@ -46,7 +47,9 @@ pub(crate) struct PreparedRel {
     /// The frozen trie (shared with the catalog cache and across
     /// workers). Every relation the join touches — catalog-served or an
     /// intermediate built mid-plan — is arena-backed; its per-block sets
-    /// decode in place as [`SetRef`] views.
+    /// decode in place as [`SetRef`] views. For a sharded relation this
+    /// aliases the first shard's trie and is only consulted for its
+    /// arity (all shard tries of one access path share it).
     pub trie: Arc<FrozenTrie>,
     /// LSM-style novelty overlay: staged inserts and tombstones not yet
     /// compacted into the base arena. `None` (intermediates, predicates
@@ -56,9 +59,43 @@ pub(crate) struct PreparedRel {
     /// [`SetRef`] operands, so the intersection drivers are untouched.
     /// Overlays only apply to arity-2 catalog relations.
     pub overlay: Option<Arc<DeltaOverlay>>,
+    /// Per-shard operands of a hash-partitioned relation (each shard's
+    /// base trie plus its own overlay). Empty — the common case — means
+    /// single-source: `trie`/`overlay` above serve every read on the
+    /// exact unpartitioned code path. Non-empty routes this relation's
+    /// set views through the cross-shard union: level 0 reads
+    /// `union_root`, descents route to the shards that contain the bound
+    /// value. Only arity-2 catalog relations shard.
+    pub shards: Vec<ShardOperand>,
+    /// The merged effective root domain across `shards` (catalog-cached).
+    /// `Some` iff `shards` is non-empty.
+    pub union_root: Option<Arc<Vec<u32>>>,
     /// `depths[level]` = join depth at which this trie level binds;
     /// strictly increasing.
     pub depths: Vec<usize>,
+}
+
+impl PreparedRel {
+    /// A single-source relation — the unpartitioned (or one-shard) case.
+    pub fn single(
+        trie: Arc<FrozenTrie>,
+        overlay: Option<Arc<DeltaOverlay>>,
+        depths: Vec<usize>,
+    ) -> PreparedRel {
+        PreparedRel { trie, overlay, shards: Vec::new(), union_root: None, depths }
+    }
+
+    /// A hash-partitioned relation: two or more shard operands unioned
+    /// under `union_root`.
+    pub fn sharded(
+        shards: Vec<ShardOperand>,
+        union_root: Arc<Vec<u32>>,
+        depths: Vec<usize>,
+    ) -> PreparedRel {
+        debug_assert!(shards.len() >= 2, "one shard must collapse to single()");
+        let trie = Arc::clone(&shards[0].trie);
+        PreparedRel { trie, overlay: None, shards, union_root: Some(union_root), depths }
+    }
 }
 
 /// A compiled join over one attribute sequence.
@@ -104,6 +141,44 @@ struct OverlayCursor {
     buf: Vec<u32>,
 }
 
+/// Where one *shard* of a partitioned relation holds its leaf set after
+/// a root descent. [`LeafSrc`] plus the cross-shard possibility that the
+/// bound root value has no presence in this shard at all.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+enum ShardLeaf {
+    /// The bound value is absent from this shard's effective root.
+    #[default]
+    Dead,
+    /// `shards[s].trie.set(1, blocks[s])`.
+    Base,
+    /// `shards[s].overlay.ins_leaf(blocks[s])`.
+    Ins,
+    /// The shard's own `(base − del) ∪ ins` merge in `bufs[s]`.
+    Buf,
+}
+
+/// Per-relation cursor over a partitioned relation's shards. After a
+/// root descent every shard is routed ([`ShardLeaf`]); subject-major
+/// orders have at most one live shard per root value (subjects hash to
+/// exactly one shard), object-major orders may have several — their leaf
+/// sets are *subjects*, disjoint across shards, merged into `merged`.
+/// Cloned with contents on the per-morsel fork, like [`OverlayCursor`].
+#[derive(Clone, Default)]
+struct MultiCursor {
+    /// Per-shard leaf routing for the currently bound root value.
+    srcs: Vec<ShardLeaf>,
+    /// Per-shard current leaf block (meaningful for `Base`/`Ins`).
+    blocks: Vec<usize>,
+    /// Per-shard reusable overlay-merge buffers (the `Buf` route).
+    bufs: Vec<Vec<u32>>,
+    /// Cross-shard merged leaf set, used only when `many`.
+    merged: Vec<u32>,
+    /// The single live shard when `!many`.
+    live: usize,
+    /// More than one shard is live — reads go through `merged`.
+    many: bool,
+}
+
 struct State {
     /// `blocks[rel][level]` = current trie block per relation level.
     blocks: Vec<Vec<usize>>,
@@ -117,6 +192,9 @@ struct State {
     /// One overlay cursor per relation (unused for relations without an
     /// overlay).
     overlay: Vec<OverlayCursor>,
+    /// One shard cursor per relation (empty vectors for single-source
+    /// relations).
+    multi: Vec<MultiCursor>,
 }
 
 /// The per-morsel fork in [`run_join_parallel`]: cursors and bindings are
@@ -129,6 +207,7 @@ impl Clone for State {
             binding: self.binding.clone(),
             scratch: (0..self.scratch.len()).map(|_| IntersectScratch::new()).collect(),
             overlay: self.overlay.clone(),
+            multi: self.multi.clone(),
         }
     }
 }
@@ -140,6 +219,19 @@ impl State {
             binding: vec![0u32; spec.num_vars],
             scratch: (0..spec.num_vars).map(|_| IntersectScratch::new()).collect(),
             overlay: spec.rels.iter().map(|_| OverlayCursor::default()).collect(),
+            multi: spec
+                .rels
+                .iter()
+                .map(|rel| {
+                    let n = rel.shards.len();
+                    MultiCursor {
+                        srcs: vec![ShardLeaf::Dead; n],
+                        blocks: vec![0usize; n],
+                        bufs: vec![Vec::new(); n],
+                        ..MultiCursor::default()
+                    }
+                })
+                .collect(),
         }
     }
 }
@@ -148,9 +240,32 @@ impl State {
 /// read point through which every probe, intersection, and candidate
 /// materialisation sees a relation. Without an overlay this is exactly
 /// the pre-overlay arena read; with one, level 0 is the cached merged
-/// root and level 1 routes by the cursor's [`LeafSrc`].
+/// root and level 1 routes by the cursor's [`LeafSrc`]. A sharded
+/// relation reads the cross-shard union root at level 0 and routes the
+/// leaf through its [`MultiCursor`] — one live shard reads that shard
+/// directly, several read the merged buffer.
 fn rel_set<'a>(spec: &'a JoinSpec, st: &'a State, r: usize, lvl: usize) -> SetRef<'a> {
     let rel = &spec.rels[r];
+    if let Some(union_root) = &rel.union_root {
+        if lvl == 0 {
+            return SetRef::Uint(union_root);
+        }
+        let cur = &st.multi[r];
+        if cur.many {
+            return SetRef::Uint(&cur.merged);
+        }
+        let s = cur.live;
+        return match cur.srcs[s] {
+            ShardLeaf::Dead => SetRef::Uint(&[]),
+            ShardLeaf::Base => rel.shards[s].trie.set(1, cur.blocks[s]),
+            ShardLeaf::Ins => rel.shards[s]
+                .overlay
+                .as_ref()
+                .expect("Ins routes require an overlay")
+                .ins_leaf(cur.blocks[s]),
+            ShardLeaf::Buf => SetRef::Uint(&cur.bufs[s]),
+        };
+    }
     match &rel.overlay {
         None => rel.trie.set(lvl, st.blocks[r][lvl]),
         Some(ov) => {
@@ -351,6 +466,10 @@ fn step(
             debug_assert!(!here.is_empty(), "unselected attribute with no participants");
             if here.len() == 1 {
                 let (r, lvl) = here[0];
+                if !spec.rels[r].shards.is_empty() {
+                    step_single_multi(spec, st, depth, r, lvl, then);
+                    return;
+                }
                 if spec.rels[r].overlay.is_some() {
                     step_single_overlay(spec, st, depth, r, lvl, then);
                     return;
@@ -473,6 +592,89 @@ fn step_single_overlay(
     }
 }
 
+/// The single-participant unselected path for a partitioned relation:
+/// iterate its union root (descending the shard cursors per value) at
+/// level 0, or whichever source the cursor routed the leaf to. Mirrors
+/// the base-arena fast path — [`JoinObs`] records the same `note_single`
+/// shape, so profiles stay invariant across partition counts too.
+fn step_single_multi(
+    spec: &JoinSpec,
+    st: &mut State,
+    depth: usize,
+    r: usize,
+    lvl: usize,
+    then: &mut dyn FnMut(&JoinSpec, &mut State) -> bool,
+) {
+    let rel = &spec.rels[r];
+    if lvl == 0 {
+        // The union root is Arc-shared with the catalog cache, so clone
+        // the handle rather than borrowing across the mutating `then`.
+        let root = Arc::clone(rel.union_root.as_ref().expect("sharded relations carry a root"));
+        if let Some(o) = &spec.obs {
+            o.stats.note_single(depth, root.len() as u64, 0);
+        }
+        for &v in root.iter() {
+            descend(spec, st, &[(r, 0)], v);
+            st.binding[depth] = v;
+            if !then(spec, st) {
+                return;
+            }
+        }
+        return;
+    }
+    // Leaf level: iterate the routed source. Buffers living in `st` are
+    // taken out for the iteration (the scratch discipline) and restored.
+    let cur = &st.multi[r];
+    let (many, live) = (cur.many, cur.live);
+    if many {
+        let buf = std::mem::take(&mut st.multi[r].merged);
+        if let Some(o) = &spec.obs {
+            o.stats.note_single(depth, buf.len() as u64, 0);
+        }
+        for &v in &buf {
+            st.binding[depth] = v;
+            if !then(spec, st) {
+                break;
+            }
+        }
+        st.multi[r].merged = buf;
+        return;
+    }
+    match st.multi[r].srcs[live] {
+        ShardLeaf::Dead => {}
+        ShardLeaf::Buf => {
+            let buf = std::mem::take(&mut st.multi[r].bufs[live]);
+            if let Some(o) = &spec.obs {
+                o.stats.note_single(depth, buf.len() as u64, 0);
+            }
+            for &v in &buf {
+                st.binding[depth] = v;
+                if !then(spec, st) {
+                    break;
+                }
+            }
+            st.multi[r].bufs[live] = buf;
+        }
+        src => {
+            let block = st.multi[r].blocks[live];
+            let op = &rel.shards[live];
+            let set = match src {
+                ShardLeaf::Base => op.trie.set(1, block),
+                _ => op.overlay.as_ref().expect("Ins routes require an overlay").ins_leaf(block),
+            };
+            if let Some(o) = &spec.obs {
+                o.stats.note_single(depth, set.len() as u64, 0);
+            }
+            for v in set.iter() {
+                st.binding[depth] = v;
+                if !then(spec, st) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
 /// Probe selection value `c` against every participant at `depth`; on
 /// success descend all cursors and bind it. Shared by the sequential
 /// [`step`] and the parallel prefix probe so the two cannot drift — the
@@ -531,6 +733,14 @@ fn with_participant_sets<R>(
 fn descend(spec: &JoinSpec, st: &mut State, here: &[(usize, usize)], v: u32) {
     for &(r, lvl) in here {
         let rel = &spec.rels[r];
+        if !rel.shards.is_empty() {
+            // Prefix-only shard participants never read a leaf, so only
+            // the root→leaf move routes the shards.
+            if lvl == 0 && rel.depths.len() > 1 {
+                descend_multi(rel, st, r, v);
+            }
+            continue;
+        }
         match &rel.overlay {
             None => {
                 if lvl + 1 < rel.trie.arity() {
@@ -586,6 +796,85 @@ fn descend_overlay(rel: &PreparedRel, ov: &DeltaOverlay, st: &mut State, r: usiz
     }
 }
 
+/// Shard-aware descent into the leaf level of a partitioned relation:
+/// route every shard's cursor for root value `v` (each shard applies the
+/// same base/insert/merge logic as [`descend_overlay`], with the extra
+/// `Dead` outcome for shards that do not contain `v`). One live shard
+/// serves its leaf directly; several merge into the cursor's cross-shard
+/// buffer — those leaf values are subjects, disjoint across shards, so
+/// the merge is concatenate + sort.
+fn descend_multi(rel: &PreparedRel, st: &mut State, r: usize, v: u32) {
+    let MultiCursor { srcs, blocks, bufs, merged, live, many } = &mut st.multi[r];
+    let mut live_count = 0usize;
+    for (s, op) in rel.shards.iter().enumerate() {
+        let base_block = if op.trie.num_tuples() == 0 { None } else { op.trie.child(0, 0, v) };
+        srcs[s] = match &op.overlay {
+            None => match base_block {
+                Some(bb) => {
+                    blocks[s] = bb;
+                    ShardLeaf::Base
+                }
+                None => ShardLeaf::Dead,
+            },
+            Some(ov) => {
+                let ins_block = ov.ins_child_block(v);
+                let del = ov.del_child(v);
+                match (base_block, ins_block) {
+                    (None, None) => ShardLeaf::Dead,
+                    (Some(bb), None) if del.is_none() => {
+                        blocks[s] = bb;
+                        ShardLeaf::Base
+                    }
+                    (None, Some(ib)) => {
+                        blocks[s] = ib;
+                        ShardLeaf::Ins
+                    }
+                    (bb, ib) => {
+                        let base_set = bb.map(|b| op.trie.set(1, b));
+                        let ins_set = ib.map(|b| ov.ins_leaf(b));
+                        bufs[s].clear();
+                        overlay_merge_into(base_set, del, ins_set, &mut bufs[s]);
+                        // Unlike the single-source case, `v`'s presence in
+                        // the *union* root says nothing about this shard —
+                        // a fully tombstoned value merges to nothing.
+                        if bufs[s].is_empty() {
+                            ShardLeaf::Dead
+                        } else {
+                            ShardLeaf::Buf
+                        }
+                    }
+                }
+            }
+        };
+        if srcs[s] != ShardLeaf::Dead {
+            live_count += 1;
+            *live = s;
+        }
+    }
+    debug_assert!(live_count > 0, "descend value must be live in at least one shard");
+    *many = live_count != 1;
+    if live_count > 1 {
+        merged.clear();
+        for (s, op) in rel.shards.iter().enumerate() {
+            match srcs[s] {
+                ShardLeaf::Dead => {}
+                ShardLeaf::Base => merged.extend(op.trie.set(1, blocks[s]).iter()),
+                ShardLeaf::Ins => {
+                    let ov = op.overlay.as_ref().expect("Ins routes require an overlay");
+                    merged.extend(ov.ins_leaf(blocks[s]).iter());
+                }
+                ShardLeaf::Buf => merged.extend_from_slice(&bufs[s]),
+            }
+        }
+        merged.sort_unstable();
+        merged.dedup();
+    } else if live_count == 0 {
+        // Release-safe fallback for the impossible case: serve empty.
+        merged.clear();
+        *many = true;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,9 +913,9 @@ mod tests {
             emit_depth: 3,
             obs: None,
             rels: vec![
-                PreparedRel { trie: r, overlay: None, depths: vec![0, 1] },
-                PreparedRel { trie: s, overlay: None, depths: vec![1, 2] },
-                PreparedRel { trie: t, overlay: None, depths: vec![0, 2] },
+                PreparedRel::single(r, None, vec![0, 1]),
+                PreparedRel::single(s, None, vec![1, 2]),
+                PreparedRel::single(t, None, vec![0, 2]),
             ],
         };
         // Triangles: (x=0,y=1,z=2) and (x=0,y=2,z=4).
@@ -643,7 +932,7 @@ mod tests {
             sel: vec![Some(1), None],
             emit_depth: 2,
             obs: None,
-            rels: vec![PreparedRel { trie: r, overlay: None, depths: vec![0, 1] }],
+            rels: vec![PreparedRel::single(r, None, vec![0, 1])],
         };
         assert_eq!(collect(&spec), vec![vec![1, 10], vec![1, 11]]);
     }
@@ -656,7 +945,7 @@ mod tests {
             sel: vec![Some(9), None],
             emit_depth: 2,
             obs: None,
-            rels: vec![PreparedRel { trie: r, overlay: None, depths: vec![0, 1] }],
+            rels: vec![PreparedRel::single(r, None, vec![0, 1])],
         };
         assert!(collect(&spec).is_empty());
     }
@@ -670,7 +959,7 @@ mod tests {
             sel: vec![None, None],
             emit_depth: 1,
             obs: None,
-            rels: vec![PreparedRel { trie: r, overlay: None, depths: vec![0, 1] }],
+            rels: vec![PreparedRel::single(r, None, vec![0, 1])],
         };
         assert_eq!(collect(&spec), vec![vec![5], vec![6]]);
     }
@@ -690,8 +979,8 @@ mod tests {
             emit_depth: 2,
             obs: None,
             rels: vec![
-                PreparedRel { trie: r, overlay: None, depths: vec![0, 1] },
-                PreparedRel { trie: f, overlay: None, depths: vec![0] },
+                PreparedRel::single(r, None, vec![0, 1]),
+                PreparedRel::single(f, None, vec![0]),
             ],
         };
         assert_eq!(collect(&spec), vec![vec![2, 20], vec![3, 30]]);
@@ -706,7 +995,7 @@ mod tests {
             sel: vec![None],
             emit_depth: 1,
             obs: None,
-            rels: vec![PreparedRel { trie: r, overlay: None, depths: vec![0] }],
+            rels: vec![PreparedRel::single(r, None, vec![0])],
         };
         assert_eq!(collect(&spec), vec![vec![1], vec![4]]);
     }
@@ -721,8 +1010,8 @@ mod tests {
             emit_depth: 2,
             obs: None,
             rels: vec![
-                PreparedRel { trie: r, overlay: None, depths: vec![0, 1] },
-                PreparedRel { trie: e, overlay: None, depths: vec![0, 1] },
+                PreparedRel::single(r, None, vec![0, 1]),
+                PreparedRel::single(e, None, vec![0, 1]),
             ],
         };
         assert!(collect(&spec).is_empty());
@@ -742,7 +1031,7 @@ mod tests {
             sel: vec![None, None],
             emit_depth: 2,
             obs: None,
-            rels: vec![PreparedRel { trie: base, overlay: Some(ov), depths: vec![0, 1] }],
+            rels: vec![PreparedRel::single(base, Some(ov), vec![0, 1])],
         };
         assert_eq!(collect(&spec), vec![vec![1, 11], vec![1, 12], vec![3, 30], vec![4, 40]]);
     }
@@ -761,8 +1050,8 @@ mod tests {
             emit_depth: 2,
             obs: None,
             rels: vec![
-                PreparedRel { trie: r, overlay: Some(ov), depths: vec![0, 1] },
-                PreparedRel { trie: s, overlay: None, depths: vec![0, 1] },
+                PreparedRel::single(r, Some(ov), vec![0, 1]),
+                PreparedRel::single(s, None, vec![0, 1]),
             ],
         };
         assert_eq!(collect(&spec), vec![vec![2, 21], vec![5, 50]]);
@@ -778,11 +1067,7 @@ mod tests {
             sel,
             emit_depth: 2,
             obs: None,
-            rels: vec![PreparedRel {
-                trie: Arc::clone(&r),
-                overlay: Some(Arc::clone(&ov)),
-                depths: vec![0, 1],
-            }],
+            rels: vec![PreparedRel::single(Arc::clone(&r), Some(Arc::clone(&ov)), vec![0, 1])],
         };
         // A tombstoned pair must miss, the staged insert must hit, and a
         // base-resident pair still hits.
@@ -802,7 +1087,7 @@ mod tests {
             sel: vec![None, None],
             emit_depth: 1,
             obs: None,
-            rels: vec![PreparedRel { trie: r, overlay: Some(ov), depths: vec![0, 1] }],
+            rels: vec![PreparedRel::single(r, Some(ov), vec![0, 1])],
         };
         assert_eq!(collect(&spec), vec![vec![5], vec![7]]);
     }
@@ -818,7 +1103,7 @@ mod tests {
             sel: vec![None, None],
             emit_depth: 2,
             obs: None,
-            rels: vec![PreparedRel { trie: e, overlay: Some(ov), depths: vec![0, 1] }],
+            rels: vec![PreparedRel::single(e, Some(ov), vec![0, 1])],
         };
         assert_eq!(collect(&spec), vec![vec![1, 10], vec![2, 20]]);
     }
@@ -837,8 +1122,8 @@ mod tests {
             emit_depth: 2,
             obs: None,
             rels: vec![
-                PreparedRel { trie: r, overlay: None, depths: vec![0, 1] },
-                PreparedRel { trie: f_base, overlay: Some(f_ov), depths: vec![0] },
+                PreparedRel::single(r, None, vec![0, 1]),
+                PreparedRel::single(f_base, Some(f_ov), vec![0]),
             ],
         };
         assert_eq!(collect(&spec), vec![vec![2, 20], vec![3, 30]]);
@@ -854,7 +1139,7 @@ mod tests {
             sel: vec![None, None],
             emit_depth: 0,
             obs: None,
-            rels: vec![PreparedRel { trie: r, overlay: None, depths: vec![0, 1] }],
+            rels: vec![PreparedRel::single(r, None, vec![0, 1])],
         };
         let out = collect(&spec);
         assert_eq!(out, vec![Vec::<u32>::new()]);

@@ -18,8 +18,8 @@ use eh_par::RuntimeConfig;
 use eh_query::{ConjunctiveQuery, Var};
 use eh_trie::{FrozenTrie, LayoutPolicy, TupleBuffer};
 
-use crate::catalog::Catalog;
-use crate::exec::generic::{run_join_parallel, JoinSpec, PreparedRel};
+use crate::catalog::{Catalog, RelOperands};
+use crate::exec::generic::{run_join, run_join_parallel, JoinSpec, PreparedRel};
 use crate::plan::Plan;
 use crate::profile::{ExecStats, JoinObs, JoinStats};
 use crate::result::QueryResult;
@@ -97,6 +97,20 @@ pub(crate) fn execute_plan(
     // intermediates to materialise.
     if plan.ghd.num_nodes() == 1 {
         let root = plan.ghd.root;
+        let node = &plan.nodes[root];
+        let proj_positions: Vec<usize> = q
+            .projection()
+            .iter()
+            .map(|v| node.vars.iter().position(|w| w == v).expect("projection var in single node"))
+            .collect();
+        // Subject-rooted plans on a partitioned store run shard-local:
+        // every atom's subjects hash to the executing shard, so the
+        // shards' results are independent and concatenate.
+        if let Some(out) =
+            run_shard_local(catalog, q, plan, root, &proj_positions, auto_layout, rt, stats)
+        {
+            return QueryResult::new(columns, out);
+        }
         let spec = node_spec(
             catalog,
             q,
@@ -107,12 +121,6 @@ pub(crate) fn execute_plan(
             stats,
             format!("node {root}"),
         );
-        let node = &plan.nodes[root];
-        let proj_positions: Vec<usize> = q
-            .projection()
-            .iter()
-            .map(|v| node.vars.iter().position(|w| w == v).expect("projection var in single node"))
-            .collect();
         let out = collect_rows(&spec, &proj_positions, rt);
         return QueryResult::new(columns, out);
     }
@@ -233,9 +241,13 @@ fn node_spec(
         .atoms
         .iter()
         .map(|ap| {
-            let (trie, overlay) =
-                catalog.relation(&q.atoms()[ap.atom_index], ap.subject_first, auto_layout);
-            PreparedRel { trie, overlay, depths: ap.attrs.iter().map(|&v| depth_of(v)).collect() }
+            let depths = ap.attrs.iter().map(|&v| depth_of(v)).collect();
+            match catalog.relation(&q.atoms()[ap.atom_index], ap.subject_first, auto_layout) {
+                RelOperands::Single { trie, overlay } => PreparedRel::single(trie, overlay, depths),
+                RelOperands::Sharded { ops, union_root } => {
+                    PreparedRel::sharded(ops, union_root, depths)
+                }
+            }
         })
         .collect();
     rels.append(&mut extra);
@@ -245,7 +257,10 @@ fn node_spec(
         .map(|&v| q.selection(v).map(|c| c.expect("missing constants short-circuit earlier")))
         .collect();
     let emit_depth = node.output.iter().map(|v| depth_of(*v) + 1).max().unwrap_or(0);
-    let overlay_rels = rels.iter().filter(|r| r.overlay.is_some()).count();
+    let overlay_rels = rels
+        .iter()
+        .filter(|r| r.overlay.is_some() || r.shards.iter().any(|s| s.overlay.is_some()))
+        .count();
     let obs = observe_join(stats, q, label, &node.vars, &sel, emit_depth, overlay_rels);
     JoinSpec { num_vars: node.vars.len(), sel, emit_depth, obs, rels }
 }
@@ -285,9 +300,110 @@ fn children_rels(
                 shared.iter().map(|v| child.attrs.iter().position(|w| w == v).unwrap()).collect();
             Arc::new(FrozenTrie::build(child.tuples.permute(&cols), layout_policy(auto_layout)))
         };
-        rels.push(PreparedRel { trie, overlay: None, depths });
+        rels.push(PreparedRel::single(trie, None, depths));
     }
     Some(rels)
+}
+
+/// The shard-local execution path: when the plan is a single node whose
+/// depth-0 variable is every atom's subject (the store's partitioning
+/// key), any result row's root binding hashes to exactly one shard, and
+/// each atom restricted to that shard contains precisely the pairs that
+/// can participate. The join therefore runs independently per shard —
+/// shards become the outer morsel dimension — and the concatenated
+/// results, canonicalised by the same trailing `sort_dedup` as every
+/// other path, are byte-identical to the unpartitioned engine's.
+///
+/// Returns `None` when the store is unpartitioned or the plan is not
+/// subject-rooted (some atom roots at a non-subject attribute); the
+/// caller then falls back to the cross-shard union operands.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_local(
+    catalog: &Catalog,
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    t: usize,
+    positions: &[usize],
+    auto_layout: bool,
+    rt: RuntimeConfig,
+    stats: Option<&ExecStats>,
+) -> Option<TupleBuffer> {
+    let partitions = catalog.partitions();
+    if partitions <= 1 {
+        return None;
+    }
+    let node = &plan.nodes[t];
+    let root_var = *node.vars.first()?;
+    if !node.atoms.iter().all(|ap| ap.subject_first && ap.attrs.first() == Some(&root_var)) {
+        return None;
+    }
+    // Specs are built serially: catalog publication and profile
+    // registration order stay deterministic regardless of thread count.
+    let specs: Vec<JoinSpec> = (0..partitions)
+        .map(|shard| shard_node_spec(catalog, q, plan, t, auto_layout, stats, shard))
+        .collect();
+    let parts = eh_par::run_shards(&rt, partitions, |shard| {
+        let spec = &specs[shard];
+        let t0 = spec.obs.as_ref().map(|_| Instant::now());
+        let mut sink =
+            RowSink { out: TupleBuffer::new(positions.len()), row: vec![0u32; positions.len()] };
+        run_join(spec, &mut |binding| {
+            for (j, &p) in positions.iter().enumerate() {
+                sink.row[j] = binding[p];
+            }
+            sink.out.push(&sink.row);
+        });
+        if let (Some(o), Some(t0)) = (&spec.obs, t0) {
+            o.stats.set_rows(sink.out.len() as u64);
+            o.stats.add_wall_ns(t0.elapsed().as_nanos() as u64);
+        }
+        sink.out
+    });
+    let mut out = TupleBuffer::new(positions.len());
+    for part in &parts {
+        out.append(part);
+    }
+    out.sort_dedup();
+    Some(out)
+}
+
+/// [`node_spec`] restricted to one shard: every atom serves that shard's
+/// base trie and overlay only. Used by [`run_shard_local`], whose
+/// eligibility check guarantees the restriction is lossless.
+fn shard_node_spec(
+    catalog: &Catalog,
+    q: &ConjunctiveQuery,
+    plan: &Plan,
+    t: usize,
+    auto_layout: bool,
+    stats: Option<&ExecStats>,
+    shard: usize,
+) -> JoinSpec {
+    let node = &plan.nodes[t];
+    let depth_of = |v: Var| node.vars.iter().position(|&w| w == v).unwrap();
+    let rels: Vec<PreparedRel> = node
+        .atoms
+        .iter()
+        .map(|ap| {
+            let (trie, overlay) = catalog.shard_relation(
+                &q.atoms()[ap.atom_index],
+                ap.subject_first,
+                auto_layout,
+                shard,
+            );
+            PreparedRel::single(trie, overlay, ap.attrs.iter().map(|&v| depth_of(v)).collect())
+        })
+        .collect();
+    let sel: Vec<Option<u32>> = node
+        .vars
+        .iter()
+        .map(|&v| q.selection(v).map(|c| c.expect("missing constants short-circuit earlier")))
+        .collect();
+    let emit_depth = node.output.iter().map(|v| depth_of(*v) + 1).max().unwrap_or(0);
+    let overlay_rels = rels.iter().filter(|r| r.overlay.is_some()).count();
+    let label = format!("node {t} [shard {shard}]");
+    let obs = observe_join(stats, q, label, &node.vars, &sel, emit_depth, overlay_rels);
+    JoinSpec { num_vars: node.vars.len(), sel, emit_depth, obs, rels }
 }
 
 /// Per-morsel sink for projection collection.
@@ -347,7 +463,7 @@ fn final_join(
                 Arc::new(FrozenTrie::from_sorted(r.tuples.clone(), layout_policy(auto_layout)));
             let depths =
                 r.attrs.iter().map(|v| join_vars.iter().position(|w| w == v).unwrap()).collect();
-            PreparedRel { trie, overlay: None, depths }
+            PreparedRel::single(trie, None, depths)
         })
         .collect();
     let proj_positions: Vec<usize> = q
@@ -419,11 +535,11 @@ fn run_pipelined(
             Arc::new(FrozenTrie::from_sorted(child.tuples.clone(), layout_policy(auto_layout)));
         child_tries[c] = Some(Arc::clone(&trie));
         if !shared.is_empty() {
-            intermediates.push(PreparedRel {
+            intermediates.push(PreparedRel::single(
                 trie,
-                overlay: None,
-                depths: shared.iter().map(|&v| depth_of(v)).collect(),
-            });
+                None,
+                shared.iter().map(|&v| depth_of(v)).collect(),
+            ));
         }
     }
 

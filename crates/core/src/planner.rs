@@ -21,7 +21,12 @@ fn var_cardinalities(
 ) -> Vec<usize> {
     let mut est = vec![usize::MAX; q.num_vars()];
     for a in q.atoms() {
-        let Some(table) = store.table_by_name(&a.relation) else {
+        // Statistics come through the partition-invariant [`PredCard`]
+        // view, never a single shard's table: a partitioned store must
+        // yield the exact numbers a P=1 store would, or the chosen
+        // attribute order — and therefore the emitted bytes — would
+        // depend on the partition count.
+        let Some(card) = store.pred_card(&a.relation) else {
             // Missing predicate: the query is empty; any order works.
             est[a.vars[0]] = 0;
             est[a.vars[1]] = 0;
@@ -35,17 +40,17 @@ fn var_cardinalities(
             let bound = match q.selection(other) {
                 Some(Some(c)) if selection_aware => {
                     if i == 0 {
-                        table.pairs_for_object(c).len()
+                        card.matches_for_object(c)
                     } else {
-                        table.pairs_for_subject(c).len()
+                        card.matches_for_subject(c)
                     }
                 }
                 Some(None) if selection_aware => 0,
                 _ => {
                     if i == 0 {
-                        table.distinct_subjects()
+                        card.distinct_subjects()
                     } else {
-                        table.distinct_objects()
+                        card.distinct_objects()
                     }
                 }
             };

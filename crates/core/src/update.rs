@@ -48,7 +48,7 @@ impl UpdateBatch {
 }
 
 /// What one applied batch did, as observed by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateSummary {
     /// Triples actually added (resident duplicates don't count).
     pub inserted: usize,
@@ -68,4 +68,10 @@ pub struct UpdateSummary {
     /// The catalog epoch after the batch. Unchanged when the batch was a
     /// no-op on table contents — no-ops don't invalidate anything.
     pub epoch: u64,
+    /// Per-shard compaction pause times in microseconds, `(shard, µs)`,
+    /// one entry per shard that folded at least one delta during this
+    /// batch. Empty when nothing compacted — the common staged case.
+    /// Shard-local compaction means a skewed shard's fold pauses only
+    /// itself; this is the observable that proves it.
+    pub shard_pauses: Vec<(usize, u64)>,
 }

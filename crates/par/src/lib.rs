@@ -294,6 +294,27 @@ where
     })
 }
 
+/// Run one task per storage shard on the existing worker pool and return
+/// the results **in shard order** — shards are the outer morsel dimension
+/// of a partitioned store: shard-local joins, per-shard snapshot section
+/// loads, and per-shard trie builds all schedule through here, inheriting
+/// [`run_tasks`]'s determinism contract (merge order is shard index, never
+/// scheduling order) so partitioned execution concatenates byte-identically
+/// at any thread count.
+///
+/// This is [`run_tasks`] with the shard count as the task count; it exists
+/// as a named entry point so call sites say what the outer dimension *is*,
+/// and so per-shard work composes with inner morsel-parallel loops (the
+/// shard task itself may call [`run_morsels`] with a serial config when
+/// the pool is already saturated at the shard level).
+pub fn run_shards<T, F>(cfg: &RuntimeConfig, num_shards: usize, shard_task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_tasks(cfg.num_threads, num_shards, shard_task)
+}
+
 /// A blocking multi-producer/multi-consumer work queue for long-lived
 /// worker pools — the piece [`run_tasks`] cannot cover: tasks that *arrive
 /// over time* (e.g. client connections accepted by a server) rather than
@@ -404,6 +425,16 @@ mod tests {
         assert_eq!(RuntimeConfig::with_threads(0).num_threads, 1);
         assert_eq!(RuntimeConfig::serial().with_morsel_size(0).morsel_size, 1);
         assert!(RuntimeConfig::parallel().num_threads >= 1);
+    }
+
+    #[test]
+    fn shards_merge_in_shard_order_at_any_thread_count() {
+        let reference: Vec<usize> = (0..7).map(|s| s * s + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let cfg = RuntimeConfig::with_threads(threads);
+            let out = run_shards(&cfg, 7, |shard| shard * shard + 1);
+            assert_eq!(out, reference, "threads {threads}");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 mod dict;
 mod ntriples;
+mod partition;
 mod snapshot;
 mod store;
 mod term;
@@ -30,10 +31,12 @@ mod vp;
 
 pub use dict::Dictionary;
 pub use ntriples::{parse_ntriples, write_ntriples, NtError};
+pub use partition::Partitioner;
 pub use snapshot::{
-    FrozenTrieEntry, SnapshotError, StoreSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    FrozenTrieEntry, SnapshotError, StoreSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_MAGIC_V1,
+    SNAPSHOT_VERSION,
 };
-pub use store::{PredDelta, StoreStats, TripleStore, UpdateReport};
+pub use store::{PredCard, PredDelta, ShardStats, StoreStats, TripleStore, UpdateReport};
 pub use term::Term;
 pub use triple::{EncodedTriple, Triple};
 pub use vp::PairTable;

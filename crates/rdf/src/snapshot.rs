@@ -8,34 +8,44 @@
 //! per-block allocation. The frozen-trie arenas load as single contiguous
 //! `u32` blocks and are served by the catalog as-is.
 //!
-//! ## File format (version 1, little-endian)
+//! ## File format (version 2, little-endian)
 //!
 //! ```text
-//! [0..8)   magic  b"EHSNAP01"
-//! [8..12)  format version (u32) = 1
-//! [12..20) payload length in bytes (u64)
-//! [20..28) XXH64 checksum of the payload (u64)
-//! [28..)   payload
+//! [0..8)   magic  b"EHSNAP02"
+//! [8..12)  format version (u32) = 2
+//! [12..16) partition count P (u32, >= 1)
+//! [16..20) section count (u32) = P + 1
+//! [20..)   directory: per section (length u64, XXH64 checksum u64)
+//! then the sections, back to back
 //! ```
 //!
-//! Payload sections, in order:
+//! Section 0 is store-wide state: the dictionary (term count, then each
+//! term as `(kind u8, len u32, utf-8 bytes)` in key order) and the
+//! predicate registry (`count`, then `(pred, name, cross-shard
+//! distinct-object count)` per table — the registration order every shard
+//! shares; the persisted count spares the load path the k-way merge that
+//! derived it, and is bounds-checked against the decoded shards).
+//! Sections `1..=P` each hold one
+//! shard: per registry entry `(pair count, so pairs, os pairs)`, then that
+//! shard's frozen tries (`count`, then `(pred, subject_first, arity,
+//! num_tuples, level directory, arena)` per trie).
 //!
-//! 1. **dictionary** — term count, then each term as `(kind u8, len u32,
-//!    utf-8 bytes)` in key order (term *i* keeps key *i*);
-//! 2. **tables** — table count, then per table `(pred, name, pair count,
-//!    so pairs, os pairs)`, both orders verbatim so the load re-sorts
-//!    nothing;
-//! 3. **frozen tries** — entry count, then per entry `(pred,
-//!    subject_first, arity, num_tuples, level directory, arena)`.
+//! Per-shard sections carry **independent checksums** so a partitioned
+//! load verifies and decodes shards in parallel
+//! ([`StoreSnapshot::read_with_threads`]) — the cold-start path scales
+//! with cores instead of serialising one whole-file checksum pass.
 //!
 //! ## Compatibility policy
 //!
-//! The version is bumped on any layout change; [`StoreSnapshot::read`]
-//! rejects unknown versions (and anything truncated, mis-magicked, or
-//! failing the checksum) with a typed [`SnapshotError`] — never a panic.
-//! Snapshots are an *optimisation*, not the system of record: on any
-//! read error, rebuild from the source N-Triples.
+//! Version-1 single-arena snapshots (`EHSNAP01`: one global checksum, one
+//! table section) still load, as a `P = 1` store. The write path always
+//! emits version 2. Unknown magic/versions (and anything truncated,
+//! mis-sized, or failing a checksum) are rejected with a typed
+//! [`SnapshotError`] — never a panic. Snapshots are an *optimisation*,
+//! not the system of record: on any read error, rebuild from the source
+//! N-Triples.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
@@ -44,29 +54,41 @@ use std::sync::Arc;
 
 use eh_trie::FrozenTrie;
 
+use crate::partition::Partitioner;
 use crate::store::TripleStore;
 use crate::term::Term;
 use crate::vp::PairTable;
 
-/// The 8-byte magic that opens every snapshot file.
-pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EHSNAP01";
-/// The format version this build writes and accepts.
-pub const SNAPSHOT_VERSION: u32 = 1;
-/// Fixed header size: magic + version + payload length + checksum.
-const HEADER_BYTES: usize = 28;
+/// The 8-byte magic that opens every snapshot this build writes.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EHSNAP02";
+/// The magic of read-compatible version-1 (single-arena) snapshots.
+pub const SNAPSHOT_MAGIC_V1: [u8; 8] = *b"EHSNAP01";
+/// The format version this build writes.
+pub const SNAPSHOT_VERSION: u32 = 2;
+/// Fixed v2 header size before the section directory.
+const V2_HEADER_BYTES: usize = 20;
+/// Per-section directory entry: length + checksum.
+const DIR_ENTRY_BYTES: usize = 16;
+/// Fixed v1 header size: magic + version + payload length + checksum.
+const V1_HEADER_BYTES: usize = 28;
+/// Upper bound on the partition count a snapshot may declare — far above
+/// any real deployment, low enough that a corrupt header cannot provoke
+/// a giant allocation before checksums are consulted.
+const MAX_PARTITIONS: u32 = 1 << 16;
 
 /// Why a snapshot could not be written or read.
 #[derive(Debug)]
 pub enum SnapshotError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    /// The file starts with neither [`SNAPSHOT_MAGIC`] nor
+    /// [`SNAPSHOT_MAGIC_V1`].
     BadMagic,
-    /// The file's format version is not [`SNAPSHOT_VERSION`].
+    /// The file's format version does not match its magic.
     BadVersion(u32),
     /// The file ends before the declared payload does.
     Truncated,
-    /// The payload checksum (XXH64) does not match the header.
+    /// A payload checksum (XXH64) does not match its directory entry.
     ChecksumMismatch,
     /// The payload decoded but its structure is inconsistent.
     Malformed(&'static str),
@@ -96,13 +118,16 @@ impl From<std::io::Error> for SnapshotError {
 }
 
 /// A pre-built frozen trie shipped inside a snapshot: one (predicate,
-/// order) the serving engine treats as hot.
+/// order) within one shard that the serving engine treats as hot.
 #[derive(Debug, Clone)]
 pub struct FrozenTrieEntry {
     /// Dictionary key of the predicate this trie indexes.
     pub pred: u32,
     /// `true` for the subject-major `[s, o]` order, `false` for `[o, s]`.
     pub subject_first: bool,
+    /// The shard whose slice of the predicate this trie covers (always 0
+    /// on a `P = 1` store and in loaded v1 snapshots).
+    pub shard: u32,
     /// The arena-backed trie, ready to serve.
     pub trie: Arc<FrozenTrie>,
 }
@@ -121,47 +146,80 @@ pub struct StoreSnapshot {
 
 impl StoreSnapshot {
     /// The standard hot orders: an auto-layout [`FrozenTrie`] for both
-    /// `[s, o]` and `[o, s]` of every non-empty predicate — exactly the
-    /// set of tries a warmed query engine holds for a binary-atom
-    /// workload.
+    /// `[s, o]` and `[o, s]` of every non-empty (shard, predicate) —
+    /// exactly the set of tries a warmed query engine holds for a
+    /// binary-atom workload.
     pub fn hot_tries(store: &TripleStore) -> Vec<FrozenTrieEntry> {
         let mut out = Vec::new();
-        for table in store.tables() {
-            if table.is_empty() {
-                continue;
-            }
-            for subject_first in [true, false] {
-                let pairs = if subject_first { table.so_pairs() } else { table.os_pairs() };
-                let trie = FrozenTrie::from_sorted(
-                    eh_trie::TupleBuffer::from_pairs(pairs),
-                    eh_trie::LayoutPolicy::Auto,
-                );
-                out.push(FrozenTrieEntry {
-                    pred: table.pred(),
-                    subject_first,
-                    trie: Arc::new(trie),
-                });
+        for shard in 0..store.partitions() {
+            for table in store.shard_tables(shard) {
+                if table.is_empty() {
+                    continue;
+                }
+                for subject_first in [true, false] {
+                    let pairs = if subject_first { table.so_pairs() } else { table.os_pairs() };
+                    let trie = FrozenTrie::from_sorted(
+                        eh_trie::TupleBuffer::from_pairs(pairs),
+                        eh_trie::LayoutPolicy::Auto,
+                    );
+                    out.push(FrozenTrieEntry {
+                        pred: table.pred(),
+                        subject_first,
+                        shard: shard as u32,
+                        trie: Arc::new(trie),
+                    });
+                }
             }
         }
         out
     }
 
-    /// Serialize `store` (plus optional pre-built tries) to `w`.
-    /// Returns the total bytes written.
+    /// Serialize `store` (plus optional pre-built tries) to `w` in the
+    /// current (v2, per-shard-sectioned) format. Returns the total bytes
+    /// written.
     pub fn write(
         store: &TripleStore,
         tries: &[FrozenTrieEntry],
         mut w: impl Write,
     ) -> Result<u64, SnapshotError> {
-        let payload = encode_payload(store, tries);
-        let checksum = xxh64(&payload);
+        let partitions = store.partitions() as u32;
+        let sections = encode_sections(store, tries);
         w.write_all(&SNAPSHOT_MAGIC)?;
         w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        w.write_all(&partitions.to_le_bytes())?;
+        w.write_all(&(sections.len() as u32).to_le_bytes())?;
+        let mut total = (V2_HEADER_BYTES + DIR_ENTRY_BYTES * sections.len()) as u64;
+        for s in &sections {
+            w.write_all(&(s.len() as u64).to_le_bytes())?;
+            w.write_all(&xxh64(s).to_le_bytes())?;
+            total += s.len() as u64;
+        }
+        for s in &sections {
+            w.write_all(s)?;
+        }
+        w.flush()?;
+        Ok(total)
+    }
+
+    /// Serialize in the legacy v1 single-arena format (one global
+    /// checksum, no shard sections). Only a `P = 1` store can be encoded
+    /// this way; kept for read-compat tests and for benchmarking the
+    /// sectioned format against the monolithic one.
+    pub fn write_v1(
+        store: &TripleStore,
+        tries: &[FrozenTrieEntry],
+        mut w: impl Write,
+    ) -> Result<u64, SnapshotError> {
+        assert_eq!(store.partitions(), 1, "v1 snapshots are single-arena (P = 1)");
+        let payload = encode_payload_v1(store, tries);
+        let checksum = xxh64(&payload);
+        w.write_all(&SNAPSHOT_MAGIC_V1)?;
+        w.write_all(&1u32.to_le_bytes())?;
         w.write_all(&(payload.len() as u64).to_le_bytes())?;
         w.write_all(&checksum.to_le_bytes())?;
         w.write_all(&payload)?;
         w.flush()?;
-        Ok(HEADER_BYTES as u64 + payload.len() as u64)
+        Ok(V1_HEADER_BYTES as u64 + payload.len() as u64)
     }
 
     /// Serialize to a file path (buffered).
@@ -173,33 +231,41 @@ impl StoreSnapshot {
         StoreSnapshot::write(store, tries, BufWriter::new(File::create(path)?))
     }
 
-    /// Read and verify a snapshot: magic, version, length, checksum, then
-    /// structure. All failure modes are `Err`, never panics — corrupt
-    /// input must not take a serving process down.
-    pub fn read(mut r: impl Read) -> Result<StoreSnapshot, SnapshotError> {
-        let mut header = [0u8; HEADER_BYTES];
-        read_exact_or_truncated(&mut r, &mut header)?;
-        if header[0..8] != SNAPSHOT_MAGIC {
-            return Err(SnapshotError::BadMagic);
+    /// Read and verify a snapshot (either format), sequentially. All
+    /// failure modes are `Err`, never panics — corrupt input must not
+    /// take a serving process down.
+    pub fn read(r: impl Read) -> Result<StoreSnapshot, SnapshotError> {
+        StoreSnapshot::read_with_threads(r, 1)
+    }
+
+    /// Read and verify a snapshot, checksumming and decoding per-shard
+    /// sections on up to `threads` workers (v2 files; v1 files have a
+    /// single section and load sequentially regardless). Verification is
+    /// not weakened by parallelism: every section's checksum and every
+    /// structural invariant is still checked.
+    pub fn read_with_threads(
+        mut r: impl Read,
+        threads: usize,
+    ) -> Result<StoreSnapshot, SnapshotError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        if bytes.len() < 8 {
+            return Err(
+                if bytes.is_empty()
+                    || SNAPSHOT_MAGIC.starts_with(&bytes)
+                    || SNAPSHOT_MAGIC_V1.starts_with(&bytes)
+                {
+                    SnapshotError::Truncated
+                } else {
+                    SnapshotError::BadMagic
+                },
+            );
         }
-        let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::BadVersion(version));
+        match &bytes[0..8] {
+            m if *m == SNAPSHOT_MAGIC => read_v2(&bytes, threads),
+            m if *m == SNAPSHOT_MAGIC_V1 => read_v1(&bytes),
+            _ => Err(SnapshotError::BadMagic),
         }
-        let payload_len = u64::from_le_bytes(header[12..20].try_into().expect("fixed slice"));
-        let checksum = u64::from_le_bytes(header[20..28].try_into().expect("fixed slice"));
-        let mut payload = Vec::new();
-        r.read_to_end(&mut payload)?;
-        if (payload.len() as u64) < payload_len {
-            return Err(SnapshotError::Truncated);
-        }
-        if payload.len() as u64 > payload_len {
-            return Err(SnapshotError::Malformed("trailing bytes after payload"));
-        }
-        if xxh64(&payload) != checksum {
-            return Err(SnapshotError::ChecksumMismatch);
-        }
-        decode_payload(&payload)
     }
 
     /// Read from a file path. The whole file is slurped in one
@@ -207,21 +273,336 @@ impl StoreSnapshot {
     /// a couple hundred KB through a `BufReader`'s 8 KiB window would
     /// just be an extra copy.
     pub fn read_from_path(path: impl AsRef<Path>) -> Result<StoreSnapshot, SnapshotError> {
+        StoreSnapshot::read_from_path_with(path, 1)
+    }
+
+    /// Read from a file path with parallel section verification (see
+    /// [`read_with_threads`](StoreSnapshot::read_with_threads)).
+    pub fn read_from_path_with(
+        path: impl AsRef<Path>,
+        threads: usize,
+    ) -> Result<StoreSnapshot, SnapshotError> {
         let bytes = std::fs::read(path)?;
-        StoreSnapshot::read(&bytes[..])
+        StoreSnapshot::read_with_threads(&bytes[..], threads)
     }
 }
 
-fn read_exact_or_truncated(r: &mut impl Read, buf: &mut [u8]) -> Result<(), SnapshotError> {
-    r.read_exact(buf).map_err(|e| match e.kind() {
-        std::io::ErrorKind::UnexpectedEof => SnapshotError::Truncated,
-        _ => SnapshotError::Io(e),
-    })
+// ------------------------------------------------------------- v2 payload
+
+fn encode_sections(store: &TripleStore, tries: &[FrozenTrieEntry]) -> Vec<Vec<u8>> {
+    let partitions = store.partitions();
+    let mut sections = Vec::with_capacity(partitions + 1);
+    // Section 0: dictionary + predicate registry.
+    let mut head = Vec::new();
+    let dict = store.dict();
+    put_u32(&mut head, dict.len() as u32);
+    for (_, term) in dict.iter() {
+        let (kind, text) = match term {
+            Term::Iri(s) => (0u8, s.as_str()),
+            Term::Literal(s) => (1u8, s.as_str()),
+        };
+        head.push(kind);
+        put_u32(&mut head, text.len() as u32);
+        head.extend_from_slice(text.as_bytes());
+    }
+    let registry = store.shard_tables(0);
+    put_u32(&mut head, registry.len() as u32);
+    for t in registry {
+        put_u32(&mut head, t.pred());
+        put_u32(&mut head, t.name().len() as u32);
+        head.extend_from_slice(t.name().as_bytes());
+        // The cross-shard distinct-object count: derived read-path state,
+        // persisted like the frozen tries so a load never replays the
+        // k-way merge that computed it.
+        let distinct = store.pred_card(t.name()).map_or(0, |c| c.distinct_objects());
+        put_u32(&mut head, distinct as u32);
+    }
+    sections.push(head);
+    // Sections 1..=P: one shard each — its slice of every registered
+    // table (registry order; pred/name implied) plus its frozen tries.
+    for shard in 0..partitions {
+        let mut out = Vec::new();
+        for t in store.shard_tables(shard) {
+            put_u32(&mut out, t.len() as u32);
+            for &(a, b) in t.so_pairs() {
+                put_u32(&mut out, a);
+                put_u32(&mut out, b);
+            }
+            for &(a, b) in t.os_pairs() {
+                put_u32(&mut out, a);
+                put_u32(&mut out, b);
+            }
+        }
+        let mine: Vec<&FrozenTrieEntry> =
+            tries.iter().filter(|e| e.shard as usize == shard).collect();
+        put_u32(&mut out, mine.len() as u32);
+        for e in mine {
+            let (arity, num_tuples, levels, arena) = e.trie.raw_parts();
+            put_u32(&mut out, e.pred);
+            out.push(e.subject_first as u8);
+            put_u32(&mut out, arity);
+            put_u32(&mut out, num_tuples);
+            put_u32(&mut out, levels.len() as u32);
+            for &(off, count) in levels {
+                put_u32(&mut out, off);
+                put_u32(&mut out, count);
+            }
+            put_u32(&mut out, arena.len() as u32);
+            for &w in arena {
+                put_u32(&mut out, w);
+            }
+        }
+        sections.push(out);
+    }
+    sections
 }
 
-// ---------------------------------------------------------------- payload
+fn read_v2(bytes: &[u8], threads: usize) -> Result<StoreSnapshot, SnapshotError> {
+    if bytes.len() < V2_HEADER_BYTES {
+        return Err(SnapshotError::Truncated);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("fixed slice"));
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let partitions = u32::from_le_bytes(bytes[12..16].try_into().expect("fixed slice"));
+    let n_sections = u32::from_le_bytes(bytes[16..20].try_into().expect("fixed slice"));
+    if partitions == 0 || partitions > MAX_PARTITIONS {
+        return Err(SnapshotError::Malformed("implausible partition count"));
+    }
+    if n_sections != partitions + 1 {
+        return Err(SnapshotError::Malformed("section count does not match partitions"));
+    }
+    let n_sections = n_sections as usize;
+    let dir_end = V2_HEADER_BYTES + DIR_ENTRY_BYTES * n_sections;
+    if bytes.len() < dir_end {
+        return Err(SnapshotError::Truncated);
+    }
+    // Slice the payload into sections per the directory, validating the
+    // total length before touching any content.
+    let mut dir = Vec::with_capacity(n_sections);
+    for i in 0..n_sections {
+        let at = V2_HEADER_BYTES + DIR_ENTRY_BYTES * i;
+        let len = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("fixed slice"));
+        let checksum = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("fixed slice"));
+        dir.push((len, checksum));
+    }
+    let total: u64 = dir.iter().map(|&(len, _)| len).sum();
+    let body = &bytes[dir_end..];
+    if (body.len() as u64) < total {
+        return Err(SnapshotError::Truncated);
+    }
+    if body.len() as u64 > total {
+        return Err(SnapshotError::Malformed("trailing bytes after payload"));
+    }
+    let mut sections = Vec::with_capacity(n_sections);
+    let mut at = 0usize;
+    for &(len, checksum) in &dir {
+        let len = len as usize;
+        sections.push((&body[at..at + len], checksum));
+        at += len;
+    }
+    // Section 0 (dictionary + registry) gates everything else: decode it
+    // first, sequentially.
+    let (head, head_sum) = sections[0];
+    if xxh64(head) != head_sum {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    let (terms, registry) = decode_head_section(head)?;
+    // Shard sections verify and decode independently — fan them out. The
+    // subject→shard affinity check rides inside the same fan-out (fused
+    // with the per-pair validation scan), so reassembly below has no
+    // sequential sweep left to pay.
+    let n_terms = terms.len();
+    let partitioner = Partitioner::new(partitions as usize);
+    let shard_results = eh_par::run_tasks(threads.max(1), partitions as usize, |shard| {
+        let (body, sum) = sections[shard + 1];
+        if xxh64(body) != sum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        decode_shard_section(body, &registry, n_terms, partitioner, shard)
+    });
+    let mut shard_tables = Vec::with_capacity(partitions as usize);
+    let mut tries = Vec::new();
+    for (shard, r) in shard_results.into_iter().enumerate() {
+        let (tables, shard_tries) = r?;
+        shard_tables.push(tables);
+        tries.extend(shard_tries.into_iter().map(|(pred, subject_first, trie)| FrozenTrieEntry {
+            pred,
+            subject_first,
+            shard: shard as u32,
+            trie: Arc::new(trie),
+        }));
+    }
+    // The persisted distinct-object stats shape plans, never answer
+    // bytes, so exact recomputation (a cross-shard k-way merge per
+    // predicate — the cost this field exists to avoid) is not worth the
+    // load-path time; bounds against the decoded shards keep a corrupt
+    // claim from surviving: the true count is at least the largest
+    // single-shard count and at most the smaller of the per-shard sum
+    // and the dictionary size. At P = 1 the shard count *is* the true
+    // count, so the claim is checked exactly.
+    let mut agg = std::collections::HashMap::with_capacity(registry.len());
+    for (idx, &(pred, _, claimed)) in registry.iter().enumerate() {
+        let claimed = claimed as usize;
+        let largest = shard_tables.iter().map(|t| t[idx].distinct_objects()).max().unwrap_or(0);
+        let sum: usize = shard_tables.iter().map(|t| t[idx].distinct_objects()).sum();
+        let ok = if partitions == 1 {
+            claimed == largest
+        } else {
+            claimed >= largest && claimed <= sum.min(n_terms)
+        };
+        if !ok {
+            return Err(SnapshotError::Malformed("distinct-object stat out of bounds"));
+        }
+        agg.insert(pred, claimed);
+    }
+    let store = TripleStore::from_partitioned_parts(terms, partitions as usize, shard_tables, agg)
+        .map_err(SnapshotError::Malformed)?;
+    Ok(StoreSnapshot { store, tries })
+}
 
-fn encode_payload(store: &TripleStore, tries: &[FrozenTrieEntry]) -> Vec<u8> {
+/// One predicate-registry entry from section 0: `(pred key, predicate
+/// name, claimed cross-shard distinct-object count)`.
+type RegistryEntry = (u32, String, u32);
+
+/// Decode section 0: dictionary terms in key order plus the predicate
+/// registry shared by every shard — one [`RegistryEntry`] per table. The
+/// distinct-object claim is validated against the decoded shards in
+/// [`read_v2`].
+fn decode_head_section(bytes: &[u8]) -> Result<(Vec<Term>, Vec<RegistryEntry>), SnapshotError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let n_terms = c.u32()? as usize;
+    let mut terms = Vec::with_capacity(n_terms.min(c.remaining()));
+    for _ in 0..n_terms {
+        let kind = c.u8()?;
+        let text = c.string()?;
+        terms.push(match kind {
+            0 => Term::Iri(text),
+            1 => Term::Literal(text),
+            _ => return Err(SnapshotError::Malformed("unknown term kind")),
+        });
+    }
+    let n_tables = c.u32()? as usize;
+    let mut registry = Vec::with_capacity(n_tables.min(c.remaining()));
+    let mut seen = HashSet::new();
+    for _ in 0..n_tables {
+        let pred = c.u32()?;
+        if !seen.insert(pred) {
+            return Err(SnapshotError::Malformed("duplicate predicate table"));
+        }
+        if pred as usize >= terms.len() {
+            return Err(SnapshotError::Malformed("table predicate outside dictionary"));
+        }
+        let name = c.string()?;
+        let distinct = c.u32()?;
+        registry.push((pred, name, distinct));
+    }
+    if c.remaining() != 0 {
+        return Err(SnapshotError::Malformed("unconsumed section bytes"));
+    }
+    Ok((terms, registry))
+}
+
+/// Decode one shard section: its slice of every registered table (with
+/// full structural validation, including that every subject hashes to
+/// this shard) and its frozen tries (validated against the tables just
+/// decoded).
+#[allow(clippy::type_complexity)]
+fn decode_shard_section(
+    bytes: &[u8],
+    registry: &[RegistryEntry],
+    n_terms: usize,
+    partitioner: Partitioner,
+    shard: usize,
+) -> Result<(Vec<PairTable>, Vec<(u32, bool, FrozenTrie)>), SnapshotError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let mut tables = Vec::with_capacity(registry.len());
+    for (pred, name, _) in registry {
+        let n_pairs = c.u32()? as usize;
+        let so = c.pairs(n_pairs)?;
+        let os = c.pairs(n_pairs)?;
+        // One fused pass per order: sorted-unique (so binary searches
+        // work) and id-bounded (an out-of-dictionary id surviving into a
+        // query result would panic in `Dictionary::decode` much later, on
+        // a serving thread — exactly the class of failure the never-panic
+        // guarantee exists for).
+        for pairs in [&so, &os] {
+            let sorted = pairs.windows(2).all(|w| w[0] < w[1]);
+            let bounded =
+                pairs.iter().all(|&(a, b)| (a as usize) < n_terms && (b as usize) < n_terms);
+            if !sorted || !bounded {
+                return Err(SnapshotError::Malformed("table pairs not sorted or out of range"));
+            }
+        }
+        // Subjects must live in the shard their hash names, or a
+        // shard-local join would silently miss them (a swapped pair of
+        // otherwise-valid sections passes every per-section checksum).
+        // Checked here, inside the parallel fan-out, rather than as a
+        // second store-wide sweep at reassembly.
+        if !so.iter().all(|&(s, _)| partitioner.shard_of(s) == shard) {
+            return Err(SnapshotError::Malformed("subject resident in the wrong shard"));
+        }
+        // The two orders must describe the same relation, or the same
+        // query would answer differently depending on which access order
+        // the planner picks. Both are sorted unique and equally long, so
+        // membership of every transposed `os` pair in `so` is a full
+        // bijection check — O(n log n) binary searches, no re-sort.
+        if !os.iter().all(|&(o, s)| so.binary_search(&(s, o)).is_ok()) {
+            return Err(SnapshotError::Malformed("table orders are not transposes"));
+        }
+        tables.push(PairTable::from_sorted_parts(name.clone(), *pred, so, os));
+    }
+    let n_tries = c.u32()? as usize;
+    let mut tries = Vec::with_capacity(n_tries.min(c.remaining()));
+    let mut seen_orders = HashSet::new();
+    for _ in 0..n_tries {
+        let pred = c.u32()?;
+        let subject_first = match c.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Malformed("bad trie order flag")),
+        };
+        if !seen_orders.insert((pred, subject_first)) {
+            return Err(SnapshotError::Malformed("duplicate frozen trie entry"));
+        }
+        let arity = c.u32()?;
+        let num_tuples = c.u32()?;
+        let n_levels = c.u32()? as usize;
+        let mut levels = Vec::with_capacity(n_levels.min(c.remaining()));
+        for _ in 0..n_levels {
+            let off = c.u32()?;
+            let count = c.u32()?;
+            levels.push((off, count));
+        }
+        let arena_len = c.u32()? as usize;
+        let arena = c.words(arena_len)?;
+        let trie = FrozenTrie::from_raw_parts(arity, num_tuples, levels, arena)
+            .map_err(SnapshotError::Malformed)?;
+        // A preloaded trie is served by the catalog as if it were built
+        // from the shard's table, so its contents must *be* that table in
+        // the claimed order, tuple for tuple — a count or id-range check
+        // would let a transposed (or otherwise mislabeled) trie through
+        // and silently corrupt every query over its predicate.
+        let Some(table) = registry.iter().position(|&(p, _, _)| p == pred).map(|i| &tables[i])
+        else {
+            return Err(SnapshotError::Malformed("frozen trie for an absent table"));
+        };
+        let pairs = if subject_first { table.so_pairs() } else { table.os_pairs() };
+        if !trie.matches_pairs(pairs) {
+            return Err(SnapshotError::Malformed("frozen trie does not match its table"));
+        }
+        tries.push((pred, subject_first, trie));
+    }
+    if c.remaining() != 0 {
+        return Err(SnapshotError::Malformed("unconsumed section bytes"));
+    }
+    Ok((tables, tries))
+}
+
+// ------------------------------------------------- v1 payload (read-compat)
+
+fn encode_payload_v1(store: &TripleStore, tries: &[FrozenTrieEntry]) -> Vec<u8> {
     let mut out = Vec::new();
     // Dictionary.
     let dict = store.dict();
@@ -255,6 +636,7 @@ fn encode_payload(store: &TripleStore, tries: &[FrozenTrieEntry]) -> Vec<u8> {
     // Frozen tries.
     put_u32(&mut out, tries.len() as u32);
     for e in tries {
+        assert_eq!(e.shard, 0, "v1 snapshots have no shards");
         let (arity, num_tuples, levels, arena) = e.trie.raw_parts();
         put_u32(&mut out, e.pred);
         out.push(e.subject_first as u8);
@@ -273,7 +655,30 @@ fn encode_payload(store: &TripleStore, tries: &[FrozenTrieEntry]) -> Vec<u8> {
     out
 }
 
-fn decode_payload(bytes: &[u8]) -> Result<StoreSnapshot, SnapshotError> {
+fn read_v1(bytes: &[u8]) -> Result<StoreSnapshot, SnapshotError> {
+    if bytes.len() < V1_HEADER_BYTES {
+        return Err(SnapshotError::Truncated);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("fixed slice"));
+    if version != 1 {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("fixed slice"));
+    let checksum = u64::from_le_bytes(bytes[20..28].try_into().expect("fixed slice"));
+    let payload = &bytes[V1_HEADER_BYTES..];
+    if (payload.len() as u64) < payload_len {
+        return Err(SnapshotError::Truncated);
+    }
+    if payload.len() as u64 > payload_len {
+        return Err(SnapshotError::Malformed("trailing bytes after payload"));
+    }
+    if xxh64(payload) != checksum {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    decode_payload_v1(payload)
+}
+
+fn decode_payload_v1(bytes: &[u8]) -> Result<StoreSnapshot, SnapshotError> {
     let mut c = Cursor { bytes, pos: 0 };
     // Dictionary.
     let n_terms = c.u32()? as usize;
@@ -290,7 +695,7 @@ fn decode_payload(bytes: &[u8]) -> Result<StoreSnapshot, SnapshotError> {
     // Tables.
     let n_tables = c.u32()? as usize;
     let mut tables = Vec::with_capacity(n_tables.min(c.remaining()));
-    let mut seen_preds = std::collections::HashSet::new();
+    let mut seen_preds = HashSet::new();
     for _ in 0..n_tables {
         let pred = c.u32()?;
         // Duplicate tables would make `by_pred` (last wins) disagree with
@@ -306,11 +711,6 @@ fn decode_payload(bytes: &[u8]) -> Result<StoreSnapshot, SnapshotError> {
         if pred as usize >= terms.len() {
             return Err(SnapshotError::Malformed("table predicate outside dictionary"));
         }
-        // One fused pass per order: sorted-unique (so binary searches
-        // work) and id-bounded (an out-of-dictionary id surviving into a
-        // query result would panic in `Dictionary::decode` much later, on
-        // a serving thread — exactly the class of failure the never-panic
-        // guarantee exists for).
         for pairs in [&so, &os] {
             let sorted = pairs.windows(2).all(|w| w[0] < w[1]);
             let bounded = pairs.last().is_none_or(|&(a, _)| (a as usize) < terms.len())
@@ -319,11 +719,6 @@ fn decode_payload(bytes: &[u8]) -> Result<StoreSnapshot, SnapshotError> {
                 return Err(SnapshotError::Malformed("table pairs not sorted or out of range"));
             }
         }
-        // The two orders must describe the same relation, or the same
-        // query would answer differently depending on which access order
-        // the planner picks. Both are sorted unique and equally long, so
-        // membership of every transposed `os` pair in `so` is a full
-        // bijection check — O(n log n) binary searches, no re-sort.
         if !os.iter().all(|&(o, s)| so.binary_search(&(s, o)).is_ok()) {
             return Err(SnapshotError::Malformed("table orders are not transposes"));
         }
@@ -333,7 +728,7 @@ fn decode_payload(bytes: &[u8]) -> Result<StoreSnapshot, SnapshotError> {
     // Frozen tries.
     let n_tries = c.u32()? as usize;
     let mut tries = Vec::with_capacity(n_tries.min(c.remaining()));
-    let mut seen_orders = std::collections::HashSet::new();
+    let mut seen_orders = HashSet::new();
     for _ in 0..n_tries {
         let pred = c.u32()?;
         let subject_first = match c.u8()? {
@@ -357,13 +752,6 @@ fn decode_payload(bytes: &[u8]) -> Result<StoreSnapshot, SnapshotError> {
         let arena = c.words(arena_len)?;
         let trie = FrozenTrie::from_raw_parts(arity, num_tuples, levels, arena)
             .map_err(SnapshotError::Malformed)?;
-        // A preloaded trie is served by the catalog as if it were built
-        // from the table, so its contents must *be* the table in the
-        // claimed order, tuple for tuple — a count or id-range check
-        // would let a transposed (or otherwise mislabeled) trie through
-        // and silently corrupt every query over its predicate. This walk
-        // is an O(n) in-place decode + compare: no sorting, no rebuild,
-        // so the zero-copy load path keeps its speedup.
         let Some(table) = store.table(pred) else {
             return Err(SnapshotError::Malformed("frozen trie for an absent table"));
         };
@@ -371,7 +759,7 @@ fn decode_payload(bytes: &[u8]) -> Result<StoreSnapshot, SnapshotError> {
         if !trie.matches_pairs(pairs) {
             return Err(SnapshotError::Malformed("frozen trie does not match its table"));
         }
-        tries.push(FrozenTrieEntry { pred, subject_first, trie: Arc::new(trie) });
+        tries.push(FrozenTrieEntry { pred, subject_first, shard: 0, trie: Arc::new(trie) });
     }
     if c.remaining() != 0 {
         return Err(SnapshotError::Malformed("unconsumed payload bytes"));
@@ -534,6 +922,17 @@ mod tests {
         ])
     }
 
+    fn wide_triples() -> Vec<Triple> {
+        // Enough distinct subjects that every shard of a P=4 store is
+        // non-empty.
+        let mut v = Vec::new();
+        for i in 0..32u32 {
+            v.push(t(&format!("s{i}"), "p", &format!("o{}", i % 5)));
+            v.push(t(&format!("s{i}"), "q", "hub"));
+        }
+        v
+    }
+
     fn snapshot_bytes(store: &TripleStore) -> Vec<u8> {
         let tries = StoreSnapshot::hot_tries(store);
         let mut buf = Vec::new();
@@ -578,6 +977,7 @@ mod tests {
         // to a fresh build from the loaded table.
         assert_eq!(snap.tries.len(), 2 * store.tables().len());
         for e in &snap.tries {
+            assert_eq!(e.shard, 0);
             let table = snap.store.table(e.pred).unwrap();
             let pairs = if e.subject_first { table.so_pairs() } else { table.os_pairs() };
             let fresh = FrozenTrie::from_sorted(
@@ -586,6 +986,75 @@ mod tests {
             );
             assert_eq!(*e.trie, fresh);
         }
+    }
+
+    #[test]
+    fn partitioned_roundtrip_preserves_shards() {
+        let store = TripleStore::from_triples_partitioned(wide_triples(), 4);
+        let bytes = snapshot_bytes(&store);
+        for threads in [1, 4] {
+            let snap = StoreSnapshot::read_with_threads(&bytes[..], threads).unwrap();
+            assert_eq!(snap.store.partitions(), 4);
+            assert_eq!(
+                snap.store.encoded_triples().collect::<Vec<_>>(),
+                store.encoded_triples().collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            assert!(snap.store.__invariant_check());
+            // Every shipped trie round-trips into the shard it came from.
+            for shard in 0..4 {
+                for table in store.shard_tables(shard) {
+                    if table.is_empty() {
+                        continue;
+                    }
+                    for subject_first in [true, false] {
+                        let e = snap
+                            .tries
+                            .iter()
+                            .find(|e| {
+                                e.shard as usize == shard
+                                    && e.pred == table.pred()
+                                    && e.subject_first == subject_first
+                            })
+                            .expect("trie present for shard order");
+                        let pairs = if subject_first { table.so_pairs() } else { table.os_pairs() };
+                        assert!(e.trie.matches_pairs(pairs));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_as_single_shard() {
+        let store = sample_store();
+        let tries = StoreSnapshot::hot_tries(&store);
+        let mut buf = Vec::new();
+        StoreSnapshot::write_v1(&store, &tries, &mut buf).unwrap();
+        assert_eq!(&buf[0..8], &SNAPSHOT_MAGIC_V1);
+        let snap = StoreSnapshot::read(&buf[..]).unwrap();
+        assert_eq!(snap.store.partitions(), 1);
+        assert_eq!(
+            snap.store.encoded_triples().collect::<Vec<_>>(),
+            store.encoded_triples().collect::<Vec<_>>()
+        );
+        assert_eq!(snap.tries.len(), tries.len());
+        assert!(snap.tries.iter().all(|e| e.shard == 0));
+        // The v1 corruption surface stays guarded: version, truncation,
+        // checksum.
+        let mut bad = buf.clone();
+        bad[8] = 9;
+        assert!(matches!(StoreSnapshot::read(&bad[..]), Err(SnapshotError::BadVersion(9))));
+        for cut in [7, 20, 27, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                matches!(StoreSnapshot::read(&buf[..cut]), Err(SnapshotError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(StoreSnapshot::read(&bad[..]), Err(SnapshotError::ChecksumMismatch)));
     }
 
     #[test]
@@ -623,13 +1092,15 @@ mod tests {
         bad[8] = 99;
         assert!(matches!(StoreSnapshot::read(&bad[..]), Err(SnapshotError::BadVersion(99))));
 
-        for cut in [0, 7, 12, 23, 24, good.len() / 2, good.len() - 1] {
+        for cut in [0, 7, 12, 19, 24, good.len() / 2, good.len() - 1] {
             assert!(
                 matches!(StoreSnapshot::read(&good[..cut]), Err(SnapshotError::Truncated)),
                 "cut at {cut}"
             );
         }
 
+        // Flipping a byte inside any section must trip that section's
+        // checksum.
         let mut bad = good.clone();
         let last = bad.len() - 1;
         bad[last] ^= 0x01;
@@ -641,20 +1112,91 @@ mod tests {
     }
 
     #[test]
-    fn single_byte_mutations_never_panic() {
-        // The corruption property, exhaustively for one small snapshot:
-        // every single-byte mutation either still reads (a single flip
-        // never collides the checksum, but stay permissive) or returns a
-        // typed error — it must never panic.
-        // The workspace-level proptest widens this to random multi-byte
-        // mutations over random stores.
-        let store = TripleStore::from_triples(vec![t("a", "p", "b")]);
+    fn corrupt_section_headers_are_typed_errors() {
+        let store = TripleStore::from_triples_partitioned(wide_triples(), 2);
         let good = snapshot_bytes(&store);
-        for i in 0..good.len() {
-            for flip in [0x01u8, 0x80, 0xFF] {
-                let mut bad = good.clone();
-                bad[i] ^= flip;
-                let _ = StoreSnapshot::read(&bad[..]);
+
+        // Partition count of 0 and an implausibly huge one.
+        for forged in [0u32, u32::MAX] {
+            let mut bad = good.clone();
+            bad[12..16].copy_from_slice(&forged.to_le_bytes());
+            assert!(
+                matches!(StoreSnapshot::read(&bad[..]), Err(SnapshotError::Malformed(_))),
+                "partitions={forged}"
+            );
+        }
+        // Section count disagreeing with the partition count.
+        let mut bad = good.clone();
+        bad[16..20].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(StoreSnapshot::read(&bad[..]), Err(SnapshotError::Malformed(_))));
+
+        // A directory length pointing past the file.
+        let mut bad = good.clone();
+        bad[20..28].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(matches!(StoreSnapshot::read(&bad[..]), Err(SnapshotError::Truncated)));
+
+        // A directory checksum that no longer matches its section.
+        let mut bad = good.clone();
+        bad[28] ^= 0xFF;
+        assert!(matches!(StoreSnapshot::read(&bad[..]), Err(SnapshotError::ChecksumMismatch)));
+    }
+
+    #[test]
+    fn swapped_shard_sections_are_rejected() {
+        // Swap the two shard payloads of a P=2 snapshot and re-seal their
+        // checksums: every per-section check still passes, but subjects
+        // now sit in shards their hash does not name — the cross-section
+        // affinity check must catch it (a shard-local join would
+        // otherwise silently miss them).
+        let store = TripleStore::from_triples_partitioned(wide_triples(), 2);
+        let mut sections = encode_sections(&store, &[]);
+        assert!(sections[1] != sections[2], "both shards populated");
+        sections.swap(1, 2);
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&SNAPSHOT_MAGIC);
+        forged.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        forged.extend_from_slice(&2u32.to_le_bytes());
+        forged.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        for s in &sections {
+            forged.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            forged.extend_from_slice(&xxh64(s).to_le_bytes());
+        }
+        for s in &sections {
+            forged.extend_from_slice(s);
+        }
+        assert!(
+            matches!(
+                StoreSnapshot::read(&forged[..]),
+                Err(SnapshotError::Malformed(m)) if m.contains("shard")
+            ),
+            "mis-sharded subjects must be rejected"
+        );
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic() {
+        // The corruption property, exhaustively for small snapshots in
+        // both formats and at P ∈ {1, 2}: every single-byte mutation
+        // either still reads (a single flip never collides the checksum,
+        // but stay permissive) or returns a typed error — it must never
+        // panic. The workspace-level proptest widens this to random
+        // multi-byte mutations over random stores.
+        let store = TripleStore::from_triples(vec![t("a", "p", "b")]);
+        let mut cases = vec![snapshot_bytes(&store)];
+        let mut v1 = Vec::new();
+        StoreSnapshot::write_v1(&store, &StoreSnapshot::hot_tries(&store), &mut v1).unwrap();
+        cases.push(v1);
+        cases.push(snapshot_bytes(&TripleStore::from_triples_partitioned(
+            vec![t("a", "p", "b"), t("c", "p", "d"), t("e", "p", "f")],
+            2,
+        )));
+        for good in cases {
+            for i in 0..good.len() {
+                for flip in [0x01u8, 0x80, 0xFF] {
+                    let mut bad = good.clone();
+                    bad[i] ^= flip;
+                    let _ = StoreSnapshot::read(&bad[..]);
+                }
             }
         }
     }
@@ -683,7 +1225,12 @@ mod tests {
             eh_trie::TupleBuffer::from_pairs(&[(7, 8)]),
             eh_trie::LayoutPolicy::Auto,
         );
-        let entry = FrozenTrieEntry { pred, subject_first: true, trie: std::sync::Arc::new(rogue) };
+        let entry = FrozenTrieEntry {
+            pred,
+            subject_first: true,
+            shard: 0,
+            trie: std::sync::Arc::new(rogue),
+        };
         let mut buf = Vec::new();
         StoreSnapshot::write(&store, &[entry], &mut buf).unwrap();
         assert!(
@@ -707,6 +1254,7 @@ mod tests {
         let entry = FrozenTrieEntry {
             pred: table.pred(),
             subject_first: true, // lie: this is the [o, s] trie
+            shard: 0,
             trie: std::sync::Arc::new(transposed),
         };
         let mut buf = Vec::new();
@@ -770,14 +1318,15 @@ mod tests {
             /// checksum mismatch, or malformed structure — never a panic.
             #[test]
             fn random_mutations_return_err_not_panic(
+                partitions in 1usize..=4,
                 flips in proptest::collection::vec((0usize..2048, 1u8..=255), 1..16),
                 cut in 0usize..4096,
             ) {
-                let store = TripleStore::from_triples(vec![
+                let store = TripleStore::from_triples_partitioned(vec![
                     t("a", "p", "b"),
                     t("a", "p", "c"),
                     t("b", "q", "c"),
-                ]);
+                ], partitions);
                 let good = snapshot_bytes(&store);
                 let mut bad = good.clone();
                 for &(pos, mask) in &flips {

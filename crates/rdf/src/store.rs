@@ -1,8 +1,10 @@
-//! The in-memory triple store: dictionary + vertically partitioned tables.
+//! The in-memory triple store: dictionary + vertically partitioned tables,
+//! hash-partitioned into subject shards.
 
 use std::collections::HashMap;
 
 use crate::dict::Dictionary;
+use crate::partition::Partitioner;
 use crate::term::Term;
 use crate::triple::{EncodedTriple, Triple};
 use crate::vp::PairTable;
@@ -10,6 +12,13 @@ use crate::vp::PairTable;
 /// An in-memory RDF store in the paper's storage model: every term is
 /// dictionary-encoded to a `u32` and triples are vertically partitioned
 /// into one [`PairTable`] per predicate (§II-A1, §IV-A2).
+///
+/// On top of the vertical partitioning, the store is **hash-partitioned
+/// by subject** into `P` shards (see [`Partitioner`]): each shard owns its
+/// own slice of every predicate's pairs plus its own staged
+/// [`PredDelta`]s, while the dictionary is shared store-wide. `P = 1`
+/// (the default everywhere) is layout-identical to the unpartitioned
+/// store — one shard holding every table.
 ///
 /// Loading is two-phase: [`insert`](TripleStore::insert) buffers raw pairs,
 /// and [`commit`](TripleStore::commit) (or the bulk
@@ -26,19 +35,27 @@ use crate::vp::PairTable;
 /// * **Staged (LSM-style)** —
 ///   [`stage_add_triples`](TripleStore::stage_add_triples) and
 ///   [`stage_remove_triples`](TripleStore::stage_remove_triples) record
-///   the batch as a sorted per-predicate [`PredDelta`] (inserts +
+///   the batch as a sorted per-(shard, predicate) [`PredDelta`] (inserts +
 ///   tombstones) in O(delta) without touching the base tables; a later
 ///   [`compact_pred`](TripleStore::compact_pred) /
 ///   [`compact_all`](TripleStore::compact_all) folds deltas into fresh
-///   tables off the hot path. Logical accessors ([`num_triples`],
-///   [`encoded_triples`], [`stats`]) always report the merged view;
-///   [`table`](TripleStore::table) exposes the frozen **base** only, with
-///   [`delta`](TripleStore::delta) carrying the rest.
+///   tables off the hot path — or, shard-locally,
+///   [`compact_pred_in`](TripleStore::compact_pred_in) folds a single
+///   shard. Logical accessors ([`num_triples`], [`encoded_triples`],
+///   [`stats`]) always report the merged view across all shards;
+///   [`shard_table`](TripleStore::shard_table) exposes one shard's frozen
+///   **base** only, with [`shard_delta`](TripleStore::shard_delta)
+///   carrying the rest.
 ///
 /// Both ways report which predicates actually changed, so an index layer
 /// can invalidate only the tries those predicates back. Removal never
 /// shrinks the dictionary and leaves emptied tables in place — term keys
 /// stay stable for the lifetime of the store.
+///
+/// The single-table accessors ([`table`](TripleStore::table),
+/// [`tables`](TripleStore::tables), [`delta`](TripleStore::delta)) are the
+/// `P = 1` view and panic on a partitioned store; partitioned callers use
+/// the shard accessors or the aggregate [`PredCard`] statistics view.
 ///
 /// [`num_triples`]: TripleStore::num_triples
 /// [`encoded_triples`]: TripleStore::encoded_triples
@@ -46,18 +63,34 @@ use crate::vp::PairTable;
 #[derive(Debug, Default, Clone)]
 pub struct TripleStore {
     dict: Dictionary,
-    tables: Vec<PairTable>,
+    partitioner: Partitioner,
+    /// Predicate key → table index; the index is valid in **every**
+    /// shard (all shards register every predicate, in the same order).
     by_pred: HashMap<u32, usize>,
-    deltas: HashMap<u32, PredDelta>,
+    shards: Vec<StoreShard>,
+    /// `P > 1` only: per-predicate distinct-object counts across shards
+    /// (objects, unlike subjects, are not disjoint across shards).
+    /// Recomputed whenever a base table changes — the same events that
+    /// already pay an O(predicate) rebuild.
+    agg_distinct_objects: HashMap<u32, usize>,
     pending: HashMap<u32, Vec<(u32, u32)>>,
     pending_names: Vec<(u32, String)>,
     n_pending: usize,
 }
 
-/// Staged, uncompacted mutations for one predicate: sorted insert pairs
-/// disjoint from the base table and sorted tombstone pairs resident in
-/// it. Both slices are subject-major `(s, o)`; consumers needing the
-/// object-major orientation permute and re-sort (deltas are small).
+/// One subject-hash shard: its slice of every predicate's base pairs plus
+/// its staged deltas. Table indices align across shards.
+#[derive(Debug, Default, Clone)]
+struct StoreShard {
+    tables: Vec<PairTable>,
+    deltas: HashMap<u32, PredDelta>,
+}
+
+/// Staged, uncompacted mutations for one predicate within one shard:
+/// sorted insert pairs disjoint from the shard's base table and sorted
+/// tombstone pairs resident in it. Both slices are subject-major
+/// `(s, o)`; consumers needing the object-major orientation permute and
+/// re-sort (deltas are small).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct PredDelta {
     ins: Vec<(u32, u32)>,
@@ -125,6 +158,17 @@ pub struct StoreStats {
     pub terms: usize,
 }
 
+/// Per-shard summary statistics, for skew observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Distinct triples in this shard's **logical** (delta-merged) view.
+    pub triples: usize,
+    /// Staged pairs (inserts + tombstones) across this shard's deltas.
+    pub staged_pairs: usize,
+}
+
 /// What a mutation actually changed, in dictionary-encoded terms.
 ///
 /// "Actually" is load-bearing: inserting a resident triple or deleting an
@@ -157,15 +201,91 @@ impl UpdateReport {
     }
 }
 
-impl TripleStore {
-    /// An empty store.
-    pub fn new() -> TripleStore {
-        TripleStore::default()
+/// Aggregate per-predicate statistics that are **partition-invariant**:
+/// the same numbers whether the store holds one shard or many, so the
+/// planner's cardinality heuristics (and therefore the chosen plans) do
+/// not depend on `P`. Subjects are disjoint across shards (sums are
+/// exact); distinct objects come from the store's cross-shard count.
+#[derive(Debug, Clone, Copy)]
+pub struct PredCard<'a> {
+    store: &'a TripleStore,
+    idx: usize,
+    pred: u32,
+}
+
+impl PredCard<'_> {
+    /// Base pairs across all shards (deltas excluded, like the `P = 1`
+    /// table view the planner always used).
+    pub fn len(&self) -> usize {
+        self.store.shards.iter().map(|sh| sh.tables[self.idx].len()).sum()
     }
 
-    /// Bulk-build a committed store.
+    /// True when every shard's base table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distinct subjects across all shards (disjoint by construction).
+    pub fn distinct_subjects(&self) -> usize {
+        self.store.shards.iter().map(|sh| sh.tables[self.idx].distinct_subjects()).sum()
+    }
+
+    /// Distinct objects across all shards (deduplicated cross-shard).
+    pub fn distinct_objects(&self) -> usize {
+        if self.store.partitions() == 1 {
+            self.store.shards[0].tables[self.idx].distinct_objects()
+        } else {
+            self.store.agg_distinct_objects.get(&self.pred).copied().unwrap_or(0)
+        }
+    }
+
+    /// Base pairs with the given subject — served by exactly the shard
+    /// that owns it.
+    pub fn matches_for_subject(&self, s: u32) -> usize {
+        let shard = self.store.partitioner.shard_of(s);
+        self.store.shards[shard].tables[self.idx].pairs_for_subject(s).len()
+    }
+
+    /// Base pairs with the given object, summed across shards.
+    pub fn matches_for_object(&self, o: u32) -> usize {
+        self.store.shards.iter().map(|sh| sh.tables[self.idx].pairs_for_object(o).len()).sum()
+    }
+}
+
+impl TripleStore {
+    /// An empty single-shard store.
+    pub fn new() -> TripleStore {
+        TripleStore::with_partitions(1)
+    }
+
+    /// An empty store hash-partitioned into `max(1, partitions)` subject
+    /// shards.
+    pub fn with_partitions(partitions: usize) -> TripleStore {
+        let partitioner = Partitioner::new(partitions);
+        TripleStore {
+            dict: Dictionary::default(),
+            partitioner,
+            by_pred: HashMap::new(),
+            shards: vec![StoreShard::default(); partitioner.partitions()],
+            agg_distinct_objects: HashMap::new(),
+            pending: HashMap::new(),
+            pending_names: Vec::new(),
+            n_pending: 0,
+        }
+    }
+
+    /// Bulk-build a committed single-shard store.
     pub fn from_triples(triples: impl IntoIterator<Item = Triple>) -> TripleStore {
-        let mut store = TripleStore::new();
+        TripleStore::from_triples_partitioned(triples, 1)
+    }
+
+    /// Bulk-build a committed store hash-partitioned into `partitions`
+    /// subject shards.
+    pub fn from_triples_partitioned(
+        triples: impl IntoIterator<Item = Triple>,
+        partitions: usize,
+    ) -> TripleStore {
+        let mut store = TripleStore::with_partitions(partitions);
         for t in triples {
             store.insert(t);
         }
@@ -173,20 +293,76 @@ impl TripleStore {
         store
     }
 
-    /// Reassemble a committed store from snapshot parts: the dictionary's
-    /// terms in key order plus fully built tables. The `by_pred` index is
-    /// rebuilt; nothing is sorted or re-encoded.
+    /// Reassemble a committed single-shard store from snapshot parts: the
+    /// dictionary's terms in key order plus fully built tables. The
+    /// `by_pred` index is rebuilt; nothing is sorted or re-encoded.
     pub(crate) fn from_snapshot_parts(terms: Vec<Term>, tables: Vec<PairTable>) -> TripleStore {
         let by_pred = tables.iter().enumerate().map(|(i, t)| (t.pred(), i)).collect();
         TripleStore {
             dict: Dictionary::from_terms(terms),
-            tables,
+            partitioner: Partitioner::new(1),
             by_pred,
-            deltas: HashMap::new(),
+            shards: vec![StoreShard { tables, deltas: HashMap::new() }],
+            agg_distinct_objects: HashMap::new(),
             pending: HashMap::new(),
             pending_names: Vec::new(),
             n_pending: 0,
         }
+    }
+
+    /// Reassemble a committed partitioned store from per-shard snapshot
+    /// parts plus the persisted per-predicate cross-shard distinct-object
+    /// counts. Every shard must register the same predicates in the same
+    /// order — checked here. Two invariants are the *caller's* contract,
+    /// verified by the snapshot decoder (the only untrusted input path)
+    /// where they are cheap: subject→shard affinity inside the parallel
+    /// per-shard decode pass (fused with the sorted/bounded scan), and
+    /// the distinct-object claims bounds-checked against the decoded
+    /// shards — so reassembly replays neither a store-wide pair sweep nor
+    /// a k-way merge per predicate.
+    pub(crate) fn from_partitioned_parts(
+        terms: Vec<Term>,
+        partitions: usize,
+        shard_tables: Vec<Vec<PairTable>>,
+        agg_distinct_objects: HashMap<u32, usize>,
+    ) -> Result<TripleStore, &'static str> {
+        let partitioner = Partitioner::new(partitions);
+        if shard_tables.len() != partitioner.partitions() {
+            return Err("shard count does not match partition count");
+        }
+        let first = &shard_tables[0];
+        for tables in &shard_tables {
+            if tables.len() != first.len() {
+                return Err("shards register different predicate counts");
+            }
+            for (a, b) in tables.iter().zip(first) {
+                if a.pred() != b.pred() || a.name() != b.name() {
+                    return Err("shards register different predicates");
+                }
+            }
+        }
+        debug_assert!(shard_tables.iter().enumerate().all(|(shard, tables)| {
+            tables
+                .iter()
+                .all(|t| t.so_pairs().iter().all(|&(s, _)| partitioner.shard_of(s) == shard))
+        }));
+        let by_pred: HashMap<u32, usize> =
+            first.iter().enumerate().map(|(i, t)| (t.pred(), i)).collect();
+        let agg_distinct_objects =
+            if partitioner.partitions() > 1 { agg_distinct_objects } else { HashMap::new() };
+        Ok(TripleStore {
+            dict: Dictionary::from_terms(terms),
+            partitioner,
+            by_pred,
+            shards: shard_tables
+                .into_iter()
+                .map(|tables| StoreShard { tables, deltas: HashMap::new() })
+                .collect(),
+            agg_distinct_objects,
+            pending: HashMap::new(),
+            pending_names: Vec::new(),
+            n_pending: 0,
+        })
     }
 
     /// Buffer one triple (call [`commit`](TripleStore::commit) before reading).
@@ -222,45 +398,98 @@ impl TripleStore {
         // Eager merges rebuild base tables from their current contents;
         // fold staged deltas in first so nothing is silently dropped or
         // duplicated across the base/delta split.
-        if !self.deltas.is_empty() {
+        if self.has_deltas() {
             self.compact_all();
         }
         let names: HashMap<u32, String> = self.pending_names.drain(..).collect();
-        let pending = std::mem::take(&mut self.pending);
+        // Drain in predicate-key order, not HashMap order: table
+        // registration order must be deterministic so two stores built
+        // from the same triples are identical regardless of hasher seeds
+        // (the partition-determinism matrix compares across instances).
+        let mut pending: Vec<(u32, Vec<(u32, u32)>)> =
+            std::mem::take(&mut self.pending).into_iter().collect();
+        pending.sort_unstable_by_key(|&(p, _)| p);
         self.n_pending = 0;
         for (p, mut pairs) in pending {
             pairs.sort_unstable();
             pairs.dedup();
-            match self.by_pred.get(&p) {
-                Some(&idx) => {
-                    // Merge with the existing table: rebuild from the
-                    // union, but only when something genuinely new landed.
-                    let old = &self.tables[idx];
-                    pairs.retain(|&(s, o)| !old.contains(s, o));
-                    if pairs.is_empty() {
-                        continue;
+            match self.by_pred.get(&p).copied() {
+                Some(idx) => {
+                    // Merge with each owning shard's table: rebuild from
+                    // the union, but only where something genuinely new
+                    // landed.
+                    let mut added_here = 0;
+                    for shard in 0..self.shards.len() {
+                        let sh = &mut self.shards[shard];
+                        let old = &sh.tables[idx];
+                        let mut fresh: Vec<(u32, u32)> = pairs
+                            .iter()
+                            .copied()
+                            .filter(|&(s, _)| self.partitioner.shard_of(s) == shard)
+                            .filter(|&(s, o)| !old.contains(s, o))
+                            .collect();
+                        if fresh.is_empty() {
+                            continue;
+                        }
+                        added_here += fresh.len();
+                        fresh.extend_from_slice(old.so_pairs());
+                        let name = old.name().to_string();
+                        sh.tables[idx] = PairTable::build(name, p, fresh);
                     }
-                    report.added += pairs.len();
-                    report.changed_preds.push(p);
-                    pairs.extend_from_slice(old.so_pairs());
-                    let name = old.name().to_string();
-                    self.tables[idx] = PairTable::build(name, p, pairs);
+                    if added_here > 0 {
+                        report.added += added_here;
+                        report.changed_preds.push(p);
+                        self.recompute_agg(p);
+                    }
                 }
                 None => {
                     let name = names
                         .get(&p)
                         .cloned()
                         .unwrap_or_else(|| self.dict.decode(p).as_str().to_string());
-                    let idx = self.tables.len();
-                    self.tables.push(PairTable::build(name, p, pairs));
-                    self.by_pred.insert(p, idx);
-                    report.added += self.tables[idx].len();
+                    let idx = self.register_pred(p, &name);
+                    for shard in 0..self.shards.len() {
+                        let mine: Vec<(u32, u32)> = pairs
+                            .iter()
+                            .copied()
+                            .filter(|&(s, _)| self.partitioner.shard_of(s) == shard)
+                            .collect();
+                        self.shards[shard].tables[idx] = PairTable::build(name.clone(), p, mine);
+                    }
+                    report.added += pairs.len();
                     report.changed_preds.push(p);
+                    self.recompute_agg(p);
                 }
             }
         }
         report.changed_preds.sort_unstable();
         report
+    }
+
+    /// Register a predicate: every shard gets an (initially empty) table
+    /// at the same index. Returns the shared table index.
+    fn register_pred(&mut self, p: u32, name: &str) -> usize {
+        let idx = self.num_tables();
+        for sh in &mut self.shards {
+            sh.tables.push(PairTable::build(name.to_string(), p, Vec::new()));
+        }
+        self.by_pred.insert(p, idx);
+        idx
+    }
+
+    /// Recompute the cross-shard distinct-object count for one predicate
+    /// (only maintained when partitioned; `P = 1` reads the table's own
+    /// count). O(predicate pairs) — called only from paths that already
+    /// rebuilt a base table at that cost.
+    fn recompute_agg(&mut self, pred: u32) {
+        if self.partitions() == 1 {
+            return;
+        }
+        let Some(&idx) = self.by_pred.get(&pred) else { return };
+        let slices: Vec<&[(u32, u32)]> =
+            self.shards.iter().map(|sh| sh.tables[idx].os_pairs()).collect();
+        let distinct = distinct_first_across(&slices);
+        self.agg_distinct_objects.insert(pred, distinct);
     }
 
     /// Post-commit insertion: encode and merge a batch of triples,
@@ -287,7 +516,7 @@ impl TripleStore {
     /// Panics when called on an uncommitted store.
     pub fn remove_triples(&mut self, triples: impl IntoIterator<Item = Triple>) -> UpdateReport {
         self.assert_committed();
-        if !self.deltas.is_empty() {
+        if self.has_deltas() {
             self.compact_all();
         }
         let mut victims: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
@@ -306,32 +535,41 @@ impl TripleStore {
             gone.sort_unstable();
             gone.dedup();
             let idx = self.by_pred[&p];
-            let old = &self.tables[idx];
-            let kept: Vec<(u32, u32)> = old
-                .so_pairs()
-                .iter()
-                .copied()
-                .filter(|pr| gone.binary_search(pr).is_err())
-                .collect();
-            let removed = old.len() - kept.len();
-            if removed > 0 {
-                let name = old.name().to_string();
-                self.tables[idx] = PairTable::build(name, p, kept);
-                report.removed += removed;
+            let mut removed_here = 0;
+            for shard in 0..self.shards.len() {
+                let old = &self.shards[shard].tables[idx];
+                let kept: Vec<(u32, u32)> = old
+                    .so_pairs()
+                    .iter()
+                    .copied()
+                    .filter(|pr| gone.binary_search(pr).is_err())
+                    .collect();
+                let removed = old.len() - kept.len();
+                if removed > 0 {
+                    let name = old.name().to_string();
+                    self.shards[shard].tables[idx] = PairTable::build(name, p, kept);
+                    removed_here += removed;
+                }
+            }
+            if removed_here > 0 {
+                report.removed += removed_here;
                 report.changed_preds.push(p);
+                self.recompute_agg(p);
             }
         }
         report.changed_preds.sort_unstable();
         report
     }
 
-    /// Stage an insert batch as per-predicate deltas without rebuilding
-    /// any base table: O(delta) in the batch, not the predicate. New
-    /// terms grow the dictionary; a new predicate gets an empty base
-    /// table (so its key is stable) with the pairs staged as inserts.
-    /// Inserting a tombstoned pair cancels the tombstone; inserting a
-    /// resident or already-staged pair is a no-op. The report counts real
-    /// logical change only, exactly like [`add_triples`].
+    /// Stage an insert batch as per-(shard, predicate) deltas without
+    /// rebuilding any base table: O(delta) in the batch, not the
+    /// predicate. New terms grow the dictionary; a new predicate gets an
+    /// empty base table in every shard (so its key is stable) with the
+    /// pairs staged as inserts. Each pair routes to the single shard its
+    /// subject hashes to. Inserting a tombstoned pair cancels the
+    /// tombstone; inserting a resident or already-staged pair is a no-op.
+    /// The report counts real logical change only, exactly like
+    /// [`add_triples`].
     ///
     /// [`add_triples`]: TripleStore::add_triples
     ///
@@ -346,18 +584,14 @@ impl TripleStore {
             let o = self.dict.encode(&t.o);
             let idx = match self.by_pred.get(&p) {
                 Some(&idx) => idx,
-                None => {
-                    let idx = self.tables.len();
-                    self.tables.push(PairTable::build(t.p.as_str().to_string(), p, Vec::new()));
-                    self.by_pred.insert(p, idx);
-                    idx
-                }
+                None => self.register_pred(p, t.p.as_str()),
             };
             let pair = (s, o);
-            let d = self.deltas.entry(p).or_default();
+            let sh = &mut self.shards[self.partitioner.shard_of(s)];
+            let d = sh.deltas.entry(p).or_default();
             if let Ok(at) = d.del.binary_search(&pair) {
                 d.del.remove(at); // insert cancels the tombstone
-            } else if self.tables[idx].contains(s, o) || d.ins.binary_search(&pair).is_ok() {
+            } else if sh.tables[idx].contains(s, o) || d.ins.binary_search(&pair).is_ok() {
                 continue;
             } else if let Err(at) = d.ins.binary_search(&pair) {
                 d.ins.insert(at, pair);
@@ -369,7 +603,7 @@ impl TripleStore {
         report
     }
 
-    /// Stage a delete batch as per-predicate tombstones without
+    /// Stage a delete batch as per-(shard, predicate) tombstones without
     /// rebuilding any base table: O(delta) in the batch. Deleting a
     /// staged insert cancels it; deleting an absent pair (or a triple
     /// naming unknown terms) is a no-op. The report counts real logical
@@ -395,10 +629,11 @@ impl TripleStore {
                 continue;
             };
             let pair = (s, o);
-            let d = self.deltas.entry(p).or_default();
+            let sh = &mut self.shards[self.partitioner.shard_of(s)];
+            let d = sh.deltas.entry(p).or_default();
             if let Ok(at) = d.ins.binary_search(&pair) {
                 d.ins.remove(at); // delete cancels the staged insert
-            } else if self.tables[idx].contains(s, o) {
+            } else if sh.tables[idx].contains(s, o) {
                 match d.del.binary_search(&pair) {
                     Ok(_) => continue, // already tombstoned
                     Err(at) => d.del.insert(at, pair),
@@ -416,50 +651,86 @@ impl TripleStore {
     /// Drop delta entries that cancelled out to nothing and canonicalise
     /// the report.
     fn finish_staging(&mut self, report: &mut UpdateReport) {
-        self.deltas.retain(|_, d| !d.is_empty());
+        for sh in &mut self.shards {
+            sh.deltas.retain(|_, d| !d.is_empty());
+        }
         report.changed_preds.sort_unstable();
         report.changed_preds.dedup();
     }
 
-    /// The staged delta for a predicate, if any mutation is pending
-    /// compaction.
+    /// The staged delta for a predicate — the `P = 1` view.
+    ///
+    /// # Panics
+    /// Panics on a partitioned store; use
+    /// [`shard_delta`](TripleStore::shard_delta) there.
     pub fn delta(&self, pred: u32) -> Option<&PredDelta> {
-        self.deltas.get(&pred)
+        assert_eq!(self.partitions(), 1, "partitioned store: use shard_delta");
+        self.shards[0].deltas.get(&pred)
     }
 
-    /// Staged pairs (inserts + tombstones) for one predicate.
+    /// The staged delta for a predicate within one shard, if any.
+    pub fn shard_delta(&self, shard: usize, pred: u32) -> Option<&PredDelta> {
+        self.shards[shard].deltas.get(&pred)
+    }
+
+    /// Staged pairs (inserts + tombstones) for one predicate, across all
+    /// shards.
     pub fn delta_len(&self, pred: u32) -> usize {
-        self.deltas.get(&pred).map_or(0, PredDelta::len)
+        self.shards.iter().map(|sh| sh.deltas.get(&pred).map_or(0, PredDelta::len)).sum()
     }
 
-    /// True when any predicate has staged deltas.
+    /// Staged pairs for one predicate within one shard.
+    pub fn shard_delta_len(&self, shard: usize, pred: u32) -> usize {
+        self.shards[shard].deltas.get(&pred).map_or(0, PredDelta::len)
+    }
+
+    /// True when any shard has staged deltas.
     pub fn has_deltas(&self) -> bool {
-        !self.deltas.is_empty()
+        self.shards.iter().any(|sh| !sh.deltas.is_empty())
     }
 
-    /// Total staged pairs across all predicates (the overlay's memory
-    /// bound, up to constant factors).
+    /// Total staged pairs across all shards and predicates (the overlay's
+    /// memory bound, up to constant factors).
     pub fn staged_pairs(&self) -> usize {
-        self.deltas.values().map(PredDelta::len).sum()
+        self.shards.iter().map(StoreShard::staged_pairs).sum()
     }
 
-    /// Predicates with staged deltas, sorted ascending.
+    /// Staged pairs within one shard.
+    pub fn shard_staged_pairs(&self, shard: usize) -> usize {
+        self.shards[shard].staged_pairs()
+    }
+
+    /// Predicates with staged deltas in any shard, sorted ascending.
     pub fn delta_preds(&self) -> Vec<u32> {
-        let mut preds: Vec<u32> = self.deltas.keys().copied().collect();
+        let mut preds: Vec<u32> =
+            self.shards.iter().flat_map(|sh| sh.deltas.keys().copied()).collect();
         preds.sort_unstable();
+        preds.dedup();
         preds
     }
 
-    /// Fold one predicate's staged delta into a fresh base table (one
-    /// linear three-way merge per sort order). Returns whether a delta
-    /// was present. Logical contents are unchanged — compaction only
-    /// moves pairs across the base/delta split.
+    /// Fold one predicate's staged delta into a fresh base table in
+    /// **every** shard that has one (one linear three-way merge per sort
+    /// order per shard). Returns whether any delta was present. Logical
+    /// contents are unchanged — compaction only moves pairs across the
+    /// base/delta split.
     pub fn compact_pred(&mut self, pred: u32) -> bool {
-        let Some(d) = self.deltas.remove(&pred) else {
+        let mut any = false;
+        for shard in 0..self.shards.len() {
+            any |= self.compact_pred_in(shard, pred);
+        }
+        any
+    }
+
+    /// Fold one predicate's staged delta within **one** shard — the
+    /// shard-local compaction primitive: other shards' overlays (and
+    /// their cached tries) are untouched.
+    pub fn compact_pred_in(&mut self, shard: usize, pred: u32) -> bool {
+        let Some(d) = self.shards[shard].deltas.remove(&pred) else {
             return false;
         };
         let idx = self.by_pred[&pred];
-        let old = &self.tables[idx];
+        let old = &self.shards[shard].tables[idx];
         let so = merge_pairs(old.so_pairs(), &d.del, &d.ins);
         let permute_sort = |pairs: &[(u32, u32)]| {
             let mut v: Vec<(u32, u32)> = pairs.iter().map(|&(s, o)| (o, s)).collect();
@@ -467,16 +738,29 @@ impl TripleStore {
             v
         };
         let os = merge_pairs(old.os_pairs(), &permute_sort(&d.del), &permute_sort(&d.ins));
-        self.tables[idx] = PairTable::from_sorted_parts(old.name().to_string(), pred, so, os);
+        self.shards[shard].tables[idx] =
+            PairTable::from_sorted_parts(old.name().to_string(), pred, so, os);
+        self.recompute_agg(pred);
         true
     }
 
-    /// Fold every staged delta into its base table, returning the
-    /// compacted predicate keys sorted ascending.
+    /// Fold every staged delta in every shard into its base table,
+    /// returning the compacted predicate keys sorted ascending.
     pub fn compact_all(&mut self) -> Vec<u32> {
         let preds = self.delta_preds();
         for &p in &preds {
             self.compact_pred(p);
+        }
+        preds
+    }
+
+    /// Fold every staged delta within one shard, returning that shard's
+    /// compacted predicate keys sorted ascending.
+    pub fn compact_shard(&mut self, shard: usize) -> Vec<u32> {
+        let mut preds: Vec<u32> = self.shards[shard].deltas.keys().copied().collect();
+        preds.sort_unstable();
+        for &p in &preds {
+            self.compact_pred_in(shard, p);
         }
         preds
     }
@@ -489,7 +773,7 @@ impl TripleStore {
         );
     }
 
-    /// The term dictionary.
+    /// The term dictionary (shared store-wide; shards never own terms).
     pub fn dict(&self) -> &Dictionary {
         &self.dict
     }
@@ -505,46 +789,144 @@ impl TripleStore {
         self.dict.lookup_iri(iri)
     }
 
-    /// Table for a predicate key.
-    pub fn table(&self, pred: u32) -> Option<&PairTable> {
-        self.assert_committed();
-        self.by_pred.get(&pred).map(|&i| &self.tables[i])
+    /// Number of subject-hash shards (≥ 1).
+    pub fn partitions(&self) -> usize {
+        self.partitioner.partitions()
     }
 
-    /// Table for a predicate IRI.
+    /// The subject → shard map.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Number of registered predicates (= tables per shard).
+    fn num_tables(&self) -> usize {
+        self.shards[0].tables.len()
+    }
+
+    /// Table for a predicate key — the `P = 1` view.
+    ///
+    /// # Panics
+    /// Panics on a partitioned store; use
+    /// [`shard_table`](TripleStore::shard_table) or [`PredCard`] there.
+    pub fn table(&self, pred: u32) -> Option<&PairTable> {
+        self.assert_committed();
+        assert_eq!(self.partitions(), 1, "partitioned store: use shard_table / pred_card");
+        self.by_pred.get(&pred).map(|&i| &self.shards[0].tables[i])
+    }
+
+    /// Table for a predicate IRI — the `P = 1` view (see
+    /// [`table`](TripleStore::table)).
     pub fn table_by_name(&self, iri: &str) -> Option<&PairTable> {
         self.resolve_iri(iri).and_then(|p| self.table(p))
     }
 
-    /// All predicate tables.
+    /// All predicate tables — the `P = 1` view.
+    ///
+    /// # Panics
+    /// Panics on a partitioned store; use
+    /// [`shard_tables`](TripleStore::shard_tables) there.
     pub fn tables(&self) -> &[PairTable] {
         self.assert_committed();
-        &self.tables
+        assert_eq!(self.partitions(), 1, "partitioned store: use shard_tables");
+        &self.shards[0].tables
     }
 
-    /// Total distinct triples in the **logical** (delta-merged) view.
+    /// One shard's table for a predicate key (its slice of the pairs).
+    pub fn shard_table(&self, shard: usize, pred: u32) -> Option<&PairTable> {
+        self.assert_committed();
+        self.by_pred.get(&pred).map(|&i| &self.shards[shard].tables[i])
+    }
+
+    /// One shard's predicate tables, in registration order (the order is
+    /// identical across shards).
+    pub fn shard_tables(&self, shard: usize) -> &[PairTable] {
+        self.assert_committed();
+        &self.shards[shard].tables
+    }
+
+    /// Partition-invariant cardinality statistics for a predicate IRI
+    /// (the planner's view — identical numbers at every `P`).
+    pub fn pred_card(&self, iri: &str) -> Option<PredCard<'_>> {
+        self.assert_committed();
+        let pred = self.resolve_iri(iri)?;
+        let idx = *self.by_pred.get(&pred)?;
+        Some(PredCard { store: self, idx, pred })
+    }
+
+    /// Total base pairs for a predicate across all shards (deltas
+    /// excluded).
+    pub fn pred_len(&self, pred: u32) -> usize {
+        self.assert_committed();
+        self.by_pred
+            .get(&pred)
+            .map_or(0, |&i| self.shards.iter().map(|sh| sh.tables[i].len()).sum())
+    }
+
+    /// Logical (delta-merged) pairs for a predicate across all shards.
+    pub fn pred_logical_len(&self, pred: u32) -> usize {
+        self.assert_committed();
+        self.by_pred.get(&pred).map_or(0, |&i| {
+            self.shards
+                .iter()
+                .map(|sh| {
+                    let (ins, del) = sh
+                        .deltas
+                        .get(&sh.tables[i].pred())
+                        .map_or((0, 0), |d| (d.ins.len(), d.del.len()));
+                    sh.tables[i].len() + ins - del
+                })
+                .sum()
+        })
+    }
+
+    /// Total distinct triples in the **logical** (delta-merged) view,
+    /// across all shards.
     pub fn num_triples(&self) -> usize {
         self.assert_committed();
-        self.tables
+        self.shards.iter().map(StoreShard::logical_triples).sum()
+    }
+
+    /// Per-shard logical sizes, for skew observability.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.assert_committed();
+        self.shards
             .iter()
-            .map(|t| {
-                let (ins, del) =
-                    self.deltas.get(&t.pred()).map_or((0, 0), |d| (d.ins.len(), d.del.len()));
-                t.len() + ins - del
+            .enumerate()
+            .map(|(shard, sh)| ShardStats {
+                shard,
+                triples: sh.logical_triples(),
+                staged_pairs: sh.staged_pairs(),
             })
-            .sum()
+            .collect()
     }
 
     /// Iterate every triple of the **logical** (delta-merged) view in
-    /// encoded form, predicate-major order. Tables with staged deltas pay
-    /// one merge allocation; untouched tables stream their base pairs.
+    /// encoded form, predicate-major order; within a predicate, pairs are
+    /// sorted `(s, o)` across shards. Tables with staged deltas (or more
+    /// than one shard) pay a merge allocation; untouched single-shard
+    /// tables stream their base pairs.
     pub fn encoded_triples(&self) -> impl Iterator<Item = EncodedTriple> + '_ {
         self.assert_committed();
-        self.tables.iter().flat_map(move |t| {
-            let p = t.pred();
-            let pairs: Box<dyn Iterator<Item = (u32, u32)> + '_> = match self.deltas.get(&p) {
-                None => Box::new(t.so_pairs().iter().copied()),
-                Some(d) => Box::new(merge_pairs(t.so_pairs(), &d.del, &d.ins).into_iter()),
+        (0..self.num_tables()).flat_map(move |idx| {
+            let p = self.shards[0].tables[idx].pred();
+            let pairs: Box<dyn Iterator<Item = (u32, u32)> + '_> = if self.partitions() == 1 {
+                let t = &self.shards[0].tables[idx];
+                match self.shards[0].deltas.get(&p) {
+                    None => Box::new(t.so_pairs().iter().copied()),
+                    Some(d) => Box::new(merge_pairs(t.so_pairs(), &d.del, &d.ins).into_iter()),
+                }
+            } else {
+                let mut v: Vec<(u32, u32)> = Vec::new();
+                for sh in &self.shards {
+                    let t = &sh.tables[idx];
+                    match sh.deltas.get(&p) {
+                        None => v.extend_from_slice(t.so_pairs()),
+                        Some(d) => v.extend(merge_pairs(t.so_pairs(), &d.del, &d.ins)),
+                    }
+                }
+                v.sort_unstable();
+                Box::new(v.into_iter())
             };
             pairs.map(move |(s, o)| EncodedTriple { s, p, o })
         })
@@ -563,31 +945,150 @@ impl TripleStore {
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             triples: self.num_triples(),
-            predicates: self.tables.len(),
+            predicates: self.num_tables(),
             terms: self.dict.len(),
         }
     }
+
+    /// Redistribute the store across `max(1, partitions)` subject shards.
+    /// Staged deltas are folded first (their routing would change), then
+    /// every predicate's logical pairs are re-split by the new hash. The
+    /// logical contents are unchanged; only placement moves. O(store).
+    pub fn repartition(&mut self, partitions: usize) {
+        self.assert_committed();
+        self.compact_all();
+        let partitioner = Partitioner::new(partitions);
+        if partitioner == self.partitioner {
+            return;
+        }
+        let n = self.num_tables();
+        let mut new_shards = vec![StoreShard::default(); partitioner.partitions()];
+        for idx in 0..n {
+            let pred = self.shards[0].tables[idx].pred();
+            let name = self.shards[0].tables[idx].name().to_string();
+            // Merge each order across the old shards (concatenate + sort:
+            // the per-shard slices are sorted, the union is not).
+            let mut so: Vec<(u32, u32)> = Vec::new();
+            let mut os: Vec<(u32, u32)> = Vec::new();
+            for sh in &self.shards {
+                so.extend_from_slice(sh.tables[idx].so_pairs());
+                os.extend_from_slice(sh.tables[idx].os_pairs());
+            }
+            so.sort_unstable();
+            os.sort_unstable();
+            for (shard, new_sh) in new_shards.iter_mut().enumerate() {
+                let so_mine: Vec<(u32, u32)> =
+                    so.iter().copied().filter(|&(s, _)| partitioner.shard_of(s) == shard).collect();
+                let os_mine: Vec<(u32, u32)> =
+                    os.iter().copied().filter(|&(_, s)| partitioner.shard_of(s) == shard).collect();
+                new_sh.tables.push(PairTable::from_sorted_parts(
+                    name.clone(),
+                    pred,
+                    so_mine,
+                    os_mine,
+                ));
+            }
+        }
+        self.partitioner = partitioner;
+        self.shards = new_shards;
+        self.agg_distinct_objects.clear();
+        let preds: Vec<u32> = self.by_pred.keys().copied().collect();
+        for p in preds {
+            self.recompute_agg(p);
+        }
+    }
+}
+
+impl StoreShard {
+    fn logical_triples(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| {
+                let (ins, del) =
+                    self.deltas.get(&t.pred()).map_or((0, 0), |d| (d.ins.len(), d.del.len()));
+                t.len() + ins - del
+            })
+            .sum()
+    }
+
+    fn staged_pairs(&self) -> usize {
+        self.deltas.values().map(PredDelta::len).sum()
+    }
+}
+
+/// Count distinct first components across sorted slices by k-way merge —
+/// the cross-shard distinct-object count for one predicate (each slice
+/// one shard's `os` order).
+fn distinct_first_across(slices: &[&[(u32, u32)]]) -> usize {
+    let mut pos = vec![0usize; slices.len()];
+    let mut distinct = 0usize;
+    loop {
+        let mut cur: Option<u32> = None;
+        for (k, sl) in slices.iter().enumerate() {
+            if pos[k] < sl.len() {
+                let o = sl[pos[k]].0;
+                cur = Some(cur.map_or(o, |c| c.min(o)));
+            }
+        }
+        let Some(o) = cur else { break };
+        distinct += 1;
+        for (k, sl) in slices.iter().enumerate() {
+            while pos[k] < sl.len() && sl[pos[k]].0 == o {
+                pos[k] += 1;
+            }
+        }
+    }
+    distinct
 }
 
 impl TripleStore {
     #[doc(hidden)]
     pub fn __invariant_check(&self) -> bool {
-        if self.tables.len() != self.by_pred.len() {
+        // Registration alignment: every shard holds a table for every
+        // registered predicate, at the same index.
+        if self.shards.is_empty()
+            || self.shards.iter().any(|sh| sh.tables.len() != self.by_pred.len())
+        {
             return false;
         }
-        // Staged deltas: sorted-unique, anchored to a real table, with
-        // del ⊆ base and ins ∩ base = ∅ (and therefore non-empty).
-        self.deltas.iter().all(|(&p, d)| {
-            let Some(&idx) = self.by_pred.get(&p) else {
+        for (&p, &idx) in &self.by_pred {
+            if self.shards.iter().any(|sh| sh.tables[idx].pred() != p) {
                 return false;
-            };
-            let t = &self.tables[idx];
-            !d.is_empty()
-                && d.ins.windows(2).all(|w| w[0] < w[1])
-                && d.del.windows(2).all(|w| w[0] < w[1])
-                && d.del.iter().all(|&(s, o)| t.contains(s, o))
-                && d.ins.iter().all(|&(s, o)| !t.contains(s, o))
-        })
+            }
+        }
+        for (shard, sh) in self.shards.iter().enumerate() {
+            // Subject affinity: every base pair lives in the shard its
+            // subject hashes to.
+            if sh
+                .tables
+                .iter()
+                .any(|t| t.so_pairs().iter().any(|&(s, _)| self.partitioner.shard_of(s) != shard))
+            {
+                return false;
+            }
+            // Staged deltas: sorted-unique, anchored to a real table,
+            // routed to this shard, with del ⊆ base and ins ∩ base = ∅
+            // (and therefore non-empty).
+            let ok = sh.deltas.iter().all(|(&p, d)| {
+                let Some(&idx) = self.by_pred.get(&p) else {
+                    return false;
+                };
+                let t = &sh.tables[idx];
+                !d.is_empty()
+                    && d.ins.windows(2).all(|w| w[0] < w[1])
+                    && d.del.windows(2).all(|w| w[0] < w[1])
+                    && d.del.iter().all(|&(s, o)| t.contains(s, o))
+                    && d.ins.iter().all(|&(s, o)| !t.contains(s, o))
+                    && d.ins
+                        .iter()
+                        .chain(&d.del)
+                        .all(|&(s, _)| self.partitioner.shard_of(s) == shard)
+            });
+            if !ok {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -839,5 +1340,111 @@ mod tests {
         store.remove_triples(vec![t("x", "p", "y"), t("x", "r", "y")]);
         let after: Vec<_> = store.encoded_triples().collect();
         assert_eq!(before, after);
+    }
+
+    // ------------------------------------------------------ partitioning
+
+    fn sample_triples() -> Vec<Triple> {
+        let mut v = Vec::new();
+        for i in 0..40u32 {
+            v.push(t(&format!("s{i}"), "p", &format!("o{}", i % 7)));
+            if i % 3 == 0 {
+                v.push(t(&format!("s{i}"), "q", "shared"));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn partitioned_build_matches_logical_view() {
+        let reference = TripleStore::from_triples(sample_triples());
+        let logical: Vec<_> = reference.encoded_triples().collect();
+        for partitions in [1, 2, 4] {
+            let store = TripleStore::from_triples_partitioned(sample_triples(), partitions);
+            assert_eq!(store.partitions(), partitions);
+            assert_eq!(store.num_triples(), reference.num_triples(), "P={partitions}");
+            assert_eq!(store.encoded_triples().collect::<Vec<_>>(), logical, "P={partitions}");
+            assert!(store.__invariant_check(), "P={partitions}");
+        }
+    }
+
+    #[test]
+    fn pred_card_is_partition_invariant() {
+        let reference = TripleStore::from_triples(sample_triples());
+        let rc = reference.pred_card("p").unwrap();
+        let (len, ds, dobj) = (rc.len(), rc.distinct_subjects(), rc.distinct_objects());
+        let s3 = reference.resolve_iri("s3").unwrap();
+        let o1 = reference.resolve_iri("o1").unwrap();
+        let (ms, mo) = (rc.matches_for_subject(s3), rc.matches_for_object(o1));
+        for partitions in [2, 4] {
+            let store = TripleStore::from_triples_partitioned(sample_triples(), partitions);
+            let c = store.pred_card("p").unwrap();
+            assert_eq!(c.len(), len, "P={partitions}");
+            assert_eq!(c.distinct_subjects(), ds, "P={partitions}");
+            assert_eq!(c.distinct_objects(), dobj, "P={partitions}");
+            assert_eq!(c.matches_for_subject(s3), ms, "P={partitions}");
+            assert_eq!(c.matches_for_object(o1), mo, "P={partitions}");
+        }
+    }
+
+    #[test]
+    fn partitioned_staging_routes_by_subject_and_compacts_shard_locally() {
+        let mut store = TripleStore::from_triples_partitioned(sample_triples(), 4);
+        let p = store.resolve_iri("p").unwrap();
+        let before = store.num_triples();
+        store.stage_add_triples(vec![t("new1", "p", "x"), t("new2", "p", "x")]);
+        store.stage_remove_triples(vec![t("s0", "p", "o0")]);
+        assert_eq!(store.num_triples(), before + 1);
+        assert!(store.__invariant_check());
+        // Each staged pair sits in exactly the shard its subject hashes to.
+        let total: usize = (0..4).map(|s| store.shard_delta_len(s, p)).sum();
+        assert_eq!(total, 3);
+        assert_eq!(store.delta_len(p), 3);
+        // Shard-local compaction folds only that shard's delta.
+        let loaded: Vec<usize> = (0..4).filter(|&s| store.shard_delta_len(s, p) > 0).collect();
+        let first = loaded[0];
+        let folded = store.shard_delta_len(first, p);
+        assert!(store.compact_pred_in(first, p));
+        assert_eq!(store.shard_delta_len(first, p), 0);
+        assert_eq!(store.delta_len(p), 3 - folded, "other shards' deltas untouched");
+        assert_eq!(store.num_triples(), before + 1, "logical view unchanged");
+        store.compact_all();
+        assert!(!store.has_deltas());
+        assert_eq!(store.num_triples(), before + 1);
+        assert!(store.__invariant_check());
+    }
+
+    #[test]
+    fn repartition_preserves_logical_contents() {
+        let mut store = TripleStore::from_triples(sample_triples());
+        store.stage_add_triples(vec![t("extra", "p", "x")]);
+        let logical: Vec<_> = store.encoded_triples().collect();
+        store.repartition(4);
+        assert_eq!(store.partitions(), 4);
+        assert!(!store.has_deltas(), "repartition folds deltas");
+        assert_eq!(store.encoded_triples().collect::<Vec<_>>(), logical);
+        assert!(store.__invariant_check());
+        store.repartition(1);
+        assert_eq!(store.partitions(), 1);
+        assert_eq!(store.encoded_triples().collect::<Vec<_>>(), logical);
+        assert!(store.__invariant_check());
+    }
+
+    #[test]
+    fn shard_stats_cover_all_triples() {
+        let mut store = TripleStore::from_triples_partitioned(sample_triples(), 4);
+        store.stage_add_triples(vec![t("fresh", "p", "x")]);
+        let stats = store.shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.triples).sum::<usize>(), store.num_triples());
+        assert_eq!(stats.iter().map(|s| s.staged_pairs).sum::<usize>(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "use shard_table")]
+    fn single_table_view_panics_when_partitioned() {
+        let store = TripleStore::from_triples_partitioned(sample_triples(), 2);
+        let p = store.resolve_iri("p").unwrap();
+        let _ = store.table(p);
     }
 }

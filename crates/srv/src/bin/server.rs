@@ -16,14 +16,17 @@
 //!
 //! Exactly one data source (`--snapshot` or `--data`) must be given.
 //! `--threads N` sets join-execution workers, `--sessions N` the
-//! concurrent-connection pool. The server runs until killed; clients can
-//! persist the live store at any time with `SAVE <path>`.
+//! concurrent-connection pool, and `--partitions P` the number of
+//! subject-hash shards the store is split into (omitted: `--data` builds
+//! unpartitioned, `--snapshot` keeps the image's partitioning). The
+//! server runs until killed; clients can persist the live store at any
+//! time with `SAVE <path>`.
 
 use std::net::TcpListener;
 use std::sync::atomic::AtomicBool;
 use std::time::Instant;
 
-use eh_rdf::parse_ntriples;
+use eh_rdf::{parse_ntriples, TripleStore};
 use eh_srv::{serve, QueryService, ServiceConfig};
 use emptyheaded::{PlannerConfig, SharedStore};
 
@@ -33,18 +36,20 @@ struct Args {
     port: u16,
     threads: usize,
     sessions: usize,
+    partitions: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: server (--snapshot <path> | --data <file.nt>) \
-         [--port P] [--threads N] [--sessions N]"
+         [--port P] [--threads N] [--sessions N] [--partitions P]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { snapshot: None, data: None, port: 0, threads: 1, sessions: 8 };
+    let mut args =
+        Args { snapshot: None, data: None, port: 0, threads: 1, sessions: 8, partitions: None };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -56,11 +61,15 @@ fn parse_args() -> Args {
             "--port" => args.port = value(i).parse().unwrap_or_else(|_| usage()),
             "--threads" => args.threads = value(i).parse().unwrap_or_else(|_| usage()),
             "--sessions" => args.sessions = value(i).parse().unwrap_or_else(|_| usage()),
+            "--partitions" => args.partitions = Some(value(i).parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
         i += 2;
     }
     if args.snapshot.is_some() == args.data.is_some() {
+        usage();
+    }
+    if args.partitions == Some(0) {
         usage();
     }
     args
@@ -88,6 +97,16 @@ fn main() {
             t0.elapsed().as_secs_f64() * 1e3,
             svc.engine().catalog().cached_tries()
         );
+        // Re-shard only on an explicit request that disagrees with the
+        // image: repartitioning discards the snapshot's preloaded tries
+        // (placement moved), so the silent default keeps them.
+        if let Some(p) = args.partitions {
+            if p != svc.store().partitions() {
+                svc.engine().repartition(p);
+                svc.invalidate();
+                println!("repartitioned into {p} subject shards");
+            }
+        }
         svc
     } else {
         let path = args.data.as_deref().expect("one source is set");
@@ -99,23 +118,29 @@ fn main() {
             eprintln!("failed to parse {path}: {e}");
             std::process::exit(1);
         });
-        let svc = QueryService::new(SharedStore::from_triples(triples), config);
+        let store = match args.partitions {
+            Some(p) => SharedStore::new(TripleStore::from_triples_partitioned(triples, p)),
+            None => SharedStore::from_triples(triples),
+        };
+        let svc = QueryService::new(store, config);
         println!("parsed {path} in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
         svc
     };
 
     let stats = service.store().stats();
+    let partitions = service.store().partitions();
     let listener = TcpListener::bind(("127.0.0.1", args.port)).unwrap_or_else(|e| {
         eprintln!("failed to bind port {}: {e}", args.port);
         std::process::exit(1);
     });
     println!(
-        "serving {} triples / {} predicates on {} ({} threads, {} sessions)",
+        "serving {} triples / {} predicates on {} ({} threads, {} sessions, {} partitions)",
         stats.triples,
         stats.predicates,
         listener.local_addr().expect("bound socket has an address"),
         args.threads,
-        args.sessions
+        args.sessions,
+        partitions
     );
     // Runs until the process is killed; SAVE snapshots can be taken live.
     let shutdown = AtomicBool::new(false);

@@ -14,7 +14,7 @@
 //! | `DELETE <s> <p> <o> .` | `OK pending inserts=<n> deletes=<n>` (staged) |
 //! | `APPLY` | `OK applied inserted=<n> deleted=<n> predicates=<n> compacted=<n> epoch=<n>` (staged batch applied atomically) |
 //! | `COMPACT` | `OK compacted predicates=<n> rebuilt=<n> epoch=<n>` (staged deltas folded into fresh base tables) |
-//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> updates_noop=<n> inserted=<n> deleted=<n> staged=<n> query_p50_us=<n> query_p99_us=<n>` |
+//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> updates_noop=<n> inserted=<n> deleted=<n> staged=<n> query_p50_us=<n> query_p99_us=<n> partitions=<n> max_shard_skew=<x.xx>` |
 //! | `INVALIDATE` | `OK epoch=<n>` (caches dropped, catalog epoch advanced) |
 //! | `SAVE <path>` | `OK saved bytes=<n> triples=<n>` (snapshot written server-side; restart with `--snapshot <path>`) |
 //! | `QUIT` | `OK bye`, then the connection closes |
@@ -193,7 +193,7 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
                 "OK plan_hits={} plan_misses={} result_hits={} result_misses={} \
                  plan_entries={} cache_entries={} cache_bytes={} epoch={} \
                  updates={} updates_noop={} inserted={} deleted={} staged={} \
-                 query_p50_us={} query_p99_us={}\n",
+                 query_p50_us={} query_p99_us={} partitions={} max_shard_skew={:.2}\n",
                 s.plan_hits,
                 s.plan_misses,
                 s.result_hits,
@@ -208,7 +208,9 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
                 s.triples_deleted,
                 s.staged_pairs,
                 s.query_p50_us,
-                s.query_p99_us
+                s.query_p99_us,
+                s.partitions,
+                s.max_shard_skew
             )
         }
         "INVALIDATE" => format!("OK epoch={}\n", service.invalidate()),

@@ -94,7 +94,7 @@ struct PlanCache {
 }
 
 /// Cache counters, readable while the service runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceStats {
     /// Plan-cache hits / misses.
     pub plan_hits: u64,
@@ -133,6 +133,15 @@ pub struct ServiceStats {
     pub query_p50_us: u64,
     /// 99th-percentile end-to-end query latency in microseconds.
     pub query_p99_us: u64,
+    /// Subject-hash shards the store is partitioned into (1 = the
+    /// unpartitioned layout).
+    pub partitions: u64,
+    /// Load imbalance across shards: the largest shard's logical triple
+    /// count over the per-shard average (`1.0` = perfectly balanced,
+    /// also reported for an empty or single-shard store). Subject-hash
+    /// placement keeps this near 1 unless the data is pathologically
+    /// concentrated on few subjects.
+    pub max_shard_skew: f64,
 }
 
 /// A cacheable result: the engine's [`QueryResult`] plus a lazily
@@ -488,6 +497,9 @@ impl QueryService {
             if summary.compacted_predicates > 0 {
                 self.metrics.compactions.add(summary.compacted_predicates as u64);
             }
+            for &(shard, us) in &summary.shard_pauses {
+                self.metrics.record_shard_pause(shard, us);
+            }
         }
         summary
     }
@@ -509,6 +521,9 @@ impl QueryService {
         if let Some(t0) = t0 {
             self.metrics.compaction_pause_us.record(t0.elapsed().as_micros() as u64);
             self.metrics.compactions.add(summary.compacted_predicates as u64);
+            for &(shard, us) in &summary.shard_pauses {
+                self.metrics.record_shard_pause(shard, us);
+            }
         }
         summary
     }
@@ -528,6 +543,14 @@ impl QueryService {
             let results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
             (results.bytes() as u64, results.len() as u64)
         };
+        let (partitions, max_shard_skew) = {
+            let shards = self.store().shard_stats();
+            let total: u64 = shards.iter().map(|s| s.triples as u64).sum();
+            let max = shards.iter().map(|s| s.triples as u64).max().unwrap_or(0);
+            let skew =
+                if total == 0 { 1.0 } else { max as f64 * shards.len() as f64 / total as f64 };
+            (shards.len() as u64, skew)
+        };
         ServiceStats {
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
@@ -545,6 +568,8 @@ impl QueryService {
             triples_deleted: self.triples_deleted.load(Ordering::Relaxed),
             query_p50_us: self.metrics.query_latency_us.p50(),
             query_p99_us: self.metrics.query_latency_us.p99(),
+            partitions,
+            max_shard_skew,
         }
     }
 
@@ -576,6 +601,16 @@ impl QueryService {
             .set(self.plans.read().unwrap_or_else(PoisonError::into_inner).map.len() as i64);
         self.metrics.epoch.set(self.engine.catalog().epoch() as i64);
         self.metrics.staged_pairs.set(self.store().staged_pairs() as i64);
+        let arena = self.engine.catalog().arena_bytes_by_shard();
+        for s in self.store().shard_stats() {
+            let bytes = arena.get(s.shard).copied().unwrap_or(0);
+            self.metrics.set_shard_gauges(
+                s.shard,
+                s.triples as i64,
+                s.staged_pairs as i64,
+                bytes as i64,
+            );
+        }
         self.metrics.expose()
     }
 
@@ -835,6 +870,51 @@ mod tests {
         batch.insert(t("c", "p", "d"));
         assert_eq!(svc.update(batch).inserted, 1);
         assert_eq!(svc.query_sparql(q).unwrap().result.cardinality(), 2);
+    }
+
+    #[test]
+    fn partitioned_service_reports_shards_in_stats_and_metrics() {
+        use eh_rdf::{Term, Triple};
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        let triples: Vec<Triple> = (0..32).map(|i| t(&format!("s{i}"), "p", "o")).collect();
+        let store = SharedStore::new(TripleStore::from_triples_partitioned(triples, 4));
+        let svc = service(&store);
+        let q = "SELECT ?x WHERE { ?x <p> <o> }";
+        assert_eq!(svc.query_sparql(q).unwrap().result.cardinality(), 32);
+
+        let stats = svc.stats();
+        assert_eq!(stats.partitions, 4);
+        assert!(stats.max_shard_skew >= 1.0, "{stats:?}");
+        // 32 hashed subjects over 4 shards: nothing pathological.
+        assert!(stats.max_shard_skew < 4.0, "{stats:?}");
+
+        // Every shard gets its labeled occupancy series, and the warmed
+        // shard tries show up as cached arena bytes somewhere.
+        let text = svc.metrics_text();
+        for shard in 0..4 {
+            assert!(text.contains(&format!("eh_shard_triples{{shard=\"{shard}\"}}")), "{text}");
+            assert!(
+                text.contains(&format!("eh_shard_staged_pairs{{shard=\"{shard}\"}}")),
+                "{text}"
+            );
+            assert!(text.contains(&format!("eh_shard_arena_bytes{{shard=\"{shard}\"}}")), "{text}");
+        }
+        assert!(!text.contains("eh_shard_triples{shard=\"4\"}"), "{text}");
+
+        // A COMPACT that folds one shard's staged delta records its pause
+        // in that shard's labeled series of the pause family.
+        let mut batch = UpdateBatch::new();
+        batch.insert(t("s99", "p", "o"));
+        assert_eq!(svc.update(batch).inserted, 1);
+        let summary = svc.compact();
+        assert_eq!(summary.compacted_predicates, 1);
+        assert_eq!(summary.shard_pauses.len(), 1, "{summary:?}");
+        let shard = summary.shard_pauses[0].0;
+        let text = svc.metrics_text();
+        assert!(
+            text.contains(&format!("eh_compaction_pause_us_count{{shard=\"{shard}\"}} 1")),
+            "{text}"
+        );
     }
 
     #[test]
