@@ -5,7 +5,7 @@ use std::sync::{OnceLock, RwLockReadGuard};
 use std::time::Instant;
 
 use eh_query::{parse_sparql, ConjunctiveQuery};
-use eh_rdf::{SnapshotError, StoreSnapshot, TripleStore};
+use eh_rdf::{LoadInfo, SnapshotError, StoreSnapshot, TripleStore};
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
@@ -49,6 +49,10 @@ fn obs_forced() -> bool {
 pub struct Engine {
     catalog: Catalog,
     config: PlannerConfig,
+    /// How the snapshot behind this engine loaded (copy vs mmap, with
+    /// any fallback reason); `None` for engines not built from a
+    /// snapshot.
+    load: Option<LoadInfo>,
 }
 
 impl Engine {
@@ -63,7 +67,7 @@ impl Engine {
     /// An engine with a full planner configuration (used by the
     /// LogicBlox-style baseline).
     pub fn with_config(store: impl Into<SharedStore>, config: PlannerConfig) -> Engine {
-        Engine { catalog: Catalog::new(store.into()), config }
+        Engine { catalog: Catalog::new(store.into()), config, load: None }
     }
 
     /// An engine restored from a snapshot file: the store loads without
@@ -85,14 +89,38 @@ impl Engine {
         Ok(Engine::from_loaded_snapshot(snapshot, config))
     }
 
+    /// [`Engine::from_snapshot`], zero-copy: the snapshot file is
+    /// `mmap`ed and the preloaded tries serve their arenas straight from
+    /// the mapped pages — cold start pays metadata decode and checksums,
+    /// not an arena copy, and co-located processes mapping the same file
+    /// share physical memory. Falls back to the copy path (recorded in
+    /// [`Engine::load_info`]) when the file or platform cannot be
+    /// mapped; fails only on genuine corruption or I/O errors.
+    pub fn from_snapshot_mmap(
+        path: impl AsRef<Path>,
+        config: PlannerConfig,
+    ) -> Result<Engine, SnapshotError> {
+        let snapshot = StoreSnapshot::read_from_path_mmap(path, config.runtime.num_threads)?;
+        Ok(Engine::from_loaded_snapshot(snapshot, config))
+    }
+
     /// An engine over an already-loaded [`StoreSnapshot`] (see
     /// [`Engine::from_snapshot`]).
     pub fn from_loaded_snapshot(snapshot: StoreSnapshot, config: PlannerConfig) -> Engine {
-        let engine = Engine::with_config(snapshot.store, config);
+        let mut engine = Engine::with_config(snapshot.store, config);
+        engine.load = Some(snapshot.load);
         engine.catalog.preload(
             snapshot.tries.into_iter().map(|e| (e.pred, e.subject_first, e.shard as usize, e.trie)),
         );
         engine
+    }
+
+    /// How this engine's snapshot loaded — `None` when the engine was
+    /// not built from a snapshot. A serving tier surfaces this in STATS
+    /// and metrics so "did we actually get mmap?" is answerable from
+    /// outside the process.
+    pub fn load_info(&self) -> Option<LoadInfo> {
+        self.load
     }
 
     /// Persist the current store — dictionary, predicate tables, and
@@ -801,6 +829,43 @@ mod tests {
         assert_eq!(restored.run(&q).unwrap().cardinality(), 4);
         // And a writer on the original engine sees independent state.
         assert_eq!(engine.run(&q).unwrap(), reference);
+    }
+
+    #[test]
+    fn mmap_snapshot_restart_matches_copy_restart() {
+        let store = triangle_store();
+        let engine = Engine::new(store.clone(), OptFlags::all());
+        let q = triangle_query(&store.read());
+        let reference = engine.run(&q).unwrap();
+
+        let path =
+            std::env::temp_dir().join(format!("eh-engine-mmap-snap-{}.snap", std::process::id()));
+        engine.save_snapshot(&path).unwrap();
+        let config = || PlannerConfig::with_flags(OptFlags::all());
+        let copied = Engine::from_snapshot(&path, config()).expect("copy load");
+        let mapped = Engine::from_snapshot_mmap(&path, config()).expect("mmap load");
+
+        assert!(copied.load_info().is_some_and(|l| l.mode == eh_rdf::LoadMode::Copy));
+        let info = mapped.load_info().expect("snapshot engine records load info");
+        assert_eq!(info.mode, eh_rdf::LoadMode::Mmap);
+        assert!(info.mapped_bytes > 0 && info.fallback.is_none());
+        assert!(engine.load_info().is_none(), "cold-built engine has no load info");
+
+        // Identical answers, and the mapped engine stays fully live:
+        // update, query the overlay, compact, re-save — all while its
+        // base tries point into the mapping.
+        assert_eq!(mapped.run(&q).unwrap(), reference);
+        assert_eq!(copied.run(&q).unwrap(), reference);
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge(0, 3));
+        mapped.update(batch);
+        assert_eq!(mapped.run(&q).unwrap().cardinality(), 4);
+        mapped.compact();
+        assert_eq!(mapped.run(&q).unwrap().cardinality(), 4);
+        mapped.save_snapshot(&path).expect("re-save over the mapped path");
+        let reread = Engine::from_snapshot_mmap(&path, config()).expect("reload");
+        assert_eq!(reread.run(&q).unwrap().cardinality(), 4);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

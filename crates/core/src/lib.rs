@@ -66,7 +66,7 @@ mod update;
 
 pub use catalog::Catalog;
 pub use eh_par::RuntimeConfig;
-pub use eh_rdf::{FrozenTrieEntry, SnapshotError, StoreSnapshot};
+pub use eh_rdf::{FrozenTrieEntry, LoadInfo, LoadMode, SnapshotError, StoreSnapshot};
 pub use engine::Engine;
 pub use error::EngineError;
 pub use flags::{OptFlags, PlannerConfig};

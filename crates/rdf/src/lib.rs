@@ -21,6 +21,7 @@
 //! ```
 
 mod dict;
+mod mmap;
 mod ntriples;
 mod partition;
 mod snapshot;
@@ -30,11 +31,12 @@ mod triple;
 mod vp;
 
 pub use dict::Dictionary;
+pub use mmap::MappedRegion;
 pub use ntriples::{parse_ntriples, write_ntriples, NtError};
 pub use partition::Partitioner;
 pub use snapshot::{
-    FrozenTrieEntry, SnapshotError, StoreSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_MAGIC_V1,
-    SNAPSHOT_VERSION,
+    FrozenTrieEntry, LoadInfo, LoadMode, SnapshotError, StoreSnapshot, SNAPSHOT_MAGIC,
+    SNAPSHOT_MAGIC_V1, SNAPSHOT_MAGIC_V2, SNAPSHOT_VERSION,
 };
 pub use store::{PredCard, PredDelta, ShardStats, StoreStats, TripleStore, UpdateReport};
 pub use term::Term;

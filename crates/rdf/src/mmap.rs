@@ -1,0 +1,223 @@
+//! A minimal read-only file mapping, written against the raw `mmap(2)`
+//! family so the workspace stays dependency-free (std already links the
+//! platform libc; the `extern "C"` declarations below bind to it).
+//!
+//! The mapping backs zero-copy snapshot loading: a [`MappedRegion`] is
+//! the [`eh_trie::ArenaBytes`] region whose windows serve `FrozenTrie`
+//! arenas straight off the page cache — N processes mapping one snapshot
+//! share one physical copy, and cold start pays page faults instead of a
+//! full-file copy.
+//!
+//! Supported on little-endian unix only: the snapshot format is
+//! little-endian, and a shared arena reinterprets file bytes as native
+//! `u32`s, which is only correct when the two agree. Everywhere else
+//! [`MappedRegion::map_file`] returns `Unsupported` and the snapshot
+//! layer falls back to its copy path — mmap is an optimisation, never a
+//! portability constraint.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+#[cfg(all(unix, target_endian = "little"))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    /// Same value on Linux and macOS, the two unixes this targets.
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MADV_WILLNEED: i32 = 3;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+    }
+}
+
+/// A whole file mapped read-only (private), unmapped on drop.
+#[cfg(all(unix, target_endian = "little"))]
+pub struct MappedRegion {
+    ptr: std::ptr::NonNull<u8>,
+    len: usize,
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl MappedRegion {
+    /// Map `path` read-only in its entirety. Empty files are rejected
+    /// (`mmap` of length zero is an error); so is any platform refusal.
+    pub fn map_file(path: impl AsRef<Path>) -> io::Result<MappedRegion> {
+        use std::os::unix::io::AsRawFd;
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "cannot map an empty file"));
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        // SAFETY: a fresh private read-only mapping of a file we hold
+        // open; the kernel picks the address. The fd may close after
+        // mmap returns — the mapping keeps its own reference.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MappedRegion { ptr: std::ptr::NonNull::new(ptr.cast()).expect("checked non-null"), len })
+    }
+
+    /// The mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping is empty (never — construction rejects
+    /// empty files — but clippy insists `len` has a partner).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes. Stable for the region's lifetime — the mapping
+    /// is fixed at construction and released only on drop, which is the
+    /// [`eh_trie::ArenaBytes`] contract.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe the live mapping; PROT_READ makes the
+        // memory readable for as long as it stays mapped.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Advise the kernel that `len` bytes at `offset` will be needed
+    /// soon (`MADV_WILLNEED`), so the fault storm of a cold first query
+    /// overlaps with load-time decoding instead of serialising behind
+    /// it. Advice only: failures (and out-of-range requests) are ignored.
+    pub fn advise_willneed(&self, offset: usize, len: usize) {
+        let Some(end) = offset.checked_add(len) else { return };
+        if end > self.len || len == 0 {
+            return;
+        }
+        // madvise wants a page-aligned address: round the start down.
+        let page = 4096;
+        let start = offset & !(page - 1);
+        // SAFETY: the rounded range stays inside the mapping.
+        unsafe {
+            sys::madvise(self.ptr.as_ptr().add(start).cast(), end - start, sys::MADV_WILLNEED);
+        }
+    }
+}
+
+#[cfg(all(unix, target_endian = "little"))]
+impl Drop for MappedRegion {
+    fn drop(&mut self) {
+        // SAFETY: exactly the mapping obtained in map_file, released once.
+        unsafe {
+            sys::munmap(self.ptr.as_ptr().cast(), self.len);
+        }
+    }
+}
+
+// SAFETY: the mapping is immutable (PROT_READ, private) after
+// construction; concurrent reads from any thread are fine and the
+// region may be dropped on a different thread than it was mapped on.
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Send for MappedRegion {}
+#[cfg(all(unix, target_endian = "little"))]
+unsafe impl Sync for MappedRegion {}
+
+/// Stub for platforms without the zero-copy path (non-unix, or
+/// big-endian where reinterpreting little-endian file bytes as native
+/// `u32`s would be wrong): construction always fails with
+/// `Unsupported`, so the snapshot layer takes its copy path.
+#[cfg(not(all(unix, target_endian = "little")))]
+pub struct MappedRegion {
+    never: std::convert::Infallible,
+}
+
+#[cfg(not(all(unix, target_endian = "little")))]
+impl MappedRegion {
+    pub fn map_file(_path: impl AsRef<Path>) -> io::Result<MappedRegion> {
+        let _ = File::open; // keep the import meaningful on all cfgs
+        Err(io::Error::new(io::ErrorKind::Unsupported, "mmap needs a little-endian unix"))
+    }
+
+    pub fn len(&self) -> usize {
+        match self.never {}
+    }
+
+    pub fn is_empty(&self) -> bool {
+        match self.never {}
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        match self.never {}
+    }
+
+    pub fn advise_willneed(&self, _offset: usize, _len: usize) {
+        match self.never {}
+    }
+}
+
+impl std::fmt::Debug for MappedRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedRegion").field("len", &self.len()).finish()
+    }
+}
+
+impl eh_trie::ArenaBytes for MappedRegion {
+    fn bytes(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+#[cfg(all(test, unix, target_endian = "little"))]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("eh-mmap-{tag}-{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn maps_bytes_identically_and_survives_threads() {
+        let path = temp("basic");
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let region = std::sync::Arc::new(MappedRegion::map_file(&path).unwrap());
+        assert_eq!(region.len(), payload.len());
+        assert_eq!(region.bytes(), &payload[..]);
+        region.advise_willneed(0, region.len());
+        region.advise_willneed(region.len(), 1); // out of range: ignored
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&region);
+                std::thread::spawn(move || r.bytes().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        let sums: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_missing_files_error() {
+        let path = temp("empty");
+        std::fs::write(&path, b"").unwrap();
+        assert!(MappedRegion::map_file(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(MappedRegion::map_file(&path).is_err());
+    }
+}

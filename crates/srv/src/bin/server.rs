@@ -18,9 +18,12 @@
 //! `--threads N` sets join-execution workers, `--sessions N` the
 //! concurrent-connection pool, and `--partitions P` the number of
 //! subject-hash shards the store is split into (omitted: `--data` builds
-//! unpartitioned, `--snapshot` keeps the image's partitioning). The
-//! server runs until killed; clients can persist the live store at any
-//! time with `SAVE <path>`.
+//! unpartitioned, `--snapshot` keeps the image's partitioning).
+//! Snapshots load zero-copy by default — trie arenas serve straight from
+//! `mmap`ed page cache when the file is v3 and aligned, with an automatic
+//! (logged) fallback to the memory-load path otherwise; `--no-mmap`
+//! forces the copy path. The server runs until killed; clients can
+//! persist the live store at any time with `SAVE <path>`.
 
 use std::net::TcpListener;
 use std::sync::atomic::AtomicBool;
@@ -37,19 +40,27 @@ struct Args {
     threads: usize,
     sessions: usize,
     partitions: Option<usize>,
+    mmap: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: server (--snapshot <path> | --data <file.nt>) \
-         [--port P] [--threads N] [--sessions N] [--partitions P]"
+         [--port P] [--threads N] [--sessions N] [--partitions P] [--mmap|--no-mmap]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { snapshot: None, data: None, port: 0, threads: 1, sessions: 8, partitions: None };
+    let mut args = Args {
+        snapshot: None,
+        data: None,
+        port: 0,
+        threads: 1,
+        sessions: 8,
+        partitions: None,
+        mmap: true,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -62,6 +73,16 @@ fn parse_args() -> Args {
             "--threads" => args.threads = value(i).parse().unwrap_or_else(|_| usage()),
             "--sessions" => args.sessions = value(i).parse().unwrap_or_else(|_| usage()),
             "--partitions" => args.partitions = Some(value(i).parse().unwrap_or_else(|_| usage())),
+            "--mmap" => {
+                args.mmap = true;
+                i += 1;
+                continue;
+            }
+            "--no-mmap" => {
+                args.mmap = false;
+                i += 1;
+                continue;
+            }
             _ => usage(),
         }
         i += 2;
@@ -88,14 +109,24 @@ fn main() {
 
     let t0 = Instant::now();
     let service = if let Some(path) = &args.snapshot {
-        let svc = QueryService::from_snapshot(path, config).unwrap_or_else(|e| {
+        let svc = if args.mmap {
+            QueryService::from_snapshot_mmap(path, config)
+        } else {
+            QueryService::from_snapshot(path, config)
+        }
+        .unwrap_or_else(|e| {
             eprintln!("failed to load snapshot {path}: {e}");
             std::process::exit(1);
         });
+        let load = svc.engine().load_info().expect("snapshot-built engine records its load");
+        if let Some(reason) = load.fallback {
+            eprintln!("mmap load of {path} fell back to copy: {reason}");
+        }
         println!(
-            "loaded snapshot {path} in {:.1} ms ({} tries preloaded)",
+            "loaded snapshot {path} in {:.1} ms ({} tries preloaded, load_mode={})",
             t0.elapsed().as_secs_f64() * 1e3,
-            svc.engine().catalog().cached_tries()
+            svc.engine().catalog().cached_tries(),
+            load.mode
         );
         // Re-shard only on an explicit request that disagrees with the
         // image: repartitioning discards the snapshot's preloaded tries

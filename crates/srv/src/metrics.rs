@@ -55,6 +55,7 @@ pub(crate) struct ServiceMetrics {
     pub plan_cache_entries: Arc<Gauge>,
     pub epoch: Arc<Gauge>,
     pub staged_pairs: Arc<Gauge>,
+    pub mapped_bytes: Arc<Gauge>,
     /// Ring of recent slow queries: `"<millis> ms: <sparql>"`.
     slow_log: Mutex<VecDeque<String>>,
 }
@@ -133,6 +134,10 @@ impl ServiceMetrics {
             staged_pairs: registry.gauge(
                 "eh_staged_pairs",
                 "Delta pairs (inserts + tombstones) resident in novelty overlays",
+            ),
+            mapped_bytes: registry.gauge(
+                "eh_mapped_bytes",
+                "Snapshot bytes held mapped for zero-copy trie serving (0 = copy load)",
             ),
             slow_log: Mutex::new(VecDeque::new()),
             registry,

@@ -14,7 +14,7 @@
 //! | `DELETE <s> <p> <o> .` | `OK pending inserts=<n> deletes=<n>` (staged) |
 //! | `APPLY` | `OK applied inserted=<n> deleted=<n> predicates=<n> compacted=<n> epoch=<n>` (staged batch applied atomically) |
 //! | `COMPACT` | `OK compacted predicates=<n> rebuilt=<n> epoch=<n>` (staged deltas folded into fresh base tables) |
-//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> updates_noop=<n> inserted=<n> deleted=<n> staged=<n> query_p50_us=<n> query_p99_us=<n> partitions=<n> max_shard_skew=<x.xx>` |
+//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> updates_noop=<n> inserted=<n> deleted=<n> staged=<n> query_p50_us=<n> query_p99_us=<n> partitions=<n> max_shard_skew=<x.xx> load_mode=<mmap\|copy> mapped_bytes=<n>` |
 //! | `INVALIDATE` | `OK epoch=<n>` (caches dropped, catalog epoch advanced) |
 //! | `SAVE <path>` | `OK saved bytes=<n> triples=<n>` (snapshot written server-side; restart with `--snapshot <path>`) |
 //! | `QUIT` | `OK bye`, then the connection closes |
@@ -193,7 +193,8 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
                 "OK plan_hits={} plan_misses={} result_hits={} result_misses={} \
                  plan_entries={} cache_entries={} cache_bytes={} epoch={} \
                  updates={} updates_noop={} inserted={} deleted={} staged={} \
-                 query_p50_us={} query_p99_us={} partitions={} max_shard_skew={:.2}\n",
+                 query_p50_us={} query_p99_us={} partitions={} max_shard_skew={:.2} \
+                 load_mode={} mapped_bytes={}\n",
                 s.plan_hits,
                 s.plan_misses,
                 s.result_hits,
@@ -210,7 +211,9 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
                 s.query_p50_us,
                 s.query_p99_us,
                 s.partitions,
-                s.max_shard_skew
+                s.max_shard_skew,
+                s.load_mode,
+                s.mapped_bytes
             )
         }
         "INVALIDATE" => format!("OK epoch={}\n", service.invalidate()),
@@ -642,6 +645,53 @@ mod tests {
         // Failure modes answer ERR, they don't kill the session.
         assert!(respond(&svc, "SAVE").starts_with("ERR SAVE needs"));
         assert!(respond(&svc, "SAVE /nonexistent-dir-zzz/x.snap").starts_with("ERR "));
+    }
+
+    #[test]
+    fn mmap_loaded_service_reports_its_mode_and_serves_identical_bytes() {
+        let store = store();
+        let svc = QueryService::new(store.clone(), config(1));
+        let q = "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }";
+        let expect = respond(&svc, q);
+        // A cold-built service is a copy load with nothing mapped.
+        let stats = respond(&svc, "STATS");
+        assert!(stats.contains("load_mode=copy mapped_bytes=0"), "{stats}");
+
+        let path = std::env::temp_dir().join(format!("eh-mmap-verb-{}.snap", std::process::id()));
+        assert!(respond(&svc, &format!("SAVE {}", path.display())).starts_with("OK saved"));
+
+        let mapped = QueryService::from_snapshot_mmap(&path, config(1)).unwrap();
+        let copied = QueryService::from_snapshot(&path, config(1)).unwrap();
+        assert_eq!(respond(&mapped, q), expect);
+        assert_eq!(respond(&copied, q), expect);
+
+        let file_len = std::fs::metadata(&path).unwrap().len();
+        let stats = respond(&mapped, "STATS");
+        assert!(
+            stats.contains(&format!("load_mode=mmap mapped_bytes={file_len}")),
+            "{stats} (file is {file_len} bytes)"
+        );
+        let stats = respond(&copied, "STATS");
+        assert!(stats.contains("load_mode=copy mapped_bytes=0"), "{stats}");
+
+        // The gauge tracks the same number through the METRICS verb.
+        let m = respond(&mapped, "METRICS");
+        assert!(m.contains(&format!("eh_mapped_bytes {file_len}")), "{m}");
+        let m = respond(&copied, "METRICS");
+        assert!(m.contains("eh_mapped_bytes 0"), "{m}");
+
+        // Updates keep working on the mapped service: the overlays and
+        // later compactions own their memory, independent of the mapping.
+        let mut session = Session::new();
+        let r = respond_in_session(&mapped, &mut session, "INSERT <c> <p> <d> .");
+        assert!(r.starts_with("OK pending"), "{r}");
+        let r = respond_in_session(&mapped, &mut session, "APPLY");
+        assert!(r.starts_with("OK applied inserted=1"), "{r}");
+        let r = respond_in_session(&mapped, &mut session, "COMPACT");
+        assert!(r.starts_with("OK compacted predicates=1"), "{r}");
+        let after = respond(&mapped, q);
+        assert_eq!(after, "OK 3 x y\n<a>\t<b>\n<b>\t<c>\n<c>\t<d>\nEND\n");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

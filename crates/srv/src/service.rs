@@ -7,8 +7,8 @@ use std::time::Instant;
 use eh_query::{canonicalize, parse_sparql, CanonicalQuery, ConjunctiveQuery};
 use eh_rdf::TripleStore;
 use emptyheaded::{
-    Engine, EngineError, Plan, PlannerConfig, QueryResult, SharedStore, SnapshotError, UpdateBatch,
-    UpdateSummary,
+    Engine, EngineError, LoadMode, Plan, PlannerConfig, QueryResult, SharedStore, SnapshotError,
+    UpdateBatch, UpdateSummary,
 };
 use std::collections::HashMap;
 
@@ -142,6 +142,12 @@ pub struct ServiceStats {
     /// placement keeps this near 1 unless the data is pathologically
     /// concentrated on few subjects.
     pub max_shard_skew: f64,
+    /// How the engine's snapshot loaded: [`LoadMode::Mmap`] when trie
+    /// arenas serve from mapped pages, [`LoadMode::Copy`] otherwise
+    /// (including engines never built from a snapshot).
+    pub load_mode: LoadMode,
+    /// Snapshot bytes held mapped (0 on a copy load).
+    pub mapped_bytes: u64,
 }
 
 /// A cacheable result: the engine's [`QueryResult`] plus a lazily
@@ -291,6 +297,18 @@ impl QueryService {
         config: ServiceConfig,
     ) -> Result<QueryService, SnapshotError> {
         Ok(QueryService::from_engine(Engine::from_snapshot(path, config.planner)?, config))
+    }
+
+    /// [`QueryService::from_snapshot`], zero-copy: trie arenas serve
+    /// from the `mmap`ed snapshot file ([`Engine::from_snapshot_mmap`]),
+    /// falling back to the copy path on unmappable files or platforms.
+    /// `STATS` reports `load_mode=mmap|copy` and the `eh_mapped_bytes`
+    /// gauge shows how much of the file is held mapped.
+    pub fn from_snapshot_mmap(
+        path: impl AsRef<std::path::Path>,
+        config: ServiceConfig,
+    ) -> Result<QueryService, SnapshotError> {
+        Ok(QueryService::from_engine(Engine::from_snapshot_mmap(path, config.planner)?, config))
     }
 
     /// Persist the current store (and freshly frozen hot-order tries) to
@@ -570,6 +588,8 @@ impl QueryService {
             query_p99_us: self.metrics.query_latency_us.p99(),
             partitions,
             max_shard_skew,
+            load_mode: self.engine.load_info().map_or(LoadMode::Copy, |l| l.mode),
+            mapped_bytes: self.engine.load_info().map_or(0, |l| l.mapped_bytes),
         }
     }
 
@@ -601,6 +621,7 @@ impl QueryService {
             .set(self.plans.read().unwrap_or_else(PoisonError::into_inner).map.len() as i64);
         self.metrics.epoch.set(self.engine.catalog().epoch() as i64);
         self.metrics.staged_pairs.set(self.store().staged_pairs() as i64);
+        self.metrics.mapped_bytes.set(self.engine.load_info().map_or(0, |l| l.mapped_bytes) as i64);
         let arena = self.engine.catalog().arena_bytes_by_shard();
         for s in self.store().shard_stats() {
             let bytes = arena.get(s.shard).copied().unwrap_or(0);

@@ -22,22 +22,94 @@
 //! side array; everything whose size scales with the data is inside the
 //! arena. Offsets are `u32` arena indices, capping one trie's arena at
 //! 16 GiB — far beyond any per-predicate index this engine builds.
+//!
+//! ## Arena storage
+//!
+//! The arena is either *owned* (one heap allocation, the build path) or a
+//! *shared* window into an [`ArenaBytes`] region — a snapshot file mapped
+//! into the address space, served zero-copy. Navigation never sees the
+//! difference: every access goes through one `&[u32]` view, so a mapped
+//! trie runs the exact same kernels over page-cache-backed memory.
+
+use std::sync::Arc;
 
 use eh_setops::{decode_set, encode_sorted_into, validate_encoded_set, Layout, SetRef};
 
 use crate::build::{LayoutPolicy, Trie};
 use crate::tuples::TupleBuffer;
 
+/// A shared byte region a [`FrozenTrie`] arena may live inside — in
+/// practice a memory-mapped snapshot file (`eh-rdf`'s `MappedRegion`),
+/// abstracted here so this crate needs no platform code.
+///
+/// Contract: `bytes()` must return the same region (same address, same
+/// length) for the lifetime of the value — the trie reinterprets a window
+/// of it as native-endian `u32`s and holds that view across calls. The
+/// constructor validates 4-byte alignment once against this stability.
+pub trait ArenaBytes: Send + Sync + std::fmt::Debug {
+    /// The region's bytes. Must be stable for `self`'s lifetime.
+    fn bytes(&self) -> &[u8];
+}
+
+/// The arena's backing storage: one owned allocation, or a borrowed
+/// window of a shared region kept alive by the `Arc`.
+#[derive(Debug, Clone)]
+enum ArenaStore {
+    Owned(Box<[u32]>),
+    Shared {
+        region: Arc<dyn ArenaBytes>,
+        /// Byte offset of the arena inside the region (4-byte aligned,
+        /// validated at construction).
+        offset: usize,
+        /// Arena length in `u32` words.
+        words: usize,
+    },
+}
+
+impl ArenaStore {
+    #[inline]
+    fn words(&self) -> &[u32] {
+        match self {
+            ArenaStore::Owned(a) => a,
+            ArenaStore::Shared { region, offset, words } => {
+                let bytes = region.bytes();
+                debug_assert!(offset + words * 4 <= bytes.len());
+                // SAFETY: the constructor validated that the window is in
+                // bounds and that `base + offset` is 4-byte aligned, and
+                // the `ArenaBytes` contract pins the region's address and
+                // length for the lifetime of the Arc we hold.
+                unsafe {
+                    std::slice::from_raw_parts(bytes.as_ptr().add(*offset).cast::<u32>(), *words)
+                }
+            }
+        }
+    }
+}
+
 /// A materialised trie over fixed-arity tuples whose entire payload lives
 /// in one contiguous `u32` arena (see the module docs).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct FrozenTrie {
     arity: u32,
     num_tuples: u32,
     /// Per level: (arena index of the block offset table, block count).
     levels: Box<[(u32, u32)]>,
-    arena: Box<[u32]>,
+    arena: ArenaStore,
 }
+
+/// Equality is over contents — an owned trie and a mapped view of the
+/// same persisted arena compare equal, which is exactly what the
+/// snapshot roundtrip tests assert.
+impl PartialEq for FrozenTrie {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && self.num_tuples == other.num_tuples
+            && self.levels == other.levels
+            && self.arena() == other.arena()
+    }
+}
+
+impl Eq for FrozenTrie {}
 
 impl FrozenTrie {
     /// Build a frozen trie from tuples (sorted + deduplicated internally).
@@ -119,8 +191,20 @@ impl FrozenTrie {
             arity,
             num_tuples,
             levels: levels.into_boxed_slice(),
-            arena: arena.into_boxed_slice(),
+            arena: ArenaStore::Owned(arena.into_boxed_slice()),
         }
+    }
+
+    /// The arena as one `u32` slice, whatever backs it.
+    #[inline]
+    fn arena(&self) -> &[u32] {
+        self.arena.words()
+    }
+
+    /// True when the arena is a window of a shared [`ArenaBytes`] region
+    /// (a mapped snapshot) rather than an owned allocation.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.arena, ArenaStore::Shared { .. })
     }
 
     /// Tuple width (= number of levels).
@@ -147,7 +231,7 @@ impl FrozenTrie {
     /// arena.
     pub fn set(&self, level: usize, block: usize) -> SetRef<'_> {
         let off = self.block_offset(level, block);
-        decode_set(&self.arena[off + 1..]).0
+        decode_set(&self.arena()[off + 1..]).0
     }
 
     /// Number of blocks at a level.
@@ -159,7 +243,7 @@ impl FrozenTrie {
     fn block_offset(&self, level: usize, block: usize) -> usize {
         let (table, count) = self.levels[level];
         debug_assert!(block < count as usize, "block out of range");
-        self.arena[table as usize + block] as usize
+        self.arena()[table as usize + block] as usize
     }
 
     /// Child block (at `level + 1`) for element `value` of `block` at
@@ -167,8 +251,8 @@ impl FrozenTrie {
     pub fn child(&self, level: usize, block: usize, value: u32) -> Option<usize> {
         debug_assert!(level + 1 < self.arity(), "leaf levels have no children");
         let off = self.block_offset(level, block);
-        let child_base = self.arena[off] as usize;
-        decode_set(&self.arena[off + 1..]).0.rank(value).map(|r| child_base + r)
+        let child_base = self.arena()[off] as usize;
+        decode_set(&self.arena()[off + 1..]).0.rank(value).map(|r| child_base + r)
     }
 
     /// True when a full or prefix tuple is present.
@@ -198,8 +282,8 @@ impl FrozenTrie {
 
     fn walk(&self, level: usize, block: usize, tuple: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
         let off = self.block_offset(level, block);
-        let child_base = self.arena[off] as usize;
-        for (rank, v) in decode_set(&self.arena[off + 1..]).0.iter().enumerate() {
+        let child_base = self.arena()[off] as usize;
+        for (rank, v) in decode_set(&self.arena()[off + 1..]).0.iter().enumerate() {
             tuple[level] = v;
             if level + 1 == self.arity() {
                 f(tuple);
@@ -233,7 +317,7 @@ impl FrozenTrie {
         (0..self.arity()).flat_map(move |level| {
             (0..self.num_blocks(level)).map(move |block| {
                 let off = self.block_offset(level, block);
-                (self.arena[off] as usize, decode_set(&self.arena[off + 1..]).0)
+                (self.arena()[off] as usize, decode_set(&self.arena()[off + 1..]).0)
             })
         })
     }
@@ -261,11 +345,11 @@ impl FrozenTrie {
             return true;
         }
         let root_off = self.block_offset(0, 0);
-        let root_base = self.arena[root_off] as usize;
+        let root_base = self.arena()[root_off] as usize;
         let mut i = 0usize;
-        for (r, s) in decode_set(&self.arena[root_off + 1..]).0.iter().enumerate() {
+        for (r, s) in decode_set(&self.arena()[root_off + 1..]).0.iter().enumerate() {
             let off = self.block_offset(1, root_base + r);
-            for o in decode_set(&self.arena[off + 1..]).0.iter() {
+            for o in decode_set(&self.arena()[off + 1..]).0.iter() {
                 if i >= pairs.len() || pairs[i] != (s, o) {
                     return false;
                 }
@@ -278,13 +362,13 @@ impl FrozenTrie {
     /// Total arena size in bytes (the single allocation a snapshot
     /// persists).
     pub fn arena_bytes(&self) -> usize {
-        std::mem::size_of_val(&*self.arena)
+        std::mem::size_of_val(self.arena())
     }
 
     /// The raw parts a snapshot writer persists: `(arity, num_tuples,
     /// levels, arena)`.
     pub fn raw_parts(&self) -> (u32, u32, &[(u32, u32)], &[u32]) {
-        (self.arity, self.num_tuples, &self.levels, &self.arena)
+        (self.arity, self.num_tuples, &self.levels, self.arena())
     }
 
     /// Reassemble a frozen trie from persisted raw parts, structurally
@@ -297,44 +381,91 @@ impl FrozenTrie {
         levels: Vec<(u32, u32)>,
         arena: Vec<u32>,
     ) -> Result<FrozenTrie, &'static str> {
-        if arity == 0 || levels.len() != arity as usize {
-            return Err("level directory does not match arity");
-        }
-        let mut next_level_blocks = 1u64; // level 0 always has one block
-        for (level, &(table, count)) in levels.iter().enumerate() {
-            if count as u64 != next_level_blocks {
-                return Err("level block count does not chain");
-            }
-            let table = table as usize;
-            let Some(offsets) = arena.get(table..table + count as usize) else {
-                return Err("offset table out of bounds");
-            };
-            let mut child_blocks = 0u64;
-            for &off in offsets {
-                let off = off as usize;
-                if off >= arena.len() {
-                    return Err("block offset out of bounds");
-                }
-                let Some((_, set_len)) = validate_encoded_set(&arena[off + 1..]) else {
-                    return Err("corrupt set encoding");
-                };
-                if arena[off] as u64 != child_blocks {
-                    return Err("child bases do not tile the next level");
-                }
-                child_blocks += set_len as u64;
-            }
-            next_level_blocks = child_blocks;
-            if level + 1 == arity as usize && num_tuples as u64 != child_blocks {
-                return Err("leaf cardinality does not match num_tuples");
-            }
-        }
+        validate_parts(arity, num_tuples, &levels, &arena)?;
         Ok(FrozenTrie {
             arity,
             num_tuples,
             levels: levels.into_boxed_slice(),
-            arena: arena.into_boxed_slice(),
+            arena: ArenaStore::Owned(arena.into_boxed_slice()),
         })
     }
+
+    /// Reassemble a frozen trie whose arena is a window of `region` —
+    /// `words` `u32`s starting `byte_offset` bytes in — without copying
+    /// it. The same structural validation as [`FrozenTrie::from_raw_parts`]
+    /// runs over the shared bytes, plus the window's bounds and 4-byte
+    /// alignment (of the region's base address *and* the offset: the
+    /// reinterpretation is only defined on an aligned window).
+    ///
+    /// The words are read as native-endian; the snapshot format is
+    /// little-endian, so callers on big-endian targets must take the
+    /// copy path instead of constructing shared arenas.
+    pub fn from_shared_region(
+        arity: u32,
+        num_tuples: u32,
+        levels: Vec<(u32, u32)>,
+        region: Arc<dyn ArenaBytes>,
+        byte_offset: usize,
+        words: usize,
+    ) -> Result<FrozenTrie, &'static str> {
+        let bytes = region.bytes();
+        let byte_len = words.checked_mul(4).ok_or("arena window overflows")?;
+        let end = byte_offset.checked_add(byte_len).ok_or("arena window overflows")?;
+        if end > bytes.len() {
+            return Err("arena window outside region");
+        }
+        if !(bytes.as_ptr() as usize + byte_offset).is_multiple_of(4) {
+            return Err("arena window is not 4-byte aligned");
+        }
+        let store = ArenaStore::Shared { region, offset: byte_offset, words };
+        validate_parts(arity, num_tuples, &levels, store.words())?;
+        Ok(FrozenTrie { arity, num_tuples, levels: levels.into_boxed_slice(), arena: store })
+    }
+}
+
+/// The structural validation shared by [`FrozenTrie::from_raw_parts`] and
+/// [`FrozenTrie::from_shared_region`]: every offset, block, child base,
+/// and set encoding checked over a borrowed arena, so corrupt input
+/// yields `Err` instead of a later panic (or out-of-bounds index) during
+/// navigation — wherever the arena's bytes live.
+fn validate_parts(
+    arity: u32,
+    num_tuples: u32,
+    levels: &[(u32, u32)],
+    arena: &[u32],
+) -> Result<(), &'static str> {
+    if arity == 0 || levels.len() != arity as usize {
+        return Err("level directory does not match arity");
+    }
+    let mut next_level_blocks = 1u64; // level 0 always has one block
+    for (level, &(table, count)) in levels.iter().enumerate() {
+        if count as u64 != next_level_blocks {
+            return Err("level block count does not chain");
+        }
+        let table = table as usize;
+        let Some(offsets) = arena.get(table..table + count as usize) else {
+            return Err("offset table out of bounds");
+        };
+        let mut child_blocks = 0u64;
+        for &off in offsets {
+            let off = off as usize;
+            if off >= arena.len() {
+                return Err("block offset out of bounds");
+            }
+            let Some((_, set_len)) = validate_encoded_set(&arena[off + 1..]) else {
+                return Err("corrupt set encoding");
+            };
+            if arena[off] as u64 != child_blocks {
+                return Err("child bases do not tile the next level");
+            }
+            child_blocks += set_len as u64;
+        }
+        next_level_blocks = child_blocks;
+        if level + 1 == arity as usize && num_tuples as u64 != child_blocks {
+            return Err("leaf cardinality does not match num_tuples");
+        }
+    }
+    Ok(())
 }
 
 impl Trie {
@@ -502,6 +633,96 @@ mod tests {
         let empty = FrozenTrie::build(TupleBuffer::new(2), LayoutPolicy::Auto);
         assert!(empty.matches_pairs(&[]));
         assert!(!empty.matches_pairs(&[(0, 0)]));
+    }
+
+    /// A heap-backed [`ArenaBytes`] stand-in for the mapped region the
+    /// snapshot layer provides, with a controllable misalignment.
+    #[derive(Debug)]
+    struct HeapRegion {
+        bytes: Vec<u8>,
+    }
+
+    impl ArenaBytes for HeapRegion {
+        fn bytes(&self) -> &[u8] {
+            &self.bytes
+        }
+    }
+
+    /// `arena` serialized after `lead` zero bytes. The second return is
+    /// an in-bounds window offset that is *not* 4-byte aligned relative
+    /// to the region's base address (for the rejection case).
+    fn region_of(arena: &[u32], lead: usize) -> (Arc<dyn ArenaBytes>, usize) {
+        let mut bytes = vec![0u8; lead];
+        for &w in arena {
+            bytes.extend_from_slice(&w.to_ne_bytes());
+        }
+        let region: Arc<dyn ArenaBytes> = Arc::new(HeapRegion { bytes });
+        let base = region.bytes().as_ptr() as usize;
+        let misaligned = (0..4).find(|o| !(base + o).is_multiple_of(4)).expect("offset misaligns");
+        (region, misaligned)
+    }
+
+    #[test]
+    fn shared_region_arena_is_equal_and_validated() {
+        let trie = FrozenTrie::build(figure1_tuples(), LayoutPolicy::Auto);
+        let (arity, n, levels, arena) = trie.raw_parts();
+        let (region, misaligned) = region_of(arena, 4);
+        let base = region.bytes().as_ptr() as usize;
+        // The arena sits 4 bytes in; Vec allocations are word-aligned in
+        // practice, but derive the aligned offset from the base to be
+        // safe rather than assume it.
+        assert_eq!(base % 4, 0, "allocator returned a sub-word-aligned Vec");
+        let shared = FrozenTrie::from_shared_region(
+            arity,
+            n,
+            levels.to_vec(),
+            Arc::clone(&region),
+            4,
+            arena.len(),
+        )
+        .unwrap();
+        assert!(shared.is_shared() && !trie.is_shared());
+        assert_eq!(shared, trie);
+        assert_eq!(shared.to_tuples(), trie.to_tuples());
+        // Clones share the region; equality still holds by contents.
+        assert_eq!(shared.clone(), trie);
+
+        // A misaligned window is rejected before any validation runs.
+        assert!(matches!(
+            FrozenTrie::from_shared_region(
+                arity,
+                n,
+                levels.to_vec(),
+                Arc::clone(&region),
+                misaligned,
+                arena.len()
+            ),
+            Err(e) if e.contains("aligned")
+        ));
+        // A window past the region's end is rejected.
+        assert!(FrozenTrie::from_shared_region(
+            arity,
+            n,
+            levels.to_vec(),
+            Arc::clone(&region),
+            4,
+            arena.len() + 1
+        )
+        .is_err());
+        // Structural corruption inside the shared bytes is rejected too:
+        // point the root block offset past the arena's end.
+        let mut bad = arena.to_vec();
+        bad[0] = bad.len() as u32;
+        let (bad_region, _) = region_of(&bad, 0);
+        assert!(FrozenTrie::from_shared_region(
+            arity,
+            n,
+            levels.to_vec(),
+            bad_region,
+            0,
+            bad.len()
+        )
+        .is_err());
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod overlay;
 mod tuples;
 
 pub use build::{LayoutPolicy, Trie};
-pub use frozen::FrozenTrie;
+pub use frozen::{ArenaBytes, FrozenTrie};
 pub use overlay::DeltaOverlay;
 pub use tuples::TupleBuffer;
 

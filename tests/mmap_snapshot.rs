@@ -1,0 +1,186 @@
+//! Zero-copy snapshot serving equivalence: an engine whose trie arenas
+//! are served straight from `mmap`ed snapshot pages must be
+//! observationally identical to one that copied the same file into the
+//! heap — across partition counts, thread counts, cache states, and
+//! post-load updates — and two mapped engines sharing one file must stay
+//! independent under mutation.
+
+use wcoj_rdf::emptyheaded::{
+    Engine, LoadMode, OptFlags, PlannerConfig, SharedStore, StoreSnapshot, UpdateBatch,
+};
+use wcoj_rdf::lubm::queries::{lubm_query, lubm_sparql, QUERY_NUMBERS};
+use wcoj_rdf::lubm::{generate_store, GeneratorConfig};
+use wcoj_rdf::rdf::{Term, Triple};
+use wcoj_rdf::srv::{respond, QueryService, ServiceConfig};
+
+fn temp_snapshot(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("eh-mmap-{tag}-{}.snap", std::process::id()))
+}
+
+fn config(threads: usize) -> PlannerConfig {
+    PlannerConfig::with_flags(OptFlags::all()).with_threads(threads)
+}
+
+fn svc_config(threads: usize) -> ServiceConfig {
+    ServiceConfig {
+        planner: config(threads),
+        result_cache_bytes: 1 << 20,
+        plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
+        server_sessions: ServiceConfig::DEFAULT_SERVER_SESSIONS,
+        record_metrics: true,
+        slow_query_ms: None,
+    }
+}
+
+/// Identical answers for every LUBM query between two engines whose
+/// stores share one dictionary (so raw u32 rows are comparable).
+fn assert_lubm_equal(reference: &Engine, candidate: &Engine, label: &str) {
+    for n in QUERY_NUMBERS {
+        let q = {
+            let store = reference.store();
+            lubm_query(n, &store).expect("workload query")
+        };
+        let expect = reference.run(&q).expect("reference runs");
+        let got = candidate.run(&q).expect("candidate runs");
+        assert_eq!(got, expect, "{label}: query {n} diverged");
+    }
+}
+
+/// An update batch touching both an existing predicate and a new term.
+fn batch() -> UpdateBatch {
+    let ub = "http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#";
+    let mut b = UpdateBatch::new();
+    b.insert(Triple::new(
+        Term::iri("http://www.Department0.University0.edu/GraduateStudentX"),
+        Term::iri(format!("{ub}takesCourse")),
+        Term::iri("http://www.Department0.University0.edu/GraduateCourse0"),
+    ));
+    b.delete(Triple::new(
+        Term::iri("http://www.Department0.University0.edu/UndergraduateStudent0"),
+        Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+        Term::iri(format!("{ub}UndergraduateStudent")),
+    ));
+    b
+}
+
+#[test]
+fn mmap_matches_copy_across_partitions_threads_and_updates() {
+    for partitions in [1usize, 4] {
+        // A fresh store per (P, threads) cell: updates mutate it, and
+        // both engines of one cell must start from identical state.
+        for threads in [1usize, 4] {
+            let tag = format!("matrix-p{partitions}-t{threads}");
+            let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
+            let cold = Engine::with_config(store.clone(), config(threads));
+            if partitions > 1 {
+                cold.repartition(partitions);
+            }
+            let path = temp_snapshot(&tag);
+            cold.save_snapshot(&path).expect("snapshot writes");
+            let file_len = std::fs::metadata(&path).expect("snapshot exists").len();
+
+            let copied = Engine::from_snapshot(&path, config(threads)).expect("copy load");
+            let mapped = Engine::from_snapshot_mmap(&path, config(threads)).expect("mmap load");
+            let load = mapped.load_info().expect("loaded engine records its load");
+            assert_eq!(load.mode, LoadMode::Mmap, "{tag}: {:?}", load.fallback);
+            assert_eq!(load.mapped_bytes, file_len, "{tag}: whole file mapped");
+            let copy_load = copied.load_info().expect("loaded engine records its load");
+            assert_eq!(copy_load.mode, LoadMode::Copy, "{tag}");
+            assert_eq!(copy_load.mapped_bytes, 0, "{tag}");
+            assert_eq!(mapped.store().partitions(), partitions, "{tag}");
+            assert!(mapped.catalog().cached_tries() > 0, "{tag}: starts warm");
+            assert_lubm_equal(&copied, &mapped, &format!("{tag} fresh"));
+            // Second pass over the workload: cached plans and warm tries
+            // on both sides must not change a single row.
+            assert_lubm_equal(&copied, &mapped, &format!("{tag} warm-cache"));
+
+            // Post-load updates stage deltas on top of mapped arenas;
+            // compaction folds them into freshly-owned base tables.
+            let s1 = copied.update(batch());
+            let s2 = mapped.update(batch());
+            assert_eq!((s1.inserted, s1.deleted), (s2.inserted, s2.deleted), "{tag}");
+            assert!(s1.inserted > 0 && s1.deleted > 0, "{tag}: batch must change something");
+            assert_lubm_equal(&copied, &mapped, &format!("{tag} overlay"));
+            copied.compact();
+            mapped.compact();
+            assert_lubm_equal(&copied, &mapped, &format!("{tag} compacted"));
+
+            // Re-saving over the file the engine still serves from works
+            // (atomic rename; the live mapping keeps the old inode), and
+            // a fresh mapped load of the new file sees the updated data.
+            mapped.save_snapshot(&path).expect("re-save over mapped file");
+            assert_lubm_equal(&copied, &mapped, &format!("{tag} post-resave"));
+            let reloaded = Engine::from_snapshot_mmap(&path, config(threads)).expect("reload");
+            assert_eq!(
+                reloaded.load_info().expect("reload records its load").mode,
+                LoadMode::Mmap,
+                "{tag}"
+            );
+            assert_lubm_equal(&copied, &reloaded, &format!("{tag} reloaded"));
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn two_mapped_services_share_one_file_and_stay_independent() {
+    let store = SharedStore::new(generate_store(&GeneratorConfig::tiny(1)));
+    let seed = QueryService::new(store, svc_config(2));
+    let path = temp_snapshot("shared");
+    seed.save_snapshot(&path).expect("snapshot writes");
+
+    // Two processes' worth of engines on one file: both map the same
+    // bytes (the page cache holds one physical copy).
+    let a = QueryService::from_snapshot_mmap(&path, svc_config(2)).expect("service a");
+    let b = QueryService::from_snapshot_mmap(&path, svc_config(2)).expect("service b");
+    for svc in [&a, &b] {
+        let load = svc.engine().load_info().expect("mapped service records its load");
+        assert_eq!(load.mode, LoadMode::Mmap, "{:?}", load.fallback);
+    }
+
+    // Byte-identical wire responses, asked twice so the second answer
+    // exercises each service's result cache.
+    let requests: Vec<String> = QUERY_NUMBERS
+        .iter()
+        .map(|&n| format!("QUERY {}", lubm_sparql(n).expect("workload sparql")))
+        .collect();
+    let before: Vec<String> = requests.iter().map(|r| respond(&a, r)).collect();
+    for (r, expect) in requests.iter().zip(&before) {
+        assert_eq!(&respond(&a, r), expect, "a: cached answer diverged");
+        assert_eq!(&respond(&b, r), expect, "b: fresh answer diverged");
+        assert_eq!(&respond(&b, r), expect, "b: cached answer diverged");
+    }
+
+    // Mutating one service never leaks into the other: overlays and
+    // compacted tables are process-private; the mapping is read-only.
+    let summary = a.engine().update(batch());
+    assert!(summary.inserted > 0 && summary.deleted > 0);
+    a.invalidate();
+    a.compact();
+    let changed: Vec<String> = requests.iter().map(|r| respond(&a, r)).collect();
+    assert_ne!(changed, before, "the update must be visible on a");
+    for (r, expect) in requests.iter().zip(&before) {
+        assert_eq!(&respond(&b, r), expect, "b must not see a's update");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v2_snapshot_mmap_request_falls_back_to_copy_with_reason() {
+    let store = generate_store(&GeneratorConfig::tiny(1));
+    let tries = StoreSnapshot::hot_tries(&store);
+    let mut bytes = Vec::new();
+    StoreSnapshot::write_v2(&store, &tries, &mut bytes).expect("v2 writes");
+    let path = temp_snapshot("v2-fallback");
+    std::fs::write(&path, &bytes).expect("v2 file writes");
+
+    let copied = Engine::from_snapshot(&path, config(2)).expect("copy load");
+    let mapped = Engine::from_snapshot_mmap(&path, config(2)).expect("mmap request loads");
+    std::fs::remove_file(&path).ok();
+    let load = mapped.load_info().expect("loaded engine records its load");
+    assert_eq!(load.mode, LoadMode::Copy);
+    assert_eq!(load.mapped_bytes, 0);
+    let reason = load.fallback.expect("fallback reason recorded");
+    assert!(reason.contains("v2"), "{reason}");
+    assert_lubm_equal(&copied, &mapped, "v2 fallback");
+}
