@@ -1,0 +1,326 @@
+//! Write-ahead-log harness: what durability costs on the apply path.
+//!
+//! Four configurations over identical LUBM contents and an identical
+//! stream of fresh-triple batches:
+//!
+//! 1. `no-wal` — the baseline: batches stage as overlay deltas, nothing
+//!    is logged.
+//! 2. `fsync=never` — every batch is framed and written to the log but
+//!    never explicitly synced; this is the pure logging overhead
+//!    (encode + checksum + write) and the number the `--max-overhead`
+//!    gate defends (default 10% over the baseline).
+//! 3. `fsync=interval:5` — group durability: at most 5 ms of
+//!    acknowledged batches are exposed to a power loss.
+//! 4. `fsync=always` — every batch is durable before it is
+//!    acknowledged; the price is one fdatasync per apply.
+//!
+//! A recovery epilogue replays the full log into a fresh engine and
+//! checks the recovered store holds every logged triple — timing how
+//! fast a restart catches up.
+//!
+//! Emits `BENCH_wal.json` (into `$EH_BENCH_OUT` if set).
+//!
+//! ```text
+//! cargo run --release -p eh-bench --bin wal -- --universities 1
+//! cargo run --release -p eh-bench --bin wal -- --max-overhead 10
+//! ```
+
+use std::time::{Duration, Instant};
+
+use eh_bench::{BenchReport, TablePrinter};
+use eh_lubm::{generate_store, pred_iri, GeneratorConfig, Predicate};
+use eh_rdf::{Term, Triple};
+use eh_srv::SharedStore;
+use emptyheaded::{Engine, FsyncPolicy, OptFlags, PlannerConfig, UpdateBatch};
+
+const BATCH_TRIPLES: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct Args {
+    universities: u32,
+    runs: usize,
+    seed: u64,
+    /// Maximum fsync=never apply overhead over the no-WAL baseline, in
+    /// percent; above it, exit 1.
+    max_overhead: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { universities: 1, runs: 48, seed: 42, max_overhead: None };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value after {}", argv[i]))
+                .parse::<f64>()
+                .unwrap_or_else(|e| panic!("bad value after {}: {e}", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--universities" | "-u" => args.universities = value(i) as u32,
+            "--runs" | "-r" => args.runs = value(i) as usize,
+            "--seed" | "-s" => args.seed = value(i) as u64,
+            "--max-overhead" => args.max_overhead = Some(value(i)),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; expected --universities N, --runs K, --seed S, \
+                     --max-overhead PCT"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    assert!(args.runs >= 3, "need at least 3 runs to drop best and worst");
+    args
+}
+
+/// A fresh-triple batch on the hot predicate; `tag` keeps each
+/// configuration's subjects disjoint so every batch is real change.
+fn batch(tag: &str, round: u64) -> UpdateBatch {
+    let takes = pred_iri(Predicate::TakesCourse);
+    let mut b = UpdateBatch::new();
+    for i in 0..BATCH_TRIPLES {
+        b.insert(Triple::new(
+            Term::iri(format!("http://bench/wal-{tag}-student-{round}-{i}")),
+            Term::iri(&*takes),
+            Term::iri(format!("http://bench/wal-course-{}", i % 8)),
+        ));
+    }
+    b
+}
+
+/// Rounds of paired measurement. In every round each mode gets its own
+/// fresh engine (and, with a policy, a fresh log), and single `update`
+/// calls then alternate between the modes' engines — batch k applies to
+/// every mode back-to-back before batch k+1. Pairing at the ~40 µs
+/// batch scale instead of the ~2 ms block scale matters: frequency
+/// transitions, scheduler ticks, and writeback stalls last longer than
+/// a batch, so alternation spreads them across all modes evenly, where
+/// block-per-mode timing let one mode eat a whole stall and called the
+/// bias "overhead" (observed swinging a block ratio by ±15% both ways).
+///
+/// The reported latency is the per-mode median across rounds; the
+/// overheads reduce the *per-round* ratios against the same round's
+/// baseline. The reducer is the 25th percentile: residual stall noise
+/// is right-skewed (a stall only ever inflates a round), so a low
+/// quantile tracks the intrinsic logging cost — the thing a code
+/// regression would actually move — while a mean would gate on noise.
+///
+/// The gated comparison (no-wal vs fsync=never) runs as its own phase
+/// *before* the fsync-heavy modes, whose queued journal commits bleed
+/// writeback stalls into neighbouring work.
+const REPS: usize = 16;
+
+/// Compaction is lifted out of reach of every engine: this harness
+/// times the logged staging path itself, not an occasional fold (the
+/// fold's cost has its own harness in `updates`).
+fn bench_engine(contents: &eh_rdf::TripleStore, policy: Option<FsyncPolicy>) -> Engine {
+    let config = PlannerConfig::with_flags(OptFlags::all())
+        .with_wal_fsync(policy.unwrap_or_default())
+        .with_compaction(u32::MAX, 100);
+    Engine::with_config(SharedStore::new(contents.clone()), config)
+}
+
+/// One mode's measurement: median per-batch latency, paired overhead
+/// over the baseline, final log size and path.
+struct ModeResult {
+    per_batch: Duration,
+    overhead_pct: f64,
+    wal_bytes: u64,
+    path: Option<std::path::PathBuf>,
+}
+
+fn quantile(mut xs: Vec<f64>, q: f64) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    xs[((xs.len() - 1) as f64 * q).round() as usize]
+}
+
+fn median(xs: Vec<f64>) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Run `REPS` batch-interleaved rounds of every mode and reduce to
+/// paired statistics. The first mode must be the no-WAL baseline.
+fn timed_apply_matrix(
+    contents: &eh_rdf::TripleStore,
+    policies: &[(&str, Option<FsyncPolicy>)],
+    runs: usize,
+) -> Vec<ModeResult> {
+    let paths: Vec<Option<std::path::PathBuf>> = policies
+        .iter()
+        .map(|(tag, policy)| {
+            policy.map(|_| {
+                std::env::temp_dir().join(format!("eh-bench-wal-{tag}-{}.wal", std::process::id()))
+            })
+        })
+        .collect();
+    let mut totals: Vec<Vec<f64>> = vec![Vec::with_capacity(REPS); policies.len()];
+    let mut wal_bytes = vec![0u64; policies.len()];
+    let mut round = 0u64;
+    for _ in 0..REPS {
+        let engines: Vec<Engine> = policies
+            .iter()
+            .enumerate()
+            .map(|(i, (_, policy))| {
+                let mut engine = bench_engine(contents, *policy);
+                if let Some(path) = &paths[i] {
+                    std::fs::remove_file(path).ok();
+                    engine.open_wal(path).expect("fresh wal opens");
+                }
+                engine
+            })
+            .collect();
+        // Per-mode batches, prebuilt outside every timer; `tag` keeps
+        // each mode's subjects disjoint so every batch is real change.
+        let mut batches: Vec<Vec<UpdateBatch>> = policies
+            .iter()
+            .map(|(tag, _)| {
+                let b = (0..runs).map(|k| batch(tag, round + k as u64)).collect();
+                round += runs as u64;
+                b
+            })
+            .collect();
+        let mut sums = vec![0.0f64; policies.len()];
+        for _ in 0..runs {
+            for (i, engine) in engines.iter().enumerate() {
+                let b = batches[i].pop().expect("runs batches per mode");
+                let t0 = Instant::now();
+                let summary = engine.update(b);
+                sums[i] += t0.elapsed().as_secs_f64();
+                assert_eq!(summary.inserted, BATCH_TRIPLES, "batches must be fresh triples");
+            }
+        }
+        for (i, engine) in engines.iter().enumerate() {
+            totals[i].push(sums[i]);
+            wal_bytes[i] = engine.wal_status().map_or(0, |w| w.bytes);
+        }
+    }
+    policies
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let ratios: Vec<f64> =
+                totals[i].iter().zip(&totals[0]).map(|(m, b)| (m / b - 1.0) * 100.0).collect();
+            ModeResult {
+                per_batch: Duration::from_secs_f64(median(totals[i].clone()) / runs as f64),
+                overhead_pct: quantile(ratios, 0.25),
+                wal_bytes: wal_bytes[i],
+                path: paths[i].clone(),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = GeneratorConfig::scale(args.universities).with_seed(args.seed);
+    eprintln!("generating LUBM({}) ...", args.universities);
+    let store = SharedStore::new(generate_store(&cfg));
+    let contents = store.read().clone();
+    let triples = contents.stats().triples;
+    println!(
+        "WAL apply cost — LUBM({}) = {triples} triples, {BATCH_TRIPLES}-triple batches, \
+         {} timed runs per mode",
+        args.universities, args.runs
+    );
+
+    // Phase 1 — the gated pair, measured before any fdatasync runs.
+    let gate_modes: &[(&str, Option<FsyncPolicy>)] =
+        &[("baseline", None), ("never", Some(FsyncPolicy::Never))];
+    let mut gate = timed_apply_matrix(&contents, gate_modes, args.runs);
+    let never = gate.pop().unwrap();
+    let baseline = gate.pop().unwrap();
+
+    // Phase 2 — the durability modes, paired against their own
+    // interleaved baseline so the ratios stay honest under the heavier
+    // I/O this phase generates.
+    let dur_modes: &[(&str, Option<FsyncPolicy>)] = &[
+        ("base2", None),
+        ("interval", Some(FsyncPolicy::Interval(5))),
+        ("always", Some(FsyncPolicy::Always)),
+    ];
+    let mut dur = timed_apply_matrix(&contents, dur_modes, args.runs);
+    let always = dur.pop().unwrap();
+    let interval = dur.pop().unwrap();
+
+    let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+    let mut table = TablePrinter::new(&["Mode", "Apply ms/batch", "Overhead", "Log bytes"]);
+    table.row(&["no-wal".into(), ms(baseline.per_batch), "-".into(), "0".into()]);
+    table.row(&[
+        "fsync=never".into(),
+        ms(never.per_batch),
+        format!("{:+.1}%", never.overhead_pct),
+        never.wal_bytes.to_string(),
+    ]);
+    table.row(&[
+        "fsync=interval:5".into(),
+        ms(interval.per_batch),
+        format!("{:+.1}%", interval.overhead_pct),
+        "-".into(),
+    ]);
+    table.row(&[
+        "fsync=always".into(),
+        ms(always.per_batch),
+        format!("{:+.1}%", always.overhead_pct),
+        always.wal_bytes.to_string(),
+    ]);
+    println!("\n{}", table.render());
+
+    // Recovery epilogue: a fresh engine over the same base contents
+    // replays the fsync=always log and must hold every logged triple.
+    let always_path = always.path.expect("always mode kept its log");
+    let mut recovered = Engine::with_config(
+        SharedStore::new(contents.clone()),
+        PlannerConfig::with_flags(OptFlags::all()),
+    );
+    let t0 = Instant::now();
+    let recovery = recovered.open_wal(&always_path).expect("log replays");
+    let recovery_time = t0.elapsed();
+    let logged = args.runs as u64 * BATCH_TRIPLES as u64;
+    assert_eq!(
+        recovery.inserted as u64, logged,
+        "recovery must replay every logged triple exactly once"
+    );
+    assert_eq!(recovered.store().stats().triples, triples + logged as usize);
+    println!(
+        "recovery: {} records ({} triples) replayed in {:.1} ms",
+        recovery.replayed,
+        recovery.inserted,
+        recovery_time.as_secs_f64() * 1e3
+    );
+    for path in [Some(always_path), never.path.clone(), interval.path].into_iter().flatten() {
+        std::fs::remove_file(path).ok();
+    }
+
+    let mut report = BenchReport::new("wal");
+    report
+        .meta("universities", args.universities)
+        .meta("batch_triples", BATCH_TRIPLES)
+        .meta("runs", args.runs)
+        .metric_ms("baseline_apply_ms_per_batch", baseline.per_batch)
+        .metric_ms("fsync_never_apply_ms_per_batch", never.per_batch)
+        .metric_ms("fsync_interval5_apply_ms_per_batch", interval.per_batch)
+        .metric_ms("fsync_always_apply_ms_per_batch", always.per_batch)
+        .metric("fsync_never_overhead_pct", never.overhead_pct)
+        .metric("fsync_always_overhead_pct", always.overhead_pct)
+        .metric("wal_bytes_per_batch", never.wal_bytes as f64 / args.runs as f64)
+        .metric_ms("recovery_ms", recovery_time)
+        .metric("recovery_records", recovery.replayed as f64);
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench report: {e}"),
+    }
+
+    if let Some(max) = args.max_overhead {
+        let overhead = never.overhead_pct;
+        if overhead > max {
+            eprintln!(
+                "FAIL: fsync=never logging adds {overhead:.1}% to apply latency \
+                 (allowed {max:.1}%)"
+            );
+            std::process::exit(1);
+        }
+        println!("gate: fsync=never overhead {overhead:+.1}% <= {max:.1}% — OK");
+    }
+}

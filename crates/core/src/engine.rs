@@ -1,11 +1,12 @@
 //! The user-facing engine API.
 
 use std::path::Path;
-use std::sync::{OnceLock, RwLockReadGuard};
+use std::sync::{Mutex, MutexGuard, OnceLock, RwLockReadGuard};
 use std::time::Instant;
 
 use eh_query::{parse_sparql, ConjunctiveQuery};
 use eh_rdf::{LoadInfo, SnapshotError, StoreSnapshot, TripleStore};
+use eh_wal::{crash_point, FsyncPolicy, Wal, WalError};
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
@@ -16,7 +17,7 @@ use crate::planner::build_plan_with;
 use crate::profile::{ExecStats, QueryProfile};
 use crate::result::QueryResult;
 use crate::shared::SharedStore;
-use crate::update::{UpdateBatch, UpdateSummary};
+use crate::update::{UpdateBatch, UpdateSummary, WalAppend};
 
 /// Bound on mid-join epoch-moved re-executions (see [`Engine::run_plan`]).
 const MID_JOIN_UPDATE_RETRIES: u64 = 3;
@@ -30,6 +31,20 @@ fn obs_forced() -> bool {
     *FORCED.get_or_init(|| {
         std::env::var("EH_OBS_FORCE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
     })
+}
+
+/// A WAL frame that checksums clean but whose payload fails batch
+/// decode is corrupt content, not framing — surface it through the same
+/// typed refusal.
+fn payload_decode_reason(e: &eh_rdf::BatchCodecError) -> &'static str {
+    use eh_rdf::BatchCodecError;
+    match e {
+        BatchCodecError::Truncated => "payload decode: truncated batch",
+        BatchCodecError::BadTermKind(_) => "payload decode: unknown term kind",
+        BatchCodecError::BadUtf8 => "payload decode: bad utf-8",
+        BatchCodecError::BadSharedPrefix => "payload decode: bad shared prefix",
+        BatchCodecError::TrailingBytes(_) => "payload decode: trailing bytes",
+    }
 }
 
 /// A worst-case optimal join engine over a [`SharedStore`].
@@ -53,6 +68,42 @@ pub struct Engine {
     /// any fallback reason); `None` for engines not built from a
     /// snapshot.
     load: Option<LoadInfo>,
+    /// The attached write-ahead log, `None` until
+    /// [`Engine::open_wal`]. Behind a `Mutex` because appends must hit
+    /// the file in the same order batches stage: `update` holds this
+    /// lock from its append through its staging, making (append order)
+    /// = (apply order) by construction. Lock order is wal → store;
+    /// nothing takes them the other way around.
+    wal: Option<Mutex<Wal>>,
+}
+
+/// What replaying a log did (see [`Engine::open_wal`] /
+/// [`Engine::replay`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalRecovery {
+    /// Log records replayed through the update machinery.
+    pub replayed: usize,
+    /// Triples actually added across the replayed batches.
+    pub inserted: usize,
+    /// Triples actually removed across the replayed batches.
+    pub deleted: usize,
+    /// The log's base sequence (already folded into the snapshot).
+    pub base_seq: u64,
+    /// Last sequence number in the log after recovery.
+    pub last_seq: u64,
+    /// Whether a torn final record was dropped during the open.
+    pub torn_tail_dropped: bool,
+}
+
+/// Live WAL observables (surfaced in `STATS` and `METRICS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStatus {
+    /// Last appended sequence number.
+    pub seq: u64,
+    /// Log file size in bytes.
+    pub bytes: u64,
+    /// The configured fsync policy.
+    pub fsync: FsyncPolicy,
 }
 
 impl Engine {
@@ -67,7 +118,7 @@ impl Engine {
     /// An engine with a full planner configuration (used by the
     /// LogicBlox-style baseline).
     pub fn with_config(store: impl Into<SharedStore>, config: PlannerConfig) -> Engine {
-        Engine { catalog: Catalog::new(store.into()), config, load: None }
+        Engine { catalog: Catalog::new(store.into()), config, load: None, wal: None }
     }
 
     /// An engine restored from a snapshot file: the store loads without
@@ -133,16 +184,110 @@ impl Engine {
     /// parts, which run on the private clone). The triple count is taken
     /// from that same clone, so it always agrees with the file contents
     /// even when updates land mid-save.
+    /// With a WAL attached, `save` also *truncates the log*: records
+    /// folded into the image are dropped (atomic temp-and-rename, like
+    /// the snapshot itself), so the log only ever holds the tail since
+    /// the last image. The WAL sequence is captured under the wal lock
+    /// in the same bracket as the store clone — and because updates
+    /// hold that lock from append through staging, every record `<=`
+    /// the captured sequence is *in* the clone and every later one is
+    /// not. A crash between the image rename and the log truncation
+    /// leaves both the new image and the untruncated log; replaying
+    /// already-folded records is idempotent (set semantics: re-inserts
+    /// and re-deletes of applied operations are no-ops), so recovery
+    /// still converges to the identical store.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(u64, usize), SnapshotError> {
-        let mut store = self.store().clone();
+        let (mut store, wal_seq) = match &self.wal {
+            None => (self.store().clone(), None),
+            Some(wal) => {
+                let w = Self::lock_wal(wal);
+                let store = self.store().clone();
+                (store, Some(w.last_seq()))
+                // wal lock drops here: writers proceed while the clone
+                // freezes and writes below.
+            }
+        };
         // Snapshots encode base tables only; fold the clone's staged
         // deltas in so overlay novelty is never silently dropped from the
         // image. The live store keeps its deltas — this is the private
         // copy.
         store.compact_all();
         let tries = StoreSnapshot::hot_tries(&store);
+        crash_point("engine-save-pre");
         let bytes = StoreSnapshot::write_to_path(&store, &tries, path)?;
+        crash_point("engine-save-renamed");
+        if let (Some(wal), Some(seq)) = (&self.wal, wal_seq) {
+            Self::lock_wal(wal)
+                .truncate_through(seq)
+                .map_err(|e| SnapshotError::Io(std::io::Error::other(e.to_string())))?;
+        }
         Ok((bytes, store.num_triples()))
+    }
+
+    /// Attach (or create) a write-ahead log at `path`, first replaying
+    /// any records it holds through the staging machinery — the restart
+    /// protocol is: load snapshot, `open_wal`, serve. Replayed batches
+    /// stage exactly like live traffic (deltas, threshold compaction,
+    /// epoch bumps) but are not re-appended to the log. The fsync
+    /// policy comes from [`PlannerConfig::wal_fsync`].
+    ///
+    /// A torn final record (crash mid-append) is dropped with a warning
+    /// and the file truncated to the last clean frame; corruption
+    /// anywhere earlier refuses with [`WalError::Corrupt`] rather than
+    /// replaying around a hole.
+    pub fn open_wal(&mut self, path: impl AsRef<Path>) -> Result<WalRecovery, WalError> {
+        assert!(self.wal.is_none(), "engine already has a wal attached");
+        let (wal, scan) = Wal::open(path.as_ref(), self.config.wal_fsync)?;
+        let mut recovery = WalRecovery {
+            base_seq: scan.base_seq,
+            last_seq: scan.last_seq(),
+            torn_tail_dropped: scan.torn.is_some(),
+            ..WalRecovery::default()
+        };
+        for record in &scan.records {
+            let (deletes, inserts) = eh_rdf::decode_update(&record.payload).map_err(|e| {
+                WalError::Corrupt { seq: record.seq, offset: 0, reason: payload_decode_reason(&e) }
+            })?;
+            let summary = self.apply_batch(UpdateBatch { inserts, deletes });
+            recovery.replayed += 1;
+            recovery.inserted += summary.inserted;
+            recovery.deleted += summary.deleted;
+        }
+        self.wal = Some(Mutex::new(wal));
+        Ok(recovery)
+    }
+
+    /// Replay a *foreign* log file through [`Engine::update`] — the
+    /// `REPLAY <path>` verb, and the replica catch-up entry point: a
+    /// follower replays the primary's shipped log tail, and if the
+    /// follower has its own WAL attached the replayed batches are
+    /// logged there like any other write.
+    pub fn replay(&self, path: impl AsRef<Path>) -> Result<WalRecovery, WalError> {
+        let scan = eh_wal::scan_path(path.as_ref())?;
+        let mut recovery = WalRecovery {
+            base_seq: scan.base_seq,
+            last_seq: scan.last_seq(),
+            torn_tail_dropped: scan.torn.is_some(),
+            ..WalRecovery::default()
+        };
+        for record in &scan.records {
+            let (deletes, inserts) = eh_rdf::decode_update(&record.payload).map_err(|e| {
+                WalError::Corrupt { seq: record.seq, offset: 0, reason: payload_decode_reason(&e) }
+            })?;
+            let summary = self.try_update(UpdateBatch { inserts, deletes })?;
+            recovery.replayed += 1;
+            recovery.inserted += summary.inserted;
+            recovery.deleted += summary.deleted;
+        }
+        Ok(recovery)
+    }
+
+    /// Current WAL observables, `None` when no log is attached.
+    pub fn wal_status(&self) -> Option<WalStatus> {
+        self.wal.as_ref().map(|wal| {
+            let w = Self::lock_wal(wal);
+            WalStatus { seq: w.last_seq(), bytes: w.log_bytes(), fsync: w.policy() }
+        })
     }
 
     /// Read access to the underlying store. The guard is cheap; hold it
@@ -203,7 +348,57 @@ impl Engine {
     /// The epoch advances once per batch; a batch that changes nothing —
     /// duplicates of resident triples, deletions of absent ones — leaves
     /// deltas, epoch, and downstream caches untouched.
+    ///
+    /// With a log attached ([`Engine::open_wal`]) the encoded batch is
+    /// appended — and pushed to stable storage per the configured
+    /// [`FsyncPolicy`] — *before* any delta stages, so an acknowledged
+    /// batch survives a crash. A WAL I/O failure is fail-stop here
+    /// (panic): acknowledging an unlogged batch would be a silent
+    /// durability hole. Use [`Engine::try_update`] to handle it.
     pub fn update(&self, batch: UpdateBatch) -> UpdateSummary {
+        self.try_update(batch).unwrap_or_else(|e| {
+            panic!("wal append failed; refusing to apply an unlogged batch: {e}")
+        })
+    }
+
+    /// [`Engine::update`] with WAL failures surfaced instead of
+    /// panicking. Without an attached log this cannot fail.
+    pub fn try_update(&self, batch: UpdateBatch) -> Result<UpdateSummary, WalError> {
+        let Some(wal) = &self.wal else { return Ok(self.apply_batch(batch)) };
+        // Hold the wal lock across append *and* staging: append order
+        // is apply order, so replay reproduces exactly the live
+        // sequence of store states. No-op batches are logged too —
+        // their replay is a no-op, and deciding no-op-ness up front
+        // would need the store lock this method must not take first.
+        let mut wal = Self::lock_wal(wal);
+        let info =
+            wal.append_with(|buf| eh_rdf::encode_update_into(buf, &batch.deletes, &batch.inserts))?;
+        let mut summary = self.apply_batch(batch);
+        crash_point("engine-staged");
+        summary.wal = Some(WalAppend {
+            seq: info.seq,
+            wal_bytes: info.wal_bytes,
+            fsynced: info.fsynced,
+            fsync_us: info.fsync_us,
+        });
+        Ok(summary)
+    }
+
+    /// The wal mutex is only poisoned when a writer died between its
+    /// append and its staging; the next append would then follow a
+    /// frame whose batch never applied, silently diverging log from
+    /// store. Fail-stop and let recovery replay the log.
+    fn lock_wal(wal: &Mutex<Wal>) -> MutexGuard<'_, Wal> {
+        wal.lock().unwrap_or_else(|_| {
+            panic!("wal mutex poisoned: a writer died mid-update; restart and recover")
+        })
+    }
+
+    /// Stage one batch into the live store (the non-durable inner half
+    /// of [`Engine::update`]; WAL replay calls this directly so
+    /// recovered batches are *not* re-appended to the log they came
+    /// from).
+    fn apply_batch(&self, batch: UpdateBatch) -> UpdateSummary {
         let shared = self.catalog.store();
         let (report, compacted, version) = {
             let mut store = shared.write();
@@ -271,6 +466,7 @@ impl Engine {
                 compacted_predicates: 0,
                 epoch: self.catalog.epoch(),
                 shard_pauses: Vec::new(),
+                wal: None,
             };
         }
         let (epoch, rebuilt) =
@@ -285,6 +481,7 @@ impl Engine {
             compacted_predicates: compacted_preds.len(),
             epoch,
             shard_pauses,
+            wal: None,
         }
     }
 
@@ -332,6 +529,7 @@ impl Engine {
                 compacted_predicates: 0,
                 epoch: self.catalog.epoch(),
                 shard_pauses: Vec::new(),
+                wal: None,
             };
         }
         let (epoch, rebuilt) =
@@ -347,6 +545,7 @@ impl Engine {
             compacted_predicates: preds.len(),
             epoch,
             shard_pauses,
+            wal: None,
         }
     }
 
@@ -942,5 +1141,146 @@ mod tests {
             assert_eq!(rows.len(), 3, "{rows:?}");
             assert_eq!(r.columns(), &["z".to_string(), "x".to_string()]);
         }
+    }
+
+    fn temp_path(tag: &str, ext: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("eh-engine-{tag}-{}.{ext}", std::process::id()))
+    }
+
+    /// Every answer the triangle query gives, decoded — the byte-level
+    /// equality oracle the durability tests compare engines with.
+    fn answer(engine: &Engine) -> Vec<Vec<u32>> {
+        let q = triangle_query(&engine.store());
+        engine.run(&q).unwrap().iter().map(|t| t.to_vec()).collect()
+    }
+
+    #[test]
+    fn wal_recovery_replays_unsaved_updates() {
+        let wal_path = temp_path("wal-recover", "wal");
+        std::fs::remove_file(&wal_path).ok();
+
+        // Writer: empty WAL attached, two batches logged, no SAVE.
+        let mut writer = Engine::new(triangle_store(), OptFlags::all());
+        let r = writer.open_wal(&wal_path).unwrap();
+        assert_eq!((r.replayed, r.last_seq), (0, 0));
+        let mut b1 = UpdateBatch::new();
+        b1.insert(edge(0, 3)).delete(edge(1, 3));
+        let s1 = writer.update(b1);
+        let w1 = s1.wal.expect("logged update reports its wal append");
+        assert_eq!(w1.seq, 1);
+        assert!(w1.fsynced, "default policy is fsync=always");
+        let mut b2 = UpdateBatch::new();
+        b2.insert(edge(3, 0));
+        assert_eq!(writer.update(b2).wal.unwrap().seq, 2);
+        let reference = answer(&writer);
+        let status = writer.wal_status().unwrap();
+        assert_eq!(status.seq, 2);
+        assert!(status.bytes > 24, "log holds frames past the header");
+
+        // Restart: same base store, replay the log. Answers identical.
+        let mut recovered = Engine::new(triangle_store(), OptFlags::all());
+        let r = recovered.open_wal(&wal_path).unwrap();
+        assert_eq!((r.replayed, r.base_seq, r.last_seq), (2, 0, 2));
+        assert!(!r.torn_tail_dropped);
+        assert_eq!((r.inserted, r.deleted), (2, 1));
+        assert_eq!(answer(&recovered), reference);
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn save_truncates_the_log_and_replay_after_save_is_idempotent() {
+        let wal_path = temp_path("wal-save", "wal");
+        let snap_path = temp_path("wal-save", "snap");
+        std::fs::remove_file(&wal_path).ok();
+
+        let mut writer = Engine::new(triangle_store(), OptFlags::all());
+        writer.open_wal(&wal_path).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge(0, 3));
+        writer.update(batch);
+        // Keep the pre-truncation log: this is exactly the file a crash
+        // between the image rename and the truncation leaves behind.
+        let stale_log = std::fs::read(&wal_path).unwrap();
+        writer.save_snapshot(&snap_path).unwrap();
+        let status = writer.wal_status().unwrap();
+        // Truncation kept the sequence (base moved up) and dropped frames.
+        assert_eq!((status.seq, status.bytes), (1, 24));
+        let reference = answer(&writer);
+
+        // Clean restart: snapshot + truncated (empty-tail) log.
+        let mut clean = Engine::from_snapshot(&snap_path, PlannerConfig::default()).unwrap();
+        let r = clean.open_wal(&wal_path).unwrap();
+        assert_eq!((r.replayed, r.base_seq, r.last_seq), (0, 1, 1));
+        assert_eq!(answer(&clean), reference);
+
+        // Crashed-between restart: snapshot + the stale pre-truncation
+        // log. The folded record replays as a no-op (set semantics).
+        std::fs::write(&wal_path, &stale_log).unwrap();
+        let mut crashed = Engine::from_snapshot(&snap_path, PlannerConfig::default()).unwrap();
+        let r = crashed.open_wal(&wal_path).unwrap();
+        assert_eq!((r.replayed, r.inserted, r.deleted), (1, 0, 0));
+        assert_eq!(answer(&crashed), reference);
+        std::fs::remove_file(&wal_path).ok();
+        std::fs::remove_file(&snap_path).ok();
+    }
+
+    #[test]
+    fn replay_applies_a_foreign_log_and_relogs_it() {
+        let foreign_path = temp_path("wal-foreign", "wal");
+        let own_path = temp_path("wal-own", "wal");
+        std::fs::remove_file(&foreign_path).ok();
+        std::fs::remove_file(&own_path).ok();
+
+        // A primary writes two batches into its log.
+        let mut primary = Engine::new(triangle_store(), OptFlags::all());
+        primary.open_wal(&foreign_path).unwrap();
+        let mut b = UpdateBatch::new();
+        b.insert(edge(0, 3)).delete(edge(1, 3));
+        primary.update(b);
+        let mut b = UpdateBatch::new();
+        b.insert(edge(3, 0));
+        primary.update(b);
+
+        // A follower with its own log replays the primary's: contents
+        // converge AND the follower re-logged the batches for its own
+        // downstream recovery.
+        let mut follower = Engine::new(triangle_store(), OptFlags::all());
+        follower.open_wal(&own_path).unwrap();
+        let r = follower.replay(&foreign_path).unwrap();
+        assert_eq!((r.replayed, r.inserted, r.deleted), (2, 2, 1));
+        assert_eq!(answer(&follower), answer(&primary));
+        assert_eq!(follower.wal_status().unwrap().seq, 2);
+
+        // Replaying the same log again is idempotent on contents.
+        let again = follower.replay(&foreign_path).unwrap();
+        assert_eq!((again.replayed, again.inserted, again.deleted), (2, 0, 0));
+        assert_eq!(answer(&follower), answer(&primary));
+        std::fs::remove_file(&foreign_path).ok();
+        std::fs::remove_file(&own_path).ok();
+    }
+
+    #[test]
+    fn unlogged_engine_reports_no_wal() {
+        let engine = Engine::new(triangle_store(), OptFlags::all());
+        assert!(engine.wal_status().is_none());
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge(0, 3));
+        assert!(engine.update(batch).wal.is_none());
+    }
+
+    #[test]
+    fn wal_fsync_policy_flows_from_config() {
+        let wal_path = temp_path("wal-policy", "wal");
+        std::fs::remove_file(&wal_path).ok();
+        let config = PlannerConfig::default().with_wal_fsync(FsyncPolicy::Never);
+        let mut engine = Engine::with_config(triangle_store(), config);
+        engine.open_wal(&wal_path).unwrap();
+        assert_eq!(engine.wal_status().unwrap().fsync, FsyncPolicy::Never);
+        let mut batch = UpdateBatch::new();
+        batch.insert(edge(0, 3));
+        let w = engine.update(batch).wal.unwrap();
+        assert!(!w.fsynced);
+        assert_eq!(w.fsync_us, 0);
+        std::fs::remove_file(&wal_path).ok();
     }
 }

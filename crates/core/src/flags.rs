@@ -81,6 +81,11 @@ pub struct PlannerConfig {
     /// over trivial deltas). `0` means the built-in default (see
     /// [`PlannerConfig::compaction_frac_pct`]).
     pub compact_frac_pct: u32,
+    /// When appended WAL records reach stable storage (used only once a
+    /// log is attached via [`Engine::open_wal`](crate::Engine::open_wal)).
+    /// Defaults to [`FsyncPolicy::Always`] — durability first; opt into
+    /// `interval:<ms>`/`never` to trade the loss window for latency.
+    pub wal_fsync: eh_wal::FsyncPolicy,
 }
 
 impl PlannerConfig {
@@ -93,6 +98,7 @@ impl PlannerConfig {
             runtime: RuntimeConfig::serial(),
             compact_min_staged: 0,
             compact_frac_pct: 0,
+            wal_fsync: eh_wal::FsyncPolicy::Always,
         }
     }
 
@@ -106,6 +112,7 @@ impl PlannerConfig {
             runtime: RuntimeConfig::serial(),
             compact_min_staged: 0,
             compact_frac_pct: 0,
+            wal_fsync: eh_wal::FsyncPolicy::Always,
         }
     }
 
@@ -127,6 +134,13 @@ impl PlannerConfig {
     pub fn with_compaction(mut self, min_staged: u32, frac_pct: u32) -> PlannerConfig {
         self.compact_min_staged = min_staged;
         self.compact_frac_pct = frac_pct;
+        self
+    }
+
+    /// Choose when WAL appends reach stable storage (effective once
+    /// [`Engine::open_wal`](crate::Engine::open_wal) attaches a log).
+    pub fn with_wal_fsync(mut self, policy: eh_wal::FsyncPolicy) -> PlannerConfig {
+        self.wal_fsync = policy;
         self
     }
 

@@ -67,14 +67,15 @@ mod update;
 pub use catalog::Catalog;
 pub use eh_par::RuntimeConfig;
 pub use eh_rdf::{FrozenTrieEntry, LoadInfo, LoadMode, SnapshotError, StoreSnapshot};
-pub use engine::Engine;
+pub use eh_wal::{FsyncPolicy, WalError};
+pub use engine::{Engine, WalRecovery, WalStatus};
 pub use error::EngineError;
 pub use flags::{OptFlags, PlannerConfig};
 pub use plan::{AtomPlan, NodePlan, Plan};
 pub use profile::{DepthProfile, JoinProfile, KernelTally, QueryProfile, WorkerLoad};
 pub use result::QueryResult;
 pub use shared::SharedStore;
-pub use update::{UpdateBatch, UpdateSummary};
+pub use update::{UpdateBatch, UpdateSummary, WalAppend};
 
 #[cfg(test)]
 mod proptests;

@@ -47,6 +47,20 @@ impl UpdateBatch {
     }
 }
 
+/// WAL bookkeeping for one logged batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalAppend {
+    /// Sequence number the log assigned to this batch.
+    pub seq: u64,
+    /// Total log size in bytes after the append.
+    pub wal_bytes: u64,
+    /// Whether the append was `fdatasync`ed before the batch staged
+    /// (per the configured [`FsyncPolicy`](eh_wal::FsyncPolicy)).
+    pub fsynced: bool,
+    /// Microseconds spent in `fdatasync` (0 when not synced).
+    pub fsync_us: u64,
+}
+
 /// What one applied batch did, as observed by the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateSummary {
@@ -74,4 +88,9 @@ pub struct UpdateSummary {
     /// Shard-local compaction means a skewed shard's fold pauses only
     /// itself; this is the observable that proves it.
     pub shard_pauses: Vec<(usize, u64)>,
+    /// The batch's write-ahead-log append, `None` when no log is
+    /// attached (or for maintenance summaries like
+    /// [`Engine::compact`](crate::Engine::compact), which change no
+    /// logical contents and are never logged).
+    pub wal: Option<WalAppend>,
 }

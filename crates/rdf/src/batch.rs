@@ -1,0 +1,431 @@
+//! Wire codec for update batches.
+//!
+//! The write-ahead log (`eh-wal`) persists each applied batch as one
+//! opaque payload; this module defines that payload. The format is the
+//! snapshot family's dialect — little-endian, length-prefixed,
+//! self-describing enough to reject garbage with a typed error instead
+//! of a panic — but deliberately *raw-term* rather than
+//! dictionary-encoded: log records must replay into an engine whose
+//! dictionary has drifted (a cold store, a replica), so they carry the
+//! original strings, not ids minted by the writer.
+//!
+//! Terms are **front-coded**: each stores only the suffix after the
+//! prefix it shares with the *same-role* term (subject against previous
+//! subject, and so on) of the previous triple in the stream. RDF terms
+//! concentrate in a few long namespaces, so consecutive triples usually
+//! differ in a handful of trailing bytes — and the log write (the
+//! dominant cost of an unsynced append) shrinks with the payload. The
+//! shared length is a single byte: namespace prefixes are short, and
+//! capping it bounds how far a hostile payload can amplify (see
+//! [`decode_update`]).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [n_deletes: u32][n_inserts: u32]
+//! then n_deletes + n_inserts triples, deletes first, each:
+//!   3 × term, each term:
+//!     [kind: u8][shared: u8][suffix_len: u32][suffix utf-8 bytes]
+//!   (shared = bytes reused from the previous triple's same-role term;
+//!    the first triple's terms front-code against the empty string)
+//! ```
+//!
+//! Deletes precede inserts because that is the order
+//! `Engine::update` applies them — a decoded record replays in file
+//! order with no reordering logic.
+
+use crate::term::{KIND_IRI, KIND_LITERAL};
+use crate::{Term, Triple};
+use std::fmt;
+
+/// Front-coding window: at most this many bytes of the previous term
+/// may be referenced as shared prefix.
+const MAX_SHARED: usize = u8::MAX as usize;
+
+/// Why a batch payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchCodecError {
+    /// The payload ends before the declared content does.
+    Truncated,
+    /// A term carries a kind byte that names no [`Term`] variant.
+    BadTermKind(u8),
+    /// A term's bytes are not valid UTF-8.
+    BadUtf8,
+    /// A term claims more shared-prefix bytes than its predecessor has.
+    BadSharedPrefix,
+    /// Decoding consumed everything declared but bytes remain.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for BatchCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchCodecError::Truncated => write!(f, "batch payload is truncated"),
+            BatchCodecError::BadTermKind(k) => write!(f, "unknown term kind {k}"),
+            BatchCodecError::BadUtf8 => write!(f, "term bytes are not valid utf-8"),
+            BatchCodecError::BadSharedPrefix => {
+                write!(f, "term shares more prefix bytes than its predecessor has")
+            }
+            BatchCodecError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after declared content")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchCodecError {}
+
+/// Length of the common prefix, compared a word at a time: this runs
+/// for every term of every logged batch, and byte-wise iteration was
+/// measurable against the write itself.
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        let x = u64::from_le_bytes(a[i..i + 8].try_into().expect("fixed slice"));
+        let y = u64::from_le_bytes(b[i..i + 8].try_into().expect("fixed slice"));
+        if x != y {
+            return i + ((x ^ y).trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+fn encode_term(out: &mut Vec<u8>, t: &Term, prev: &str) {
+    let s = t.as_str();
+    // Never scan past the window: `shared` cannot exceed it anyway.
+    let window = MAX_SHARED.min(prev.len()).min(s.len());
+    let shared = common_prefix_len(&prev.as_bytes()[..window], &s.as_bytes()[..window]);
+    let suffix = &s.as_bytes()[shared..];
+    // One extend for the whole 6-byte header: this runs three times per
+    // logged triple inside the apply path's critical section.
+    let mut header = [0u8; 6];
+    header[0] = match t {
+        Term::Iri(_) => KIND_IRI,
+        Term::Literal(_) => KIND_LITERAL,
+    };
+    header[1] = shared as u8;
+    header[2..6].copy_from_slice(&(suffix.len() as u32).to_le_bytes());
+    out.extend_from_slice(&header);
+    out.extend_from_slice(suffix);
+}
+
+/// Encode one update batch (deletes first, then inserts) into the WAL
+/// payload format.
+pub fn encode_update(deletes: &[Triple], inserts: &[Triple]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_update_into(&mut out, deletes, inserts);
+    out
+}
+
+/// [`encode_update`], appended to a caller-owned buffer: the WAL
+/// encodes a payload per append inside the apply path's critical
+/// section, and writing directly into its reused frame buffer spares
+/// an allocation and a copy per logged batch. Existing buffer content
+/// is left untouched (the WAL's frame header precedes the payload).
+pub fn encode_update_into(out: &mut Vec<u8>, deletes: &[Triple], inserts: &[Triple]) {
+    // No size pre-pass: growth amortises, and a reused buffer keeps its
+    // capacity — in steady state this never reallocates, while a
+    // worst-case scan would walk every term string once per batch.
+    out.extend_from_slice(&(deletes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(inserts.len() as u32).to_le_bytes());
+    let (mut ps, mut pp, mut po) = ("", "", "");
+    for t in deletes.iter().chain(inserts) {
+        encode_term(out, &t.s, ps);
+        encode_term(out, &t.p, pp);
+        encode_term(out, &t.o, po);
+        (ps, pp, po) = (t.s.as_str(), t.p.as_str(), t.o.as_str());
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BatchCodecError> {
+        let end = self.at.checked_add(n).ok_or(BatchCodecError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(BatchCodecError::Truncated);
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, BatchCodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("fixed slice")))
+    }
+
+    fn term(&mut self, prev: &str) -> Result<Term, BatchCodecError> {
+        let kind = self.take(1)?[0];
+        let shared = self.take(1)?[0] as usize;
+        let suffix_len = self.u32()? as usize;
+        if shared > prev.len() {
+            return Err(BatchCodecError::BadSharedPrefix);
+        }
+        let suffix = self.take(suffix_len)?;
+        let mut text = Vec::with_capacity(shared + suffix_len);
+        text.extend_from_slice(&prev.as_bytes()[..shared]);
+        text.extend_from_slice(suffix);
+        // Validate the reconstruction, not just the suffix: a shared
+        // length that splits the predecessor's multi-byte character can
+        // only be caught on the whole string.
+        let text = String::from_utf8(text).map_err(|_| BatchCodecError::BadUtf8)?;
+        match kind {
+            KIND_IRI => Ok(Term::Iri(text)),
+            KIND_LITERAL => Ok(Term::Literal(text)),
+            k => Err(BatchCodecError::BadTermKind(k)),
+        }
+    }
+}
+
+/// Decode a WAL payload back into `(deletes, inserts)`.
+///
+/// Total, never panics: any malformed payload yields a typed
+/// [`BatchCodecError`]. Trailing bytes after the declared content are an
+/// error too — a frame that checksums clean but over-declares its length
+/// should be caught here, not silently half-read. Front-coding cannot be
+/// weaponised into a decompression bomb: the single-byte `shared` field
+/// means 6 bytes of term header reconstruct at most 255 bytes, so the
+/// decoded content is linearly bounded at ~43x the payload.
+pub fn decode_update(bytes: &[u8]) -> Result<(Vec<Triple>, Vec<Triple>), BatchCodecError> {
+    let mut cur = Cursor { bytes, at: 0 };
+    let n_del = cur.u32()? as usize;
+    let n_ins = cur.u32()? as usize;
+    // Cap the pre-allocation by what the payload could physically hold
+    // (an empty-suffix triple is 18 bytes of headers): a corrupt count
+    // field must not become a huge allocation before `take` notices the
+    // truncation.
+    let cap = bytes.len() / 18 + 1;
+    let mut deletes = Vec::with_capacity(n_del.min(cap));
+    let mut inserts = Vec::with_capacity(n_ins.min(cap));
+    let (mut ps, mut pp, mut po) = (String::new(), String::new(), String::new());
+    for i in 0..n_del + n_ins {
+        let s = cur.term(&ps)?;
+        let p = cur.term(&pp)?;
+        let o = cur.term(&po)?;
+        (ps, pp, po) = (s.as_str().to_owned(), p.as_str().to_owned(), o.as_str().to_owned());
+        let triple = Triple::new(s, p, o);
+        if i < n_del {
+            deletes.push(triple);
+        } else {
+            inserts.push(triple);
+        }
+    }
+    if cur.at != bytes.len() {
+        return Err(BatchCodecError::TrailingBytes(bytes.len() - cur.at));
+    }
+    Ok((deletes, inserts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::literal(o))
+    }
+
+    #[test]
+    fn roundtrip_mixed_batch() {
+        let dels = vec![t("s1", "p", "o1")];
+        let ins = vec![t("s2", "p", "o2"), t("s3", "q", "o3")];
+        let bytes = encode_update(&dels, &ins);
+        let (d2, i2) = decode_update(&bytes).unwrap();
+        assert_eq!(d2, dels);
+        assert_eq!(i2, ins);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let bytes = encode_update(&[], &[]);
+        assert_eq!(bytes.len(), 8);
+        let (d, i) = decode_update(&bytes).unwrap();
+        assert!(d.is_empty() && i.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_preserves_term_kinds() {
+        let ins = vec![Triple::new(Term::iri("s"), Term::iri("p"), Term::iri("not-a-literal"))];
+        let (_, i2) = decode_update(&encode_update(&[], &ins)).unwrap();
+        assert!(i2[0].o.is_iri());
+    }
+
+    #[test]
+    fn front_coding_compresses_shared_namespaces() {
+        let ns = "http://example.org/a/very/long/namespace#";
+        let ins: Vec<Triple> = (0..32)
+            .map(|i| t(&format!("{ns}s{i}"), &format!("{ns}p"), &format!("{ns}o{i}")))
+            .collect();
+        let bytes = encode_update(&[], &ins);
+        let raw: usize =
+            ins.iter().map(|t| t.s.as_str().len() + t.p.as_str().len() + t.o.as_str().len()).sum();
+        assert!(
+            bytes.len() * 4 < raw,
+            "shared namespaces must compress well: {} encoded vs {raw} raw",
+            bytes.len()
+        );
+        let (_, i2) = decode_update(&bytes).unwrap();
+        assert_eq!(i2, ins);
+    }
+
+    #[test]
+    fn shared_prefix_beyond_u8_window_still_roundtrips() {
+        let long = "x".repeat(2 * MAX_SHARED);
+        let ins = vec![t(&format!("{long}1"), "p", "o"), t(&format!("{long}2"), "p", "o")];
+        let (_, i2) = decode_update(&encode_update(&[], &ins)).unwrap();
+        assert_eq!(i2, ins);
+    }
+
+    #[test]
+    fn truncated_payload_is_typed() {
+        let bytes = encode_update(&[], &[t("s", "p", "o")]);
+        for cut in 0..bytes.len() {
+            match decode_update(&bytes[..cut]) {
+                Err(BatchCodecError::Truncated) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_kind_and_trailing_are_typed() {
+        let mut bytes = encode_update(&[], &[t("s", "p", "o")]);
+        let kind_at = 8; // first term's kind byte
+        bytes[kind_at] = 7;
+        assert_eq!(decode_update(&bytes).unwrap_err(), BatchCodecError::BadTermKind(7));
+        bytes[kind_at] = 0;
+        bytes.push(0xaa);
+        assert_eq!(decode_update(&bytes).unwrap_err(), BatchCodecError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn overdeclared_shared_prefix_is_typed() {
+        let mut bytes = encode_update(&[], &[t("s", "p", "o")]);
+        // The first triple front-codes against empty strings: any
+        // non-zero shared length over-declares.
+        let shared_at = 8 + 1;
+        bytes[shared_at] = 3;
+        assert_eq!(decode_update(&bytes).unwrap_err(), BatchCodecError::BadSharedPrefix);
+    }
+
+    #[test]
+    fn amplification_is_linearly_bounded() {
+        // The worst a payload can do: 6-byte term headers each
+        // re-claiming the full 255-byte shared window with no suffix.
+        // That decodes fine (it is just repeated terms) but can never
+        // exceed ~43 reconstructed bytes per payload byte — the u8
+        // `shared` field rules out a decompression bomb by construction.
+        let seed = "a".repeat(MAX_SHARED);
+        let mut bytes = encode_update(&[], &[t(&seed, &seed, &seed)]);
+        let extra = 1024u32;
+        bytes[4..8].copy_from_slice(&(1 + extra).to_le_bytes());
+        for _ in 0..extra {
+            for _ in 0..3 {
+                bytes.push(KIND_IRI);
+                bytes.push(u8::MAX);
+                bytes.extend_from_slice(&0u32.to_le_bytes());
+            }
+        }
+        let (_, ins) = decode_update(&bytes).unwrap();
+        let decoded: usize =
+            ins.iter().map(|t| t.s.as_str().len() + t.p.as_str().len() + t.o.as_str().len()).sum();
+        assert!(decoded <= 43 * bytes.len(), "decoded {decoded} from {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn huge_count_does_not_overallocate() {
+        let mut bytes = vec![0u8; 8];
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_update(&bytes).unwrap_err(), BatchCodecError::Truncated);
+    }
+
+    #[test]
+    fn bad_utf8_is_typed() {
+        let mut bytes = encode_update(&[], &[t("s", "p", "o")]);
+        // Clobber the subject's one-byte text with an invalid UTF-8 byte.
+        let text_at = 8 + 1 + 1 + 4;
+        bytes[text_at] = 0xff;
+        assert_eq!(decode_update(&bytes).unwrap_err(), BatchCodecError::BadUtf8);
+    }
+
+    #[test]
+    fn shared_length_splitting_a_multibyte_char_is_typed() {
+        // Previous subject ends in a 2-byte char; the next term claims a
+        // shared prefix that cuts through it and appends an ASCII byte —
+        // reconstruction is invalid UTF-8 and must say so.
+        let prev = "ab\u{00e9}"; // 4 bytes: 'a' 'b' 0xc3 0xa9
+        let ins = vec![t(prev, "p", "o"), t("abX", "p", "o")];
+        let mut bytes = encode_update(&[], &ins);
+        // Second triple's subject: kind, shared=2 ("ab"), len=1, "X".
+        // Locate it: first triple is 3 terms of (6 + len) bytes.
+        let first = 6 + 4 + 6 + 1 + 6 + 1;
+        let shared_at = 8 + first + 1;
+        assert_eq!(bytes[shared_at], 2, "fixture drifted from the layout");
+        bytes[shared_at] = 3; // cut through the 0xc3 0xa9 pair
+        assert_eq!(decode_update(&bytes).unwrap_err(), BatchCodecError::BadUtf8);
+    }
+
+    mod codec_proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_term() -> impl Strategy<Value = Term> {
+            (0u8..2, proptest::collection::vec(0u8..38, 0..16)).prop_map(|(kind, picks)| {
+                let text: String = picks
+                    .into_iter()
+                    .map(|c| match c {
+                        0..=25 => char::from(b'a' + c),
+                        26..=35 => char::from(b'0' + c - 26),
+                        36 => ':',
+                        _ => '/',
+                    })
+                    .collect();
+                if kind == 0 {
+                    Term::iri(text)
+                } else {
+                    Term::literal(text)
+                }
+            })
+        }
+
+        fn arb_triples(max: usize) -> impl Strategy<Value = Vec<Triple>> {
+            proptest::collection::vec(
+                (arb_term(), arb_term(), arb_term()).prop_map(|(s, p, o)| Triple::new(s, p, o)),
+                0..max,
+            )
+        }
+
+        proptest! {
+            #[test]
+            fn roundtrip(dels in arb_triples(6), ins in arb_triples(6)) {
+                let bytes = encode_update(&dels, &ins);
+                let (d2, i2) = decode_update(&bytes).unwrap();
+                prop_assert_eq!(d2, dels);
+                prop_assert_eq!(i2, ins);
+            }
+
+            // Mutating any single byte must never panic: the decoder is
+            // total. (It may still succeed — e.g. a flipped literal byte
+            // is just a different literal.)
+            #[test]
+            fn single_byte_mutation_is_total(
+                ins in arb_triples(4),
+                at in 0usize..4096,
+                flip in 1u8..=255,
+            ) {
+                let mut bytes = encode_update(&[], &ins);
+                if bytes.is_empty() { return Ok(()); }
+                let at = at % bytes.len();
+                bytes[at] ^= flip;
+                let _ = decode_update(&bytes);
+            }
+        }
+    }
+}

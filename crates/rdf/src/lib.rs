@@ -20,6 +20,7 @@
 //! assert_eq!(table.len(), 1);
 //! ```
 
+mod batch;
 mod dict;
 mod mmap;
 mod ntriples;
@@ -30,12 +31,13 @@ mod term;
 mod triple;
 mod vp;
 
+pub use batch::{decode_update, encode_update, encode_update_into, BatchCodecError};
 pub use dict::Dictionary;
 pub use mmap::MappedRegion;
 pub use ntriples::{parse_ntriples, write_ntriples, NtError};
 pub use partition::Partitioner;
 pub use snapshot::{
-    FrozenTrieEntry, LoadInfo, LoadMode, SnapshotError, StoreSnapshot, SNAPSHOT_MAGIC,
+    xxh64, FrozenTrieEntry, LoadInfo, LoadMode, SnapshotError, StoreSnapshot, SNAPSHOT_MAGIC,
     SNAPSHOT_MAGIC_V1, SNAPSHOT_MAGIC_V2, SNAPSHOT_VERSION,
 };
 pub use store::{PredCard, PredDelta, ShardStats, StoreStats, TripleStore, UpdateReport};

@@ -1263,7 +1263,11 @@ fn xx_u64(b: &[u8]) -> u64 {
 /// table-driven CRC plods one — with 64 bits of equally good corruption
 /// detection. (This checksum guards against *corruption*; it is not a
 /// cryptographic integrity mechanism.)
-fn xxh64(bytes: &[u8]) -> u64 {
+///
+/// Public because the write-ahead log (`eh-wal`) frames its records with
+/// the same checksum — one hash function guards every byte this engine
+/// persists.
+pub fn xxh64(bytes: &[u8]) -> u64 {
     let len = bytes.len() as u64;
     let mut h: u64;
     let mut tail = bytes;

@@ -24,6 +24,13 @@
 //! (logged) fallback to the memory-load path otherwise; `--no-mmap`
 //! forces the copy path. The server runs until killed; clients can
 //! persist the live store at any time with `SAVE <path>`.
+//!
+//! `--wal <path>` attaches a write-ahead log: any records the file holds
+//! are replayed before serving (crash recovery — pair it with the same
+//! `--snapshot` the log was started against), then every applied batch
+//! is logged before it stages and `SAVE` truncates the log down to the
+//! new image. `--fsync always|never|interval:<ms>` picks the durability
+//! / latency trade (default `always`).
 
 use std::net::TcpListener;
 use std::sync::atomic::AtomicBool;
@@ -31,7 +38,7 @@ use std::time::Instant;
 
 use eh_rdf::{parse_ntriples, TripleStore};
 use eh_srv::{serve, QueryService, ServiceConfig};
-use emptyheaded::{PlannerConfig, SharedStore};
+use emptyheaded::{FsyncPolicy, PlannerConfig, SharedStore};
 
 struct Args {
     snapshot: Option<String>,
@@ -41,12 +48,15 @@ struct Args {
     sessions: usize,
     partitions: Option<usize>,
     mmap: bool,
+    wal: Option<String>,
+    fsync: FsyncPolicy,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: server (--snapshot <path> | --data <file.nt>) \
-         [--port P] [--threads N] [--sessions N] [--partitions P] [--mmap|--no-mmap]"
+         [--port P] [--threads N] [--sessions N] [--partitions P] [--mmap|--no-mmap] \
+         [--wal <path>] [--fsync always|never|interval:<ms>]"
     );
     std::process::exit(2);
 }
@@ -60,6 +70,8 @@ fn parse_args() -> Args {
         sessions: 8,
         partitions: None,
         mmap: true,
+        wal: None,
+        fsync: FsyncPolicy::Always,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -73,6 +85,8 @@ fn parse_args() -> Args {
             "--threads" => args.threads = value(i).parse().unwrap_or_else(|_| usage()),
             "--sessions" => args.sessions = value(i).parse().unwrap_or_else(|_| usage()),
             "--partitions" => args.partitions = Some(value(i).parse().unwrap_or_else(|_| usage())),
+            "--wal" => args.wal = Some(value(i).to_string()),
+            "--fsync" => args.fsync = value(i).parse().unwrap_or_else(|_| usage()),
             "--mmap" => {
                 args.mmap = true;
                 i += 1;
@@ -99,7 +113,7 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let config = ServiceConfig {
-        planner: PlannerConfig::default().with_threads(args.threads),
+        planner: PlannerConfig::default().with_threads(args.threads).with_wal_fsync(args.fsync),
         result_cache_bytes: ServiceConfig::DEFAULT_RESULT_CACHE_BYTES,
         plan_cache_entries: ServiceConfig::DEFAULT_PLAN_CACHE_ENTRIES,
         server_sessions: args.sessions,
@@ -156,6 +170,31 @@ fn main() {
         let svc = QueryService::new(store, config);
         println!("parsed {path} in {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
         svc
+    };
+
+    let service = match &args.wal {
+        None => service,
+        Some(path) => {
+            let mut service = service;
+            let t0 = Instant::now();
+            let recovery = service.open_wal(path).unwrap_or_else(|e| {
+                eprintln!("failed to open wal {path}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "wal {path} attached in {:.1} ms (replayed {} records, seq {}..={}, \
+                 +{} -{} triples{}, fsync={})",
+                t0.elapsed().as_secs_f64() * 1e3,
+                recovery.replayed,
+                recovery.base_seq,
+                recovery.last_seq,
+                recovery.inserted,
+                recovery.deleted,
+                if recovery.torn_tail_dropped { ", torn tail dropped" } else { "" },
+                args.fsync
+            );
+            service
+        }
     };
 
     let stats = service.store().stats();

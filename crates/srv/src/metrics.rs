@@ -26,6 +26,7 @@ const REQUEST_LABELS: &[&str] = &[
     "stats",
     "invalidate",
     "save",
+    "replay",
     "quit",
     "other",
 ];
@@ -56,6 +57,9 @@ pub(crate) struct ServiceMetrics {
     pub epoch: Arc<Gauge>,
     pub staged_pairs: Arc<Gauge>,
     pub mapped_bytes: Arc<Gauge>,
+    pub wal_appends: Arc<Counter>,
+    pub wal_bytes: Arc<Gauge>,
+    pub wal_fsync_us: Arc<Histogram>,
     /// Ring of recent slow queries: `"<millis> ms: <sparql>"`.
     slow_log: Mutex<VecDeque<String>>,
 }
@@ -138,6 +142,16 @@ impl ServiceMetrics {
             mapped_bytes: registry.gauge(
                 "eh_mapped_bytes",
                 "Snapshot bytes held mapped for zero-copy trie serving (0 = copy load)",
+            ),
+            wal_appends: registry.counter(
+                "eh_wal_appends_total",
+                "Update batches appended to the write-ahead log",
+            ),
+            wal_bytes: registry
+                .gauge("eh_wal_bytes", "Write-ahead log size in bytes (header + frames)"),
+            wal_fsync_us: registry.histogram(
+                "eh_wal_fsync_us",
+                "Time spent in fdatasync per synced WAL append, in microseconds",
             ),
             slow_log: Mutex::new(VecDeque::new()),
             registry,

@@ -14,9 +14,10 @@
 //! | `DELETE <s> <p> <o> .` | `OK pending inserts=<n> deletes=<n>` (staged) |
 //! | `APPLY` | `OK applied inserted=<n> deleted=<n> predicates=<n> compacted=<n> epoch=<n>` (staged batch applied atomically) |
 //! | `COMPACT` | `OK compacted predicates=<n> rebuilt=<n> epoch=<n>` (staged deltas folded into fresh base tables) |
-//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> updates_noop=<n> inserted=<n> deleted=<n> staged=<n> query_p50_us=<n> query_p99_us=<n> partitions=<n> max_shard_skew=<x.xx> load_mode=<mmap\|copy> mapped_bytes=<n>` |
+//! | `STATS` | `OK plan_hits=<n> plan_misses=<n> result_hits=<n> result_misses=<n> plan_entries=<n> cache_entries=<n> cache_bytes=<n> epoch=<n> updates=<n> updates_noop=<n> inserted=<n> deleted=<n> staged=<n> query_p50_us=<n> query_p99_us=<n> partitions=<n> max_shard_skew=<x.xx> load_mode=<mmap\|copy> mapped_bytes=<n> wal_seq=<n> wal_bytes=<n> wal_fsync_mode=<always\|never\|interval:<ms>\|off>` |
 //! | `INVALIDATE` | `OK epoch=<n>` (caches dropped, catalog epoch advanced) |
-//! | `SAVE <path>` | `OK saved bytes=<n> triples=<n>` (snapshot written server-side; restart with `--snapshot <path>`) |
+//! | `SAVE <path>` | `OK saved bytes=<n> triples=<n>` (snapshot written server-side; restart with `--snapshot <path>`; with a WAL attached, also truncates the log down to the new image) |
+//! | `REPLAY <path>` | `OK replayed records=<n> inserted=<n> deleted=<n> epoch=<n>` (a WAL file on the server's filesystem replayed through the update path — replica catch-up) |
 //! | `QUIT` | `OK bye`, then the connection closes |
 //! | anything else | `ERR <message>` (single line; the connection stays open) |
 //!
@@ -28,9 +29,16 @@
 //! request counters, cache hit/miss counters, occupancy gauges) in
 //! Prometheus text format, `END`-framed like a query response.
 //!
-//! `SAVE` writes to a path on the **server's** filesystem — it is an
-//! operator verb for the trusted deployments this line protocol serves,
-//! not something to expose to untrusted internet traffic.
+//! `SAVE` writes to — and `REPLAY` reads from — a path on the
+//! **server's** filesystem: they are operator verbs for the trusted
+//! deployments this line protocol serves, not something to expose to
+//! untrusted internet traffic.
+//!
+//! When the server was started with `--wal <path>`, every applied batch
+//! is appended to the write-ahead log (fsynced per `--fsync`) *before*
+//! it stages, `STATS` reports `wal_seq=`/`wal_bytes=`/`wal_fsync_mode=`,
+//! and a restart with the same `--wal` replays the tail since the last
+//! `SAVE` — no acknowledged batch is lost.
 //!
 //! Updates are **batched per connection**: `INSERT`/`DELETE` lines stage
 //! triples into the session's pending batch and nothing changes until
@@ -106,6 +114,7 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
             "STATS",
             "INVALIDATE",
             "SAVE",
+            "REPLAY",
             "QUIT",
         ];
         let label = if VERBS.contains(&verb.as_str()) {
@@ -194,7 +203,7 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
                  plan_entries={} cache_entries={} cache_bytes={} epoch={} \
                  updates={} updates_noop={} inserted={} deleted={} staged={} \
                  query_p50_us={} query_p99_us={} partitions={} max_shard_skew={:.2} \
-                 load_mode={} mapped_bytes={}\n",
+                 load_mode={} mapped_bytes={} wal_seq={} wal_bytes={} wal_fsync_mode={}\n",
                 s.plan_hits,
                 s.plan_misses,
                 s.result_hits,
@@ -213,7 +222,10 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
                 s.partitions,
                 s.max_shard_skew,
                 s.load_mode,
-                s.mapped_bytes
+                s.mapped_bytes,
+                s.wal_seq,
+                s.wal_bytes,
+                s.wal_fsync.map_or("off".to_string(), |p| p.to_string())
             )
         }
         "INVALIDATE" => format!("OK epoch={}\n", service.invalidate()),
@@ -224,11 +236,22 @@ pub fn respond_in_session(service: &QueryService, session: &mut Session, line: &
             Err(e) => format!("ERR {}\n", e.to_string().replace(['\n', '\r'], " ")),
         },
         "SAVE" => "ERR SAVE needs a file path on the same line\n".to_string(),
+        "REPLAY" if !rest.is_empty() => match service.replay(rest) {
+            Ok(r) => format!(
+                "OK replayed records={} inserted={} deleted={} epoch={}\n",
+                r.replayed,
+                r.inserted,
+                r.deleted,
+                service.engine().catalog().epoch()
+            ),
+            Err(e) => format!("ERR {}\n", e.to_string().replace(['\n', '\r'], " ")),
+        },
+        "REPLAY" => "ERR REPLAY needs a wal file path on the same line\n".to_string(),
         "QUIT" => "OK bye\n".to_string(),
         "" => "ERR empty request\n".to_string(),
         other => format!(
             "ERR unknown command '{other}' \
-             (try QUERY/PROFILE/METRICS/INSERT/DELETE/APPLY/COMPACT/STATS/INVALIDATE/SAVE/QUIT)\n"
+             (try QUERY/PROFILE/METRICS/INSERT/DELETE/APPLY/COMPACT/STATS/INVALIDATE/SAVE/REPLAY/QUIT)\n"
         ),
     }
 }
@@ -816,6 +839,106 @@ mod tests {
             server.join().unwrap();
             drop(idle);
         });
+    }
+
+    #[test]
+    fn stats_reports_wal_off_without_a_log() {
+        let svc = QueryService::new(store(), config(1));
+        let stats = respond(&svc, "STATS");
+        assert!(stats.contains("wal_seq=0 wal_bytes=0 wal_fsync_mode=off"), "{stats}");
+    }
+
+    #[test]
+    fn wal_surfaces_in_stats_metrics_and_recovery() {
+        let wal_path = std::env::temp_dir().join(format!("eh-srv-wal-{}.wal", std::process::id()));
+        std::fs::remove_file(&wal_path).ok();
+
+        let mut svc = QueryService::new(store(), config(1));
+        let r = svc.open_wal(&wal_path).unwrap();
+        assert_eq!(r.replayed, 0);
+        let mut session = Session::new();
+        respond_in_session(&svc, &mut session, "INSERT <c> <p> <d> .");
+        let applied = respond_in_session(&svc, &mut session, "APPLY");
+        assert!(applied.starts_with("OK applied inserted=1"), "{applied}");
+        // A no-op batch is logged too (it held the sequence when it ran).
+        respond_in_session(&svc, &mut session, "INSERT <c> <p> <d> .");
+        respond_in_session(&svc, &mut session, "APPLY");
+
+        let stats = respond(&svc, "STATS");
+        assert!(stats.contains("wal_seq=2"), "{stats}");
+        assert!(stats.contains("wal_fsync_mode=always"), "{stats}");
+        let wal_bytes: u64 = stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("wal_bytes="))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(wal_bytes > 24, "{stats}");
+
+        let m = respond(&svc, "METRICS");
+        assert!(m.contains("eh_wal_appends_total 2"), "{m}");
+        assert!(m.contains(&format!("eh_wal_bytes {wal_bytes}")), "{m}");
+        assert!(m.contains("eh_wal_fsync_us_count 2"), "{m}");
+
+        // Recovery: fresh service over the same base store + the log
+        // serves the same bytes as the crashed one would have.
+        let expect = respond(&svc, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+        let mut recovered = QueryService::new(store(), config(1));
+        let r = recovered.open_wal(&wal_path).unwrap();
+        assert_eq!((r.replayed, r.inserted), (2, 1));
+        assert_eq!(respond(&recovered, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }"), expect);
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn replay_verb_applies_a_shipped_log() {
+        let wal_path =
+            std::env::temp_dir().join(format!("eh-srv-replay-{}.wal", std::process::id()));
+        std::fs::remove_file(&wal_path).ok();
+
+        // A primary logs one batch.
+        let mut primary = QueryService::new(store(), config(1));
+        primary.open_wal(&wal_path).unwrap();
+        let mut session = Session::new();
+        respond_in_session(&primary, &mut session, "INSERT <c> <p> <d> .");
+        respond_in_session(&primary, &mut session, "APPLY");
+        let expect = respond(&primary, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }");
+
+        // A follower replays the shipped log over the same base store.
+        let follower = QueryService::new(store(), config(1));
+        let r = respond(&follower, &format!("REPLAY {}", wal_path.display()));
+        assert_eq!(r, "OK replayed records=1 inserted=1 deleted=0 epoch=1\n");
+        assert_eq!(respond(&follower, "QUERY SELECT ?x ?y WHERE { ?x <p> ?y }"), expect);
+
+        // Failure modes answer ERR, they don't kill the session.
+        assert!(respond(&follower, "REPLAY").starts_with("ERR REPLAY needs"));
+        assert!(respond(&follower, "REPLAY /nonexistent-zzz/x.wal").starts_with("ERR "));
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn save_verb_truncates_an_attached_wal() {
+        let wal_path =
+            std::env::temp_dir().join(format!("eh-srv-wal-save-{}.wal", std::process::id()));
+        let snap_path =
+            std::env::temp_dir().join(format!("eh-srv-wal-save-{}.snap", std::process::id()));
+        std::fs::remove_file(&wal_path).ok();
+
+        let mut svc = QueryService::new(store(), config(1));
+        svc.open_wal(&wal_path).unwrap();
+        let mut session = Session::new();
+        respond_in_session(&svc, &mut session, "INSERT <c> <p> <d> .");
+        respond_in_session(&svc, &mut session, "APPLY");
+        assert!(std::fs::metadata(&wal_path).unwrap().len() > 24);
+
+        let r = respond(&svc, &format!("SAVE {}", snap_path.display()));
+        assert!(r.starts_with("OK saved"), "{r}");
+        // The folded record is gone; only the 24-byte header remains.
+        assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), 24);
+        let stats = respond(&svc, "STATS");
+        assert!(stats.contains("wal_seq=1 wal_bytes=24"), "{stats}");
+        std::fs::remove_file(&wal_path).ok();
+        std::fs::remove_file(&snap_path).ok();
     }
 
     #[test]

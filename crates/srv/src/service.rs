@@ -7,8 +7,8 @@ use std::time::Instant;
 use eh_query::{canonicalize, parse_sparql, CanonicalQuery, ConjunctiveQuery};
 use eh_rdf::TripleStore;
 use emptyheaded::{
-    Engine, EngineError, LoadMode, Plan, PlannerConfig, QueryResult, SharedStore, SnapshotError,
-    UpdateBatch, UpdateSummary,
+    Engine, EngineError, FsyncPolicy, LoadMode, Plan, PlannerConfig, QueryResult, SharedStore,
+    SnapshotError, UpdateBatch, UpdateSummary, WalError, WalRecovery,
 };
 use std::collections::HashMap;
 
@@ -148,6 +148,12 @@ pub struct ServiceStats {
     pub load_mode: LoadMode,
     /// Snapshot bytes held mapped (0 on a copy load).
     pub mapped_bytes: u64,
+    /// Last WAL sequence number appended (0 without a log).
+    pub wal_seq: u64,
+    /// Write-ahead log size in bytes (0 without a log).
+    pub wal_bytes: u64,
+    /// The WAL fsync policy, `None` when no log is attached.
+    pub wal_fsync: Option<FsyncPolicy>,
 }
 
 /// A cacheable result: the engine's [`QueryResult`] plus a lazily
@@ -324,6 +330,48 @@ impl QueryService {
         self.engine.save_snapshot(path)
     }
 
+    /// Attach (or create) a write-ahead log, replaying any records it
+    /// holds through the staging machinery first (see
+    /// [`Engine::open_wal`]). Call before serving: the restart protocol
+    /// is load snapshot → `open_wal` → serve, after which every
+    /// `INSERT`/`DELETE`/`APPLY` batch is logged (and fsynced per
+    /// [`PlannerConfig::wal_fsync`]) before it stages, and `SAVE`
+    /// truncates the log down to the new image.
+    pub fn open_wal(&mut self, path: impl AsRef<std::path::Path>) -> Result<WalRecovery, WalError> {
+        let recovery = self.engine.open_wal(path)?;
+        if recovery.replayed > 0 {
+            // Replayed batches moved the epoch past anything cached.
+            self.drop_derived_caches();
+        }
+        Ok(recovery)
+    }
+
+    /// Replay a foreign log file through the service's update path — the
+    /// protocol's `REPLAY <path>` verb and the replica catch-up entry
+    /// point. Each record flows through [`QueryService::update`], so
+    /// cache retirement, update counters, apply-latency metrics, and
+    /// (when this service has its own WAL) re-logging all behave exactly
+    /// as for live write traffic.
+    pub fn replay(&self, path: impl AsRef<std::path::Path>) -> Result<WalRecovery, WalError> {
+        let scan = eh_wal::scan_path(path.as_ref())?;
+        let mut recovery = WalRecovery {
+            base_seq: scan.base_seq,
+            last_seq: scan.last_seq(),
+            torn_tail_dropped: scan.torn.is_some(),
+            ..WalRecovery::default()
+        };
+        for record in &scan.records {
+            let (deletes, inserts) = eh_rdf::decode_update(&record.payload).map_err(|_| {
+                WalError::Corrupt { seq: record.seq, offset: 0, reason: "payload decode failed" }
+            })?;
+            let summary = self.update(UpdateBatch { inserts, deletes });
+            recovery.replayed += 1;
+            recovery.inserted += summary.inserted;
+            recovery.deleted += summary.deleted;
+        }
+        Ok(recovery)
+    }
+
     /// The underlying engine.
     pub fn engine(&self) -> &Engine {
         &self.engine
@@ -492,6 +540,16 @@ impl QueryService {
     pub fn update(&self, batch: UpdateBatch) -> UpdateSummary {
         let t0 = self.config.record_metrics.then(Instant::now);
         let summary = self.engine.update(batch);
+        // WAL accounting runs before the no-op early return: a no-op
+        // batch is still appended (replaying it is harmless), so the
+        // append/bytes/fsync series must see it.
+        if let (true, Some(w)) = (t0.is_some(), summary.wal) {
+            self.metrics.wal_appends.inc();
+            self.metrics.wal_bytes.set(w.wal_bytes as i64);
+            if w.fsynced {
+                self.metrics.wal_fsync_us.record(w.fsync_us);
+            }
+        }
         if summary.changed_predicates == 0 {
             // Nothing changed: no caches to retire, and recording the
             // batch into the applied counter or the apply-latency
@@ -561,6 +619,7 @@ impl QueryService {
             let results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
             (results.bytes() as u64, results.len() as u64)
         };
+        let wal = self.engine.wal_status();
         let (partitions, max_shard_skew) = {
             let shards = self.store().shard_stats();
             let total: u64 = shards.iter().map(|s| s.triples as u64).sum();
@@ -590,6 +649,9 @@ impl QueryService {
             max_shard_skew,
             load_mode: self.engine.load_info().map_or(LoadMode::Copy, |l| l.mode),
             mapped_bytes: self.engine.load_info().map_or(0, |l| l.mapped_bytes),
+            wal_seq: wal.map_or(0, |w| w.seq),
+            wal_bytes: wal.map_or(0, |w| w.bytes),
+            wal_fsync: wal.map(|w| w.fsync),
         }
     }
 
@@ -622,6 +684,9 @@ impl QueryService {
         self.metrics.epoch.set(self.engine.catalog().epoch() as i64);
         self.metrics.staged_pairs.set(self.store().staged_pairs() as i64);
         self.metrics.mapped_bytes.set(self.engine.load_info().map_or(0, |l| l.mapped_bytes) as i64);
+        if let Some(w) = self.engine.wal_status() {
+            self.metrics.wal_bytes.set(w.bytes as i64);
+        }
         let arena = self.engine.catalog().arena_bytes_by_shard();
         for s in self.store().shard_stats() {
             let bytes = arena.get(s.shard).copied().unwrap_or(0);

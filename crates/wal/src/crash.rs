@@ -1,0 +1,109 @@
+//! Fault-injection crash points.
+//!
+//! Durability code is only trustworthy if it survives dying at its worst
+//! moments, and those moments cannot be reached from outside: no test
+//! can SIGKILL a process *between* the frame-header write and the
+//! payload write of one append. So the WAL and the engine thread named
+//! [`crash_point`] calls through every boundary of the append → stage →
+//! SAVE → truncate protocol, and the kill-matrix test re-runs a child
+//! process once per point, each run dying at a different instant.
+//!
+//! Armed through the environment so the hook crosses the process
+//! boundary to the child: `EH_CRASH_POINT="<name>:<n>"` kills the
+//! process at the *n*-th hit (1-based) of the point called `<name>`.
+//! Unset (the production case) every call is a branch on a cold
+//! `OnceLock` — no syscall, no lock.
+//!
+//! Death is `SIGKILL`-to-self on unix (no destructors, no flushes, no
+//! poisoned-lock unwinding — exactly what a power cut looks like to the
+//! file system) and `process::abort` elsewhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The armed point, parsed once from `EH_CRASH_POINT`.
+fn armed() -> &'static Option<(String, u64)> {
+    static ARMED: OnceLock<Option<(String, u64)>> = OnceLock::new();
+    ARMED.get_or_init(|| parse_spec(&std::env::var("EH_CRASH_POINT").ok()?))
+}
+
+/// `"<name>:<n>"`, split from the right so point names may contain `:`.
+fn parse_spec(spec: &str) -> Option<(String, u64)> {
+    let (name, n) = spec.rsplit_once(':')?;
+    Some((name.to_owned(), n.parse().ok()?))
+}
+
+fn die() -> ! {
+    #[cfg(unix)]
+    {
+        // Raw libc binding, same idiom as eh-rdf's mmap shim: the
+        // workspace vendors no libc crate. SIGKILL cannot be caught, so
+        // the process dies without running any Rust cleanup.
+        extern "C" {
+            fn getpid() -> i32;
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        const SIGKILL: i32 = 9;
+        // SAFETY: both calls are async-signal-safe libc functions with
+        // no memory arguments.
+        unsafe {
+            kill(getpid(), SIGKILL);
+        }
+    }
+    // Unreachable on unix; the portable hard-stop elsewhere.
+    std::process::abort()
+}
+
+/// Kill the process if `EH_CRASH_POINT` arms this point's *n*-th hit.
+///
+/// Hidden from docs: this is a fault-injection hook for the durability
+/// test harness, not API. It is compiled unconditionally (not
+/// `cfg(test)`) because the kill-matrix arms it in a *child process*
+/// running the normal release build — the paths under test must be the
+/// shipped paths.
+#[doc(hidden)]
+pub fn crash_point(name: &str) {
+    let Some((armed_name, armed_hit)) = armed() else { return };
+    if armed_name != name {
+        return;
+    }
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    // HITS is shared across points, but only the armed point ever
+    // increments it, so it counts hits of exactly that point.
+    if HITS.fetch_add(1, Ordering::Relaxed) + 1 == *armed_hit {
+        die();
+    }
+}
+
+/// Whether `name` is the armed crash point. Hot paths that must do
+/// extra work to make a crash *landable* (e.g. splitting one append
+/// into two writes so a kill between them leaves a torn frame) check
+/// this first and keep the fast path when the answer is no — which it
+/// always is outside the fault-injection harness.
+#[doc(hidden)]
+pub fn crash_point_armed(name: &str) -> bool {
+    matches!(armed(), Some((armed_name, _)) if armed_name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_is_inert() {
+        // The test runner does not set EH_CRASH_POINT, so every point
+        // must be a no-op.
+        for _ in 0..3 {
+            crash_point("wal-append-pre");
+            crash_point("anything");
+        }
+    }
+
+    #[test]
+    fn spec_parser() {
+        assert_eq!(parse_spec("wal-append-pre:3"), Some(("wal-append-pre".to_owned(), 3)));
+        assert_eq!(parse_spec("with:colon:7"), Some(("with:colon".to_owned(), 7)));
+        assert_eq!(parse_spec("nocount"), None);
+        assert_eq!(parse_spec("bad:count"), None);
+    }
+}

@@ -52,4 +52,5 @@ pub use eh_rdf as rdf;
 pub use eh_setops as setops;
 pub use eh_srv as srv;
 pub use eh_trie as trie;
+pub use eh_wal as wal;
 pub use emptyheaded;

@@ -10,6 +10,7 @@
 //! `Catalog` in `emptyheaded`.
 
 use std::net::TcpListener;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use wcoj_rdf::emptyheaded::{Engine, OptFlags, PlannerConfig, SharedStore, UpdateBatch};
@@ -354,6 +355,279 @@ fn update_lines_accept_full_ntriples_term_syntax() {
     // And the same line round-trips through the parser used at load time.
     let parsed = parse_ntriples(r#"<a> <label> "a \"quoted\" name" . # note"#).unwrap();
     assert_eq!(parsed.len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Durability kill matrix: a child process is SIGKILLed at an armed crash
+// point inside the WAL/engine write path; the parent recovers from the
+// files left behind and must land byte-identically on the state a
+// never-crashed engine reaches with the same logged prefix.
+// ---------------------------------------------------------------------
+
+/// The queries byte-identity is asserted on: a full dump of `edge`, a
+/// genuine multiway join, and the untouched `kind` predicate.
+const MATRIX_QUERIES: &[&str] = &[
+    "SELECT ?x ?y WHERE { ?x <edge> ?y }",
+    "SELECT ?x ?y ?z WHERE { ?x <edge> ?y . ?y <edge> ?z . ?x <edge> ?z }",
+    "SELECT ?x WHERE { ?x <kind> <thing> }",
+];
+
+/// The deterministic update stream both the child and the reference
+/// engine draw from: batch `k` grows the graph with fresh terms and,
+/// from `k >= 2` on, deletes a triple an earlier batch inserted — so a
+/// replayed prefix is visibly different from any other prefix.
+fn matrix_batch(k: usize) -> UpdateBatch {
+    let mut b = UpdateBatch::new();
+    b.insert(t(&format!("n{k}"), "edge", &format!("n{}", k + 1)));
+    b.insert(t("a", "edge", &format!("n{k}")));
+    b.insert(t(&format!("n{k}"), "edge", "a"));
+    if k >= 2 {
+        b.delete(t("a", "edge", &format!("n{}", k - 2)));
+    }
+    b
+}
+
+fn matrix_engine(threads: usize, partitions: usize) -> Engine {
+    let store = SharedStore::new(TripleStore::from_triples_partitioned(base_triples(), partitions));
+    Engine::with_config(store, PlannerConfig::with_flags(OptFlags::all()).with_threads(threads))
+}
+
+/// Decode every answer row to strings: dictionary-independent, so a
+/// recovered engine (whose dictionary grew in replay order) compares
+/// exactly against a reference that interned the same terms directly.
+fn decoded(engine: &Engine, q: &str) -> Vec<Vec<String>> {
+    let r = engine.run_sparql(q).unwrap();
+    let guard = engine.store();
+    (0..r.cardinality())
+        .map(|i| r.decode_row(&guard, i).into_iter().map(|t| t.as_str().to_string()).collect())
+        .collect()
+}
+
+fn assert_answers_match(recovered: &Engine, reference: &Engine, context: &str) {
+    for q in MATRIX_QUERIES {
+        assert_eq!(decoded(recovered, q), decoded(reference, q), "{context}: {q}");
+    }
+}
+
+fn matrix_temp(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("eh-kill-{tag}-{}.{ext}", std::process::id()))
+}
+
+/// Child half of the kill matrix. Only acts when a parent armed it via
+/// `EH_KILL_CHILD`; under a normal `cargo test` run it is an instant
+/// no-op. The parent also arms `EH_CRASH_POINT`, so one of the
+/// `engine.update` / `engine.save_snapshot` calls below SIGKILLs the
+/// process mid-write.
+#[test]
+fn kill_matrix_child() {
+    if std::env::var("EH_KILL_CHILD").is_err() {
+        return;
+    }
+    let env_num = |key: &str, default: usize| {
+        std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let wal = std::env::var("EH_CHILD_WAL").unwrap();
+    let batches = env_num("EH_CHILD_BATCHES", 6);
+    let save_after = std::env::var("EH_CHILD_SAVE_AFTER").ok().and_then(|v| v.parse().ok());
+    let mut engine = matrix_engine(env_num("EH_CHILD_THREADS", 1), env_num("EH_CHILD_PARTS", 1));
+    engine.open_wal(&wal).unwrap();
+    for k in 0..batches {
+        if save_after == Some(k) {
+            engine.save_snapshot(std::env::var("EH_CHILD_SNAP").unwrap()).unwrap();
+        }
+        engine.update(matrix_batch(k));
+    }
+    // Reaching here means the armed crash point never fired — make the
+    // misconfiguration loud (the parent asserts on death by SIGKILL).
+    std::process::exit(42);
+}
+
+/// Re-run this test binary as `kill_matrix_child` with a crash point
+/// armed, and assert the child actually died by SIGKILL there.
+#[cfg(unix)]
+#[allow(clippy::too_many_arguments)]
+fn spawn_killed_child(
+    point: &str,
+    hit: usize,
+    wal: &Path,
+    snap: Option<&Path>,
+    threads: usize,
+    partitions: usize,
+    batches: usize,
+    save_after: Option<usize>,
+) {
+    use std::os::unix::process::ExitStatusExt;
+    let mut cmd = std::process::Command::new(std::env::current_exe().unwrap());
+    cmd.args(["kill_matrix_child", "--exact", "--test-threads=1", "--nocapture"])
+        .env("EH_KILL_CHILD", "1")
+        .env("EH_CRASH_POINT", format!("{point}:{hit}"))
+        .env("EH_CHILD_WAL", wal)
+        .env("EH_CHILD_THREADS", threads.to_string())
+        .env("EH_CHILD_PARTS", partitions.to_string())
+        .env("EH_CHILD_BATCHES", batches.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    if let Some(snap) = snap {
+        cmd.env("EH_CHILD_SNAP", snap);
+    }
+    if let Some(after) = save_after {
+        cmd.env("EH_CHILD_SAVE_AFTER", after.to_string());
+    }
+    let status = cmd.status().unwrap();
+    assert_eq!(
+        status.signal(),
+        Some(9),
+        "crash point {point}:{hit} must SIGKILL the child (got {status:?})"
+    );
+}
+
+/// One kill-matrix scenario end to end: crash the child at `point` on
+/// its `hit`-th firing, recover (snapshot if one was written, else the
+/// base store, then the log), and compare against a reference engine
+/// that applied exactly the recovered `last_seq` prefix of the stream.
+#[cfg(unix)]
+fn run_kill_scenario(
+    tag: &str,
+    point: &str,
+    hit: usize,
+    threads: usize,
+    partitions: usize,
+    save_after: Option<usize>,
+) {
+    let batches = 6usize;
+    let wal = matrix_temp(&format!("{tag}-{point}-{hit}-{threads}-{partitions}"), "wal");
+    let snap = matrix_temp(&format!("{tag}-{point}-{hit}-{threads}-{partitions}"), "snap");
+    std::fs::remove_file(&wal).ok();
+    std::fs::remove_file(&snap).ok();
+
+    spawn_killed_child(point, hit, &wal, Some(&snap), threads, partitions, batches, save_after);
+
+    // Recover exactly like the server binary: image first (if the crash
+    // happened after the rename), then the log tail.
+    let context = format!("{point}:{hit} threads={threads} P={partitions}");
+    let mut recovered = if snap.exists() {
+        Engine::from_snapshot(
+            &snap,
+            PlannerConfig::with_flags(OptFlags::all()).with_threads(threads),
+        )
+        .unwrap()
+    } else {
+        matrix_engine(threads, partitions)
+    };
+    let recovery = recovered.open_wal(&wal).unwrap_or_else(|e| panic!("{context}: {e}"));
+    let survived = recovery.last_seq as usize;
+    assert!(survived <= batches, "{context}: log claims more batches than the child ran");
+
+    // The oracle: a never-crashed engine fed the same logged prefix.
+    let reference = matrix_engine(threads, partitions);
+    for k in 0..survived {
+        reference.update(matrix_batch(k));
+    }
+    assert_answers_match(&recovered, &reference, &context);
+    std::fs::remove_file(&wal).ok();
+    std::fs::remove_file(&snap).ok();
+}
+
+/// Every append/stage crash point, armed mid-stream, at the base
+/// configuration — plus the sharpened per-point expectations (what a
+/// torn tail leaves, what a completed append guarantees).
+#[cfg(unix)]
+#[test]
+fn kill_matrix_append_points_recover_byte_identical() {
+    for (point, hit) in [
+        // Before anything is written: the log ends at the prior batch.
+        ("wal-append-pre", 3),
+        // Mid-frame: a real torn tail, dropped on recovery.
+        ("wal-append-torn", 3),
+        // Frame durable, staging never ran: write-ahead means the batch
+        // still commits — recovery replays it.
+        ("wal-append-post", 3),
+        // Staged and logged: the no-crash fast path boundary.
+        ("engine-staged", 3),
+        // First and last batch of the stream, not just the middle.
+        ("wal-append-torn", 1),
+        ("engine-staged", 6),
+    ] {
+        run_kill_scenario("append", point, hit, 1, 1, None);
+    }
+}
+
+/// Spot combinations across the engine-threads × partitions matrix: the
+/// recovery path must not depend on worker count or shard layout.
+#[cfg(unix)]
+#[test]
+fn kill_matrix_thread_and_partition_combinations() {
+    for (threads, partitions, point, hit) in [
+        (2, 1, "wal-append-torn", 4),
+        (4, 1, "engine-staged", 3),
+        (1, 4, "wal-append-post", 2),
+        (4, 4, "wal-append-torn", 5),
+        (2, 4, "wal-append-pre", 2),
+    ] {
+        run_kill_scenario("combo", point, hit, threads, partitions, None);
+    }
+}
+
+/// Crash points inside SAVE and the log truncation that follows it. Every
+/// landing spot — image not yet written, image renamed but log whole,
+/// truncation staged but not renamed, truncation done — must recover to
+/// the same state, because replaying already-folded records is
+/// idempotent.
+#[cfg(unix)]
+#[test]
+fn kill_matrix_save_and_truncate_points_recover_idempotently() {
+    for point in [
+        "engine-save-pre",
+        "engine-save-renamed",
+        "wal-truncate-pre",
+        "wal-truncate-staged",
+        "wal-truncate-post",
+    ] {
+        // The child applies 3 batches, SAVEs, then applies 3 more; the
+        // armed point fires inside that SAVE.
+        run_kill_scenario("save", point, 1, 1, 1, Some(3));
+    }
+}
+
+/// SAVE racing a live writer (the satellite-2 regression): the WAL
+/// sequence is captured under the wal lock in the same bracket as the
+/// store clone, so a record is truncated iff it is in the image. If SAVE
+/// ever truncated a record the clone missed, recovery here would lose an
+/// acknowledged batch and the byte-compare would catch it.
+#[test]
+fn save_racing_a_writer_loses_no_acknowledged_batch() {
+    let wal = matrix_temp("race", "wal");
+    let snap = matrix_temp("race", "snap");
+    std::fs::remove_file(&wal).ok();
+    std::fs::remove_file(&snap).ok();
+
+    let mut engine = matrix_engine(2, 1);
+    engine.open_wal(&wal).unwrap();
+    let engine = engine;
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for k in 0..40 {
+                engine.update(matrix_batch(k));
+            }
+        });
+        // SAVEs interleave with the writer's appends; each captures
+        // whatever prefix the clone saw and truncates exactly that.
+        for _ in 0..8 {
+            engine.save_snapshot(&snap).unwrap();
+            std::thread::yield_now();
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(engine.wal_status().unwrap().seq, 40);
+
+    // Recover from the last image + the log tail: every acknowledged
+    // batch must be there.
+    let mut recovered =
+        Engine::from_snapshot(&snap, PlannerConfig::with_flags(OptFlags::all())).unwrap();
+    recovered.open_wal(&wal).unwrap();
+    assert_answers_match(&recovered, &engine, "save racing writer");
+    std::fs::remove_file(&wal).ok();
+    std::fs::remove_file(&snap).ok();
 }
 
 /// LUBM-scale smoke: updates against a generated dataset keep the full
